@@ -1,0 +1,37 @@
+(* Thin wrapper over Bechamel: run a named group of thunks, return ns/run. *)
+
+open Bechamel
+open Toolkit
+
+let group ?(quota = 0.25) name cases =
+  let tests =
+    List.map (fun (n, f) -> Test.make ~name:n (Staged.stage f)) cases
+  in
+  let grouped = Test.make_grouped ~name tests in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] grouped in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.fold
+    (fun test_name ols_result acc ->
+      match Analyze.OLS.estimates ols_result with
+      | Some (ns :: _) -> (test_name, ns) :: acc
+      | _ -> acc)
+    results []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let pp_ns ns =
+  if ns >= 1e9 then Printf.sprintf "%8.2f s " (ns /. 1e9)
+  else if ns >= 1e6 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
+  else if ns >= 1e3 then Printf.sprintf "%8.2f us" (ns /. 1e3)
+  else Printf.sprintf "%8.0f ns" ns
+
+(* One-shot wall-clock measurement for heavyweight runs where repeated
+   sampling would dominate the bench's time budget. *)
+let once f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  let t1 = Unix.gettimeofday () in
+  (result, (t1 -. t0) *. 1e9)

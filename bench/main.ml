@@ -1,0 +1,26 @@
+(* The benchmark harness: reproduces every worked example of the paper
+   (E1..E14) and measures its qualitative scaling claims (B1..B6).
+
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- quick        # smaller sweeps
+     dune exec bench/main.exe -- e5 b1 b4     # selected experiments
+*)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) |> List.map String.lowercase_ascii in
+  let quick = List.mem "quick" args in
+  let ids = List.filter (fun a -> a <> "quick") args in
+  let e_ids = List.filter (fun a -> String.length a > 0 && a.[0] = 'e') ids in
+  let b_ids = List.filter (fun a -> String.length a > 0 && a.[0] = 'b') ids in
+  let run_e = ids = [] || e_ids <> [] in
+  let run_b = ids = [] || b_ids <> [] in
+  let ok = ref true in
+  if run_e then begin
+    print_endline "=== Paper example reproductions ===";
+    if not (Experiments.run e_ids) then ok := false
+  end;
+  if run_b then begin
+    print_endline "=== Scaling benchmarks ===";
+    Scaling.run ~quick b_ids
+  end;
+  if not !ok then exit 1

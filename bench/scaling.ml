@@ -1,0 +1,522 @@
+(* B1..B6: scaling benchmarks for the survey's qualitative claims.  Each
+   prints one table; Bechamel measures the repeatable cases and one-shot
+   wall clocks cover the exponential blowups. *)
+
+module Instance = Relational.Instance
+module Value = Relational.Value
+module Gen = Workload.Gen
+
+let header id title claim =
+  Printf.printf "== %s: %s ==\n" id title;
+  Printf.printf "  claim: %s\n" claim
+
+(* B1: Section 3.1 — instances with exponentially many repairs; repair
+   enumeration blows up while a rewriting evaluation stays flat. *)
+let b1 ~quick () =
+  header "B1" "exponentially many repairs"
+    "#S-repairs doubles per conflict pair; enumeration time follows, \
+     FO-rewriting evaluation does not";
+  let sizes = if quick then [ 2; 4; 6; 8 ] else [ 2; 4; 6; 8; 10; 12 ] in
+  Printf.printf "  %6s %12s %14s %14s\n" "pairs" "#S-repairs" "enum-time"
+    "rewrite-time";
+  List.iter
+    (fun pairs ->
+      let db, key = Gen.key_conflict_chain ~seed:11 ~pairs () in
+      let schema = Instance.schema db in
+      let repairs, enum_ns =
+        Bech.once (fun () -> Repairs.S_repair.enumerate db schema [ key ])
+      in
+      let q = Gen.employees_query () in
+      let keys = [ ("T", [ 0 ]) ] in
+      let _, rw_ns =
+        Bech.once (fun () ->
+            Rewriting.Key_rewrite.consistent_answers q ~keys db)
+      in
+      Printf.printf "  %6d %12d %14s %14s\n" pairs (List.length repairs)
+        (Bech.pp_ns enum_ns) (Bech.pp_ns rw_ns))
+    sizes;
+  print_newline ()
+
+(* B2: Section 3.2 — CQA latency by method as the database grows. *)
+let b2 ~quick () =
+  header "B2" "CQA latency: rewriting vs repair enumeration vs ASP"
+    "FO rewriting scales polynomially; repair enumeration and ASP pay for \
+     materializing the repair space";
+  let q = Gen.employees_query () in
+  let keys = [ ("T", [ 0 ]) ] in
+  let sizes = if quick then [ 40; 80 ] else [ 40; 80; 160 ] in
+  List.iter
+    (fun n ->
+      let db, key =
+        Gen.key_conflict_instance ~seed:5 ~n ~conflict_fraction:0.1 ()
+      in
+      let schema = Instance.schema db in
+      let enum () =
+        let eng = Cqa.Engine.create ~schema ~ics:[ key ] db in
+        ignore (Cqa.Engine.consistent_answers ~method_:`Repair_enumeration eng q)
+      in
+      let fm () = ignore (Rewriting.Key_rewrite.consistent_answers q ~keys db) in
+      let asp () =
+        let eng = Cqa.Engine.create ~schema ~ics:[ key ] db in
+        ignore (Cqa.Engine.consistent_answers ~method_:`Asp eng q)
+      in
+      let cases =
+        [ ("fm-rewriting", fm); ("repair-enum", enum) ]
+        @ if n <= 40 then [ ("asp", asp) ] else []
+      in
+      let results = Bech.group (Printf.sprintf "b2/n=%d" n) cases in
+      List.iter
+        (fun (name, ns) -> Printf.printf "  n=%-5d %-14s %s\n" n name (Bech.pp_ns ns))
+        results)
+    sizes;
+  print_newline ()
+
+(* B3: Section 4.1 — C-repair problems are harder than S-repair ones. *)
+let b3 ~quick () =
+  header "B3" "C-repairs vs S-repairs"
+    "finding one S-repair (greedy maximal independent set) stays cheap; \
+     minimum-cardinality repair (branch-and-bound hitting set) grows with \
+     the conflict count";
+  let sizes = if quick then [ 30; 60 ] else [ 30; 60; 90 ] in
+  List.iter
+    (fun n ->
+      let db, kappa = Gen.denial_instance ~seed:7 ~n ~conflict_fraction:0.4 () in
+      let schema = Instance.schema db in
+      let g = Constraints.Conflict_graph.build db schema [ kappa ] in
+      let results =
+        Bech.group
+          (Printf.sprintf "b3/n=%d" n)
+          [
+            ( "one-s-repair",
+              fun () -> ignore (Repairs.S_repair.one db schema [ kappa ]) );
+            ( "c-repair-min",
+              fun () -> ignore (Repairs.C_repair.one db schema [ kappa ]) );
+          ]
+      in
+      List.iter
+        (fun (name, ns) ->
+          Printf.printf "  n=%-5d edges=%-4d %-14s %s\n" n
+            (List.length g.Constraints.Conflict_graph.edges)
+            name (Bech.pp_ns ns))
+        results)
+    sizes;
+  print_newline ()
+
+(* B4: Section 3.3 — repair programs have exactly the required power:
+   ASP cautious answers equal repair-enumeration answers. *)
+let b4 ~quick () =
+  header "B4" "ASP CQA = repair-enumeration CQA (differential)"
+    "stable models of the repair program are the S-repairs, so cautious \
+     answers agree with enumeration on every instance";
+  let trials = if quick then 10 else 30 in
+  let q = Gen.employees_query () in
+  let agree = ref 0 in
+  let asp_total = ref 0.0 and enum_total = ref 0.0 in
+  for seed = 1 to trials do
+    let db, key =
+      Gen.key_conflict_instance ~seed ~n:24 ~conflict_fraction:0.25 ()
+    in
+    let schema = Instance.schema db in
+    let eng = Cqa.Engine.create ~schema ~ics:[ key ] db in
+    let a, t1 =
+      Bech.once (fun () -> Cqa.Engine.consistent_answers ~method_:`Asp eng q)
+    in
+    let b, t2 =
+      Bech.once (fun () ->
+          Cqa.Engine.consistent_answers ~method_:`Repair_enumeration eng q)
+    in
+    if a = b then incr agree;
+    asp_total := !asp_total +. t1;
+    enum_total := !enum_total +. t2
+  done;
+  Printf.printf "  agreement: %d/%d instances\n" !agree trials;
+  Printf.printf "  mean asp:  %s\n"
+    (Bech.pp_ns (!asp_total /. float_of_int trials));
+  Printf.printf "  mean enum: %s\n\n"
+    (Bech.pp_ns (!enum_total /. float_of_int trials))
+
+(* B5: Section 7 — responsibility via C-repairs vs the ASP route. *)
+let b5 ~quick () =
+  header "B5" "responsibility: repair connection vs ASP"
+    "both compute the same responsibilities; the direct hypergraph route is \
+     faster than stable-model enumeration";
+  let trials = if quick then 6 else 15 in
+  let agree = ref 0 in
+  let direct_total = ref 0.0 and asp_total = ref 0.0 in
+  let q = Workload.Paper.Denial.q in
+  for seed = 1 to trials do
+    let db, _ = Gen.denial_instance ~seed ~n:12 ~conflict_fraction:0.5 () in
+    let schema = Instance.schema db in
+    if Logic.Cq.holds q db then begin
+      let direct, t1 =
+        Bech.once (fun () ->
+            Causality.Cause.actual_causes db schema q
+            |> List.map (fun (c : Causality.Cause.t) -> (c.tid, c.responsibility)))
+      in
+      let asp, t2 =
+        Bech.once (fun () ->
+            Repair_programs.Cause_rules.responsibilities db schema q)
+      in
+      if direct = asp then incr agree;
+      direct_total := !direct_total +. t1;
+      asp_total := !asp_total +. t2
+    end
+    else incr agree
+  done;
+  Printf.printf "  agreement: %d/%d instances\n" !agree trials;
+  Printf.printf "  mean direct: %s\n"
+    (Bech.pp_ns (!direct_total /. float_of_int trials));
+  Printf.printf "  mean asp:    %s\n\n"
+    (Bech.pp_ns (!asp_total /. float_of_int trials))
+
+(* B6: Section 8 / [16,17] — inconsistency degree tracks the planted
+   violation rate. *)
+let b6 ~quick () =
+  header "B6" "inconsistency measures vs planted conflict rate"
+    "repair-based degree grows monotonically with the planted rate";
+  let n = if quick then 40 else 100 in
+  Printf.printf "  %6s %10s %12s %12s\n" "rate" "drastic" "confl-ratio"
+    "repair-based";
+  List.iter
+    (fun rate ->
+      let db, key = Gen.key_conflict_instance ~seed:3 ~n ~conflict_fraction:rate () in
+      let schema = Instance.schema db in
+      let measure f = f db schema [ key ] in
+      Printf.printf "  %6.2f %10.2f %12.3f %12.3f\n" rate
+        (measure Measures.Degree.drastic)
+        (measure Measures.Degree.conflicting_tuple_ratio)
+        (measure Measures.Degree.repair_based))
+    [ 0.0; 0.1; 0.2; 0.3; 0.4; 0.5 ];
+  print_newline ()
+
+(* B7: ConsEx's magic-set optimization — focused evaluation derives fewer
+   facts and runs faster when the query is selective. *)
+let b7 ~quick () =
+  header "B7" "magic sets: focused vs full Datalog evaluation"
+    "bottom-up evaluation restricted to the query's cone derives a fraction \
+     of the facts (ConsEx [43] uses this on repair programs)";
+  let open Logic in
+  let x = Term.var "X" and y = Term.var "Y" and z = Term.var "Z" in
+  let tc =
+    Datalog.Program.make
+      [
+        Datalog.Rule.make (Atom.make "path" [ x; y ]) [ Atom.make "edge" [ x; y ] ];
+        Datalog.Rule.make
+          (Atom.make "path" [ x; z ])
+          [ Atom.make "edge" [ x; y ]; Atom.make "path" [ y; z ] ];
+      ]
+  in
+  let sizes = if quick then [ 20; 40 ] else [ 20; 40; 80 ] in
+  Printf.printf "  %6s %12s %12s %14s %14s\n" "chains" "plain-facts"
+    "magic-facts" "plain-time" "magic-time";
+  List.iter
+    (fun chains ->
+      (* [chains] disjoint 6-node chains; the query asks about one chain. *)
+      let edb =
+        List.concat
+          (List.init chains (fun c ->
+               List.init 5 (fun i ->
+                   Relational.Fact.make "edge"
+                     [
+                       Value.int ((c * 10) + i); Value.int ((c * 10) + i + 1);
+                     ])))
+      in
+      let query = Atom.make "path" [ Term.int 0; Term.var "Z" ] in
+      let plain_facts, magic_facts = Datalog.Magic.derived_count tc edb ~query in
+      let _, plain_ns = Bech.once (fun () -> Datalog.Eval.run tc edb) in
+      let _, magic_ns = Bech.once (fun () -> Datalog.Magic.answers tc edb ~query) in
+      Printf.printf "  %6d %12d %12d %14s %14s\n" chains plain_facts
+        magic_facts (Bech.pp_ns plain_ns) (Bech.pp_ns magic_ns))
+    sizes;
+  print_newline ()
+
+(* B8: incremental conflict maintenance vs full rebuild per update. *)
+let b8 ~quick () =
+  header "B8" "incremental maintenance vs rebuild (updates, Sec 4.1)"
+    "maintaining the conflict hypergraph across insertions beats rebuilding \
+     it after every update";
+  let sizes = if quick then [ 50; 100 ] else [ 50; 100; 200 ] in
+  List.iter
+    (fun n ->
+      let db, key =
+        Gen.key_conflict_instance ~seed:13 ~n ~conflict_fraction:0.2 ()
+      in
+      let schema = Instance.schema db in
+      let facts = Instance.fact_list db in
+      let _, inc_ns =
+        Bech.once (fun () ->
+            List.fold_left
+              (fun t f -> fst (Repairs.Incremental.insert t f))
+              (Repairs.Incremental.create (Instance.create schema) schema [ key ])
+              facts)
+      in
+      let _, rebuild_ns =
+        Bech.once (fun () ->
+            ignore
+              (List.fold_left
+                 (fun acc f ->
+                   let acc = Instance.add acc f in
+                   ignore (Constraints.Conflict_graph.build acc schema [ key ]);
+                   acc)
+                 (Instance.create schema) facts))
+      in
+      Printf.printf "  n=%-5d incremental %14s   rebuild-per-update %14s\n" n
+        (Bech.pp_ns inc_ns) (Bech.pp_ns rebuild_ns))
+    sizes;
+  print_newline ()
+
+(* B9: counting repairs — closed form vs hitting sets vs enumeration. *)
+let b9 ~quick () =
+  header "B9" "counting repairs (Sec 3.2, [90])"
+    "the key-block closed form counts in linear time where enumeration is \
+     exponential";
+  let sizes = if quick then [ 6; 10 ] else [ 6; 10; 12 ] in
+  Printf.printf "  %6s %12s %14s %14s\n" "pairs" "#repairs" "closed-form"
+    "enumeration";
+  List.iter
+    (fun pairs ->
+      let db, key = Gen.key_conflict_chain ~seed:29 ~pairs () in
+      let schema = Instance.schema db in
+      let count, cf_ns =
+        Bech.once (fun () -> Repairs.Count.s_repairs db schema [ key ])
+      in
+      let _, enum_ns =
+        Bech.once (fun () -> Repairs.S_repair.enumerate db schema [ key ])
+      in
+      Printf.printf "  %6d %12d %14s %14s\n" pairs count (Bech.pp_ns cf_ns)
+        (Bech.pp_ns enum_ns))
+    sizes;
+  print_newline ()
+
+(* B10: approximation quality — how often the polynomial bounds close. *)
+let b10 ~quick () =
+  header "B10" "approximation of CQA (Sec 3.2, [65, 69-71])"
+    "under/over bounds always bracket the consistent answers at a fraction \
+     of the exact cost once the repair space is exponential; the interval \
+     narrows (and eventually closes) with more samples";
+  let trials = if quick then 10 else 25 in
+  let q = Gen.full_tuple_query () in
+  let closed = ref 0 and sound = ref 0 in
+  let approx_total = ref 0.0 and exact_total = ref 0.0 in
+  for seed = 1 to trials do
+    (* Half the tuples conflict: the repair space has ~2^10 elements, so
+       exact enumeration pays while the bounds stay polynomial. *)
+    let db, key = Gen.key_conflict_instance ~seed ~n:44 ~conflict_fraction:0.5 () in
+    let schema = Instance.schema db in
+    let eng = Cqa.Engine.create ~schema ~ics:[ key ] db in
+    let b, t1 = Bech.once (fun () -> Cqa.Approx.bounds ~seed ~samples:4 eng q) in
+    let exact, t2 =
+      Bech.once (fun () ->
+          Cqa.Engine.consistent_answers ~method_:`Repair_enumeration eng q)
+    in
+    if b.Cqa.Approx.exact then incr closed;
+    let subset a bb = List.for_all (fun r -> List.mem r bb) a in
+    if subset b.Cqa.Approx.under exact && subset exact b.Cqa.Approx.over then
+      incr sound;
+    approx_total := !approx_total +. t1;
+    exact_total := !exact_total +. t2
+  done;
+  Printf.printf "  bounds sound:    %d/%d\n" !sound trials;
+  Printf.printf "  interval closed: %d/%d\n" !closed trials;
+  Printf.printf "  mean bounds time: %s\n" (Bech.pp_ns (!approx_total /. float_of_int trials));
+  Printf.printf "  mean exact time:  %s\n\n" (Bech.pp_ns (!exact_total /. float_of_int trials))
+
+(* B11: inconsistency-tolerant ontology semantics — IAR is the tractable
+   approximation of AR (Sec 8, [79, 29, 100]). *)
+let b11 ~quick () =
+  header "B11" "ontology semantics: IAR vs AR vs brave"
+    "IAR answers from the intersection of repairs without enumerating them; \
+     AR/brave pay for the repair space";
+  let open Ontology in
+  let sizes = if quick then [ 4; 6 ] else [ 4; 6; 8 ] in
+  List.iter
+    (fun conflicts ->
+      (* [conflicts] individuals asserted both Student and Prof: the repair
+         space has 2^conflicts elements. *)
+      let abox =
+        List.concat
+          (List.init conflicts (fun i ->
+               let who = Printf.sprintf "p%d" i in
+               [ Concept_of ("Prof", who); Concept_of ("Student", who) ]))
+        @ List.init 20 (fun i -> Concept_of ("Student", Printf.sprintf "s%d" i))
+      in
+      let kb =
+        make
+          ~tbox:
+            [
+              Subsumed (Atomic "Prof", Atomic "Faculty");
+              Disjoint (Atomic "Student", Atomic "Faculty");
+            ]
+          ~abox
+      in
+      let q =
+        Logic.Cq.make [ Logic.Term.var "x" ]
+          [ Logic.Atom.make "Student" [ Logic.Term.var "x" ] ]
+      in
+      let time sem = snd (Bech.once (fun () -> answers kb sem q)) in
+      Printf.printf "  conflicts=%-3d IAR %12s   AR %12s   brave %12s\n"
+        conflicts
+        (Bech.pp_ns (time IAR))
+        (Bech.pp_ns (time AR))
+        (Bech.pp_ns (time Brave)))
+    sizes;
+  print_newline ()
+
+(* B12: data exchange — chase cost scales with the source, exchange-repair
+   search with the number of target conflicts. *)
+let b12 ~quick () =
+  header "B12" "data exchange: chase and exchange-repairs"
+    "chasing is linear in the tgd matches; repairing a failing exchange \
+     searches source deletions smallest-first";
+  let open Logic in
+  let src_schema = Relational.Schema.of_list [ ("DeptMgr", [ "dept"; "mgr" ]) ] in
+  let tgt_schema = Relational.Schema.of_list [ ("TDept", [ "dept"; "mgr" ]) ] in
+  let d = Term.var "d" and m = Term.var "m" in
+  let setting =
+    {
+      Exchange.source_schema = src_schema;
+      target_schema = tgt_schema;
+      st_tgds =
+        [
+          Exchange.st_tgd
+            ~body:(Cq.make [ d; m ] [ Atom.make "DeptMgr" [ d; m ] ])
+            ~head:[ Atom.make "TDept" [ d; m ] ];
+        ];
+      egds =
+        [
+          Exchange.egd
+            ~body:
+              [
+                Atom.make "TDept" [ d; Term.var "m1" ];
+                Atom.make "TDept" [ d; Term.var "m2" ];
+              ]
+            "m1" "m2";
+        ];
+      target_ics = [];
+    }
+  in
+  let sizes = if quick then [ 50; 100 ] else [ 50; 100; 200 ] in
+  List.iter
+    (fun n ->
+      (* Clean source of n departments plus 2 conflicting ones. *)
+      let clean_rows =
+        List.init n (fun i ->
+            [
+              Value.str (Printf.sprintf "d%d" i);
+              Value.str (Printf.sprintf "m%d" i);
+            ])
+      in
+      let clean = Instance.of_rows src_schema [ ("DeptMgr", clean_rows) ] in
+      let dirty =
+        Instance.of_rows src_schema
+          [
+            ( "DeptMgr",
+              clean_rows
+              @ [
+                  [ Value.str "dx"; Value.str "a" ];
+                  [ Value.str "dx"; Value.str "b" ];
+                ] );
+          ]
+      in
+      let _, chase_ns = Bech.once (fun () -> Exchange.chase setting clean) in
+      let repairs, repair_ns =
+        Bech.once (fun () -> Exchange.exchange_repairs ~max_deletions:1 setting dirty)
+      in
+      Printf.printf
+        "  n=%-5d chase %12s   exchange-repairs (%d found) %12s\n" n
+        (Bech.pp_ns chase_ns) (List.length repairs) (Bech.pp_ns repair_ns))
+    sizes;
+  print_newline ()
+
+(* B13: temporal CQA — per-snapshot independence keeps the cost local to
+   the dirty snapshots (Sec 8, [50]). *)
+let b13 ~quick () =
+  header "B13" "temporal CQA: cost tracks dirty snapshots"
+    "snapshots repair independently, so range queries cost the sum of \
+     per-snapshot CQA, dominated by the inconsistent snapshots";
+  let schema = Relational.Schema.of_list [ ("T", [ "k"; "v" ]) ] in
+  let key = Constraints.Ic.key ~rel:"T" [ 0 ] in
+  let months = if quick then 10 else 20 in
+  let q = Gen.employees_query () in
+  let db_with ~dirty_months =
+    let facts =
+      List.concat
+        (List.init months (fun t ->
+             let base =
+               List.init 10 (fun i ->
+                   ( t,
+                     Relational.Fact.make "T"
+                       [ Value.int i; Value.int (100 + i) ] ))
+             in
+             if t < dirty_months then
+               (* four key conflicts: 16 repairs for this snapshot *)
+               List.init 4 (fun i ->
+                   (t, Relational.Fact.make "T" [ Value.int i; Value.int (999 + i) ]))
+               @ base
+             else base))
+    in
+    Temporal.of_facts schema [ key ] facts
+  in
+  let cases =
+    List.map
+      (fun dirty_months ->
+        let db = db_with ~dirty_months in
+        ( Printf.sprintf "dirty=%02d" dirty_months,
+          fun () ->
+            ignore (Temporal.consistent_always db ~from_:0 ~until:(months - 1) q) ))
+      [ 0; months / 4; months / 2 ]
+  in
+  List.iter
+    (fun (name, ns) -> Printf.printf "  months=%-3d %s  always-range %s\n" months name (Bech.pp_ns ns))
+    (Bech.group "b13" cases);
+  print_newline ()
+
+(* B14: numerical repairs — the L1-optimal fix is linear in the relation
+   size (Sec 4, [20, 62]). *)
+let b14 ~quick () =
+  header "B14" "numerical repair cost"
+    "clamping plus one-pass sum adjustment computes the L1-minimal fix in \
+     linear time";
+  let sizes = if quick then [ 100; 1000 ] else [ 100; 1000; 10000 ] in
+  List.iter
+    (fun n ->
+      let schema = Relational.Schema.of_list [ ("L", [ "e"; "amount" ]) ] in
+      let db =
+        Instance.of_rows schema
+          [
+            ( "L",
+              List.init n (fun i ->
+                  [ Value.int i; Value.Real (float_of_int (i mod 90)) ]) );
+          ]
+      in
+      let constraints =
+        [
+          Numeric.Numeric_repair.Row_bounds
+            { rel = "L"; pos = 1; lower = Some 0.0; upper = Some 80.0 };
+          Numeric.Numeric_repair.Sum_eq
+            { rel = "L"; pos = 1; total = float_of_int (40 * n) };
+        ]
+      in
+      let r, ns =
+        Bech.once (fun () -> Numeric.Numeric_repair.repair db constraints)
+      in
+      Printf.printf "  n=%-6d changes=%-5d cost=%-10.1f %s\n" n
+        (List.length r.Numeric.Numeric_repair.changes)
+        r.Numeric.Numeric_repair.l1_cost (Bech.pp_ns ns))
+    sizes;
+  print_newline ()
+
+let all =
+  [
+    ("b1", b1); ("b2", b2); ("b3", b3); ("b4", b4); ("b5", b5); ("b6", b6);
+    ("b7", b7); ("b8", b8); ("b9", b9); ("b10", b10); ("b11", b11);
+    ("b12", b12); ("b13", b13); ("b14", b14);
+  ]
+
+let run ~quick ids =
+  let selected =
+    match ids with
+    | [] -> all
+    | _ -> List.filter (fun (id, _) -> List.mem id ids) all
+  in
+  List.iter (fun (_, f) -> f ~quick ()) selected

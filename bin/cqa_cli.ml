@@ -1,0 +1,316 @@
+(* cqa — command-line front end: check consistency, enumerate repairs,
+   answer queries consistently, measure inconsistency, explain answers.
+
+   Input files use the line format of Cqa.Parse (see `cqa --help`). *)
+
+let load path =
+  try Cqa.Parse.document_of_file path with
+  | Cqa.Parse.Error (line, msg) ->
+      Printf.eprintf "%s:%d: %s\n" path line msg;
+      exit 2
+  | Sys_error msg ->
+      prerr_endline msg;
+      exit 2
+
+let engine (doc : Cqa.Parse.document) =
+  Cqa.Engine.create ~schema:doc.schema ~ics:doc.ics doc.instance
+
+let pp_rows rows =
+  List.iter
+    (fun row ->
+      (* A Boolean query's positive answer is the empty tuple. *)
+      if row = [] then print_endline "true"
+      else
+        print_endline
+          (String.concat ", " (List.map Relational.Value.to_string row)))
+    rows
+
+let query_of doc name =
+  match Cqa.Parse.find_query doc name with
+  | q -> q
+  | exception Not_found ->
+      Printf.eprintf "no query named %s in the input (declare `query %s(...) :- ...`)\n"
+        name name;
+      exit 2
+
+open Cmdliner
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Input document.")
+
+let check_cmd =
+  let run file =
+    let doc = load file in
+    let witnesses =
+      Constraints.Violation.all doc.instance doc.schema doc.ics
+    in
+    if witnesses = [] then print_endline "consistent"
+    else begin
+      Printf.printf "inconsistent: %d violation(s)\n" (List.length witnesses);
+      List.iter
+        (fun w ->
+          Format.printf "  %a@." Constraints.Violation.pp_witness w)
+        witnesses;
+      exit 1
+    end
+  in
+  Cmd.v (Cmd.info "check" ~doc:"Check the instance against its constraints.")
+    Term.(const run $ file_arg)
+
+let semantics_arg =
+  Arg.(
+    value
+    & opt (enum [ ("s", `S); ("c", `C) ]) `S
+    & info [ "semantics" ] ~docv:"S" ~doc:"Repair semantics: s (set-minimal) or c (cardinality).")
+
+let repairs_cmd =
+  let run file semantics =
+    let doc = load file in
+    let repairs =
+      match semantics with
+      | `S -> Repairs.S_repair.enumerate doc.instance doc.schema doc.ics
+      | `C -> Repairs.C_repair.enumerate doc.instance doc.schema doc.ics
+    in
+    Printf.printf "%d repair(s)\n" (List.length repairs);
+    List.iteri
+      (fun i r ->
+        Format.printf "repair %d:@.  %a@." (i + 1) Repairs.Repair.pp r)
+      repairs
+  in
+  Cmd.v (Cmd.info "repairs" ~doc:"Enumerate the repairs of the instance.")
+    Term.(const run $ file_arg $ semantics_arg)
+
+let method_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("auto", `Auto);
+             ("enum", `Repair_enumeration);
+             ("rewriting", `Residue_rewriting);
+             ("key-rewriting", `Key_rewriting);
+             ("asp", `Asp);
+           ])
+        `Auto
+    & info [ "method" ] ~docv:"M"
+        ~doc:"CQA method: auto, enum, rewriting, key-rewriting or asp.")
+
+let query_arg =
+  Arg.(required & opt (some string) None & info [ "query"; "q" ] ~docv:"NAME" ~doc:"Query name.")
+
+let answers_cmd =
+  let run file qname method_ =
+    let doc = load file in
+    let u =
+      match Cqa.Parse.find_ucq doc qname with
+      | u -> u
+      | exception Not_found ->
+          Printf.eprintf
+            "no query named %s in the input (declare `query %s(...) :- ...`)\n"
+            qname qname;
+          exit 2
+    in
+    match u.Logic.Ucq.disjuncts with
+    | [ q ] -> pp_rows (Cqa.Engine.consistent_answers ~method_ (engine doc) q)
+    | _ ->
+        (* A union of queries: enumeration or ASP. *)
+        let m = match method_ with `Asp -> `Asp | _ -> `Repair_enumeration in
+        pp_rows (Cqa.Engine.consistent_answers_ucq ~method_:m (engine doc) u)
+  in
+  Cmd.v
+    (Cmd.info "answers"
+       ~doc:
+         "Consistent answers to a named query (several query lines with one \
+          name form a union).")
+    Term.(const run $ file_arg $ query_arg $ method_arg)
+
+let degree_cmd =
+  let run file =
+    let doc = load file in
+    List.iter
+      (fun (name, x) -> Printf.printf "%-25s %.4f\n" name x)
+      (Measures.Degree.all doc.instance doc.schema doc.ics)
+  in
+  Cmd.v
+    (Cmd.info "degree" ~doc:"Inconsistency measures of the instance.")
+    Term.(const run $ file_arg)
+
+let causes_cmd =
+  let run file qname =
+    let doc = load file in
+    let q = query_of doc qname in
+    let causes = Causality.Cause.actual_causes doc.instance doc.schema q in
+    if causes = [] then print_endline "no causes (query false?)"
+    else
+      List.iter
+        (fun (c : Causality.Cause.t) ->
+          Format.printf "%a  %a  responsibility %.3f@." Relational.Tid.pp c.tid
+            Relational.Fact.pp
+            (Relational.Instance.fact_of doc.instance c.tid)
+            c.responsibility)
+        causes
+  in
+  Cmd.v
+    (Cmd.info "causes"
+       ~doc:"Actual causes and responsibilities for a Boolean query.")
+    Term.(const run $ file_arg $ query_arg)
+
+let count_cmd =
+  let run file =
+    let doc = load file in
+    Printf.printf "S-repairs: %d\n"
+      (Repairs.Count.s_repairs doc.instance doc.schema doc.ics);
+    Printf.printf "C-repairs: %d\n"
+      (Repairs.Count.c_repairs doc.instance doc.schema doc.ics)
+  in
+  Cmd.v
+    (Cmd.info "count" ~doc:"Count the repairs without materializing them all.")
+    Term.(const run $ file_arg)
+
+let attr_repairs_cmd =
+  let run file =
+    let doc = load file in
+    let repairs = Repairs.Attr_repair.enumerate doc.instance doc.schema doc.ics in
+    Printf.printf "%d attribute repair(s)\n" (List.length repairs);
+    List.iteri
+      (fun i (r : Repairs.Attr_repair.t) ->
+        Format.printf "repair %d: %a@." (i + 1) Repairs.Attr_repair.pp r)
+      repairs
+  in
+  Cmd.v
+    (Cmd.info "attr-repairs"
+       ~doc:"Attribute-level NULL repairs (denial-class constraints).")
+    Term.(const run $ file_arg)
+
+let aggregate_cmd =
+  let agg_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "agg" ] ~docv:"AGG"
+          ~doc:"Aggregate: count, or sum:ATTR / min:ATTR / max:ATTR.")
+  in
+  let rel_arg =
+    Arg.(required & opt (some string) None & info [ "rel" ] ~docv:"REL" ~doc:"Relation.")
+  in
+  let run file rel agg_spec =
+    let doc = load file in
+    let agg =
+      match String.split_on_char ':' agg_spec with
+      | [ "count" ] -> Repairs.Aggregate.Count_all
+      | [ kind; attr ] -> (
+          let pos =
+            try Relational.Schema.attribute_index doc.schema ~rel ~attr
+            with Not_found ->
+              Printf.eprintf "unknown attribute %s of %s\n" attr rel;
+              exit 2
+          in
+          match kind with
+          | "sum" -> Repairs.Aggregate.Sum pos
+          | "min" -> Repairs.Aggregate.Min pos
+          | "max" -> Repairs.Aggregate.Max pos
+          | _ ->
+              Printf.eprintf "unknown aggregate %s\n" kind;
+              exit 2)
+      | _ ->
+          Printf.eprintf "malformed aggregate %s\n" agg_spec;
+          exit 2
+    in
+    let r = Repairs.Aggregate.range doc.instance doc.schema doc.ics ~rel agg in
+    Printf.printf "glb %g\nlub %g\n" r.Repairs.Aggregate.glb r.Repairs.Aggregate.lub
+  in
+  Cmd.v
+    (Cmd.info "aggregate"
+       ~doc:"Range-consistent answer of an aggregate over all repairs.")
+    Term.(const run $ file_arg $ rel_arg $ agg_arg)
+
+let clean_cmd =
+  let run file =
+    let doc = load file in
+    let result = Cleaning.Cost_clean.clean doc.instance doc.schema doc.ics in
+    Printf.printf "%d change(s)\n" result.Cleaning.Cost_clean.cost;
+    List.iter
+      (fun (c : Cleaning.Cost_clean.change) ->
+        Format.printf "  %a: %a -> %a@." Relational.Tid.Cell.pp c.cell
+          Relational.Value.pp c.old_value Relational.Value.pp c.new_value)
+      result.Cleaning.Cost_clean.changes;
+    Format.printf "cleaned:@.%a@." Relational.Instance.pp
+      result.Cleaning.Cost_clean.cleaned
+  in
+  Cmd.v
+    (Cmd.info "clean" ~doc:"One-shot cost-based cleaning (FDs, keys, CFDs).")
+    Term.(const run $ file_arg)
+
+let sample_cmd =
+  let seed_arg =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+  in
+  let run file seed =
+    let doc = load file in
+    let r = Repairs.Operational.sample_repair ~seed doc.instance doc.schema doc.ics in
+    Format.printf "%a@." Repairs.Repair.pp r
+  in
+  Cmd.v
+    (Cmd.info "sample"
+       ~doc:"One repair sampled by the operational repairing process.")
+    Term.(const run $ file_arg $ seed_arg)
+
+let approx_cmd =
+  let samples_arg =
+    Arg.(value & opt int 5 & info [ "samples" ] ~docv:"N" ~doc:"Sampled repairs.")
+  in
+  let run file qname samples =
+    let doc = load file in
+    let q = query_of doc qname in
+    let b = Cqa.Approx.bounds ~samples (engine doc) q in
+    print_endline "under-approximation (guaranteed consistent):";
+    pp_rows b.Cqa.Approx.under;
+    print_endline "over-approximation (superset of consistent):";
+    pp_rows b.Cqa.Approx.over;
+    Printf.printf "interval closed: %b\n" b.Cqa.Approx.exact
+  in
+  Cmd.v
+    (Cmd.info "approx"
+       ~doc:"Polynomial-time bounds bracketing the consistent answers.")
+    Term.(const run $ file_arg $ query_arg $ samples_arg)
+
+let export_cmd =
+  let rel_arg =
+    Arg.(required & opt (some string) None & info [ "rel" ] ~docv:"REL" ~doc:"Relation.")
+  in
+  let run file rel =
+    let doc = load file in
+    print_string (Relational.Csv_io.to_csv doc.instance ~rel)
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Export one relation as CSV on stdout.")
+    Term.(const run $ file_arg $ rel_arg)
+
+let program_cmd =
+  let run file =
+    let doc = load file in
+    let program = Repair_programs.Compile.repair_program doc.schema doc.ics in
+    Format.printf "%% repair program (stable models = S-repairs)@.%a@."
+      Asp.Syntax.pp program;
+    let edb = Repair_programs.Compile.edb_of_instance doc.instance in
+    let ground = Asp.Ground.ground program edb in
+    Format.printf "@.%% grounding: %d atoms, %d rules@." ground.Asp.Ground.natoms
+      (List.length ground.Asp.Ground.rules)
+  in
+  Cmd.v
+    (Cmd.info "program"
+       ~doc:"Print the compiled ASP repair program and its grounding size.")
+    Term.(const run $ file_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "cqa" ~version:"1.0.0"
+       ~doc:"Database repairs and consistent query answering.")
+    [
+      check_cmd; repairs_cmd; answers_cmd; degree_cmd; causes_cmd; count_cmd;
+      attr_repairs_cmd; aggregate_cmd; clean_cmd; sample_cmd; approx_cmd;
+      export_cmd; program_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

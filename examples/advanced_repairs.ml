@@ -1,0 +1,94 @@
+(* The survey's further developments around repairs (Sections 3.2, 4 and 8):
+   counting repairs, range-consistent aggregation, prioritized repairs,
+   operational (randomized) repairing, incremental maintenance under
+   updates, and polynomial-time approximation of consistent answers.
+
+     dune exec examples/advanced_repairs.exe
+*)
+
+module Value = Relational.Value
+module Schema = Relational.Schema
+module Instance = Relational.Instance
+module Tid = Relational.Tid
+module Fact = Relational.Fact
+
+let () =
+  (* A payroll with three conflicting key groups. *)
+  let schema = Schema.of_list [ ("Pay", [ "emp"; "amount" ]) ] in
+  let db =
+    Instance.of_rows schema
+      [
+        ( "Pay",
+          [
+            [ Value.str "ann"; Value.int 10 ];
+            [ Value.str "ann"; Value.int 12 ];
+            [ Value.str "bob"; Value.int 7 ];
+            [ Value.str "bob"; Value.int 9 ];
+            [ Value.str "eve"; Value.int 5 ];
+          ] );
+      ]
+  in
+  let key = Constraints.Ic.key ~rel:"Pay" [ 0 ] in
+
+  (* Counting without enumerating: 2 x 2 key blocks. *)
+  Format.printf "number of S-repairs: %d@."
+    (Repairs.Count.s_repairs db schema [ key ]);
+
+  (* Range-consistent aggregation: the total payroll across all repairs. *)
+  let sum = Repairs.Aggregate.range db schema [ key ] ~rel:"Pay" (Repairs.Aggregate.Sum 1) in
+  Format.printf "SUM(amount) is consistently in [%g, %g]@."
+    sum.Repairs.Aggregate.glb sum.Repairs.Aggregate.lub;
+
+  (* Prioritized repairs: trust lower amounts (e.g. the older ledger). *)
+  let amount tid = (Instance.fact_of db tid).Fact.row.(1) in
+  let prefer_low t t' =
+    let f = Instance.fact_of db t and f' = Instance.fact_of db t' in
+    Value.equal f.Fact.row.(0) f'.Fact.row.(0)
+    && Value.compare (amount t) (amount t') < 0
+  in
+  let optimal = Repairs.Prioritized.globally_optimal prefer_low db schema [ key ] in
+  Format.printf "globally optimal repairs under 'prefer lower amount': %d@."
+    (List.length optimal);
+  List.iter
+    (fun (r : Repairs.Repair.t) ->
+      Format.printf "  kept: %s@."
+        (String.concat ", "
+           (List.map Fact.to_string (Instance.fact_list r.repaired))))
+    optimal;
+
+  (* Operational semantics: sample the repairing process and estimate
+     answer probabilities. *)
+  let q =
+    Logic.Cq.make ~name:"pay"
+      [ Logic.Term.var "E"; Logic.Term.var "A" ]
+      [ Logic.Atom.make "Pay" [ Logic.Term.var "E"; Logic.Term.var "A" ] ]
+  in
+  Format.printf "@.operational answer probabilities:@.";
+  List.iter
+    (fun (row, p) ->
+      Format.printf "  %-10s %.2f@."
+        (String.concat "," (List.map Value.to_string row))
+        p)
+    (Repairs.Operational.answer_probability ~seed:1 ~samples:400 db schema [ key ] q);
+
+  (* Approximation: bracket the consistent answers without enumerating. *)
+  let engine = Cqa.Engine.create ~schema ~ics:[ key ] db in
+  let b = Cqa.Approx.bounds ~samples:8 engine q in
+  Format.printf "@.approximation: %d surely-consistent, %d possibly-consistent@."
+    (List.length b.Cqa.Approx.under)
+    (List.length b.Cqa.Approx.over);
+
+  (* Incremental maintenance: updates arrive, conflicts are tracked without
+     rescanning. *)
+  let inc = Repairs.Incremental.create db schema [ key ] in
+  let inc, _ = Repairs.Incremental.insert inc (Fact.make "Pay" [ Value.str "eve"; Value.int 6 ]) in
+  Format.printf "@.after inserting Pay(eve, 6): %d conflict edge(s), %d repairs@."
+    (List.length (Repairs.Incremental.graph inc).Constraints.Conflict_graph.edges)
+    (List.length (Repairs.Incremental.s_repairs inc));
+  let names =
+    Repairs.Incremental.consistent_answers inc
+      (Logic.Cq.make ~name:"who" [ Logic.Term.var "E" ]
+         [ Logic.Atom.make "Pay" [ Logic.Term.var "E"; Logic.Term.var "A" ] ])
+  in
+  Format.printf "employees certain after the update: %s@."
+    (String.concat ", " (List.map (fun r -> Value.to_string (List.hd r)) names))

@@ -1,0 +1,179 @@
+(* The survey's Section 8 directions: peer data exchange, classical data
+   exchange with exchange-repairs, inconsistency-tolerant ontologies, data
+   warehouse dimensions, and probabilistic (dirty) databases.
+
+     dune exec examples/beyond_relational.exe
+*)
+
+module Schema = Relational.Schema
+module Instance = Relational.Instance
+module Value = Relational.Value
+module Fact = Relational.Fact
+open Logic
+
+let v = Value.str
+let section title = Format.printf "@.=== %s ===@." title
+
+let () =
+  (* --- peers (Section 4.2) --- *)
+  section "peer data exchange";
+  let cat_schema = Schema.of_list [ ("CatPrice", [ "item"; "price" ]) ] in
+  let store_schema = Schema.of_list [ ("Price", [ "item"; "price" ]) ] in
+  let catalog =
+    {
+      Peers.Peer.name = "catalog";
+      schema = cat_schema;
+      instance =
+        Instance.of_rows cat_schema
+          [ ("CatPrice", [ [ v "I1"; Value.int 10 ]; [ v "I2"; Value.int 20 ] ]) ];
+      ics = [];
+      mappings = [];
+    }
+  in
+  let store =
+    {
+      Peers.Peer.name = "store";
+      schema = store_schema;
+      instance =
+        Instance.of_rows store_schema [ ("Price", [ [ v "I1"; Value.int 12 ] ]) ];
+      ics = [ Constraints.Ic.key ~rel:"Price" [ 0 ] ];
+      mappings =
+        [
+          {
+            Peers.Peer.from_peer = "catalog";
+            query =
+              Cq.make [ Term.var "i"; Term.var "p" ]
+                [ Atom.make "CatPrice" [ Term.var "i"; Term.var "p" ] ];
+            target = "Price";
+            trust = Peers.Peer.More_trusted;
+          };
+        ];
+    }
+  in
+  let net = Peers.Peer.network [ catalog; store ] in
+  let q =
+    Cq.make [ Term.var "i"; Term.var "p" ]
+      [ Atom.make "Price" [ Term.var "i"; Term.var "p" ] ]
+  in
+  Format.printf "store's consistent prices (catalog is more trusted):@.";
+  List.iter
+    (fun row ->
+      Format.printf "  %s@." (String.concat ", " (List.map Value.to_string row)))
+    (Peers.Peer.consistent_answers net "store" q);
+
+  (* --- data exchange (Section 8) --- *)
+  section "data exchange and exchange-repairs";
+  let src_schema = Schema.of_list [ ("DeptMgr", [ "dept"; "mgr" ]) ] in
+  let tgt_schema = Schema.of_list [ ("TDept", [ "dept"; "mgr" ]) ] in
+  let d = Term.var "d" and m = Term.var "m" in
+  let setting =
+    {
+      Exchange.source_schema = src_schema;
+      target_schema = tgt_schema;
+      st_tgds =
+        [
+          Exchange.st_tgd
+            ~body:(Cq.make [ d; m ] [ Atom.make "DeptMgr" [ d; m ] ])
+            ~head:[ Atom.make "TDept" [ d; m ] ];
+        ];
+      egds =
+        [
+          Exchange.egd
+            ~body:
+              [
+                Atom.make "TDept" [ d; Term.var "m1" ];
+                Atom.make "TDept" [ d; Term.var "m2" ];
+              ]
+            "m1" "m2";
+        ];
+      target_ics = [];
+    }
+  in
+  let source =
+    Instance.of_rows src_schema
+      [ ("DeptMgr", [ [ v "cs"; v "carl" ]; [ v "cs"; v "dana" ]; [ v "math"; v "mia" ] ]) ]
+  in
+  (match Exchange.chase setting source with
+  | Exchange.Failed reason -> Format.printf "chase fails: %s@." reason
+  | Exchange.Solution _ -> Format.printf "chase unexpectedly succeeded@.");
+  let certain =
+    Exchange.exchange_repair_certain_answers setting source
+      (Cq.make [ d; m ] [ Atom.make "TDept" [ d; m ] ])
+  in
+  Format.printf "certain over the exchange-repairs:@.";
+  List.iter
+    (fun row ->
+      Format.printf "  %s@." (String.concat ", " (List.map Value.to_string row)))
+    certain;
+
+  (* --- ontologies (Section 8) --- *)
+  section "inconsistency-tolerant ontology (AR / IAR / brave)";
+  let open Ontology in
+  let kb =
+    make
+      ~tbox:
+        [
+          Subsumed (Atomic "Prof", Atomic "Faculty");
+          Disjoint (Atomic "Student", Atomic "Faculty");
+        ]
+      ~abox:
+        [
+          Concept_of ("Prof", "ann");
+          Concept_of ("Student", "ann");
+          Concept_of ("Student", "bob");
+        ]
+  in
+  let q_student =
+    Cq.make [ Term.var "x" ] [ Atom.make "Student" [ Term.var "x" ] ]
+  in
+  List.iter
+    (fun (label, sem) ->
+      let rows = answers kb sem q_student in
+      Format.printf "%-6s students: %s@." label
+        (String.concat ", " (List.map (fun r -> Value.to_string (List.hd r)) rows)))
+    [ ("IAR", IAR); ("AR", AR); ("brave", Brave) ];
+
+  (* --- dimensions (Section 8) --- *)
+  section "data warehouse dimension repair";
+  let open Dimensions.Dimension in
+  let s =
+    schema
+      ~categories:[ "Product"; "Category"; "All" ]
+      ~edges:[ ("Product", "Category"); ("Category", "All") ]
+  in
+  let dirty =
+    {
+      members =
+        [ ("p1", "Product"); ("c1", "Category"); ("c2", "Category"); ("all", "All") ];
+      links = [ ("p1", "c1"); ("p1", "c2"); ("c1", "all"); ("c2", "all") ];
+    }
+  in
+  Format.printf "strict? %b (p1 is classified under two categories)@."
+    (is_consistent s dirty);
+  List.iter
+    (fun r ->
+      List.iter
+        (fun c ->
+          Format.printf "  repair: reclassify %s: %s -> %s@." c.from_elt
+            (Option.value ~default:"(new)" c.old_parent)
+            c.new_parent)
+        r.changes)
+    (repairs s dirty);
+
+  (* --- probabilistic dirty databases (Section 6) --- *)
+  section "clean answers over a dirty (probabilistic) database";
+  let p = Workload.Paper.Employee.instance in
+  let weight tid = if Relational.Tid.to_int tid = 1 then 3.0 else 1.0 in
+  let dirty_db =
+    Probdb.of_key_blocks ~weight p Workload.Paper.Employee.schema
+      [ Workload.Paper.Employee.key ]
+  in
+  List.iter
+    (fun (row, prob) ->
+      Format.printf "  %-12s %.2f@."
+        (String.concat "," (List.map Value.to_string row))
+        prob)
+    (Probdb.answer_probabilities dirty_db Workload.Paper.Employee.full_query);
+  Format.printf "clean answers (p > 0.5): %d rows@."
+    (List.length
+       (Probdb.clean_answers dirty_db Workload.Paper.Employee.full_query))

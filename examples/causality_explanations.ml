@@ -1,0 +1,108 @@
+(* Causality as explanation (paper, Section 7, Examples 7.1-7.4): which
+   tuples caused a query to be true, with what responsibility; the
+   repair connection; attribute-level causes; and the effect of integrity
+   constraints on causes.
+
+     dune exec examples/causality_explanations.exe
+*)
+
+module Value = Relational.Value
+module Schema = Relational.Schema
+module Instance = Relational.Instance
+module Tid = Relational.Tid
+open Logic
+
+let v = Value.str
+
+let () =
+  (* Example 3.5/7.1's database. *)
+  let schema = Schema.of_list [ ("R", [ "a"; "b" ]); ("S", [ "a" ]) ] in
+  let db =
+    Instance.of_rows schema
+      [
+        ("R", [ [ v "a4"; v "a3" ]; [ v "a2"; v "a1" ]; [ v "a3"; v "a3" ] ]);
+        ("S", [ [ v "a4" ]; [ v "a2" ]; [ v "a3" ] ]);
+      ]
+  in
+  let x = Term.var "X" and y = Term.var "Y" in
+  let q =
+    Cq.make ~name:"Q" []
+      [ Atom.make "S" [ x ]; Atom.make "R" [ x; y ]; Atom.make "S" [ y ] ]
+  in
+  Format.printf "Q holds? %b@." (Cq.holds q db);
+
+  (* Tuple-level causes via the repair connection. *)
+  Format.printf "@.actual causes (Example 7.1):@.";
+  List.iter
+    (fun (c : Causality.Cause.t) ->
+      Format.printf "  %a %a  responsibility %.2f  (min contingency %d)@."
+        Tid.pp c.tid Relational.Fact.pp
+        (Instance.fact_of db c.tid)
+        c.responsibility c.min_contingency_size)
+    (Causality.Cause.actual_causes db schema q);
+
+  (* The same through the ASP repair program (Example 7.2). *)
+  Format.printf "@.via repair programs (Example 7.2):@.";
+  List.iter
+    (fun (tid, rho) ->
+      Format.printf "  %a  responsibility %.2f@." Tid.pp tid rho)
+    (Repair_programs.Cause_rules.responsibilities db schema q);
+  Format.printf "CauCon pairs: %s@."
+    (String.concat ", "
+       (List.map
+          (fun (a, b) -> Format.asprintf "(%a,%a)" Tid.pp a Tid.pp b)
+          (Repair_programs.Cause_rules.cau_con_pairs db schema q)));
+
+  (* Attribute-level causes (Example 7.3). *)
+  Format.printf "@.attribute-level causes (Example 7.3):@.";
+  List.iter
+    (fun (c : Causality.Attr_cause.t) ->
+      Format.printf "  %a  responsibility %.2f@." Tid.Cell.pp c.cell
+        c.responsibility)
+    (Causality.Attr_cause.actual_causes db schema q);
+
+  (* Causality under ICs (Example 7.4). *)
+  let schema2 =
+    Schema.of_list
+      [ ("Dep", [ "dname"; "tstaff" ]); ("Course", [ "cname"; "tstaff"; "dname" ]) ]
+  in
+  let db2 =
+    Instance.of_rows schema2
+      [
+        ( "Dep",
+          [
+            [ v "Computing"; v "John" ];
+            [ v "Philosophy"; v "Patrick" ];
+            [ v "Math"; v "Kevin" ];
+          ] );
+        ( "Course",
+          [
+            [ v "COM08"; v "John"; v "Computing" ];
+            [ v "Math01"; v "Kevin"; v "Math" ];
+            [ v "HIST02"; v "Patrick"; v "Philosophy" ];
+            [ v "Math08"; v "Eli"; v "Math" ];
+            [ v "COM01"; v "John"; v "Computing" ];
+          ] );
+      ]
+  in
+  let psi = Constraints.Ic.ind ~sub:("Dep", [ 0; 1 ]) ~sup:("Course", [ 2; 1 ]) in
+  let qa =
+    Cq.make ~name:"QA" [ Term.var "X" ]
+      [
+        Atom.make "Dep" [ Term.var "Y"; Term.var "X" ];
+        Atom.make "Course" [ Term.var "Z"; Term.var "X"; Term.var "Y" ];
+      ]
+  in
+  let john = [ Value.str "John" ] in
+  let report label ics =
+    Format.printf "@.%s:@." label;
+    List.iter
+      (fun (c : Causality.Under_ics.t) ->
+        Format.printf "  %a %a  responsibility %.3f@." Tid.pp c.tid
+          Relational.Fact.pp
+          (Instance.fact_of db2 c.tid)
+          c.responsibility)
+      (Causality.Under_ics.actual_causes db2 schema2 ~ics qa ~answer:john)
+  in
+  report "causes for John without constraints" [];
+  report "causes for John under the inclusion dependency ψ" [ psi ]

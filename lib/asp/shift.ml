@@ -1,0 +1,62 @@
+let rule (r : Syntax.rule) =
+  match r.head with
+  | [] | [ _ ] -> [ r ]
+  | heads ->
+      List.mapi
+        (fun i a ->
+          let others = List.filteri (fun j _ -> j <> i) heads in
+          Syntax.rule ~neg:(r.neg @ others) ~comps:r.comps [ a ] r.pos)
+        heads
+
+let program (t : Syntax.t) =
+  Syntax.program ~weaks:t.weaks (List.concat_map rule t.rules)
+
+module Sset = Set.Make (String)
+
+let is_head_cycle_free (t : Syntax.t) =
+  (* Positive predicate dependencies: head pred -> positive body preds. *)
+  let edges =
+    List.concat_map
+      (fun (r : Syntax.rule) ->
+        List.concat_map
+          (fun (h : Logic.Atom.t) ->
+            List.map (fun (b : Logic.Atom.t) -> (h.rel, b.rel)) r.pos)
+          r.head)
+      t.rules
+  in
+  let reaches =
+    let rec go acc =
+      let acc' =
+        List.fold_left
+          (fun acc (a, b) ->
+            let through =
+              List.filter_map
+                (fun (b', c) -> if String.equal b b' then Some (a, c) else None)
+                acc
+            in
+            List.fold_left
+              (fun acc e -> if List.mem e acc then acc else e :: acc)
+              acc through)
+          acc edges
+      in
+      if List.length acc' = List.length acc then acc else go acc'
+    in
+    go edges
+  in
+  (* Two head atoms are on a common positive cycle when their predicates
+     reach each other (or, for one shared predicate, when it reaches
+     itself). *)
+  let on_common_cycle a b =
+    if String.equal a b then List.mem (a, a) reaches
+    else List.mem (a, b) reaches && List.mem (b, a) reaches
+  in
+  List.for_all
+    (fun (r : Syntax.rule) ->
+      let preds = List.map (fun (h : Logic.Atom.t) -> h.rel) r.head in
+      let rec pairs = function
+        | [] -> true
+        | p :: rest ->
+            List.for_all (fun q -> not (on_common_cycle p q)) rest && pairs rest
+      in
+      pairs preds)
+    t.rules

@@ -1,0 +1,23 @@
+(** The shifting transformation: disjunctive rules into normal
+    (non-disjunctive) ones.
+
+    The paper notes (end of Section 3.3, after [43]) that repair programs
+    for denial constraints "can be transformed into non-disjunctive,
+    unstratified programs".  Shifting replaces
+
+      a1 ∨ ... ∨ ak :- body        by the k rules
+      ai :- body, not a1, ..., not a(i-1), not a(i+1), ..., not ak
+
+    which preserves the stable models exactly for head-cycle-free programs
+    — and repair programs for DCs are head-cycle-free (their head atoms
+    never support each other positively). *)
+
+val rule : Syntax.rule -> Syntax.rule list
+
+val program : Syntax.t -> Syntax.t
+(** Shift every disjunctive rule; weak constraints pass through. *)
+
+val is_head_cycle_free : Syntax.t -> bool
+(** Sufficient syntactic check: no two atoms of one disjunctive head share
+    a predicate with mutual positive dependency through the program's
+    positive bodies. *)

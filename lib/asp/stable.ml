@@ -1,0 +1,96 @@
+module Fact = Relational.Fact
+module Cnf = Sat.Cnf
+module Dpll = Sat.Dpll
+
+type model = Fact.Set.t
+
+(* Classical clauses of the ground rules: body → head becomes
+   ¬pos ∨ neg ∨ head.  In addition, support clauses prune unsupported
+   candidates: in every stable model, a true atom must appear in the head
+   of some rule whose body holds (otherwise removing the atom still models
+   the reduct, contradicting minimality).  One auxiliary variable per rule
+   encodes its body truth; without this, the candidate enumeration would
+   walk an exponential space of models with freely-true derived atoms. *)
+let clauses_of (g : Ground.t) =
+  let cnf = Cnf.create () in
+  Cnf.reserve cnf g.natoms;
+  let supporting = Hashtbl.create 64 in
+  List.iter
+    (fun (r : Ground.rule) ->
+      Cnf.add_clause cnf (r.head @ List.map (fun b -> -b) r.pos @ r.neg);
+      let body_var = Cnf.fresh cnf in
+      (* body_var ↔ (∧ pos ∧ ¬neg) *)
+      List.iter (fun b -> Cnf.add_clause cnf [ -body_var; b ]) r.pos;
+      List.iter (fun c -> Cnf.add_clause cnf [ -body_var; -c ]) r.neg;
+      Cnf.add_clause cnf
+        (body_var :: (List.map (fun b -> -b) r.pos @ r.neg));
+      List.iter
+        (fun h ->
+          Hashtbl.replace supporting h
+            (body_var :: Option.value ~default:[] (Hashtbl.find_opt supporting h)))
+        r.head)
+    g.rules;
+  for a = 1 to g.natoms do
+    let supports = Option.value ~default:[] (Hashtbl.find_opt supporting a) in
+    Cnf.add_clause cnf (-a :: supports)
+  done;
+  cnf
+
+(* Is [m] (as a bool array over atom ids) a minimal model of the reduct
+   P^M?  The reduct keeps rules whose negative body is disjoint from M,
+   stripped of negation; we ask SAT for a model strictly below M. *)
+let is_minimal_model_of_reduct (g : Ground.t) m =
+  let cnf = Cnf.create () in
+  Cnf.reserve cnf g.natoms;
+  List.iter
+    (fun (r : Ground.rule) ->
+      if not (List.exists (fun b -> m.(b)) r.neg) then
+        Cnf.add_clause cnf (r.head @ List.map (fun b -> -b) r.pos))
+    g.rules;
+  let true_atoms = ref [] in
+  for v = 1 to g.natoms do
+    if m.(v) then true_atoms := v :: !true_atoms
+    else Cnf.add_clause cnf [ -v ]
+  done;
+  (* Strictly smaller: some currently-true atom must flip to false. *)
+  match !true_atoms with
+  | [] -> true
+  | ts ->
+      Cnf.add_clause cnf (List.map (fun v -> -v) ts);
+      not (Dpll.satisfiable cnf)
+
+let model_facts (g : Ground.t) m =
+  let acc = ref Fact.Set.empty in
+  for v = 1 to g.natoms do
+    if m.(v) then acc := Fact.Set.add g.atoms.(v) !acc
+  done;
+  !acc
+
+let models_ground g =
+  let cnf = clauses_of g in
+  let candidates = Dpll.enumerate cnf in
+  List.filter_map
+    (fun m ->
+      if is_minimal_model_of_reduct g m then Some (model_facts g m) else None)
+    candidates
+
+let models program edb = models_ground (Ground.ground program edb)
+
+let violation_weight (g : Ground.t) model =
+  let holds id = Fact.Set.mem g.atoms.(id) model in
+  List.fold_left
+    (fun acc (w : Ground.weak) ->
+      if List.for_all holds w.pos && not (List.exists holds w.neg) then
+        acc + w.weight
+      else acc)
+    0 g.weaks
+
+let optimal_models program edb =
+  let g = Ground.ground program edb in
+  let stable = models_ground g in
+  match stable with
+  | [] -> []
+  | _ ->
+      let weighted = List.map (fun m -> (violation_weight g m, m)) stable in
+      let best = List.fold_left (fun acc (w, _) -> min acc w) max_int weighted in
+      List.filter (fun (w, _) -> w = best) weighted

@@ -1,0 +1,75 @@
+module Atom = Logic.Atom
+module Cmp = Logic.Cmp
+
+type rule = {
+  head : Atom.t list;
+  pos : Atom.t list;
+  neg : Atom.t list;
+  comps : Cmp.t list;
+}
+
+type weak = {
+  wpos : Atom.t list;
+  wneg : Atom.t list;
+  wcomps : Cmp.t list;
+  weight : int;
+}
+
+type t = { rules : rule list; weaks : weak list }
+
+let check_safety ~what ~bound needed =
+  List.iter
+    (fun v ->
+      if not (List.mem v bound) then
+        invalid_arg
+          (Printf.sprintf "Asp.Syntax: unsafe %s, variable %s not bound" what v))
+    needed
+
+let rule ?(neg = []) ?(comps = []) head pos =
+  let bound = List.concat_map Atom.vars pos in
+  check_safety ~what:"rule" ~bound
+    (List.concat_map Atom.vars head
+    @ List.concat_map Atom.vars neg
+    @ List.concat_map Cmp.vars comps);
+  { head; pos; neg; comps }
+
+let fact a = rule [ a ] []
+let hard_constraint ?neg ?comps pos = rule ?neg ?comps [] pos
+
+let weak ?(neg = []) ?(comps = []) ?(weight = 1) pos =
+  let bound = List.concat_map Atom.vars pos in
+  check_safety ~what:"weak constraint" ~bound
+    (List.concat_map Atom.vars neg @ List.concat_map Cmp.vars comps);
+  { wpos = pos; wneg = neg; wcomps = comps; weight }
+
+let program ?(weaks = []) rules = { rules; weaks }
+
+let pp_atoms sep =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf sep)
+    Atom.pp
+
+let pp_body ppf (pos, neg, comps) =
+  pp_atoms ", " ppf pos;
+  List.iter (fun a -> Format.fprintf ppf ", not %a" Atom.pp a) neg;
+  List.iter (fun c -> Format.fprintf ppf ", %a" Cmp.pp c) comps
+
+let pp_rule ppf r =
+  (match r.head with
+  | [] -> Format.pp_print_string ppf ":-"
+  | hs ->
+      pp_atoms " ∨ " ppf hs;
+      if r.pos <> [] || r.neg <> [] || r.comps <> [] then
+        Format.pp_print_string ppf " :-");
+  if r.pos <> [] || r.neg <> [] || r.comps <> [] then begin
+    Format.pp_print_string ppf " ";
+    pp_body ppf (r.pos, r.neg, r.comps)
+  end
+
+let pp ppf t =
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_rule ppf t.rules;
+  List.iter
+    (fun w ->
+      Format.fprintf ppf "@,:~ %a [%d]" pp_body (w.wpos, w.wneg, w.wcomps)
+        w.weight)
+    t.weaks

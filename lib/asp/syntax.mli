@@ -1,0 +1,48 @@
+(** Disjunctive logic programs with default negation and weak constraints —
+    the language of the paper's repair programs (Sections 3.3 and 4.1), i.e.
+    the fragment of DLV they need.
+
+    A rule is [h1 ∨ ... ∨ hk :- b1, ..., bn, not c1, ..., not cm, comps];
+    an empty head is a hard constraint.  A weak constraint
+    [:~ body] may be violated, but the total weight of violated ground
+    instances is minimized across stable models (Example 4.2). *)
+
+type rule = {
+  head : Logic.Atom.t list;
+  pos : Logic.Atom.t list;
+  neg : Logic.Atom.t list;
+  comps : Logic.Cmp.t list;
+}
+
+type weak = {
+  wpos : Logic.Atom.t list;
+  wneg : Logic.Atom.t list;
+  wcomps : Logic.Cmp.t list;
+  weight : int;
+}
+
+type t = { rules : rule list; weaks : weak list }
+
+val rule :
+  ?neg:Logic.Atom.t list ->
+  ?comps:Logic.Cmp.t list ->
+  Logic.Atom.t list ->
+  Logic.Atom.t list ->
+  rule
+(** [rule heads body].  Raises [Invalid_argument] on unsafe rules: head,
+    negated and comparison variables must occur in the positive body. *)
+
+val fact : Logic.Atom.t -> rule
+val hard_constraint :
+  ?neg:Logic.Atom.t list -> ?comps:Logic.Cmp.t list -> Logic.Atom.t list -> rule
+
+val weak :
+  ?neg:Logic.Atom.t list ->
+  ?comps:Logic.Cmp.t list ->
+  ?weight:int ->
+  Logic.Atom.t list ->
+  weak
+
+val program : ?weaks:weak list -> rule list -> t
+val pp_rule : Format.formatter -> rule -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,49 @@
+module Tid = Relational.Tid
+module Ic = Constraints.Ic
+
+type t = {
+  cell : Tid.Cell.t;
+  responsibility : float;
+  min_contingency_size : int;
+}
+
+let kappa (q : Logic.Cq.t) =
+  Ic.denial ~name:("kappa_" ^ q.name) ~comps:q.comps q.body
+
+let actual_causes inst schema q =
+  if not (Logic.Cq.holds q inst) then []
+  else
+    let repairs = Repairs.Attr_repair.enumerate inst schema [ kappa q ] in
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun (r : Repairs.Attr_repair.t) ->
+        let size = Tid.Cell.Set.cardinal r.changes in
+        Tid.Cell.Set.iter
+          (fun cell ->
+            match Hashtbl.find_opt tbl cell with
+            | Some best when best <= size - 1 -> ()
+            | _ -> Hashtbl.replace tbl cell (size - 1))
+          r.changes)
+      repairs;
+    Hashtbl.fold
+      (fun cell gamma acc ->
+        {
+          cell;
+          responsibility = 1.0 /. float_of_int (1 + gamma);
+          min_contingency_size = gamma;
+        }
+        :: acc)
+      tbl []
+    |> List.sort (fun a b -> Tid.Cell.compare a.cell b.cell)
+
+let counterfactual_causes inst schema q =
+  List.filter_map
+    (fun c -> if c.min_contingency_size = 0 then Some c.cell else None)
+    (actual_causes inst schema q)
+
+let responsibility inst schema q cell =
+  match
+    List.find_opt (fun c -> Tid.Cell.equal c.cell cell) (actual_causes inst schema q)
+  with
+  | Some c -> c.responsibility
+  | None -> 0.0

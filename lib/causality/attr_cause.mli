@@ -1,0 +1,25 @@
+(** Attribute-level causes (paper, Section 7.1, Example 7.3).
+
+    Causes are cells [tid[pos]] rather than whole tuples, obtained from the
+    attribute-level null-based repairs of Section 4.3: a cell is a
+    counterfactual cause when changing it alone to NULL falsifies the
+    query, and an actual cause with contingency Γ (a set of cells) when
+    {cell} ∪ Γ is a minimal change set. *)
+
+type t = {
+  cell : Relational.Tid.Cell.t;
+  responsibility : float;
+  min_contingency_size : int;
+}
+
+val actual_causes :
+  Relational.Instance.t -> Relational.Schema.t -> Logic.Cq.t -> t list
+(** Empty when the query is false in the instance. *)
+
+val counterfactual_causes :
+  Relational.Instance.t -> Relational.Schema.t -> Logic.Cq.t ->
+  Relational.Tid.Cell.t list
+
+val responsibility :
+  Relational.Instance.t -> Relational.Schema.t -> Logic.Cq.t ->
+  Relational.Tid.Cell.t -> float

@@ -1,0 +1,60 @@
+module Instance = Relational.Instance
+module Tid = Relational.Tid
+
+let endogenous_tids ?(exogenous = Tid.Set.empty) inst =
+  Tid.Set.elements (Tid.Set.diff (Instance.tids inst) exogenous)
+
+let restrict_to inst keep =
+  Instance.restrict inst keep
+
+(* P(Q | τ fixed present) and P(Q | τ fixed absent) under the uniform
+   sub-instance distribution of the other endogenous tuples. *)
+let exact ?(exogenous = Tid.Set.empty) inst q tau =
+  let others =
+    List.filter
+      (fun t -> not (Tid.equal t tau))
+      (endogenous_tids ~exogenous inst)
+  in
+  let n = List.length others in
+  if n > 20 then
+    invalid_arg "Causal_effect.exact: too many endogenous tuples (use sampled)";
+  let arr = Array.of_list others in
+  let total = 1 lsl n in
+  let with_tau = ref 0 and without_tau = ref 0 in
+  for mask = 0 to total - 1 do
+    let keep = ref exogenous in
+    for i = 0 to n - 1 do
+      if mask land (1 lsl i) <> 0 then keep := Tid.Set.add arr.(i) !keep
+    done;
+    let base = !keep in
+    if Logic.Cq.holds q (restrict_to inst (Tid.Set.add tau base)) then
+      incr with_tau;
+    if Logic.Cq.holds q (restrict_to inst base) then incr without_tau
+  done;
+  float_of_int (!with_tau - !without_tau) /. float_of_int total
+
+let sampled ?(exogenous = Tid.Set.empty) ?(seed = 0) ?(samples = 2000) inst q tau =
+  let rng = Random.State.make [| seed |] in
+  let others =
+    List.filter
+      (fun t -> not (Tid.equal t tau))
+      (endogenous_tids ~exogenous inst)
+  in
+  let with_tau = ref 0 and without_tau = ref 0 in
+  for _ = 1 to samples do
+    let base =
+      List.fold_left
+        (fun acc t -> if Random.State.bool rng then Tid.Set.add t acc else acc)
+        exogenous others
+    in
+    if Logic.Cq.holds q (restrict_to inst (Tid.Set.add tau base)) then
+      incr with_tau;
+    if Logic.Cq.holds q (restrict_to inst base) then incr without_tau
+  done;
+  float_of_int (!with_tau - !without_tau) /. float_of_int samples
+
+let ranking ?(exogenous = Tid.Set.empty) inst q =
+  endogenous_tids ~exogenous inst
+  |> List.map (fun t -> (t, exact ~exogenous inst q t))
+  |> List.sort (fun (t1, a) (t2, b) ->
+         match Float.compare b a with 0 -> Tid.compare t1 t2 | c -> c)

@@ -1,0 +1,40 @@
+(** Causal effect of a tuple on a query answer — the alternative to
+    responsibility the paper points to (Section 7; Salimi–Bertossi–Suciu–
+    Van den Broeck [102]).
+
+    Make every endogenous tuple independently present with probability ½
+    (a uniform sub-instance distribution); the causal effect of τ on a
+    monotone Boolean query Q is
+
+      CE(τ) = P(Q | τ present) − P(Q | τ absent),
+
+    a value in [0, 1] for monotone queries: 0 means τ is irrelevant, 1
+    means τ is decisive in every context. *)
+
+val exact :
+  ?exogenous:Relational.Tid.Set.t ->
+  Relational.Instance.t ->
+  Logic.Cq.t ->
+  Relational.Tid.t ->
+  float
+(** Exact computation by enumerating the 2^n sub-instances of the
+    endogenous tuples; raises [Invalid_argument] beyond 20 endogenous
+    tuples.  [exogenous] tuples are always present. *)
+
+val sampled :
+  ?exogenous:Relational.Tid.Set.t ->
+  ?seed:int ->
+  ?samples:int ->
+  Relational.Instance.t ->
+  Logic.Cq.t ->
+  Relational.Tid.t ->
+  float
+(** Monte Carlo estimate ([samples] defaults to 2000). *)
+
+val ranking :
+  ?exogenous:Relational.Tid.Set.t ->
+  Relational.Instance.t ->
+  Logic.Cq.t ->
+  (Relational.Tid.t * float) list
+(** All endogenous tuples with their exact causal effects, strongest
+    first. *)

@@ -1,0 +1,125 @@
+module Instance = Relational.Instance
+module Tid = Relational.Tid
+module Ic = Constraints.Ic
+
+type t = {
+  tid : Tid.t;
+  responsibility : float;
+  min_contingency_size : int;
+  a_min_contingency : Tid.Set.t;
+}
+
+let holds (q : Logic.Cq.t) inst = Logic.Cq.holds q inst
+
+let kappa (q : Logic.Cq.t) =
+  Ic.denial ~name:("kappa_" ^ q.name) ~comps:q.comps q.body
+
+(* Minimal deletion sets = deltas of the S-repairs wrt κ(Q). *)
+let minimal_deletion_sets inst schema q =
+  let repairs = Repairs.S_repair.enumerate inst schema [ kappa q ] in
+  List.map
+    (fun (r : Repairs.Repair.t) ->
+      Relational.Fact.Set.fold
+        (fun f acc ->
+          match Instance.tid_of inst f with
+          | Some tid -> Tid.Set.add tid acc
+          | None -> acc)
+        r.deleted Tid.Set.empty)
+    repairs
+
+let actual_causes inst schema q =
+  if not (holds q inst) then []
+  else
+    let deletions = minimal_deletion_sets inst schema q in
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun dset ->
+        let size = Tid.Set.cardinal dset in
+        Tid.Set.iter
+          (fun tid ->
+            let gamma = Tid.Set.remove tid dset in
+            match Hashtbl.find_opt tbl tid with
+            | Some (best, _) when best <= size - 1 -> ()
+            | _ -> Hashtbl.replace tbl tid (size - 1, gamma))
+          dset)
+      deletions;
+    Hashtbl.fold
+      (fun tid (gamma_size, gamma) acc ->
+        {
+          tid;
+          responsibility = 1.0 /. float_of_int (1 + gamma_size);
+          min_contingency_size = gamma_size;
+          a_min_contingency = gamma;
+        }
+        :: acc)
+      tbl []
+    |> List.sort (fun a b -> Tid.compare a.tid b.tid)
+
+let counterfactual_causes inst schema q =
+  List.filter_map
+    (fun c -> if c.min_contingency_size = 0 then Some c.tid else None)
+    (actual_causes inst schema q)
+
+let responsibility inst schema q tid =
+  match List.find_opt (fun c -> Tid.equal c.tid tid) (actual_causes inst schema q) with
+  | Some c -> c.responsibility
+  | None -> 0.0
+
+let is_actual_cause inst schema q tid = responsibility inst schema q tid > 0.0
+
+let most_responsible inst schema q =
+  match actual_causes inst schema q with
+  | [] -> []
+  | causes ->
+      let best =
+        List.fold_left (fun m c -> Float.max m c.responsibility) 0.0 causes
+      in
+      List.filter_map
+        (fun c -> if c.responsibility = best then Some c.tid else None)
+        causes
+
+(* Smallest-first direct search: for k = 0, 1, ... try every deletion set Γ
+   of size k; a tuple τ with holds(D∖Γ) and ¬holds(D∖(Γ∪{τ})) is a cause
+   with responsibility 1/(1+k).  Once a tuple is witnessed at size k it is
+   never improved later, so the loop stops when all tuples are decided or
+   subsets are exhausted. *)
+let generic_actual_causes ~holds inst =
+  if not (holds inst) then []
+  else begin
+    let tids = Tid.Set.elements (Instance.tids inst) in
+    let n = List.length tids in
+    let found = Hashtbl.create 16 in
+    let rec subsets k pool =
+      if k = 0 then [ [] ]
+      else
+        match pool with
+        | [] -> []
+        | x :: rest ->
+            List.map (fun s -> x :: s) (subsets (k - 1) rest) @ subsets k rest
+    in
+    for k = 0 to n - 1 do
+      if Hashtbl.length found < n then
+        List.iter
+          (fun gamma ->
+            let gamma_set = Tid.Set.of_list gamma in
+            let without_gamma = Instance.restrict inst (Tid.Set.diff (Instance.tids inst) gamma_set) in
+            if holds without_gamma then
+              List.iter
+                (fun tid ->
+                  if (not (Tid.Set.mem tid gamma_set)) && not (Hashtbl.mem found tid)
+                  then
+                    let without_tau = Instance.delete without_gamma tid in
+                    if not (holds without_tau) then
+                      Hashtbl.replace found tid
+                        {
+                          tid;
+                          responsibility = 1.0 /. float_of_int (1 + k);
+                          min_contingency_size = k;
+                          a_min_contingency = gamma_set;
+                        })
+                tids)
+          (subsets k tids)
+    done;
+    Hashtbl.fold (fun _ c acc -> c :: acc) found []
+    |> List.sort (fun a b -> Tid.compare a.tid b.tid)
+  end

@@ -1,0 +1,59 @@
+(** Causality for query answers (paper, Section 7; Meliou et al. [91],
+    Bertossi–Salimi [26]).
+
+    A tuple τ is a {e counterfactual cause} for a Boolean query Q true in D
+    when D∖{τ} ⊭ Q, and an {e actual cause} when some contingency set
+    Γ ⊆ D makes it counterfactual in D∖Γ.  The responsibility of τ is
+    1/(1+|Γ|) for the smallest such Γ.
+
+    Computation uses the repair connection (Section 7): the S-repairs of D
+    wrt. the denial κ(Q) = ¬Q are exactly the complements of the minimal
+    deletion sets; τ is an actual cause with minimal contingency Γ iff
+    D∖(Γ∪{τ}) is an S-repair, and C-repairs give the most responsible
+    causes. *)
+
+type t = {
+  tid : Relational.Tid.t;
+  responsibility : float;
+  min_contingency_size : int;
+  a_min_contingency : Relational.Tid.Set.t;
+      (** One witnessing minimal contingency set of that size. *)
+}
+
+val holds : Logic.Cq.t -> Relational.Instance.t -> bool
+(** Truth of the (Boolean reading of the) query. *)
+
+val actual_causes :
+  Relational.Instance.t -> Relational.Schema.t -> Logic.Cq.t -> t list
+(** All actual causes for Q being true in D, sorted by tid.  Empty when
+    D ⊭ Q. *)
+
+val counterfactual_causes :
+  Relational.Instance.t -> Relational.Schema.t -> Logic.Cq.t ->
+  Relational.Tid.t list
+(** Causes of responsibility 1. *)
+
+val responsibility :
+  Relational.Instance.t -> Relational.Schema.t -> Logic.Cq.t ->
+  Relational.Tid.t -> float
+(** 0. when the tuple is not an actual cause. *)
+
+val is_actual_cause :
+  Relational.Instance.t -> Relational.Schema.t -> Logic.Cq.t ->
+  Relational.Tid.t -> bool
+
+val most_responsible :
+  Relational.Instance.t -> Relational.Schema.t -> Logic.Cq.t ->
+  Relational.Tid.t list
+(** The MRACs — causes achieving the maximum responsibility; they are the
+    tuples deleted by C-repairs. *)
+
+val generic_actual_causes :
+  holds:(Relational.Instance.t -> bool) ->
+  Relational.Instance.t ->
+  t list
+(** Direct-definition computation for an arbitrary monotone Boolean query
+    (e.g. a Datalog query, for which the paper notes causality can be
+    NP-hard): smallest-first search over deletion sets.  Exponential in the
+    instance size; intended for small instances and as a differential
+    oracle. *)

@@ -1,0 +1,37 @@
+(** Causality in the presence of integrity constraints (paper, Section 7.2,
+    Example 7.4; Bertossi–Salimi [27]).
+
+    The instance is assumed consistent wrt. Σ.  A tuple τ is an actual
+    cause for the answer ā of a monotone query Q under Σ with contingency
+    Γ when (a) D∖Γ ⊨ Σ, (b) ā ∈ Q(D∖Γ), (c) D∖(Γ∪{τ}) ⊨ Σ and
+    (d) ā ∉ Q(D∖(Γ∪{τ})).
+
+    Deciding causality under ICs is NP-complete already for CQs with one
+    inclusion dependency (the paper cites [27]), so the computation is a
+    smallest-first exhaustive search over contingency sets — exact on the
+    small instances it is meant for. *)
+
+type t = {
+  tid : Relational.Tid.t;
+  responsibility : float;
+  min_contingency_size : int;
+  a_min_contingency : Relational.Tid.Set.t;
+}
+
+val actual_causes :
+  Relational.Instance.t ->
+  Relational.Schema.t ->
+  ics:Constraints.Ic.t list ->
+  Logic.Cq.t ->
+  answer:Relational.Value.t list ->
+  t list
+(** Raises [Invalid_argument] if D violates Σ or ā is not an answer. *)
+
+val responsibility :
+  Relational.Instance.t ->
+  Relational.Schema.t ->
+  ics:Constraints.Ic.t list ->
+  Logic.Cq.t ->
+  answer:Relational.Value.t list ->
+  Relational.Tid.t ->
+  float

@@ -1,0 +1,86 @@
+module Instance = Relational.Instance
+module Schema = Relational.Schema
+module Tid = Relational.Tid
+module Value = Relational.Value
+module Ic = Constraints.Ic
+module Violation = Constraints.Violation
+
+type change = { cell : Tid.Cell.t; old_value : Value.t; new_value : Value.t }
+
+type result = { cleaned : Instance.t; changes : change list; cost : int }
+
+let check_supported ics =
+  List.iter
+    (fun ic ->
+      match ic with
+      | Ic.Fd _ | Ic.Key _ | Ic.Cfd _ -> ()
+      | Ic.Denial _ | Ic.Ind _ ->
+          invalid_arg
+            (Printf.sprintf "Cost_clean.clean: unsupported constraint %s"
+               (Ic.name ic)))
+    ics
+
+(* The determined (right-hand side) positions of the constraint owning a
+   violation witness, recovered from its name tag "...#<pos>...". *)
+let rhs_of_name name =
+  match String.index_opt name '#' with
+  | None -> None
+  | Some i ->
+      let rest = String.sub name (i + 1) (String.length name - i - 1) in
+      let digits = String.to_seq rest |> Seq.take_while (fun c -> c >= '0' && c <= '9') in
+      let s = String.of_seq digits in
+      if s = "" then None else Some (int_of_string s)
+
+(* Majority value at one position among the tuples agreeing with [tid] on
+   the witness's other tuple — approximated as: among all tuples of the
+   relation sharing the violated group we just take the two tuples of the
+   witness and prefer the value with more total occurrences at that
+   position in the relation. *)
+let support_count inst rel pos v =
+  List.fold_left
+    (fun acc row -> if Value.equal row.(pos) v then acc + 1 else acc)
+    0
+    (Instance.rows inst ~rel)
+
+let resolve inst (w : Violation.witness) pos =
+  match Tid.Set.elements w.tids with
+  | [ t1; t2 ] ->
+      let f1 = Instance.fact_of inst t1 and f2 = Instance.fact_of inst t2 in
+      let v1 = f1.Relational.Fact.row.(pos) and v2 = f2.Relational.Fact.row.(pos) in
+      let s1 = support_count inst f1.Relational.Fact.rel pos v1 in
+      let s2 = support_count inst f2.Relational.Fact.rel pos v2 in
+      (* Overwrite the less-supported side with the better-supported
+         value; ties go to the first tuple's value. *)
+      let loser, winner_value, old_value =
+        if s1 >= s2 then (t2, v1, v2) else (t1, v2, v1)
+      in
+      Some (Tid.Cell.make loser (pos + 1), old_value, winner_value)
+  | [ t ] ->
+      (* Single-tuple CFD violation: the pattern forces a constant; lacking
+         better evidence, blank the offending cell. *)
+      let f = Instance.fact_of inst t in
+      Some (Tid.Cell.make t (pos + 1), f.Relational.Fact.row.(pos), Value.Null)
+  | _ -> None
+
+let clean ?(max_rounds = 10) inst schema ics =
+  check_supported ics;
+  let rec loop inst changes round =
+    if round >= max_rounds then (inst, changes)
+    else
+      let witnesses = Violation.all inst schema ics in
+      match witnesses with
+      | [] -> (inst, changes)
+      | w :: _ -> (
+          match rhs_of_name w.ic_name with
+          | None -> (inst, changes)
+          | Some pos -> (
+              match resolve inst w pos with
+              | None -> (inst, changes)
+              | Some (cell, old_value, new_value) ->
+                  let inst = Instance.update_cell inst cell new_value in
+                  loop inst
+                    ({ cell; old_value; new_value } :: changes)
+                    (round + 1)))
+  in
+  let cleaned, changes = loop inst [] 0 in
+  { cleaned; changes = List.rev changes; cost = List.length changes }

@@ -1,0 +1,31 @@
+(** Cost-based heuristic cleaning by value modification (paper, Section 6;
+    Bohannon et al. [31]'s approach in spirit).
+
+    Instead of exploring all repairs, produce {e one} clean instance by
+    greedily resolving FD/CFD violations: for each violating pair, the
+    right-hand-side cell of the less-supported tuple is overwritten with
+    the majority value among its key group (falling back to NULL when there
+    is no majority — the attribute-level null repair of Section 4.3).
+    Returns the cleaned instance with the change log and its total cost
+    (number of modified cells). *)
+
+type change = {
+  cell : Relational.Tid.Cell.t;
+  old_value : Relational.Value.t;
+  new_value : Relational.Value.t;
+}
+
+type result = {
+  cleaned : Relational.Instance.t;
+  changes : change list;
+  cost : int;
+}
+
+val clean :
+  ?max_rounds:int ->
+  Relational.Instance.t ->
+  Relational.Schema.t ->
+  Constraints.Ic.t list ->
+  result
+(** Raises [Invalid_argument] on constraints that are not FDs, keys or
+    CFDs.  [max_rounds] (default 10) bounds the resolve-recheck loop. *)

@@ -1,0 +1,49 @@
+module Instance = Relational.Instance
+module Tid = Relational.Tid
+module Value = Relational.Value
+module Ic = Constraints.Ic
+
+type t = {
+  secured : Instance.t list;
+  changes : Tid.Cell.Set.t list;
+}
+
+let view_denial (q : Logic.Cq.t) =
+  Ic.denial ~name:("secrecy_" ^ q.Logic.Cq.name) ~comps:q.Logic.Cq.comps
+    q.Logic.Cq.body
+
+let hide inst schema ~views =
+  let ics = List.map view_denial views in
+  let repairs = Repairs.Attr_repair.enumerate inst schema ics in
+  if repairs = [] && not (Constraints.Violation.is_consistent inst schema ics)
+  then
+    invalid_arg
+      "Privacy.hide: some secrecy view cannot be emptied by NULL updates";
+  match repairs with
+  | [] -> { secured = [ inst ]; changes = [ Tid.Cell.Set.empty ] }
+  | _ ->
+      {
+        secured = List.map (fun (r : Repairs.Attr_repair.t) -> r.repaired) repairs;
+        changes = List.map (fun (r : Repairs.Attr_repair.t) -> r.changes) repairs;
+      }
+
+module Rows = Set.Make (struct
+  type t = Value.t list
+
+  let compare = List.compare Value.compare
+end)
+
+let secret_answers t q =
+  match t.secured with
+  | [] -> []
+  | first :: rest ->
+      let answers inst = Rows.of_list (Logic.Cq.answers q inst) in
+      Rows.elements
+        (List.fold_left
+           (fun acc inst -> Rows.inter acc (answers inst))
+           (answers first) rest)
+
+let leaks t ~views =
+  List.exists
+    (fun inst -> List.exists (fun v -> Logic.Cq.holds v inst) views)
+    t.secured

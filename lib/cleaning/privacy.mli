@@ -1,0 +1,33 @@
+(** Data privacy through secrecy views and null-based virtual updates
+    (paper, Section 4.3; Bertossi–Li [24]).
+
+    A secrecy view is a conjunctive query whose contents must be hidden.
+    The database is {e virtually} updated — attribute values minimally
+    changed to NULL — so the view becomes empty (NULL cannot satisfy the
+    view's joins or selections), which is exactly an attribute-level repair
+    wrt. the denial constraint "the view is empty".  User queries are then
+    answered against the class of secured instances: the certain answers
+    reveal nothing about the protected view. *)
+
+type t = {
+  secured : Relational.Instance.t list;
+      (** The minimal virtually-updated instances. *)
+  changes : Relational.Tid.Cell.Set.t list;
+}
+
+val hide :
+  Relational.Instance.t ->
+  Relational.Schema.t ->
+  views:Logic.Cq.t list ->
+  t
+(** Raises [Invalid_argument] if some view cannot be emptied by NULL
+    updates (e.g. a view with no join, comparison or constant). *)
+
+val secret_answers :
+  t -> Logic.Cq.t -> Relational.Value.t list list
+(** Certain answers over the secured instances. *)
+
+val leaks :
+  t -> views:Logic.Cq.t list -> bool
+(** Does any secured instance still expose a view tuple?  Always [false]
+    for the instances produced by [hide]; exposed for testing. *)

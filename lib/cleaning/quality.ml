@@ -1,0 +1,46 @@
+module Value = Relational.Value
+
+module Rows = Map.Make (struct
+  type t = Value.t list
+
+  let compare = List.compare Value.compare
+end)
+
+let support inst schema ics q =
+  let repairs = Repairs.S_repair.enumerate inst schema ics in
+  let n = List.length repairs in
+  let counts =
+    List.fold_left
+      (fun acc (r : Repairs.Repair.t) ->
+        List.fold_left
+          (fun acc row ->
+            Rows.update row
+              (fun c -> Some (1 + Option.value ~default:0 c))
+              acc)
+          acc
+          (Logic.Cq.answers q r.repaired))
+      Rows.empty repairs
+  in
+  (n, counts)
+
+let quality_answers inst schema ics q =
+  let n, counts = support inst schema ics q in
+  Rows.fold (fun row c acc -> if c = n then row :: acc else acc) counts []
+  |> List.rev
+
+let answer_frequencies inst schema ics q =
+  let n, counts = support inst schema ics q in
+  if n = 0 then []
+  else
+    Rows.fold
+      (fun row c acc -> (row, float_of_int c /. float_of_int n) :: acc)
+      counts []
+    |> List.sort (fun (r1, f1) (r2, f2) ->
+           match Float.compare f2 f1 with
+           | 0 -> List.compare Value.compare r1 r2
+           | c -> c)
+
+let majority_answers inst schema ics q =
+  let n, counts = support inst schema ics q in
+  Rows.fold (fun row c acc -> if 2 * c > n then row :: acc else acc) counts []
+  |> List.rev

@@ -1,0 +1,34 @@
+(** Data quality through repairs (paper, Section 6).
+
+    Quality concerns are expressed as constraints — typically CFDs — and the
+    quality data is what persists across the repairs: {e quality answers}
+    are the consistent answers wrt. those constraints.  Beyond certain
+    (all-repairs) answers, the module offers the relaxations the paper
+    mentions for data cleaning: majority answers (true in more than half of
+    the repairs) and answer frequencies, a poor man's probabilistic
+    semantics with the uniform distribution over repairs. *)
+
+val quality_answers :
+  Relational.Instance.t ->
+  Relational.Schema.t ->
+  Constraints.Ic.t list ->
+  Logic.Cq.t ->
+  Relational.Value.t list list
+(** Certain answers over all S-repairs of the quality constraints. *)
+
+val answer_frequencies :
+  Relational.Instance.t ->
+  Relational.Schema.t ->
+  Constraints.Ic.t list ->
+  Logic.Cq.t ->
+  (Relational.Value.t list * float) list
+(** Each possible answer with the fraction of repairs supporting it,
+    most-supported first. *)
+
+val majority_answers :
+  Relational.Instance.t ->
+  Relational.Schema.t ->
+  Constraints.Ic.t list ->
+  Logic.Cq.t ->
+  Relational.Value.t list list
+(** Answers supported by strictly more than half of the repairs. *)

@@ -1,0 +1,50 @@
+(** Probabilistic-signal data cleaning, in the spirit of HoloClean (paper,
+    Section 6: "holistic data repairs with probabilistic inference" [98],
+    and the probabilistic cleaning direction of [52]).
+
+    For every cell implicated in an FD/key/CFD violation, candidate
+    corrections are scored by combining independent signals:
+
+    - {b block majority}: how often the candidate appears among the tuples
+      agreeing on the constraint's left-hand side;
+    - {b co-occurrence}: how often the candidate co-occurs with the tuple's
+      other attribute values across the relation.
+
+    Each suggestion carries a confidence in (0, 1]; [apply] enforces the
+    suggestions above a threshold and re-checks, so low-confidence cells
+    are left for a human (the HoloClean workflow). *)
+
+type suggestion = {
+  cell : Relational.Tid.Cell.t;
+  current : Relational.Value.t;
+  proposed : Relational.Value.t;
+  confidence : float;
+}
+
+val suggest :
+  Relational.Instance.t ->
+  Relational.Schema.t ->
+  Constraints.Ic.t list ->
+  suggestion list
+(** Suggestions for all current violations, highest confidence first.
+    Raises [Invalid_argument] on constraints other than keys, FDs and
+    CFDs. *)
+
+type outcome = {
+  cleaned : Relational.Instance.t;
+  applied : suggestion list;
+  skipped : suggestion list;  (** below the confidence threshold *)
+  consistent : bool;  (** all violations resolved? *)
+}
+
+val apply :
+  ?min_confidence:float ->
+  ?max_rounds:int ->
+  Relational.Instance.t ->
+  Relational.Schema.t ->
+  Constraints.Ic.t list ->
+  outcome
+(** Iteratively apply suggestions with confidence at least
+    [min_confidence] (default 0.6); stops when consistent, when only
+    low-confidence suggestions remain, or after [max_rounds] (default
+    10). *)

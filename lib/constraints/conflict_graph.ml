@@ -1,0 +1,51 @@
+module Tid = Relational.Tid
+module Instance = Relational.Instance
+
+type t = { vertices : Tid.Set.t; edges : Tid.Set.t list }
+
+module Tidset_set = Set.Make (Tid.Set)
+
+let build inst schema ics =
+  List.iter
+    (fun ic ->
+      if not (Ic.is_denial_class ic) then
+        invalid_arg
+          (Printf.sprintf
+             "Conflict_graph.build: %s is not a denial-class constraint"
+             (Ic.name ic)))
+    ics;
+  let witnesses = Violation.all inst schema ics in
+  let edges =
+    List.fold_left
+      (fun acc (w : Violation.witness) -> Tidset_set.add w.tids acc)
+      Tidset_set.empty witnesses
+  in
+  { vertices = Instance.tids inst; edges = Tidset_set.elements edges }
+
+let edges_as_int_lists t =
+  List.map
+    (fun e -> List.map Tid.to_int (Tid.Set.elements e))
+    t.edges
+
+let degree t tid =
+  List.length (List.filter (fun e -> Tid.Set.mem tid e) t.edges)
+
+let conflicting_tids t =
+  List.fold_left Tid.Set.union Tid.Set.empty t.edges
+
+let is_independent t set =
+  not (List.exists (fun e -> Tid.Set.subset e set) t.edges)
+
+let pp ppf t =
+  Format.fprintf ppf "vertices: {%a}@,edges:@,%a"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Tid.pp)
+    (Tid.Set.elements t.vertices)
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun ppf e ->
+         Format.fprintf ppf "  {%a}"
+           (Format.pp_print_list
+              ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+              Tid.pp)
+           (Tid.Set.elements e)))
+    t.edges

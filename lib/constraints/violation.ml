@@ -1,0 +1,99 @@
+module Instance = Relational.Instance
+module Tid = Relational.Tid
+module Value = Relational.Value
+module Tvl = Relational.Tvl
+module Binding = Logic.Binding
+module Cq = Logic.Cq
+
+type witness = {
+  ic_name : string;
+  tids : Tid.Set.t;
+  binding : Binding.t;
+  matched : (Tid.t * Logic.Atom.t) list;
+}
+
+module Tidset_set = Set.Make (Tid.Set)
+
+let of_denial inst (d : Ic.denial) =
+  let cmp_ready env c = List.for_all (Binding.mem env) (Logic.Cmp.vars c) in
+  let rec search env matched atoms comps acc =
+    let ready, pending = List.partition (cmp_ready env) comps in
+    if
+      not
+        (List.for_all (fun c -> Tvl.to_bool (Binding.eval_cmp env c)) ready)
+    then acc
+    else
+      match atoms with
+      | [] -> (env, List.rev matched) :: acc
+      | a :: rest ->
+          List.fold_left
+            (fun acc (tid, row) ->
+              match Cq.match_row env a row with
+              | Some env' -> search env' ((tid, a) :: matched) rest pending acc
+              | None -> acc)
+            acc
+            (Instance.tuples inst ~rel:a.Logic.Atom.rel)
+  in
+  let raw = search Binding.empty [] d.atoms d.comps [] in
+  (* Distinct tid sets only: symmetric constraint bodies (e.g. an FD's two
+     atoms) produce each conflict once per automorphism. *)
+  let _, witnesses =
+    List.fold_left
+      (fun (seen, ws) (binding, matched) ->
+        let tids =
+          List.fold_left
+            (fun acc (tid, _) -> Tid.Set.add tid acc)
+            Tid.Set.empty matched
+        in
+        if Tidset_set.mem tids seen then (seen, ws)
+        else
+          ( Tidset_set.add tids seen,
+            { ic_name = d.name; tids; binding; matched } :: ws ))
+      (Tidset_set.empty, []) raw
+  in
+  List.rev witnesses
+
+let of_ind inst (i : Ic.ind) =
+  let sub_rel, sub_ps = i.Ic.sub and sup_rel, sup_ps = i.Ic.sup in
+  let project ps (row : Value.t array) = List.map (fun p -> row.(p)) ps in
+  let sup_keys =
+    List.fold_left
+      (fun acc row -> project sup_ps row :: acc)
+      []
+      (Instance.rows inst ~rel:sup_rel)
+  in
+  List.filter_map
+    (fun (tid, row) ->
+      let k = project sub_ps row in
+      if
+        List.exists Value.is_null k
+        || List.exists (fun k' -> List.for_all2 Value.equal k k') sup_keys
+      then None
+      else Some tid)
+    (Instance.tuples inst ~rel:sub_rel)
+
+let of_ic inst schema ic =
+  match ic with
+  | Ic.Ind i ->
+      List.map
+        (fun tid ->
+          {
+            ic_name = Ic.name ic;
+            tids = Tid.Set.singleton tid;
+            binding = Binding.empty;
+            matched = [];
+          })
+        (of_ind inst i)
+  | _ ->
+      let denials = Option.get (Ic.to_denials schema ic) in
+      List.concat_map (of_denial inst) denials
+
+let all inst schema ics = List.concat_map (of_ic inst schema) ics
+let is_consistent inst schema ics = all inst schema ics = []
+
+let pp_witness ppf w =
+  Format.fprintf ppf "%s: {%a}" w.ic_name
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Tid.pp)
+    (Tid.Set.elements w.tids)

@@ -1,0 +1,34 @@
+(** Violation detection with tuple-level witnesses.
+
+    A witness records which tuples (tids) jointly violate a constraint —
+    exactly the hyperedges of the conflict hypergraph (paper, Figure 1). *)
+
+type witness = {
+  ic_name : string;
+  tids : Relational.Tid.Set.t;
+  binding : Logic.Binding.t;
+  matched : (Relational.Tid.t * Logic.Atom.t) list;
+      (** Which tuple matched which body atom, in body order (needed by
+          attribute-level repairs to locate the cells that can break the
+          violation).  Empty for IND witnesses. *)
+}
+
+val of_denial : Relational.Instance.t -> Ic.denial -> witness list
+(** All distinct violating tuple sets of one denial constraint. *)
+
+val of_ind : Relational.Instance.t -> Ic.ind -> Relational.Tid.t list
+(** Tids of sub-relation tuples with no matching sup-relation tuple. *)
+
+val of_ic :
+  Relational.Instance.t -> Relational.Schema.t -> Ic.t -> witness list
+(** Witnesses for any constraint; an IND violation is a singleton witness
+    for the dangling tuple (deleting it is one way to restore consistency;
+    inserting a matching tuple is the other — see lib/repairs). *)
+
+val all :
+  Relational.Instance.t -> Relational.Schema.t -> Ic.t list -> witness list
+
+val is_consistent :
+  Relational.Instance.t -> Relational.Schema.t -> Ic.t list -> bool
+
+val pp_witness : Format.formatter -> witness -> unit

@@ -1,0 +1,34 @@
+module Value = Relational.Value
+
+module Rows = Set.Make (struct
+  type t = Value.t list
+
+  let compare = List.compare Value.compare
+end)
+
+let under_approximation (t : Engine.t) q =
+  Rewriting.Residue_rewrite.consistent_answers q t.schema t.ics t.instance
+
+let over_approximation ?(seed = 0) ?(samples = 5) (t : Engine.t) q =
+  let sets =
+    List.init samples (fun i ->
+        let r =
+          Repairs.Operational.sample_repair ~seed:(seed + i) t.instance
+            t.schema t.ics
+        in
+        Rows.of_list (Logic.Cq.answers q r.Repairs.Repair.repaired))
+  in
+  match sets with
+  | [] -> []
+  | first :: rest -> Rows.elements (List.fold_left Rows.inter first rest)
+
+type bounds = {
+  under : Value.t list list;
+  over : Value.t list list;
+  exact : bool;
+}
+
+let bounds ?seed ?samples t q =
+  let under = under_approximation t q in
+  let over = over_approximation ?seed ?samples t q in
+  { under; over; exact = under = over }

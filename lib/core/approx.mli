@@ -1,0 +1,34 @@
+(** Tractable approximations of consistent query answering (paper, Section
+    3.2: "research has also been conducted on tractable approximations to
+    CQA" [65, 69–71]).
+
+    Two polynomially-computable bounds bracket the consistent answers:
+    - an {b under-approximation} — answers guaranteed consistent — from the
+      residue rewriting (its conditions force every repair to agree), and
+    - an {b over-approximation} — a superset of the consistent answers —
+      by intersecting the query answers over a few sampled repairs (each
+      sampled repair only removes answers; the limit is the exact set).
+
+    The gap between the two is an interval that narrows with more samples;
+    when it closes, the exact consistent answers were computed without
+    enumerating the repair space. *)
+
+type bounds = {
+  under : Relational.Value.t list list;
+  over : Relational.Value.t list list;
+  exact : bool;  (** true when [under = over]. *)
+}
+
+val under_approximation :
+  Engine.t -> Logic.Cq.t -> Relational.Value.t list list
+(** Sound: every returned answer is a consistent answer (denial-class and
+    full INDs; property-tested against repair enumeration). *)
+
+val over_approximation :
+  ?seed:int -> ?samples:int -> Engine.t -> Logic.Cq.t ->
+  Relational.Value.t list list
+(** Complete: every consistent answer is returned.  [samples] (default 5)
+    sampled repairs are intersected; denial-class constraints only. *)
+
+val bounds :
+  ?seed:int -> ?samples:int -> Engine.t -> Logic.Cq.t -> bounds

@@ -1,0 +1,105 @@
+module Instance = Relational.Instance
+module Value = Relational.Value
+module Ic = Constraints.Ic
+
+type t = {
+  instance : Instance.t;
+  schema : Relational.Schema.t;
+  ics : Ic.t list;
+}
+
+type answer_method =
+  [ `Repair_enumeration | `Residue_rewriting | `Key_rewriting | `Asp | `Auto ]
+
+let create ~schema ~ics instance = { instance; schema; ics }
+
+let is_consistent t = Ic.all_hold t.instance t.schema t.ics
+
+module Rows = Set.Make (struct
+  type t = Value.t list
+
+  let compare = List.compare Value.compare
+end)
+
+let s_repairs t = Repairs.S_repair.enumerate t.instance t.schema t.ics
+let c_repairs t = Repairs.C_repair.enumerate t.instance t.schema t.ics
+let attribute_repairs t = Repairs.Attr_repair.enumerate t.instance t.schema t.ics
+
+let repair_check t candidate =
+  Repairs.Check.is_s_repair ~original:t.instance t.schema t.ics candidate
+
+let by_repair_enumeration t q =
+  match s_repairs t with
+  | [] -> []
+  | first :: rest ->
+      let answers (r : Repairs.Repair.t) =
+        Rows.of_list (Logic.Cq.answers q r.repaired)
+      in
+      Rows.elements
+        (List.fold_left
+           (fun acc r -> Rows.inter acc (answers r))
+           (answers first) rest)
+
+let keys_of_ics ics =
+  let keys =
+    List.filter_map (function Ic.Key (rel, ps) -> Some (rel, ps) | _ -> None) ics
+  in
+  if List.length keys = List.length ics then Some keys else None
+
+let by_key_rewriting t q =
+  match keys_of_ics t.ics with
+  | None -> None
+  | Some keys -> Rewriting.Key_rewrite.consistent_answers q ~keys t.instance
+
+let consistent_answers ?(method_ = `Auto) t q =
+  match method_ with
+  | `Repair_enumeration -> by_repair_enumeration t q
+  | `Residue_rewriting ->
+      Rewriting.Residue_rewrite.consistent_answers q t.schema t.ics t.instance
+  | `Asp -> Repair_programs.Asp_cqa.consistent_answers q t.schema t.ics t.instance
+  | `Key_rewriting -> (
+      match by_key_rewriting t q with
+      | Some rows -> rows
+      | None ->
+          invalid_arg
+            "Engine.consistent_answers: key rewriting not applicable (non-key \
+             constraints or query outside the C-forest class)")
+  | `Auto -> (
+      match by_key_rewriting t q with
+      | Some rows -> rows
+      | None -> by_repair_enumeration t q)
+
+let consistent_answers_c t q =
+  Repair_programs.Asp_cqa.consistent_answers ~semantics:`C q t.schema t.ics
+    t.instance
+
+let consistent_answers_ucq ?(method_ = `Repair_enumeration) t u =
+  match method_ with
+  | `Asp -> Repair_programs.Asp_cqa.consistent_answers_ucq u t.schema t.ics t.instance
+  | `Repair_enumeration -> (
+      match s_repairs t with
+      | [] -> []
+      | first :: rest ->
+          let answers (r : Repairs.Repair.t) =
+            Rows.of_list (Logic.Ucq.answers u r.repaired)
+          in
+          Rows.elements
+            (List.fold_left
+               (fun acc r -> Rows.inter acc (answers r))
+               (answers first) rest))
+
+let inconsistency_degree t = Measures.Degree.repair_based t.instance t.schema t.ics
+
+let causes t q = Causality.Cause.actual_causes t.instance t.schema q
+
+let conflict_graph t =
+  Constraints.Conflict_graph.build t.instance t.schema t.ics
+
+let optimal_repair ~weight t =
+  Repairs.Optimal.optimal_repair ~weight t.instance t.schema t.ics
+
+let aggregate_range t ~rel agg =
+  Repairs.Aggregate.range t.instance t.schema t.ics ~rel agg
+
+let count_s_repairs t = Repairs.Count.s_repairs t.instance t.schema t.ics
+let count_c_repairs t = Repairs.Count.c_repairs t.instance t.schema t.ics

@@ -1,0 +1,80 @@
+(** The unified consistent-query-answering engine — one façade over the
+    three computational approaches the paper surveys:
+
+    - {b repair enumeration}: materialize every S-repair and intersect the
+      query answers (the model-theoretic definition, exact but worst-case
+      exponential — Section 3.1);
+    - {b first-order rewriting}: answer a rewritten query directly on the
+      inconsistent database (Sections 2, 3.1–3.2; residue-based and
+      Fuxman–Miller key rewriting);
+    - {b answer-set programming}: cautious reasoning over the repair
+      program's stable models (Section 3.3).
+
+    All methods agree where they are defined; the [`Auto] method picks the
+    cheapest one that is exact for the given query and constraints. *)
+
+type t = private {
+  instance : Relational.Instance.t;
+  schema : Relational.Schema.t;
+  ics : Constraints.Ic.t list;
+}
+
+type answer_method =
+  [ `Repair_enumeration | `Residue_rewriting | `Key_rewriting | `Asp | `Auto ]
+
+val create :
+  schema:Relational.Schema.t ->
+  ics:Constraints.Ic.t list ->
+  Relational.Instance.t ->
+  t
+
+val is_consistent : t -> bool
+
+val consistent_answers :
+  ?method_:answer_method ->
+  t ->
+  Logic.Cq.t ->
+  Relational.Value.t list list
+(** Consistent answers under S-repairs.  [`Auto] (default) uses the
+    Fuxman–Miller rewriting when all constraints are primary keys and the
+    query falls in its class, and repair enumeration otherwise.
+    [`Key_rewriting] raises [Invalid_argument] when not applicable;
+    [`Residue_rewriting] answers whatever its (incomplete) rewriting
+    produces — see {!Rewriting.Residue_rewrite}. *)
+
+val consistent_answers_c : t -> Logic.Cq.t -> Relational.Value.t list list
+(** Consistent answers under C-repairs (ASP with weak constraints). *)
+
+val consistent_answers_ucq :
+  ?method_:[ `Repair_enumeration | `Asp ] ->
+  t ->
+  Logic.Ucq.t ->
+  Relational.Value.t list list
+(** Consistent answers to a union of conjunctive queries (default:
+    repair enumeration). *)
+
+val s_repairs : t -> Repairs.Repair.t list
+val c_repairs : t -> Repairs.Repair.t list
+val attribute_repairs : t -> Repairs.Attr_repair.t list
+val repair_check : t -> Relational.Instance.t -> bool
+(** Is the candidate an S-repair of the engine's instance? *)
+
+val inconsistency_degree : t -> float
+(** The repair-based measure (denial-class constraints only). *)
+
+val causes : t -> Logic.Cq.t -> Causality.Cause.t list
+(** Actual causes for a Boolean query being true, ignoring the engine's
+    ICs (the Section 7 setting). *)
+
+val conflict_graph : t -> Constraints.Conflict_graph.t
+
+val optimal_repair :
+  weight:(Relational.Tid.t -> float) -> t -> Repairs.Repair.t option
+(** Maximum-weight repair (Livshits–Kimelfeld–Roy); denial-class only. *)
+
+val aggregate_range :
+  t -> rel:string -> Repairs.Aggregate.agg -> Repairs.Aggregate.range
+(** Range-consistent aggregate answer over all repairs. *)
+
+val count_s_repairs : t -> int
+val count_c_repairs : t -> int

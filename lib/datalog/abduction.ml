@@ -1,0 +1,49 @@
+module Fact = Relational.Fact
+
+let check_positive (program : Program.t) =
+  List.iter
+    (fun (r : Rule.t) ->
+      if r.body_neg <> [] then
+        invalid_arg "Abduction: positive Datalog only (derivability must be monotone)")
+    program.rules
+
+let explains program ~given ~hypothesis ~goal =
+  Fact.Set.mem goal (Eval.run program (given @ hypothesis))
+
+let rec subsets_of_size k = function
+  | [] -> if k = 0 then [ [] ] else []
+  | x :: rest ->
+      if k = 0 then [ [] ]
+      else
+        List.map (fun s -> x :: s) (subsets_of_size (k - 1) rest)
+        @ subsets_of_size k rest
+
+let explanations ?max_size program ~abducibles ~given ~goal =
+  check_positive program;
+  let bound =
+    match max_size with Some k -> k | None -> List.length abducibles
+  in
+  let found = ref [] in
+  let is_superset subset =
+    List.exists
+      (fun smaller -> List.for_all (fun f -> List.mem f subset) smaller)
+      !found
+  in
+  for k = 0 to bound do
+    List.iter
+      (fun subset ->
+        if
+          (not (is_superset subset))
+          && explains program ~given ~hypothesis:subset ~goal
+        then found := subset :: !found)
+      (subsets_of_size k abducibles)
+  done;
+  List.rev !found
+
+let necessary_abducibles ?max_size program ~abducibles ~given ~goal =
+  match explanations ?max_size program ~abducibles ~given ~goal with
+  | [] -> []
+  | first :: rest ->
+      List.filter
+        (fun f -> List.for_all (fun e -> List.mem f e) rest)
+        first

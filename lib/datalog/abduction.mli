@@ -1,0 +1,36 @@
+(** Abduction for Datalog queries (paper, Section 7: cause computation for
+    Datalog queries is NP-complete "via a connection between causality and
+    Datalog abduction" [27]).
+
+    Given a positive program, known facts, and a set of {e abducible}
+    candidate facts, an explanation of an observation is a minimal set of
+    abducibles that, added to the known facts, makes the program derive the
+    observation. *)
+
+val explains :
+  Program.t ->
+  given:Relational.Fact.t list ->
+  hypothesis:Relational.Fact.t list ->
+  goal:Relational.Fact.t ->
+  bool
+
+val explanations :
+  ?max_size:int ->
+  Program.t ->
+  abducibles:Relational.Fact.t list ->
+  given:Relational.Fact.t list ->
+  goal:Relational.Fact.t ->
+  Relational.Fact.t list list
+(** All inclusion-minimal explanations of size at most [max_size] (default:
+    no bound), smallest first.  Raises [Invalid_argument] on programs with
+    negation (abduction here is for positive Datalog, where derivability is
+    monotone). *)
+
+val necessary_abducibles :
+  ?max_size:int ->
+  Program.t ->
+  abducibles:Relational.Fact.t list ->
+  given:Relational.Fact.t list ->
+  goal:Relational.Fact.t ->
+  Relational.Fact.t list
+(** Abducibles occurring in every explanation. *)

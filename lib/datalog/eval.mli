@@ -1,0 +1,20 @@
+(** Bottom-up Datalog evaluation: semi-naive within each stratum, strata in
+    stratification order (negation is evaluated against the completed lower
+    strata). *)
+
+exception Unstratifiable
+
+val run : Program.t -> Relational.Fact.t list -> Relational.Fact.Set.t
+(** All facts: the EDB plus everything derivable.  Raises
+    [Unstratifiable]. *)
+
+val run_instance :
+  Program.t -> Relational.Instance.t -> Relational.Fact.Set.t
+(** [run] on the instance's facts. *)
+
+val query :
+  Program.t ->
+  Relational.Fact.t list ->
+  string ->
+  Relational.Value.t list list
+(** The derived rows of one predicate, sorted. *)

@@ -1,0 +1,143 @@
+module Atom = Logic.Atom
+module Term = Logic.Term
+module Fact = Relational.Fact
+module Value = Relational.Value
+
+exception Unsupported of string
+
+module Sset = Set.Make (String)
+
+let idb_predicates (program : Program.t) = Sset.of_list (Program.idb program)
+
+let check_positive (program : Program.t) =
+  List.iter
+    (fun (r : Rule.t) ->
+      if r.body_neg <> [] then
+        raise (Unsupported "magic sets: program uses negation"))
+    program.rules
+
+let adornment_of bound (a : Atom.t) =
+  String.concat ""
+    (List.map
+       (function
+         | Term.Const _ -> "b"
+         | Term.Var v -> if Sset.mem v bound then "b" else "f")
+       a.args)
+
+let adorned_name p ad = Printf.sprintf "%s__%s" p ad
+let magic_name p ad = Printf.sprintf "m__%s__%s" p ad
+
+let bound_args ad (a : Atom.t) =
+  List.filteri (fun i _ -> ad.[i] = 'b') a.args
+
+let add_vars set (a : Atom.t) =
+  List.fold_left
+    (fun acc t -> match t with Term.Var v -> Sset.add v acc | Term.Const _ -> acc)
+    set a.args
+
+(* Transform all rules defining [p] under adornment [ad]; returns new rules
+   and the adorned IDB subgoal predicates discovered. *)
+let transform_rules program idb (p, ad) =
+  let rules = List.filter (fun (r : Rule.t) -> String.equal r.head.Atom.rel p) (program : Program.t).rules in
+  List.fold_left
+    (fun (acc_rules, acc_preds) (r : Rule.t) ->
+      let head_bound =
+        List.fold_left
+          (fun set (i, t) ->
+            match t with
+            | Term.Var v when ad.[i] = 'b' -> Sset.add v set
+            | Term.Var _ | Term.Const _ -> set)
+          Sset.empty
+          (List.mapi (fun i t -> (i, t)) r.head.Atom.args)
+      in
+      let magic_head_atom = Atom.make (magic_name p ad) (bound_args ad r.head) in
+      (* Walk subgoals left-to-right with the sideways information passing
+         of "everything earlier is bound". *)
+      let _, rev_subgoals, magic_rules, preds =
+        List.fold_left
+          (fun (bound, subgoals, magics, preds) (g : Atom.t) ->
+            if Sset.mem g.rel idb then begin
+              let g_ad = adornment_of bound g in
+              let magic_rule =
+                Rule.make
+                  (Atom.make (magic_name g.rel g_ad) (bound_args g_ad g))
+                  (magic_head_atom :: List.rev subgoals)
+              in
+              let g' = Atom.make (adorned_name g.rel g_ad) g.args in
+              ( add_vars bound g,
+                g' :: subgoals,
+                magic_rule :: magics,
+                (g.rel, g_ad) :: preds )
+            end
+            else
+              (add_vars bound g, g :: subgoals, magics, preds))
+          (head_bound, [], [], [])
+          r.body_pos
+      in
+      let modified =
+        Rule.make ~comps:r.comps
+          (Atom.make (adorned_name p ad) r.head.Atom.args)
+          (magic_head_atom :: List.rev rev_subgoals)
+      in
+      (modified :: magic_rules @ acc_rules, preds @ acc_preds))
+    ([], []) rules
+
+let optimize program ~query =
+  check_positive program;
+  let idb = idb_predicates program in
+  if not (Sset.mem query.Atom.rel idb) then
+    raise
+      (Unsupported
+         (Printf.sprintf "magic sets: %s is not an IDB predicate" query.Atom.rel));
+  let q_ad = adornment_of Sset.empty query in
+  let seen = Hashtbl.create 16 in
+  let rules = ref [] in
+  let rec process (p, ad) =
+    if not (Hashtbl.mem seen (p, ad)) then begin
+      Hashtbl.add seen (p, ad) ();
+      let new_rules, preds = transform_rules program idb (p, ad) in
+      rules := new_rules @ !rules;
+      List.iter process preds
+    end
+  in
+  process (query.Atom.rel, q_ad);
+  (* Seed: the query's bound constants. *)
+  let seed =
+    Rule.make
+      (Atom.make (magic_name query.Atom.rel q_ad) (bound_args q_ad query))
+      []
+  in
+  ( Program.make (seed :: List.rev !rules),
+    Atom.make (adorned_name query.Atom.rel q_ad) query.Atom.args )
+
+let matches_query (query : Atom.t) row =
+  List.for_all2
+    (fun t v ->
+      match t with
+      | Term.Const c -> Value.equal c v
+      | Term.Var _ -> true)
+    query.args (Array.to_list row)
+
+let answers program edb ~query =
+  let magic_program, adorned_query = optimize program ~query in
+  let facts = Eval.run magic_program edb in
+  Fact.Set.fold
+    (fun (f : Fact.t) acc ->
+      if
+        String.equal f.rel adorned_query.Atom.rel
+        && matches_query query f.row
+      then Array.to_list f.row :: acc
+      else acc)
+    facts []
+  |> List.sort (List.compare Value.compare)
+
+let count_derived program edb facts =
+  let edb_set = Fact.Set.of_list edb in
+  ignore program;
+  Fact.Set.cardinal (Fact.Set.diff facts edb_set)
+
+let derived_count program edb ~query =
+  let plain = Eval.run program edb in
+  let magic_program, _ = optimize program ~query in
+  let magic = Eval.run magic_program edb in
+  (count_derived program edb plain, count_derived program edb magic)

@@ -1,0 +1,36 @@
+(** Magic-set rewriting for positive Datalog queries.
+
+    The paper's ConsEx system [43] uses magic sets to focus repair-program
+    evaluation on the part of the database relevant to the query; this
+    module provides the classical transformation for positive (negation-
+    free) programs with the left-to-right sideways information passing
+    strategy.
+
+    Given a query atom with constants in some positions, the transformed
+    program derives the same answers for the query predicate while
+    restricting bottom-up evaluation to facts reachable from the query's
+    bindings. *)
+
+exception Unsupported of string
+(** Raised on programs with negation (the classical transformation is for
+    positive Datalog) or on queries over EDB predicates. *)
+
+val optimize : Program.t -> query:Logic.Atom.t -> Program.t * Logic.Atom.t
+(** [optimize program ~query] returns the magic program together with the
+    adorned query atom to evaluate against it.  Constants in [query] become
+    bound argument positions. *)
+
+val answers :
+  Program.t ->
+  Relational.Fact.t list ->
+  query:Logic.Atom.t ->
+  Relational.Value.t list list
+(** Evaluate the query through the magic transformation: the rows of the
+    adorned query predicate matching the query's constants, sorted.  Same
+    results as evaluating the original program, usually deriving far fewer
+    facts. *)
+
+val derived_count :
+  Program.t -> Relational.Fact.t list -> query:Logic.Atom.t -> int * int
+(** (facts derived by the plain program, facts derived by the magic
+    program) — the focusing effect, for benchmarks. *)

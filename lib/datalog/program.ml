@@ -1,0 +1,55 @@
+type t = { rules : Rule.t list }
+
+let make rules = { rules }
+
+let idb t =
+  List.map (fun (r : Rule.t) -> r.head.Logic.Atom.rel) t.rules
+  |> List.sort_uniq String.compare
+
+(* Stratum numbers via the standard constraint relaxation: a positive
+   dependency demands st(head) >= st(body), a negative one
+   st(head) >= st(body) + 1.  If numbers keep growing past the number of
+   predicates there is a negative cycle. *)
+let stratify t =
+  let preds = idb t in
+  let n = List.length preds in
+  let stratum = Hashtbl.create 16 in
+  List.iter (fun p -> Hashtbl.replace stratum p 0) preds;
+  let get p = Option.value ~default:0 (Hashtbl.find_opt stratum p) in
+  let changed = ref true and rounds = ref 0 and ok = ref true in
+  while !changed && !ok do
+    changed := false;
+    incr rounds;
+    if !rounds > n + 1 then ok := false
+    else
+      List.iter
+        (fun (r : Rule.t) ->
+          let h = r.head.Logic.Atom.rel in
+          let bump target =
+            if get h < target then begin
+              Hashtbl.replace stratum h target;
+              changed := true
+            end
+          in
+          List.iter
+            (fun (a : Logic.Atom.t) ->
+              if Hashtbl.mem stratum a.rel then bump (get a.rel))
+            r.body_pos;
+          List.iter
+            (fun (a : Logic.Atom.t) ->
+              if Hashtbl.mem stratum a.rel then bump (get a.rel + 1))
+            r.body_neg)
+        t.rules
+  done;
+  if not !ok then None
+  else begin
+    let max_stratum = List.fold_left (fun m p -> max m (get p)) 0 preds in
+    let strata =
+      List.init (max_stratum + 1) (fun i ->
+          List.filter (fun (r : Rule.t) -> get r.head.Logic.Atom.rel = i) t.rules)
+    in
+    Some (List.filter (fun s -> s <> []) strata)
+  end
+
+let pp ppf t =
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut Rule.pp ppf t.rules

@@ -1,0 +1,14 @@
+(** Datalog programs: stratification and dependency analysis. *)
+
+type t = { rules : Rule.t list }
+
+val make : Rule.t list -> t
+
+val idb : t -> string list
+(** Predicates defined by some rule head. *)
+
+val stratify : t -> Rule.t list list option
+(** Strata in evaluation order, or [None] if the program is not stratifiable
+    (negation through a cycle). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,47 @@
+module Atom = Logic.Atom
+module Cmp = Logic.Cmp
+
+type t = {
+  head : Atom.t;
+  body_pos : Atom.t list;
+  body_neg : Atom.t list;
+  comps : Cmp.t list;
+}
+
+let make ?(neg = []) ?(comps = []) head body_pos =
+  let rule = { head; body_pos; body_neg = neg; comps } in
+  let positive_vars = List.concat_map Atom.vars body_pos in
+  let needed =
+    Atom.vars head
+    @ List.concat_map Atom.vars neg
+    @ List.concat_map Cmp.vars comps
+  in
+  List.iter
+    (fun v ->
+      if not (List.mem v positive_vars) then
+        invalid_arg
+          (Printf.sprintf
+             "Rule.make: unsafe rule, variable %s not bound by a positive atom"
+             v))
+    needed;
+  rule
+
+let is_fact r = r.body_pos = [] && r.body_neg = [] && r.comps = []
+
+let predicates r =
+  r.head.Atom.rel
+  :: (List.map (fun (a : Atom.t) -> a.rel) r.body_pos
+     @ List.map (fun (a : Atom.t) -> a.rel) r.body_neg)
+
+let pp ppf r =
+  let pp_atoms =
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+      Atom.pp
+  in
+  Format.fprintf ppf "%a" Atom.pp r.head;
+  if not (is_fact r) then begin
+    Format.fprintf ppf " :- %a" pp_atoms r.body_pos;
+    List.iter (fun a -> Format.fprintf ppf ", not %a" Atom.pp a) r.body_neg;
+    List.iter (fun c -> Format.fprintf ppf ", %a" Cmp.pp c) r.comps
+  end

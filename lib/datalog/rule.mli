@@ -1,0 +1,25 @@
+(** Datalog rules with negation and comparisons:
+    [head :- body_pos, not body_neg, comps]. *)
+
+type t = {
+  head : Logic.Atom.t;
+  body_pos : Logic.Atom.t list;
+  body_neg : Logic.Atom.t list;
+  comps : Logic.Cmp.t list;
+}
+
+val make :
+  ?neg:Logic.Atom.t list ->
+  ?comps:Logic.Cmp.t list ->
+  Logic.Atom.t ->
+  Logic.Atom.t list ->
+  t
+(** [make head body].  Raises [Invalid_argument] if the rule is unsafe: every
+    variable of the head, of negated atoms and of comparisons must occur in
+    a positive body atom. *)
+
+val is_fact : t -> bool
+val predicates : t -> string list
+(** All predicate names, head first. *)
+
+val pp : Format.formatter -> t -> unit

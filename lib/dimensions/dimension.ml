@@ -1,0 +1,227 @@
+type schema = { categories : string list; edges : (string * string) list }
+
+type instance = {
+  members : (string * string) list;
+  links : (string * string) list;
+}
+
+let schema ~categories ~edges =
+  let known c = List.mem c categories in
+  if List.length (List.sort_uniq String.compare categories) <> List.length categories
+  then invalid_arg "Dimension.schema: duplicate category";
+  List.iter
+    (fun (c, p) ->
+      if not (known c && known p) then
+        invalid_arg (Printf.sprintf "Dimension.schema: unknown category in %s->%s" c p))
+    edges;
+  (* Acyclicity of the category DAG. *)
+  let state = Hashtbl.create 8 in
+  let rec dfs c =
+    match Hashtbl.find_opt state c with
+    | Some `Done -> ()
+    | Some `Active -> invalid_arg "Dimension.schema: cyclic hierarchy"
+    | None ->
+        Hashtbl.replace state c `Active;
+        List.iter (fun (c', p) -> if String.equal c' c then dfs p) edges;
+        Hashtbl.replace state c `Done
+  in
+  List.iter dfs categories;
+  { categories; edges }
+
+let category_of inst elt = List.assoc_opt elt inst.members
+
+(* Categories reachable upward from [c] in the schema. *)
+let ancestors_of_category s c =
+  let rec go acc frontier =
+    let next =
+      List.filter_map
+        (fun (c', p) ->
+          if List.mem c' frontier && not (List.mem p acc) then Some p else None)
+        s.edges
+      |> List.sort_uniq String.compare
+    in
+    if next = [] then acc else go (next @ acc) next
+  in
+  go [] [ c ]
+
+let rollup s inst elt ~category =
+  ignore s;
+  let rec go acc frontier =
+    let next =
+      List.filter_map
+        (fun (u, v) ->
+          if List.mem u frontier && not (List.mem v acc) then Some v else None)
+        inst.links
+      |> List.sort_uniq String.compare
+    in
+    if next = [] then acc else go (next @ acc) next
+  in
+  let reachable = go [] [ elt ] in
+  List.filter
+    (fun e ->
+      match category_of inst e with
+      | Some c -> String.equal c category
+      | None -> false)
+    reachable
+  |> List.sort_uniq String.compare
+
+let strictness_violations s inst =
+  List.concat_map
+    (fun (elt, cat) ->
+      List.concat_map
+        (fun anc_cat ->
+          let ancs = rollup s inst elt ~category:anc_cat in
+          let rec pairs = function
+            | [] -> []
+            | a :: rest -> List.map (fun b -> (elt, anc_cat, a, b)) rest @ pairs rest
+          in
+          pairs ancs)
+        (ancestors_of_category s cat))
+    inst.members
+
+let covering_violations s inst =
+  List.concat_map
+    (fun (elt, cat) ->
+      List.filter_map
+        (fun (c, p) ->
+          if not (String.equal c cat) then None
+          else
+            let covered =
+              List.exists
+                (fun (u, v) ->
+                  String.equal u elt
+                  && category_of inst v = Some p)
+                inst.links
+            in
+            if covered then None else Some (elt, p))
+        s.edges)
+    inst.members
+
+let is_consistent s inst =
+  strictness_violations s inst = [] && covering_violations s inst = []
+
+type change = {
+  from_elt : string;
+  old_parent : string option;
+  new_parent : string;
+}
+
+type repair = { changes : change list; repaired : instance }
+
+let members_of inst cat =
+  List.filter_map
+    (fun (e, c) -> if String.equal c cat then Some e else None)
+    inst.members
+
+(* Links lying on upward paths from [elt]. *)
+let links_above inst elt =
+  let rec go acc frontier =
+    let fresh =
+      List.filter
+        (fun (u, _ as l) -> List.mem u frontier && not (List.mem l acc))
+        inst.links
+    in
+    if fresh = [] then acc
+    else
+      go (fresh @ acc)
+        (List.sort_uniq String.compare (List.map snd fresh))
+  in
+  go [] [ elt ]
+
+let apply_redirect inst (u, v) v' =
+  {
+    inst with
+    links =
+      List.sort_uniq compare
+        ((u, v') :: List.filter (fun l -> l <> (u, v)) inst.links);
+  }
+
+let repairs ?(fuel = 20_000) s inst =
+  let budget = ref fuel in
+  let seen = Hashtbl.create 64 in
+  let results = ref [] in
+  let key i = List.sort compare i.links in
+  let rec go current =
+    decr budget;
+    if !budget < 0 then failwith "Dimension.repairs: out of fuel";
+    let k = key current in
+    if not (Hashtbl.mem seen k) then begin
+      Hashtbl.add seen k ();
+      match covering_violations s current, strictness_violations s current with
+      | [], [] -> results := current :: !results
+      | (elt, parent_cat) :: _, _ ->
+          (* Insert a link to any member of the missing parent category. *)
+          List.iter
+            (fun target ->
+              go { current with links = (elt, target) :: current.links })
+            (members_of current parent_cat)
+      | [], (elt, _, _, _) :: _ ->
+          (* Redirect any link on the element's upward paths to another
+             member of the same category. *)
+          List.iter
+            (fun (u, v) ->
+              match category_of current v with
+              | None -> ()
+              | Some cat ->
+                  List.iter
+                    (fun v' ->
+                      if not (String.equal v' v) then
+                        go (apply_redirect current (u, v) v'))
+                    (members_of current cat))
+            (links_above current elt)
+    end
+  in
+  go inst;
+  let change_set repaired =
+    let removed = List.filter (fun l -> not (List.mem l repaired.links)) inst.links in
+    let added = List.filter (fun l -> not (List.mem l inst.links)) repaired.links in
+    (* A removed link is a reclassification: its element now rolls up to
+       some (added or pre-existing) target of the same category. *)
+    let redirects =
+      List.filter_map
+        (fun (u, v) ->
+          let cat = category_of inst v in
+          List.find_map
+            (fun (u', v') ->
+              if String.equal u u' && category_of repaired v' = cat then
+                Some { from_elt = u; old_parent = Some v; new_parent = v' }
+              else None)
+            repaired.links)
+        removed
+    in
+    let insertions =
+      List.filter_map
+        (fun (u, v') ->
+          let cat = category_of repaired v' in
+          if
+            List.exists
+              (fun (u', v) -> String.equal u u' && category_of inst v = cat)
+              removed
+          then None (* accounted as a redirect *)
+          else Some { from_elt = u; old_parent = None; new_parent = v' })
+        added
+    in
+    List.sort compare (redirects @ insertions)
+  in
+  let candidates =
+    List.map (fun r -> { changes = change_set r; repaired = r }) !results
+  in
+  (* Keep the inclusion-minimal change sets. *)
+  List.filter
+    (fun r ->
+      not
+        (List.exists
+           (fun r' ->
+             r' != r
+             && List.length r'.changes < List.length r.changes
+             && List.for_all (fun c -> List.mem c r.changes) r'.changes)
+           candidates))
+    candidates
+  |> List.sort compare
+
+let pp_instance ppf inst =
+  Format.fprintf ppf "@[<v>members: %s@,links: %s@]"
+    (String.concat ", "
+       (List.map (fun (e, c) -> Printf.sprintf "%s:%s" e c) inst.members))
+    (String.concat ", "
+       (List.map (fun (u, v) -> Printf.sprintf "%s->%s" u v) inst.links))

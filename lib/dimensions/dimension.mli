@@ -1,0 +1,63 @@
+(** Repairs of multidimensional database dimensions (paper, Section 8:
+    "repairs have been defined and investigated for data warehouses and
+    multidimensional databases" [8, 21, 44, 45]).
+
+    A dimension has a hierarchy schema — categories connected by
+    child→parent edges, forming a DAG — and an instance assigning each
+    element to a category and rolling elements up along the edges.  The
+    classical summarizability conditions are:
+
+    - {b strictness}: an element reaches at most one ancestor in each
+      category (otherwise aggregating along different paths double-counts);
+    - {b covering}: an element of a child category rolls up to at least one
+      element of every parent category.
+
+    Inconsistent dimensions are repaired by minimally {e changing rollup
+    links} (the reclassification repairs of [44, 45]): a repair replaces
+    some links [(child element → parent element)] so that both conditions
+    hold, and is minimal in the set of changed links. *)
+
+type schema = {
+  categories : string list;
+  edges : (string * string) list;  (** child category → parent category *)
+}
+
+type instance = {
+  members : (string * string) list;  (** element → its category *)
+  links : (string * string) list;  (** child element → parent element *)
+}
+
+val schema : categories:string list -> edges:(string * string) list -> schema
+(** Raises [Invalid_argument] on unknown categories or a cyclic edge
+    relation. *)
+
+val category_of : instance -> string -> string option
+
+val rollup : schema -> instance -> string -> category:string -> string list
+(** The elements of [category] reachable from the element by following
+    links upward. *)
+
+val strictness_violations :
+  schema -> instance -> (string * string * string * string) list
+(** (element, category, ancestor1, ancestor2) with ancestor1 < ancestor2. *)
+
+val covering_violations : schema -> instance -> (string * string) list
+(** (element, parent category it fails to reach directly). *)
+
+val is_consistent : schema -> instance -> bool
+
+type change = {
+  from_elt : string;
+  old_parent : string option;  (** [None]: the link was inserted (covering) *)
+  new_parent : string;
+}
+
+type repair = { changes : change list; repaired : instance }
+
+val repairs : ?fuel:int -> schema -> instance -> repair list
+(** All minimal link-change repairs: a change either redirects an existing
+    link to another element of the same parent category, or inserts a
+    missing link to restore covering.  [fuel] (default [20_000]) bounds the
+    branching search. *)
+
+val pp_instance : Format.formatter -> instance -> unit

@@ -1,0 +1,164 @@
+module Instance = Relational.Instance
+module Tid = Relational.Tid
+module Value = Relational.Value
+
+type similarity = Value.t -> Value.t -> bool
+
+let equal_similarity = Value.equal
+
+let as_lower_string = function
+  | Value.Str s -> Some (String.lowercase_ascii s)
+  | _ -> None
+
+let prefix_similarity n a b =
+  match as_lower_string a, as_lower_string b with
+  | Some sa, Some sb ->
+      let k = min n (min (String.length sa) (String.length sb)) in
+      String.sub sa 0 k = String.sub sb 0 k
+  | _ -> Value.equal a b
+
+let edit_distance a b =
+  let n = String.length a and m = String.length b in
+  let prev = Array.init (m + 1) Fun.id in
+  let curr = Array.make (m + 1) 0 in
+  for i = 1 to n do
+    curr.(0) <- i;
+    for j = 1 to m do
+      let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+      curr.(j) <- min (min (curr.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost)
+    done;
+    Array.blit curr 0 prev 0 (m + 1)
+  done;
+  prev.(m)
+
+let edit_similarity ~max_distance a b =
+  match a, b with
+  | Value.Str sa, Value.Str sb ->
+      edit_distance (String.lowercase_ascii sa) (String.lowercase_ascii sb)
+      <= max_distance
+  | _ -> Value.equal a b
+
+type md = {
+  rel : string;
+  premise : (int * similarity) list;
+  identify : int list;
+}
+
+type policy = Prefer_first | Prefer_longest | Prefer_most_frequent
+
+let premise_holds (md : md) (row1 : Value.t array) (row2 : Value.t array) =
+  List.for_all (fun (pos, sim) -> sim row1.(pos) row2.(pos)) md.premise
+
+let identify_violated (md : md) row1 row2 =
+  List.exists (fun pos -> not (Value.equal row1.(pos) row2.(pos))) md.identify
+
+(* One violating (md, tid1, tid2) triple, if any. *)
+let find_violation inst mds =
+  let rec check_md = function
+    | [] -> None
+    | md :: rest -> (
+        let tuples = Instance.tuples inst ~rel:md.rel in
+        let rec pairs = function
+          | [] -> None
+          | (t1, r1) :: more -> (
+              match
+                List.find_opt
+                  (fun (_, r2) -> premise_holds md r1 r2 && identify_violated md r1 r2)
+                  more
+              with
+              | Some (t2, _) -> Some (md, t1, t2)
+              | None -> pairs more)
+        in
+        match pairs tuples with Some v -> Some v | None -> check_md rest)
+  in
+  check_md mds
+
+let frequency inst rel pos v =
+  List.fold_left
+    (fun acc row -> if Value.equal row.(pos) v then acc + 1 else acc)
+    0
+    (Instance.rows inst ~rel)
+
+let preferred ~policy inst rel pos t1 v1 t2 v2 =
+  match policy with
+  | Prefer_first -> if Tid.compare t1 t2 <= 0 then v1 else v2
+  | Prefer_longest -> (
+      match v1, v2 with
+      | Value.Str a, Value.Str b ->
+          if String.length a >= String.length b then v1 else v2
+      | _ -> v1)
+  | Prefer_most_frequent ->
+      if frequency inst rel pos v1 >= frequency inst rel pos v2 then v1 else v2
+
+let chase ?(policy = Prefer_first) ?(max_rounds = 100) inst mds =
+  let rec go inst round =
+    if round >= max_rounds then
+      failwith "Matching.chase: did not stabilize within max_rounds";
+    match find_violation inst mds with
+    | None -> inst
+    | Some (md, t1, t2) ->
+        let r1 = (Instance.fact_of inst t1).Relational.Fact.row in
+        let r2 = (Instance.fact_of inst t2).Relational.Fact.row in
+        let inst =
+          List.fold_left
+            (fun inst pos ->
+              let v1 = r1.(pos) and v2 = r2.(pos) in
+              if Value.equal v1 v2 then inst
+              else begin
+                let v = preferred ~policy inst md.rel pos t1 v1 t2 v2 in
+                let set inst tid =
+                  if Instance.mem_tid inst tid then
+                    Instance.update_cell inst (Tid.Cell.make tid (pos + 1)) v
+                  else inst
+                in
+                set (set inst t1) t2
+              end)
+            inst md.identify
+        in
+        go inst (round + 1)
+  in
+  go inst 0
+
+let is_stable inst mds = find_violation inst mds = None
+
+let clusters inst mds =
+  let tids = Tid.Set.elements (Instance.tids inst) in
+  let matched t1 t2 =
+    match Instance.find_fact inst t1, Instance.find_fact inst t2 with
+    | Some f1, Some f2 when String.equal f1.rel f2.rel ->
+        List.exists
+          (fun md ->
+            String.equal md.rel f1.rel && premise_holds md f1.row f2.row)
+          mds
+    | _ -> false
+  in
+  (* BFS components over the match relation. *)
+  let visited = Hashtbl.create 16 in
+  List.filter_map
+    (fun seed ->
+      if Hashtbl.mem visited seed then None
+      else begin
+        let component = ref Tid.Set.empty in
+        let queue = Queue.create () in
+        Queue.add seed queue;
+        Hashtbl.replace visited seed ();
+        while not (Queue.is_empty queue) do
+          let t = Queue.pop queue in
+          component := Tid.Set.add t !component;
+          List.iter
+            (fun t' ->
+              if (not (Hashtbl.mem visited t')) && matched t t' then begin
+                Hashtbl.replace visited t' ();
+                Queue.add t' queue
+              end)
+            tids
+        done;
+        if Tid.Set.cardinal !component >= 2 then Some !component else None
+      end)
+    tids
+
+let resolve_with_key ?policy inst schema ~mds ~key =
+  let merged = chase ?policy inst mds in
+  List.map
+    (fun (r : Repairs.Repair.t) -> r.repaired)
+    (Repairs.S_repair.enumerate merged schema [ key ])

@@ -1,0 +1,65 @@
+(** Entity resolution with matching dependencies (paper, Section 6:
+    "entity resolution (deduplication, record-matching) with
+    entity-linking dependencies [28, 34, 35], and the combination of
+    entity resolution and repairs [59, 66]").
+
+    A matching dependency (MD) on relation R says: when two tuples are
+    {e similar} on some attributes, they must be {e identified} on others:
+
+      R[A] ≈ R[A]  →  R[B] ⇌ R[B]
+
+    Enforcing MDs is a chase: whenever the premise holds and the matched
+    attributes differ, the two values merge to a common representative
+    (here: the preferred value under a resolution policy).  The chase
+    terminates — each step strictly reduces the number of distinct values —
+    and its result is a {e stable instance}.
+
+    [cluster] exposes the duplicate clusters (connected components of the
+    similarity-match relation), and {!resolve_with_key} combines matching
+    with key repairs, the [59] interaction. *)
+
+type similarity = Relational.Value.t -> Relational.Value.t -> bool
+(** Must be reflexive and symmetric on the values it is applied to. *)
+
+val equal_similarity : similarity
+val prefix_similarity : int -> similarity
+(** Strings sharing a prefix of the given length (case-insensitive);
+    non-strings fall back to equality. *)
+
+val edit_distance : string -> string -> int
+val edit_similarity : max_distance:int -> similarity
+
+type md = {
+  rel : string;
+  premise : (int * similarity) list;  (** positions that must be similar *)
+  identify : int list;  (** positions forced to agree *)
+}
+
+type policy = Prefer_first | Prefer_longest | Prefer_most_frequent
+
+val chase :
+  ?policy:policy ->
+  ?max_rounds:int ->
+  Relational.Instance.t ->
+  md list ->
+  Relational.Instance.t
+(** Enforce the MDs to a stable instance.  [max_rounds] (default 100)
+    guards the fixpoint loop. *)
+
+val is_stable : Relational.Instance.t -> md list -> bool
+
+val clusters :
+  Relational.Instance.t -> md list -> Relational.Tid.Set.t list
+(** Duplicate clusters: connected components of tuples matched by some
+    MD premise (singletons omitted). *)
+
+val resolve_with_key :
+  ?policy:policy ->
+  Relational.Instance.t ->
+  Relational.Schema.t ->
+  mds:md list ->
+  key:Constraints.Ic.t ->
+  Relational.Instance.t list
+(** First enforce the MDs (merging near-duplicate values), then repair the
+    remaining key violations: the [59] pipeline of record matching
+    interacting with repairing. *)

@@ -1,0 +1,74 @@
+(** Data exchange: source-to-target tgds, the chase, universal solutions,
+    certain answers, and exchange-repairs (paper, Section 8; ten Cate–
+    Fontaine–Kolaitis [105], ten Cate–Halpert–Kolaitis [106]).
+
+    A setting consists of a source schema, a target schema, a set of
+    source-to-target tgds, and target constraints (equality-generating
+    dependencies and denial-class ICs).  Chasing a source instance:
+
+    + every st-tgd fires once per body match, inventing a fresh labeled
+      null per existential head variable;
+    + egds equate values: a labeled null is replaced by the other side,
+      two distinct constants make the chase {b fail}.
+
+    A successful chase yields a universal solution; certain answers are the
+    null-free answers over it.  When the chase fails — the paper's Section
+    8 point that "data sent to a target may collide with the target
+    constraints" — {e exchange-repairs} minimally delete source tuples so
+    that the exchange succeeds. *)
+
+type st_tgd = {
+  body : Logic.Cq.t;  (** over the source schema *)
+  head : Logic.Atom.t list;
+      (** over the target schema; variables not in the body's head list are
+          existential.  The tgd's frontier is [body.head]. *)
+}
+
+type egd = {
+  egd_body : Logic.Atom.t list;  (** over the target schema *)
+  left : string;
+  right : string;  (** body variables forced equal *)
+}
+
+type setting = {
+  source_schema : Relational.Schema.t;
+  target_schema : Relational.Schema.t;
+  st_tgds : st_tgd list;
+  egds : egd list;
+  target_ics : Constraints.Ic.t list;  (** denial-class *)
+}
+
+val st_tgd : body:Logic.Cq.t -> head:Logic.Atom.t list -> st_tgd
+val egd : body:Logic.Atom.t list -> string -> string -> egd
+
+val is_labeled_null : Relational.Value.t -> bool
+
+type chase_result =
+  | Solution of Relational.Instance.t
+  | Failed of string  (** human-readable reason *)
+
+val chase : setting -> Relational.Instance.t -> chase_result
+(** Chase the source instance into a (canonical) universal solution. *)
+
+val certain_answers :
+  setting -> Relational.Instance.t -> Logic.Cq.t ->
+  Relational.Value.t list list
+(** Null-free answers over the universal solution; raises [Failure] when
+    the chase fails (consider {!exchange_repairs}). *)
+
+val exchange_repairs :
+  ?max_deletions:int ->
+  setting ->
+  Relational.Instance.t ->
+  (Relational.Instance.t * Relational.Instance.t) list
+(** Minimal source sub-instances whose chase succeeds, with their
+    solutions: smallest-first search over source deletions, cut off at
+    [max_deletions] (default 4) deletions. *)
+
+val exchange_repair_certain_answers :
+  ?max_deletions:int ->
+  setting ->
+  Relational.Instance.t ->
+  Logic.Cq.t ->
+  Relational.Value.t list list
+(** Certain answers across all exchange-repair solutions. *)

@@ -1,0 +1,324 @@
+module Instance = Relational.Instance
+module Fact = Relational.Fact
+module Value = Relational.Value
+module Tid = Relational.Tid
+module Term = Logic.Term
+module Atom = Logic.Atom
+module Cq = Logic.Cq
+
+type rule = { body : Cq.t; head : Atom.t list }
+
+type program = { rules : rule list; constraints : Constraints.Ic.denial list }
+
+let rule ~body ~head = { body; head }
+
+let skolem_prefix = "\xe2\x8a\xa5sk" (* ⊥sk *)
+
+let is_skolem = function
+  | Value.Str s ->
+      String.length s >= String.length skolem_prefix
+      && String.sub s 0 (String.length skolem_prefix) = skolem_prefix
+  | _ -> false
+
+(* --- weak acyclicity ------------------------------------------------- *)
+
+let positions_of_var (a : Atom.t) var =
+  List.mapi (fun i t -> (i, t)) a.args
+  |> List.filter_map (fun (i, t) ->
+         match t with
+         | Term.Var v when String.equal v var -> Some (a.rel, i)
+         | _ -> None)
+
+let weakly_acyclic rules =
+  (* Edges between positions (rel, i); special edges from frontier body
+     positions to existential head positions. *)
+  let regular = ref [] and special = ref [] in
+  let add store e = if not (List.mem e !store) then store := e :: !store in
+  List.iter
+    (fun r ->
+      let body_vars =
+        List.concat_map (fun (a : Atom.t) -> Atom.vars a) r.body.Cq.body
+        |> List.sort_uniq String.compare
+      in
+      let head_vars =
+        List.concat_map Atom.vars r.head |> List.sort_uniq String.compare
+      in
+      let frontier = List.filter (fun v -> List.mem v head_vars) body_vars in
+      let existential =
+        List.filter (fun v -> not (List.mem v body_vars)) head_vars
+      in
+      List.iter
+        (fun x ->
+          let body_pos =
+            List.concat_map (fun a -> positions_of_var a x) r.body.Cq.body
+          in
+          let head_pos = List.concat_map (fun a -> positions_of_var a x) r.head in
+          List.iter
+            (fun bp ->
+              List.iter (fun hp -> add regular (bp, hp)) head_pos;
+              List.iter
+                (fun y ->
+                  List.iter
+                    (fun hp -> add special (bp, hp))
+                    (List.concat_map (fun a -> positions_of_var a y) r.head))
+                existential)
+            body_pos)
+        frontier)
+    rules;
+  (* Reachability over regular ∪ special; a special edge inside a cycle
+     breaks weak acyclicity. *)
+  let edges = !regular @ !special in
+  let rec reaches seen src dst =
+    List.exists
+      (fun (u, v) ->
+        (u = src && v = dst)
+        || (u = src && (not (List.mem v seen)) && reaches (v :: seen) v dst))
+      edges
+  in
+  not (List.exists (fun (u, v) -> v = u || reaches [ v ] v u) !special)
+
+(* --- chase with provenance ------------------------------------------- *)
+
+module Env = Map.Make (String)
+
+let match_structural env (a : Atom.t) (row : Value.t array) =
+  if List.length a.args <> Array.length row then None
+  else
+    let rec go env i = function
+      | [] -> Some env
+      | t :: rest -> (
+          let v = row.(i) in
+          match t with
+          | Term.Const c -> if Value.equal c v then go env (i + 1) rest else None
+          | Term.Var x -> (
+              match Env.find_opt x env with
+              | Some bound ->
+                  if Value.equal bound v then go env (i + 1) rest else None
+              | None -> go (Env.add x v env) (i + 1) rest))
+    in
+    go env 0 a.args
+
+let eval_cmp env (c : Logic.Cmp.t) =
+  let value = function
+    | Term.Const v -> v
+    | Term.Var x -> (
+        match Env.find_opt x env with
+        | Some v -> v
+        | None -> invalid_arg "Exrules: unbound comparison variable")
+  in
+  let cmp = Value.compare (value c.left) (value c.right) in
+  match c.op with
+  | Logic.Cmp.Eq -> cmp = 0
+  | Logic.Cmp.Neq -> cmp <> 0
+  | Logic.Cmp.Lt -> cmp < 0
+  | Logic.Cmp.Le -> cmp <= 0
+  | Logic.Cmp.Gt -> cmp > 0
+  | Logic.Cmp.Ge -> cmp >= 0
+
+(* All structural matches of [atoms]+[comps], with the matched facts. *)
+let matches inst atoms comps k =
+  let rec go env used = function
+    | [] -> if List.for_all (eval_cmp env) comps then k env (List.rev used)
+    | (a : Atom.t) :: rest ->
+        List.iter
+          (fun (_tid, row) ->
+            match match_structural env a row with
+            | Some env' ->
+                go env' (Fact.make a.rel (Array.to_list row) :: used) rest
+            | None -> ())
+          (Instance.tuples inst ~rel:a.rel)
+  in
+  go Env.empty [] atoms
+
+type chase_state = {
+  mutable inst : Instance.t;
+  prov : (Fact.t, Fact.Set.t) Hashtbl.t; (* fact -> supporting base facts *)
+}
+
+let provenance st f =
+  Option.value ~default:(Fact.Set.singleton f) (Hashtbl.find_opt st.prov f)
+
+let skolem rule_id var env frontier =
+  let args =
+    List.map
+      (fun v ->
+        match Env.find_opt v env with
+        | Some value -> Value.to_string value
+        | None -> "?")
+      frontier
+  in
+  Value.Str
+    (Printf.sprintf "%s%d_%s(%s)" skolem_prefix rule_id var
+       (String.concat "," args))
+
+(* The chase proper, carrying fact provenance for conflict extraction. *)
+let chase_state ?max_rounds program inst =
+  let budget =
+    match max_rounds with
+    | Some n -> n
+    | None -> if weakly_acyclic program.rules then 100 else 20
+  in
+  let st = { inst; prov = Hashtbl.create 64 } in
+  let changed = ref true and rounds = ref 0 in
+  while !changed do
+    changed := false;
+    incr rounds;
+    if !rounds > budget then
+      failwith "Exrules.chase: round budget exhausted (non-terminating rules?)";
+    List.iteri
+      (fun rule_id r ->
+        let frontier =
+          let head_vars =
+            List.concat_map Atom.vars r.head |> List.sort_uniq String.compare
+          in
+          List.filter (fun v -> List.mem v head_vars) (Cq.body_vars r.body)
+        in
+        matches st.inst r.body.Cq.body r.body.Cq.comps (fun env used ->
+            let base =
+              List.fold_left
+                (fun acc f -> Fact.Set.union acc (provenance st f))
+                Fact.Set.empty used
+            in
+            List.iter
+              (fun (h : Atom.t) ->
+                let args =
+                  List.map
+                    (function
+                      | Term.Const c -> c
+                      | Term.Var v -> (
+                          match Env.find_opt v env with
+                          | Some value -> value
+                          | None -> skolem rule_id v env frontier))
+                    h.args
+                in
+                let f = Fact.make h.rel args in
+                if not (Instance.mem_fact st.inst f) then begin
+                  st.inst <- Instance.add st.inst f;
+                  Hashtbl.replace st.prov f base;
+                  changed := true
+                end)
+              r.head))
+      program.rules
+  done;
+  st
+
+let chase ?max_rounds program inst = (chase_state ?max_rounds program inst).inst
+
+let certain_answers ?max_rounds program inst q =
+  let saturated = chase ?max_rounds program inst in
+  List.filter
+    (fun row -> not (List.exists is_skolem row))
+    (Cq.answers q saturated)
+
+let violation_witnesses st (d : Constraints.Ic.denial) =
+  let acc = ref [] in
+  matches st.inst d.atoms d.comps (fun _env used ->
+      let base =
+        List.fold_left
+          (fun s f -> Fact.Set.union s (provenance st f))
+          Fact.Set.empty used
+      in
+      acc := base :: !acc);
+  !acc
+
+let is_consistent ?max_rounds program inst =
+  let st = chase_state ?max_rounds program inst in
+  List.for_all (fun d -> violation_witnesses st d = []) program.constraints
+
+(* Shrink a violating base set to a minimal one by re-chasing subsets. *)
+let minimize_conflict ?max_rounds program inst base =
+  let violates subset =
+    let candidate =
+      Fact.Set.fold
+        (fun f acc -> Instance.add acc f)
+        subset
+        (Instance.create (Instance.schema inst))
+    in
+    not (is_consistent ?max_rounds program candidate)
+  in
+  let rec shrink set =
+    match
+      Fact.Set.fold
+        (fun f found ->
+          match found with
+          | Some _ -> found
+          | None ->
+              let smaller = Fact.Set.remove f set in
+              if violates smaller then Some smaller else None)
+        set None
+    with
+    | Some smaller -> shrink smaller
+    | None -> set
+  in
+  shrink base
+
+let conflicts ?max_rounds program inst =
+  let st = chase_state ?max_rounds program inst in
+  let bases =
+    List.concat_map (fun d -> violation_witnesses st d) program.constraints
+  in
+  let minimal =
+    List.map (fun b -> minimize_conflict ?max_rounds program inst b) bases
+    |> List.sort_uniq Fact.Set.compare
+  in
+  (* As tid sets over the base instance. *)
+  List.filter_map
+    (fun fs ->
+      let tids =
+        Fact.Set.fold
+          (fun f acc ->
+            match Instance.tid_of inst f with
+            | Some tid -> Tid.Set.add tid acc
+            | None -> acc)
+          fs Tid.Set.empty
+      in
+      if Tid.Set.is_empty tids then None else Some tids)
+    minimal
+  |> List.sort_uniq Tid.Set.compare
+
+let repairs ?max_rounds program inst =
+  let edges =
+    List.map
+      (fun e -> List.map Tid.to_int (Tid.Set.elements e))
+      (conflicts ?max_rounds program inst)
+  in
+  List.map
+    (fun hs ->
+      let doomed =
+        List.fold_left (fun s i -> Tid.Set.add (Tid.of_int i) s) Tid.Set.empty hs
+      in
+      Instance.restrict inst (Tid.Set.diff (Instance.tids inst) doomed))
+    (Sat.Hitting_set.minimal edges)
+
+type semantics = AR | IAR | Brave
+
+module Rows = Set.Make (struct
+  type t = Value.t list
+
+  let compare = List.compare Value.compare
+end)
+
+let answers ?max_rounds semantics program inst q =
+  let eval sub = Rows.of_list (certain_answers ?max_rounds program sub q) in
+  match semantics with
+  | IAR ->
+      let conflicting =
+        List.fold_left Tid.Set.union Tid.Set.empty
+          (conflicts ?max_rounds program inst)
+      in
+      let survivors = Tid.Set.diff (Instance.tids inst) conflicting in
+      Rows.elements (eval (Instance.restrict inst survivors))
+  | AR -> (
+      match repairs ?max_rounds program inst with
+      | [] -> []
+      | first :: rest ->
+          Rows.elements
+            (List.fold_left
+               (fun acc r -> Rows.inter acc (eval r))
+               (eval first) rest))
+  | Brave ->
+      Rows.elements
+        (List.fold_left
+           (fun acc r -> Rows.union acc (eval r))
+           Rows.empty
+           (repairs ?max_rounds program inst))

@@ -1,0 +1,73 @@
+(** Existential rules (Datalog±) with negative constraints, and
+    inconsistency-tolerant query answering over them (paper, Section 8:
+    OBDA "in terms of the ontological language (e.g. some Description Logic
+    or a Datalog± program class)"; Lukasiewicz et al. [89]).
+
+    A program is a set of rules [body → ∃ȳ head] over one schema, plus
+    negative constraints (denials).  Reasoning is by the {b skolem chase}:
+    existential variables are instantiated with deterministic skolem terms
+    over the rule's frontier, so saturation is a fixpoint under set
+    semantics and terminates for weakly acyclic rule sets (checked by
+    {!weakly_acyclic}; non-weakly-acyclic programs chase under a round
+    budget and fail loudly).
+
+    When the chase violates a negative constraint, the {e database} facts
+    are to blame: every violation is traced back through fact provenance to
+    a minimal set of base facts, giving the conflict hypergraph; repairs
+    and AR / IAR / brave answers follow as usual. *)
+
+type rule = {
+  body : Logic.Cq.t;
+      (** the body; its head terms are the frontier (exported variables) *)
+  head : Logic.Atom.t list;
+      (** head atoms; variables that are neither frontier nor body
+          variables are existential *)
+}
+
+type program = {
+  rules : rule list;
+  constraints : Constraints.Ic.denial list;
+}
+
+val rule : body:Logic.Cq.t -> head:Logic.Atom.t list -> rule
+
+val is_skolem : Relational.Value.t -> bool
+
+val weakly_acyclic : rule list -> bool
+
+val chase :
+  ?max_rounds:int -> program -> Relational.Instance.t ->
+  Relational.Instance.t
+(** Saturate the instance.  [max_rounds] defaults to 100 when the rules are
+    weakly acyclic (they converge sooner) and is mandatory protection
+    otherwise; raises [Failure] when the budget is exhausted. *)
+
+val certain_answers :
+  ?max_rounds:int -> program -> Relational.Instance.t -> Logic.Cq.t ->
+  Relational.Value.t list list
+(** Skolem-free answers over the chased instance (no consistency
+    handling). *)
+
+val is_consistent :
+  ?max_rounds:int -> program -> Relational.Instance.t -> bool
+
+val conflicts :
+  ?max_rounds:int -> program -> Relational.Instance.t ->
+  Relational.Tid.Set.t list
+(** Minimal sets of base tuples whose presence triggers some negative
+    constraint in the chase. *)
+
+val repairs :
+  ?max_rounds:int -> program -> Relational.Instance.t ->
+  Relational.Instance.t list
+(** Maximal base sub-instances whose chase satisfies the constraints. *)
+
+type semantics = AR | IAR | Brave
+
+val answers :
+  ?max_rounds:int ->
+  semantics ->
+  program ->
+  Relational.Instance.t ->
+  Logic.Cq.t ->
+  Relational.Value.t list list

@@ -1,0 +1,30 @@
+module Schema = Relational.Schema
+module Instance = Relational.Instance
+module Fact = Relational.Fact
+
+type t = { global_schema : Schema.t; views : Datalog.Rule.t list }
+
+let make global_schema views =
+  List.iter
+    (fun (r : Datalog.Rule.t) ->
+      let h = r.head in
+      if not (Schema.mem global_schema h.Logic.Atom.rel) then
+        invalid_arg
+          (Printf.sprintf "Gav.make: view head %s not in the global schema"
+             h.Logic.Atom.rel);
+      if Logic.Atom.arity h <> Schema.arity global_schema h.Logic.Atom.rel then
+        invalid_arg
+          (Printf.sprintf "Gav.make: arity mismatch for %s" h.Logic.Atom.rel))
+    views;
+  { global_schema; views }
+
+let retrieved_instance t source_facts =
+  let derived = Datalog.Eval.run (Datalog.Program.make t.views) source_facts in
+  Fact.Set.fold
+    (fun (f : Fact.t) acc ->
+      if Schema.mem t.global_schema f.rel then Instance.add acc f else acc)
+    derived
+    (Instance.create t.global_schema)
+
+let answer t source_facts q =
+  Logic.Cq.answers q (retrieved_instance t source_facts)

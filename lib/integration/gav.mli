@@ -1,0 +1,24 @@
+(** Global-as-view virtual data integration (paper, Section 5).
+
+    Global predicates are defined as Datalog views over the source
+    relations (the paper's rules (8)–(9)).  Queries over the global schema
+    are answered by unfolding, which for monotone queries coincides with
+    evaluating them over the {e retrieved global instance} — the minimal
+    admissible global instance materialized by the view rules. *)
+
+type t = {
+  global_schema : Relational.Schema.t;
+  views : Datalog.Rule.t list;
+      (** Heads over global predicates, bodies over source predicates. *)
+}
+
+val make : Relational.Schema.t -> Datalog.Rule.t list -> t
+(** Raises [Invalid_argument] when a view head predicate is not in the
+    global schema or its arity disagrees. *)
+
+val retrieved_instance : t -> Relational.Fact.t list -> Relational.Instance.t
+(** Materialize the minimal global instance from the source facts. *)
+
+val answer :
+  t -> Relational.Fact.t list -> Logic.Cq.t -> Relational.Value.t list list
+(** Certain answers of a monotone query under GAV semantics. *)

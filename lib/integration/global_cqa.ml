@@ -1,0 +1,30 @@
+module Value = Relational.Value
+
+type engine = [ `Repair_enumeration | `Fo_rewriting | `Asp ]
+
+module Rows = Set.Make (struct
+  type t = Value.t list
+
+  let compare = List.compare Value.compare
+end)
+
+let repair_enumeration_answers q schema ics inst =
+  match Repairs.S_repair.enumerate inst schema ics with
+  | [] -> []
+  | first :: rest ->
+      let answers (r : Repairs.Repair.t) =
+        Rows.of_list (Logic.Cq.answers q r.repaired)
+      in
+      Rows.elements
+        (List.fold_left
+           (fun acc r -> Rows.inter acc (answers r))
+           (answers first) rest)
+
+let consistent_answers ?(engine = `Repair_enumeration) gav ~sources ~ics q =
+  let retrieved = Gav.retrieved_instance gav sources in
+  let schema = gav.Gav.global_schema in
+  match engine with
+  | `Repair_enumeration -> repair_enumeration_answers q schema ics retrieved
+  | `Fo_rewriting ->
+      Rewriting.Residue_rewrite.consistent_answers q schema ics retrieved
+  | `Asp -> Repair_programs.Asp_cqa.consistent_answers q schema ics retrieved

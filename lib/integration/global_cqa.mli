@@ -1,0 +1,21 @@
+(** Consistent query answering on top of a virtual integration system
+    (paper, Section 5, Example 5.2).
+
+    Global ICs cannot be enforced on the sources — the mediator cannot
+    update them — so they are applied at query-answering time: the
+    retrieved global instance is (virtually) repaired and the query is
+    answered consistently over it. *)
+
+type engine =
+  [ `Repair_enumeration  (** exact, exponential worst case *)
+  | `Fo_rewriting  (** residue rewriting; sound for its class *)
+  | `Asp  (** repair programs, cautious reasoning *) ]
+
+val consistent_answers :
+  ?engine:engine ->
+  Gav.t ->
+  sources:Relational.Fact.t list ->
+  ics:Constraints.Ic.t list ->
+  Logic.Cq.t ->
+  Relational.Value.t list list
+(** Default engine: [`Repair_enumeration]. *)

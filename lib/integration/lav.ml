@@ -1,0 +1,73 @@
+module Schema = Relational.Schema
+module Instance = Relational.Instance
+module Fact = Relational.Fact
+module Value = Relational.Value
+module Term = Logic.Term
+
+type view = { source : string; head_vars : string list; body : Logic.Atom.t list }
+
+type t = { global_schema : Schema.t; views : view list }
+
+let make global_schema views =
+  List.iter
+    (fun v ->
+      List.iter
+        (fun (a : Logic.Atom.t) ->
+          if not (Schema.mem global_schema a.rel) then
+            invalid_arg
+              (Printf.sprintf "Lav.make: view body %s not in global schema" a.rel))
+        v.body)
+    views;
+  { global_schema; views }
+
+let null_prefix = "\xe2\x8a\xa5" (* ⊥ *)
+
+let is_labeled_null = function
+  | Value.Str s -> String.length s >= 3 && String.sub s 0 3 = null_prefix
+  | _ -> false
+
+let canonical_instance t source_facts =
+  let counter = ref 0 in
+  let fresh_null () =
+    incr counter;
+    Value.Str (Printf.sprintf "%s%d" null_prefix !counter)
+  in
+  List.fold_left
+    (fun acc (f : Fact.t) ->
+      match List.find_opt (fun v -> String.equal v.source f.rel) t.views with
+      | None -> acc
+      | Some view ->
+          if List.length view.head_vars <> Array.length f.row then
+            invalid_arg
+              (Printf.sprintf "Lav: arity mismatch for source %s" f.rel);
+          let env = Hashtbl.create 8 in
+          List.iteri
+            (fun i v -> Hashtbl.replace env v f.row.(i))
+            view.head_vars;
+          (* Existential variables: one fresh labeled null per source
+             tuple, shared across the body atoms it appears in. *)
+          List.fold_left
+            (fun acc (a : Logic.Atom.t) ->
+              let args =
+                List.map
+                  (function
+                    | Term.Const c -> c
+                    | Term.Var x -> (
+                        match Hashtbl.find_opt env x with
+                        | Some v -> v
+                        | None ->
+                            let n = fresh_null () in
+                            Hashtbl.replace env x n;
+                            n))
+                  a.args
+              in
+              Instance.add acc (Fact.make a.rel args))
+            acc view.body)
+    (Instance.create t.global_schema)
+    source_facts
+
+let certain_answers t source_facts q =
+  let canonical = canonical_instance t source_facts in
+  List.filter
+    (fun row -> not (List.exists is_labeled_null row))
+    (Logic.Cq.answers q canonical)

@@ -1,0 +1,29 @@
+(** Local-as-view integration via the inverse-rules method (paper, Section
+    5: the LAV side of the picture).
+
+    Each source relation is declared as a conjunctive view over the global
+    schema.  Inverting the views populates a {e canonical global instance}:
+    each source tuple asserts the view body with the head variables bound
+    and existential variables replaced by fresh labeled nulls.  Evaluating a
+    CQ on the canonical instance and discarding answers that contain
+    labeled nulls yields exactly the certain answers (for CQs without
+    comparisons over the nulls). *)
+
+type view = {
+  source : string;
+  head_vars : string list;
+  body : Logic.Atom.t list;
+      (** Over global predicates; variables not in [head_vars] are
+          existential. *)
+}
+
+type t = { global_schema : Relational.Schema.t; views : view list }
+
+val make : Relational.Schema.t -> view list -> t
+
+val is_labeled_null : Relational.Value.t -> bool
+
+val canonical_instance : t -> Relational.Fact.t list -> Relational.Instance.t
+
+val certain_answers :
+  t -> Relational.Fact.t list -> Logic.Cq.t -> Relational.Value.t list list

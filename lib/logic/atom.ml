@@ -1,0 +1,38 @@
+type t = { rel : string; args : Term.t list }
+
+let make rel args = { rel; args }
+let arity a = List.length a.args
+let vars a = Term.vars a.args
+let is_ground a = List.for_all (fun t -> not (Term.is_var t)) a.args
+
+let to_fact a =
+  let values =
+    List.map
+      (function
+        | Term.Const v -> v
+        | Term.Var x ->
+            invalid_arg
+              (Printf.sprintf "Atom.to_fact: non-ground atom (variable %s)" x))
+      a.args
+  in
+  Relational.Fact.make a.rel values
+
+let of_fact (f : Relational.Fact.t) =
+  { rel = f.rel; args = Array.to_list (Array.map Term.const f.row) }
+
+let equal a b =
+  String.equal a.rel b.rel
+  && List.length a.args = List.length b.args
+  && List.for_all2 Term.equal a.args b.args
+
+let compare a b =
+  match String.compare a.rel b.rel with
+  | 0 -> List.compare Term.compare a.args b.args
+  | c -> c
+
+let pp ppf a =
+  Format.fprintf ppf "%s(%a)" a.rel
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Term.pp)
+    a.args

@@ -1,0 +1,16 @@
+(** Relational atoms [R(t1, ..., tn)]. *)
+
+type t = { rel : string; args : Term.t list }
+
+val make : string -> Term.t list -> t
+val arity : t -> int
+val vars : t -> string list
+val is_ground : t -> bool
+
+val to_fact : t -> Relational.Fact.t
+(** Raises [Invalid_argument] if the atom is not ground. *)
+
+val of_fact : Relational.Fact.t -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,33 @@
+module Smap = Map.Make (String)
+module Value = Relational.Value
+
+type t = Value.t Smap.t
+
+let empty = Smap.empty
+let find b x = Smap.find_opt x b
+let bind b x v = Smap.add x v b
+let mem b x = Smap.mem x b
+
+let term_value b = function
+  | Term.Const v -> Some v
+  | Term.Var x -> find b x
+
+let eval_cmp b (c : Cmp.t) =
+  let value t =
+    match term_value b t with
+    | Some v -> v
+    | None ->
+        invalid_arg
+          (Format.asprintf "Binding.eval_cmp: unbound variable in %a" Cmp.pp c)
+  in
+  Cmp.eval (value c.left) c.op (value c.right)
+
+let to_list b = Smap.bindings b
+let of_list l = List.fold_left (fun acc (x, v) -> Smap.add x v acc) Smap.empty l
+
+let pp ppf b =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf (x, v) -> Format.fprintf ppf "%s=%a" x Value.pp v))
+    (to_list b)

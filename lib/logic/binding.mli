@@ -1,0 +1,18 @@
+(** Ground variable bindings produced by query evaluation. *)
+
+type t
+
+val empty : t
+val find : t -> string -> Relational.Value.t option
+val bind : t -> string -> Relational.Value.t -> t
+val mem : t -> string -> bool
+
+val term_value : t -> Term.t -> Relational.Value.t option
+(** The value of a term under the binding; [None] for an unbound variable. *)
+
+val eval_cmp : t -> Cmp.t -> Relational.Tvl.t
+(** Raises [Invalid_argument] if a comparison variable is unbound. *)
+
+val to_list : t -> (string * Relational.Value.t) list
+val of_list : (string * Relational.Value.t) list -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,79 @@
+type literal = Pos of Atom.t | Neg of Atom.t | Builtin of Cmp.t
+
+type t = { literals : literal list }
+
+let make literals = { literals }
+
+let vars c =
+  let terms =
+    List.concat_map
+      (function
+        | Pos a | Neg a -> a.Atom.args
+        | Builtin cmp -> [ cmp.Cmp.left; cmp.Cmp.right ])
+      c.literals
+  in
+  Term.vars terms
+
+let negative_atoms c =
+  List.filter_map (function Neg a -> Some a | Pos _ | Builtin _ -> None) c.literals
+
+let rename_apart ~suffix c =
+  let rename_term = function
+    | Term.Var x -> Term.Var (x ^ suffix)
+    | Term.Const _ as t -> t
+  in
+  let rename_lit = function
+    | Pos a -> Pos { a with Atom.args = List.map rename_term a.Atom.args }
+    | Neg a -> Neg { a with Atom.args = List.map rename_term a.Atom.args }
+    | Builtin cmp ->
+        Builtin
+          {
+            cmp with
+            Cmp.left = rename_term cmp.Cmp.left;
+            Cmp.right = rename_term cmp.Cmp.right;
+          }
+  in
+  { literals = List.map rename_lit c.literals }
+
+let literal_formula = function
+  | Pos a -> Formula.Atom a
+  | Neg a -> Formula.Not (Formula.Atom a)
+  | Builtin cmp -> Formula.Cmp cmp
+
+let to_formula c =
+  Formula.forall (vars c) (Formula.disj (List.map literal_formula c.literals))
+
+let holds inst c = Formula.holds inst (to_formula c)
+
+(* Distribute the NNF matrix into clauses.  Each recursive call returns the
+   conjunction-of-disjunctions as a list of literal lists. *)
+let of_formula f =
+  let exception No_clausal_form in
+  let rec matrix f =
+    match (f : Formula.t) with
+    | Formula.True -> []
+    | Formula.False -> [ [] ]
+    | Formula.Atom a -> [ [ Pos a ] ]
+    | Formula.Not (Formula.Atom a) -> [ [ Neg a ] ]
+    | Formula.Cmp c -> [ [ Builtin c ] ]
+    | Formula.And (a, b) -> matrix a @ matrix b
+    | Formula.Or (a, b) ->
+        let ca = matrix a and cb = matrix b in
+        List.concat_map (fun da -> List.map (fun db -> da @ db) cb) ca
+    | Formula.Forall (_, g) -> matrix g
+    | Formula.Exists _ -> raise No_clausal_form
+    | Formula.Not _ | Formula.Implies _ ->
+        (* NNF leaves negation only on atoms and eliminates implication. *)
+        assert false
+  in
+  try Some (List.map make (matrix (Formula.nnf f))) with No_clausal_form -> None
+
+let pp_literal ppf = function
+  | Pos a -> Atom.pp ppf a
+  | Neg a -> Format.fprintf ppf "¬%a" Atom.pp a
+  | Builtin cmp -> Cmp.pp ppf cmp
+
+let pp ppf c =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf " ∨ ")
+    pp_literal ppf c.literals

@@ -1,0 +1,28 @@
+(** Universal clauses — the clausal form of integrity constraints.
+
+    A clause is an implicitly universally quantified disjunction of
+    literals, e.g. the paper's (3) [¬Supply(x,y,z) ∨ Articles(z)] or (5)
+    [¬Employee(x,y) ∨ ¬Employee(x,z) ∨ y = z]. *)
+
+type literal = Pos of Atom.t | Neg of Atom.t | Builtin of Cmp.t
+
+type t = { literals : literal list }
+
+val make : literal list -> t
+val vars : t -> string list
+val negative_atoms : t -> Atom.t list
+val rename_apart : suffix:string -> t -> t
+
+val to_formula : t -> Formula.t
+(** The universally closed disjunction. *)
+
+val of_formula : Formula.t -> t list option
+(** Clausal form of a universal formula: after NNF, universal quantifiers
+    are stripped and the matrix is distributed into a conjunction of
+    literal disjunctions.  Returns [None] when an existential quantifier
+    survives in the NNF (such formulas have no clausal form over the
+    schema).  [of_formula (to_formula c) = Some [c]] up to literal order
+    and variable renaming. *)
+
+val holds : Relational.Instance.t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,47 @@
+module Value = Relational.Value
+module Tvl = Relational.Tvl
+
+type op = Eq | Neq | Lt | Le | Gt | Ge
+
+type t = { op : op; left : Term.t; right : Term.t }
+
+let make op left right = { op; left; right }
+let eq l r = make Eq l r
+let neq l r = make Neq l r
+
+let negate c =
+  let op =
+    match c.op with
+    | Eq -> Neq
+    | Neq -> Eq
+    | Lt -> Ge
+    | Ge -> Lt
+    | Le -> Gt
+    | Gt -> Le
+  in
+  { c with op }
+
+let vars c = Term.vars [ c.left; c.right ]
+
+let eval l op r =
+  match op with
+  | Eq -> Value.sql_eq l r
+  | Neq -> Tvl.not_ (Value.sql_eq l r)
+  | Lt -> Value.sql_cmp (fun c -> c < 0) l r
+  | Le -> Value.sql_cmp (fun c -> c <= 0) l r
+  | Gt -> Value.sql_cmp (fun c -> c > 0) l r
+  | Ge -> Value.sql_cmp (fun c -> c >= 0) l r
+
+let equal a b = a.op = b.op && Term.equal a.left b.left && Term.equal a.right b.right
+
+let pp_op ppf op =
+  Format.pp_print_string ppf
+    (match op with
+    | Eq -> "="
+    | Neq -> "<>"
+    | Lt -> "<"
+    | Le -> "<="
+    | Gt -> ">"
+    | Ge -> ">=")
+
+let pp ppf c = Format.fprintf ppf "%a %a %a" Term.pp c.left pp_op c.op Term.pp c.right

@@ -1,0 +1,18 @@
+(** Built-in comparison literals between terms.
+
+    Evaluated under SQL three-valued logic once ground: any comparison
+    touching NULL is [Unknown] (so it never selects). *)
+
+type op = Eq | Neq | Lt | Le | Gt | Ge
+
+type t = { op : op; left : Term.t; right : Term.t }
+
+val make : op -> Term.t -> Term.t -> t
+val eq : Term.t -> Term.t -> t
+val neq : Term.t -> Term.t -> t
+val negate : t -> t
+val vars : t -> string list
+val eval : Relational.Value.t -> op -> Relational.Value.t -> Relational.Tvl.t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val pp_op : Format.formatter -> op -> unit

@@ -1,0 +1,144 @@
+module Instance = Relational.Instance
+module Tvl = Relational.Tvl
+
+type t = { name : string; head : Term.t list; body : Atom.t list; comps : Cmp.t list }
+
+let make ?(name = "Q") ?(comps = []) head body = { name; head; body; comps }
+let arity q = List.length q.head
+let head_vars q = Term.vars q.head
+let body_vars q = Term.vars (List.concat_map (fun (a : Atom.t) -> a.args) q.body)
+
+let existential_vars q =
+  let hv = head_vars q in
+  List.filter (fun v -> not (List.mem v hv)) (body_vars q)
+
+let is_boolean q = q.head = []
+
+(* Match one atom against one stored row, extending [env].  A bound variable
+   or a constant must match via three-valued equality being definitely true,
+   which is what makes NULL unable to satisfy joins. *)
+let match_row env (a : Atom.t) row =
+  let n = List.length a.args in
+  if n <> Array.length row then None
+  else
+    let rec go env i = function
+      | [] -> Some env
+      | t :: rest -> (
+          let v = row.(i) in
+          match t with
+          | Term.Const c ->
+              if Tvl.to_bool (Relational.Value.sql_eq c v) then
+                go env (i + 1) rest
+              else None
+          | Term.Var x -> (
+              match Binding.find env x with
+              | Some bound ->
+                  if Tvl.to_bool (Relational.Value.sql_eq bound v) then
+                    go env (i + 1) rest
+                  else None
+              | None -> go (Binding.bind env x v) (i + 1) rest))
+    in
+    go env 0 a.args
+
+let cmp_ready env (c : Cmp.t) =
+  List.for_all (Binding.mem env) (Cmp.vars c)
+
+(* Backtracking join: at each step pick the atom with the fewest unbound
+   variables (a cheap greedy join order), and check comparisons as soon as
+   their variables are bound. *)
+let bindings q inst =
+  let eval_comps env pending =
+    let ready, rest = List.partition (cmp_ready env) pending in
+    if List.for_all (fun c -> Tvl.to_bool (Binding.eval_cmp env c)) ready then
+      Some rest
+    else None
+  in
+  let unbound_count env (a : Atom.t) =
+    List.length
+      (List.filter
+         (function Term.Var x -> not (Binding.mem env x) | Term.Const _ -> false)
+         a.args)
+  in
+  let rec search env atoms comps acc =
+    match atoms with
+    | [] -> env :: acc
+    | _ ->
+        let best =
+          List.fold_left
+            (fun best a ->
+              match best with
+              | None -> Some a
+              | Some b ->
+                  if unbound_count env a < unbound_count env b then Some a
+                  else best)
+            None atoms
+        in
+        let a = Option.get best in
+        let rest = List.filter (fun a' -> a' != a) atoms in
+        List.fold_left
+          (fun acc (_tid, row) ->
+            match match_row env a row with
+            | None -> acc
+            | Some env' -> (
+                match eval_comps env' comps with
+                | None -> acc
+                | Some pending -> search env' rest pending acc))
+          acc
+          (Instance.tuples inst ~rel:a.Atom.rel)
+  in
+  match eval_comps Binding.empty q.comps with
+  | None -> []
+  | Some pending -> List.rev (search Binding.empty q.body pending [])
+
+module Row_set = Set.Make (struct
+  type t = Relational.Value.t list
+
+  let compare = List.compare Relational.Value.compare
+end)
+
+let answers q inst =
+  let term_value env = function
+    | Term.Const c -> c
+    | Term.Var x -> (
+        match Binding.find env x with
+        | Some v -> v
+        | None ->
+            invalid_arg
+              (Printf.sprintf "Cq.answers: unsafe head variable %s in %s" x
+                 q.name))
+  in
+  let rows =
+    List.fold_left
+      (fun acc env ->
+        Row_set.add (List.map (term_value env) q.head) acc)
+      Row_set.empty (bindings q inst)
+  in
+  Row_set.elements rows
+
+let holds q inst = bindings q inst <> []
+
+let substitute s q =
+  {
+    q with
+    head = List.map (Subst.apply_term s) q.head;
+    body = List.map (Subst.apply_atom s) q.body;
+    comps = List.map (Subst.apply_cmp s) q.comps;
+  }
+
+let pp ppf q =
+  let pp_terms ppf =
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+      Term.pp ppf
+  in
+  Format.fprintf ppf "%s(%a) :- %a" q.name pp_terms q.head
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Atom.pp)
+    q.body;
+  if q.comps <> [] then
+    Format.fprintf ppf ", %a"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         Cmp.pp)
+      q.comps

@@ -1,0 +1,33 @@
+(** Conjunctive queries with built-in comparisons.
+
+    [Q(x̄) : ∃ȳ (A1 ∧ ... ∧ An ∧ c1 ∧ ... ∧ cm)] where the [head] terms list
+    the distinguished variables (or constants) x̄ and all other body
+    variables are existential.  Evaluation follows SQL semantics for NULL:
+    a variable occurring in two positions is a join and never matches
+    through NULL, and comparisons touching NULL do not select. *)
+
+type t = { name : string; head : Term.t list; body : Atom.t list; comps : Cmp.t list }
+
+val make : ?name:string -> ?comps:Cmp.t list -> Term.t list -> Atom.t list -> t
+val arity : t -> int
+val head_vars : t -> string list
+val body_vars : t -> string list
+val existential_vars : t -> string list
+val is_boolean : t -> bool
+
+val match_row : Binding.t -> Atom.t -> Relational.Value.t array -> Binding.t option
+(** Extend a binding by matching one atom against one stored row; [None] if
+    a constant or an already-bound variable fails to match definitely
+    (NULL never matches). *)
+
+val bindings : t -> Relational.Instance.t -> Binding.t list
+(** All bindings of the body variables that satisfy body and comparisons. *)
+
+val answers : t -> Relational.Instance.t -> Relational.Value.t list list
+(** Distinct answer tuples, sorted. *)
+
+val holds : t -> Relational.Instance.t -> bool
+(** Satisfaction of the query's body — the Boolean-query reading. *)
+
+val substitute : Subst.t -> t -> t
+val pp : Format.formatter -> t -> unit

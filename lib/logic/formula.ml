@@ -1,0 +1,221 @@
+module Instance = Relational.Instance
+module Tvl = Relational.Tvl
+module Value = Relational.Value
+
+type t =
+  | True
+  | False
+  | Atom of Atom.t
+  | Cmp of Cmp.t
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Exists of string list * t
+  | Forall of string list * t
+
+let conj = function
+  | [] -> True
+  | f :: rest -> List.fold_left (fun acc g -> And (acc, g)) f rest
+
+let disj = function
+  | [] -> False
+  | f :: rest -> List.fold_left (fun acc g -> Or (acc, g)) f rest
+
+let exists vs f = if vs = [] then f else Exists (vs, f)
+let forall vs f = if vs = [] then f else Forall (vs, f)
+
+let of_cq_body (q : Cq.t) =
+  conj (List.map (fun a -> Atom a) q.body @ List.map (fun c -> Cmp c) q.comps)
+
+let of_cq (q : Cq.t) = exists (Cq.existential_vars q) (of_cq_body q)
+
+let rec free_vars = function
+  | True | False -> []
+  | Atom a -> Atom.vars a
+  | Cmp c -> Cmp.vars c
+  | Not f -> free_vars f
+  | And (a, b) | Or (a, b) | Implies (a, b) ->
+      let va = free_vars a in
+      va @ List.filter (fun v -> not (List.mem v va)) (free_vars b)
+  | Exists (vs, f) | Forall (vs, f) ->
+      List.filter (fun v -> not (List.mem v vs)) (free_vars f)
+
+let rec substitute s = function
+  | (True | False) as f -> f
+  | Atom a -> Atom (Subst.apply_atom s a)
+  | Cmp c -> Cmp (Subst.apply_cmp s c)
+  | Not f -> Not (substitute s f)
+  | And (a, b) -> And (substitute s a, substitute s b)
+  | Or (a, b) -> Or (substitute s a, substitute s b)
+  | Implies (a, b) -> Implies (substitute s a, substitute s b)
+  | Exists (vs, f) -> Exists (vs, substitute s f)
+  | Forall (vs, f) -> Forall (vs, substitute s f)
+
+(* Negation normal form, pushing negations to literals (Kleene-valid, and
+   valid for our two-valued quantifiers).  Comparisons absorb the negation
+   via [Cmp.negate], so NNF turns e.g. ¬(E(x,z) → y=z) into the
+   generator-friendly conjunction E(x,z) ∧ y≠z. *)
+let rec nnf = function
+  | (True | False | Atom _ | Cmp _) as f -> f
+  | Not f -> neg f
+  | And (a, b) -> And (nnf a, nnf b)
+  | Or (a, b) -> Or (nnf a, nnf b)
+  | Implies (a, b) -> Or (neg a, nnf b)
+  | Exists (vs, f) -> Exists (vs, nnf f)
+  | Forall (vs, f) -> Forall (vs, nnf f)
+
+and neg = function
+  | True -> False
+  | False -> True
+  | Atom _ as f -> Not f
+  | Cmp c -> Cmp (Cmp.negate c)
+  | Not f -> nnf f
+  | And (a, b) -> Or (neg a, neg b)
+  | Or (a, b) -> And (neg a, neg b)
+  | Implies (a, b) -> And (nnf a, neg b)
+  | Exists (vs, f) -> Forall (vs, neg f)
+  | Forall (vs, f) -> Exists (vs, neg f)
+
+let rec flatten_conj = function
+  | And (a, b) -> flatten_conj a @ flatten_conj b
+  | True -> []
+  | f -> [ f ]
+
+(* The truth value of one atom against one stored row: conjunction of
+   three-valued equalities, so that NULL in a compared position yields
+   Unknown rather than a match. *)
+let match_row_tvl env (a : Atom.t) row =
+  let n = List.length a.args in
+  if n <> Array.length row then Tvl.False
+  else
+    let rec go i acc = function
+      | [] -> acc
+      | t :: rest -> (
+          if acc = Tvl.False then Tvl.False
+          else
+            let v = row.(i) in
+            match t with
+            | Term.Const c -> go (i + 1) Tvl.(acc &&& Value.sql_eq c v) rest
+            | Term.Var x -> (
+                match Binding.find env x with
+                | Some bound -> go (i + 1) Tvl.(acc &&& Value.sql_eq bound v) rest
+                | None ->
+                    invalid_arg
+                      (Printf.sprintf
+                         "Formula.eval: unbound variable %s in atom %s" x a.rel)))
+    in
+    go 0 Tvl.True a.args
+
+let rec eval inst env f : Tvl.t =
+  match f with
+  | True -> Tvl.True
+  | False -> Tvl.False
+  | Atom a ->
+      List.fold_left
+        (fun acc (_tid, row) ->
+          match acc with
+          | Tvl.True -> Tvl.True
+          | _ -> Tvl.(acc ||| match_row_tvl env a row))
+        Tvl.False
+        (Instance.tuples inst ~rel:a.Atom.rel)
+  | Cmp c -> Binding.eval_cmp env c
+  | Not f -> Tvl.not_ (eval inst env f)
+  | And (a, b) -> Tvl.(eval inst env a &&& eval inst env b)
+  | Or (a, b) -> Tvl.(eval inst env a ||| eval inst env b)
+  | Implies (a, b) -> Tvl.(not_ (eval inst env a) ||| eval inst env b)
+  | Exists (vs, f) -> Tvl.of_bool (exists_sat inst env vs f)
+  | Forall (vs, f) -> Tvl.of_bool (not (exists_sat inst env vs (Not f)))
+
+and exists_sat inst env vs f =
+  let exception Found in
+  try
+    sat inst env vs (flatten_conj (nnf f)) (fun _ -> raise Found);
+    false
+  with Found -> true
+
+(* Enumerate extensions of [env] binding all of [vs] that make every
+   conjunct definitely true.  Positive atom conjuncts act as generators;
+   once a generator has produced a binding from a stored tuple it is removed
+   from the residual conjuncts (its truth is witnessed by that tuple), which
+   is also what lets a NULL-valued tuple satisfy its own atom while still
+   failing any join it participates in. *)
+and sat inst env vs conjs k =
+  let unbound = List.filter (fun v -> not (Binding.mem env v)) vs in
+  match unbound with
+  | [] ->
+      if List.for_all (fun c -> eval inst env c = Tvl.True) conjs then k env
+  | _ -> (
+      let is_generator = function
+        | Atom a -> List.exists (fun v -> List.mem v unbound) (Atom.vars a)
+        | _ -> false
+      in
+      let rec split acc = function
+        | [] -> None
+        | c :: rest when is_generator c -> Some (c, List.rev_append acc rest)
+        | c :: rest -> split (c :: acc) rest
+      in
+      match split [] conjs with
+      | Some (Atom a, rest) ->
+          List.iter
+            (fun (_tid, row) ->
+              match Cq.match_row env a row with
+              | Some env' -> sat inst env' vs rest k
+              | None -> ())
+            (Instance.tuples inst ~rel:a.Atom.rel)
+      | Some _ -> assert false
+      | None ->
+          let v = List.hd unbound in
+          List.iter
+            (fun value -> sat inst (Binding.bind env v value) vs conjs k)
+            (Instance.active_domain inst))
+
+let holds inst f = eval inst Binding.empty f = Tvl.True
+
+module Row_set = Set.Make (struct
+  type t = Value.t list
+
+  let compare = List.compare Value.compare
+end)
+
+let answers inst ~free f =
+  let acc = ref Row_set.empty in
+  sat inst Binding.empty free (flatten_conj (nnf f)) (fun env ->
+      let row =
+        List.map
+          (fun v ->
+            match Binding.find env v with
+            | Some value -> value
+            | None -> assert false)
+          free
+      in
+      acc := Row_set.add row !acc);
+  Row_set.elements !acc
+
+let rec pp ppf = function
+  | True -> Format.pp_print_string ppf "⊤"
+  | False -> Format.pp_print_string ppf "⊥"
+  | Atom a -> Atom.pp ppf a
+  | Cmp c -> Cmp.pp ppf c
+  | Not f -> Format.fprintf ppf "¬%a" pp_paren f
+  | And (a, b) -> Format.fprintf ppf "%a ∧ %a" pp_paren a pp_paren b
+  | Or (a, b) -> Format.fprintf ppf "%a ∨ %a" pp_paren a pp_paren b
+  | Implies (a, b) -> Format.fprintf ppf "%a → %a" pp_paren a pp_paren b
+  | Exists (vs, f) ->
+      Format.fprintf ppf "∃%a %a"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+           Format.pp_print_string)
+        vs pp_paren f
+  | Forall (vs, f) ->
+      Format.fprintf ppf "∀%a %a"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+           Format.pp_print_string)
+        vs pp_paren f
+
+and pp_paren ppf f =
+  match f with
+  | True | False | Atom _ | Cmp _ | Not _ -> pp ppf f
+  | And _ | Or _ | Implies _ | Exists _ | Forall _ ->
+      Format.fprintf ppf "(%a)" pp f

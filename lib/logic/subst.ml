@@ -1,0 +1,29 @@
+module Smap = Map.Make (String)
+
+type t = Term.t Smap.t
+
+let empty = Smap.empty
+let singleton x t = Smap.singleton x t
+let find s x = Smap.find_opt x s
+
+let rec apply_term s = function
+  | Term.Const _ as t -> t
+  | Term.Var x as t -> (
+      match Smap.find_opt x s with
+      | None -> t
+      | Some t' -> if Term.equal t t' then t else apply_term s t')
+
+let bind s x t = Smap.add x t s
+let apply_atom s (a : Atom.t) = { a with args = List.map (apply_term s) a.args }
+
+let apply_cmp s (c : Cmp.t) =
+  { c with left = apply_term s c.left; right = apply_term s c.right }
+
+let to_list s = Smap.bindings s
+
+let pp ppf s =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf (x, t) -> Format.fprintf ppf "%s↦%a" x Term.pp t))
+    (to_list s)

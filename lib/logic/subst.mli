@@ -1,0 +1,15 @@
+(** Term substitutions (variable → term), as produced by unification. *)
+
+type t
+
+val empty : t
+val singleton : string -> Term.t -> t
+val find : t -> string -> Term.t option
+val bind : t -> string -> Term.t -> t
+
+val apply_term : t -> Term.t -> Term.t
+val apply_atom : t -> Atom.t -> Atom.t
+val apply_cmp : t -> Cmp.t -> Cmp.t
+
+val to_list : t -> (string * Term.t) list
+val pp : Format.formatter -> t -> unit

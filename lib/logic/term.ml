@@ -1,0 +1,37 @@
+module Value = Relational.Value
+
+type t = Var of string | Const of Value.t
+
+let var x = Var x
+let const v = Const v
+let int i = Const (Value.int i)
+let str s = Const (Value.str s)
+
+let is_var = function Var _ -> true | Const _ -> false
+
+let equal a b =
+  match a, b with
+  | Var x, Var y -> String.equal x y
+  | Const u, Const v -> Value.equal u v
+  | (Var _ | Const _), _ -> false
+
+let compare a b =
+  match a, b with
+  | Var x, Var y -> String.compare x y
+  | Const u, Const v -> Value.compare u v
+  | Var _, Const _ -> -1
+  | Const _, Var _ -> 1
+
+let pp ppf = function
+  | Var x -> Format.pp_print_string ppf x
+  | Const v -> Value.pp ppf v
+
+let vars terms =
+  let seen = Hashtbl.create 8 in
+  List.filter_map
+    (function
+      | Var x when not (Hashtbl.mem seen x) ->
+          Hashtbl.add seen x ();
+          Some x
+      | Var _ | Const _ -> None)
+    terms

@@ -1,0 +1,16 @@
+(** First-order terms: variables and constants (database values). *)
+
+type t = Var of string | Const of Relational.Value.t
+
+val var : string -> t
+val const : Relational.Value.t -> t
+val int : int -> t
+val str : string -> t
+
+val is_var : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+val vars : t list -> string list
+(** Distinct variables, in first-occurrence order. *)

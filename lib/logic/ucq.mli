@@ -1,0 +1,12 @@
+(** Unions of conjunctive queries. *)
+
+type t = { name : string; disjuncts : Cq.t list }
+
+val make : ?name:string -> Cq.t list -> t
+(** Raises [Invalid_argument] on an empty list or mismatched arities. *)
+
+val of_cq : Cq.t -> t
+val arity : t -> int
+val answers : t -> Relational.Instance.t -> Relational.Value.t list list
+val holds : t -> Relational.Instance.t -> bool
+val pp : Format.formatter -> t -> unit

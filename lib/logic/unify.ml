@@ -1,0 +1,31 @@
+let rec resolve s t =
+  match t with
+  | Term.Const _ -> t
+  | Term.Var x -> (
+      match Subst.find s x with
+      | None -> t
+      | Some t' -> if Term.equal t t' then t else resolve s t')
+
+let terms s a b =
+  let a = resolve s a and b = resolve s b in
+  match a, b with
+  | Term.Const u, Term.Const v ->
+      if Relational.Value.equal u v then Some s else None
+  | Term.Var x, Term.Var y when String.equal x y -> Some s
+  | Term.Var x, t | t, Term.Var x -> Some (Subst.bind s x t)
+
+let atoms (a : Atom.t) (b : Atom.t) =
+  if not (String.equal a.rel b.rel) || List.length a.args <> List.length b.args
+  then None
+  else
+    List.fold_left2
+      (fun acc ta tb ->
+        match acc with None -> None | Some s -> terms s ta tb)
+      (Some Subst.empty) a.args b.args
+
+let rename_apart ~suffix atoms =
+  let rename = function
+    | Term.Var x -> Term.Var (x ^ suffix)
+    | Term.Const _ as t -> t
+  in
+  List.map (fun (a : Atom.t) -> { a with args = List.map rename a.args }) atoms

@@ -1,0 +1,11 @@
+(** Most general unifiers for atoms over variable/constant terms.
+
+    Since terms have no function symbols, unification reduces to computing a
+    consistent variable/constant matching; no occurs-check is needed. *)
+
+val terms : Subst.t -> Term.t -> Term.t -> Subst.t option
+val atoms : Atom.t -> Atom.t -> Subst.t option
+
+val rename_apart : suffix:string -> Atom.t list -> Atom.t list
+(** Rename every variable by appending [suffix], for standardizing clauses
+    apart before resolution. *)

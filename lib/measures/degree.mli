@@ -1,0 +1,32 @@
+(** Repair-based degrees of database inconsistency — the question the
+    paper's closing section returns to ("measuring the degree of
+    inconsistency of a database", refs [16, 17]).
+
+    All measures are normalized to [0, 1] where 0 means consistent.
+    Denial-class constraints only (they are what the cited measures are
+    defined for). *)
+
+val drastic :
+  Relational.Instance.t -> Relational.Schema.t -> Constraints.Ic.t list -> float
+(** 0 if consistent, 1 otherwise. *)
+
+val violation_ratio :
+  Relational.Instance.t -> Relational.Schema.t -> Constraints.Ic.t list -> float
+(** Number of violation witnesses over the number of tuples (clamped
+    to 1). *)
+
+val conflicting_tuple_ratio :
+  Relational.Instance.t -> Relational.Schema.t -> Constraints.Ic.t list -> float
+(** Fraction of tuples involved in at least one conflict. *)
+
+val repair_based :
+  Relational.Instance.t -> Relational.Schema.t -> Constraints.Ic.t list -> float
+(** The measure of [16, 17]: (|D| − max size of D ∩ D' over S-repairs D')
+    / |D| — i.e. the C-repair deletion count over |D|, computed by minimum
+    hitting set without enumerating repairs. *)
+
+val all :
+  Relational.Instance.t ->
+  Relational.Schema.t ->
+  Constraints.Ic.t list ->
+  (string * float) list

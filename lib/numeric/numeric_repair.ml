@@ -1,0 +1,186 @@
+module Instance = Relational.Instance
+module Tid = Relational.Tid
+module Value = Relational.Value
+
+type constraint_ =
+  | Row_bounds of { rel : string; pos : int; lower : float option; upper : float option }
+  | Sum_eq of { rel : string; pos : int; total : float }
+
+type change = { cell : Tid.Cell.t; old_value : float; new_value : float }
+
+type result = {
+  repaired : Instance.t;
+  changes : change list;
+  l1_cost : float;
+}
+
+let numeric rel pos = function
+  | Value.Int i -> float_of_int i
+  | Value.Real r -> r
+  | v ->
+      invalid_arg
+        (Format.asprintf "Numeric_repair: non-numeric value %a at %s[%d]"
+           Value.pp v rel pos)
+
+let cells inst rel pos =
+  List.map
+    (fun (tid, row) -> (tid, numeric rel pos row.(pos)))
+    (Instance.tuples inst ~rel)
+
+let clamp ~lower ~upper x =
+  let x = match lower with Some l when x < l -> l | _ -> x in
+  match upper with Some u when x > u -> u | _ -> x
+
+let bounds_distance inst = function
+  | Row_bounds { rel; pos; lower; upper } ->
+      List.fold_left
+        (fun acc (_tid, x) -> acc +. Float.abs (x -. clamp ~lower ~upper x))
+        0.0 (cells inst rel pos)
+  | Sum_eq _ -> 0.0
+
+let sum_delta inst = function
+  | Sum_eq { rel; pos; total } ->
+      let actual = List.fold_left (fun acc (_, x) -> acc +. x) 0.0 (cells inst rel pos) in
+      actual -. total
+  | Row_bounds _ -> 0.0
+
+let magnitude inst c =
+  match c with
+  | Row_bounds _ -> bounds_distance inst c
+  | Sum_eq _ -> Float.abs (sum_delta inst c)
+
+let violations inst constraints =
+  List.filter_map
+    (fun c ->
+      let m = magnitude inst c in
+      if m > 1e-9 then Some (c, m) else None)
+    constraints
+
+let is_consistent inst constraints = violations inst constraints = []
+
+(* Clamping fixes bounds at minimal cost; the sum then needs the residual
+   discrepancy moved, so the total optimal L1 cost is the clamping cost
+   plus the post-clamping |Δ| per sum constraint. *)
+let minimal_l1_cost inst constraints =
+  let clamped =
+    List.fold_left
+      (fun acc c ->
+        match c with
+        | Row_bounds { rel; pos; lower; upper } ->
+            List.fold_left
+              (fun acc (tid, x) ->
+                let x' = clamp ~lower ~upper x in
+                if x' <> x then ((rel, pos, tid), x') :: acc else acc)
+              acc (cells inst rel pos)
+        | Sum_eq _ -> acc)
+      [] constraints
+  in
+  let value_after rel pos tid x =
+    match List.assoc_opt (rel, pos, tid) clamped with Some x' -> x' | None -> x
+  in
+  let clamp_cost = List.fold_left (fun acc c -> acc +. bounds_distance inst c) 0.0 constraints in
+  let sum_cost =
+    List.fold_left
+      (fun acc c ->
+        match c with
+        | Sum_eq { rel; pos; total } ->
+            let actual =
+              List.fold_left
+                (fun acc (tid, x) -> acc +. value_after rel pos tid x)
+                0.0 (cells inst rel pos)
+            in
+            acc +. Float.abs (actual -. total)
+        | Row_bounds _ -> acc)
+      0.0 constraints
+  in
+  clamp_cost +. sum_cost
+
+let set_cell inst rel pos tid x =
+  ignore rel;
+  Instance.update_cell inst (Tid.Cell.make tid (pos + 1)) (Value.Real x)
+
+let bound_for constraints rel pos =
+  List.fold_left
+    (fun (lo, hi) c ->
+      match c with
+      | Row_bounds b when String.equal b.rel rel && b.pos = pos ->
+          let lo = match b.lower with Some l -> Some (Float.max l (Option.value ~default:l lo)) | None -> lo in
+          let hi = match b.upper with Some u -> Some (Float.min u (Option.value ~default:u hi)) | None -> hi in
+          (lo, hi)
+      | _ -> (lo, hi))
+    (None, None) constraints
+
+let repair ?(policy = `Single_cell) inst constraints =
+  let changes = ref [] in
+  let record rel pos tid old_value new_value db =
+    if Float.abs (new_value -. old_value) > 1e-12 then begin
+      changes :=
+        { cell = Tid.Cell.make tid (pos + 1); old_value; new_value } :: !changes;
+      set_cell db rel pos tid new_value
+    end
+    else db
+  in
+  (* Phase 1: clamp bounds. *)
+  let db =
+    List.fold_left
+      (fun db c ->
+        match c with
+        | Row_bounds { rel; pos; lower; upper } ->
+            List.fold_left
+              (fun db (tid, x) ->
+                record rel pos tid x (clamp ~lower ~upper x) db)
+              db (cells db rel pos)
+        | Sum_eq _ -> db)
+      inst constraints
+  in
+  (* Phase 2: absorb each sum discrepancy within the bounds. *)
+  let db =
+    List.fold_left
+      (fun db c ->
+        match c with
+        | Row_bounds _ -> db
+        | Sum_eq { rel; pos; total } ->
+            let delta = sum_delta db (Sum_eq { rel; pos; total }) in
+            if Float.abs delta <= 1e-9 then db
+            else begin
+              let lower, upper = bound_for constraints rel pos in
+              let current = cells db rel pos in
+              if current = [] then
+                failwith "Numeric_repair.repair: empty relation under Sum_eq";
+              match policy with
+              | `Proportional when List.for_all (fun (_, x) -> x > 0.0) current
+                                   && lower = None && upper = None ->
+                  let sum = List.fold_left (fun a (_, x) -> a +. x) 0.0 current in
+                  List.fold_left
+                    (fun db (tid, x) ->
+                      record rel pos tid x (x -. (delta *. x /. sum)) db)
+                    db current
+              | _ ->
+                  (* Waterfilling in tid order: push each cell toward its
+                     bound until the discrepancy is gone. *)
+                  let remaining = ref delta in
+                  let db =
+                    List.fold_left
+                      (fun db (tid, x) ->
+                        if Float.abs !remaining <= 1e-9 then db
+                        else
+                          let target = x -. !remaining in
+                          let target = clamp ~lower ~upper target in
+                          let absorbed = x -. target in
+                          remaining := !remaining -. absorbed;
+                          record rel pos tid x target db)
+                      db current
+                  in
+                  if Float.abs !remaining > 1e-9 then
+                    failwith
+                      "Numeric_repair.repair: bounds make the total unreachable";
+                  db
+            end)
+      db constraints
+  in
+  let l1_cost =
+    List.fold_left
+      (fun acc c -> acc +. Float.abs (c.new_value -. c.old_value))
+      0.0 !changes
+  in
+  { repaired = db; changes = List.rev !changes; l1_cost }

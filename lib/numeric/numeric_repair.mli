@@ -1,0 +1,54 @@
+(** Fixing numerical attributes under numerical constraints (paper, Section
+    4: "attribute-based repairs of databases with numerical values ...
+    subject to numerical constraints" — Bertossi–Bravo–Franconi–Lopatenko
+    [20], Flesca–Furfaro–Parisi [62]).
+
+    Two constraint forms over a numeric column:
+    - {b row bounds}: every value within [lower, upper];
+    - {b aggregate equality}: the column sums to a prescribed total (the
+      balance-sheet scenario of [62]).
+
+    Repairs change numeric values, minimizing the L1 distance
+    Σ |new − old| (and, among L1-minimal fixes for bounds, each cell is
+    clamped — the unique pointwise-minimal fix).  For the sum constraint
+    the minimal L1 cost is exactly |Δ| (Δ = actual − expected); the
+    distribution of the adjustment is a policy choice. *)
+
+type constraint_ =
+  | Row_bounds of { rel : string; pos : int; lower : float option; upper : float option }
+  | Sum_eq of { rel : string; pos : int; total : float }
+
+type change = {
+  cell : Relational.Tid.Cell.t;
+  old_value : float;
+  new_value : float;
+}
+
+type result = {
+  repaired : Relational.Instance.t;
+  changes : change list;
+  l1_cost : float;
+}
+
+val violations :
+  Relational.Instance.t -> constraint_ list -> (constraint_ * float) list
+(** Violated constraints with their violation magnitude (for bounds, the
+    total clamping distance; for sums, |Δ|). *)
+
+val is_consistent : Relational.Instance.t -> constraint_ list -> bool
+
+val minimal_l1_cost : Relational.Instance.t -> constraint_ list -> float
+(** Lower bound on any repair's cost; attained by {!repair}. *)
+
+val repair :
+  ?policy:[ `Single_cell | `Proportional ] ->
+  Relational.Instance.t ->
+  constraint_ list ->
+  result
+(** Bounds are clamped first; a remaining sum discrepancy is absorbed by
+    one cell ([`Single_cell], default — fewest changed cells) or spread
+    proportionally to the current values ([`Proportional]).  When bounds
+    and a sum constraint interact, the adjustment respects the bounds
+    (waterfilling in tid order); raises [Failure] if the bounds make the
+    total unreachable.  NULL and non-numeric cells raise
+    [Invalid_argument]. *)

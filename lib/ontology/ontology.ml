@@ -1,0 +1,262 @@
+module Schema = Relational.Schema
+module Instance = Relational.Instance
+module Fact = Relational.Fact
+module Value = Relational.Value
+
+type concept = Atomic of string | Exists of string | Exists_inv of string
+
+type axiom =
+  | Subsumed of concept * concept
+  | Disjoint of concept * concept
+  | Functional of string
+  | Inverse_functional of string
+
+type assertion =
+  | Concept_of of string * string
+  | Role_of of string * string * string
+
+type kb = { tbox : axiom list; abox : assertion array }
+
+let make ~tbox ~abox = { tbox; abox = Array.of_list abox }
+
+(* Reflexive-transitive closure of the concept inclusions, over the finite
+   set of concepts mentioned anywhere. *)
+let all_concepts kb =
+  let add acc c = if List.mem c acc then acc else c :: acc in
+  let from_tbox =
+    List.fold_left
+      (fun acc ax ->
+        match ax with
+        | Subsumed (c, d) | Disjoint (c, d) -> add (add acc c) d
+        | Functional _ | Inverse_functional _ -> acc)
+      [] kb.tbox
+  in
+  Array.fold_left
+    (fun acc a ->
+      match a with
+      | Concept_of (c, _) -> add acc (Atomic c)
+      | Role_of (r, _, _) -> add (add acc (Exists r)) (Exists_inv r))
+    from_tbox kb.abox
+
+let subsumers kb =
+  let concepts = all_concepts kb in
+  let direct c =
+    List.filter_map
+      (function Subsumed (c', d) when c' = c -> Some d | _ -> None)
+      kb.tbox
+  in
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      (* BFS up the inclusion hierarchy. *)
+      let seen = ref [ c ] in
+      let rec go frontier =
+        let next =
+          List.concat_map direct frontier
+          |> List.filter (fun d -> not (List.mem d !seen))
+          |> List.sort_uniq compare
+        in
+        if next <> [] then begin
+          seen := next @ !seen;
+          go next
+        end
+      in
+      go [ c ];
+      Hashtbl.replace table c !seen)
+    concepts;
+  fun c -> Option.value ~default:[ c ] (Hashtbl.find_opt table c)
+
+(* Concepts an assertion directly supports, with the individual. *)
+let supports = function
+  | Concept_of (a, x) -> [ (Atomic a, x) ]
+  | Role_of (r, x, y) -> [ (Exists r, x); (Exists_inv r, y) ]
+
+let derived_concepts kb =
+  let up = subsumers kb in
+  fun assertion ->
+    List.concat_map
+      (fun (c, x) -> List.map (fun d -> (d, x)) (up c))
+      (supports assertion)
+
+let disjoint_pairs kb =
+  List.concat_map
+    (function
+      | Disjoint (c, d) -> [ (c, d); (d, c) ]
+      | Subsumed _ | Functional _ | Inverse_functional _ -> [])
+    kb.tbox
+
+let conflict_edges kb =
+  let derive = derived_concepts kb in
+  let disj = disjoint_pairs kb in
+  let n = Array.length kb.abox in
+  let derived = Array.init n (fun i -> derive kb.abox.(i)) in
+  let edges = ref [] in
+  let add e = if not (List.mem e !edges) then edges := e :: !edges in
+  for i = 0 to n - 1 do
+    for j = i to n - 1 do
+      (* Disjointness at a shared individual. *)
+      if
+        List.exists
+          (fun (c1, x1) ->
+            List.exists
+              (fun (c2, x2) ->
+                String.equal x1 x2 && List.mem (c1, c2) disj)
+              derived.(j))
+          derived.(i)
+      then add (List.sort_uniq compare [ i; j ])
+    done
+  done;
+  (* Functionality. *)
+  List.iter
+    (fun ax ->
+      match ax with
+      | Functional r ->
+          for i = 0 to n - 1 do
+            for j = i + 1 to n - 1 do
+              match kb.abox.(i), kb.abox.(j) with
+              | Role_of (r1, a, b), Role_of (r2, a', b')
+                when String.equal r1 r && String.equal r2 r
+                     && String.equal a a'
+                     && not (String.equal b b') ->
+                  add [ i; j ]
+              | _ -> ()
+            done
+          done
+      | Inverse_functional r ->
+          for i = 0 to n - 1 do
+            for j = i + 1 to n - 1 do
+              match kb.abox.(i), kb.abox.(j) with
+              | Role_of (r1, a, b), Role_of (r2, a', b')
+                when String.equal r1 r && String.equal r2 r
+                     && String.equal b b'
+                     && not (String.equal a a') ->
+                  add [ i; j ]
+              | _ -> ()
+            done
+          done
+      | Subsumed _ | Disjoint _ -> ())
+    kb.tbox;
+  List.rev !edges
+
+let conflicts kb =
+  List.map (List.map (fun i -> kb.abox.(i))) (conflict_edges kb)
+
+let is_consistent kb = conflict_edges kb = []
+
+let repairs kb =
+  let edges = conflict_edges kb in
+  List.map
+    (fun hs ->
+      List.filteri (fun i _ -> not (List.mem i hs)) (Array.to_list kb.abox))
+    (Sat.Hitting_set.minimal edges)
+  |> fun keep -> if keep = [] && edges <> [] then [] else keep
+
+let saturate kb assertions =
+  let derive = derived_concepts kb in
+  let atomic =
+    List.concat_map
+      (fun a ->
+        List.filter_map
+          (function
+            | Atomic name, x -> Some (Concept_of (name, x))
+            | (Exists _ | Exists_inv _), _ -> None)
+          (derive a))
+      assertions
+  in
+  List.sort_uniq compare (assertions @ atomic)
+
+(* Build a relational instance from (saturated) assertions; the schema also
+   declares the query's predicates so empty concepts evaluate cleanly. *)
+let instance_of kb ~query assertions =
+  let preds = Hashtbl.create 16 in
+  let declare name arity =
+    match Hashtbl.find_opt preds name with
+    | Some a when a <> arity ->
+        invalid_arg (Printf.sprintf "Ontology: %s used with arities %d and %d" name a arity)
+    | Some _ -> ()
+    | None -> Hashtbl.add preds name arity
+  in
+  List.iter
+    (function
+      | Concept_of (a, _) -> declare a 1
+      | Role_of (r, _, _) -> declare r 2)
+    assertions;
+  List.iter
+    (fun c -> match c with Atomic a -> declare a 1 | Exists r | Exists_inv r -> declare r 2)
+    (all_concepts kb);
+  List.iter
+    (fun (at : Logic.Atom.t) -> declare at.rel (Logic.Atom.arity at))
+    query.Logic.Cq.body;
+  let schema =
+    Hashtbl.fold
+      (fun name arity acc ->
+        Schema.add_relation acc ~name
+          ~attributes:(List.init arity (fun i -> Printf.sprintf "x%d" i)))
+      preds Schema.empty
+  in
+  List.fold_left
+    (fun acc a ->
+      match a with
+      | Concept_of (c, x) -> Instance.add acc (Fact.make c [ Value.str x ])
+      | Role_of (r, x, y) ->
+          Instance.add acc (Fact.make r [ Value.str x; Value.str y ]))
+    (Instance.create schema) assertions
+
+type semantics = AR | IAR | Brave
+
+(* The intersection of the repairs, computed without enumerating them: an
+   assertion involved in any minimal conflict is excluded by some repair
+   (one hitting set picks it), and a conflict-free assertion survives every
+   repair — this is what makes IAR tractable. *)
+let iar_base kb =
+  let in_conflict = Hashtbl.create 16 in
+  List.iter
+    (fun edge -> List.iter (fun i -> Hashtbl.replace in_conflict i ()) edge)
+    (conflict_edges kb);
+  Array.to_list kb.abox
+  |> List.filteri (fun i _ -> not (Hashtbl.mem in_conflict i))
+
+module Rows = Set.Make (struct
+  type t = Value.t list
+
+  let compare = List.compare Value.compare
+end)
+
+let answers kb semantics q =
+  let eval assertions =
+    Rows.of_list (Logic.Cq.answers q (instance_of kb ~query:q (saturate kb assertions)))
+  in
+  match semantics with
+  | IAR -> Rows.elements (eval (iar_base kb))
+  | AR -> (
+      match repairs kb with
+      | [] -> []
+      | first :: rest ->
+          Rows.elements
+            (List.fold_left
+               (fun acc r -> Rows.inter acc (eval r))
+               (eval first) rest))
+  | Brave ->
+      Rows.elements
+        (List.fold_left
+           (fun acc r -> Rows.union acc (eval r))
+           Rows.empty (repairs kb))
+
+let entails kb semantics q =
+  if Logic.Cq.is_boolean q then
+    match semantics with
+    | Brave ->
+        List.exists
+          (fun r ->
+            Logic.Cq.holds q (instance_of kb ~query:q (saturate kb r)))
+          (repairs kb)
+    | AR ->
+        let rs = repairs kb in
+        rs <> []
+        && List.for_all
+             (fun r ->
+               Logic.Cq.holds q (instance_of kb ~query:q (saturate kb r)))
+             rs
+    | IAR ->
+        Logic.Cq.holds q (instance_of kb ~query:q (saturate kb (iar_base kb)))
+  else answers kb semantics q <> []

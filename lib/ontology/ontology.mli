@@ -1,0 +1,64 @@
+(** Inconsistency-tolerant ontology-based data access (paper, Section 8:
+    "in OBDA it is not unlikely that the combination of data, rules and
+    constraints produces inconsistencies"; Lembo et al. [79], Bienvenu et
+    al. [29, 30], Rosati [100]).
+
+    A DL-Lite-style knowledge base: a TBox of concept inclusions,
+    disjointness axioms and role functionality, over an ABox of concept and
+    role assertions.  TBox axioms cannot be doubted; inconsistency is
+    resolved by repairing the ABox, and queries are answered under the
+    standard inconsistency-tolerant semantics:
+
+    - {b AR}: true in every ABox repair (the CQA semantics);
+    - {b IAR}: true in the intersection of the repairs — sound for AR and
+      computable without enumerating repairs;
+    - {b brave}: true in at least one repair.
+
+    IAR ⊆ AR ⊆ brave.
+
+    Query answering saturates the ABox with the entailed atomic assertions
+    (concept inclusions applied to concept and role memberships).
+    Existential witnesses introduced by [⊑ ∃R] axioms are not invented, so
+    answering is sound and complete for queries over atomic concepts and
+    roles whose join variables range over ABox individuals (the instance-
+    query fragment; full PerfectRef-style rewriting is out of scope). *)
+
+type concept =
+  | Atomic of string
+  | Exists of string  (** ∃R: things with an R-successor *)
+  | Exists_inv of string  (** ∃R⁻: things with an R-predecessor *)
+
+type axiom =
+  | Subsumed of concept * concept
+  | Disjoint of concept * concept
+  | Functional of string
+  | Inverse_functional of string
+
+type assertion =
+  | Concept_of of string * string  (** A(a) *)
+  | Role_of of string * string * string  (** R(a, b) *)
+
+type kb
+
+val make : tbox:axiom list -> abox:assertion list -> kb
+
+val is_consistent : kb -> bool
+
+val conflicts : kb -> assertion list list
+(** Minimal conflicting assertion sets (size 1 or 2 in this fragment). *)
+
+val repairs : kb -> assertion list list
+(** The ABox repairs: maximal conflict-free subsets. *)
+
+val saturate : kb -> assertion list -> assertion list
+(** All atomic assertions entailed by the TBox from the given ABox. *)
+
+type semantics = AR | IAR | Brave
+
+val answers :
+  kb -> semantics -> Logic.Cq.t -> Relational.Value.t list list
+(** Query atoms use concept names as unary and role names as binary
+    predicates. *)
+
+val entails : kb -> semantics -> Logic.Cq.t -> bool
+(** Boolean query under the chosen semantics. *)

@@ -1,0 +1,151 @@
+module Schema = Relational.Schema
+module Instance = Relational.Instance
+module Fact = Relational.Fact
+module Value = Relational.Value
+module Tid = Relational.Tid
+module Ic = Constraints.Ic
+
+type trust = More_trusted | Same_trusted
+
+type mapping = {
+  from_peer : string;
+  query : Logic.Cq.t;
+  target : string;
+  trust : trust;
+}
+
+type peer = {
+  name : string;
+  schema : Schema.t;
+  instance : Instance.t;
+  ics : Ic.t list;
+  mappings : mapping list;
+}
+
+module Smap = Map.Make (String)
+
+type network = peer Smap.t
+
+let check_acyclic peers =
+  (* Edge: peer -> mapping source. *)
+  let state = Hashtbl.create 8 in
+  let rec dfs name =
+    match Hashtbl.find_opt state name with
+    | Some `Done -> ()
+    | Some `Active -> invalid_arg "Peers.network: mapping cycle"
+    | None -> (
+        Hashtbl.replace state name `Active;
+        (match Smap.find_opt name peers with
+        | Some p -> List.iter (fun m -> dfs m.from_peer) p.mappings
+        | None -> ());
+        Hashtbl.replace state name `Done)
+  in
+  Smap.iter (fun name _ -> dfs name) peers
+
+let network peer_list =
+  let peers =
+    List.fold_left
+      (fun acc p ->
+        if Smap.mem p.name acc then
+          invalid_arg (Printf.sprintf "Peers.network: duplicate peer %s" p.name);
+        Smap.add p.name p acc)
+      Smap.empty peer_list
+  in
+  Smap.iter
+    (fun _ p ->
+      List.iter
+        (fun ic ->
+          if not (Ic.is_denial_class ic) then
+            invalid_arg
+              (Printf.sprintf
+                 "Peers.network: peer %s has non-denial-class constraint %s"
+                 p.name (Ic.name ic)))
+        p.ics;
+      List.iter
+        (fun m ->
+          if not (Smap.mem m.from_peer peers) then
+            invalid_arg
+              (Printf.sprintf "Peers.network: unknown peer %s" m.from_peer);
+          if not (Schema.mem p.schema m.target) then
+            invalid_arg
+              (Printf.sprintf "Peers.network: unknown target relation %s"
+                 m.target))
+        p.mappings)
+    peers;
+  check_acyclic peers;
+  peers
+
+let peer net name =
+  match Smap.find_opt name net with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Peers.peer: unknown peer %s" name)
+
+let import_one net (p : peer) (m : mapping) =
+  let source = peer net m.from_peer in
+  let arity = Schema.arity p.schema m.target in
+  let head_arity = Logic.Cq.arity m.query in
+  if head_arity > arity then
+    invalid_arg
+      (Printf.sprintf "Peers: mapping head wider than target %s" m.target);
+  List.map
+    (fun row ->
+      let padded = row @ List.init (arity - head_arity) (fun _ -> Value.Null) in
+      (Fact.make m.target padded, m.trust))
+    (Logic.Cq.answers m.query source.instance)
+
+let imported_facts net name =
+  let p = peer net name in
+  List.concat_map (import_one net p) p.mappings
+
+(* Solutions: hitting sets of the conflict hypergraph that avoid protected
+   tuples. *)
+let solutions net name =
+  let p = peer net name in
+  let imports = imported_facts net name in
+  let candidate, protected_tids =
+    List.fold_left
+      (fun (db, prot) (f, trust) ->
+        let db, tid = Instance.insert db f in
+        let prot =
+          match trust with
+          | More_trusted -> Tid.Set.add tid prot
+          | Same_trusted -> prot
+        in
+        (db, prot))
+      (p.instance, Tid.Set.empty)
+      imports
+  in
+  let g = Constraints.Conflict_graph.build candidate p.schema p.ics in
+  let edges =
+    List.map
+      (fun e -> Tid.Set.elements (Tid.Set.diff e protected_tids))
+      g.Constraints.Conflict_graph.edges
+  in
+  if List.exists (( = ) []) edges then []
+  else
+    let int_edges = List.map (List.map Tid.to_int) edges in
+    List.map
+      (fun hs ->
+        let doomed =
+          List.fold_left
+            (fun s i -> Tid.Set.add (Tid.of_int i) s)
+            Tid.Set.empty hs
+        in
+        Instance.restrict candidate (Tid.Set.diff (Instance.tids candidate) doomed))
+      (Sat.Hitting_set.minimal int_edges)
+
+module Rows = Set.Make (struct
+  type t = Value.t list
+
+  let compare = List.compare Value.compare
+end)
+
+let consistent_answers net name q =
+  match solutions net name with
+  | [] -> []
+  | first :: rest ->
+      let answers inst = Rows.of_list (Logic.Cq.answers q inst) in
+      Rows.elements
+        (List.fold_left
+           (fun acc inst -> Rows.inter acc (answers inst))
+           (answers first) rest)

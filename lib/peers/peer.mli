@@ -1,0 +1,57 @@
+(** Peer data exchange with trust and local repairs (paper, Section 4.2;
+    Bertossi–Bravo [25]).
+
+    Peers exchange data at query-answering time through inter-peer mappings
+    — tgds whose bodies are conjunctive queries over a neighbour's schema
+    and whose heads populate a local relation, existential positions padded
+    with NULL (the null-based tuple-level repairs of Example 4.3).  Each
+    mapping carries a trust annotation:
+
+    - data imported from a {b more-trusted} peer is protected — a local
+      repair may not delete it;
+    - data from a {b same-or-less trusted} peer competes with local data on
+      equal terms.
+
+    A peer's {e solutions} are the S-repairs of its local data plus the
+    imports, wrt. its local (denial-class) constraints, never deleting
+    protected facts.  Peer consistent answers are certain over the
+    solutions.  Import is one hop along the mapping graph, which must be
+    acyclic (the acyclicity condition of [25]). *)
+
+type trust = More_trusted | Same_trusted
+
+type mapping = {
+  from_peer : string;
+  query : Logic.Cq.t;  (** over the neighbour's schema *)
+  target : string;  (** local relation; the query's head fills its first
+                        columns, remaining columns become NULL *)
+  trust : trust;
+}
+
+type peer = {
+  name : string;
+  schema : Relational.Schema.t;
+  instance : Relational.Instance.t;
+  ics : Constraints.Ic.t list;
+  mappings : mapping list;
+}
+
+type network
+
+val network : peer list -> network
+(** Raises [Invalid_argument] on duplicate peer names, unknown mapping
+    sources, a mapping cycle, or non-denial-class local constraints. *)
+
+val peer : network -> string -> peer
+
+val imported_facts :
+  network -> string -> (Relational.Fact.t * trust) list
+(** The facts a peer imports through its mappings (one hop). *)
+
+val solutions : network -> string -> Relational.Instance.t list
+(** The peer's solution instances.  Empty when protected imports alone
+    violate the local constraints (the peer has no coherent state). *)
+
+val consistent_answers :
+  network -> string -> Logic.Cq.t -> Relational.Value.t list list
+(** Certain answers over the peer's solutions. *)

@@ -1,0 +1,169 @@
+module Instance = Relational.Instance
+module Tid = Relational.Tid
+module Value = Relational.Value
+module Ic = Constraints.Ic
+
+type independent = {
+  instance : Instance.t;
+  prob : (Tid.t * float) list;
+}
+
+let tuple_prob t tid =
+  match List.find_opt (fun (t', _) -> Tid.equal t' tid) t.prob with
+  | Some (_, p) -> p
+  | None -> 1.0
+
+let uncertain_tids t =
+  List.filter
+    (fun tid -> tuple_prob t tid < 1.0)
+    (Tid.Set.elements (Instance.tids t.instance))
+
+let world_of t keep_uncertain =
+  let drop =
+    List.filter (fun tid -> not (Tid.Set.mem tid keep_uncertain)) (uncertain_tids t)
+  in
+  List.fold_left Instance.delete t.instance drop
+
+let ti_exact t q =
+  let uncertain = Array.of_list (uncertain_tids t) in
+  let n = Array.length uncertain in
+  let total = ref 0.0 in
+  for mask = 0 to (1 lsl n) - 1 do
+    let keep = ref Tid.Set.empty and weight = ref 1.0 in
+    for i = 0 to n - 1 do
+      let p = tuple_prob t uncertain.(i) in
+      if mask land (1 lsl i) <> 0 then begin
+        keep := Tid.Set.add uncertain.(i) !keep;
+        weight := !weight *. p
+      end
+      else weight := !weight *. (1.0 -. p)
+    done;
+    if !weight > 0.0 && Logic.Cq.holds q (world_of t !keep) then
+      total := !total +. !weight
+  done;
+  !total
+
+let ti_sampled ~seed ~samples t q =
+  let rng = Random.State.make [| seed |] in
+  let uncertain = uncertain_tids t in
+  let hits = ref 0 in
+  for _ = 1 to samples do
+    let keep =
+      List.fold_left
+        (fun acc tid ->
+          if Random.State.float rng 1.0 < tuple_prob t tid then
+            Tid.Set.add tid acc
+          else acc)
+        Tid.Set.empty uncertain
+    in
+    if Logic.Cq.holds q (world_of t keep) then incr hits
+  done;
+  float_of_int !hits /. float_of_int samples
+
+let ti_query_probability ?(seed = 0) ?(samples = 4000) t q =
+  if List.length (uncertain_tids t) <= 20 then ti_exact t q
+  else ti_sampled ~seed ~samples t q
+
+module Rows = Map.Make (struct
+  type t = Value.t list
+
+  let compare = List.compare Value.compare
+end)
+
+let sorted_probs rows =
+  Rows.bindings rows
+  |> List.sort (fun (r1, p1) (r2, p2) ->
+         match Float.compare p2 p1 with
+         | 0 -> List.compare Value.compare r1 r2
+         | c -> c)
+
+let ti_answer_probabilities t q =
+  let uncertain = Array.of_list (uncertain_tids t) in
+  let n = Array.length uncertain in
+  if n > 20 then
+    invalid_arg "Probdb.ti_answer_probabilities: too many uncertain tuples";
+  let acc = ref Rows.empty in
+  for mask = 0 to (1 lsl n) - 1 do
+    let keep = ref Tid.Set.empty and weight = ref 1.0 in
+    for i = 0 to n - 1 do
+      let p = tuple_prob t uncertain.(i) in
+      if mask land (1 lsl i) <> 0 then begin
+        keep := Tid.Set.add uncertain.(i) !keep;
+        weight := !weight *. p
+      end
+      else weight := !weight *. (1.0 -. p)
+    done;
+    if !weight > 0.0 then
+      List.iter
+        (fun row ->
+          acc :=
+            Rows.update row
+              (fun w -> Some (!weight +. Option.value ~default:0.0 w))
+              !acc)
+        (Logic.Cq.answers q (world_of t !keep))
+  done;
+  sorted_probs !acc
+
+type dirty = { weighted : (float * Instance.t) list }
+
+let of_key_blocks ?(weight = fun _ -> 1.0) inst schema ics =
+  let all_keys =
+    List.for_all (function Ic.Key _ -> true | _ -> false) ics
+  in
+  if not all_keys then
+    invalid_arg "Probdb.of_key_blocks: primary keys only";
+  let repairs = Repairs.S_repair.enumerate inst schema ics in
+  (* The probability of a world multiplies, per block, the normalized
+     weight of its chosen claimant.  Equivalently: product over kept
+     conflicting tuples of weight/blockweight. *)
+  let g = Constraints.Conflict_graph.build inst schema ics in
+  let conflicting = Constraints.Conflict_graph.conflicting_tids g in
+  (* Block weight per conflicting tuple: sum of weights over its block
+     (tuples sharing an edge partition into key blocks for FD conflicts). *)
+  let block_weight tid =
+    let block =
+      List.fold_left
+        (fun acc e ->
+          if Tid.Set.mem tid e then Tid.Set.union acc e else acc)
+        (Tid.Set.singleton tid)
+        g.Constraints.Conflict_graph.edges
+    in
+    Tid.Set.fold (fun t acc -> acc +. weight t) block 0.0
+  in
+  let world_weight (r : Repairs.Repair.t) =
+    Tid.Set.fold
+      (fun tid acc ->
+        if Instance.mem_fact r.repaired (Instance.fact_of inst tid) then
+          acc *. (weight tid /. block_weight tid)
+        else acc)
+      conflicting 1.0
+  in
+  let weighted = List.map (fun r -> (world_weight r, r.Repairs.Repair.repaired)) repairs in
+  let total = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 weighted in
+  {
+    weighted =
+      (if total > 0.0 then List.map (fun (w, i) -> (w /. total, i)) weighted
+       else weighted);
+  }
+
+let answer_probabilities t q =
+  let acc =
+    List.fold_left
+      (fun acc (w, inst) ->
+        List.fold_left
+          (fun acc row ->
+            Rows.update row
+              (fun p -> Some (w +. Option.value ~default:0.0 p))
+              acc)
+          acc (Logic.Cq.answers q inst))
+      Rows.empty t.weighted
+  in
+  sorted_probs acc
+
+let clean_answers ?(threshold = 0.5) t q =
+  answer_probabilities t q
+  |> List.filter_map (fun (row, p) -> if p > threshold then Some row else None)
+
+let consistent_answers t q =
+  answer_probabilities t q
+  |> List.filter_map (fun (row, p) -> if p >= 1.0 -. 1e-9 then Some row else None)

@@ -1,0 +1,58 @@
+(** Probabilistic databases and probabilistic repairs (paper, Sections 6
+    and 8: Andritsos–Fuxman–Miller's clean answers over dirty databases
+    [2], probabilistic databases [104], probabilistic repairs [69, 83]).
+
+    Two models:
+
+    - {b tuple-independent}: every tuple is present independently with its
+      own probability; query probability marginalizes over the 2^n worlds
+      (exact for small n, Monte Carlo beyond);
+    - {b block-independent-disjoint} (the dirty-database model of [2]): the
+      conflicting tuples of each primary-key block are disjoint
+      alternatives with weights; worlds are exactly the key repairs, with
+      probability the product of the chosen alternatives' normalized
+      weights.  {e Clean answers} are the answers whose probability clears
+      a threshold. *)
+
+type independent = {
+  instance : Relational.Instance.t;
+  prob : (Relational.Tid.t * float) list;
+      (** present-probability per tuple; missing tids default to 1.0 *)
+}
+
+val ti_query_probability :
+  ?seed:int -> ?samples:int -> independent -> Logic.Cq.t -> float
+(** Exact world enumeration up to 20 uncertain tuples, Monte Carlo with
+    [samples] (default 4000) beyond. *)
+
+val ti_answer_probabilities :
+  independent -> Logic.Cq.t -> (Relational.Value.t list * float) list
+(** Exact; raises [Invalid_argument] beyond 20 uncertain tuples. *)
+
+type dirty = {
+  weighted : (float * Relational.Instance.t) list;
+      (** the possible worlds with their probabilities (sum to 1) *)
+}
+
+val of_key_blocks :
+  ?weight:(Relational.Tid.t -> float) ->
+  Relational.Instance.t ->
+  Relational.Schema.t ->
+  Constraints.Ic.t list ->
+  dirty
+(** Build the block-disjoint world set from the S-repairs of a set of
+    primary keys (all constraints must be keys, one per relation; raises
+    [Invalid_argument] otherwise).  [weight] (default: uniform) weighs the
+    alternatives inside each block. *)
+
+val answer_probabilities :
+  dirty -> Logic.Cq.t -> (Relational.Value.t list * float) list
+(** Most probable first. *)
+
+val clean_answers :
+  ?threshold:float -> dirty -> Logic.Cq.t -> Relational.Value.t list list
+(** The answers with probability strictly above [threshold] (default
+    0.5). *)
+
+val consistent_answers : dirty -> Logic.Cq.t -> Relational.Value.t list list
+(** Probability-1 answers — the certain answers of CQA. *)

@@ -1,0 +1,127 @@
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let render_value = function
+  | Value.Null -> ""
+  | Value.Int i -> string_of_int i
+  | Value.Real r -> Printf.sprintf "%g" r
+  | Value.Bool b -> string_of_bool b
+  | Value.Str s ->
+      if needs_quoting s || s = "" then
+        "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+      else s
+
+let to_csv ?(header = true) inst ~rel =
+  let r = Schema.relation (Instance.schema inst) rel in
+  let buf = Buffer.create 256 in
+  if header then begin
+    Buffer.add_string buf (String.concat "," (Array.to_list r.Schema.attributes));
+    Buffer.add_char buf '\n'
+  end;
+  List.iter
+    (fun row ->
+      Buffer.add_string buf
+        (String.concat "," (List.map render_value (Array.to_list row)));
+      Buffer.add_char buf '\n')
+    (Instance.rows inst ~rel);
+  Buffer.contents buf
+
+(* Split one CSV record, honouring quotes; input excludes the newline. *)
+let split_record line_no line =
+  let n = String.length line in
+  let fields = ref [] and buf = Buffer.create 16 in
+  let push_field quoted =
+    fields := (Buffer.contents buf, quoted) :: !fields;
+    Buffer.clear buf
+  in
+  let rec go i quoted was_quoted =
+    if i >= n then begin
+      if quoted then
+        invalid_arg (Printf.sprintf "Csv_io: unterminated quote on line %d" line_no);
+      push_field was_quoted
+    end
+    else
+      let c = line.[i] in
+      if quoted then
+        if c = '"' then
+          if i + 1 < n && line.[i + 1] = '"' then begin
+            Buffer.add_char buf '"';
+            go (i + 2) true was_quoted
+          end
+          else go (i + 1) false true
+        else begin
+          Buffer.add_char buf c;
+          go (i + 1) true was_quoted
+        end
+      else if c = '"' && Buffer.length buf = 0 then go (i + 1) true true
+      else if c = ',' then begin
+        push_field was_quoted;
+        go (i + 1) false false
+      end
+      else begin
+        Buffer.add_char buf c;
+        go (i + 1) false was_quoted
+      end
+  in
+  go 0 false false;
+  List.rev !fields
+
+let is_int s =
+  s <> ""
+  && String.for_all (fun c -> (c >= '0' && c <= '9') || c = '-') s
+  && (match int_of_string_opt s with Some _ -> true | None -> false)
+
+let typed_value (text, quoted) =
+  if quoted then Value.Str text
+  else if text = "" then Value.Null
+  else if is_int text then Value.Int (int_of_string text)
+  else
+    match float_of_string_opt text with
+    | Some r when String.contains text '.' -> Value.Real r
+    | _ -> Value.Str text
+
+(* Split the text into records at newlines that are outside quotes, so
+   quoted fields may span lines.  Carriage returns outside quotes are
+   dropped (CRLF input). *)
+let split_records text =
+  let n = String.length text in
+  let records = ref [] and buf = Buffer.create 64 in
+  let line = ref 1 and record_start = ref 1 and in_quote = ref false in
+  let flush () =
+    records := (!record_start, Buffer.contents buf) :: !records;
+    Buffer.clear buf;
+    record_start := !line
+  in
+  for i = 0 to n - 1 do
+    let c = text.[i] in
+    if c = '"' then begin
+      in_quote := not !in_quote;
+      Buffer.add_char buf c
+    end
+    else if c = '\n' then begin
+      incr line;
+      if !in_quote then Buffer.add_char buf c
+      else flush ()
+    end
+    else if c = '\r' && not !in_quote then ()
+    else Buffer.add_char buf c
+  done;
+  if Buffer.length buf > 0 then flush ();
+  List.rev !records
+
+let load_csv ?(header = true) inst ~rel text =
+  let arity = Schema.arity (Instance.schema inst) rel in
+  let records = split_records text in
+  let records = if header && records <> [] then List.tl records else records in
+  List.fold_left
+    (fun acc (line_no, record) ->
+      if String.trim record = "" then acc
+      else begin
+        let fields = split_record line_no record in
+        if List.length fields <> arity then
+          invalid_arg
+            (Printf.sprintf "Csv_io: line %d has %d fields, %s expects %d"
+               line_no (List.length fields) rel arity);
+        Instance.add acc (Fact.make rel (List.map typed_value fields))
+      end)
+    inst records

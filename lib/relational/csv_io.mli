@@ -1,0 +1,16 @@
+(** CSV import/export for instances.
+
+    Values are rendered plainly; strings containing commas, quotes or
+    newlines are double-quoted with quote doubling.  On import, unquoted
+    tokens are typed heuristically: all-digit integers, float-looking
+    reals, empty fields as NULL, everything else (and all quoted fields)
+    as strings. *)
+
+val to_csv : ?header:bool -> Instance.t -> rel:string -> string
+(** One relation as CSV, with an attribute-name header by default. *)
+
+val load_csv :
+  ?header:bool -> Instance.t -> rel:string -> string -> Instance.t
+(** Append CSV rows to a relation.  [header] (default true) skips the first
+    line.  Raises [Invalid_argument] on arity mismatch or an unterminated
+    quote, with the offending line number. *)

@@ -1,0 +1,61 @@
+type t = { rel : string; row : Value.t array }
+
+let make rel values = { rel; row = Array.of_list values }
+let arity f = Array.length f.row
+
+let equal a b =
+  String.equal a.rel b.rel
+  && Array.length a.row = Array.length b.row
+  && Array.for_all2 Value.equal a.row b.row
+
+let compare a b =
+  match String.compare a.rel b.rel with
+  | 0 -> (
+      match Int.compare (Array.length a.row) (Array.length b.row) with
+      | 0 ->
+          let n = Array.length a.row in
+          let rec go i =
+            if i >= n then 0
+            else
+              match Value.compare a.row.(i) b.row.(i) with
+              | 0 -> go (i + 1)
+              | c -> c
+          in
+          go 0
+      | c -> c)
+  | c -> c
+
+let hash f =
+  Array.fold_left
+    (fun acc v -> (acc * 31) + Value.hash v)
+    (Hashtbl.hash f.rel) f.row
+
+let pp ppf f =
+  Format.fprintf ppf "%s(%a)" f.rel
+    (Format.pp_print_array
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Value.pp)
+    f.row
+
+let to_string f = Format.asprintf "%a" pp f
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+module Map = Map.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+let set_pp ppf s =
+  Format.fprintf ppf "{@[%a@]}"
+    (Format.pp_print_seq
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       pp)
+    (Set.to_seq s)
+
+let symmetric_difference a b = Set.union (Set.diff a b) (Set.diff b a)

@@ -1,0 +1,24 @@
+(** A ground database fact: a relation name together with a row of values.
+
+    Instances are sets of facts under set semantics; repairs compare
+    instances through their fact sets (symmetric difference, Example 3.1),
+    independently of the tids used to address tuples. *)
+
+type t = { rel : string; row : Value.t array }
+
+val make : string -> Value.t list -> t
+val arity : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+
+val set_pp : Format.formatter -> Set.t -> unit
+
+val symmetric_difference : Set.t -> Set.t -> Set.t
+(** [symmetric_difference a b] is [(a \ b) ∪ (b \ a)], the distance notion
+    underlying S- and C-repairs. *)

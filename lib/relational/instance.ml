@@ -1,0 +1,160 @@
+module Smap = Map.Make (String)
+
+type t = {
+  schema : Schema.t;
+  by_tid : Fact.t Tid.Map.t;
+  by_fact : Tid.t Fact.Map.t;
+  by_rel : Tid.Set.t Smap.t;
+  next : int;
+}
+
+let create schema = { schema; by_tid = Tid.Map.empty; by_fact = Fact.Map.empty; by_rel = Smap.empty; next = 1 }
+
+let schema t = t.schema
+
+let check_fact t (f : Fact.t) =
+  if not (Schema.mem t.schema f.rel) then
+    invalid_arg (Printf.sprintf "Instance: undeclared relation %s" f.rel);
+  let expected = Schema.arity t.schema f.rel in
+  if Fact.arity f <> expected then
+    invalid_arg
+      (Printf.sprintf "Instance: %s expects arity %d, got %d" f.rel expected
+         (Fact.arity f))
+
+let insert t (f : Fact.t) =
+  check_fact t f;
+  match Fact.Map.find_opt f t.by_fact with
+  | Some tid -> t, tid
+  | None ->
+      let tid = Tid.of_int t.next in
+      let rel_tids =
+        match Smap.find_opt f.rel t.by_rel with
+        | Some s -> Tid.Set.add tid s
+        | None -> Tid.Set.singleton tid
+      in
+      ( {
+          t with
+          by_tid = Tid.Map.add tid f t.by_tid;
+          by_fact = Fact.Map.add f tid t.by_fact;
+          by_rel = Smap.add f.rel rel_tids t.by_rel;
+          next = t.next + 1;
+        },
+        tid )
+
+let insert_row t ~rel values = insert t (Fact.make rel values)
+let add t f = fst (insert t f)
+let add_all t fs = List.fold_left add t fs
+
+let delete t tid =
+  match Tid.Map.find_opt tid t.by_tid with
+  | None -> t
+  | Some f ->
+      let rel_tids = Tid.Set.remove tid (Smap.find f.rel t.by_rel) in
+      {
+        t with
+        by_tid = Tid.Map.remove tid t.by_tid;
+        by_fact = Fact.Map.remove f t.by_fact;
+        by_rel =
+          (if Tid.Set.is_empty rel_tids then Smap.remove f.rel t.by_rel
+           else Smap.add f.rel rel_tids t.by_rel);
+      }
+
+let tid_of t f = Fact.Map.find_opt f t.by_fact
+
+let delete_fact t f =
+  match tid_of t f with Some tid -> delete t tid | None -> t
+
+let fact_of t tid = Tid.Map.find tid t.by_tid
+let find_fact t tid = Tid.Map.find_opt tid t.by_tid
+let mem_fact t f = Fact.Map.mem f t.by_fact
+let mem_tid t tid = Tid.Map.mem tid t.by_tid
+
+let update_cell t (cell : Tid.Cell.t) v =
+  let f = fact_of t cell.tid in
+  let n = Array.length f.row in
+  if cell.pos < 1 || cell.pos > n then
+    invalid_arg
+      (Printf.sprintf "Instance.update_cell: position %d out of 1..%d"
+         cell.pos n);
+  let row = Array.copy f.row in
+  row.(cell.pos - 1) <- v;
+  let f' = { f with row } in
+  let t = delete t cell.tid in
+  if mem_fact t f' then t
+  else
+    (* Re-insert under the original tid so that change-sets keep referring
+       to stable identifiers across attribute updates. *)
+    let rel_tids =
+      match Smap.find_opt f'.rel t.by_rel with
+      | Some s -> Tid.Set.add cell.tid s
+      | None -> Tid.Set.singleton cell.tid
+    in
+    {
+      t with
+      by_tid = Tid.Map.add cell.tid f' t.by_tid;
+      by_fact = Fact.Map.add f' cell.tid t.by_fact;
+      by_rel = Smap.add f'.rel rel_tids t.by_rel;
+    }
+
+let tuples t ~rel =
+  if not (Schema.mem t.schema rel) then
+    invalid_arg (Printf.sprintf "Instance.tuples: undeclared relation %s" rel);
+  match Smap.find_opt rel t.by_rel with
+  | None -> []
+  | Some tids ->
+      Tid.Set.fold
+        (fun tid acc -> (tid, (fact_of t tid).row) :: acc)
+        tids []
+      |> List.rev
+
+let rows t ~rel = List.map snd (tuples t ~rel)
+
+let facts t =
+  Tid.Map.fold (fun _ f acc -> Fact.Set.add f acc) t.by_tid Fact.Set.empty
+
+let fact_list t = Tid.Map.fold (fun _ f acc -> f :: acc) t.by_tid [] |> List.rev
+let tids t = Tid.Map.fold (fun tid _ acc -> Tid.Set.add tid acc) t.by_tid Tid.Set.empty
+let size t = Tid.Map.cardinal t.by_tid
+
+let cardinality t ~rel =
+  match Smap.find_opt rel t.by_rel with
+  | None -> 0
+  | Some s -> Tid.Set.cardinal s
+
+let restrict t keep =
+  Tid.Map.fold
+    (fun tid _ acc -> if Tid.Set.mem tid keep then acc else delete acc tid)
+    t.by_tid t
+
+let of_facts schema fs = add_all (create schema) fs
+
+let of_rows schema rels =
+  List.fold_left
+    (fun acc (rel, rws) ->
+      List.fold_left (fun acc values -> add acc (Fact.make rel values)) acc rws)
+    (create schema) rels
+
+let equal a b = Fact.Set.equal (facts a) (facts b)
+let subset a b = Fact.Set.subset (facts a) (facts b)
+let symmetric_difference a b = Fact.symmetric_difference (facts a) (facts b)
+
+module Vset = Set.Make (Value)
+
+let active_domain t =
+  let dom =
+    Tid.Map.fold
+      (fun _ (f : Fact.t) acc ->
+        Array.fold_left
+          (fun acc v -> if Value.is_null v then acc else Vset.add v acc)
+          acc f.row)
+      t.by_tid Vset.empty
+  in
+  Vset.elements dom
+
+let fold_facts f t init = Tid.Map.fold f t.by_tid init
+
+let pp ppf t =
+  let pp_one ppf (tid, f) = Format.fprintf ppf "%a: %a" Tid.pp tid Fact.pp f in
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_seq ~pp_sep:Format.pp_print_cut pp_one)
+    (Tid.Map.to_seq t.by_tid)

@@ -1,0 +1,137 @@
+type rel = { cols : string array; rows : Value.t array list }
+
+let of_instance inst name =
+  let r = Schema.relation (Instance.schema inst) name in
+  { cols = Array.copy r.Schema.attributes; rows = Instance.rows inst ~rel:name }
+
+let col r name =
+  let n = Array.length r.cols in
+  let rec go i =
+    if i >= n then raise Not_found
+    else if String.equal r.cols.(i) name then i
+    else go (i + 1)
+  in
+  go 0
+
+let select cond r =
+  { r with rows = List.filter (fun row -> Tvl.to_bool (cond r row)) r.rows }
+
+let select_eq name v r =
+  let i = col r name in
+  select (fun _ row -> Value.sql_eq row.(i) v) r
+
+let project names r =
+  let idxs = List.map (col r) names in
+  let cols = Array.of_list names in
+  let rows = List.map (fun row -> Array.of_list (List.map (fun i -> row.(i)) idxs)) r.rows in
+  { cols; rows }
+
+let rename pairs r =
+  let cols =
+    Array.map
+      (fun c -> match List.assoc_opt c pairs with Some c' -> c' | None -> c)
+      r.cols
+  in
+  { r with cols }
+
+let check_disjoint a b =
+  Array.iter
+    (fun c ->
+      Array.iter
+        (fun c' ->
+          if String.equal c c' then
+            invalid_arg
+              (Printf.sprintf "Ra.product: overlapping column %s (rename first)"
+                 c))
+        b.cols)
+    a.cols
+
+let product a b =
+  check_disjoint a b;
+  let cols = Array.append a.cols b.cols in
+  let rows =
+    List.concat_map
+      (fun ra -> List.map (fun rb -> Array.append ra rb) b.rows)
+      a.rows
+  in
+  { cols; rows }
+
+let natural_join a b =
+  let shared =
+    Array.to_list a.cols
+    |> List.filter (fun c -> Array.exists (String.equal c) b.cols)
+  in
+  let a_idx = List.map (fun c -> col a c) shared in
+  let b_idx = List.map (fun c -> col b c) shared in
+  let b_keep =
+    Array.to_list b.cols
+    |> List.filter (fun c -> not (List.mem c shared))
+    |> List.map (fun c -> col b c)
+  in
+  let cols =
+    Array.append a.cols
+      (Array.of_list (List.map (fun i -> b.cols.(i)) b_keep))
+  in
+  let matches ra rb =
+    List.for_all2
+      (fun ia ib -> Tvl.to_bool (Value.sql_eq ra.(ia) rb.(ib)))
+      a_idx b_idx
+  in
+  let rows =
+    List.concat_map
+      (fun ra ->
+        List.filter_map
+          (fun rb ->
+            if matches ra rb then
+              Some
+                (Array.append ra
+                   (Array.of_list (List.map (fun i -> rb.(i)) b_keep)))
+            else None)
+          b.rows)
+      a.rows
+  in
+  { cols; rows }
+
+module Row_set = Set.Make (struct
+  type t = Value.t array
+
+  let compare a b =
+    let n = Array.length a and m = Array.length b in
+    if n <> m then Int.compare n m
+    else
+      let rec go i =
+        if i >= n then 0
+        else match Value.compare a.(i) b.(i) with 0 -> go (i + 1) | c -> c
+      in
+      go 0
+end)
+
+let distinct r =
+  let set = Row_set.of_list r.rows in
+  { r with rows = Row_set.elements set }
+
+let union a b =
+  if Array.length a.cols <> Array.length b.cols then
+    invalid_arg "Ra.union: arity mismatch";
+  distinct { a with rows = a.rows @ b.rows }
+
+let difference a b =
+  if Array.length a.cols <> Array.length b.cols then
+    invalid_arg "Ra.difference: arity mismatch";
+  let bs = Row_set.of_list b.rows in
+  distinct { a with rows = List.filter (fun r -> not (Row_set.mem r bs)) a.rows }
+
+let cardinality r = List.length (distinct r).rows
+let rows_as_lists r = List.map Array.to_list (distinct r).rows
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>%a@,%a@]"
+    (Format.pp_print_array
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " | ")
+       Format.pp_print_string)
+    r.cols
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun ppf row ->
+         Format.pp_print_array
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " | ")
+           Value.pp ppf row))
+    r.rows

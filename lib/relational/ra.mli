@@ -1,0 +1,33 @@
+(** A small executable relational algebra over named column sets.
+
+    Used by the examples and by the SQL-style rewritings of Section 3.1 to
+    evaluate queries directly against instances.  Conditions are evaluated in
+    three-valued logic ({!Tvl}); a tuple is selected only when the condition
+    is definitely true, matching SQL's treatment of NULL. *)
+
+type rel = { cols : string array; rows : Value.t array list }
+(** An intermediate result: column names plus rows (set semantics is
+    restored by {!distinct}). *)
+
+val of_instance : Instance.t -> string -> rel
+(** The named base relation, with the attribute names of the schema. *)
+
+val col : rel -> string -> int
+(** Index of a column.  Raises [Not_found]. *)
+
+val select : (rel -> Value.t array -> Tvl.t) -> rel -> rel
+val select_eq : string -> Value.t -> rel -> rel
+val project : string list -> rel -> rel
+val rename : (string * string) list -> rel -> rel
+val product : rel -> rel -> rel
+(** Raises [Invalid_argument] on overlapping column names; rename first. *)
+
+val natural_join : rel -> rel -> rel
+(** Join on all shared column names; NULL never joins. *)
+
+val union : rel -> rel -> rel
+val difference : rel -> rel -> rel
+val distinct : rel -> rel
+val cardinality : rel -> int
+val rows_as_lists : rel -> Value.t list list
+val pp : Format.formatter -> rel -> unit

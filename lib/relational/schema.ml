@@ -1,0 +1,55 @@
+type relation = { name : string; attributes : string array }
+
+module Smap = Map.Make (String)
+
+type t = { by_name : relation Smap.t; order : string list (* reversed *) }
+
+let empty = { by_name = Smap.empty; order = [] }
+
+let add_relation t ~name ~attributes =
+  if Smap.mem name t.by_name then
+    invalid_arg (Printf.sprintf "Schema.add_relation: duplicate relation %s" name);
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun a ->
+      if Hashtbl.mem seen a then
+        invalid_arg
+          (Printf.sprintf "Schema.add_relation: duplicate attribute %s in %s" a
+             name);
+      Hashtbl.add seen a ())
+    attributes;
+  let rel = { name; attributes = Array.of_list attributes } in
+  { by_name = Smap.add name rel t.by_name; order = name :: t.order }
+
+let relation t name = Smap.find name t.by_name
+let mem t name = Smap.mem name t.by_name
+let arity t name = Array.length (relation t name).attributes
+
+let attribute_index t ~rel ~attr =
+  let r = relation t rel in
+  let n = Array.length r.attributes in
+  let rec go i =
+    if i >= n then raise Not_found
+    else if String.equal r.attributes.(i) attr then i
+    else go (i + 1)
+  in
+  go 0
+
+let relations t = List.rev_map (fun n -> Smap.find n t.by_name) t.order
+
+let of_list l =
+  List.fold_left
+    (fun acc (name, attributes) -> add_relation acc ~name ~attributes)
+    empty l
+
+let pp ppf t =
+  let pp_rel ppf r =
+    Format.fprintf ppf "%s(%a)" r.name
+      (Format.pp_print_array
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         Format.pp_print_string)
+      r.attributes
+  in
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+    pp_rel ppf (relations t)

@@ -1,0 +1,30 @@
+(** Database schemas: relation names with named attributes.
+
+    Attribute positions are 0-based internally; the pretty-printers show the
+    attribute names.  A schema is required to create instances and is used
+    by constraints to resolve attribute names into positions. *)
+
+type relation = { name : string; attributes : string array }
+
+type t
+
+val empty : t
+
+val add_relation : t -> name:string -> attributes:string list -> t
+(** Raises [Invalid_argument] if [name] is already declared or an attribute
+    name is duplicated. *)
+
+val relation : t -> string -> relation
+(** Raises [Not_found] for an undeclared relation. *)
+
+val mem : t -> string -> bool
+val arity : t -> string -> int
+
+val attribute_index : t -> rel:string -> attr:string -> int
+(** Position of a named attribute.  Raises [Not_found]. *)
+
+val relations : t -> relation list
+(** In declaration order. *)
+
+val of_list : (string * string list) list -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,29 @@
+type t = int
+
+let of_int i = i
+let to_int i = i
+let equal = Int.equal
+let compare = Int.compare
+let hash i = Hashtbl.hash i
+let pp ppf i = Format.fprintf ppf "t%d" i
+
+module Set = Set.Make (Int)
+module Map = Map.Make (Int)
+
+module Cell = struct
+  type nonrec t = { tid : t; pos : int }
+
+  let make tid pos = { tid; pos }
+  let equal a b = equal a.tid b.tid && a.pos = b.pos
+
+  let compare a b =
+    match compare a.tid b.tid with 0 -> Int.compare a.pos b.pos | c -> c
+
+  let pp ppf { tid; pos } = Format.fprintf ppf "%a[%d]" pp tid pos
+
+  module Set = Stdlib.Set.Make (struct
+    type nonrec t = t
+
+    let compare = compare
+  end)
+end

@@ -1,0 +1,26 @@
+type t = True | False | Unknown
+
+let of_bool b = if b then True else False
+
+let to_bool = function True -> true | False | Unknown -> false
+
+let ( &&& ) a b =
+  match a, b with
+  | False, _ | _, False -> False
+  | True, True -> True
+  | Unknown, _ | _, Unknown -> Unknown
+
+let ( ||| ) a b =
+  match a, b with
+  | True, _ | _, True -> True
+  | False, False -> False
+  | Unknown, _ | _, Unknown -> Unknown
+
+let not_ = function True -> False | False -> True | Unknown -> Unknown
+
+let equal (a : t) (b : t) = a = b
+
+let pp ppf = function
+  | True -> Format.pp_print_string ppf "true"
+  | False -> Format.pp_print_string ppf "false"
+  | Unknown -> Format.pp_print_string ppf "unknown"

@@ -1,0 +1,20 @@
+(** SQL three-valued logic (true / false / unknown).
+
+    Used for query-time evaluation of comparisons in the presence of SQL
+    nulls (paper, Sections 4.2–4.3): a condition filters a tuple in iff it
+    evaluates to [True]. *)
+
+type t = True | False | Unknown
+
+val of_bool : bool -> t
+
+val to_bool : t -> bool
+(** [to_bool t] is [true] iff [t = True] — the SQL rule that only definite
+    truth selects a tuple. *)
+
+val ( &&& ) : t -> t -> t
+val ( ||| ) : t -> t -> t
+val not_ : t -> t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

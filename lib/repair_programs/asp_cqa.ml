@@ -1,0 +1,41 @@
+let answer_pred = "_ans"
+
+let repairs inst schema ics =
+  let program = Compile.repair_program schema ics in
+  let edb = Compile.edb_of_instance inst in
+  List.map (Compile.repair_of_model inst) (Asp.Stable.models program edb)
+
+let c_repairs inst schema ics =
+  let program = Compile.c_repair_program schema ics in
+  let edb = Compile.edb_of_instance inst in
+  List.map
+    (fun (_w, m) -> Compile.repair_of_model inst m)
+    (Asp.Stable.optimal_models program edb)
+
+let with_query_rules ?(semantics = `S) query_rules schema ics inst =
+  let base =
+    match semantics with
+    | `S -> Compile.repair_program schema ics
+    | `C -> Compile.c_repair_program schema ics
+  in
+  let program =
+    Asp.Syntax.program ~weaks:base.Asp.Syntax.weaks
+      (base.Asp.Syntax.rules @ query_rules)
+  in
+  let edb = Compile.edb_of_instance inst in
+  match semantics with
+  | `S -> Asp.Reason.cautious_rows program edb ~pred:answer_pred
+  | `C -> Asp.Reason.optimal_cautious_rows program edb ~pred:answer_pred
+
+let consistent_answers ?semantics q schema ics inst =
+  with_query_rules ?semantics
+    (Compile.query_rules q ~pred:answer_pred)
+    schema ics inst
+
+let consistent_answers_ucq ?semantics (u : Logic.Ucq.t) schema ics inst =
+  let rules =
+    List.concat_map
+      (fun q -> Compile.query_rules q ~pred:answer_pred)
+      u.Logic.Ucq.disjuncts
+  in
+  with_query_rules ?semantics rules schema ics inst

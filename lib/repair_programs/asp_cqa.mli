@@ -1,0 +1,38 @@
+(** CQA through repair programs: repairs are the stable models, consistent
+    answers are the cautious consequences (paper, Section 3.3; the ConsEx
+    architecture of [43] with our ASP engine in place of DLV). *)
+
+val repairs :
+  Relational.Instance.t ->
+  Relational.Schema.t ->
+  Constraints.Ic.t list ->
+  Relational.Instance.t list
+(** The S-repairs, read off the stable models of the repair program.
+    Denial-class constraints only. *)
+
+val c_repairs :
+  Relational.Instance.t ->
+  Relational.Schema.t ->
+  Constraints.Ic.t list ->
+  Relational.Instance.t list
+(** C-repairs, read off the weak-constraint-optimal stable models. *)
+
+val consistent_answers :
+  ?semantics:[ `S | `C ] ->
+  Logic.Cq.t ->
+  Relational.Schema.t ->
+  Constraints.Ic.t list ->
+  Relational.Instance.t ->
+  Relational.Value.t list list
+(** Cautious answers of the query rules over the repair program ([`S],
+    default) or its weak-constraint extension ([`C]). *)
+
+val consistent_answers_ucq :
+  ?semantics:[ `S | `C ] ->
+  Logic.Ucq.t ->
+  Relational.Schema.t ->
+  Constraints.Ic.t list ->
+  Relational.Instance.t ->
+  Relational.Value.t list list
+(** Union of conjunctive queries: one query rule per disjunct, cautious
+    reasoning on the shared answer predicate. *)

@@ -1,0 +1,100 @@
+module Schema = Relational.Schema
+module Instance = Relational.Instance
+module Tid = Relational.Tid
+module Fact = Relational.Fact
+module Value = Relational.Value
+module Term = Logic.Term
+module Atom = Logic.Atom
+module Ic = Constraints.Ic
+
+let change_pred = "_chg"
+
+(* Positions of each denial atom whose change to NULL breaks the
+   violation: constants, join variables (occurring at least twice in the
+   body) and comparison variables. *)
+let breakable_positions (d : Ic.denial) =
+  let occurrences = Hashtbl.create 16 in
+  List.iter
+    (fun (a : Atom.t) ->
+      List.iter
+        (function
+          | Term.Var v ->
+              Hashtbl.replace occurrences v
+                (1 + Option.value ~default:0 (Hashtbl.find_opt occurrences v))
+          | Term.Const _ -> ())
+        a.args)
+    d.atoms;
+  let comp_vars = List.concat_map Logic.Cmp.vars d.comps in
+  List.map
+    (fun (a : Atom.t) ->
+      List.mapi (fun i t -> (i, t)) a.args
+      |> List.filter_map (fun (i, t) ->
+             let breaks =
+               match t with
+               | Term.Const _ -> true
+               | Term.Var v ->
+                   Option.value ~default:0 (Hashtbl.find_opt occurrences v) >= 2
+                   || List.mem v comp_vars
+             in
+             if breaks then Some i else None))
+    d.atoms
+
+let violation_rule (d : Ic.denial) =
+  let tid_var i = Term.Var (Printf.sprintf "_t%d" i) in
+  let body =
+    List.mapi
+      (fun i (a : Atom.t) -> Atom.make a.rel (tid_var i :: a.args))
+      d.atoms
+  in
+  let head =
+    List.concat
+      (List.mapi
+         (fun i positions ->
+           List.map
+             (fun p ->
+               Atom.make change_pred [ tid_var i; Term.int (p + 1) ])
+             positions)
+         (breakable_positions d))
+  in
+  Asp.Syntax.rule ~comps:d.comps head body
+
+let program schema ics =
+  let denials =
+    List.concat_map
+      (fun ic ->
+        match Ic.to_denials schema ic with
+        | Some ds -> ds
+        | None ->
+            invalid_arg
+              (Printf.sprintf "Attr_compile: %s is not denial-class" (Ic.name ic)))
+      ics
+  in
+  Asp.Syntax.program (List.map violation_rule denials)
+
+let change_sets inst schema ics =
+  let models =
+    Asp.Stable.models (program schema ics) (Compile.edb_of_instance inst)
+  in
+  List.map
+    (fun model ->
+      Fact.Set.fold
+        (fun (f : Fact.t) acc ->
+          if String.equal f.rel change_pred then
+            match f.row.(0), f.row.(1) with
+            | Value.Int t, Value.Int p ->
+                Tid.Cell.Set.add (Tid.Cell.make (Tid.of_int t) p) acc
+            | _ -> acc
+          else acc)
+        model Tid.Cell.Set.empty)
+    models
+  |> List.sort_uniq Tid.Cell.Set.compare
+
+let repairs inst schema ics =
+  List.map
+    (fun changes ->
+      {
+        Repairs.Attr_repair.changes;
+        repaired =
+          Repairs.Attr_repair.apply_changes inst (Tid.Cell.Set.elements changes);
+      })
+    (change_sets inst schema ics)

@@ -1,0 +1,30 @@
+(** Repair programs for attribute-level null-based repairs (paper, Sections
+    4.3 and 7.1; the programs of [15]).
+
+    Encoding: a change atom [_chg(t, p)] states that the cell at 1-based
+    position p of the tuple with tid t is replaced by NULL.  For each
+    denial constraint, a disjunctive rule offers, for every violation, the
+    alternative cell changes that break it — a cell breaks a violation when
+    its position carries a constant of the constraint, a join variable, or
+    a comparison variable.  Stable-model minimality then yields exactly the
+    set-inclusion-minimal change sets, i.e. the attribute repairs of
+    {!Repairs.Attr_repair} (the correspondence is property-tested). *)
+
+val change_pred : string
+
+val program : Relational.Schema.t -> Constraints.Ic.t list -> Asp.Syntax.t
+(** Raises [Invalid_argument] on non-denial-class constraints. *)
+
+val change_sets :
+  Relational.Instance.t ->
+  Relational.Schema.t ->
+  Constraints.Ic.t list ->
+  Relational.Tid.Cell.Set.t list
+(** The minimal change sets, one per stable model, in stable order. *)
+
+val repairs :
+  Relational.Instance.t ->
+  Relational.Schema.t ->
+  Constraints.Ic.t list ->
+  Repairs.Attr_repair.t list
+(** Change sets applied to the instance. *)

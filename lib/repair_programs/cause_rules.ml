@@ -1,0 +1,122 @@
+module Instance = Relational.Instance
+module Schema = Relational.Schema
+module Tid = Relational.Tid
+module Fact = Relational.Fact
+module Value = Relational.Value
+module Term = Logic.Term
+module Atom = Logic.Atom
+module Cmp = Logic.Cmp
+
+let kappa (q : Logic.Cq.t) =
+  Constraints.Ic.denial ~name:("kappa_" ^ q.name) ~comps:q.comps q.body
+
+let ans_pred = "_cause"
+let caucon_pred = "_caucon"
+
+(* One Ans rule per relation occurring in the query: any deleted tuple of
+   those relations is a cause candidate. *)
+let ans_rules schema (q : Logic.Cq.t) =
+  let rels =
+    List.sort_uniq String.compare
+      (List.map (fun (a : Atom.t) -> a.rel) q.body)
+  in
+  List.map
+    (fun rel ->
+      let n = Schema.arity schema rel in
+      let xs = List.init n (fun i -> Term.Var (Printf.sprintf "_x%d" i)) in
+      let t = Term.Var "_t" in
+      Asp.Syntax.rule
+        [ Atom.make ans_pred [ t ] ]
+        [ Atom.make (Compile.primed rel) ((t :: xs) @ [ Compile.anno_deleted ]) ])
+    rels
+
+(* CauCon(t, t') for every ordered pair of query relations: both deleted in
+   the same model, t ≠ t'. *)
+let caucon_rules schema (q : Logic.Cq.t) =
+  let rels =
+    List.sort_uniq String.compare
+      (List.map (fun (a : Atom.t) -> a.rel) q.body)
+  in
+  List.concat_map
+    (fun rel_a ->
+      List.map
+        (fun rel_b ->
+          let na = Schema.arity schema rel_a and nb = Schema.arity schema rel_b in
+          let xs = List.init na (fun i -> Term.Var (Printf.sprintf "_x%d" i)) in
+          let ys = List.init nb (fun i -> Term.Var (Printf.sprintf "_y%d" i)) in
+          let t = Term.Var "_t" and t' = Term.Var "_t2" in
+          Asp.Syntax.rule
+            ~comps:[ Cmp.neq t t' ]
+            [ Atom.make caucon_pred [ t; t' ] ]
+            [
+              Atom.make (Compile.primed rel_a)
+                ((t :: xs) @ [ Compile.anno_deleted ]);
+              Atom.make (Compile.primed rel_b)
+                ((t' :: ys) @ [ Compile.anno_deleted ]);
+            ])
+        rels)
+    rels
+
+let cause_program schema q =
+  let base = Compile.repair_program schema [ kappa q ] in
+  Asp.Syntax.program
+    (base.Asp.Syntax.rules @ ans_rules schema q @ caucon_rules schema q)
+
+let tid_of_value = function
+  | Value.Int i -> Tid.of_int i
+  | _ -> invalid_arg "Cause_rules: malformed tid"
+
+let models inst schema q =
+  Asp.Stable.models (cause_program schema q) (Compile.edb_of_instance inst)
+
+let causes inst schema q =
+  let ms = models inst schema q in
+  List.fold_left
+    (fun acc m ->
+      Fact.Set.fold
+        (fun (f : Fact.t) acc ->
+          if String.equal f.rel ans_pred then
+            let tid = tid_of_value f.row.(0) in
+            if List.mem tid acc then acc else tid :: acc
+          else acc)
+        m acc)
+    [] ms
+  |> List.sort Tid.compare
+
+let cau_con_pairs inst schema q =
+  let ms = models inst schema q in
+  List.fold_left
+    (fun acc m ->
+      Fact.Set.fold
+        (fun (f : Fact.t) acc ->
+          if String.equal f.rel caucon_pred then
+            let pair = (tid_of_value f.row.(0), tid_of_value f.row.(1)) in
+            if List.mem pair acc then acc else pair :: acc
+          else acc)
+        m acc)
+    [] ms
+  |> List.sort compare
+
+let responsibilities inst schema q =
+  let ms = models inst schema q in
+  (* Per model, the deleted set; a cause's contingency in that model is the
+     deleted set minus itself. *)
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun m ->
+      let deleted =
+        Fact.Set.fold
+          (fun (f : Fact.t) acc ->
+            if String.equal f.rel ans_pred then tid_of_value f.row.(0) :: acc
+            else acc)
+          m []
+      in
+      let size = List.length deleted in
+      List.iter
+        (fun tid ->
+          let best = Option.value ~default:max_int (Hashtbl.find_opt tbl tid) in
+          if size - 1 < best then Hashtbl.replace tbl tid (size - 1))
+        deleted)
+    ms;
+  Hashtbl.fold (fun tid gamma acc -> (tid, 1.0 /. float_of_int (1 + gamma)) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> Tid.compare a b)

@@ -1,0 +1,36 @@
+(** Causes and responsibilities through repair programs (paper, Section 7,
+    Example 7.2).
+
+    For a Boolean conjunctive query Q true in D, the S-repairs of D wrt. the
+    denial [κ(Q) = ¬Q] encode the causes: a tuple τ is an actual cause with
+    minimal contingency Γ iff D∖(Γ∪{τ}) is an S-repair, and its
+    responsibility is 1/(1+|Γ|), maximized over repairs containing τ in the
+    deleted set.
+
+    [causes] is brave reasoning on the Ans rules; contingency-set collection
+    and the final 1/(1+min) arithmetic replace the DLV-Complex aggregates
+    the paper uses (see DESIGN.md). *)
+
+val kappa : Logic.Cq.t -> Constraints.Ic.t
+(** The denial constraint associated to a Boolean CQ. *)
+
+val cause_program :
+  Relational.Schema.t -> Logic.Cq.t -> Asp.Syntax.t
+(** Repair program of [κ(Q)] extended with Ans and CauCon rules. *)
+
+val causes :
+  Relational.Instance.t -> Relational.Schema.t -> Logic.Cq.t ->
+  Relational.Tid.t list
+(** Tids that are actual causes for the query being true (brave Ans). *)
+
+val cau_con_pairs :
+  Relational.Instance.t -> Relational.Schema.t -> Logic.Cq.t ->
+  (Relational.Tid.t * Relational.Tid.t) list
+(** All CauCon(t, t') pairs derived bravely: t is a cause, t' is deleted
+    together with t in some repair. *)
+
+val responsibilities :
+  Relational.Instance.t -> Relational.Schema.t -> Logic.Cq.t ->
+  (Relational.Tid.t * float) list
+(** Responsibility of every actual cause, via minimum contingency-set size
+    across stable models. *)

@@ -1,0 +1,105 @@
+module Instance = Relational.Instance
+module Schema = Relational.Schema
+module Tid = Relational.Tid
+module Fact = Relational.Fact
+module Value = Relational.Value
+module Term = Logic.Term
+module Atom = Logic.Atom
+module Ic = Constraints.Ic
+
+let anno_deleted = Term.Const (Value.str "d")
+let anno_stays = Term.Const (Value.str "s")
+let primed rel = rel ^ "'"
+let tid_value tid = Value.Int (Tid.to_int tid)
+
+let edb_of_instance inst =
+  Instance.fold_facts
+    (fun tid (f : Fact.t) acc ->
+      Fact.make f.rel (tid_value tid :: Array.to_list f.row) :: acc)
+    inst []
+  |> List.rev
+
+let tid_var i = Term.Var (Printf.sprintf "_t%d" i)
+
+let violation_rule (d : Ic.denial) =
+  let body =
+    List.mapi
+      (fun i (a : Atom.t) -> Atom.make a.rel (tid_var i :: a.args))
+      d.atoms
+  in
+  let head =
+    List.mapi
+      (fun i (a : Atom.t) ->
+        Atom.make (primed a.rel) ((tid_var i :: a.args) @ [ anno_deleted ]))
+      d.atoms
+  in
+  Asp.Syntax.rule ~comps:d.comps head body
+
+let row_vars n = List.init n (fun i -> Term.Var (Printf.sprintf "_x%d" i))
+
+let inertia_rules schema =
+  List.map
+    (fun (r : Schema.relation) ->
+      let xs = row_vars (Array.length r.attributes) in
+      let t = Term.Var "_t" in
+      Asp.Syntax.rule
+        ~neg:[ Atom.make (primed r.name) ((t :: xs) @ [ anno_deleted ]) ]
+        [ Atom.make (primed r.name) ((t :: xs) @ [ anno_stays ]) ]
+        [ Atom.make r.name (t :: xs) ])
+    (Schema.relations schema)
+
+let repair_rules schema ics =
+  let denials =
+    List.concat_map
+      (fun ic ->
+        match Ic.to_denials schema ic with
+        | Some ds -> ds
+        | None ->
+            invalid_arg
+              (Printf.sprintf
+                 "Repair_programs.Compile: %s is not a denial-class constraint"
+                 (Ic.name ic)))
+      ics
+  in
+  List.map violation_rule denials @ inertia_rules schema
+
+let repair_program schema ics = Asp.Syntax.program (repair_rules schema ics)
+
+let c_repair_program schema ics =
+  let weaks =
+    List.map
+      (fun (r : Schema.relation) ->
+        let xs = row_vars (Array.length r.attributes) in
+        Asp.Syntax.weak
+          [ Atom.make (primed r.name) ((Term.Var "_t" :: xs) @ [ anno_deleted ]) ])
+      (Schema.relations schema)
+  in
+  Asp.Syntax.program ~weaks (repair_rules schema ics)
+
+let query_rules (q : Logic.Cq.t) ~pred =
+  let body =
+    List.mapi
+      (fun i (a : Atom.t) ->
+        Atom.make (primed a.rel)
+          ((Term.Var (Printf.sprintf "_q%d" i) :: a.args) @ [ anno_stays ]))
+      q.body
+  in
+  [ Asp.Syntax.rule ~comps:q.comps [ Atom.make pred q.head ] body ]
+
+let repair_of_model original model =
+  let schema = Instance.schema original in
+  let is_primed rel =
+    String.length rel > 1 && rel.[String.length rel - 1] = '\''
+  in
+  Fact.Set.fold
+    (fun (f : Fact.t) acc ->
+      let n = Array.length f.row in
+      if
+        is_primed f.rel && n >= 2
+        && Value.equal f.row.(n - 1) (Value.str "s")
+      then
+        let rel = String.sub f.rel 0 (String.length f.rel - 1) in
+        let args = Array.to_list (Array.sub f.row 1 (n - 2)) in
+        Instance.add acc (Fact.make rel args)
+      else acc)
+    model (Instance.create schema)

@@ -1,0 +1,49 @@
+(** Compile denial-class integrity constraints into repair programs
+    (paper, Section 3.3, Example 3.5).
+
+    Encoding: a database relation [R] of arity n becomes an EDB predicate
+    [R] of arity n+1 whose first argument is the global tid; its annotated
+    nickname [R'] has arity n+2, the last argument being the annotation
+    constant [d] (deleted) or [s] (stays).  For each denial constraint, a
+    disjunctive rule offers the alternative deletions resolving each
+    violation; inertia rules keep undeleted tuples.
+
+    The stable models of the program over the instance's facts are in
+    one-to-one correspondence with the S-repairs: a repair is read off a
+    model by keeping the tuples annotated [s].
+
+    NULL is treated as an ordinary constant by the program (the logic
+    reconstruction of SQL nulls from [24] adds explicit non-null guards; we
+    restrict repair programs to NULL-free instances, which is what the
+    paper's Section 3.3 examples assume). *)
+
+val anno_deleted : Logic.Term.t
+val anno_stays : Logic.Term.t
+
+val primed : string -> string
+(** The annotated nickname of a relation ([R] ↦ [R']). *)
+
+val tid_value : Relational.Tid.t -> Relational.Value.t
+
+val edb_of_instance : Relational.Instance.t -> Relational.Fact.t list
+(** Tid-extended facts [R(t; ā)]. *)
+
+val repair_rules : Relational.Schema.t -> Constraints.Ic.t list -> Asp.Syntax.rule list
+(** Disjunctive violation rules plus inertia rules for every relation of
+    the schema.  Raises [Invalid_argument] on non-denial-class
+    constraints. *)
+
+val repair_program : Relational.Schema.t -> Constraints.Ic.t list -> Asp.Syntax.t
+
+val c_repair_program :
+  Relational.Schema.t -> Constraints.Ic.t list -> Asp.Syntax.t
+(** [repair_program] plus the weak constraints of Example 4.2, so that
+    optimal stable models are the C-repairs. *)
+
+val query_rules : Logic.Cq.t -> pred:string -> Asp.Syntax.rule list
+(** Rules collecting the query's answers over the repaired ([s]-annotated)
+    relations into [pred]. *)
+
+val repair_of_model :
+  Relational.Instance.t -> Asp.Stable.model -> Relational.Instance.t
+(** Read a repair off a stable model by keeping the [s]-annotated tuples. *)

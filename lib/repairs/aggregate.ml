@@ -1,0 +1,134 @@
+module Instance = Relational.Instance
+module Value = Relational.Value
+module Ic = Constraints.Ic
+
+type agg = Count_all | Sum of int | Min of int | Max of int
+
+type range = { glb : float; lub : float }
+
+let numeric = function
+  | Value.Int i -> Some (float_of_int i)
+  | Value.Real r -> Some r
+  | Value.Null -> None
+  | Value.Str _ | Value.Bool _ ->
+      invalid_arg "Aggregate: non-numeric value under a numeric aggregate"
+
+let eval_agg rows agg =
+  match agg with
+  | Count_all -> float_of_int (List.length rows)
+  | Sum p ->
+      List.fold_left
+        (fun acc (row : Value.t array) ->
+          match numeric row.(p) with Some x -> acc +. x | None -> acc)
+        0.0 rows
+  | Min p ->
+      List.fold_left
+        (fun acc (row : Value.t array) ->
+          match numeric row.(p) with Some x -> Float.min acc x | None -> acc)
+        infinity rows
+  | Max p ->
+      List.fold_left
+        (fun acc (row : Value.t array) ->
+          match numeric row.(p) with Some x -> Float.max acc x | None -> acc)
+        neg_infinity rows
+
+let range_by_enumeration inst schema ics ~rel agg =
+  match S_repair.enumerate inst schema ics with
+  | [] -> failwith "Aggregate.range: no repair"
+  | repairs ->
+      List.fold_left
+        (fun acc (r : Repair.t) ->
+          let x = eval_agg (Instance.rows r.repaired ~rel) agg in
+          { glb = Float.min acc.glb x; lub = Float.max acc.lub x })
+        { glb = infinity; lub = neg_infinity }
+        repairs
+
+(* Key blocks of [rel]: (fixed rows, conflicting blocks). *)
+let blocks_of inst ~rel ~key =
+  let groups = Hashtbl.create 32 in
+  let fixed = ref [] in
+  List.iter
+    (fun (_tid, row) ->
+      let k = List.map (fun i -> row.(i)) key in
+      if List.exists Value.is_null k then fixed := row :: !fixed
+      else
+        Hashtbl.replace groups k
+          (row :: Option.value ~default:[] (Hashtbl.find_opt groups k)))
+    (Instance.tuples inst ~rel);
+  let blocks = ref [] in
+  Hashtbl.iter
+    (fun _ rows ->
+      match rows with
+      | [ single ] -> fixed := single :: !fixed
+      | _ -> blocks := rows :: !blocks)
+    groups;
+  (!fixed, !blocks)
+
+let closed_form inst ~rel ~key agg =
+  let fixed, blocks = blocks_of inst ~rel ~key in
+  match agg with
+  | Count_all ->
+      let n = float_of_int (List.length fixed + List.length blocks) in
+      { glb = n; lub = n }
+  | Sum p ->
+      let contribution row =
+        match numeric (row : Value.t array).(p) with Some x -> x | None -> 0.0
+      in
+      let fixed_sum = List.fold_left (fun acc r -> acc +. contribution r) 0.0 fixed in
+      let fold pick =
+        List.fold_left
+          (fun acc block ->
+            acc
+            +. List.fold_left
+                 (fun best r -> pick best (contribution r))
+                 (contribution (List.hd block))
+                 (List.tl block))
+          fixed_sum blocks
+      in
+      { glb = fold Float.min; lub = fold Float.max }
+  | Min p ->
+      (* glb: any block may elect its smallest claimant, so the global
+         minimum over all values is reachable.  lub: per block, electing a
+         NULL-valued claimant removes the block from the MIN; otherwise the
+         best the block can offer is its maximum. *)
+      let fixed_min = eval_agg fixed (Min p) in
+      let glb = Float.min fixed_min (eval_agg (List.concat blocks) (Min p)) in
+      let lub =
+        List.fold_left
+          (fun acc block ->
+            if List.exists (fun (r : Value.t array) -> numeric r.(p) = None) block
+            then acc
+            else Float.min acc (eval_agg block (Max p)))
+          fixed_min blocks
+      in
+      { glb; lub }
+  | Max p ->
+      let fixed_max = eval_agg fixed (Max p) in
+      let lub = Float.max fixed_max (eval_agg (List.concat blocks) (Max p)) in
+      let glb =
+        List.fold_left
+          (fun acc block ->
+            if List.exists (fun (r : Value.t array) -> numeric r.(p) = None) block
+            then acc
+            else Float.max acc (eval_agg block (Min p)))
+          fixed_max blocks
+      in
+      { glb; lub }
+
+let range inst schema ics ~rel agg =
+  let keys =
+    List.filter_map (function Ic.Key (r, ps) -> Some (r, ps) | _ -> None) ics
+  in
+  let rels = List.map fst keys in
+  let pure_keys =
+    List.length keys = List.length ics
+    && List.length (List.sort_uniq String.compare rels) = List.length rels
+  in
+  if pure_keys then
+    match List.assoc_opt rel keys with
+    | Some key -> closed_form inst ~rel ~key agg
+    | None ->
+        (* No constraint touches [rel]: the aggregate is fixed. *)
+        let x = eval_agg (Instance.rows inst ~rel) agg in
+        { glb = x; lub = x }
+  else range_by_enumeration inst schema ics ~rel agg

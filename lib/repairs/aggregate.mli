@@ -1,0 +1,36 @@
+(** Range-consistent answers for scalar aggregation queries (paper, Section
+    3.2; Arenas–Bertossi–Chomicki–He–Raghavan–Spinrad [5]).
+
+    For an aggregate over an inconsistent database, the consistent answer
+    is an interval: the greatest lower bound and least upper bound of the
+    aggregate's value across all repairs.  For a single primary key the
+    bounds have closed forms over the key blocks (each repair keeps exactly
+    one claimant per block); for general denial-class constraints the
+    bounds are computed by repair enumeration. *)
+
+type agg = Count_all | Sum of int | Min of int | Max of int
+(** The attribute position (0-based) being aggregated; [Count_all] is
+    SQL's count-star. *)
+
+type range = { glb : float; lub : float }
+
+val range :
+  Relational.Instance.t ->
+  Relational.Schema.t ->
+  Constraints.Ic.t list ->
+  rel:string ->
+  agg ->
+  range
+(** Raises [Invalid_argument] when a [Sum]/[Min]/[Max] attribute holds
+    non-numeric values, and [Failure] when there is no repair.  NULLs are
+    ignored by the aggregate, as in SQL. *)
+
+val range_by_enumeration :
+  Relational.Instance.t ->
+  Relational.Schema.t ->
+  Constraints.Ic.t list ->
+  rel:string ->
+  agg ->
+  range
+(** The enumeration fallback, exposed for differential testing against the
+    closed forms. *)

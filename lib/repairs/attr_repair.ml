@@ -1,0 +1,102 @@
+module Instance = Relational.Instance
+module Tid = Relational.Tid
+module Value = Relational.Value
+module Ic = Constraints.Ic
+module Violation = Constraints.Violation
+
+type t = { changes : Tid.Cell.Set.t; repaired : Instance.t }
+
+let var_occurrences (d : Ic.denial) =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (a : Logic.Atom.t) ->
+      List.iter
+        (function
+          | Logic.Term.Var v ->
+              Hashtbl.replace tbl v (1 + Option.value ~default:0 (Hashtbl.find_opt tbl v))
+          | Logic.Term.Const _ -> ())
+        a.args)
+    d.atoms;
+  tbl
+
+let breakable_cells (w : Violation.witness) (d : Ic.denial) =
+  let occ = var_occurrences d in
+  let comp_vars = List.concat_map Logic.Cmp.vars d.comps in
+  List.fold_left
+    (fun acc (tid, (a : Logic.Atom.t)) ->
+      List.fold_left
+        (fun (acc, i) term ->
+          let breaks =
+            match term with
+            | Logic.Term.Const _ -> true
+            | Logic.Term.Var v ->
+                Option.value ~default:0 (Hashtbl.find_opt occ v) >= 2
+                || List.mem v comp_vars
+          in
+          let acc =
+            if breaks then Tid.Cell.Set.add (Tid.Cell.make tid (i + 1)) acc
+            else acc
+          in
+          (acc, i + 1))
+        (acc, 0) a.args
+      |> fst)
+    Tid.Cell.Set.empty w.matched
+
+let cell_edges inst schema ics =
+  List.concat_map
+    (fun ic ->
+      match Ic.to_denials schema ic with
+      | None ->
+          invalid_arg
+            (Printf.sprintf
+               "Attr_repair: %s is not a denial-class constraint" (Ic.name ic))
+      | Some denials ->
+          List.concat_map
+            (fun d ->
+              List.map
+                (fun w -> breakable_cells w d)
+                (Violation.of_denial inst d))
+            denials)
+    ics
+
+let apply_changes inst cells =
+  List.fold_left (fun db cell -> Instance.update_cell db cell Value.Null) inst cells
+
+let with_encoding inst schema ics solve =
+  let edges = cell_edges inst schema ics in
+  let index = Hashtbl.create 64 and back = Hashtbl.create 64 and next = ref 0 in
+  let encode cell =
+    match Hashtbl.find_opt index cell with
+    | Some i -> i
+    | None ->
+        incr next;
+        Hashtbl.add index cell !next;
+        Hashtbl.add back !next cell;
+        !next
+  in
+  let int_edges =
+    List.map (fun e -> List.map encode (Tid.Cell.Set.elements e)) edges
+  in
+  let decode hs =
+    let cells = List.map (Hashtbl.find back) hs in
+    {
+      changes = Tid.Cell.Set.of_list cells;
+      repaired = apply_changes inst cells;
+    }
+  in
+  solve int_edges decode
+
+let enumerate inst schema ics =
+  with_encoding inst schema ics (fun int_edges decode ->
+      List.map decode (Sat.Hitting_set.minimal int_edges))
+
+let minimum inst schema ics =
+  with_encoding inst schema ics (fun int_edges decode ->
+      Option.map decode (Sat.Hitting_set.minimum int_edges))
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Tid.Cell.pp)
+    (Tid.Cell.Set.elements t.changes)

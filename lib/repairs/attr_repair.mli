@@ -1,0 +1,45 @@
+(** Attribute-level null-based repairs (paper, Section 4.3 / Example 4.4).
+
+    A repair is obtained by changing a minimal set of attribute values to
+    NULL so that every denial-constraint violation loses a join, comparison
+    or constant match.  Change sets are sets of cells [tid[pos]] (1-based
+    positions, as in the paper).
+
+    Only denial-class constraints are supported: setting cells to NULL can
+    only remove matches of a positive body, so the repaired instance is
+    consistent exactly when every violation's "breakable" cells are hit —
+    which reduces the semantics to minimal hitting sets over cells. *)
+
+type t = {
+  changes : Relational.Tid.Cell.Set.t;
+  repaired : Relational.Instance.t;
+}
+
+val breakable_cells :
+  Constraints.Violation.witness ->
+  Constraints.Ic.denial ->
+  Relational.Tid.Cell.Set.t
+(** The cells of one violation whose change to NULL kills it: positions
+    holding a constant of the constraint, a join variable (occurring at
+    least twice in the body), or a variable used in a comparison. *)
+
+val enumerate :
+  Relational.Instance.t ->
+  Relational.Schema.t ->
+  Constraints.Ic.t list ->
+  t list
+(** All minimal-change attribute repairs.  Raises [Invalid_argument] on
+    non-denial-class constraints.  Returns [] when some violation has no
+    breakable cell (then no attribute repair exists). *)
+
+val minimum :
+  Relational.Instance.t ->
+  Relational.Schema.t ->
+  Constraints.Ic.t list ->
+  t option
+(** An attribute repair with the fewest changed cells. *)
+
+val apply_changes :
+  Relational.Instance.t -> Relational.Tid.Cell.t list -> Relational.Instance.t
+
+val pp : Format.formatter -> t -> unit

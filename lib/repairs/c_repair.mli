@@ -1,0 +1,42 @@
+(** C-repairs: S-repairs of minimum cardinality |D Δ D'| (paper, Section
+    4.1, after Arenas–Bertossi–Chomicki [6] and Lopatenko–Bertossi [87]).
+
+    For denial-class constraints one C-repair is found without enumerating
+    all S-repairs, by branch-and-bound minimum hitting set on the conflict
+    hypergraph (SAT-based); enumeration filters the minimal hitting sets by
+    cardinality. *)
+
+val minimum_cost :
+  ?actions:Repair.actions ->
+  ?fuel:int ->
+  Relational.Instance.t ->
+  Relational.Schema.t ->
+  Constraints.Ic.t list ->
+  int option
+(** The cardinality of a C-repair's delta; [None] if no repair exists
+    (possible only with [`Delete_only] dead ends or unhittable edges). *)
+
+val one :
+  ?actions:Repair.actions ->
+  ?fuel:int ->
+  Relational.Instance.t ->
+  Relational.Schema.t ->
+  Constraints.Ic.t list ->
+  Repair.t option
+
+val enumerate :
+  ?actions:Repair.actions ->
+  ?fuel:int ->
+  Relational.Instance.t ->
+  Relational.Schema.t ->
+  Constraints.Ic.t list ->
+  Repair.t list
+(** All C-repairs, in stable (delta) order. *)
+
+val count :
+  ?actions:Repair.actions ->
+  ?fuel:int ->
+  Relational.Instance.t ->
+  Relational.Schema.t ->
+  Constraints.Ic.t list ->
+  int

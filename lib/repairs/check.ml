@@ -1,0 +1,44 @@
+module Instance = Relational.Instance
+module Fact = Relational.Fact
+module Violation = Constraints.Violation
+
+let is_consistent inst schema ics = Violation.is_consistent inst schema ics
+
+(* Toggle the membership of each fact in [delta_subset]. *)
+let apply_delta original subset =
+  Fact.Set.fold
+    (fun f db ->
+      if Instance.mem_fact db f then Instance.delete_fact db f
+      else Instance.add db f)
+    subset original
+
+let rec proper_subsets = function
+  | [] -> [ [] ]
+  | x :: rest ->
+      let subs = proper_subsets rest in
+      subs @ List.map (fun s -> x :: s) subs
+
+let is_s_repair ?(max_delta = 20) ~original schema ics candidate =
+  is_consistent candidate schema ics
+  &&
+  let delta = Instance.symmetric_difference original candidate in
+  let n = Fact.Set.cardinal delta in
+  if n = 0 then true
+  else if n > max_delta then
+    invalid_arg
+      (Printf.sprintf "Check.is_s_repair: |delta| = %d exceeds max_delta" n)
+  else
+    let elements = Fact.Set.elements delta in
+    List.for_all
+      (fun subset ->
+        List.length subset = n
+        || not (is_consistent (apply_delta original (Fact.Set.of_list subset)) schema ics))
+      (proper_subsets elements)
+
+let is_c_repair ?actions ~original schema ics candidate =
+  is_consistent candidate schema ics
+  &&
+  let delta = Instance.symmetric_difference original candidate in
+  match C_repair.minimum_cost ?actions original schema ics with
+  | None -> false
+  | Some k -> Fact.Set.cardinal delta = k

@@ -1,0 +1,29 @@
+(** Repair checking (paper, Section 3.2; Afrati–Kolaitis, Chomicki–
+    Marcinkowski): decide whether a candidate instance is a repair of a
+    given database.
+
+    Minimality is verified exactly, by checking that no proper subset of
+    the symmetric difference already restores consistency; the subset
+    enumeration is exponential in |Δ|, so it is guarded by [max_delta]. *)
+
+val is_consistent :
+  Relational.Instance.t -> Relational.Schema.t -> Constraints.Ic.t list -> bool
+
+val is_s_repair :
+  ?max_delta:int ->
+  original:Relational.Instance.t ->
+  Relational.Schema.t ->
+  Constraints.Ic.t list ->
+  Relational.Instance.t ->
+  bool
+(** [max_delta] (default 20) caps |Δ| for the exact subset test; beyond it
+    the function raises [Invalid_argument]. *)
+
+val is_c_repair :
+  ?actions:Repair.actions ->
+  original:Relational.Instance.t ->
+  Relational.Schema.t ->
+  Constraints.Ic.t list ->
+  Relational.Instance.t ->
+  bool
+(** Consistent and of minimum delta cardinality. *)

@@ -1,0 +1,143 @@
+module Instance = Relational.Instance
+module Tid = Relational.Tid
+module Fact = Relational.Fact
+module Tvl = Relational.Tvl
+module Ic = Constraints.Ic
+module Binding = Logic.Binding
+module Cq = Logic.Cq
+
+module Edge_set = Set.Make (Tid.Set)
+
+type t = {
+  inst : Instance.t;
+  schema : Relational.Schema.t;
+  ics : Ic.t list;
+  denials : Ic.denial list;
+  edges : Edge_set.t;
+}
+
+let graph t =
+  {
+    Constraints.Conflict_graph.vertices = Instance.tids t.inst;
+    edges = Edge_set.elements t.edges;
+  }
+
+let instance t = t.inst
+let is_consistent t = Edge_set.is_empty t.edges
+
+let create inst schema ics =
+  let denials =
+    List.concat_map
+      (fun ic ->
+        match Ic.to_denials schema ic with
+        | Some ds -> ds
+        | None ->
+            invalid_arg
+              (Printf.sprintf "Incremental.create: %s is not denial-class"
+                 (Ic.name ic)))
+      ics
+  in
+  let edges =
+    List.fold_left
+      (fun acc (w : Constraints.Violation.witness) -> Edge_set.add w.tids acc)
+      Edge_set.empty
+      (Constraints.Violation.all inst schema ics)
+  in
+  { inst; schema; ics; denials; edges }
+
+(* Violation witnesses of one denial that involve the pinned tuple: the
+   pinned atom is matched first against just that tuple, the rest of the
+   body against the whole (updated) instance. *)
+let witnesses_pinned inst (d : Ic.denial) ~tid ~row =
+  let cmp_ready env c = List.for_all (Binding.mem env) (Logic.Cmp.vars c) in
+  let rec search env tids atoms comps acc =
+    let ready, pending = List.partition (cmp_ready env) comps in
+    if
+      not (List.for_all (fun c -> Tvl.to_bool (Binding.eval_cmp env c)) ready)
+    then acc
+    else
+      match atoms with
+      | [] -> tids :: acc
+      | (a : Logic.Atom.t) :: rest ->
+          List.fold_left
+            (fun acc (tid', row') ->
+              match Cq.match_row env a row' with
+              | Some env' -> search env' (Tid.Set.add tid' tids) rest pending acc
+              | None -> acc)
+            acc
+            (Instance.tuples inst ~rel:a.Logic.Atom.rel)
+  in
+  let n = List.length d.atoms in
+  let rec pin i acc =
+    if i >= n then acc
+    else
+      let pinned = List.nth d.atoms i in
+      let rest = List.filteri (fun j _ -> j <> i) d.atoms in
+      let acc =
+        match Cq.match_row Binding.empty pinned row with
+        | Some env ->
+            search env (Tid.Set.singleton tid) rest d.comps acc
+        | None -> acc
+      in
+      pin (i + 1) acc
+  in
+  pin 0 []
+
+let insert t fact =
+  let inst', tid = Instance.insert t.inst fact in
+  if inst' == t.inst then (t, tid)
+  else
+    let new_edges =
+      List.concat_map
+        (fun (d : Ic.denial) ->
+          if
+            List.exists
+              (fun (a : Logic.Atom.t) -> String.equal a.rel fact.Fact.rel)
+              d.atoms
+          then witnesses_pinned inst' d ~tid ~row:fact.Fact.row
+          else [])
+        t.denials
+    in
+    let edges =
+      List.fold_left (fun acc e -> Edge_set.add e acc) t.edges new_edges
+    in
+    ({ t with inst = inst'; edges }, tid)
+
+let delete t tid =
+  {
+    t with
+    inst = Instance.delete t.inst tid;
+    edges = Edge_set.filter (fun e -> not (Tid.Set.mem tid e)) t.edges;
+  }
+
+let s_repairs t =
+  let edges =
+    List.map
+      (fun e -> List.map Tid.to_int (Tid.Set.elements e))
+      (Edge_set.elements t.edges)
+  in
+  List.map
+    (fun hs ->
+      let doomed =
+        List.fold_left (fun s i -> Tid.Set.add (Tid.of_int i) s) Tid.Set.empty hs
+      in
+      let keep = Tid.Set.diff (Instance.tids t.inst) doomed in
+      Repair.make ~original:t.inst (Instance.restrict t.inst keep))
+    (Sat.Hitting_set.minimal edges)
+  |> List.sort Repair.compare_by_delta
+
+module Rows = Set.Make (struct
+  type t = Relational.Value.t list
+
+  let compare = List.compare Relational.Value.compare
+end)
+
+let consistent_answers t q =
+  match s_repairs t with
+  | [] -> []
+  | first :: rest ->
+      let answers (r : Repair.t) = Rows.of_list (Cq.answers q r.repaired) in
+      Rows.elements
+        (List.fold_left
+           (fun acc r -> Rows.inter acc (answers r))
+           (answers first) rest)

@@ -1,0 +1,81 @@
+module Instance = Relational.Instance
+module Tid = Relational.Tid
+module Value = Relational.Value
+module Violation = Constraints.Violation
+module Ic = Constraints.Ic
+
+let check_denial_class ics =
+  List.iter
+    (fun ic ->
+      if not (Ic.is_denial_class ic) then
+        invalid_arg "Operational: denial-class constraints only")
+    ics
+
+let sample_with rng inst schema ics =
+  (* Delete phase: resolve a random violation by deleting one of its tuples
+     uniformly, until consistent. *)
+  let rec resolve db =
+    match Violation.all db schema ics with
+    | [] -> db
+    | witnesses ->
+        let w = List.nth witnesses (Random.State.int rng (List.length witnesses)) in
+        let tids = Tid.Set.elements w.Violation.tids in
+        let victim = List.nth tids (Random.State.int rng (List.length tids)) in
+        resolve (Instance.delete db victim)
+  in
+  let consistent = resolve inst in
+  (* Maximality phase: deleted tuples that no longer conflict are put back
+     (in random order), so the run ends in an S-repair, not merely a
+     consistent sub-instance. *)
+  let deleted =
+    Tid.Set.elements (Tid.Set.diff (Instance.tids inst) (Instance.tids consistent))
+  in
+  let shuffled =
+    deleted
+    |> List.map (fun t -> (Random.State.bits rng, t))
+    |> List.sort compare |> List.map snd
+  in
+  let repaired =
+    List.fold_left
+      (fun db tid ->
+        let db' = Instance.add db (Instance.fact_of inst tid) in
+        if Violation.is_consistent db' schema ics then db' else db)
+      consistent shuffled
+  in
+  Repair.make ~original:inst repaired
+
+let sample_repair ?(seed = 0) inst schema ics =
+  check_denial_class ics;
+  sample_with (Random.State.make [| seed |]) inst schema ics
+
+module Rows = Map.Make (struct
+  type t = Value.t list
+
+  let compare = List.compare Value.compare
+end)
+
+let answer_probability ?(seed = 0) ?(samples = 200) inst schema ics q =
+  check_denial_class ics;
+  let rng = Random.State.make [| seed |] in
+  let counts = ref Rows.empty in
+  for _ = 1 to samples do
+    let r = sample_with rng inst schema ics in
+    List.iter
+      (fun row ->
+        counts :=
+          Rows.update row
+            (fun c -> Some (1 + Option.value ~default:0 c))
+            !counts)
+      (Logic.Cq.answers q r.Repair.repaired)
+  done;
+  Rows.fold
+    (fun row c acc -> (row, float_of_int c /. float_of_int samples) :: acc)
+    !counts []
+  |> List.sort (fun (r1, p1) (r2, p2) ->
+         match Float.compare p2 p1 with
+         | 0 -> List.compare Value.compare r1 r2
+         | c -> c)
+
+let probable_answers ?seed ?samples ?(threshold = 0.5) inst schema ics q =
+  answer_probability ?seed ?samples inst schema ics q
+  |> List.filter_map (fun (row, p) -> if p > threshold then Some row else None)

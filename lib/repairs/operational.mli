@@ -1,0 +1,44 @@
+(** Operational repair semantics (paper, Section 8 pointer to
+    Calautti–Libkin–Pieris [36], and the probabilistic relaxations of
+    Section 6).
+
+    Instead of quantifying over all repairs, run a randomized repairing
+    {e process}: repeatedly pick a violation and delete one of its tuples,
+    uniformly at random, until consistent — every run ends in an S-repair
+    (for denial-class constraints), and the process induces a probability
+    distribution over repairs.  Sampling that distribution gives Monte
+    Carlo estimates of answer probabilities, the "true in most repairs"
+    relaxation the paper mentions for data cleaning. *)
+
+val sample_repair :
+  ?seed:int ->
+  Relational.Instance.t ->
+  Relational.Schema.t ->
+  Constraints.Ic.t list ->
+  Repair.t
+(** One run of the operational process.  Denial-class constraints only
+    ([Invalid_argument] otherwise). *)
+
+val answer_probability :
+  ?seed:int ->
+  ?samples:int ->
+  Relational.Instance.t ->
+  Relational.Schema.t ->
+  Constraints.Ic.t list ->
+  Logic.Cq.t ->
+  (Relational.Value.t list * float) list
+(** Monte Carlo estimate of each answer's probability under the
+    operational distribution ([samples] defaults to 200), most probable
+    first. *)
+
+val probable_answers :
+  ?seed:int ->
+  ?samples:int ->
+  ?threshold:float ->
+  Relational.Instance.t ->
+  Relational.Schema.t ->
+  Constraints.Ic.t list ->
+  Logic.Cq.t ->
+  Relational.Value.t list list
+(** Answers whose estimated probability exceeds [threshold] (default 0.5,
+    i.e. "true in most repairs"). *)

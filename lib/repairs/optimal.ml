@@ -1,0 +1,86 @@
+module Instance = Relational.Instance
+module Tid = Relational.Tid
+module Ic = Constraints.Ic
+module Conflict_graph = Constraints.Conflict_graph
+
+let keys_only ics = List.for_all (function Ic.Key _ -> true | _ -> false) ics
+
+(* Keys: keep the heaviest claimant per block — linear time. *)
+let optimal_for_keys ~weight inst ics =
+  let doomed = ref Tid.Set.empty in
+  List.iter
+    (fun ic ->
+      match ic with
+      | Ic.Key (rel, key) ->
+          let groups = Hashtbl.create 32 in
+          List.iter
+            (fun (tid, row) ->
+              let k = List.map (fun i -> row.(i)) key in
+              if not (List.exists Relational.Value.is_null k) then
+                Hashtbl.replace groups k
+                  (tid :: Option.value ~default:[] (Hashtbl.find_opt groups k)))
+            (Instance.tuples inst ~rel);
+          Hashtbl.iter
+            (fun _ tids ->
+              match tids with
+              | [] | [ _ ] -> ()
+              | _ ->
+                  let best =
+                    List.fold_left
+                      (fun best tid ->
+                        match best with
+                        | Some b when weight b >= weight tid -> best
+                        | _ -> Some tid)
+                      None tids
+                  in
+                  List.iter
+                    (fun tid ->
+                      if Some tid <> best then doomed := Tid.Set.add tid !doomed)
+                    tids)
+            groups
+      | _ -> assert false)
+    ics;
+  let keep = Tid.Set.diff (Instance.tids inst) !doomed in
+  Some (Repair.make ~original:inst (Instance.restrict inst keep))
+
+let optimal_repair ~weight inst schema ics =
+  List.iter
+    (fun ic ->
+      if not (Ic.is_denial_class ic) then
+        invalid_arg
+          (Printf.sprintf "Optimal.optimal_repair: %s is not denial-class"
+             (Ic.name ic)))
+    ics;
+  if keys_only ics then optimal_for_keys ~weight inst ics
+  else
+    let g = Conflict_graph.build inst schema ics in
+    let edges = Conflict_graph.edges_as_int_lists g in
+    match
+      Sat.Hitting_set.minimum_weighted
+        ~weight:(fun i -> weight (Tid.of_int i))
+        edges
+    with
+    | None -> None
+    | Some hs ->
+        let doomed =
+          List.fold_left
+            (fun s i -> Tid.Set.add (Tid.of_int i) s)
+            Tid.Set.empty hs
+        in
+        let keep = Tid.Set.diff (Instance.tids inst) doomed in
+        Some (Repair.make ~original:inst (Instance.restrict inst keep))
+
+let kept_weight ~weight ~original (r : Repair.t) =
+  Tid.Set.fold
+    (fun tid acc ->
+      if Instance.mem_fact r.repaired (Instance.fact_of original tid) then
+        acc +. weight tid
+      else acc)
+    (Instance.tids original) 0.0
+
+let is_optimal ~weight inst schema ics r =
+  let repairs = S_repair.enumerate inst schema ics in
+  let w = kept_weight ~weight ~original:inst r in
+  List.for_all
+    (fun r' -> kept_weight ~weight ~original:inst r' <= w +. 1e-9)
+    repairs

@@ -1,0 +1,33 @@
+(** Computing an optimal (maximum-weight) repair (paper, Section 3.2;
+    Livshits–Kimelfeld–Roy [85] "Computing Optimal Repairs for Functional
+    Dependencies").
+
+    Tuples carry non-negative weights (reliability, trust, recency...); an
+    optimal repair is a consistent sub-instance maximizing the total kept
+    weight — equivalently, deleting a minimum-weight hitting set of the
+    conflict hypergraph.  For primary keys the problem is polynomial: keep
+    the heaviest claimant of every block (the tractable side of the [85]
+    dichotomy); general denial-class constraints go through weighted
+    branch-and-bound. *)
+
+val optimal_repair :
+  weight:(Relational.Tid.t -> float) ->
+  Relational.Instance.t ->
+  Relational.Schema.t ->
+  Constraints.Ic.t list ->
+  Repair.t option
+(** Denial-class constraints only; [None] only when some violation cannot
+    be repaired by deletions (impossible for denial constraints with
+    non-empty witnesses, so in practice always [Some]). *)
+
+val kept_weight : weight:(Relational.Tid.t -> float) ->
+  original:Relational.Instance.t -> Repair.t -> float
+
+val is_optimal :
+  weight:(Relational.Tid.t -> float) ->
+  Relational.Instance.t ->
+  Relational.Schema.t ->
+  Constraints.Ic.t list ->
+  Repair.t ->
+  bool
+(** Exact check by comparing against the enumerated S-repairs. *)

@@ -1,0 +1,100 @@
+module Instance = Relational.Instance
+module Tid = Relational.Tid
+module Fact = Relational.Fact
+
+type priority = Tid.t -> Tid.t -> bool
+
+(* The definitions compare deletion-only repairs through what they keep;
+   X∖Y = tuples deleted by Y but kept by X. *)
+let kept_by_only ~original (x : Repair.t) (y : Repair.t) =
+  Fact.Set.fold
+    (fun f acc ->
+      if Instance.mem_fact x.repaired f then
+        match Instance.tid_of original f with
+        | Some tid -> tid :: acc
+        | None -> acc
+      else acc)
+    y.deleted []
+
+let is_global_improvement p ~original x y =
+  let x_only = kept_by_only ~original x y in
+  let y_only = kept_by_only ~original y x in
+  (not (Repair.equal x y))
+  && x_only <> []
+  && List.for_all (fun t -> List.exists (fun t' -> p t' t) y_only) x_only
+
+let is_pareto_improvement p ~original x y =
+  let x_only = kept_by_only ~original x y in
+  let y_only = kept_by_only ~original y x in
+  (not (Repair.equal x y))
+  && x_only <> []
+  && List.exists (fun t' -> List.for_all (fun t -> p t' t) x_only) y_only
+
+let optimal ~improves p inst schema ics =
+  let repairs = S_repair.enumerate inst schema ics in
+  List.filter
+    (fun x ->
+      not (List.exists (fun y -> improves p ~original:inst x y) repairs))
+    repairs
+
+let globally_optimal p inst schema ics =
+  optimal ~improves:is_global_improvement p inst schema ics
+
+let pareto_optimal p inst schema ics =
+  optimal ~improves:is_pareto_improvement p inst schema ics
+
+let greedy_completion ~order inst schema ics =
+  List.iter
+    (fun ic ->
+      if not (Constraints.Ic.is_denial_class ic) then
+        invalid_arg "Prioritized.greedy_completion: denial-class constraints only")
+    ics;
+  let consistent db = Constraints.Violation.is_consistent db schema ics in
+  let base = Instance.create (Instance.schema inst) in
+  let kept =
+    List.fold_left
+      (fun db tid ->
+        match Instance.find_fact inst tid with
+        | None -> db
+        | Some f ->
+            let db' = Instance.add db f in
+            if consistent db' then db' else db)
+      base order
+  in
+  (* Tuples outside [order] are appended afterwards, in tid order, so the
+     result is a maximal consistent sub-instance. *)
+  let rest =
+    Tid.Set.elements
+      (Tid.Set.filter
+         (fun t -> not (List.exists (Tid.equal t) order))
+         (Instance.tids inst))
+  in
+  let repaired =
+    List.fold_left
+      (fun db tid ->
+        let db' = Instance.add db (Instance.fact_of inst tid) in
+        if consistent db' then db' else db)
+      kept rest
+  in
+  Repair.make ~original:inst repaired
+
+module Rows = Set.Make (struct
+  type t = Relational.Value.t list
+
+  let compare = List.compare Relational.Value.compare
+end)
+
+let consistent_answers ~semantics p inst schema ics q =
+  let repairs =
+    match semantics with
+    | `Global -> globally_optimal p inst schema ics
+    | `Pareto -> pareto_optimal p inst schema ics
+  in
+  match repairs with
+  | [] -> []
+  | first :: rest ->
+      let answers (r : Repair.t) = Rows.of_list (Logic.Cq.answers q r.repaired) in
+      Rows.elements
+        (List.fold_left
+           (fun acc r -> Rows.inter acc (answers r))
+           (answers first) rest)

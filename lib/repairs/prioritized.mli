@@ -1,0 +1,63 @@
+(** Prioritized repairs (paper, Section 4; Staworko–Chomicki–Marcinkowski
+    [103], with the complexity picture of Fagin–Kimelfeld–Kolaitis [57]).
+
+    A priority is an acyclic relation ≻ on conflicting tuples ("keep this
+    one rather than that one").  Following [103]:
+    - repair Y is a {e global improvement} of repair X when Y ≠ X and every
+      tuple kept by X but not Y is dominated by some tuple kept by Y but
+      not X;
+    - Y is a {e Pareto improvement} when a single tuple of Y∖X dominates
+      all of X∖Y;
+    - globally / Pareto-optimal repairs are the S-repairs admitting no such
+      improvement, and a {e completion-optimal} repair is one obtained by
+      the greedy procedure under some total extension of ≻
+      (global ⊆ Pareto ⊆ completion holds by definition).
+
+    Priorities are only consulted between conflicting tuples. *)
+
+type priority = Relational.Tid.t -> Relational.Tid.t -> bool
+(** [p t t'] means t ≻ t' (t is preferred). Must be irreflexive and acyclic
+    on conflicting tuples; this is not checked. *)
+
+val is_global_improvement :
+  priority -> original:Relational.Instance.t -> Repair.t -> Repair.t -> bool
+(** [is_global_improvement p ~original x y]: is [y] a global improvement of
+    [x]? *)
+
+val is_pareto_improvement :
+  priority -> original:Relational.Instance.t -> Repair.t -> Repair.t -> bool
+
+val globally_optimal :
+  priority ->
+  Relational.Instance.t ->
+  Relational.Schema.t ->
+  Constraints.Ic.t list ->
+  Repair.t list
+
+val pareto_optimal :
+  priority ->
+  Relational.Instance.t ->
+  Relational.Schema.t ->
+  Constraints.Ic.t list ->
+  Repair.t list
+
+val greedy_completion :
+  order:Relational.Tid.t list ->
+  Relational.Instance.t ->
+  Relational.Schema.t ->
+  Constraints.Ic.t list ->
+  Repair.t
+(** One completion-optimal repair: scan the tuples in [order] (a total
+    extension of the priority, most-preferred first) and keep each tuple
+    whenever it is consistent with those already kept.  Denial-class
+    constraints only. *)
+
+val consistent_answers :
+  semantics:[ `Global | `Pareto ] ->
+  priority ->
+  Relational.Instance.t ->
+  Relational.Schema.t ->
+  Constraints.Ic.t list ->
+  Logic.Cq.t ->
+  Relational.Value.t list list
+(** Certain answers over the optimal repairs only. *)

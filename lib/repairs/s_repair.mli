@@ -1,0 +1,44 @@
+(** S-repairs: consistent instances at set-inclusion-minimal symmetric
+    difference from the original (paper, Section 3.1).
+
+    Two engines:
+    - for denial-class constraint sets, repairs are computed through the
+      conflict hypergraph: minimal hitting sets of the violation edges are
+      exactly the minimal deletion sets;
+    - for sets containing inclusion dependencies, a branching repair search
+      explores per-violation fixes (delete a violating tuple, or — under
+      [`Delete_insert] — insert the missing tuple, padding existential
+      positions with NULL).  Complete for acyclic IND sets. *)
+
+exception Out_of_fuel
+(** Raised when the branching search exceeds its state budget. *)
+
+val enumerate :
+  ?actions:Repair.actions ->
+  ?fuel:int ->
+  Relational.Instance.t ->
+  Relational.Schema.t ->
+  Constraints.Ic.t list ->
+  Repair.t list
+(** All S-repairs, in stable (delta) order.  [actions] defaults to
+    [`Delete_insert].  [fuel] (default [100_000]) bounds the number of
+    states the branching search may visit; the hypergraph engine ignores
+    it. *)
+
+val one :
+  ?actions:Repair.actions ->
+  ?fuel:int ->
+  Relational.Instance.t ->
+  Relational.Schema.t ->
+  Constraints.Ic.t list ->
+  Repair.t option
+(** Some S-repair, computed greedily (for denial-class constraints this is
+    a single greedy maximal-independent-set pass, no enumeration). *)
+
+val count :
+  ?actions:Repair.actions ->
+  ?fuel:int ->
+  Relational.Instance.t ->
+  Relational.Schema.t ->
+  Constraints.Ic.t list ->
+  int

@@ -1,0 +1,223 @@
+module Formula = Logic.Formula
+module Cq = Logic.Cq
+module Atom = Logic.Atom
+module Term = Logic.Term
+module Cmp = Logic.Cmp
+module Subst = Logic.Subst
+
+type atom_info = {
+  index : int;
+  atom : Atom.t;
+  key_positions : int list;
+}
+
+let var_positions (a : Atom.t) =
+  List.mapi (fun pos t -> (pos, t)) a.args
+
+(* Occurrences of a variable: (atom index, position, in-key?). *)
+let occurrences atoms =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun info ->
+      List.iter
+        (fun (pos, t) ->
+          match t with
+          | Term.Var v ->
+              let in_key = List.mem pos info.key_positions in
+              Hashtbl.replace tbl v
+                ((info.index, pos, in_key)
+                :: Option.value ~default:[] (Hashtbl.find_opt tbl v))
+          | Term.Const _ -> ())
+        (var_positions info.atom))
+    atoms;
+  tbl
+
+exception Unsupported
+
+let check_class (q : Cq.t) infos occ =
+  (* Self-join-free. *)
+  let rels = List.map (fun i -> i.atom.Atom.rel) infos in
+  if List.length (List.sort_uniq String.compare rels) <> List.length rels then
+    raise Unsupported;
+  let head = Cq.head_vars q in
+  Hashtbl.iter
+    (fun v os ->
+      let nonkey = List.filter (fun (_, _, k) -> not k) os in
+      (* A variable in non-key positions of two different atoms is a
+         non-key-to-non-key join: outside the forest class. *)
+      let nonkey_atoms =
+        List.sort_uniq compare (List.map (fun (i, _, _) -> i) nonkey)
+      in
+      if List.length nonkey_atoms > 1 && not (List.mem v head) then
+        raise Unsupported;
+      if List.length nonkey_atoms > 1 && List.mem v head then
+        (* Head variables repeated across non-key positions force agreement
+           conditions we do not generate. *)
+        raise Unsupported;
+      (* Repeated variable inside a single atom behaves like a self-join. *)
+      let by_pos = List.sort_uniq compare (List.map (fun (i, p, _) -> (i, p)) os) in
+      if List.length by_pos <> List.length os then raise Unsupported)
+    occ
+
+(* Parent→child edges: parent has v in a non-key position, child has v in a
+   key position. *)
+let children_of occ v parent_index =
+  match Hashtbl.find_opt occ v with
+  | None -> []
+  | Some os ->
+      List.filter_map
+        (fun (i, _, in_key) ->
+          if in_key && i <> parent_index then Some i else None)
+        os
+      |> List.sort_uniq compare
+
+let check_acyclic infos occ =
+  let n = List.length infos in
+  let adj = Array.make n [] in
+  List.iter
+    (fun info ->
+      List.iter
+        (fun (pos, t) ->
+          match t with
+          | Term.Var v when not (List.mem pos info.key_positions) ->
+              adj.(info.index) <- children_of occ v info.index @ adj.(info.index)
+          | Term.Var _ | Term.Const _ -> ())
+        (var_positions info.atom))
+    infos;
+  let state = Array.make n 0 in
+  let rec dfs i =
+    if state.(i) = 1 then raise Unsupported;
+    if state.(i) = 0 then begin
+      state.(i) <- 1;
+      List.iter dfs adj.(i);
+      state.(i) <- 2
+    end
+  in
+  for i = 0 to n - 1 do
+    dfs i
+  done
+
+let rewrite (q : Cq.t) ~keys =
+  let infos =
+    List.mapi
+      (fun index atom ->
+        match List.assoc_opt atom.Atom.rel keys with
+        | None -> raise Unsupported
+        | Some key_positions -> { index; atom; key_positions })
+      q.body
+  in
+  let occ = occurrences infos in
+  check_class q infos occ;
+  check_acyclic infos occ;
+  let head = Cq.head_vars q in
+  let fresh =
+    let counter = ref 0 in
+    fun base ->
+      incr counter;
+      Printf.sprintf "%s#%d" base !counter
+  in
+  let info_array = Array.of_list infos in
+  let comps_of v = List.filter (fun c -> List.mem v (Cmp.vars c)) q.comps in
+  (* The consistency guard for one atom occurrence, with [subst] renaming
+     its key-side variables (identity at the top level, parent-driven inside
+     guards).  For every key-mate ū of the atom's key values, the non-key
+     conditions must re-hold at ū. *)
+  let rec guarded subst info =
+    let atom = Subst.apply_atom subst info.atom in
+    let nonkey_positions =
+      List.filter
+        (fun (pos, _) -> not (List.mem pos info.key_positions))
+        (var_positions info.atom)
+    in
+    let mates =
+      List.map
+        (fun (pos, _) -> (pos, fresh (Printf.sprintf "u%d_%d" info.index pos)))
+        nonkey_positions
+    in
+    let mate_atom_args =
+      List.mapi
+        (fun pos t ->
+          match List.assoc_opt pos mates with
+          | Some u -> Term.Var u
+          | None -> Subst.apply_term subst t)
+        info.atom.Atom.args
+    in
+    let mate_atom = Atom.make info.atom.Atom.rel mate_atom_args in
+    let conds =
+      List.concat_map
+        (fun (pos, t) ->
+          let u = Term.Var (List.assoc pos mates) in
+          match t with
+          | Term.Const c -> [ Formula.Cmp (Cmp.eq u (Term.Const c)) ]
+          | Term.Var v ->
+              let as_head =
+                if List.mem v head then
+                  [ Formula.Cmp (Cmp.eq u (Term.Var v)) ]
+                else []
+              in
+              let as_comps =
+                List.map
+                  (fun c ->
+                    Formula.Cmp (Subst.apply_cmp (Subst.singleton v u) c))
+                  (comps_of v)
+              in
+              let as_children =
+                List.map
+                  (fun child ->
+                    child_formula (Subst.bind subst v u) info_array.(child))
+                  (children_of occ v info.index)
+              in
+              (* Only generate the child checks for existential variables;
+                 for head variables the equality already pins the value. *)
+              if as_head <> [] then as_head @ as_comps
+              else as_comps @ as_children)
+        nonkey_positions
+    in
+    let conds = List.filter (fun f -> f <> Formula.True) conds in
+    match conds with
+    | [] -> Formula.Atom atom
+    | _ ->
+        Formula.And
+          ( Formula.Atom atom,
+            Formula.forall
+              (List.map snd mates)
+              (Formula.Implies (Formula.Atom mate_atom, Formula.conj conds)) )
+  (* A child atom re-checked inside a parent's guard: its own existential
+     non-key variables get fresh names, and its subtree guard applies. *)
+  and child_formula subst info =
+    let freshened =
+      List.fold_left
+        (fun s (pos, t) ->
+          match t with
+          | Term.Var v
+            when (not (List.mem pos info.key_positions))
+                 && (not (List.mem v head))
+                 && Subst.find s v = None ->
+              Subst.bind s v (Term.Var (fresh v))
+          | Term.Var _ | Term.Const _ -> s)
+        subst (var_positions info.atom)
+    in
+    let bound =
+      List.filter_map
+        (fun (pos, t) ->
+          match t with
+          | Term.Var v when not (List.mem pos info.key_positions) -> (
+              match Subst.find freshened v with
+              | Some (Term.Var v') when not (String.equal v v') -> Some v'
+              | _ -> None)
+          | Term.Var _ | Term.Const _ -> None)
+        (var_positions info.atom)
+    in
+    Formula.exists bound (guarded freshened info)
+  in
+  let body = List.map (guarded Subst.empty) infos in
+  let comps = List.map (fun c -> Formula.Cmp c) q.comps in
+  let evars = Cq.existential_vars q in
+  Some (Formula.exists evars (Formula.conj (body @ comps)))
+
+let rewrite q ~keys = try rewrite q ~keys with Unsupported -> None
+
+let consistent_answers q ~keys inst =
+  match rewrite q ~keys with
+  | None -> None
+  | Some f -> Some (Formula.answers inst ~free:(Cq.head_vars q) f)

@@ -1,0 +1,25 @@
+(** First-order CQA rewriting for conjunctive queries under primary key
+    constraints, after Fuxman–Miller (paper, Section 3.2; [64]) — the
+    approach that also answers projections like the paper's Q2 correctly,
+    where the residue rewriting of {!Residue_rewrite} is incomplete.
+
+    Supported class (a practical reading of the C-forest condition):
+    - self-join-free conjunctive queries;
+    - every body relation has a declared primary key;
+    - every existential variable occurring in a non-key position occurs in
+      other atoms only in key positions, and the induced parent→child join
+      graph is acyclic.
+
+    [rewrite] returns [None] when the query falls outside this class; the
+    caller should fall back to a repair-based or ASP engine (the paper's
+    point that CQA is coNP-hard in general). *)
+
+val rewrite :
+  Logic.Cq.t -> keys:(string * int list) list -> Logic.Formula.t option
+
+val consistent_answers :
+  Logic.Cq.t ->
+  keys:(string * int list) list ->
+  Relational.Instance.t ->
+  Relational.Value.t list list option
+(** [None] when the query is outside the rewritable class. *)

@@ -1,0 +1,50 @@
+module Formula = Logic.Formula
+module Cq = Logic.Cq
+
+(* Attach residues to one positive atom and recurse into the positive atoms
+   of the residues themselves (with fresh clause renamings per level, so
+   nested quantified variables cannot capture each other). *)
+let rec expand_atom ~depth ~level atom clauses =
+  if depth <= 0 then Formula.Atom atom
+  else
+    let suffix = Printf.sprintf "'%d" level in
+    let residues = Logic.Residue.for_atom ~suffix atom clauses in
+    let residues =
+      List.map (expand_positive ~depth:(depth - 1) ~level:(level + 1) clauses)
+        residues
+    in
+    Formula.conj (Formula.Atom atom :: residues)
+
+(* Walk a residue formula, expanding only atoms in positive positions:
+   residues are consequences holding for retrieved tuples, so they apply to
+   what the formula asserts, not to what it denies. *)
+and expand_positive ~depth ~level clauses f =
+  let rec go pos f =
+    match f with
+    | Formula.Atom a when pos -> expand_atom ~depth ~level a clauses
+    | Formula.Atom _ | Formula.Cmp _ | Formula.True | Formula.False -> f
+    | Formula.Not g -> Formula.Not (go (not pos) g)
+    | Formula.And (a, b) -> Formula.And (go pos a, go pos b)
+    | Formula.Or (a, b) -> Formula.Or (go pos a, go pos b)
+    | Formula.Implies (a, b) -> Formula.Implies (go (not pos) a, go pos b)
+    | Formula.Exists (vs, g) -> Formula.Exists (vs, go pos g)
+    | Formula.Forall (vs, g) -> Formula.Forall (vs, go pos g)
+  in
+  go true f
+
+let rewrite ?(max_depth = 4) (q : Cq.t) clauses =
+  let body =
+    Formula.conj
+      (List.map (fun a -> expand_atom ~depth:max_depth ~level:0 a clauses) q.body
+      @ List.map (fun c -> Formula.Cmp c) q.comps)
+  in
+  Formula.exists (Cq.existential_vars q) body
+
+let rewrite_ics ?max_depth q schema ics =
+  let clauses = List.concat_map (Constraints.Ic.to_clauses schema) ics in
+  rewrite ?max_depth q clauses
+
+let consistent_answers ?max_depth q schema ics inst =
+  let f = rewrite_ics ?max_depth q schema ics in
+  let free = Cq.head_vars q in
+  Formula.answers inst ~free f

@@ -1,0 +1,42 @@
+(** The residue-based CQA rewriting of the PODS'99 paper (Sections 2 and
+    3.1): append to each positive query atom the residues of the integrity
+    constraints, iterating into residues' own positive atoms.
+
+    Example 2.2: [Q(z) = ∃x,y Supply(x,y,z)] under the inclusion dependency
+    becomes [∃x,y (Supply(x,y,z) ∧ Articles(z))].
+    Example 3.4: [Q1(x,y) = Employee(x,y)] under the key becomes
+    [Employee(x,y) ∧ ∀z (Employee(x,z) → z = y)].
+
+    Scope: the rewriting is sound and complete for the classes identified in
+    the original paper — notably quantifier-free queries under FDs and
+    universal ICs, and existential queries whose quantified variables do not
+    project key-determined attributes.  It is {e not} complete for
+    projections of key conflicts (the paper's Q2; use {!Key_rewrite} or a
+    repair-based engine there); [rewrite] is the computational device, the
+    semantics stays with the repairs. *)
+
+val rewrite :
+  ?max_depth:int -> Logic.Cq.t -> Logic.Clause.t list -> Logic.Formula.t
+(** The rewritten query as a formula with the CQ's head variables free.
+    [max_depth] (default 4) bounds the residue iteration: interacting ICs
+    can make iteration non-terminating (paper, Section 3.2), so expansion
+    stops after that many rounds — residues beyond it are dropped, erring
+    toward the original query condition. *)
+
+val rewrite_ics :
+  ?max_depth:int ->
+  Logic.Cq.t ->
+  Relational.Schema.t ->
+  Constraints.Ic.t list ->
+  Logic.Formula.t
+(** [rewrite] on the clausal forms of the constraints (constraints with no
+    clausal form, e.g. existential tgds, contribute nothing). *)
+
+val consistent_answers :
+  ?max_depth:int ->
+  Logic.Cq.t ->
+  Relational.Schema.t ->
+  Constraints.Ic.t list ->
+  Relational.Instance.t ->
+  Relational.Value.t list list
+(** Evaluate the rewriting on the (possibly inconsistent) instance. *)

@@ -1,0 +1,32 @@
+type t = { mutable nvars : int; mutable clauses : int array list; mutable n : int }
+
+let create () = { nvars = 0; clauses = []; n = 0 }
+
+let fresh t =
+  t.nvars <- t.nvars + 1;
+  t.nvars
+
+let reserve t n = if n > t.nvars then t.nvars <- n
+
+let nvars t = t.nvars
+
+let add_clause t lits =
+  List.iter
+    (fun l ->
+      if l = 0 then invalid_arg "Cnf.add_clause: literal 0";
+      reserve t (abs l))
+    lits;
+  t.clauses <- Array.of_list lits :: t.clauses;
+  t.n <- t.n + 1
+
+let clauses t = t.clauses
+let nclauses t = t.n
+let copy t = { nvars = t.nvars; clauses = t.clauses; n = t.n }
+
+let pp ppf t =
+  Format.fprintf ppf "p cnf %d %d@." t.nvars t.n;
+  List.iter
+    (fun c ->
+      Array.iter (fun l -> Format.fprintf ppf "%d " l) c;
+      Format.fprintf ppf "0@.")
+    (List.rev t.clauses)

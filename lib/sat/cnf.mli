@@ -1,0 +1,26 @@
+(** CNF formula builder.
+
+    Variables are positive integers; a literal is [v] or [-v].  The builder
+    is mutable; the solver takes a snapshot.  Adding the empty clause makes
+    the formula trivially unsatisfiable. *)
+
+type t
+
+val create : unit -> t
+val fresh : t -> int
+(** Allocate a new variable. *)
+
+val reserve : t -> int -> unit
+(** Make sure variables [1..n] exist. *)
+
+val nvars : t -> int
+val add_clause : t -> int list -> unit
+(** Raises [Invalid_argument] on literal 0 or out-of-range variables are
+    auto-reserved. *)
+
+val clauses : t -> int array list
+(** Most recently added first. *)
+
+val nclauses : t -> int
+val copy : t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,244 @@
+type model = bool array
+
+type state = {
+  clauses : int array array;
+  nclauses : int;
+  occ : int list array; (* literal index -> clause indices *)
+  assign : int array; (* 0 unknown, 1 true, -1 false *)
+  trail : int array; (* assigned variables in order *)
+  mutable trail_len : int;
+  weight : float array; (* soft cost of assigning a variable true *)
+  mutable cost : float; (* total weight of soft variables currently true *)
+}
+
+let lit_index l = if l > 0 then 2 * l else (2 * -l) + 1
+
+let make_state cnf ~soft =
+  let nv = Cnf.nvars cnf in
+  let clauses = Array.of_list (List.rev (Cnf.clauses cnf)) in
+  let occ = Array.make ((2 * nv) + 2) [] in
+  Array.iteri
+    (fun i c -> Array.iter (fun l -> occ.(lit_index l) <- i :: occ.(lit_index l)) c)
+    clauses;
+  let weight = Array.make (nv + 1) 0.0 in
+  List.iter (fun (v, w) -> if v >= 1 && v <= nv then weight.(v) <- w) soft;
+  {
+    clauses;
+    nclauses = Array.length clauses;
+    occ;
+    assign = Array.make (nv + 1) 0;
+    trail = Array.make (max 1 nv) 0;
+    trail_len = 0;
+    weight;
+    cost = 0.0;
+  }
+
+let value st l =
+  let v = st.assign.(abs l) in
+  if l > 0 then v else -v
+
+(* Assign literal [l] true.  Returns false on conflict (already false). *)
+let assign_lit st l =
+  match value st l with
+  | 1 -> true
+  | -1 -> false
+  | _ ->
+      let v = abs l in
+      st.assign.(v) <- (if l > 0 then 1 else -1);
+      st.trail.(st.trail_len) <- v;
+      st.trail_len <- st.trail_len + 1;
+      if l > 0 then st.cost <- st.cost +. st.weight.(v);
+      true
+
+let undo_to st mark =
+  while st.trail_len > mark do
+    st.trail_len <- st.trail_len - 1;
+    let v = st.trail.(st.trail_len) in
+    if st.assign.(v) = 1 then st.cost <- st.cost -. st.weight.(v);
+    st.assign.(v) <- 0
+  done
+
+(* Unit propagation from trail position [from].  Returns false on conflict. *)
+let propagate st from =
+  let qhead = ref from in
+  let ok = ref true in
+  while !ok && !qhead < st.trail_len do
+    let v = st.trail.(!qhead) in
+    incr qhead;
+    let falsified = if st.assign.(v) = 1 then -v else v in
+    let check ci =
+      if !ok then begin
+        let c = st.clauses.(ci) in
+        let sat = ref false and unassigned = ref 0 and unit_lit = ref 0 in
+        Array.iter
+          (fun l ->
+            match value st l with
+            | 1 -> sat := true
+            | 0 ->
+                incr unassigned;
+                unit_lit := l
+            | _ -> ())
+          c;
+        if not !sat then
+          if !unassigned = 0 then ok := false
+          else if !unassigned = 1 then
+            if not (assign_lit st !unit_lit) then ok := false
+      end
+    in
+    List.iter check st.occ.(lit_index falsified)
+  done;
+  !ok
+
+let assume st l =
+  let mark = st.trail_len in
+  if assign_lit st l && propagate st mark then true
+  else begin
+    undo_to st mark;
+    false
+  end
+
+(* Pick an unassigned variable from the shortest unsatisfied clause, falling
+   back to any free variable once every clause is satisfied (so that leaves
+   of the search are complete assignments). *)
+let pick_branch st =
+  let best = ref 0 and best_len = ref max_int in
+  (try
+     for ci = 0 to st.nclauses - 1 do
+       let c = st.clauses.(ci) in
+       let sat = ref false and unassigned = ref 0 and cand = ref 0 in
+       Array.iter
+         (fun l ->
+           match value st l with
+           | 1 -> sat := true
+           | 0 ->
+               incr unassigned;
+               if !cand = 0 then cand := abs l
+           | _ -> ())
+         c;
+       if (not !sat) && !unassigned > 0 && !unassigned < !best_len then begin
+         best := !cand;
+         best_len := !unassigned;
+         if !best_len <= 2 then raise Exit
+       end
+     done
+   with Exit -> ());
+  if !best <> 0 then Some !best
+  else begin
+    let free = ref 0 in
+    (try
+       for v = 1 to Array.length st.assign - 1 do
+         if st.assign.(v) = 0 then begin
+           free := v;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !free = 0 then None else Some !free
+  end
+
+exception Stop
+
+(* DFS over complete assignments.  Every leaf reached is a model (unit
+   propagation and branching never cross a falsified clause unnoticed
+   because [pick_branch] only reports [None] when all clauses are satisfied
+   and all variables assigned).  [bound] prunes branches whose soft cost
+   already reaches it; [on_model] may raise [Stop]. *)
+let rec search st ~bound ~on_model =
+  if st.cost >= !bound then ()
+  else
+    match pick_branch st with
+    | None ->
+        let m = Array.map (fun a -> a = 1) st.assign in
+        on_model st m
+    | Some v ->
+        let try_sign sign =
+          let mark = st.trail_len in
+          let l = if sign then v else -v in
+          if assign_lit st l && propagate st mark then
+            search st ~bound ~on_model;
+          undo_to st mark
+        in
+        (* False first: drives minimization toward cheap models first. *)
+        try_sign false;
+        try_sign true
+
+let init cnf ~assumptions ~soft =
+  if List.exists (fun c -> Array.length c = 0) (Cnf.clauses cnf) then None
+  else
+    let st = make_state cnf ~soft in
+    if not (List.for_all (fun l -> assume st l) assumptions) then None
+    else if propagate st 0 then Some st
+    else None
+
+let solve ?(assumptions = []) cnf =
+  match init cnf ~assumptions ~soft:[] with
+  | None -> None
+  | Some st ->
+      let result = ref None in
+      (try
+         search st ~bound:(ref infinity) ~on_model:(fun _ m ->
+             result := Some m;
+             raise Stop)
+       with Stop -> ());
+      !result
+
+let satisfiable ?assumptions cnf = solve ?assumptions cnf <> None
+
+let enumerate ?(assumptions = []) ?limit ?project cnf =
+  match init cnf ~assumptions ~soft:[] with
+  | None -> []
+  | Some st ->
+      let seen = Hashtbl.create 64 in
+      let models = ref [] and count = ref 0 in
+      let key m =
+        match project with
+        | None -> Array.to_list m
+        | Some vs -> List.map (fun v -> m.(v)) vs
+      in
+      (try
+         search st ~bound:(ref infinity) ~on_model:(fun _ m ->
+             let k = key m in
+             if not (Hashtbl.mem seen k) then begin
+               Hashtbl.add seen k ();
+               models := m :: !models;
+               incr count;
+               match limit with
+               | Some l when !count >= l -> raise Stop
+               | _ -> ()
+             end)
+       with Stop -> ());
+      List.rev !models
+
+let count ?assumptions ?project cnf =
+  List.length (enumerate ?assumptions ?project cnf)
+
+let minimize_weighted ?(assumptions = []) ~soft cnf =
+  match init cnf ~assumptions ~soft with
+  | None -> None
+  | Some st ->
+      let best = ref None in
+      let bound = ref infinity in
+      (try
+         search st ~bound ~on_model:(fun st m ->
+             if st.cost < !bound then begin
+               bound := st.cost;
+               best := Some (st.cost, m);
+               if st.cost <= 0.0 then raise Stop
+             end)
+       with Stop -> ());
+      !best
+
+let minimize ?assumptions ~soft cnf =
+  match
+    minimize_weighted ?assumptions ~soft:(List.map (fun v -> (v, 1.0)) soft)
+      cnf
+  with
+  | None -> None
+  | Some (cost, m) -> Some (int_of_float (Float.round cost), m)
+
+let model_true_vars m =
+  let acc = ref [] in
+  for v = Array.length m - 1 downto 1 do
+    if m.(v) then acc := v :: !acc
+  done;
+  !acc

@@ -1,0 +1,40 @@
+(** A DPLL SAT solver with unit propagation, model enumeration and
+    branch-and-bound cardinality minimization.
+
+    This is the search substrate behind stable-model checking (lib/asp),
+    minimum-cardinality repairs and SAT-based hitting sets (lib/repairs).
+    It favours simplicity and correctness over raw speed: propagation scans
+    occurrence lists, and branching picks the first unassigned variable of
+    the shortest unsatisfied clause. *)
+
+type model = bool array
+(** Indexed by variable number; index 0 is unused. *)
+
+val solve : ?assumptions:int list -> Cnf.t -> model option
+(** One satisfying assignment, or [None] if unsatisfiable (including when
+    the assumptions conflict). *)
+
+val satisfiable : ?assumptions:int list -> Cnf.t -> bool
+
+val enumerate :
+  ?assumptions:int list -> ?limit:int -> ?project:int list -> Cnf.t ->
+  model list
+(** All models, deduplicated on the projection variables (all variables by
+    default).  [limit] caps the number of models returned. *)
+
+val count : ?assumptions:int list -> ?project:int list -> Cnf.t -> int
+
+val minimize_weighted :
+  ?assumptions:int list -> soft:(int * float) list -> Cnf.t ->
+  (float * model) option
+(** A model minimizing the total weight of the soft variables assigned
+    true.  Weights must be non-negative. *)
+
+val minimize :
+  ?assumptions:int list -> soft:int list -> Cnf.t -> (int * model) option
+(** A model minimizing the number of [soft] variables assigned true,
+    together with that number.  Branch and bound: soft variables are
+    branched false-first and partial assignments whose soft cost already
+    reaches the incumbent are pruned. *)
+
+val model_true_vars : model -> int list

@@ -1,0 +1,101 @@
+module Iset = Set.Make (Int)
+
+let is_hitting edges set =
+  let s = Iset.of_list set in
+  List.for_all (fun e -> List.exists (fun v -> Iset.mem v s) e) edges
+
+let is_minimal_hitting edges set =
+  is_hitting edges set
+  && List.for_all
+       (fun v -> not (is_hitting edges (List.filter (fun u -> u <> v) set)))
+       set
+
+let minimal edges =
+  if List.exists (( = ) []) edges then []
+  else begin
+    let candidates = ref [] in
+    let seen = Hashtbl.create 64 in
+    let rec go partial =
+      match List.find_opt (fun e -> not (List.exists (fun v -> Iset.mem v partial) e)) edges with
+      | None ->
+          let key = Iset.elements partial in
+          if not (Hashtbl.mem seen key) then begin
+            Hashtbl.add seen key ();
+            candidates := key :: !candidates
+          end
+      | Some e -> List.iter (fun v -> go (Iset.add v partial)) e
+    in
+    go Iset.empty;
+    (* The greedy completion can produce non-minimal hitting sets; keep the
+       set-inclusion-minimal ones. *)
+    let cands = !candidates in
+    List.filter
+      (fun c ->
+        let cs = Iset.of_list c in
+        not
+          (List.exists
+             (fun c' ->
+               c' != c
+               &&
+               let cs' = Iset.of_list c' in
+               Iset.subset cs' cs && not (Iset.equal cs' cs))
+             cands))
+      cands
+  end
+
+let vertices edges =
+  List.fold_left (fun acc e -> List.fold_left (fun acc v -> Iset.add v acc) acc e) Iset.empty edges
+
+let minimum edges =
+  if edges = [] then Some []
+  else if List.exists (( = ) []) edges then None
+  else begin
+    let verts = Iset.elements (vertices edges) in
+    let index = Hashtbl.create 64 and back = Hashtbl.create 64 in
+    List.iteri
+      (fun i v ->
+        Hashtbl.add index v (i + 1);
+        Hashtbl.add back (i + 1) v)
+      verts;
+    let cnf = Cnf.create () in
+    Cnf.reserve cnf (List.length verts);
+    List.iter
+      (fun e -> Cnf.add_clause cnf (List.map (Hashtbl.find index) e))
+      edges;
+    match Dpll.minimize ~soft:(List.init (List.length verts) (fun i -> i + 1)) cnf with
+    | None -> None
+    | Some (_cost, model) ->
+        Some (List.map (Hashtbl.find back) (Dpll.model_true_vars model))
+  end
+
+let minimum_size edges = Option.map List.length (minimum edges)
+
+let minimum_weighted ~weight edges =
+  if edges = [] then Some []
+  else if List.exists (( = ) []) edges then None
+  else begin
+    let verts = Iset.elements (vertices edges) in
+    let index = Hashtbl.create 64 and back = Hashtbl.create 64 in
+    List.iteri
+      (fun i v ->
+        Hashtbl.add index v (i + 1);
+        Hashtbl.add back (i + 1) v)
+      verts;
+    let cnf = Cnf.create () in
+    Cnf.reserve cnf (List.length verts);
+    List.iter
+      (fun e -> Cnf.add_clause cnf (List.map (Hashtbl.find index) e))
+      edges;
+    let soft =
+      List.mapi (fun i v -> (i + 1, weight v)) verts
+    in
+    match Dpll.minimize_weighted ~soft cnf with
+    | None -> None
+    | Some (_cost, model) ->
+        Some (List.map (Hashtbl.find back) (Dpll.model_true_vars model))
+  end
+
+let minimum_all edges =
+  match minimum_size edges with
+  | None -> []
+  | Some k -> List.filter (fun h -> List.length h = k) (minimal edges)

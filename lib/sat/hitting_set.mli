@@ -1,0 +1,32 @@
+(** Hitting sets of hypergraphs.
+
+    The conflict hypergraph of a database wrt. a set of denial constraints
+    (paper, Figure 1) has tuples as vertices and minimal violation sets as
+    hyperedges; S-repairs are the complements of its minimal hitting sets
+    and C-repairs the complements of its minimum-cardinality ones.
+
+    Vertices are arbitrary integers (tids).  An empty hyperedge makes the
+    hypergraph unhittable: [minimal] returns no hitting set at all and
+    [minimum] returns [None].  Conversely, the hypergraph with no edges has
+    exactly the empty hitting set. *)
+
+val is_hitting : int list list -> int list -> bool
+val is_minimal_hitting : int list list -> int list -> bool
+
+val minimal : int list list -> int list list
+(** All set-inclusion-minimal hitting sets (each sorted ascending).  The
+    empty hypergraph has the single minimal hitting set [[]]. *)
+
+val minimum : int list list -> int list option
+(** One minimum-cardinality hitting set, computed by branch-and-bound on
+    the SAT encoding (one variable per vertex, one clause per edge). *)
+
+val minimum_all : int list list -> int list list
+(** All minimum-cardinality hitting sets. *)
+
+val minimum_size : int list list -> int option
+
+val minimum_weighted :
+  weight:(int -> float) -> int list list -> int list option
+(** A hitting set of minimum total weight (weights non-negative) — branch
+    and bound on the weighted SAT encoding. *)

@@ -1,0 +1,87 @@
+module Schema = Relational.Schema
+module Instance = Relational.Instance
+module Fact = Relational.Fact
+module Value = Relational.Value
+module Ic = Constraints.Ic
+
+module Imap = Map.Make (Int)
+
+type t = {
+  schema : Schema.t;
+  ics : Ic.t list;
+  snapshots : Instance.t Imap.t;
+}
+
+let create schema ics =
+  List.iter
+    (fun ic ->
+      if not (Ic.is_denial_class ic) then
+        invalid_arg
+          (Printf.sprintf "Temporal.create: %s is not denial-class" (Ic.name ic)))
+    ics;
+  { schema; ics; snapshots = Imap.empty }
+
+let add t ~time fact =
+  let snap =
+    match Imap.find_opt time t.snapshots with
+    | Some s -> s
+    | None -> Instance.create t.schema
+  in
+  { t with snapshots = Imap.add time (Instance.add snap fact) t.snapshots }
+
+let of_facts schema ics facts =
+  List.fold_left (fun t (time, f) -> add t ~time f) (create schema ics) facts
+
+let times t = List.map fst (Imap.bindings t.snapshots)
+
+let snapshot t time =
+  match Imap.find_opt time t.snapshots with
+  | Some s -> s
+  | None -> Instance.create t.schema
+
+let is_consistent t =
+  Imap.for_all
+    (fun _ snap -> Constraints.Violation.is_consistent snap t.schema t.ics)
+    t.snapshots
+
+let inconsistent_times t =
+  Imap.fold
+    (fun time snap acc ->
+      if Constraints.Violation.is_consistent snap t.schema t.ics then acc
+      else time :: acc)
+    t.snapshots []
+  |> List.rev
+
+module Rows = Set.Make (struct
+  type t = Value.t list
+
+  let compare = List.compare Value.compare
+end)
+
+let cqa_snapshot t snap q =
+  match Repairs.S_repair.enumerate snap t.schema t.ics with
+  | [] -> Rows.empty
+  | first :: rest ->
+      let answers (r : Repairs.Repair.t) = Rows.of_list (Logic.Cq.answers q r.repaired) in
+      List.fold_left (fun acc r -> Rows.inter acc (answers r)) (answers first) rest
+
+let consistent_at t ~time q =
+  Rows.elements (cqa_snapshot t (snapshot t time) q)
+
+let range from_ until =
+  if until < from_ then []
+  else List.init (until - from_ + 1) (fun i -> from_ + i)
+
+let consistent_always t ~from_ ~until q =
+  match range from_ until with
+  | [] -> []
+  | first :: rest ->
+      let at time = cqa_snapshot t (snapshot t time) q in
+      Rows.elements
+        (List.fold_left (fun acc time -> Rows.inter acc (at time)) (at first) rest)
+
+let consistent_sometime t ~from_ ~until q =
+  Rows.elements
+    (List.fold_left
+       (fun acc time -> Rows.union acc (cqa_snapshot t (snapshot t time) q))
+       Rows.empty (range from_ until))

@@ -1,0 +1,48 @@
+(** Consistent query answering for atemporal constraints over temporal
+    databases (paper, Section 8; Chomicki–Wijsen [50]).
+
+    A temporal database associates facts with time points; an atemporal
+    constraint set must hold at {e every snapshot}.  Snapshots repair
+    independently, so a temporal repair chooses one snapshot repair per
+    time point, and:
+
+    - an answer is consistently true {b at} time t iff it is a consistent
+      answer over snapshot t;
+    - consistently {b always} true on a range iff consistently true at
+      every point of the range;
+    - consistently {b sometime} true on a range iff consistently true at
+      {e some} point — the adversary repairs each snapshot separately, so
+      certainty must already be achieved at a single time point. *)
+
+type t
+
+val create :
+  Relational.Schema.t -> Constraints.Ic.t list -> t
+(** Denial-class constraints only ([Invalid_argument] otherwise). *)
+
+val add : t -> time:int -> Relational.Fact.t -> t
+val of_facts :
+  Relational.Schema.t -> Constraints.Ic.t list -> (int * Relational.Fact.t) list -> t
+
+val times : t -> int list
+(** Time points with at least one fact, ascending. *)
+
+val snapshot : t -> int -> Relational.Instance.t
+
+val is_consistent : t -> bool
+(** Every snapshot satisfies the constraints. *)
+
+val inconsistent_times : t -> int list
+
+val consistent_at :
+  t -> time:int -> Logic.Cq.t -> Relational.Value.t list list
+
+val consistent_always :
+  t -> from_:int -> until:int -> Logic.Cq.t -> Relational.Value.t list list
+(** Intersection over the snapshots of the (inclusive) range; time points
+    without facts have the empty snapshot, whose only repair is empty — so
+    a range touching an empty snapshot has no always-certain answers for
+    queries with a positive body. *)
+
+val consistent_sometime :
+  t -> from_:int -> until:int -> Logic.Cq.t -> Relational.Value.t list list

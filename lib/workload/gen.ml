@@ -1,0 +1,96 @@
+module Schema = Relational.Schema
+module Instance = Relational.Instance
+module Value = Relational.Value
+module Ic = Constraints.Ic
+open Logic
+
+let kv_schema = Schema.of_list [ ("T", [ "k"; "v" ]) ]
+let kv_key = Ic.key ~rel:"T" [ 0 ]
+
+let key_conflict_instance ?(seed = 42) ~n ~conflict_fraction () =
+  let rng = Random.State.make [| seed |] in
+  let conflicts = int_of_float (float_of_int n *. conflict_fraction /. 2.0) in
+  let rows = ref [] in
+  (* Clean tuples with distinct keys, then conflicting pairs on fresh keys. *)
+  for i = 0 to n - (2 * conflicts) - 1 do
+    rows := [ Value.int i; Value.int (Random.State.int rng 1000) ] :: !rows
+  done;
+  for j = 0 to conflicts - 1 do
+    let k = 1_000_000 + j in
+    let v1 = Random.State.int rng 1000 in
+    rows := [ Value.int k; Value.int v1 ] :: !rows;
+    rows := [ Value.int k; Value.int (v1 + 1 + Random.State.int rng 1000) ] :: !rows
+  done;
+  (Instance.of_rows kv_schema [ ("T", !rows) ], kv_key)
+
+let key_conflict_chain ?(seed = 42) ~pairs () =
+  let rng = Random.State.make [| seed |] in
+  let rows = ref [] in
+  for j = 0 to pairs - 1 do
+    let v1 = Random.State.int rng 1000 in
+    rows := [ Value.int j; Value.int v1 ] :: !rows;
+    rows := [ Value.int j; Value.int (v1 + 1 + Random.State.int rng 1000) ] :: !rows
+  done;
+  (Instance.of_rows kv_schema [ ("T", !rows) ], kv_key)
+
+let rs_schema = Schema.of_list [ ("R", [ "a"; "b" ]); ("S", [ "a" ]) ]
+
+let kappa =
+  let x = Term.var "x" and y = Term.var "y" in
+  Ic.denial ~name:"kappa"
+    [ Atom.make "S" [ x ]; Atom.make "R" [ x; y ]; Atom.make "S" [ y ] ]
+
+let denial_instance ?(seed = 42) ~n ~conflict_fraction () =
+  let rng = Random.State.make [| seed |] in
+  let conflicts = int_of_float (float_of_int n *. conflict_fraction /. 3.0) in
+  let clean = max 0 (n - (3 * conflicts)) in
+  let label i = Value.str (Printf.sprintf "c%d" i) in
+  let r_rows = ref [] and s_rows = ref [] in
+  (* Clean region: R tuples pointing between values never both in S. *)
+  for i = 0 to clean - 1 do
+    if Random.State.bool rng then
+      r_rows := [ label (10_000 + i); label (20_000 + i) ] :: !r_rows
+    else s_rows := [ label (30_000 + i) ] :: !s_rows
+  done;
+  (* Conflict chains: S(u) ∧ R(u,w) ∧ S(w). *)
+  for j = 0 to conflicts - 1 do
+    let u = label (40_000 + (2 * j)) and w = label (40_001 + (2 * j)) in
+    s_rows := [ u ] :: [ w ] :: !s_rows;
+    r_rows := [ u; w ] :: !r_rows
+  done;
+  ( Instance.of_rows rs_schema [ ("R", !r_rows); ("S", !s_rows) ],
+    kappa )
+
+let supply_schema =
+  Schema.of_list
+    [ ("Supply", [ "company"; "receiver"; "item" ]); ("Articles", [ "item" ]) ]
+
+let supply_ind = Ic.ind ~sub:("Supply", [ 2 ]) ~sup:("Articles", [ 0 ])
+
+let ind_instance ?(seed = 42) ~n ~dangling_fraction () =
+  let rng = Random.State.make [| seed |] in
+  let dangling = int_of_float (float_of_int n *. dangling_fraction) in
+  let item i = Value.str (Printf.sprintf "i%d" i) in
+  let supply = ref [] and articles = ref [] in
+  for i = 0 to n - 1 do
+    let company = Value.str (Printf.sprintf "c%d" (Random.State.int rng 50)) in
+    let receiver = Value.str (Printf.sprintf "r%d" (Random.State.int rng 50)) in
+    if i < dangling then
+      (* Reference a missing article. *)
+      supply := [ company; receiver; item (1_000_000 + i) ] :: !supply
+    else begin
+      supply := [ company; receiver; item i ] :: !supply;
+      articles := [ item i ] :: !articles
+    end
+  done;
+  ( Instance.of_rows supply_schema
+      [ ("Supply", !supply); ("Articles", !articles) ],
+    supply_ind )
+
+let employees_query () =
+  Cq.make ~name:"proj" [ Term.var "x" ]
+    [ Atom.make "T" [ Term.var "x"; Term.var "v" ] ]
+
+let full_tuple_query () =
+  Cq.make ~name:"full" [ Term.var "x"; Term.var "v" ]
+    [ Atom.make "T" [ Term.var "x"; Term.var "v" ] ]

@@ -1,0 +1,46 @@
+(** Synthetic workload generators for the benchmark harness.
+
+    All generators are deterministic given [seed].  They plant a controlled
+    amount of inconsistency so that benches can sweep database size and
+    violation rate independently. *)
+
+val key_conflict_instance :
+  ?seed:int ->
+  n:int ->
+  conflict_fraction:float ->
+  unit ->
+  Relational.Instance.t * Constraints.Ic.t
+(** Relation [T(k, v)] with a primary key on [k]: [n] tuples, a
+    [conflict_fraction] of which get a duplicate key with a different
+    value (each conflicting key has exactly two claimants, so the number
+    of S-repairs is 2^(#conflicts)). *)
+
+val key_conflict_chain :
+  ?seed:int -> pairs:int -> unit -> Relational.Instance.t * Constraints.Ic.t
+(** Exactly [pairs] two-claimant key conflicts and nothing else:
+    2^pairs S-repairs — the paper's "exponentially many repairs" example
+    class. *)
+
+val denial_instance :
+  ?seed:int ->
+  n:int ->
+  conflict_fraction:float ->
+  unit ->
+  Relational.Instance.t * Constraints.Ic.t
+(** The κ pattern of Example 3.5: relations R(a,b), S(a) and the denial
+    ¬∃x,y (S(x) ∧ R(x,y) ∧ S(y)); conflicts are planted S–R–S chains. *)
+
+val ind_instance :
+  ?seed:int ->
+  n:int ->
+  dangling_fraction:float ->
+  unit ->
+  Relational.Instance.t * Constraints.Ic.t
+(** Supply/Articles with an inclusion dependency; a fraction of Supply
+    tuples reference missing articles. *)
+
+val employees_query : unit -> Logic.Cq.t
+(** The projection query Q(x): ∃v T(x, v) over the key-conflict schema. *)
+
+val full_tuple_query : unit -> Logic.Cq.t
+(** Q(x, v): T(x, v). *)

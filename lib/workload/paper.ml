@@ -1,0 +1,240 @@
+module Schema = Relational.Schema
+module Instance = Relational.Instance
+module Value = Relational.Value
+module Fact = Relational.Fact
+module Ic = Constraints.Ic
+open Logic
+
+let v = Value.str
+let i = Value.int
+
+module Supply = struct
+  let schema =
+    Schema.of_list
+      [ ("Supply", [ "company"; "receiver"; "item" ]); ("Articles", [ "item" ]) ]
+
+  let supply_rows =
+    [
+      [ v "C1"; v "R1"; v "I1" ];
+      [ v "C2"; v "R2"; v "I2" ];
+      [ v "C2"; v "R1"; v "I3" ];
+    ]
+
+  let instance =
+    Instance.of_rows schema
+      [ ("Supply", supply_rows); ("Articles", [ [ v "I1" ]; [ v "I2" ] ]) ]
+
+  let ind = Ic.ind ~sub:("Supply", [ 2 ]) ~sup:("Articles", [ 0 ])
+
+  let schema_with_cost =
+    Schema.of_list
+      [
+        ("Supply", [ "company"; "receiver"; "item" ]);
+        ("Articles", [ "item"; "cost" ]);
+      ]
+
+  let instance_with_cost =
+    Instance.of_rows schema_with_cost
+      [
+        ("Supply", supply_rows);
+        ("Articles", [ [ v "I1"; i 50 ]; [ v "I2"; i 30 ] ]);
+      ]
+
+  let tgd = Ic.ind ~sub:("Supply", [ 2 ]) ~sup:("Articles", [ 0 ])
+
+  let items_query =
+    Cq.make ~name:"items" [ Term.var "z" ]
+      [ Atom.make "Supply" [ Term.var "x"; Term.var "y"; Term.var "z" ] ]
+end
+
+module Employee = struct
+  let schema = Schema.of_list [ ("Employee", [ "name"; "salary" ]) ]
+
+  let instance =
+    Instance.of_rows schema
+      [
+        ( "Employee",
+          [
+            [ v "page"; i 5 ];
+            [ v "page"; i 8 ];
+            [ v "smith"; i 3 ];
+            [ v "stowe"; i 7 ];
+          ] );
+      ]
+
+  let key = Ic.key ~rel:"Employee" [ 0 ]
+
+  let full_query =
+    Cq.make ~name:"full"
+      [ Term.var "x"; Term.var "y" ]
+      [ Atom.make "Employee" [ Term.var "x"; Term.var "y" ] ]
+
+  let names_query =
+    Cq.make ~name:"names" [ Term.var "x" ]
+      [ Atom.make "Employee" [ Term.var "x"; Term.var "y" ] ]
+end
+
+module Denial = struct
+  let schema = Schema.of_list [ ("R", [ "a"; "b" ]); ("S", [ "a" ]) ]
+
+  let instance =
+    Instance.of_rows schema
+      [
+        ("R", [ [ v "a4"; v "a3" ]; [ v "a2"; v "a1" ]; [ v "a3"; v "a3" ] ]);
+        ("S", [ [ v "a4" ]; [ v "a2" ]; [ v "a3" ] ]);
+      ]
+
+  let x = Term.var "x"
+  let y = Term.var "y"
+
+  let kappa =
+    Ic.denial ~name:"kappa"
+      [ Atom.make "S" [ x ]; Atom.make "R" [ x; y ]; Atom.make "S" [ y ] ]
+
+  let q =
+    Cq.make ~name:"Q" []
+      [ Atom.make "S" [ x ]; Atom.make "R" [ x; y ]; Atom.make "S" [ y ] ]
+end
+
+module Hypergraph = struct
+  let schema =
+    Schema.of_list
+      [ ("A", [ "x" ]); ("B", [ "x" ]); ("C", [ "x" ]); ("D", [ "x" ]); ("E", [ "x" ]) ]
+
+  let instance =
+    Instance.of_rows schema
+      [
+        ("A", [ [ v "a" ] ]);
+        ("B", [ [ v "a" ] ]);
+        ("C", [ [ v "a" ] ]);
+        ("D", [ [ v "a" ] ]);
+        ("E", [ [ v "a" ] ]);
+      ]
+
+  let x = Term.var "x"
+
+  let dcs =
+    [
+      Ic.denial ~name:"be" [ Atom.make "B" [ x ]; Atom.make "E" [ x ] ];
+      Ic.denial ~name:"bcd"
+        [ Atom.make "B" [ x ]; Atom.make "C" [ x ]; Atom.make "D" [ x ] ];
+      Ic.denial ~name:"ac" [ Atom.make "A" [ x ]; Atom.make "C" [ x ] ];
+    ]
+end
+
+module Courses = struct
+  let schema =
+    Schema.of_list
+      [ ("Dep", [ "dname"; "tstaff" ]); ("Course", [ "cname"; "tstaff"; "dname" ]) ]
+
+  let instance =
+    Instance.of_rows schema
+      [
+        ( "Dep",
+          [
+            [ v "Computing"; v "John" ];
+            [ v "Philosophy"; v "Patrick" ];
+            [ v "Math"; v "Kevin" ];
+          ] );
+        ( "Course",
+          [
+            [ v "COM08"; v "John"; v "Computing" ];
+            [ v "Math01"; v "Kevin"; v "Math" ];
+            [ v "HIST02"; v "Patrick"; v "Philosophy" ];
+            [ v "Math08"; v "Eli"; v "Math" ];
+            [ v "COM01"; v "John"; v "Computing" ];
+          ] );
+      ]
+
+  let psi = Ic.ind ~sub:("Dep", [ 0; 1 ]) ~sup:("Course", [ 2; 1 ])
+
+  let x = Term.var "x"
+  let y = Term.var "y"
+  let z = Term.var "z"
+
+  let q =
+    Cq.make ~name:"QA" [ x ]
+      [ Atom.make "Dep" [ y; x ]; Atom.make "Course" [ z; x; y ] ]
+
+  let q2 = Cq.make ~name:"QC" [ x ] [ Atom.make "Course" [ z; x; y ] ]
+  let john = [ Value.str "John" ]
+end
+
+module Customers = struct
+  let schema =
+    Schema.of_list
+      [ ("Cust", [ "cc"; "ac"; "phone"; "name"; "street"; "city"; "zip" ]) ]
+
+  let row cc ac ph nm st ct zp = [ i cc; i ac; v ph; v nm; v st; v ct; v zp ]
+
+  let instance =
+    Instance.of_rows schema
+      [
+        ( "Cust",
+          [
+            row 44 131 "1234567" "mike" "mayfield" "NYC" "EH4 8LE";
+            row 44 131 "3456789" "rick" "crichton" "NYC" "EH4 8LE";
+            row 01 908 "3456789" "joe" "mtn ave" "NYC" "07974";
+          ] );
+      ]
+
+  let fd1 = Ic.fd ~rel:"Cust" ~lhs:[ 0; 1; 2 ] ~rhs:[ 4; 5; 6 ]
+  let fd2 = Ic.fd ~rel:"Cust" ~lhs:[ 0; 1 ] ~rhs:[ 5 ]
+
+  let cfd =
+    Ic.cfd ~rel:"Cust" ~lhs:[ 0; 6 ] ~rhs:[ 4 ]
+      ~pat:[ (0, Some (Value.int 44)); (6, None); (4, None) ]
+
+  let names_query =
+    Cq.make ~name:"names" [ Term.var "n" ]
+      [
+        Atom.make "Cust"
+          [
+            Term.var "cc"; Term.var "ac"; Term.var "ph"; Term.var "n";
+            Term.var "st"; Term.var "ct"; Term.var "zp";
+          ];
+      ]
+end
+
+module Universities = struct
+  let global_schema =
+    Schema.of_list [ ("Stds", [ "number"; "name"; "univ"; "field" ]) ]
+
+  let x = Term.var "x"
+  let y = Term.var "y"
+  let z = Term.var "z"
+
+  let gav_views =
+    [
+      Datalog.Rule.make
+        (Atom.make "Stds" [ x; y; Term.str "cu"; z ])
+        [ Atom.make "CUstds" [ x; y ]; Atom.make "SpecCU" [ x; z ] ];
+      Datalog.Rule.make
+        (Atom.make "Stds" [ x; y; Term.str "ou"; z ])
+        [ Atom.make "OUstds" [ x; y ]; Atom.make "SpecOU" [ x; z ] ];
+    ]
+
+  let fact rel values = Fact.make rel (List.map v values)
+
+  let sources_51 =
+    [
+      fact "CUstds" [ "101"; "john" ];
+      fact "CUstds" [ "102"; "mary" ];
+      fact "OUstds" [ "103"; "claire" ];
+      fact "OUstds" [ "104"; "peter" ];
+      fact "SpecCU" [ "101"; "alg" ];
+      fact "SpecCU" [ "102"; "ai" ];
+      fact "SpecOU" [ "103"; "db" ];
+    ]
+
+  let sources_52 =
+    sources_51
+    @ [ fact "OUstds" [ "101"; "sue" ]; fact "SpecOU" [ "101"; "bio" ] ]
+
+  let global_fd = Ic.fd ~rel:"Stds" ~lhs:[ 0 ] ~rhs:[ 1 ]
+
+  let students_query =
+    Cq.make ~name:"students"
+      [ Term.var "n"; Term.var "m" ]
+      [ Atom.make "Stds" [ Term.var "n"; Term.var "m"; Term.var "u"; Term.var "f" ] ]
+end

@@ -1,0 +1,86 @@
+(** The paper's worked-example databases and constraints, as shared
+    fixtures for the test suite and the benchmark harness. *)
+
+module Supply : sig
+  val schema : Relational.Schema.t
+  val instance : Relational.Instance.t
+  (** Example 2.1: Supply/Articles with a dangling item I3. *)
+
+  val ind : Constraints.Ic.t
+
+  val schema_with_cost : Relational.Schema.t
+  val instance_with_cost : Relational.Instance.t
+  (** Example 4.3: Articles with a cost column, making the IND a tgd with
+      an existential head variable. *)
+
+  val tgd : Constraints.Ic.t
+  val items_query : Logic.Cq.t
+  (** Q(z): ∃x,y Supply(x,y,z). *)
+end
+
+module Employee : sig
+  val schema : Relational.Schema.t
+  val instance : Relational.Instance.t
+  (** Example 3.3: page has two salaries. *)
+
+  val key : Constraints.Ic.t
+  val full_query : Logic.Cq.t
+  val names_query : Logic.Cq.t
+end
+
+module Denial : sig
+  val schema : Relational.Schema.t
+  val instance : Relational.Instance.t
+  (** Example 3.5: R/S with tids ι1..ι6. *)
+
+  val kappa : Constraints.Ic.t
+  val q : Logic.Cq.t
+  (** The BCQ associated to κ (Example 7.1). *)
+end
+
+module Hypergraph : sig
+  val schema : Relational.Schema.t
+  val instance : Relational.Instance.t
+  (** Example 4.1 / Figure 1: A(a)..E(a). *)
+
+  val dcs : Constraints.Ic.t list
+end
+
+module Courses : sig
+  val schema : Relational.Schema.t
+  val instance : Relational.Instance.t
+  (** Example 7.4: Dep (ι1..ι3) and Course (ι4..ι8). *)
+
+  val psi : Constraints.Ic.t
+  val q : Logic.Cq.t
+  (** (A) Q(x): ∃y,z (Dep(y,x) ∧ Course(z,x,y)). *)
+
+  val q2 : Logic.Cq.t
+  (** (C) Q2(x): ∃y,z Course(z,x,y). *)
+
+  val john : Relational.Value.t list
+end
+
+module Customers : sig
+  val schema : Relational.Schema.t
+  val instance : Relational.Instance.t
+  (** Section 6's CC/AC/phone table. *)
+
+  val fd1 : Constraints.Ic.t
+  val fd2 : Constraints.Ic.t
+  val cfd : Constraints.Ic.t
+  val names_query : Logic.Cq.t
+end
+
+module Universities : sig
+  val global_schema : Relational.Schema.t
+  val gav_views : Datalog.Rule.t list
+  val sources_51 : Relational.Fact.t list
+  (** Example 5.1's consistent sources. *)
+
+  val sources_52 : Relational.Fact.t list
+  (** Example 5.2: number 101 claimed by john and sue. *)
+
+  val global_fd : Constraints.Ic.t
+  val students_query : Logic.Cq.t
+end

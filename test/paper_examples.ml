@@ -1,0 +1,114 @@
+(* Shared fixtures: the running examples of the paper, used across suites. *)
+
+module Value = Relational.Value
+module Schema = Relational.Schema
+module Instance = Relational.Instance
+module Fact = Relational.Fact
+
+let v = Value.str
+let i = Value.int
+
+(* Example 2.1: Supply/Articles with inclusion dependency. *)
+module Supply = struct
+  let schema =
+    Schema.of_list
+      [
+        ("Supply", [ "company"; "receiver"; "item" ]);
+        ("Articles", [ "item" ]);
+      ]
+
+  let instance =
+    Instance.of_rows schema
+      [
+        ( "Supply",
+          [
+            [ v "C1"; v "R1"; v "I1" ];
+            [ v "C2"; v "R2"; v "I2" ];
+            [ v "C2"; v "R1"; v "I3" ];
+          ] );
+        ("Articles", [ [ v "I1" ]; [ v "I2" ] ]);
+      ]
+
+  let ind = Constraints.Ic.ind ~sub:("Supply", [ 2 ]) ~sup:("Articles", [ 0 ])
+end
+
+(* Example 3.3: Employee with key constraint Name -> Salary. *)
+module Employee = struct
+  let schema = Schema.of_list [ ("Employee", [ "name"; "salary" ]) ]
+
+  let instance =
+    Instance.of_rows schema
+      [
+        ( "Employee",
+          [
+            [ v "page"; i 5 ];
+            [ v "page"; i 8 ];
+            [ v "smith"; i 3 ];
+            [ v "stowe"; i 7 ];
+          ] );
+      ]
+
+  let key = Constraints.Ic.key ~rel:"Employee" [ 0 ]
+end
+
+(* Example 3.5 / 4.4 / 7.1: R, S and the denial constraint κ. *)
+module Denial = struct
+  let schema = Schema.of_list [ ("R", [ "a"; "b" ]); ("S", [ "a" ]) ]
+
+  (* tids follow insertion order: R tuples get t1..t3, S tuples t4..t6,
+     matching the paper's ι1..ι6. *)
+  let instance =
+    Instance.of_rows schema
+      [
+        ("R", [ [ v "a4"; v "a3" ]; [ v "a2"; v "a1" ]; [ v "a3"; v "a3" ] ]);
+        ("S", [ [ v "a4" ]; [ v "a2" ]; [ v "a3" ] ]);
+      ]
+
+  open Logic
+  let x = Term.var "x"
+  let y = Term.var "y"
+
+  let kappa =
+    Constraints.Ic.denial ~name:"kappa"
+      [ Atom.make "S" [ x ]; Atom.make "R" [ x; y ]; Atom.make "S" [ y ] ]
+
+  (* The associated BCQ Q: ∃x∃y (S(x) ∧ R(x,y) ∧ S(y)). *)
+  let q =
+    Cq.make ~name:"Q" []
+      [ Atom.make "S" [ x ]; Atom.make "R" [ x; y ]; Atom.make "S" [ y ] ]
+end
+
+(* Example 4.1 / Figure 1: five unary facts, three denial constraints. *)
+module Hypergraph = struct
+  let schema =
+    Schema.of_list
+      [ ("A", [ "x" ]); ("B", [ "x" ]); ("C", [ "x" ]); ("D", [ "x" ]); ("E", [ "x" ]) ]
+
+  let instance =
+    Instance.of_rows schema
+      [
+        ("A", [ [ v "a" ] ]);
+        ("B", [ [ v "a" ] ]);
+        ("C", [ [ v "a" ] ]);
+        ("D", [ [ v "a" ] ]);
+        ("E", [ [ v "a" ] ]);
+      ]
+
+  open Logic
+  let x = Term.var "x"
+
+  let dcs =
+    [
+      Constraints.Ic.denial ~name:"be" [ Atom.make "B" [ x ]; Atom.make "E" [ x ] ];
+      Constraints.Ic.denial ~name:"bcd"
+        [ Atom.make "B" [ x ]; Atom.make "C" [ x ]; Atom.make "D" [ x ] ];
+      Constraints.Ic.denial ~name:"ac" [ Atom.make "A" [ x ]; Atom.make "C" [ x ] ];
+    ]
+end
+
+let fact rel values = Fact.make rel values
+
+(* Convenience: an instance's facts as sorted strings, for order-insensitive
+   assertions. *)
+let fact_strings inst =
+  Instance.fact_list inst |> List.map Fact.to_string |> List.sort String.compare

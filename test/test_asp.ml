@@ -1,0 +1,230 @@
+module Fact = Relational.Fact
+module Value = Relational.Value
+module Syntax = Asp.Syntax
+open Logic
+
+let check = Alcotest.check
+let a name = Atom.make name []
+let fact name values = Fact.make name (List.map Value.str values)
+let prop name = Fact.make name []
+
+let models_as_strings models =
+  models
+  |> List.map (fun m ->
+         Fact.Set.elements m |> List.map Fact.to_string |> List.sort compare)
+  |> List.sort compare
+
+(* p :- not q.  q :- not p.  Two stable models. *)
+let test_negation_choice () =
+  let program =
+    Syntax.program
+      [
+        Syntax.rule ~neg:[ a "q" ] [ a "p" ] [];
+        Syntax.rule ~neg:[ a "p" ] [ a "q" ] [];
+      ]
+  in
+  check
+    Alcotest.(list (list string))
+    "two models"
+    [ [ "p()" ]; [ "q()" ] ]
+    (models_as_strings (Asp.Stable.models program []))
+
+(* p :- not p.  No stable model. *)
+let test_no_stable_model () =
+  let program = Syntax.program [ Syntax.rule ~neg:[ a "p" ] [ a "p" ] [] ] in
+  check Alcotest.int "no model" 0 (List.length (Asp.Stable.models program []))
+
+(* p :- p has only the empty model (no unfounded self-support). *)
+let test_unfounded () =
+  let program = Syntax.program [ Syntax.rule [ a "p" ] [ a "p" ] ] in
+  check
+    Alcotest.(list (list string))
+    "empty model only" [ [] ]
+    (models_as_strings (Asp.Stable.models program []))
+
+(* Disjunction is minimal: p ∨ q. gives {p} and {q}, never {p,q}. *)
+let test_disjunction_minimality () =
+  let program = Syntax.program [ Syntax.rule [ a "p"; a "q" ] [] ] in
+  check
+    Alcotest.(list (list string))
+    "two minimal models"
+    [ [ "p()" ]; [ "q()" ] ]
+    (models_as_strings (Asp.Stable.models program []))
+
+(* Head-cycle-free disjunction with a constraint. *)
+let test_disjunction_constraint () =
+  let program =
+    Syntax.program
+      [
+        Syntax.rule [ a "p"; a "q" ] [];
+        Syntax.hard_constraint [ a "p" ];
+      ]
+  in
+  check
+    Alcotest.(list (list string))
+    "only q survives"
+    [ [ "q()" ] ]
+    (models_as_strings (Asp.Stable.models program []))
+
+(* Non-ground rules with variables and comparisons. *)
+let test_grounding () =
+  let x = Term.var "x" in
+  let program =
+    Syntax.program
+      [
+        Syntax.rule
+          ~comps:[ Cmp.neq x (Term.str "b") ]
+          [ Atom.make "sel" [ x ] ]
+          [ Atom.make "dom" [ x ] ];
+      ]
+  in
+  let edb = [ fact "dom" [ "a" ]; fact "dom" [ "b" ]; fact "dom" [ "c" ] ] in
+  match Asp.Stable.models program edb with
+  | [ m ] ->
+      let sel = Fact.Set.filter (fun f -> f.Fact.rel = "sel") m in
+      check Alcotest.int "two selected" 2 (Fact.Set.cardinal sel)
+  | ms -> Alcotest.failf "expected one model, got %d" (List.length ms)
+
+(* Example 3.5: the repair program of κ, written out by hand, has three
+   stable models corresponding to the repairs D1, D2, D3. *)
+let denial_repair_program () =
+  let t1 = Term.var "t1" and t2 = Term.var "t2" and t3 = Term.var "t3" in
+  let x = Term.var "x" and y = Term.var "y" in
+  let d = Term.str "d" and s = Term.str "s" in
+  let t = Term.var "t" in
+  Syntax.program
+    [
+      (* Disjunctive violation rule. *)
+      Syntax.rule
+        [
+          Atom.make "S'" [ t1; x; d ];
+          Atom.make "R'" [ t2; x; y; d ];
+          Atom.make "S'" [ t3; y; d ];
+        ]
+        [
+          Atom.make "S" [ t1; x ];
+          Atom.make "R" [ t2; x; y ];
+          Atom.make "S" [ t3; y ];
+        ];
+      (* Inertia. *)
+      Syntax.rule
+        ~neg:[ Atom.make "S'" [ t; x; d ] ]
+        [ Atom.make "S'" [ t; x; s ] ]
+        [ Atom.make "S" [ t; x ] ];
+      Syntax.rule
+        ~neg:[ Atom.make "R'" [ t; x; y; d ] ]
+        [ Atom.make "R'" [ t; x; y; s ] ]
+        [ Atom.make "R" [ t; x; y ] ];
+    ]
+
+let denial_edb =
+  [
+    Fact.make "R" [ Value.str "t1"; Value.str "a4"; Value.str "a3" ];
+    Fact.make "R" [ Value.str "t2"; Value.str "a2"; Value.str "a1" ];
+    Fact.make "R" [ Value.str "t3"; Value.str "a3"; Value.str "a3" ];
+    Fact.make "S" [ Value.str "t4"; Value.str "a4" ];
+    Fact.make "S" [ Value.str "t5"; Value.str "a2" ];
+    Fact.make "S" [ Value.str "t6"; Value.str "a3" ];
+  ]
+
+let stays m =
+  Fact.Set.fold
+    (fun (f : Fact.t) acc ->
+      let n = Array.length f.row in
+      if
+        (f.rel = "R'" || f.rel = "S'")
+        && n > 0
+        && Value.equal f.row.(n - 1) (Value.str "s")
+      then Fact.to_string f :: acc
+      else acc)
+    m []
+  |> List.sort compare
+
+let test_repair_program_ex35 () =
+  let models = Asp.Stable.models (denial_repair_program ()) denial_edb in
+  check Alcotest.int "three stable models" 3 (List.length models);
+  let kept = List.sort compare (List.map stays models) in
+  (* D1 deletes S(t6;a3): model keeps everything else. *)
+  let d1 =
+    [
+      "R'(t1, a4, a3, s)";
+      "R'(t2, a2, a1, s)";
+      "R'(t3, a3, a3, s)";
+      "S'(t4, a4, s)";
+      "S'(t5, a2, s)";
+    ]
+  in
+  check Alcotest.bool "M1 present" true (List.mem d1 kept)
+
+(* Weak constraints: prefer models deleting fewer tuples (Example 4.2). *)
+let test_weak_constraints () =
+  let t = Term.var "t" and x = Term.var "x" and y = Term.var "y" in
+  let d = Term.str "d" in
+  let base = denial_repair_program () in
+  let weaks =
+    [
+      Syntax.weak [ Atom.make "S'" [ t; x; d ] ];
+      Syntax.weak [ Atom.make "R'" [ t; x; y; d ] ];
+    ]
+  in
+  let program = Syntax.program ~weaks base.Syntax.rules in
+  let optima = Asp.Stable.optimal_models program denial_edb in
+  (* The C-repair deletes a single tuple: S(t6;a3). *)
+  check Alcotest.int "one optimal model" 1 (List.length optima);
+  let w, m = List.hd optima in
+  check Alcotest.int "one deletion" 1 w;
+  check Alcotest.bool "S(t6) deleted" true
+    (Fact.Set.mem
+       (Fact.make "S'" [ Value.str "t6"; Value.str "a3"; Value.str "d" ])
+       m)
+
+let test_brave_cautious () =
+  let program =
+    Syntax.program
+      [
+        Syntax.rule ~neg:[ a "q" ] [ a "p" ] [];
+        Syntax.rule ~neg:[ a "p" ] [ a "q" ] [];
+        Syntax.rule [ a "r" ] [ a "p" ];
+        Syntax.rule [ a "r" ] [ a "q" ];
+      ]
+  in
+  check Alcotest.bool "p brave" true (Asp.Reason.brave program [] (prop "p"));
+  check Alcotest.bool "p not cautious" false (Asp.Reason.cautious program [] (prop "p"));
+  check Alcotest.bool "r cautious" true (Asp.Reason.cautious program [] (prop "r"))
+
+let test_hard_constraint_filters () =
+  let program =
+    Syntax.program
+      [
+        Syntax.rule ~neg:[ a "q" ] [ a "p" ] [];
+        Syntax.rule ~neg:[ a "p" ] [ a "q" ] [];
+        Syntax.hard_constraint [ a "q" ];
+      ]
+  in
+  check
+    Alcotest.(list (list string))
+    "q model eliminated"
+    [ [ "p()" ] ]
+    (models_as_strings (Asp.Stable.models program []))
+
+let test_unsafe_rule_rejected () =
+  Alcotest.check_raises "unsafe head var"
+    (Invalid_argument "Asp.Syntax: unsafe rule, variable x not bound")
+    (fun () ->
+      ignore (Syntax.rule [ Atom.make "p" [ Term.var "x" ] ] []))
+
+let suite =
+  [
+    Alcotest.test_case "negation choice" `Quick test_negation_choice;
+    Alcotest.test_case "odd loop: no stable model" `Quick test_no_stable_model;
+    Alcotest.test_case "no unfounded self-support" `Quick test_unfounded;
+    Alcotest.test_case "disjunction minimality" `Quick test_disjunction_minimality;
+    Alcotest.test_case "disjunction + constraint" `Quick test_disjunction_constraint;
+    Alcotest.test_case "grounding with comparisons" `Quick test_grounding;
+    Alcotest.test_case "repair program of Ex 3.5" `Quick test_repair_program_ex35;
+    Alcotest.test_case "weak constraints (Ex 4.2)" `Quick test_weak_constraints;
+    Alcotest.test_case "brave / cautious" `Quick test_brave_cautious;
+    Alcotest.test_case "hard constraints filter models" `Quick
+      test_hard_constraint_filters;
+    Alcotest.test_case "safety check" `Quick test_unsafe_rule_rejected;
+  ]

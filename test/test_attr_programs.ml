@@ -1,0 +1,110 @@
+(* Attribute-repair programs ([15]): stable models = minimal change sets. *)
+
+module Instance = Relational.Instance
+module Schema = Relational.Schema
+module Value = Relational.Value
+module Tid = Relational.Tid
+module Attr_compile = Repair_programs.Attr_compile
+module Attr_repair = Repairs.Attr_repair
+module P = Workload.Paper
+
+let check = Alcotest.check
+
+let sets_as_strings sets =
+  List.map
+    (fun s ->
+      Tid.Cell.Set.elements s |> List.map (Format.asprintf "%a" Tid.Cell.pp))
+    sets
+  |> List.sort compare
+
+let test_ex44_change_sets () =
+  let via_asp =
+    Attr_compile.change_sets P.Denial.instance P.Denial.schema [ P.Denial.kappa ]
+  in
+  let via_hitting =
+    Attr_repair.enumerate P.Denial.instance P.Denial.schema [ P.Denial.kappa ]
+    |> List.map (fun (r : Attr_repair.t) -> r.changes)
+  in
+  check Alcotest.int "seven change sets" 7 (List.length via_asp);
+  check
+    Alcotest.(list (list string))
+    "ASP = hitting-set engine"
+    (sets_as_strings via_hitting)
+    (sets_as_strings via_asp)
+
+let test_repairs_consistent () =
+  List.iter
+    (fun (r : Attr_repair.t) ->
+      check Alcotest.bool "repaired instance consistent" true
+        (Repairs.Check.is_consistent r.repaired P.Denial.schema [ P.Denial.kappa ]))
+    (Attr_compile.repairs P.Denial.instance P.Denial.schema [ P.Denial.kappa ])
+
+let test_no_breakable_cells () =
+  (* ¬∃x S(x) has no breakable cell: the rule's head is empty, i.e. a hard
+     constraint, and there is no attribute repair. *)
+  let schema = Schema.of_list [ ("S", [ "a" ]) ] in
+  let db = Instance.of_rows schema [ ("S", [ [ Value.str "a" ] ]) ] in
+  let dc =
+    Constraints.Ic.denial ~name:"empty_s"
+      [ Logic.Atom.make "S" [ Logic.Term.var "x" ] ]
+  in
+  check Alcotest.int "no stable model" 0
+    (List.length (Attr_compile.change_sets db schema [ dc ]));
+  check Alcotest.int "hitting-set engine agrees" 0
+    (List.length (Attr_repair.enumerate db schema [ dc ]))
+
+let test_consistent_instance () =
+  let schema = Schema.of_list [ ("S", [ "a" ]) ] in
+  let db = Instance.of_rows schema [ ("S", [ [ Value.str "a" ] ]) ] in
+  let dc =
+    Constraints.Ic.denial ~name:"no_b"
+      [ Logic.Atom.make "S" [ Logic.Term.str "b" ] ]
+  in
+  match Attr_compile.change_sets db schema [ dc ] with
+  | [ only ] -> check Alcotest.int "empty change set" 0 (Tid.Cell.Set.cardinal only)
+  | sets -> Alcotest.failf "expected one empty change set, got %d" (List.length sets)
+
+let arb_db =
+  QCheck.make
+    QCheck.Gen.(
+      pair
+        (list_size (int_range 0 4) (pair (int_range 0 2) (int_range 0 2)))
+        (list_size (int_range 0 3) (int_range 0 2)))
+    ~print:(fun (rs, ss) ->
+      Printf.sprintf "R=%s S=%s"
+        (String.concat ";" (List.map (fun (a, b) -> Printf.sprintf "%d,%d" a b) rs))
+        (String.concat ";" (List.map string_of_int ss)))
+
+let prop_asp_matches_hitting =
+  QCheck.Test.make ~count:40 ~name:"attr-repair program = hitting-set engine"
+    arb_db
+    (fun (rs, ss) ->
+      let label i = Value.str (Printf.sprintf "a%d" i) in
+      let db =
+        Instance.of_rows P.Denial.schema
+          [
+            ("R", List.map (fun (a, b) -> [ label a; label b ]) rs);
+            ("S", List.map (fun a -> [ label a ]) ss);
+          ]
+      in
+      let asp =
+        Attr_compile.change_sets db P.Denial.schema [ P.Denial.kappa ]
+      in
+      let hitting =
+        Attr_repair.enumerate db P.Denial.schema [ P.Denial.kappa ]
+        |> List.map (fun (r : Attr_repair.t) -> r.changes)
+        |> List.sort_uniq Tid.Cell.Set.compare
+      in
+      List.length asp = List.length hitting
+      && List.for_all2 Tid.Cell.Set.equal asp hitting)
+
+let suite =
+  [
+    Alcotest.test_case "Ex 4.4 change sets via ASP" `Quick test_ex44_change_sets;
+    Alcotest.test_case "repairs are consistent" `Quick test_repairs_consistent;
+    Alcotest.test_case "unbreakable violation: no repair" `Quick
+      test_no_breakable_cells;
+    Alcotest.test_case "consistent instance: empty change set" `Quick
+      test_consistent_instance;
+    QCheck_alcotest.to_alcotest prop_asp_matches_hitting;
+  ]

@@ -1,0 +1,141 @@
+module Value = Relational.Value
+module Instance = Relational.Instance
+module Schema = Relational.Schema
+module Tid = Relational.Tid
+module Ic = Constraints.Ic
+module Violation = Constraints.Violation
+module Cg = Constraints.Conflict_graph
+open Paper_examples
+
+let check = Alcotest.check
+
+let test_ind_violation () =
+  check Alcotest.bool "ID violated" false
+    (Ic.holds Supply.instance Supply.schema Supply.ind);
+  let dangling = Violation.of_ind Supply.instance
+      (match Supply.ind with Ic.Ind i -> i | _ -> assert false)
+  in
+  check Alcotest.int "one dangling tuple" 1 (List.length dangling)
+
+let test_ind_null_vacuous () =
+  let db =
+    Instance.of_rows Supply.schema
+      [ ("Supply", [ [ v "C1"; v "R1"; Value.Null ] ]); ("Articles", []) ]
+  in
+  check Alcotest.bool "NULL fk is vacuously fine" true
+    (Ic.holds db Supply.schema Supply.ind)
+
+let test_key_to_fd_and_violation () =
+  check Alcotest.bool "key violated" false
+    (Ic.holds Employee.instance Employee.schema Employee.key);
+  let ws = Violation.of_ic Employee.instance Employee.schema Employee.key in
+  check Alcotest.int "one conflicting pair" 1 (List.length ws);
+  let w = List.hd ws in
+  check Alcotest.int "pair of tuples" 2 (Tid.Set.cardinal w.Violation.tids)
+
+let test_fd_null_does_not_violate () =
+  let db =
+    Instance.of_rows Employee.schema
+      [ ("Employee", [ [ Value.Null; i 5 ]; [ Value.Null; i 8 ] ]) ]
+  in
+  check Alcotest.bool "NULL keys do not clash" true
+    (Ic.holds db Employee.schema Employee.key)
+
+let test_denial_violation () =
+  let ws = Violation.of_ic Denial.instance Denial.schema Denial.kappa in
+  (* κ is violated by (S(a4),R(a4,a3),S(a3)), (S(a3),R(a3,a3),S(a3)) and
+     (S(a2),R(a2,a1),S(a1))? — no S(a1); exactly the first two. *)
+  check Alcotest.int "two violation witnesses" 2 (List.length ws)
+
+let test_conflict_graph_fig1 () =
+  let g = Cg.build Hypergraph.instance Hypergraph.schema Hypergraph.dcs in
+  check Alcotest.int "five vertices" 5 (Tid.Set.cardinal g.Cg.vertices);
+  check Alcotest.int "three edges" 3 (List.length g.Cg.edges);
+  let sizes = List.sort compare (List.map Tid.Set.cardinal g.Cg.edges) in
+  check Alcotest.(list int) "edge sizes" [ 2; 2; 3 ] sizes
+
+let test_conflict_graph_rejects_ind () =
+  Alcotest.check_raises "IND not allowed"
+    (Invalid_argument
+       "Conflict_graph.build: ind:Supply[2]\xe2\x8a\x86Articles[0] is not a denial-class constraint")
+    (fun () -> ignore (Cg.build Supply.instance Supply.schema [ Supply.ind ]))
+
+let test_cfd () =
+  (* Section 6's example: [CC=44, Zip] -> [Street]. *)
+  let schema =
+    Schema.of_list
+      [ ("Cust", [ "cc"; "ac"; "phone"; "name"; "street"; "city"; "zip" ]) ]
+  in
+  let row cc ac ph nm st ct zp = [ i cc; i ac; v ph; v nm; v st; v ct; v zp ] in
+  let db =
+    Instance.of_rows schema
+      [
+        ( "Cust",
+          [
+            row 44 131 "1234567" "mike" "mayfield" "NYC" "EH4 8LE";
+            row 44 131 "3456789" "rick" "crichton" "NYC" "EH4 8LE";
+            row 01 908 "3456789" "joe" "mtn ave" "NYC" "07974";
+          ] );
+      ]
+  in
+  let fd1 = Ic.fd ~rel:"Cust" ~lhs:[ 0; 1; 2 ] ~rhs:[ 4; 5; 6 ] in
+  let fd2 = Ic.fd ~rel:"Cust" ~lhs:[ 0; 1 ] ~rhs:[ 5 ] in
+  check Alcotest.bool "plain FD 1 holds" true (Ic.holds db schema fd1);
+  check Alcotest.bool "plain FD 2 holds" true (Ic.holds db schema fd2);
+  let cfd =
+    Ic.cfd ~rel:"Cust" ~lhs:[ 0; 6 ] ~rhs:[ 4 ]
+      ~pat:[ (0, Some (Value.int 44)); (6, None); (4, None) ]
+  in
+  check Alcotest.bool "CFD violated" false (Ic.holds db schema cfd);
+  let ws = Violation.of_ic db schema cfd in
+  check Alcotest.int "one CFD conflict" 1 (List.length ws)
+
+let test_cfd_constant_pattern () =
+  let schema = Schema.of_list [ ("T", [ "country"; "capital" ]) ] in
+  let db =
+    Instance.of_rows schema
+      [ ("T", [ [ v "nl"; v "amsterdam" ]; [ v "nl"; v "rotterdam" ] ]) ]
+  in
+  (* country = nl forces capital = amsterdam (single-tuple CFD). *)
+  let cfd =
+    Ic.cfd ~rel:"T" ~lhs:[ 0 ] ~rhs:[ 1 ]
+      ~pat:[ (0, Some (v "nl")); (1, Some (v "amsterdam")) ]
+  in
+  check Alcotest.bool "constant CFD violated" false (Ic.holds db schema cfd);
+  let ws = Violation.of_ic db schema cfd in
+  check Alcotest.int "single-tuple violation" 1 (List.length ws)
+
+let test_to_clauses () =
+  let clauses = Ic.to_clauses Employee.schema Employee.key in
+  check Alcotest.int "one clause for 2-attribute key" 1 (List.length clauses);
+  let ind_clauses = Ic.to_clauses Supply.schema Supply.ind in
+  check Alcotest.int "full IND has a clause" 1 (List.length ind_clauses);
+  (* A tgd with an existential head position has no clausal form. *)
+  let schema2 =
+    Schema.of_list [ ("Supply", [ "c"; "r"; "i" ]); ("Art2", [ "item"; "cost" ]) ]
+  in
+  let tgd = Ic.ind ~sub:("Supply", [ 2 ]) ~sup:("Art2", [ 0 ]) in
+  check Alcotest.int "existential tgd: no clause" 0
+    (List.length (Ic.to_clauses schema2 tgd))
+
+let test_all_hold () =
+  check Alcotest.bool "hypergraph dcs all violated somewhere" false
+    (Ic.all_hold Hypergraph.instance Hypergraph.schema Hypergraph.dcs);
+  check Alcotest.bool "empty ics hold" true
+    (Ic.all_hold Hypergraph.instance Hypergraph.schema [])
+
+let suite =
+  [
+    Alcotest.test_case "IND violation (Ex 2.1)" `Quick test_ind_violation;
+    Alcotest.test_case "IND with NULL is vacuous" `Quick test_ind_null_vacuous;
+    Alcotest.test_case "key violation (Ex 3.3)" `Quick test_key_to_fd_and_violation;
+    Alcotest.test_case "FD ignores NULL" `Quick test_fd_null_does_not_violate;
+    Alcotest.test_case "denial violations (Ex 3.5)" `Quick test_denial_violation;
+    Alcotest.test_case "conflict hypergraph (Fig 1)" `Quick test_conflict_graph_fig1;
+    Alcotest.test_case "conflict graph rejects INDs" `Quick
+      test_conflict_graph_rejects_ind;
+    Alcotest.test_case "CFDs (Sec 6 example)" `Quick test_cfd;
+    Alcotest.test_case "CFD with constant pattern" `Quick test_cfd_constant_pattern;
+    Alcotest.test_case "clausal forms" `Quick test_to_clauses;
+    Alcotest.test_case "all_hold" `Quick test_all_hold;
+  ]

@@ -1,0 +1,143 @@
+module Fact = Relational.Fact
+module Value = Relational.Value
+module Rule = Datalog.Rule
+module Program = Datalog.Program
+module Eval = Datalog.Eval
+open Logic
+
+let check = Alcotest.check
+let v = Value.str
+let fact rel values = Fact.make rel (List.map v values)
+let x = Term.var "x"
+let y = Term.var "y"
+let z = Term.var "z"
+
+let edge_facts =
+  [
+    fact "edge" [ "a"; "b" ];
+    fact "edge" [ "b"; "c" ];
+    fact "edge" [ "c"; "d" ];
+    fact "edge" [ "d"; "b" ];
+  ]
+
+let tc_program =
+  Program.make
+    [
+      Rule.make (Atom.make "path" [ x; y ]) [ Atom.make "edge" [ x; y ] ];
+      Rule.make
+        (Atom.make "path" [ x; z ])
+        [ Atom.make "edge" [ x; y ]; Atom.make "path" [ y; z ] ];
+    ]
+
+let test_transitive_closure () =
+  let rows = Eval.query tc_program edge_facts "path" in
+  (* Reachability in a->b->c->d->b: from a: b,c,d; from b: b,c,d (cycle);
+     from c: b,c,d; from d: b,c,d.  12 pairs. *)
+  check Alcotest.int "12 reachable pairs" 12 (List.length rows)
+
+let test_stratified_negation () =
+  let program =
+    Program.make
+      [
+        Rule.make (Atom.make "node" [ x ]) [ Atom.make "edge" [ x; y ] ];
+        Rule.make (Atom.make "node" [ y ]) [ Atom.make "edge" [ x; y ] ];
+        Rule.make (Atom.make "path" [ x; y ]) [ Atom.make "edge" [ x; y ] ];
+        Rule.make
+          (Atom.make "path" [ x; z ])
+          [ Atom.make "edge" [ x; y ]; Atom.make "path" [ y; z ] ];
+        Rule.make
+          ~neg:[ Atom.make "path" [ x; x ] ]
+          (Atom.make "acyclic" [ x ])
+          [ Atom.make "node" [ x ] ];
+      ]
+  in
+  let rows = Eval.query program edge_facts "acyclic" in
+  (* Only 'a' is outside the b-c-d cycle. *)
+  check Alcotest.(list (list string))
+    "a only"
+    [ [ "a" ] ]
+    (List.map (List.map Value.to_string) rows)
+
+let test_unstratifiable () =
+  let program =
+    Program.make
+      [
+        Rule.make ~neg:[ Atom.make "q" [ x ] ] (Atom.make "p" [ x ])
+          [ Atom.make "d" [ x ] ];
+        Rule.make ~neg:[ Atom.make "p" [ x ] ] (Atom.make "q" [ x ])
+          [ Atom.make "d" [ x ] ];
+      ]
+  in
+  check Alcotest.bool "stratify returns None" true (Program.stratify program = None);
+  Alcotest.check_raises "eval raises" Eval.Unstratifiable (fun () ->
+      ignore (Eval.run program [ fact "d" [ "a" ] ]))
+
+let test_comparisons () =
+  let program =
+    Program.make
+      [
+        Rule.make
+          ~comps:[ Cmp.neq x y ]
+          (Atom.make "diff" [ x; y ])
+          [ Atom.make "d" [ x ]; Atom.make "d" [ y ] ];
+      ]
+  in
+  let rows = Eval.query program [ fact "d" [ "a" ]; fact "d" [ "b" ] ] "diff" in
+  check Alcotest.int "two ordered pairs" 2 (List.length rows)
+
+let test_unsafe_rule () =
+  Alcotest.check_raises "unsafe"
+    (Invalid_argument
+       "Rule.make: unsafe rule, variable y not bound by a positive atom")
+    (fun () ->
+      ignore (Rule.make (Atom.make "p" [ x; y ]) [ Atom.make "d" [ x ] ]))
+
+(* GAV unfolding flavour: views defined over sources (Example 5.1). *)
+let test_gav_views () =
+  let program =
+    Program.make
+      [
+        Rule.make
+          (Atom.make "Stds" [ x; y; Term.str "cu"; z ])
+          [ Atom.make "CUstds" [ x; y ]; Atom.make "SpecCU" [ x; z ] ];
+        Rule.make
+          (Atom.make "Stds" [ x; y; Term.str "ou"; z ])
+          [ Atom.make "OUstds" [ x; y ]; Atom.make "SpecOU" [ x; z ] ];
+      ]
+  in
+  let edb =
+    [
+      fact "CUstds" [ "101"; "john" ];
+      fact "CUstds" [ "102"; "mary" ];
+      fact "OUstds" [ "103"; "claire" ];
+      fact "OUstds" [ "104"; "peter" ];
+      fact "SpecCU" [ "101"; "alg" ];
+      fact "SpecCU" [ "102"; "ai" ];
+      fact "SpecOU" [ "103"; "db" ];
+    ]
+  in
+  let rows = Eval.query program edb "Stds" in
+  check Alcotest.int "three global students" 3 (List.length rows)
+
+let test_datalog_null_is_constant () =
+  let program =
+    Program.make
+      [
+        Rule.make (Atom.make "j" [ x ]) [ Atom.make "p" [ x ]; Atom.make "q" [ x ] ];
+      ]
+  in
+  let edb = [ Fact.make "p" [ Value.Null ]; Fact.make "q" [ Value.Null ] ] in
+  let rows = Eval.query program edb "j" in
+  (* Unlike SQL evaluation, Datalog matches NULL structurally. *)
+  check Alcotest.int "null joins as a constant" 1 (List.length rows)
+
+let suite =
+  [
+    Alcotest.test_case "transitive closure" `Quick test_transitive_closure;
+    Alcotest.test_case "stratified negation" `Quick test_stratified_negation;
+    Alcotest.test_case "unstratifiable program" `Quick test_unstratifiable;
+    Alcotest.test_case "comparisons" `Quick test_comparisons;
+    Alcotest.test_case "safety" `Quick test_unsafe_rule;
+    Alcotest.test_case "GAV view rules (Ex 5.1)" `Quick test_gav_views;
+    Alcotest.test_case "NULL is a plain constant" `Quick test_datalog_null_is_constant;
+  ]

@@ -1,0 +1,133 @@
+open Dimensions.Dimension
+
+let check = Alcotest.check
+
+(* Product → Category → All, the classical sales dimension. *)
+let s =
+  schema
+    ~categories:[ "Product"; "Category"; "All" ]
+    ~edges:[ ("Product", "Category"); ("Category", "All") ]
+
+let consistent_instance =
+  {
+    members =
+      [ ("p1", "Product"); ("p2", "Product"); ("c1", "Category");
+        ("c2", "Category"); ("all", "All") ];
+    links = [ ("p1", "c1"); ("p2", "c2"); ("c1", "all"); ("c2", "all") ];
+  }
+
+(* p1 rolls up to both categories: non-strict. *)
+let non_strict =
+  {
+    consistent_instance with
+    links = [ ("p1", "c1"); ("p1", "c2"); ("p2", "c2"); ("c1", "all"); ("c2", "all") ];
+  }
+
+(* p2 has no category link: non-covering. *)
+let non_covering =
+  {
+    consistent_instance with
+    links = [ ("p1", "c1"); ("c1", "all"); ("c2", "all") ];
+  }
+
+let test_schema_validation () =
+  Alcotest.check_raises "cycle rejected"
+    (Invalid_argument "Dimension.schema: cyclic hierarchy") (fun () ->
+      ignore
+        (schema ~categories:[ "A"; "B" ] ~edges:[ ("A", "B"); ("B", "A") ]));
+  Alcotest.check_raises "unknown category"
+    (Invalid_argument "Dimension.schema: unknown category in A->C") (fun () ->
+      ignore (schema ~categories:[ "A"; "B" ] ~edges:[ ("A", "C") ]))
+
+let test_rollup () =
+  check
+    Alcotest.(list string)
+    "p1 rolls up to c1" [ "c1" ]
+    (rollup s consistent_instance "p1" ~category:"Category");
+  check
+    Alcotest.(list string)
+    "p1 reaches all" [ "all" ]
+    (rollup s consistent_instance "p1" ~category:"All")
+
+let test_violation_detection () =
+  check Alcotest.bool "clean instance consistent" true
+    (is_consistent s consistent_instance);
+  check Alcotest.bool "non-strict flagged" false (is_consistent s non_strict);
+  check Alcotest.int "one strictness violation" 1
+    (List.length (strictness_violations s non_strict));
+  check Alcotest.bool "non-covering flagged" false (is_consistent s non_covering);
+  check
+    Alcotest.(list (pair string string))
+    "p2 misses Category"
+    [ ("p2", "Category") ]
+    (covering_violations s non_covering)
+
+let test_strictness_repairs () =
+  let rs = repairs s non_strict in
+  (* Redirect p1's link to c1 onto c2, or the one to c2 onto c1. *)
+  check Alcotest.int "two minimal repairs" 2 (List.length rs);
+  List.iter
+    (fun r ->
+      check Alcotest.bool "repaired is consistent" true (is_consistent s r.repaired);
+      check Alcotest.int "one reclassification" 1 (List.length r.changes))
+    rs
+
+let test_covering_repairs () =
+  let rs = repairs s non_covering in
+  (* Insert p2 → c1 or p2 → c2. *)
+  check Alcotest.int "two minimal repairs" 2 (List.length rs);
+  List.iter
+    (fun r ->
+      check Alcotest.bool "consistent" true (is_consistent s r.repaired);
+      match r.changes with
+      | [ { from_elt = "p2"; old_parent = None; new_parent = _ } ] -> ()
+      | _ -> Alcotest.fail "expected a single link insertion for p2")
+    rs
+
+let test_consistent_needs_no_repair () =
+  match repairs s consistent_instance with
+  | [ r ] -> check Alcotest.int "no changes" 0 (List.length r.changes)
+  | rs -> Alcotest.failf "expected identity repair, got %d" (List.length rs)
+
+(* The diamond case of [44]: a product classified under a category that
+   rolls up to the wrong top-level branch. *)
+let diamond_schema =
+  schema
+    ~categories:[ "City"; "Region"; "Country"; "All" ]
+    ~edges:
+      [ ("City", "Region"); ("Region", "Country"); ("City", "Country");
+        ("Country", "All") ]
+
+let diamond =
+  {
+    members =
+      [ ("nyc", "City"); ("east", "Region"); ("usa", "Country");
+        ("canada", "Country"); ("all", "All") ];
+    links =
+      [ ("nyc", "east"); ("east", "usa"); ("nyc", "canada");
+        ("usa", "all"); ("canada", "all") ];
+  }
+
+let test_diamond_strictness () =
+  (* nyc reaches usa (via east) and canada (directly): non-strict. *)
+  check Alcotest.bool "diamond is non-strict" false
+    (is_consistent diamond_schema diamond);
+  let rs = repairs diamond_schema diamond in
+  check Alcotest.bool "repairs exist" true (rs <> []);
+  List.iter
+    (fun r ->
+      check Alcotest.bool "consistent after repair" true
+        (is_consistent diamond_schema r.repaired))
+    rs
+
+let suite =
+  [
+    Alcotest.test_case "schema validation" `Quick test_schema_validation;
+    Alcotest.test_case "rollup" `Quick test_rollup;
+    Alcotest.test_case "violation detection" `Quick test_violation_detection;
+    Alcotest.test_case "strictness repairs" `Quick test_strictness_repairs;
+    Alcotest.test_case "covering repairs" `Quick test_covering_repairs;
+    Alcotest.test_case "consistent dimension: identity repair" `Quick
+      test_consistent_needs_no_repair;
+    Alcotest.test_case "diamond reclassification" `Quick test_diamond_strictness;
+  ]

@@ -1,0 +1,163 @@
+module Schema = Relational.Schema
+module Instance = Relational.Instance
+module Value = Relational.Value
+open Logic
+
+let check = Alcotest.check
+let v = Value.str
+let rows_to_strings rows = List.map (List.map Value.to_string) rows
+
+let source_schema = Schema.of_list [ ("Emp", [ "name"; "dept" ]) ]
+
+let target_schema =
+  Schema.of_list [ ("TEmp", [ "name"; "dept" ]); ("TDept", [ "dept"; "mgr" ]) ]
+
+let n = Term.var "n"
+let d = Term.var "d"
+let m = Term.var "m"
+
+(* Emp(n, d) → TEmp(n, d) ∧ ∃m TDept(d, m). *)
+let setting =
+  {
+    Exchange.source_schema;
+    target_schema;
+    st_tgds =
+      [
+        Exchange.st_tgd
+          ~body:(Cq.make [ n; d ] [ Atom.make "Emp" [ n; d ] ])
+          ~head:[ Atom.make "TEmp" [ n; d ]; Atom.make "TDept" [ d; m ] ];
+      ];
+    egds =
+      [
+        (* Departments have one manager. *)
+        Exchange.egd
+          ~body:[ Atom.make "TDept" [ d; Term.var "m1" ];
+                  Atom.make "TDept" [ d; Term.var "m2" ] ]
+          "m1" "m2";
+      ];
+    target_ics = [];
+  }
+
+let source =
+  Instance.of_rows source_schema
+    [ ("Emp", [ [ v "ann"; v "cs" ]; [ v "bob"; v "cs" ]; [ v "eve"; v "math" ] ]) ]
+
+let test_chase_solution () =
+  match Exchange.chase setting source with
+  | Exchange.Failed reason -> Alcotest.failf "chase failed: %s" reason
+  | Exchange.Solution target ->
+      check Alcotest.int "3 TEmp rows" 3 (Instance.cardinality target ~rel:"TEmp");
+      (* ann's and bob's manager nulls were unified by the egd. *)
+      check Alcotest.int "2 TDept rows" 2 (Instance.cardinality target ~rel:"TDept");
+      let nulls =
+        Instance.rows target ~rel:"TDept"
+        |> List.filter (fun row -> Exchange.is_labeled_null row.(1))
+      in
+      check Alcotest.int "managers are labeled nulls" 2 (List.length nulls)
+
+let test_certain_answers () =
+  let q_emp = Cq.make [ n; d ] [ Atom.make "TEmp" [ n; d ] ] in
+  check Alcotest.int "employee rows certain" 3
+    (List.length (Exchange.certain_answers setting source q_emp));
+  (* Manager values are nulls: not certain. *)
+  let q_mgr = Cq.make [ m ] [ Atom.make "TDept" [ d; m ] ] in
+  check Alcotest.int "no certain manager" 0
+    (List.length (Exchange.certain_answers setting source q_mgr));
+  (* But the departments exist. *)
+  let q_dept = Cq.make [ d ] [ Atom.make "TDept" [ d; m ] ] in
+  check
+    Alcotest.(list (list string))
+    "departments certain"
+    [ [ "cs" ]; [ "math" ] ]
+    (rows_to_strings (Exchange.certain_answers setting source q_dept))
+
+(* A failing exchange: two sources claim different managers for cs. *)
+let mgr_schema = Schema.of_list [ ("DeptMgr", [ "dept"; "mgr" ]) ]
+
+let mgr_setting =
+  {
+    Exchange.source_schema = mgr_schema;
+    target_schema;
+    st_tgds =
+      [
+        Exchange.st_tgd
+          ~body:(Cq.make [ d; m ] [ Atom.make "DeptMgr" [ d; m ] ])
+          ~head:[ Atom.make "TDept" [ d; m ] ];
+      ];
+    egds =
+      [
+        Exchange.egd
+          ~body:[ Atom.make "TDept" [ d; Term.var "m1" ];
+                  Atom.make "TDept" [ d; Term.var "m2" ] ]
+          "m1" "m2";
+      ];
+    target_ics = [];
+  }
+
+let mgr_source =
+  Instance.of_rows mgr_schema
+    [
+      ( "DeptMgr",
+        [ [ v "cs"; v "carl" ]; [ v "cs"; v "dana" ]; [ v "math"; v "mia" ] ] );
+    ]
+
+let test_chase_failure () =
+  match Exchange.chase mgr_setting mgr_source with
+  | Exchange.Failed _ -> ()
+  | Exchange.Solution _ -> Alcotest.fail "expected failure"
+
+let test_exchange_repairs () =
+  let repairs = Exchange.exchange_repairs mgr_setting mgr_source in
+  check Alcotest.int "two minimal source repairs" 2 (List.length repairs);
+  List.iter
+    (fun (src, _target) ->
+      check Alcotest.int "one deletion each" 2 (Instance.size src))
+    repairs;
+  let q = Cq.make [ d; m ] [ Atom.make "TDept" [ d; m ] ] in
+  check
+    Alcotest.(list (list string))
+    "math's manager certain, cs's not"
+    [ [ "math"; "mia" ] ]
+    (rows_to_strings
+       (Exchange.exchange_repair_certain_answers mgr_setting mgr_source q))
+
+let test_target_ics () =
+  (* A target denial can also fail the exchange. *)
+  let setting_ic =
+    {
+      mgr_setting with
+      Exchange.egds = [];
+      target_ics =
+        [
+          Constraints.Ic.denial ~name:"no_carl"
+            [ Atom.make "TDept" [ d; Term.str "carl" ] ];
+        ];
+    }
+  in
+  (match Exchange.chase setting_ic mgr_source with
+  | Exchange.Failed _ -> ()
+  | Exchange.Solution _ -> Alcotest.fail "target IC should fail the chase");
+  let repairs = Exchange.exchange_repairs setting_ic mgr_source in
+  check Alcotest.int "delete the carl source tuple" 1 (List.length repairs)
+
+let test_consistent_source_no_repair_needed () =
+  let repairs = Exchange.exchange_repairs setting source in
+  check Alcotest.int "identity repair" 1 (List.length repairs);
+  match repairs with
+  | [ (src, _) ] -> check Alcotest.bool "source unchanged" true (Instance.equal src source)
+  | _ -> assert false
+
+let suite =
+  [
+    Alcotest.test_case "chase builds a universal solution" `Quick
+      test_chase_solution;
+    Alcotest.test_case "certain answers drop labeled nulls" `Quick
+      test_certain_answers;
+    Alcotest.test_case "egd on constants fails the chase" `Quick
+      test_chase_failure;
+    Alcotest.test_case "exchange-repairs of a failing source" `Quick
+      test_exchange_repairs;
+    Alcotest.test_case "target denial constraints" `Quick test_target_ics;
+    Alcotest.test_case "consistent source needs no repair" `Quick
+      test_consistent_source_no_repair_needed;
+  ]

@@ -1,0 +1,152 @@
+module Schema = Relational.Schema
+module Instance = Relational.Instance
+module Value = Relational.Value
+module Fact = Relational.Fact
+open Logic
+
+let check = Alcotest.check
+let v = Value.str
+let x = Term.var "x"
+let d = Term.var "d"
+let m = Term.var "m"
+
+let schema =
+  Schema.of_list
+    [
+      ("Emp", [ "name"; "dept" ]);
+      ("Mgr", [ "dept"; "mgr" ]);
+      ("Staff", [ "who" ]);
+      ("NoMgr", [ "dept" ]);
+    ]
+
+(* Every department of an employee has a manager; managers are staff. *)
+let rules =
+  [
+    Exrules.rule
+      ~body:(Cq.make [ d ] [ Atom.make "Emp" [ x; d ] ])
+      ~head:[ Atom.make "Mgr" [ d; m ] ];
+    Exrules.rule
+      ~body:(Cq.make [ m ] [ Atom.make "Mgr" [ d; m ] ])
+      ~head:[ Atom.make "Staff" [ m ] ];
+  ]
+
+let nc : Constraints.Ic.denial =
+  (* A department cannot both have a manager and be manager-free. *)
+  match
+    Constraints.Ic.denial ~name:"mgr_clash"
+      [ Atom.make "Mgr" [ d; m ]; Atom.make "NoMgr" [ d ] ]
+  with
+  | Constraints.Ic.Denial den -> den
+  | _ -> assert false
+
+let program = { Exrules.rules; constraints = [ nc ] }
+
+let base =
+  Instance.of_rows schema
+    [ ("Emp", [ [ v "ann"; v "cs" ]; [ v "bob"; v "math" ] ]) ]
+
+let test_weak_acyclicity () =
+  check Alcotest.bool "manager rules are WA" true (Exrules.weakly_acyclic rules);
+  let looping =
+    [
+      Exrules.rule
+        ~body:(Cq.make [ x ] [ Atom.make "Staff" [ x ] ])
+        ~head:[ Atom.make "Mgr" [ x; Term.var "y" ]; Atom.make "Staff" [ Term.var "y" ] ];
+    ]
+  in
+  check Alcotest.bool "value-inventing loop rejected" false
+    (Exrules.weakly_acyclic looping)
+
+let test_chase () =
+  let saturated = Exrules.chase program base in
+  check Alcotest.int "two invented managers" 2
+    (Instance.cardinality saturated ~rel:"Mgr");
+  check Alcotest.int "managers are staff" 2
+    (Instance.cardinality saturated ~rel:"Staff");
+  let mgr_values =
+    Instance.rows saturated ~rel:"Mgr" |> List.map (fun r -> r.(1))
+  in
+  check Alcotest.bool "managers are skolems" true
+    (List.for_all Exrules.is_skolem mgr_values)
+
+let test_chase_nonterminating_guard () =
+  let looping =
+    {
+      Exrules.rules =
+        [
+          Exrules.rule
+            ~body:(Cq.make [ x ] [ Atom.make "Staff" [ x ] ])
+            ~head:
+              [ Atom.make "Mgr" [ x; Term.var "y" ]; Atom.make "Staff" [ Term.var "y" ] ];
+        ];
+      constraints = [];
+    }
+  in
+  let db = Instance.of_rows schema [ ("Staff", [ [ v "root" ] ]) ] in
+  Alcotest.check_raises "budget guard"
+    (Failure "Exrules.chase: round budget exhausted (non-terminating rules?)")
+    (fun () -> ignore (Exrules.chase ~max_rounds:5 looping db))
+
+let test_certain_answers () =
+  (* Departments with a manager: both, even though the manager is unknown. *)
+  let q = Cq.make [ d ] [ Atom.make "Mgr" [ d; m ] ] in
+  check
+    Alcotest.(list (list string))
+    "both departments"
+    [ [ "cs" ]; [ "math" ] ]
+    (List.map (List.map Value.to_string) (Exrules.certain_answers program base q));
+  (* The managers themselves are skolems: no certain answer. *)
+  let q2 = Cq.make [ m ] [ Atom.make "Mgr" [ d; m ] ] in
+  check Alcotest.int "no certain manager" 0
+    (List.length (Exrules.certain_answers program base q2))
+
+let dirty =
+  Instance.of_rows schema
+    [
+      ("Emp", [ [ v "ann"; v "cs" ]; [ v "bob"; v "math" ] ]);
+      ("NoMgr", [ [ v "cs" ] ]);
+    ]
+
+let test_conflicts_via_provenance () =
+  check Alcotest.bool "clean base consistent" true
+    (Exrules.is_consistent program base);
+  check Alcotest.bool "dirty base inconsistent" false
+    (Exrules.is_consistent program dirty);
+  let cs = Exrules.conflicts program dirty in
+  check Alcotest.int "one minimal conflict" 1 (List.length cs);
+  (* The conflict traces the derived Mgr(cs, sk) back to Emp(ann, cs). *)
+  check Alcotest.int "conflict has two base tuples" 2
+    (Relational.Tid.Set.cardinal (List.hd cs))
+
+let test_repairs_and_semantics () =
+  let rs = Exrules.repairs program dirty in
+  check Alcotest.int "two repairs" 2 (List.length rs);
+  let q_emp = Cq.make [ x ] [ Atom.make "Emp" [ x; d ] ] in
+  let rows sem = Exrules.answers sem program dirty q_emp in
+  check
+    Alcotest.(list (list string))
+    "AR: bob certain, ann not"
+    [ [ "bob" ] ]
+    (List.map (List.map Value.to_string) (Exrules.answers Exrules.AR program dirty q_emp));
+  check
+    Alcotest.(list (list string))
+    "brave: both"
+    [ [ "ann" ]; [ "bob" ] ]
+    (List.map (List.map Value.to_string) (rows Exrules.Brave));
+  check Alcotest.bool "IAR ⊆ AR" true
+    (List.for_all
+       (fun r -> List.mem r (rows Exrules.AR))
+       (rows Exrules.IAR))
+
+let suite =
+  [
+    Alcotest.test_case "weak acyclicity" `Quick test_weak_acyclicity;
+    Alcotest.test_case "skolem chase" `Quick test_chase;
+    Alcotest.test_case "non-terminating guard" `Quick
+      test_chase_nonterminating_guard;
+    Alcotest.test_case "certain answers" `Quick test_certain_answers;
+    Alcotest.test_case "conflicts via provenance" `Quick
+      test_conflicts_via_provenance;
+    Alcotest.test_case "repairs and AR/IAR/brave" `Quick
+      test_repairs_and_semantics;
+  ]

@@ -1,0 +1,107 @@
+(* Engine facade wrappers and cross-module properties. *)
+
+module Instance = Relational.Instance
+module Value = Relational.Value
+module Tid = Relational.Tid
+module Engine = Cqa.Engine
+module P = Workload.Paper
+open Logic
+
+let check = Alcotest.check
+let flt = Alcotest.float 1e-9
+
+let employee_engine =
+  Engine.create ~schema:P.Employee.schema ~ics:[ P.Employee.key ]
+    P.Employee.instance
+
+let test_engine_counts () =
+  check Alcotest.int "two S-repairs" 2 (Engine.count_s_repairs employee_engine);
+  check Alcotest.int "two C-repairs" 2 (Engine.count_c_repairs employee_engine)
+
+let test_engine_aggregate () =
+  let r = Engine.aggregate_range employee_engine ~rel:"Employee" (Repairs.Aggregate.Sum 1) in
+  check flt "sum glb" 15.0 r.Repairs.Aggregate.glb;
+  check flt "sum lub" 18.0 r.Repairs.Aggregate.lub
+
+let test_engine_optimal () =
+  let weight tid = if Tid.to_int tid = 2 then 9.0 else 1.0 in
+  match Engine.optimal_repair ~weight employee_engine with
+  | None -> Alcotest.fail "repair exists"
+  | Some r ->
+      check Alcotest.bool "heavy tuple kept" true
+        (Instance.mem_fact r.Repairs.Repair.repaired
+           (Relational.Fact.make "Employee" [ Value.str "page"; Value.int 8 ]))
+
+(* Temporal: always-certain ⊆ sometime-certain on random histories. *)
+let arb_history =
+  QCheck.make
+    QCheck.Gen.(
+      list_size (int_range 1 12)
+        (triple (int_range 1 3) (int_range 0 2) (int_range 0 2)))
+    ~print:(fun h ->
+      String.concat ";"
+        (List.map (fun (t, k, s) -> Printf.sprintf "%d:%d=%d" t k s) h))
+
+let schema_kv = Relational.Schema.of_list [ ("T", [ "k"; "v" ]) ]
+let key_kv = Constraints.Ic.key ~rel:"T" [ 0 ]
+
+let prop_temporal_always_subset_sometime =
+  QCheck.Test.make ~count:60 ~name:"always-certain ⊆ sometime-certain"
+    arb_history
+    (fun history ->
+      let db =
+        Temporal.of_facts schema_kv [ key_kv ]
+          (List.map
+             (fun (t, k, s) ->
+               (t, Relational.Fact.make "T" [ Value.int k; Value.int s ]))
+             history)
+      in
+      let q = Workload.Gen.full_tuple_query () in
+      let always = Temporal.consistent_always db ~from_:1 ~until:3 q in
+      let sometime = Temporal.consistent_sometime db ~from_:1 ~until:3 q in
+      List.for_all (fun r -> List.mem r sometime) always)
+
+(* Ontology semantics containments on random ABoxes. *)
+let prop_ontology_iar_subset_ar =
+  QCheck.Test.make ~count:60 ~name:"ontology: IAR ⊆ AR ⊆ brave"
+    QCheck.(
+      make
+        Gen.(list_size (int_range 0 6) (pair (int_range 0 3) bool))
+        ~print:(fun l ->
+          String.concat ";"
+            (List.map (fun (i, b) -> Printf.sprintf "%d%c" i (if b then 'p' else 's')) l)))
+    (fun people ->
+      let abox =
+        List.map
+          (fun (i, is_prof) ->
+            let who = Printf.sprintf "x%d" i in
+            if is_prof then Ontology.Concept_of ("Prof", who)
+            else Ontology.Concept_of ("Student", who))
+          people
+      in
+      let kb =
+        Ontology.make
+          ~tbox:
+            [
+              Ontology.Subsumed (Ontology.Atomic "Prof", Ontology.Atomic "Faculty");
+              Ontology.Disjoint (Ontology.Atomic "Student", Ontology.Atomic "Faculty");
+            ]
+          ~abox
+      in
+      let q =
+        Cq.make [ Term.var "x" ] [ Atom.make "Student" [ Term.var "x" ] ]
+      in
+      let iar = Ontology.answers kb Ontology.IAR q in
+      let ar = Ontology.answers kb Ontology.AR q in
+      let brave = Ontology.answers kb Ontology.Brave q in
+      List.for_all (fun r -> List.mem r ar) iar
+      && List.for_all (fun r -> List.mem r brave) ar)
+
+let suite =
+  [
+    Alcotest.test_case "engine counts" `Quick test_engine_counts;
+    Alcotest.test_case "engine aggregate range" `Quick test_engine_aggregate;
+    Alcotest.test_case "engine optimal repair" `Quick test_engine_optimal;
+    QCheck_alcotest.to_alcotest prop_temporal_always_subset_sometime;
+    QCheck_alcotest.to_alcotest prop_ontology_iar_subset_ar;
+  ]

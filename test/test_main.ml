@@ -1,0 +1,31 @@
+let () =
+  Alcotest.run "cqa"
+    [
+      ("relational", Test_relational.suite);
+      ("logic", Test_logic.suite);
+      ("sat", Test_sat.suite);
+      ("constraints", Test_constraints.suite);
+      ("repairs", Test_repairs.suite);
+      ("rewriting", Test_rewriting.suite);
+      ("datalog", Test_datalog.suite);
+      ("asp", Test_asp.suite);
+      ("repair_programs", Test_repair_programs.suite);
+      ("causality", Test_causality.suite);
+      ("integration", Test_integration.suite);
+      ("cleaning+measures", Test_cleaning_measures.suite);
+      ("engine", Test_engine.suite);
+      ("further_repairs", Test_further_repairs.suite);
+      ("further_misc", Test_further_misc.suite);
+      ("attr_programs", Test_attr_programs.suite);
+      ("peers", Test_peers.suite);
+      ("exchange", Test_exchange.suite);
+      ("ontology", Test_ontology.suite);
+      ("dimensions", Test_dimensions.suite);
+      ("probdb", Test_probdb.suite);
+      ("wave3", Test_wave3.suite);
+      ("wave4", Test_wave4.suite);
+      ("wave5", Test_wave5.suite);
+      ("exrules", Test_exrules.suite);
+      ("facade", Test_facade.suite);
+      ("properties", Test_properties.suite);
+    ]

@@ -1,0 +1,121 @@
+module Value = Relational.Value
+open Logic
+open Ontology
+
+let check = Alcotest.check
+let rows_to_strings rows = List.map (List.map Value.to_string) rows
+
+(* Professors are faculty; students and faculty are disjoint; a person
+   heads at most one department. *)
+let tbox =
+  [
+    Subsumed (Atomic "Prof", Atomic "Faculty");
+    Disjoint (Atomic "Student", Atomic "Faculty");
+    Functional "headOf";
+    Subsumed (Exists "teaches", Atomic "Teacher");
+  ]
+
+let abox =
+  [
+    Concept_of ("Prof", "ann");
+    Concept_of ("Student", "ann");
+    (* inconsistent with the above *)
+    Concept_of ("Student", "bob");
+    Role_of ("headOf", "ann", "cs");
+    Role_of ("headOf", "ann", "math");
+    (* functional conflict *)
+    Role_of ("teaches", "carl", "db");
+  ]
+
+let kb = make ~tbox ~abox
+
+let test_conflicts () =
+  check Alcotest.bool "inconsistent" false (is_consistent kb);
+  check Alcotest.int "two binary conflicts" 2 (List.length (conflicts kb));
+  check Alcotest.int "four repairs" 4 (List.length (repairs kb))
+
+let test_saturation () =
+  let saturated = saturate kb [ Concept_of ("Prof", "ann") ] in
+  check Alcotest.bool "Faculty(ann) derived" true
+    (List.mem (Concept_of ("Faculty", "ann")) saturated);
+  let from_role = saturate kb [ Role_of ("teaches", "carl", "db") ] in
+  check Alcotest.bool "Teacher(carl) derived from ∃teaches" true
+    (List.mem (Concept_of ("Teacher", "carl")) from_role)
+
+let q_student =
+  Cq.make ~name:"students" [ Term.var "x" ]
+    [ Atom.make "Student" [ Term.var "x" ] ]
+
+let test_ar_semantics () =
+  let rows = answers kb AR q_student in
+  (* bob survives every repair; ann's Student assertion is deleted in the
+     repairs that keep Prof(ann). *)
+  check Alcotest.(list (list string)) "bob only" [ [ "bob" ] ] (rows_to_strings rows)
+
+let test_brave_semantics () =
+  let rows = answers kb Brave q_student in
+  check
+    Alcotest.(list (list string))
+    "ann bravely a student"
+    [ [ "ann" ]; [ "bob" ] ]
+    (rows_to_strings rows)
+
+let test_iar_semantics () =
+  let rows = answers kb IAR q_student in
+  check Alcotest.(list (list string)) "IAR ⊆ AR" [ [ "bob" ] ] (rows_to_strings rows);
+  (* Faculty(ann) holds in some repairs only: neither IAR nor AR. *)
+  let q_fac =
+    Cq.make ~name:"faculty" [ Term.var "x" ] [ Atom.make "Faculty" [ Term.var "x" ] ]
+  in
+  check Alcotest.int "no IAR faculty" 0 (List.length (answers kb IAR q_fac));
+  check Alcotest.int "no AR faculty" 0 (List.length (answers kb AR q_fac));
+  check Alcotest.int "brave faculty" 1 (List.length (answers kb Brave q_fac))
+
+let test_functional_role () =
+  let q = Cq.make ~name:"heads" [ Term.var "x"; Term.var "y" ]
+      [ Atom.make "headOf" [ Term.var "x"; Term.var "y" ] ]
+  in
+  check Alcotest.int "no certain headship" 0 (List.length (answers kb AR q));
+  check Alcotest.int "two brave headships" 2 (List.length (answers kb Brave q))
+
+let test_entails () =
+  let bq body = Cq.make ~name:"b" [] body in
+  check Alcotest.bool "AR: some student exists" true
+    (entails kb AR (bq [ Atom.make "Student" [ Term.var "x" ] ]));
+  check Alcotest.bool "AR: teacher derived" true
+    (entails kb AR (bq [ Atom.make "Teacher" [ Term.var "x" ] ]));
+  check Alcotest.bool "IAR weaker than brave" true
+    (entails kb Brave (bq [ Atom.make "Faculty" [ Term.var "x" ] ]))
+
+let test_consistent_kb () =
+  let clean = make ~tbox ~abox:[ Concept_of ("Student", "bob") ] in
+  check Alcotest.bool "consistent" true (is_consistent clean);
+  check Alcotest.int "single repair = abox" 1 (List.length (repairs clean));
+  check Alcotest.int "AR = plain answers" 1
+    (List.length (answers clean AR q_student))
+
+let test_inverse_functional () =
+  let kb2 =
+    make
+      ~tbox:[ Inverse_functional "advises" ]
+      ~abox:
+        [
+          Role_of ("advises", "ann", "carl");
+          Role_of ("advises", "bob", "carl");
+        ]
+  in
+  check Alcotest.bool "conflict on shared advisee" false (is_consistent kb2);
+  check Alcotest.int "two repairs" 2 (List.length (repairs kb2))
+
+let suite =
+  [
+    Alcotest.test_case "conflicts and repairs" `Quick test_conflicts;
+    Alcotest.test_case "saturation" `Quick test_saturation;
+    Alcotest.test_case "AR semantics" `Quick test_ar_semantics;
+    Alcotest.test_case "brave semantics" `Quick test_brave_semantics;
+    Alcotest.test_case "IAR semantics" `Quick test_iar_semantics;
+    Alcotest.test_case "functional roles" `Quick test_functional_role;
+    Alcotest.test_case "Boolean entailment" `Quick test_entails;
+    Alcotest.test_case "consistent KB" `Quick test_consistent_kb;
+    Alcotest.test_case "inverse functionality" `Quick test_inverse_functional;
+  ]

@@ -1,0 +1,177 @@
+module Schema = Relational.Schema
+module Instance = Relational.Instance
+module Value = Relational.Value
+module Peer = Peers.Peer
+open Logic
+
+let check = Alcotest.check
+let v = Value.str
+let rows_to_strings rows = List.map (List.map Value.to_string) rows
+
+(* A catalog peer publishing prices, a store peer with its own (possibly
+   stale) price list and a key on item. *)
+let catalog_schema = Schema.of_list [ ("CatPrice", [ "item"; "price" ]) ]
+let store_schema = Schema.of_list [ ("Price", [ "item"; "price" ]) ]
+
+let catalog =
+  {
+    Peer.name = "catalog";
+    schema = catalog_schema;
+    instance =
+      Instance.of_rows catalog_schema
+        [ ("CatPrice", [ [ v "I1"; Value.int 10 ]; [ v "I2"; Value.int 20 ] ]) ];
+    ics = [];
+    mappings = [];
+  }
+
+let import_query =
+  Cq.make ~name:"import"
+    [ Term.var "i"; Term.var "p" ]
+    [ Atom.make "CatPrice" [ Term.var "i"; Term.var "p" ] ]
+
+let store trust =
+  {
+    Peer.name = "store";
+    schema = store_schema;
+    instance =
+      Instance.of_rows store_schema [ ("Price", [ [ v "I1"; Value.int 12 ] ]) ];
+    ics = [ Constraints.Ic.key ~rel:"Price" [ 0 ] ];
+    mappings =
+      [ { Peer.from_peer = "catalog"; query = import_query; target = "Price"; trust } ];
+  }
+
+let price_query =
+  Cq.make ~name:"prices"
+    [ Term.var "i"; Term.var "p" ]
+    [ Atom.make "Price" [ Term.var "i"; Term.var "p" ] ]
+
+let test_imports () =
+  let net = Peer.network [ catalog; store Peer.More_trusted ] in
+  let imports = Peer.imported_facts net "store" in
+  check Alcotest.int "two imported facts" 2 (List.length imports)
+
+let test_trusted_import_wins () =
+  let net = Peer.network [ catalog; store Peer.More_trusted ] in
+  let solutions = Peer.solutions net "store" in
+  check Alcotest.int "one solution" 1 (List.length solutions);
+  let rows = Peer.consistent_answers net "store" price_query in
+  check
+    Alcotest.(list (list string))
+    "catalog price of I1 wins"
+    [ [ "I1"; "10" ]; [ "I2"; "20" ] ]
+    (rows_to_strings rows)
+
+let test_same_trust_competes () =
+  let net = Peer.network [ catalog; store Peer.Same_trusted ] in
+  let solutions = Peer.solutions net "store" in
+  check Alcotest.int "two solutions" 2 (List.length solutions);
+  let rows = Peer.consistent_answers net "store" price_query in
+  (* Only the unconflicted item survives all solutions. *)
+  check
+    Alcotest.(list (list string))
+    "I1's price uncertain"
+    [ [ "I2"; "20" ] ]
+    (rows_to_strings rows)
+
+let test_null_padding () =
+  (* Import into a wider relation: the extra column becomes NULL. *)
+  let wide_schema = Schema.of_list [ ("Price", [ "item"; "price"; "source" ]) ] in
+  let item_query =
+    Cq.make ~name:"items" [ Term.var "i"; Term.var "p" ]
+      [ Atom.make "CatPrice" [ Term.var "i"; Term.var "p" ] ]
+  in
+  let wide_store =
+    {
+      Peer.name = "store";
+      schema = wide_schema;
+      instance = Instance.create wide_schema;
+      ics = [];
+      mappings =
+        [
+          {
+            Peer.from_peer = "catalog";
+            query = item_query;
+            target = "Price";
+            trust = Peer.More_trusted;
+          };
+        ];
+    }
+  in
+  let net = Peer.network [ catalog; wide_store ] in
+  match Peer.solutions net "store" with
+  | [ sol ] ->
+      check Alcotest.bool "NULL-padded import" true
+        (Instance.mem_fact sol
+           (Relational.Fact.make "Price" [ v "I1"; Value.int 10; Value.Null ]))
+  | _ -> Alcotest.fail "expected one solution"
+
+let test_unsolvable_protected () =
+  (* Two more-trusted sources disagreeing leave the peer with no solution. *)
+  let catalog2 =
+    { catalog with Peer.name = "catalog2";
+      instance =
+        Instance.of_rows catalog_schema
+          [ ("CatPrice", [ [ v "I1"; Value.int 99 ] ]) ] }
+  in
+  let conflicted =
+    {
+      (store Peer.More_trusted) with
+      Peer.mappings =
+        [
+          { Peer.from_peer = "catalog"; query = import_query; target = "Price";
+            trust = Peer.More_trusted };
+          { Peer.from_peer = "catalog2"; query = import_query; target = "Price";
+            trust = Peer.More_trusted };
+        ];
+    }
+  in
+  let net = Peer.network [ catalog; catalog2; conflicted ] in
+  check Alcotest.int "no coherent state" 0 (List.length (Peer.solutions net "store"))
+
+let test_network_validation () =
+  Alcotest.check_raises "cycle rejected"
+    (Invalid_argument "Peers.network: mapping cycle") (fun () ->
+      let a =
+        {
+          Peer.name = "a"; schema = catalog_schema;
+          instance = Instance.create catalog_schema; ics = [];
+          mappings =
+            [ { Peer.from_peer = "b"; query = import_query; target = "CatPrice";
+                trust = Peer.Same_trusted } ];
+        }
+      in
+      let b =
+        {
+          Peer.name = "b"; schema = catalog_schema;
+          instance = Instance.create catalog_schema; ics = [];
+          mappings =
+            [ { Peer.from_peer = "a"; query = import_query; target = "CatPrice";
+                trust = Peer.Same_trusted } ];
+        }
+      in
+      ignore (Peer.network [ a; b ]));
+  Alcotest.check_raises "unknown peer rejected"
+    (Invalid_argument "Peers.network: unknown peer nowhere") (fun () ->
+      let a =
+        {
+          Peer.name = "a"; schema = catalog_schema;
+          instance = Instance.create catalog_schema; ics = [];
+          mappings =
+            [ { Peer.from_peer = "nowhere"; query = import_query;
+                target = "CatPrice"; trust = Peer.Same_trusted } ];
+        }
+      in
+      ignore (Peer.network [ a ]))
+
+let suite =
+  [
+    Alcotest.test_case "imports flow through mappings" `Quick test_imports;
+    Alcotest.test_case "trusted imports are protected" `Quick
+      test_trusted_import_wins;
+    Alcotest.test_case "same-trust data competes" `Quick test_same_trust_competes;
+    Alcotest.test_case "existential positions padded with NULL" `Quick
+      test_null_padding;
+    Alcotest.test_case "conflicting protected imports: no solution" `Quick
+      test_unsolvable_protected;
+    Alcotest.test_case "network validation" `Quick test_network_validation;
+  ]

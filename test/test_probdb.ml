@@ -1,0 +1,133 @@
+module Schema = Relational.Schema
+module Instance = Relational.Instance
+module Value = Relational.Value
+module Tid = Relational.Tid
+open Logic
+
+let check = Alcotest.check
+let flt = Alcotest.float 1e-9
+
+let schema = Schema.of_list [ ("P", [ "x" ]) ]
+let q_exists = Cq.make [] [ Atom.make "P" [ Term.var "x" ] ]
+
+let test_ti_single () =
+  let db = Instance.of_rows schema [ ("P", [ [ Value.str "a" ] ]) ] in
+  let t = { Probdb.instance = db; prob = [ (Tid.of_int 1, 0.6) ] } in
+  check flt "P(Q) = 0.6" 0.6 (Probdb.ti_query_probability t q_exists)
+
+let test_ti_independent_or () =
+  let db = Instance.of_rows schema [ ("P", [ [ Value.str "a" ]; [ Value.str "b" ] ]) ] in
+  let t =
+    { Probdb.instance = db; prob = [ (Tid.of_int 1, 0.5); (Tid.of_int 2, 0.5) ] }
+  in
+  check flt "1 - (1/2)^2" 0.75 (Probdb.ti_query_probability t q_exists)
+
+let test_ti_certain_tuple () =
+  let db = Instance.of_rows schema [ ("P", [ [ Value.str "a" ] ]) ] in
+  let t = { Probdb.instance = db; prob = [] } in
+  check flt "unlisted tuples are certain" 1.0 (Probdb.ti_query_probability t q_exists)
+
+let test_ti_join () =
+  let s2 = Schema.of_list [ ("R", [ "x"; "y" ]); ("S", [ "y" ]) ] in
+  let db =
+    Instance.of_rows s2
+      [ ("R", [ [ Value.str "a"; Value.str "b" ] ]); ("S", [ [ Value.str "b" ] ]) ]
+  in
+  let q =
+    Cq.make []
+      [ Atom.make "R" [ Term.var "x"; Term.var "y" ]; Atom.make "S" [ Term.var "y" ] ]
+  in
+  let t =
+    { Probdb.instance = db; prob = [ (Tid.of_int 1, 0.5); (Tid.of_int 2, 0.4) ] }
+  in
+  check flt "independent conjunction" 0.2 (Probdb.ti_query_probability t q)
+
+let test_ti_answer_probabilities () =
+  let db = Instance.of_rows schema [ ("P", [ [ Value.str "a" ]; [ Value.str "b" ] ]) ] in
+  let t =
+    { Probdb.instance = db; prob = [ (Tid.of_int 1, 0.3) ] }
+  in
+  let q = Cq.make [ Term.var "x" ] [ Atom.make "P" [ Term.var "x" ] ] in
+  let probs = Probdb.ti_answer_probabilities t q in
+  check flt "a at 0.3" 0.3 (List.assoc [ Value.str "a" ] probs);
+  check flt "b certain" 1.0 (List.assoc [ Value.str "b" ] probs)
+
+let test_ti_sampling_close_to_exact () =
+  let db =
+    Instance.of_rows schema
+      [ ("P", List.init 25 (fun i -> [ Value.int i ])) ]
+  in
+  (* 25 uncertain tuples forces the Monte Carlo path. *)
+  let t =
+    {
+      Probdb.instance = db;
+      prob = List.init 25 (fun i -> (Tid.of_int (i + 1), 0.1));
+    }
+  in
+  let estimate = Probdb.ti_query_probability ~seed:3 ~samples:4000 t q_exists in
+  let exact = 1.0 -. (0.9 ** 25.0) in
+  check Alcotest.bool "estimate within 0.05" true (Float.abs (estimate -. exact) < 0.05)
+
+(* The dirty-database model on the Employee example. *)
+module P = Workload.Paper
+
+let test_dirty_uniform () =
+  let dirty =
+    Probdb.of_key_blocks P.Employee.instance P.Employee.schema [ P.Employee.key ]
+  in
+  check Alcotest.int "two worlds" 2 (List.length dirty.Probdb.weighted);
+  let probs = Probdb.answer_probabilities dirty P.Employee.full_query in
+  check flt "page,5 at 1/2" 0.5
+    (List.assoc [ Value.str "page"; Value.int 5 ] probs);
+  check flt "smith certain" 1.0
+    (List.assoc [ Value.str "smith"; Value.int 3 ] probs);
+  check
+    Alcotest.(list (list string))
+    "consistent = probability-1"
+    [ [ "smith"; "3" ]; [ "stowe"; "7" ] ]
+    (List.map (List.map Value.to_string)
+       (Probdb.consistent_answers dirty P.Employee.full_query))
+
+let test_dirty_weighted () =
+  (* Trust (page, 5) three times as much as (page, 8). *)
+  let weight tid = if Tid.to_int tid = 1 then 3.0 else 1.0 in
+  let dirty =
+    Probdb.of_key_blocks ~weight P.Employee.instance P.Employee.schema
+      [ P.Employee.key ]
+  in
+  let probs = Probdb.answer_probabilities dirty P.Employee.full_query in
+  check flt "page,5 at 3/4" 0.75
+    (List.assoc [ Value.str "page"; Value.int 5 ] probs);
+  let clean = Probdb.clean_answers ~threshold:0.5 dirty P.Employee.full_query in
+  check Alcotest.bool "page,5 is a clean answer now" true
+    (List.mem [ Value.str "page"; Value.int 5 ] clean)
+
+let test_dirty_rejects_non_keys () =
+  Alcotest.check_raises "denials rejected"
+    (Invalid_argument "Probdb.of_key_blocks: primary keys only") (fun () ->
+      ignore
+        (Probdb.of_key_blocks P.Denial.instance P.Denial.schema [ P.Denial.kappa ]))
+
+let test_world_probabilities_sum_to_one () =
+  let db, key =
+    Workload.Gen.key_conflict_instance ~seed:5 ~n:12 ~conflict_fraction:0.4 ()
+  in
+  let dirty = Probdb.of_key_blocks db (Instance.schema db) [ key ] in
+  let total = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 dirty.Probdb.weighted in
+  check (Alcotest.float 1e-6) "normalized" 1.0 total
+
+let suite =
+  [
+    Alcotest.test_case "TI: single tuple" `Quick test_ti_single;
+    Alcotest.test_case "TI: independent disjunction" `Quick test_ti_independent_or;
+    Alcotest.test_case "TI: certain tuples" `Quick test_ti_certain_tuple;
+    Alcotest.test_case "TI: join probability" `Quick test_ti_join;
+    Alcotest.test_case "TI: answer probabilities" `Quick test_ti_answer_probabilities;
+    Alcotest.test_case "TI: Monte Carlo fallback" `Quick
+      test_ti_sampling_close_to_exact;
+    Alcotest.test_case "dirty db: uniform worlds" `Quick test_dirty_uniform;
+    Alcotest.test_case "dirty db: weighted alternatives" `Quick test_dirty_weighted;
+    Alcotest.test_case "dirty db: keys only" `Quick test_dirty_rejects_non_keys;
+    Alcotest.test_case "world probabilities normalized" `Quick
+      test_world_probabilities_sum_to_one;
+  ]

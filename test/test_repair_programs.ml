@@ -1,0 +1,170 @@
+module Instance = Relational.Instance
+module Fact = Relational.Fact
+module Value = Relational.Value
+module Tid = Relational.Tid
+module Compile = Repair_programs.Compile
+module Asp_cqa = Repair_programs.Asp_cqa
+module Cause_rules = Repair_programs.Cause_rules
+open Logic
+open Paper_examples
+
+let check = Alcotest.check
+
+let facts_sorted inst =
+  Instance.fact_list inst |> List.map Fact.to_string |> List.sort compare
+
+(* E4: the compiled repair program for κ has exactly the three stable
+   models / repairs of Example 3.5. *)
+let test_compiled_repairs_ex35 () =
+  let repairs = Asp_cqa.repairs Denial.instance Denial.schema [ Denial.kappa ] in
+  check Alcotest.int "three repairs" 3 (List.length repairs);
+  let expected =
+    Repairs.S_repair.enumerate Denial.instance Denial.schema [ Denial.kappa ]
+    |> List.map (fun r -> facts_sorted r.Repairs.Repair.repaired)
+    |> List.sort compare
+  in
+  let got = List.sort compare (List.map facts_sorted repairs) in
+  check Alcotest.(list (list string)) "same as hypergraph engine" expected got
+
+(* Stable-model CQA agrees with repair-enumeration CQA on Example 3.3. *)
+let test_asp_cqa_employee () =
+  let q =
+    Cq.make [ Term.var "x"; Term.var "y" ]
+      [ Atom.make "Employee" [ Term.var "x"; Term.var "y" ] ]
+  in
+  let rows =
+    Asp_cqa.consistent_answers q Employee.schema [ Employee.key ]
+      Employee.instance
+  in
+  check
+    Alcotest.(list (list string))
+    "consistent tuples"
+    [ [ "smith"; "3" ]; [ "stowe"; "7" ] ]
+    (List.map (List.map Value.to_string) rows);
+  (* Projection query: cautious reasoning keeps page, unlike the naive
+     residue rewriting. *)
+  let q2 =
+    Cq.make [ Term.var "x" ] [ Atom.make "Employee" [ Term.var "x"; Term.var "y" ] ]
+  in
+  let rows2 =
+    Asp_cqa.consistent_answers q2 Employee.schema [ Employee.key ]
+      Employee.instance
+  in
+  check
+    Alcotest.(list (list string))
+    "page kept"
+    [ [ "page" ]; [ "smith" ]; [ "stowe" ] ]
+    (List.map (List.map Value.to_string) rows2)
+
+(* E6: weak constraints — C-repair CQA on Figure 1's instance. *)
+let test_c_repairs_via_weak_constraints () =
+  let crs = Asp_cqa.c_repairs Hypergraph.instance Hypergraph.schema Hypergraph.dcs in
+  check Alcotest.int "three C-repairs" 3 (List.length crs);
+  let expected =
+    Repairs.C_repair.enumerate Hypergraph.instance Hypergraph.schema Hypergraph.dcs
+    |> List.map (fun r -> facts_sorted r.Repairs.Repair.repaired)
+    |> List.sort compare
+  in
+  check
+    Alcotest.(list (list string))
+    "same as hitting-set engine" expected
+    (List.sort compare (List.map facts_sorted crs))
+
+(* CQA under C-repairs can accept more answers than under S-repairs:
+   B(a) holds in all three C-repairs?  No — D2={C,D,E} drops B.  But
+   D(a) holds in D2, D3, D4 (all C-repairs) while failing in D1={B,C}. *)
+let test_s_vs_c_semantics () =
+  let qd = Cq.make [ Term.var "x" ] [ Atom.make "D" [ Term.var "x" ] ] in
+  let s_rows =
+    Asp_cqa.consistent_answers ~semantics:`S qd Hypergraph.schema Hypergraph.dcs
+      Hypergraph.instance
+  in
+  let c_rows =
+    Asp_cqa.consistent_answers ~semantics:`C qd Hypergraph.schema Hypergraph.dcs
+      Hypergraph.instance
+  in
+  check Alcotest.int "D(a) not S-consistent" 0 (List.length s_rows);
+  check
+    Alcotest.(list (list string))
+    "D(a) is C-consistent"
+    [ [ "a" ] ]
+    (List.map (List.map Value.to_string) c_rows)
+
+(* E12: cause extraction via repair programs (Example 7.2). *)
+let test_cause_rules () =
+  let causes = Cause_rules.causes Denial.instance Denial.schema Denial.q in
+  check
+    Alcotest.(list int)
+    "causes are ι1 ι3 ι4 ι6"
+    [ 1; 3; 4; 6 ]
+    (List.map Tid.to_int causes);
+  let pairs = Cause_rules.cau_con_pairs Denial.instance Denial.schema Denial.q in
+  (* From the repair deleting {ι1, ι3}: CauCon(1,3) and CauCon(3,1); from
+     {ι3, ι4}: CauCon(3,4) and CauCon(4,3). *)
+  check
+    Alcotest.(list (pair int int))
+    "CauCon pairs"
+    [ (1, 3); (3, 1); (3, 4); (4, 3) ]
+    (List.map (fun (a, b) -> (Tid.to_int a, Tid.to_int b)) pairs)
+
+let test_cause_rules_responsibility () =
+  let rho = Cause_rules.responsibilities Denial.instance Denial.schema Denial.q in
+  let find tid = List.assoc (Tid.of_int tid) rho in
+  check (Alcotest.float 1e-9) "rho(ι6) = 1" 1.0 (find 6);
+  check (Alcotest.float 1e-9) "rho(ι1) = 1/2" 0.5 (find 1);
+  check (Alcotest.float 1e-9) "rho(ι3) = 1/2" 0.5 (find 3);
+  check (Alcotest.float 1e-9) "rho(ι4) = 1/2" 0.5 (find 4);
+  check Alcotest.bool "ι2, ι5 not causes" true
+    (not (List.mem_assoc (Tid.of_int 2) rho)
+    && not (List.mem_assoc (Tid.of_int 5) rho))
+
+(* Differential: ASP CQA = repair-enumeration CQA on random instances. *)
+let schema_kv = Relational.Schema.of_list [ ("T", [ "k"; "v" ]) ]
+let key_kv = Constraints.Ic.key ~rel:"T" [ 0 ]
+
+let q_proj =
+  Cq.make [ Term.var "x" ] [ Atom.make "T" [ Term.var "x"; Term.var "y" ] ]
+
+let repair_cqa q db =
+  let repairs = Repairs.S_repair.enumerate db schema_kv [ key_kv ] in
+  match repairs with
+  | [] -> []
+  | first :: rest ->
+      let module Rows = Set.Make (struct
+        type t = Value.t list
+
+        let compare = List.compare Value.compare
+      end) in
+      let answers r = Rows.of_list (Cq.answers q r.Repairs.Repair.repaired) in
+      Rows.elements
+        (List.fold_left (fun acc r -> Rows.inter acc (answers r)) (answers first) rest)
+
+let arb_rows =
+  QCheck.make
+    QCheck.Gen.(list_size (int_range 1 6) (pair (int_range 0 2) (int_range 0 2)))
+    ~print:(fun rows ->
+      String.concat ";" (List.map (fun (k, s) -> Printf.sprintf "%d,%d" k s) rows))
+
+let prop_asp_cqa_agrees =
+  QCheck.Test.make ~count:60 ~name:"ASP CQA = repair-enumeration CQA" arb_rows
+    (fun rows ->
+      let db =
+        Instance.of_rows schema_kv
+          [ ("T", List.map (fun (k, s) -> [ Value.int k; Value.int s ]) rows) ]
+      in
+      Asp_cqa.consistent_answers q_proj schema_kv [ key_kv ] db
+      = repair_cqa q_proj db)
+
+let suite =
+  [
+    Alcotest.test_case "compiled repair program (E4)" `Quick
+      test_compiled_repairs_ex35;
+    Alcotest.test_case "ASP CQA on Employee" `Quick test_asp_cqa_employee;
+    Alcotest.test_case "weak constraints give C-repairs (E6)" `Quick
+      test_c_repairs_via_weak_constraints;
+    Alcotest.test_case "S- vs C-repair semantics" `Quick test_s_vs_c_semantics;
+    Alcotest.test_case "cause rules (E12)" `Quick test_cause_rules;
+    Alcotest.test_case "responsibilities via ASP" `Quick
+      test_cause_rules_responsibility;
+    QCheck_alcotest.to_alcotest prop_asp_cqa_agrees;
+  ]

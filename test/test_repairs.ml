@@ -1,0 +1,275 @@
+module Value = Relational.Value
+module Instance = Relational.Instance
+module Fact = Relational.Fact
+module Tid = Relational.Tid
+module Repair = Repairs.Repair
+module S_repair = Repairs.S_repair
+module C_repair = Repairs.C_repair
+module Attr_repair = Repairs.Attr_repair
+module Check = Repairs.Check
+open Paper_examples
+
+let check = Alcotest.check
+
+let deltas repairs =
+  repairs
+  |> List.map (fun r ->
+         Repair.delta r |> Fact.Set.elements |> List.map Fact.to_string
+         |> List.sort String.compare)
+  |> List.sort compare
+
+(* Example 3.1: two S-repairs of the Supply instance wrt the IND — delete
+   the dangling tuple or insert Articles(I3). *)
+let test_supply_s_repairs () =
+  let repairs =
+    S_repair.enumerate Supply.instance Supply.schema [ Supply.ind ]
+  in
+  check
+    Alcotest.(list (list string))
+    "two repairs"
+    [ [ "Articles(I3)" ]; [ "Supply(C2, R1, I3)" ] ]
+    (deltas repairs);
+  List.iter
+    (fun r ->
+      check Alcotest.bool "each is an S-repair" true
+        (Check.is_s_repair ~original:Supply.instance Supply.schema
+           [ Supply.ind ] r.Repair.repaired))
+    repairs
+
+let test_supply_delete_only () =
+  let repairs =
+    S_repair.enumerate ~actions:`Delete_only Supply.instance Supply.schema
+      [ Supply.ind ]
+  in
+  check
+    Alcotest.(list (list string))
+    "deletion repair only"
+    [ [ "Supply(C2, R1, I3)" ] ]
+    (deltas repairs)
+
+(* Example 3.1's D3 — deleting two tuples — is consistent but NOT minimal. *)
+let test_non_minimal_rejected () =
+  let d3 =
+    Instance.of_rows Supply.schema
+      [
+        ("Supply", [ [ v "C1"; v "R1"; v "I1" ] ]);
+        ("Articles", [ [ v "I1" ]; [ v "I2" ] ]);
+      ]
+  in
+  check Alcotest.bool "D3 consistent" true
+    (Check.is_consistent d3 Supply.schema [ Supply.ind ]);
+  check Alcotest.bool "D3 not an S-repair" false
+    (Check.is_s_repair ~original:Supply.instance Supply.schema [ Supply.ind ] d3)
+
+(* Example 3.3: the two key repairs of Employee. *)
+let test_employee_repairs () =
+  let repairs =
+    S_repair.enumerate Employee.instance Employee.schema [ Employee.key ]
+  in
+  check
+    Alcotest.(list (list string))
+    "delete one page tuple each"
+    [ [ "Employee(page, 5)" ]; [ "Employee(page, 8)" ] ]
+    (deltas repairs);
+  (* Both are also C-repairs (single deletions). *)
+  let crs = C_repair.enumerate Employee.instance Employee.schema [ Employee.key ] in
+  check Alcotest.int "two C-repairs" 2 (List.length crs)
+
+(* Example 3.5: three S-repairs wrt κ. *)
+let test_denial_s_repairs () =
+  let repairs = S_repair.enumerate Denial.instance Denial.schema [ Denial.kappa ] in
+  check
+    Alcotest.(list (list string))
+    "paper's D1, D2, D3"
+    [
+      [ "R(a3, a3)"; "R(a4, a3)" ];
+      [ "R(a3, a3)"; "S(a4)" ];
+      [ "S(a3)" ];
+    ]
+    (deltas repairs)
+
+(* Example 4.1 / Figure 1: four S-repairs, three C-repairs. *)
+let test_hypergraph_repairs () =
+  let srs = S_repair.enumerate Hypergraph.instance Hypergraph.schema Hypergraph.dcs in
+  check Alcotest.int "four S-repairs" 4 (List.length srs);
+  let crs = C_repair.enumerate Hypergraph.instance Hypergraph.schema Hypergraph.dcs in
+  check Alcotest.int "three C-repairs" 3 (List.length crs);
+  check
+    Alcotest.(option int)
+    "C-repair cost 2" (Some 2)
+    (C_repair.minimum_cost Hypergraph.instance Hypergraph.schema Hypergraph.dcs);
+  (* D1 = {B,C} (cost 3) is an S-repair but not a C-repair. *)
+  let d1 =
+    Instance.of_rows Hypergraph.schema
+      [ ("B", [ [ v "a" ] ]); ("C", [ [ v "a" ] ]) ]
+  in
+  check Alcotest.bool "D1 is S-repair" true
+    (Check.is_s_repair ~original:Hypergraph.instance Hypergraph.schema
+       Hypergraph.dcs d1);
+  check Alcotest.bool "D1 not C-repair" false
+    (Check.is_c_repair ~original:Hypergraph.instance Hypergraph.schema
+       Hypergraph.dcs d1)
+
+let test_one_repair_greedy () =
+  match S_repair.one Hypergraph.instance Hypergraph.schema Hypergraph.dcs with
+  | None -> Alcotest.fail "repair exists"
+  | Some r ->
+      check Alcotest.bool "greedy result is an S-repair" true
+        (Check.is_s_repair ~original:Hypergraph.instance Hypergraph.schema
+           Hypergraph.dcs r.Repair.repaired)
+
+(* Example 4.3: tgd with existential head — repairs delete the dangling
+   tuple or insert ⟨I3, NULL⟩. *)
+let test_null_tuple_repair () =
+  let schema =
+    Relational.Schema.of_list
+      [ ("Supply", [ "company"; "receiver"; "item" ]); ("Articles", [ "item"; "cost" ]) ]
+  in
+  let db =
+    Instance.of_rows schema
+      [
+        ( "Supply",
+          [
+            [ v "C1"; v "R1"; v "I1" ];
+            [ v "C2"; v "R2"; v "I2" ];
+            [ v "C2"; v "R1"; v "I3" ];
+          ] );
+        ("Articles", [ [ v "I1"; i 50 ]; [ v "I2"; i 30 ] ]);
+      ]
+  in
+  let tgd = Constraints.Ic.ind ~sub:("Supply", [ 2 ]) ~sup:("Articles", [ 0 ]) in
+  let repairs = S_repair.enumerate db schema [ tgd ] in
+  check
+    Alcotest.(list (list string))
+    "delete or insert with NULL"
+    [ [ "Articles(I3, NULL)" ]; [ "Supply(C2, R1, I3)" ] ]
+    (deltas repairs)
+
+(* Interacting constraints: an IND insertion can violate a key. *)
+let test_interacting_ics () =
+  let schema = Relational.Schema.of_list [ ("P", [ "x" ]); ("Q", [ "x"; "y" ]) ] in
+  let db =
+    Instance.of_rows schema
+      [ ("P", [ [ v "a" ] ]); ("Q", [ [ v "a"; v "b1" ]; [ v "a"; v "b2" ] ]) ]
+  in
+  let ind = Constraints.Ic.ind ~sub:("P", [ 0 ]) ~sup:("Q", [ 0 ]) in
+  let key = Constraints.Ic.key ~rel:"Q" [ 0 ] in
+  let repairs = S_repair.enumerate db schema [ key; ind ] in
+  (* Fix the key by deleting one Q tuple (IND stays satisfied), either one. *)
+  check Alcotest.int "two repairs" 2 (List.length repairs);
+  List.iter
+    (fun r ->
+      check Alcotest.bool "consistent" true
+        (Check.is_consistent r.Repair.repaired schema [ key; ind ]))
+    repairs
+
+(* Example 4.4: the paper displays the attribute repairs with change sets
+   {ι6[1]} and {ι1[2], ι3[2]}.  Under minimal-change semantics these are two
+   of the seven set-inclusion-minimal NULL change sets (the other five break
+   the x-join of κ rather than the y-join); we check the full enumeration
+   and that the paper's two are among them. *)
+let test_attr_repairs () =
+  let repairs = Attr_repair.enumerate Denial.instance Denial.schema [ Denial.kappa ] in
+  let change_strings =
+    repairs
+    |> List.map (fun (r : Attr_repair.t) ->
+           Tid.Cell.Set.elements r.changes
+           |> List.map (Format.asprintf "%a" Tid.Cell.pp))
+    |> List.sort compare
+  in
+  check Alcotest.int "seven minimal change sets" 7 (List.length change_strings);
+  List.iter
+    (fun paper_repair ->
+      check Alcotest.bool "paper change set present" true
+        (List.mem paper_repair change_strings))
+    [ [ "t6[1]" ]; [ "t1[2]"; "t3[2]" ] ];
+  List.iter
+    (fun (r : Attr_repair.t) ->
+      check Alcotest.bool "attr-repaired instance consistent" true
+        (Check.is_consistent r.repaired Denial.schema [ Denial.kappa ]))
+    repairs
+
+let test_attr_repair_minimum () =
+  match Attr_repair.minimum Denial.instance Denial.schema [ Denial.kappa ] with
+  | None -> Alcotest.fail "exists"
+  | Some r -> check Alcotest.int "minimum is one change" 1 (Tid.Cell.Set.cardinal r.changes)
+
+let test_consistent_db_repairs () =
+  let repairs = S_repair.enumerate Employee.instance Employee.schema [] in
+  check Alcotest.int "no ICs: original is the only repair" 1 (List.length repairs);
+  check Alcotest.int "zero cost" 0 (Repair.cost (List.hd repairs))
+
+(* qcheck: on random small key-violating instances, every enumerated
+   S-repair passes the exact checker, and C-repairs have minimum cost. *)
+let gen_instance =
+  QCheck.Gen.(
+    let row = pair (int_range 0 3) (int_range 0 2) in
+    list_size (int_range 1 7) row)
+
+let arb_instance =
+  QCheck.make gen_instance
+    ~print:(fun rows ->
+      String.concat "; "
+        (List.map (fun (k, s) -> Printf.sprintf "(%d,%d)" k s) rows))
+
+let schema_kv = Relational.Schema.of_list [ ("T", [ "k"; "v" ]) ]
+let key_kv = Constraints.Ic.key ~rel:"T" [ 0 ]
+
+let instance_of rows =
+  Instance.of_rows schema_kv
+    [ ("T", List.map (fun (k, s) -> [ Value.int k; Value.int s ]) rows) ]
+
+let prop_s_repairs_check =
+  QCheck.Test.make ~count:100 ~name:"enumerated S-repairs pass is_s_repair"
+    arb_instance (fun rows ->
+      let db = instance_of rows in
+      let repairs = S_repair.enumerate db schema_kv [ key_kv ] in
+      repairs <> []
+      && List.for_all
+           (fun r ->
+             Check.is_s_repair ~original:db schema_kv [ key_kv ]
+               r.Repair.repaired)
+           repairs)
+
+let prop_c_repairs_minimum =
+  QCheck.Test.make ~count:100 ~name:"C-repairs have minimum cost" arb_instance
+    (fun rows ->
+      let db = instance_of rows in
+      let srs = S_repair.enumerate db schema_kv [ key_kv ] in
+      let crs = C_repair.enumerate db schema_kv [ key_kv ] in
+      let min_cost = List.fold_left (fun m r -> min m (Repair.cost r)) max_int srs in
+      crs <> []
+      && List.for_all (fun r -> Repair.cost r = min_cost) crs
+      && List.length (List.filter (fun r -> Repair.cost r = min_cost) srs)
+         = List.length crs)
+
+let prop_repairs_consistent =
+  QCheck.Test.make ~count:100 ~name:"all repairs are consistent" arb_instance
+    (fun rows ->
+      let db = instance_of rows in
+      List.for_all
+        (fun r -> Check.is_consistent r.Repair.repaired schema_kv [ key_kv ])
+        (S_repair.enumerate db schema_kv [ key_kv ]))
+
+let suite =
+  [
+    Alcotest.test_case "Supply S-repairs (Ex 3.1)" `Quick test_supply_s_repairs;
+    Alcotest.test_case "Supply delete-only repairs" `Quick test_supply_delete_only;
+    Alcotest.test_case "non-minimal candidate rejected (D3)" `Quick
+      test_non_minimal_rejected;
+    Alcotest.test_case "Employee key repairs (Ex 3.3)" `Quick test_employee_repairs;
+    Alcotest.test_case "denial S-repairs (Ex 3.5)" `Quick test_denial_s_repairs;
+    Alcotest.test_case "Figure 1 S-/C-repairs (Ex 4.1)" `Quick
+      test_hypergraph_repairs;
+    Alcotest.test_case "greedy single repair" `Quick test_one_repair_greedy;
+    Alcotest.test_case "null-based tuple repair (Ex 4.3)" `Quick
+      test_null_tuple_repair;
+    Alcotest.test_case "interacting key + IND" `Quick test_interacting_ics;
+    Alcotest.test_case "attribute repairs (Ex 4.4)" `Quick test_attr_repairs;
+    Alcotest.test_case "minimum attribute repair" `Quick test_attr_repair_minimum;
+    Alcotest.test_case "consistent db has itself as repair" `Quick
+      test_consistent_db_repairs;
+    QCheck_alcotest.to_alcotest prop_s_repairs_check;
+    QCheck_alcotest.to_alcotest prop_c_repairs_minimum;
+    QCheck_alcotest.to_alcotest prop_repairs_consistent;
+  ]

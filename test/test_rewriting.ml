@@ -1,0 +1,221 @@
+module Value = Relational.Value
+module Instance = Relational.Instance
+module Schema = Relational.Schema
+open Logic
+open Paper_examples
+
+let check = Alcotest.check
+let vrows = Alcotest.(list (list string))
+let rows_to_strings rows = List.map (List.map Value.to_string) rows
+
+(* E1 (Ex 2.1–2.2): residue rewriting of the item query under the IND. *)
+let test_residue_ind () =
+  let q =
+    Cq.make [ Term.var "z" ]
+      [ Atom.make "Supply" [ Term.var "x"; Term.var "y"; Term.var "z" ] ]
+  in
+  let answers =
+    Rewriting.Residue_rewrite.consistent_answers q Supply.schema [ Supply.ind ]
+      Supply.instance
+  in
+  check vrows "consistent items" [ [ "I1" ]; [ "I2" ] ] (rows_to_strings answers)
+
+(* E3 (Ex 3.3–3.4): residue rewriting of the full-tuple query under the key. *)
+let test_residue_key_full_tuple () =
+  let q =
+    Cq.make [ Term.var "x"; Term.var "y" ]
+      [ Atom.make "Employee" [ Term.var "x"; Term.var "y" ] ]
+  in
+  let answers =
+    Rewriting.Residue_rewrite.consistent_answers q Employee.schema
+      [ Employee.key ] Employee.instance
+  in
+  check vrows "smith and stowe"
+    [ [ "smith"; "3" ]; [ "stowe"; "7" ] ]
+    (rows_to_strings answers)
+
+(* The projection query Q2(x): ∃y Employee(x,y) — residue rewriting is too
+   strict here (drops page), which is exactly why Fuxman–Miller-style
+   rewriting exists. *)
+let q2 =
+  Cq.make [ Term.var "x" ]
+    [ Atom.make "Employee" [ Term.var "x"; Term.var "y" ] ]
+
+let test_residue_projection_incomplete () =
+  let answers =
+    Rewriting.Residue_rewrite.consistent_answers q2 Employee.schema
+      [ Employee.key ] Employee.instance
+  in
+  check vrows "residue rewriting misses page"
+    [ [ "smith" ]; [ "stowe" ] ]
+    (rows_to_strings answers)
+
+let emp_keys = [ ("Employee", [ 0 ]) ]
+
+let test_key_rewrite_projection () =
+  match Rewriting.Key_rewrite.consistent_answers q2 ~keys:emp_keys Employee.instance with
+  | None -> Alcotest.fail "Q2 is in the rewritable class"
+  | Some answers ->
+      check vrows "page is a consistent answer to Q2"
+        [ [ "page" ]; [ "smith" ]; [ "stowe" ] ]
+        (rows_to_strings answers)
+
+let test_key_rewrite_full_tuple () =
+  let q1 =
+    Cq.make [ Term.var "x"; Term.var "y" ]
+      [ Atom.make "Employee" [ Term.var "x"; Term.var "y" ] ]
+  in
+  match Rewriting.Key_rewrite.consistent_answers q1 ~keys:emp_keys Employee.instance with
+  | None -> Alcotest.fail "Q1 is in the rewritable class"
+  | Some answers ->
+      check vrows "full tuples"
+        [ [ "smith"; "3" ]; [ "stowe"; "7" ] ]
+        (rows_to_strings answers)
+
+(* Fuxman–Miller's canonical join: R(x,y) ⋈ S(y,z) with keys on the first
+   attributes.  x is an answer iff in every repair some R-mate of x joins. *)
+let join_schema = Schema.of_list [ ("R", [ "a"; "b" ]); ("S", [ "c"; "d" ]) ]
+let join_keys = [ ("R", [ 0 ]); ("S", [ 0 ]) ]
+
+let join_q =
+  Cq.make [ Term.var "x" ]
+    [
+      Atom.make "R" [ Term.var "x"; Term.var "y" ];
+      Atom.make "S" [ Term.var "y"; Term.var "z" ];
+    ]
+
+let test_key_rewrite_join () =
+  let db =
+    Instance.of_rows join_schema
+      [
+        ( "R",
+          [
+            (* a1 has conflicting R-tuples; only one of them joins S. *)
+            [ v "a1"; v "b1" ];
+            [ v "a1"; v "b2" ];
+            (* a2's single tuple joins S. *)
+            [ v "a2"; v "b3" ];
+            (* a3 has conflicting tuples and both join S. *)
+            [ v "a3"; v "b4" ];
+            [ v "a3"; v "b5" ];
+          ] );
+        ( "S",
+          [
+            [ v "b1"; v "c1" ];
+            [ v "b3"; v "c2" ];
+            [ v "b4"; v "c3" ];
+            [ v "b5"; v "c4" ];
+          ] );
+      ]
+  in
+  match Rewriting.Key_rewrite.consistent_answers join_q ~keys:join_keys db with
+  | None -> Alcotest.fail "join query is in C-forest"
+  | Some answers ->
+      check vrows "a2 and a3 only"
+        [ [ "a2" ]; [ "a3" ] ]
+        (rows_to_strings answers)
+
+let test_key_rewrite_rejects_self_join () =
+  let q =
+    Cq.make [ Term.var "x" ]
+      [
+        Atom.make "R" [ Term.var "x"; Term.var "y" ];
+        Atom.make "R" [ Term.var "y"; Term.var "z" ];
+      ]
+  in
+  check Alcotest.bool "self-join rejected" true
+    (Rewriting.Key_rewrite.rewrite q ~keys:join_keys = None)
+
+let test_key_rewrite_rejects_nonkey_join () =
+  let q =
+    Cq.make []
+      [
+        Atom.make "R" [ Term.var "x"; Term.var "y" ];
+        Atom.make "S" [ Term.var "z"; Term.var "y" ];
+      ]
+  in
+  check Alcotest.bool "non-key to non-key join rejected" true
+    (Rewriting.Key_rewrite.rewrite q ~keys:join_keys = None)
+
+let test_key_rewrite_constants () =
+  let db =
+    Instance.of_rows join_schema
+      [ ("R", [ [ v "a1"; v "b1" ]; [ v "a1"; v "b2" ]; [ v "a2"; v "b1" ] ]) ]
+  in
+  (* Q(x): R(x,'b1') — consistent iff every key-mate carries b1. *)
+  let q =
+    Cq.make [ Term.var "x" ] [ Atom.make "R" [ Term.var "x"; Term.str "b1" ] ]
+  in
+  match Rewriting.Key_rewrite.consistent_answers q ~keys:join_keys db with
+  | None -> Alcotest.fail "in class"
+  | Some answers ->
+      check vrows "only a2" [ [ "a2" ] ] (rows_to_strings answers)
+
+(* Differential property: on random instances over one keyed relation, the
+   Fuxman–Miller rewriting agrees with repair-enumeration CQA, for both the
+   full-tuple query and the projection. *)
+let schema_kv = Schema.of_list [ ("T", [ "k"; "v" ]) ]
+let key_kv = Constraints.Ic.key ~rel:"T" [ 0 ]
+
+let repair_cqa q db =
+  let repairs = Repairs.S_repair.enumerate db schema_kv [ key_kv ] in
+  match repairs with
+  | [] -> []
+  | first :: rest ->
+      let module Rows = Set.Make (struct
+        type t = Value.t list
+
+        let compare = List.compare Value.compare
+      end) in
+      let answers r = Rows.of_list (Cq.answers q r.Repairs.Repair.repaired) in
+      Rows.elements
+        (List.fold_left (fun acc r -> Rows.inter acc (answers r)) (answers first) rest)
+
+let gen_rows =
+  QCheck.Gen.(list_size (int_range 1 7) (pair (int_range 0 3) (int_range 0 2)))
+
+let arb_rows =
+  QCheck.make gen_rows ~print:(fun rows ->
+      String.concat ";" (List.map (fun (k, s) -> Printf.sprintf "%d,%d" k s) rows))
+
+let instance_of rows =
+  Instance.of_rows schema_kv
+    [ ("T", List.map (fun (k, s) -> [ Value.int k; Value.int s ]) rows) ]
+
+let prop_fm_agrees_with_repairs query =
+  QCheck.Test.make ~count:100
+    ~name:
+      (Printf.sprintf "FM rewriting = repair CQA (%s)" query.Cq.name)
+    arb_rows
+    (fun rows ->
+      let db = instance_of rows in
+      match Rewriting.Key_rewrite.consistent_answers query ~keys:[ ("T", [ 0 ]) ] db with
+      | None -> false
+      | Some rewritten -> rewritten = repair_cqa query db)
+
+let q_full =
+  Cq.make ~name:"full" [ Term.var "x"; Term.var "y" ]
+    [ Atom.make "T" [ Term.var "x"; Term.var "y" ] ]
+
+let q_proj =
+  Cq.make ~name:"proj" [ Term.var "x" ]
+    [ Atom.make "T" [ Term.var "x"; Term.var "y" ] ]
+
+let suite =
+  [
+    Alcotest.test_case "residue rewriting: IND (E1)" `Quick test_residue_ind;
+    Alcotest.test_case "residue rewriting: key, full tuple (E3)" `Quick
+      test_residue_key_full_tuple;
+    Alcotest.test_case "residue rewriting incomplete on projection" `Quick
+      test_residue_projection_incomplete;
+    Alcotest.test_case "FM rewriting: projection keeps page" `Quick
+      test_key_rewrite_projection;
+    Alcotest.test_case "FM rewriting: full tuple" `Quick test_key_rewrite_full_tuple;
+    Alcotest.test_case "FM rewriting: key join" `Quick test_key_rewrite_join;
+    Alcotest.test_case "FM rejects self-joins" `Quick test_key_rewrite_rejects_self_join;
+    Alcotest.test_case "FM rejects non-key joins" `Quick
+      test_key_rewrite_rejects_nonkey_join;
+    Alcotest.test_case "FM rewriting with constants" `Quick test_key_rewrite_constants;
+    QCheck_alcotest.to_alcotest (prop_fm_agrees_with_repairs q_full);
+    QCheck_alcotest.to_alcotest (prop_fm_agrees_with_repairs q_proj);
+  ]

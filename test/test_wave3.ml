@@ -1,0 +1,337 @@
+(* Shifting, temporal CQA, numerical repairs, Datalog abduction, CSV. *)
+
+module Schema = Relational.Schema
+module Instance = Relational.Instance
+module Value = Relational.Value
+module Fact = Relational.Fact
+module Tid = Relational.Tid
+module P = Workload.Paper
+module Numeric_repair = Numeric.Numeric_repair
+open Logic
+
+let check = Alcotest.check
+let flt = Alcotest.float 1e-6
+let v = Value.str
+
+(* --- shifting --- *)
+
+let models_as_sets models =
+  models
+  |> List.map (fun m -> Fact.Set.elements m |> List.map Fact.to_string |> List.sort compare)
+  |> List.sort compare
+
+let test_shift_preserves_repair_models () =
+  let program =
+    Repair_programs.Compile.repair_program P.Denial.schema [ P.Denial.kappa ]
+  in
+  check Alcotest.bool "repair program is HCF" true
+    (Asp.Shift.is_head_cycle_free program);
+  let shifted = Asp.Shift.program program in
+  check Alcotest.bool "no disjunction left" true
+    (List.for_all
+       (fun (r : Asp.Syntax.rule) -> List.length r.head <= 1)
+       shifted.Asp.Syntax.rules);
+  let edb = Repair_programs.Compile.edb_of_instance P.Denial.instance in
+  check
+    Alcotest.(list (list string))
+    "same stable models"
+    (models_as_sets (Asp.Stable.models program edb))
+    (models_as_sets (Asp.Stable.models shifted edb))
+
+let test_shift_simple_disjunction () =
+  let a name = Atom.make name [] in
+  let program = Asp.Syntax.program [ Asp.Syntax.rule [ a "p"; a "q" ] [] ] in
+  let shifted = Asp.Shift.program program in
+  check
+    Alcotest.(list (list string))
+    "p∨q shifts to two models"
+    (models_as_sets (Asp.Stable.models program []))
+    (models_as_sets (Asp.Stable.models shifted []))
+
+let test_head_cycle_detection () =
+  let x = Term.var "x" in
+  (* p ∨ q with p :- q and q :- p: the head atoms are on a positive cycle. *)
+  let cyclic =
+    Asp.Syntax.program
+      [
+        Asp.Syntax.rule [ Atom.make "p" [ x ]; Atom.make "q" [ x ] ]
+          [ Atom.make "d" [ x ] ];
+        Asp.Syntax.rule [ Atom.make "p" [ x ] ] [ Atom.make "q" [ x ] ];
+        Asp.Syntax.rule [ Atom.make "q" [ x ] ] [ Atom.make "p" [ x ] ];
+      ]
+  in
+  check Alcotest.bool "cycle detected" false (Asp.Shift.is_head_cycle_free cyclic)
+
+(* --- temporal CQA --- *)
+
+let emp_fact name salary = Fact.make "Employee" [ v name; Value.int salary ]
+
+let temporal_db =
+  Temporal.of_facts P.Employee.schema [ P.Employee.key ]
+    [
+      (* t1: consistent *)
+      (1, emp_fact "page" 5);
+      (1, emp_fact "smith" 3);
+      (* t2: page gets two salaries *)
+      (2, emp_fact "page" 5);
+      (2, emp_fact "page" 8);
+      (2, emp_fact "smith" 3);
+      (* t3: consistent again *)
+      (3, emp_fact "page" 8);
+      (3, emp_fact "smith" 3);
+    ]
+
+let q_names = P.Employee.names_query
+let q_full = P.Employee.full_query
+
+let test_temporal_snapshots () =
+  check Alcotest.(list int) "three time points" [ 1; 2; 3 ] (Temporal.times temporal_db);
+  check Alcotest.bool "inconsistent overall" false (Temporal.is_consistent temporal_db);
+  check Alcotest.(list int) "only t2 dirty" [ 2 ]
+    (Temporal.inconsistent_times temporal_db)
+
+let test_temporal_at () =
+  let rows = Temporal.consistent_at temporal_db ~time:2 q_full in
+  check Alcotest.int "page's salary uncertain at t2" 1 (List.length rows);
+  let names = Temporal.consistent_at temporal_db ~time:2 q_names in
+  check Alcotest.int "both names certain at t2" 2 (List.length names)
+
+let test_temporal_always_sometime () =
+  let always = Temporal.consistent_always temporal_db ~from_:1 ~until:3 q_names in
+  check
+    Alcotest.(list (list string))
+    "page and smith employed throughout"
+    [ [ "page" ]; [ "smith" ] ]
+    (List.map (List.map Value.to_string) always);
+  let always_full = Temporal.consistent_always temporal_db ~from_:1 ~until:3 q_full in
+  (* page's full tuple differs across time; smith's is stable. *)
+  check
+    Alcotest.(list (list string))
+    "only smith's tuple always certain"
+    [ [ "smith"; "3" ] ]
+    (List.map (List.map Value.to_string) always_full);
+  let sometime = Temporal.consistent_sometime temporal_db ~from_:1 ~until:3 q_full in
+  (* page,5 certain at t1; page,8 certain at t3. *)
+  check Alcotest.int "three tuples sometime-certain" 3 (List.length sometime)
+
+let test_temporal_empty_snapshot () =
+  check Alcotest.int "empty snapshot: nothing always" 0
+    (List.length (Temporal.consistent_always temporal_db ~from_:1 ~until:5 q_names))
+
+(* --- numerical repairs --- *)
+
+let ledger_schema = Schema.of_list [ ("Ledger", [ "entry"; "amount" ]) ]
+
+let ledger rows =
+  Instance.of_rows ledger_schema
+    [ ("Ledger", List.map (fun (e, a) -> [ v e; Value.Real a ]) rows) ]
+
+let test_numeric_bounds () =
+  let db = ledger [ ("a", 5.0); ("b", -2.0); ("c", 12.0) ] in
+  let c =
+    Numeric_repair.Row_bounds
+      { rel = "Ledger"; pos = 1; lower = Some 0.0; upper = Some 10.0 }
+  in
+  check Alcotest.bool "violated" false (Numeric_repair.is_consistent db [ c ]);
+  check flt "clamping distance 2 + 2" 4.0 (Numeric_repair.minimal_l1_cost db [ c ]);
+  let r = Numeric_repair.repair db [ c ] in
+  check flt "repair attains the bound" 4.0 r.Numeric_repair.l1_cost;
+  check Alcotest.bool "consistent after" true
+    (Numeric_repair.is_consistent r.Numeric_repair.repaired [ c ]);
+  check Alcotest.int "two cells changed" 2 (List.length r.Numeric_repair.changes)
+
+let test_numeric_sum () =
+  let db = ledger [ ("a", 40.0); ("b", 70.0) ] in
+  let c = Numeric_repair.Sum_eq { rel = "Ledger"; pos = 1; total = 100.0 } in
+  check flt "delta 10" 10.0 (Numeric_repair.minimal_l1_cost db [ c ]);
+  let r = Numeric_repair.repair db [ c ] in
+  check flt "optimal cost" 10.0 r.Numeric_repair.l1_cost;
+  check Alcotest.int "single-cell policy" 1 (List.length r.Numeric_repair.changes);
+  check Alcotest.bool "sums to 100" true
+    (Numeric_repair.is_consistent r.Numeric_repair.repaired [ c ])
+
+let test_numeric_proportional () =
+  let db = ledger [ ("a", 40.0); ("b", 60.0) ] in
+  let c = Numeric_repair.Sum_eq { rel = "Ledger"; pos = 1; total = 50.0 } in
+  let r = Numeric_repair.repair ~policy:`Proportional db [ c ] in
+  check Alcotest.int "both cells touched" 2 (List.length r.Numeric_repair.changes);
+  check flt "still optimal L1" 50.0 r.Numeric_repair.l1_cost;
+  check Alcotest.bool "consistent" true
+    (Numeric_repair.is_consistent r.Numeric_repair.repaired [ c ])
+
+let test_numeric_interacting () =
+  (* Bounds cap every entry at 50; the sum must reach 120 across three
+     entries: waterfilling pushes several cells to their bound. *)
+  let db = ledger [ ("a", 10.0); ("b", 10.0); ("c", 10.0) ] in
+  let cs =
+    [
+      Numeric_repair.Row_bounds
+        { rel = "Ledger"; pos = 1; lower = Some 0.0; upper = Some 50.0 };
+      Numeric_repair.Sum_eq { rel = "Ledger"; pos = 1; total = 120.0 };
+    ]
+  in
+  let r = Numeric_repair.repair db cs in
+  check Alcotest.bool "both constraints hold" true
+    (Numeric_repair.is_consistent r.Numeric_repair.repaired cs)
+
+let test_numeric_unreachable () =
+  let db = ledger [ ("a", 10.0) ] in
+  let cs =
+    [
+      Numeric_repair.Row_bounds
+        { rel = "Ledger"; pos = 1; lower = Some 0.0; upper = Some 20.0 };
+      Numeric_repair.Sum_eq { rel = "Ledger"; pos = 1; total = 100.0 };
+    ]
+  in
+  Alcotest.check_raises "bounds block the total"
+    (Failure "Numeric_repair.repair: bounds make the total unreachable")
+    (fun () -> ignore (Numeric_repair.repair db cs))
+
+(* --- Datalog abduction --- *)
+
+let x = Term.var "X"
+let y = Term.var "Y"
+let z = Term.var "Z"
+
+let tc_program =
+  Datalog.Program.make
+    [
+      Datalog.Rule.make (Atom.make "path" [ x; y ]) [ Atom.make "edge" [ x; y ] ];
+      Datalog.Rule.make
+        (Atom.make "path" [ x; z ])
+        [ Atom.make "edge" [ x; y ]; Atom.make "path" [ y; z ] ];
+    ]
+
+let e a b = Fact.make "edge" [ v a; v b ]
+
+let test_abduction_explanations () =
+  let abducibles = [ e "a" "b"; e "b" "c"; e "a" "c"; e "c" "d" ] in
+  let goal = Fact.make "path" [ v "a"; v "c" ] in
+  let exps =
+    Datalog.Abduction.explanations tc_program ~abducibles ~given:[] ~goal
+  in
+  (* a→c directly, or a→b→c. *)
+  check Alcotest.int "two minimal explanations" 2 (List.length exps);
+  check Alcotest.bool "direct edge is one" true (List.mem [ e "a" "c" ] exps)
+
+let test_abduction_with_given () =
+  let goal = Fact.make "path" [ v "a"; v "c" ] in
+  let exps =
+    Datalog.Abduction.explanations tc_program
+      ~abducibles:[ e "b" "c"; e "c" "d" ]
+      ~given:[ e "a" "b" ] ~goal
+  in
+  check
+    Alcotest.(list (list string))
+    "needs only b→c"
+    [ [ "edge(b, c)" ] ]
+    (List.map (List.map Fact.to_string) exps)
+
+let test_abduction_necessary () =
+  let goal = Fact.make "path" [ v "a"; v "d" ] in
+  let abducibles = [ e "a" "b"; e "b" "d"; e "a" "c"; e "c" "d" ] in
+  let nec =
+    Datalog.Abduction.necessary_abducibles tc_program ~abducibles ~given:[] ~goal
+  in
+  (* Two disjoint paths: nothing is necessary. *)
+  check Alcotest.int "no necessary abducible" 0 (List.length nec);
+  let nec2 =
+    Datalog.Abduction.necessary_abducibles tc_program
+      ~abducibles:[ e "a" "b"; e "b" "d" ] ~given:[] ~goal
+  in
+  check Alcotest.int "chain: both necessary" 2 (List.length nec2)
+
+let test_abduction_rejects_negation () =
+  let program =
+    Datalog.Program.make
+      [
+        Datalog.Rule.make ~neg:[ Atom.make "q" [ x ] ] (Atom.make "p" [ x ])
+          [ Atom.make "d" [ x ] ];
+      ]
+  in
+  Alcotest.check_raises "negation rejected"
+    (Invalid_argument
+       "Abduction: positive Datalog only (derivability must be monotone)")
+    (fun () ->
+      ignore
+        (Datalog.Abduction.explanations program ~abducibles:[] ~given:[]
+           ~goal:(Fact.make "p" [ v "a" ])))
+
+(* --- CSV --- *)
+
+let test_csv_roundtrip () =
+  let schema = Schema.of_list [ ("T", [ "name"; "score"; "note" ]) ] in
+  let db =
+    Instance.of_rows schema
+      [
+        ( "T",
+          [
+            [ v "plain"; Value.int 3; v "ok" ];
+            [ v "with, comma"; Value.Real 2.5; Value.Null ];
+            [ v "with \"quotes\""; Value.int (-1); v "fine" ];
+          ] );
+      ]
+  in
+  let csv = Relational.Csv_io.to_csv db ~rel:"T" in
+  let reloaded =
+    Relational.Csv_io.load_csv (Instance.create schema) ~rel:"T" csv
+  in
+  check Alcotest.bool "round trip preserves facts" true (Instance.equal db reloaded)
+
+let test_csv_typing () =
+  let schema = Schema.of_list [ ("T", [ "a"; "b"; "c" ]) ] in
+  let db =
+    Relational.Csv_io.load_csv ~header:false (Instance.create schema) ~rel:"T"
+      "42,3.5,\ntext,007x,\"42\"\n"
+  in
+  check Alcotest.bool "int, real and null typed" true
+    (Instance.mem_fact db
+       (Fact.make "T" [ Value.int 42; Value.Real 3.5; Value.Null ]));
+  check Alcotest.bool "quoted digits stay strings" true
+    (Instance.mem_fact db
+       (Fact.make "T" [ v "text"; v "007x"; v "42" ]))
+
+let test_csv_errors () =
+  let schema = Schema.of_list [ ("T", [ "a"; "b" ]) ] in
+  Alcotest.check_raises "arity"
+    (Invalid_argument "Csv_io: line 1 has 3 fields, T expects 2") (fun () ->
+      ignore
+        (Relational.Csv_io.load_csv ~header:false (Instance.create schema)
+           ~rel:"T" "1,2,3\n"));
+  Alcotest.check_raises "unterminated quote"
+    (Invalid_argument "Csv_io: unterminated quote on line 1") (fun () ->
+      ignore
+        (Relational.Csv_io.load_csv ~header:false (Instance.create schema)
+           ~rel:"T" "\"oops,2\n"))
+
+let suite =
+  [
+    Alcotest.test_case "shifting preserves repair models" `Quick
+      test_shift_preserves_repair_models;
+    Alcotest.test_case "shifting a bare disjunction" `Quick
+      test_shift_simple_disjunction;
+    Alcotest.test_case "head-cycle detection" `Quick test_head_cycle_detection;
+    Alcotest.test_case "temporal: snapshots" `Quick test_temporal_snapshots;
+    Alcotest.test_case "temporal: CQA at a time point" `Quick test_temporal_at;
+    Alcotest.test_case "temporal: always / sometime" `Quick
+      test_temporal_always_sometime;
+    Alcotest.test_case "temporal: empty snapshots" `Quick
+      test_temporal_empty_snapshot;
+    Alcotest.test_case "numeric: bounds" `Quick test_numeric_bounds;
+    Alcotest.test_case "numeric: sum equality" `Quick test_numeric_sum;
+    Alcotest.test_case "numeric: proportional policy" `Quick
+      test_numeric_proportional;
+    Alcotest.test_case "numeric: bounds + sum interact" `Quick
+      test_numeric_interacting;
+    Alcotest.test_case "numeric: unreachable total" `Quick test_numeric_unreachable;
+    Alcotest.test_case "abduction: explanations" `Quick test_abduction_explanations;
+    Alcotest.test_case "abduction: with given facts" `Quick
+      test_abduction_with_given;
+    Alcotest.test_case "abduction: necessary abducibles" `Quick
+      test_abduction_necessary;
+    Alcotest.test_case "abduction: negation rejected" `Quick
+      test_abduction_rejects_negation;
+    Alcotest.test_case "csv: round trip" `Quick test_csv_roundtrip;
+    Alcotest.test_case "csv: typing heuristics" `Quick test_csv_typing;
+    Alcotest.test_case "csv: errors" `Quick test_csv_errors;
+  ]
