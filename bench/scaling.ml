@@ -24,16 +24,16 @@ let b1 ~quick () =
       let db, key = Gen.key_conflict_chain ~seed:11 ~pairs () in
       let schema = Instance.schema db in
       let repairs, enum_ns =
-        Bech.once (fun () -> Repairs.S_repair.enumerate db schema [ key ])
+        Bech_harness.once (fun () -> Repairs.S_repair.enumerate db schema [ key ])
       in
       let q = Gen.employees_query () in
       let keys = [ ("T", [ 0 ]) ] in
       let _, rw_ns =
-        Bech.once (fun () ->
+        Bech_harness.once (fun () ->
             Rewriting.Key_rewrite.consistent_answers q ~keys db)
       in
       Printf.printf "  %6d %12d %14s %14s\n" pairs (List.length repairs)
-        (Bech.pp_ns enum_ns) (Bech.pp_ns rw_ns))
+        (Bech_harness.pp_ns enum_ns) (Bech_harness.pp_ns rw_ns))
     sizes;
   print_newline ()
 
@@ -64,9 +64,9 @@ let b2 ~quick () =
         [ ("fm-rewriting", fm); ("repair-enum", enum) ]
         @ if n <= 40 then [ ("asp", asp) ] else []
       in
-      let results = Bech.group (Printf.sprintf "b2/n=%d" n) cases in
+      let results = Bech_harness.group (Printf.sprintf "b2/n=%d" n) cases in
       List.iter
-        (fun (name, ns) -> Printf.printf "  n=%-5d %-14s %s\n" n name (Bech.pp_ns ns))
+        (fun (name, ns) -> Printf.printf "  n=%-5d %-14s %s\n" n name (Bech_harness.pp_ns ns))
         results)
     sizes;
   print_newline ()
@@ -84,7 +84,7 @@ let b3 ~quick () =
       let schema = Instance.schema db in
       let g = Constraints.Conflict_graph.build db schema [ kappa ] in
       let results =
-        Bech.group
+        Bech_harness.group
           (Printf.sprintf "b3/n=%d" n)
           [
             ( "one-s-repair",
@@ -97,7 +97,7 @@ let b3 ~quick () =
         (fun (name, ns) ->
           Printf.printf "  n=%-5d edges=%-4d %-14s %s\n" n
             (List.length g.Constraints.Conflict_graph.edges)
-            name (Bech.pp_ns ns))
+            name (Bech_harness.pp_ns ns))
         results)
     sizes;
   print_newline ()
@@ -119,10 +119,10 @@ let b4 ~quick () =
     let schema = Instance.schema db in
     let eng = Cqa.Engine.create ~schema ~ics:[ key ] db in
     let a, t1 =
-      Bech.once (fun () -> Cqa.Engine.consistent_answers ~method_:`Asp eng q)
+      Bech_harness.once (fun () -> Cqa.Engine.consistent_answers ~method_:`Asp eng q)
     in
     let b, t2 =
-      Bech.once (fun () ->
+      Bech_harness.once (fun () ->
           Cqa.Engine.consistent_answers ~method_:`Repair_enumeration eng q)
     in
     if a = b then incr agree;
@@ -131,9 +131,9 @@ let b4 ~quick () =
   done;
   Printf.printf "  agreement: %d/%d instances\n" !agree trials;
   Printf.printf "  mean asp:  %s\n"
-    (Bech.pp_ns (!asp_total /. float_of_int trials));
+    (Bech_harness.pp_ns (!asp_total /. float_of_int trials));
   Printf.printf "  mean enum: %s\n\n"
-    (Bech.pp_ns (!enum_total /. float_of_int trials))
+    (Bech_harness.pp_ns (!enum_total /. float_of_int trials))
 
 (* B5: Section 7 — responsibility via C-repairs vs the ASP route. *)
 let b5 ~quick () =
@@ -149,12 +149,12 @@ let b5 ~quick () =
     let schema = Instance.schema db in
     if Logic.Cq.holds q db then begin
       let direct, t1 =
-        Bech.once (fun () ->
+        Bech_harness.once (fun () ->
             Causality.Cause.actual_causes db schema q
             |> List.map (fun (c : Causality.Cause.t) -> (c.tid, c.responsibility)))
       in
       let asp, t2 =
-        Bech.once (fun () ->
+        Bech_harness.once (fun () ->
             Repair_programs.Cause_rules.responsibilities db schema q)
       in
       if direct = asp then incr agree;
@@ -165,9 +165,9 @@ let b5 ~quick () =
   done;
   Printf.printf "  agreement: %d/%d instances\n" !agree trials;
   Printf.printf "  mean direct: %s\n"
-    (Bech.pp_ns (!direct_total /. float_of_int trials));
+    (Bech_harness.pp_ns (!direct_total /. float_of_int trials));
   Printf.printf "  mean asp:    %s\n\n"
-    (Bech.pp_ns (!asp_total /. float_of_int trials))
+    (Bech_harness.pp_ns (!asp_total /. float_of_int trials))
 
 (* B6: Section 8 / [16,17] — inconsistency degree tracks the planted
    violation rate. *)
@@ -223,10 +223,10 @@ let b7 ~quick () =
       in
       let query = Atom.make "path" [ Term.int 0; Term.var "Z" ] in
       let plain_facts, magic_facts = Datalog.Magic.derived_count tc edb ~query in
-      let _, plain_ns = Bech.once (fun () -> Datalog.Eval.run tc edb) in
-      let _, magic_ns = Bech.once (fun () -> Datalog.Magic.answers tc edb ~query) in
+      let _, plain_ns = Bech_harness.once (fun () -> Datalog.Eval.run tc edb) in
+      let _, magic_ns = Bech_harness.once (fun () -> Datalog.Magic.answers tc edb ~query) in
       Printf.printf "  %6d %12d %12d %14s %14s\n" chains plain_facts
-        magic_facts (Bech.pp_ns plain_ns) (Bech.pp_ns magic_ns))
+        magic_facts (Bech_harness.pp_ns plain_ns) (Bech_harness.pp_ns magic_ns))
     sizes;
   print_newline ()
 
@@ -244,14 +244,14 @@ let b8 ~quick () =
       let schema = Instance.schema db in
       let facts = Instance.fact_list db in
       let _, inc_ns =
-        Bech.once (fun () ->
+        Bech_harness.once (fun () ->
             List.fold_left
               (fun t f -> fst (Repairs.Incremental.insert t f))
               (Repairs.Incremental.create (Instance.create schema) schema [ key ])
               facts)
       in
       let _, rebuild_ns =
-        Bech.once (fun () ->
+        Bech_harness.once (fun () ->
             ignore
               (List.fold_left
                  (fun acc f ->
@@ -261,7 +261,7 @@ let b8 ~quick () =
                  (Instance.create schema) facts))
       in
       Printf.printf "  n=%-5d incremental %14s   rebuild-per-update %14s\n" n
-        (Bech.pp_ns inc_ns) (Bech.pp_ns rebuild_ns))
+        (Bech_harness.pp_ns inc_ns) (Bech_harness.pp_ns rebuild_ns))
     sizes;
   print_newline ()
 
@@ -278,13 +278,13 @@ let b9 ~quick () =
       let db, key = Gen.key_conflict_chain ~seed:29 ~pairs () in
       let schema = Instance.schema db in
       let count, cf_ns =
-        Bech.once (fun () -> Repairs.Count.s_repairs db schema [ key ])
+        Bech_harness.once (fun () -> Repairs.Count.s_repairs db schema [ key ])
       in
       let _, enum_ns =
-        Bech.once (fun () -> Repairs.S_repair.enumerate db schema [ key ])
+        Bech_harness.once (fun () -> Repairs.S_repair.enumerate db schema [ key ])
       in
-      Printf.printf "  %6d %12d %14s %14s\n" pairs count (Bech.pp_ns cf_ns)
-        (Bech.pp_ns enum_ns))
+      Printf.printf "  %6d %12d %14s %14s\n" pairs count (Bech_harness.pp_ns cf_ns)
+        (Bech_harness.pp_ns enum_ns))
     sizes;
   print_newline ()
 
@@ -304,9 +304,9 @@ let b10 ~quick () =
     let db, key = Gen.key_conflict_instance ~seed ~n:44 ~conflict_fraction:0.5 () in
     let schema = Instance.schema db in
     let eng = Cqa.Engine.create ~schema ~ics:[ key ] db in
-    let b, t1 = Bech.once (fun () -> Cqa.Approx.bounds ~seed ~samples:4 eng q) in
+    let b, t1 = Bech_harness.once (fun () -> Cqa.Approx.bounds ~seed ~samples:4 eng q) in
     let exact, t2 =
-      Bech.once (fun () ->
+      Bech_harness.once (fun () ->
           Cqa.Engine.consistent_answers ~method_:`Repair_enumeration eng q)
     in
     if b.Cqa.Approx.exact then incr closed;
@@ -318,8 +318,8 @@ let b10 ~quick () =
   done;
   Printf.printf "  bounds sound:    %d/%d\n" !sound trials;
   Printf.printf "  interval closed: %d/%d\n" !closed trials;
-  Printf.printf "  mean bounds time: %s\n" (Bech.pp_ns (!approx_total /. float_of_int trials));
-  Printf.printf "  mean exact time:  %s\n\n" (Bech.pp_ns (!exact_total /. float_of_int trials))
+  Printf.printf "  mean bounds time: %s\n" (Bech_harness.pp_ns (!approx_total /. float_of_int trials));
+  Printf.printf "  mean exact time:  %s\n\n" (Bech_harness.pp_ns (!exact_total /. float_of_int trials))
 
 (* B11: inconsistency-tolerant ontology semantics — IAR is the tractable
    approximation of AR (Sec 8, [79, 29, 100]). *)
@@ -353,12 +353,12 @@ let b11 ~quick () =
         Logic.Cq.make [ Logic.Term.var "x" ]
           [ Logic.Atom.make "Student" [ Logic.Term.var "x" ] ]
       in
-      let time sem = snd (Bech.once (fun () -> answers kb sem q)) in
+      let time sem = snd (Bech_harness.once (fun () -> answers kb sem q)) in
       Printf.printf "  conflicts=%-3d IAR %12s   AR %12s   brave %12s\n"
         conflicts
-        (Bech.pp_ns (time IAR))
-        (Bech.pp_ns (time AR))
-        (Bech.pp_ns (time Brave)))
+        (Bech_harness.pp_ns (time IAR))
+        (Bech_harness.pp_ns (time AR))
+        (Bech_harness.pp_ns (time Brave)))
     sizes;
   print_newline ()
 
@@ -418,13 +418,13 @@ let b12 ~quick () =
                 ] );
           ]
       in
-      let _, chase_ns = Bech.once (fun () -> Exchange.chase setting clean) in
+      let _, chase_ns = Bech_harness.once (fun () -> Exchange.chase setting clean) in
       let repairs, repair_ns =
-        Bech.once (fun () -> Exchange.exchange_repairs ~max_deletions:1 setting dirty)
+        Bech_harness.once (fun () -> Exchange.exchange_repairs ~max_deletions:1 setting dirty)
       in
       Printf.printf
         "  n=%-5d chase %12s   exchange-repairs (%d found) %12s\n" n
-        (Bech.pp_ns chase_ns) (List.length repairs) (Bech.pp_ns repair_ns))
+        (Bech_harness.pp_ns chase_ns) (List.length repairs) (Bech_harness.pp_ns repair_ns))
     sizes;
   print_newline ()
 
@@ -467,8 +467,8 @@ let b13 ~quick () =
       [ 0; months / 4; months / 2 ]
   in
   List.iter
-    (fun (name, ns) -> Printf.printf "  months=%-3d %s  always-range %s\n" months name (Bech.pp_ns ns))
-    (Bech.group "b13" cases);
+    (fun (name, ns) -> Printf.printf "  months=%-3d %s  always-range %s\n" months name (Bech_harness.pp_ns ns))
+    (Bech_harness.group "b13" cases);
   print_newline ()
 
 (* B14: numerical repairs — the L1-optimal fix is linear in the relation
@@ -498,11 +498,11 @@ let b14 ~quick () =
         ]
       in
       let r, ns =
-        Bech.once (fun () -> Numeric.Numeric_repair.repair db constraints)
+        Bech_harness.once (fun () -> Numeric.Numeric_repair.repair db constraints)
       in
       Printf.printf "  n=%-6d changes=%-5d cost=%-10.1f %s\n" n
         (List.length r.Numeric.Numeric_repair.changes)
-        r.Numeric.Numeric_repair.l1_cost (Bech.pp_ns ns))
+        r.Numeric.Numeric_repair.l1_cost (Bech_harness.pp_ns ns))
     sizes;
   print_newline ()
 

@@ -1,0 +1,184 @@
+(* Serving benchmark: replay a generated query/update mix against an
+   in-process cqa server and report throughput and cache hit rate.
+
+     dune exec bench/serve.exe                 # 1200 requests
+     dune exec bench/serve.exe -- 5000         # choose the request count
+
+   The server runs in this very process: the benchmark interleaves
+   Server.Loop.step with non-blocking client reads/writes on a connected
+   Unix-domain socket, so the numbers include the full protocol path
+   (parse, dispatch, render, socket I/O) without scheduler noise. *)
+
+module Value = Relational.Value
+module Instance = Relational.Instance
+
+(* ---- client plumbing ------------------------------------------------ *)
+
+type client = {
+  fd : Unix.file_descr;
+  inbuf : Buffer.t;
+  mutable lines : string list; (* complete lines, oldest first *)
+}
+
+let connect path =
+  let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+  Unix.connect fd (ADDR_UNIX path);
+  Unix.set_nonblock fd;
+  { fd; inbuf = Buffer.create 4096; lines = [] }
+
+let send loop c text =
+  let pos = ref 0 in
+  while !pos < String.length text do
+    match Unix.write_substring c.fd text !pos (String.length text - !pos) with
+    | n -> pos := !pos + n
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+        ignore (Server.Loop.step ~timeout:0.01 loop)
+  done
+
+let pump_lines c =
+  let s = Buffer.contents c.inbuf in
+  let rec go start acc =
+    match String.index_from_opt s start '\n' with
+    | None ->
+        Buffer.clear c.inbuf;
+        Buffer.add_substring c.inbuf s start (String.length s - start);
+        c.lines <- c.lines @ List.rev acc
+    | Some i -> go (i + 1) (String.sub s start (i - start) :: acc)
+  in
+  go 0 []
+
+(* Read one full response (status line .. "."), stepping the server. *)
+let recv loop c =
+  let bytes = Bytes.create 4096 in
+  let deadline = Unix.gettimeofday () +. 30.0 in
+  let rec take acc = function
+    | "." :: rest ->
+        c.lines <- rest;
+        List.rev acc
+    | line :: rest -> take (line :: acc) rest
+    | [] ->
+        if Unix.gettimeofday () > deadline then
+          failwith "bench: no response within 30s";
+        ignore (Server.Loop.step ~timeout:0.01 loop);
+        (match Unix.read c.fd bytes 0 (Bytes.length bytes) with
+        | 0 -> failwith "bench: server closed the connection"
+        | n ->
+            Buffer.add_subbytes c.inbuf bytes 0 n;
+            pump_lines c
+        | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+            ());
+        take acc c.lines
+  in
+  let lines = take [] c.lines in
+  (match lines with
+  | status :: _ when String.length status >= 3 && String.sub status 0 3 = "ERR"
+    ->
+      failwith ("bench: unexpected " ^ status)
+  | [] -> failwith "bench: empty response"
+  | _ -> ());
+  lines
+
+let request loop c line =
+  send loop c (line ^ "\n");
+  recv loop c
+
+(* ---- the workload ---------------------------------------------------- *)
+
+let doc_text db =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "relation T(k, v)\n";
+  List.iter
+    (fun row ->
+      Buffer.add_string b
+        (Printf.sprintf "row T(%s, %s)\n"
+           (Value.to_string row.(0))
+           (Value.to_string row.(1))))
+    (Instance.rows db ~rel:"T");
+  Buffer.add_string b "key T(k)\n";
+  Buffer.add_string b "query q(X) :- T(X, Y)\n";
+  Buffer.add_string b "query full(X, Y) :- T(X, Y)\n";
+  Buffer.contents b
+
+let () =
+  let requests =
+    match Sys.argv with
+    | [| _ |] -> 1200
+    | [| _; n |] -> int_of_string n
+    | _ ->
+        prerr_endline "usage: serve.exe [REQUESTS]";
+        exit 2
+  in
+  let sock =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "cqa-serve-bench-%d.sock" (Unix.getpid ()))
+  in
+  let loop = Server.Loop.create ~cache_capacity:256 (Server.Loop.listen_unix sock) in
+  let c = connect sock in
+  ignore (Server.Loop.step ~timeout:0.01 loop) (* accept *);
+
+  (* Four resident sessions over two instance shapes. *)
+  let sessions = [ "s1"; "s2"; "s3"; "s4" ] in
+  List.iteri
+    (fun i sid ->
+      let db, _ =
+        Workload.Gen.key_conflict_instance ~seed:(42 + i) ~n:40
+          ~conflict_fraction:0.2 ()
+      in
+      let _ = request loop c (Printf.sprintf "LOAD %s\n%s." sid (doc_text db)) in
+      ())
+    sessions;
+
+  let rng = Random.State.make [| 7 |] in
+  let pick l = List.nth l (Random.State.int rng (List.length l)) in
+  let fresh = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to requests do
+    let sid = pick sessions in
+    let r = Random.State.int rng 100 in
+    let line =
+      if r < 55 then Printf.sprintf "QUERY %s q" sid
+      else if r < 70 then Printf.sprintf "QUERY %s full" sid
+      else if r < 80 then Printf.sprintf "CHECK %s" sid
+      else if r < 88 then Printf.sprintf "MEASURE %s" sid
+      else if r < 95 then Printf.sprintf "REPAIRS %s s" sid
+      else begin
+        incr fresh;
+        Printf.sprintf "UPDATE %s add T(%d, %d)" sid (5000 + !fresh) !fresh
+      end
+    in
+    ignore (request loop c line)
+  done;
+  let elapsed = Unix.gettimeofday () -. t0 in
+
+  let stats = request loop c "STATS" in
+  let metric name =
+    List.find_map
+      (fun l ->
+        match String.split_on_char ' ' l with
+        | [ n; v ] when n = name -> Some v
+        | _ -> None)
+      stats
+    |> Option.value ~default:"?"
+  in
+  Printf.printf "requests        %d (+%d LOAD/STATS)\n" requests
+    (List.length sessions + 1);
+  Printf.printf "elapsed         %.3f s\n" elapsed;
+  Printf.printf "throughput      %.0f req/s\n" (float_of_int requests /. elapsed);
+  Printf.printf "cache hits      %s\n" (metric "cache_hits");
+  Printf.printf "cache misses    %s\n" (metric "cache_misses");
+  Printf.printf "cache hit rate  %s\n" (metric "cache_hit_rate");
+  Printf.printf "cache entries   %s\n" (metric "cache_entries");
+  Printf.printf "bytes in/out    %s / %s\n" (metric "bytes_in")
+    (metric "bytes_out");
+  List.iter
+    (fun l ->
+      if String.length l >= 8 && String.sub l 0 8 = "latency_" then
+        print_endline l)
+    stats;
+  ignore (request loop c "QUIT");
+  Unix.close c.fd;
+  Unix.unlink sock;
+  if float_of_string (metric "cache_hit_rate") <= 0.0 then begin
+    prerr_endline "FAIL: expected a non-zero cache hit rate";
+    exit 1
+  end

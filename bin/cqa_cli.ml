@@ -303,6 +303,121 @@ let program_cmd =
        ~doc:"Print the compiled ASP repair program and its grounding size.")
     Term.(const run $ file_arg)
 
+(* --- client: speak the cqa-serve protocol to a running server ------- *)
+
+let client_cmd =
+  let unix_arg =
+    Arg.(
+      value
+      & opt string "/tmp/cqa-serve.sock"
+      & info [ "unix" ] ~docv:"PATH" ~doc:"Unix-domain socket of the server.")
+  in
+  let port_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:"Connect to TCP 127.0.0.1:$(docv) instead of a Unix socket.")
+  in
+  let load_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "load" ] ~docv:"FILE"
+          ~doc:"Load this document into --session before anything else.")
+  in
+  let session_arg =
+    Arg.(
+      value & opt string "default"
+      & info [ "session" ] ~docv:"SID" ~doc:"Session id for --load.")
+  in
+  let exec_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "e" ] ~docv:"CMD"
+          ~doc:"Send this protocol command and print the response (may be \
+                repeated); without -e, commands are read from stdin.")
+  in
+  let run unix_path port load session cmds =
+    let addr =
+      match port with
+      | Some p -> Unix.ADDR_INET (Unix.inet_addr_loopback, p)
+      | None -> Unix.ADDR_UNIX unix_path
+    in
+    let ic, oc =
+      try Unix.open_connection addr with
+      | Unix.Unix_error (e, _, _) ->
+          Printf.eprintf "cannot connect: %s\n" (Unix.error_message e);
+          exit 2
+    in
+    let send line =
+      output_string oc line;
+      output_char oc '\n';
+      flush oc
+    in
+    (* Every response ends with a lone "." line. *)
+    let print_response () =
+      let rec go () =
+        match input_line ic with
+        | "." -> ()
+        | line ->
+            print_endline line;
+            go ()
+        | exception End_of_file ->
+            prerr_endline "server closed the connection";
+            exit 1
+      in
+      go ()
+    in
+    (match load with
+    | None -> ()
+    | Some file ->
+        send (Printf.sprintf "LOAD %s" session);
+        In_channel.with_open_text file (fun fic ->
+            try
+              while true do
+                send (input_line fic)
+              done
+            with End_of_file -> ());
+        send ".";
+        print_response ());
+    let one line =
+      send line;
+      (* LOAD from the terminal: forward document lines up to ".". *)
+      if
+        String.length (String.trim line) >= 4
+        && String.uppercase_ascii (String.sub (String.trim line) 0 4) = "LOAD"
+      then (
+        try
+          let rec payload () =
+            let l = input_line stdin in
+            send l;
+            if String.trim l <> "." then payload ()
+          in
+          payload ()
+        with End_of_file -> send ".");
+      print_response ()
+    in
+    if cmds <> [] then List.iter one cmds
+    else (
+      try
+        while true do
+          one (input_line stdin)
+        done
+      with End_of_file -> ());
+    (try
+       send "QUIT";
+       print_response ()
+     with Sys_error _ -> ());
+    close_out_noerr oc
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Talk to a running cqa_server: send protocol commands from -e or \
+          stdin, print responses.")
+    Term.(const run $ unix_arg $ port_arg $ load_arg $ session_arg $ exec_arg)
+
 let main =
   Cmd.group
     (Cmd.info "cqa" ~version:"1.0.0"
@@ -310,7 +425,7 @@ let main =
     [
       check_cmd; repairs_cmd; answers_cmd; degree_cmd; causes_cmd; count_cmd;
       attr_repairs_cmd; aggregate_cmd; clean_cmd; sample_cmd; approx_cmd;
-      export_cmd; program_cmd;
+      export_cmd; program_cmd; client_cmd;
     ]
 
 let () = exit (Cmd.eval main)

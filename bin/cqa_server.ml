@@ -1,0 +1,76 @@
+(* cqa-serve — the resident CQA service: a single-process select loop
+   speaking the line protocol of Server.Protocol over a Unix-domain or
+   TCP socket.  See `cqa client` for an interactive front end, and
+   docs/TUTORIAL.md ("Serving CQA") for the protocol. *)
+
+open Cmdliner
+
+let run unix_path port cache_capacity max_requests metrics_dump =
+  let fd, where =
+    match port with
+    | Some p ->
+        let fd, actual = Server.Loop.listen_tcp ~port:p () in
+        (fd, Printf.sprintf "tcp://127.0.0.1:%d" actual)
+    | None ->
+        (Server.Loop.listen_unix unix_path, "unix://" ^ unix_path)
+  in
+  let t = Server.Loop.create ~cache_capacity fd in
+  let stop_and_note _ =
+    prerr_endline "shutting down";
+    Server.Loop.stop t
+  in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle stop_and_note);
+  (try Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_and_note)
+   with Invalid_argument _ -> ());
+  Printf.printf "cqa-serve listening on %s (cache capacity %d)\n%!" where
+    cache_capacity;
+  Server.Loop.run ?max_requests t;
+  if metrics_dump then
+    List.iter print_endline
+      (Server.Metrics.render (Server.Handler.metrics (Server.Loop.handler t)))
+
+let unix_arg =
+  Arg.(
+    value
+    & opt string "/tmp/cqa-serve.sock"
+    & info [ "unix" ] ~docv:"PATH" ~doc:"Unix-domain socket path to listen on.")
+
+let port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "port" ] ~docv:"PORT"
+        ~doc:"Listen on TCP 127.0.0.1:$(docv) instead of a Unix socket (0 \
+              picks a free port).")
+
+let cache_arg =
+  Arg.(
+    value
+    & opt int 512
+    & info [ "cache-capacity" ] ~docv:"N"
+        ~doc:"Entries in the certain-answer memoization cache.")
+
+let max_requests_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-requests" ] ~docv:"N"
+        ~doc:"Exit after serving $(docv) requests (for scripted runs).")
+
+let metrics_dump_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics-dump" ]
+        ~doc:"Print the metrics registry to stdout on shutdown.")
+
+let main =
+  Cmd.v
+    (Cmd.info "cqa_server" ~version:"1.0.0"
+       ~doc:
+         "Persistent CQA service: sessions, memoized certain answers, \
+          request metrics.")
+    Term.(
+      const run $ unix_arg $ port_arg $ cache_arg $ max_requests_arg
+      $ metrics_dump_arg)
+
+let () = exit (Cmd.eval main)

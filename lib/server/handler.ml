@@ -1,0 +1,199 @@
+module P = Protocol
+module Value = Relational.Value
+
+type t = {
+  sessions : Session.store;
+  cache : (string, string * string list) Lru.t; (* key -> head, body *)
+  metrics : Metrics.t;
+}
+
+let create ?(cache_capacity = 512) () =
+  {
+    sessions = Session.create_store ();
+    cache = Lru.create ~capacity:cache_capacity;
+    metrics = Metrics.create ();
+  }
+
+let metrics t = t.metrics
+let sessions t = t.sessions
+let cache_length t = Lru.length t.cache
+
+let method_label : P.method_ -> string = function
+  | P.Auto -> "auto"
+  | P.Enum -> "enum"
+  | P.Rewriting -> "rewriting"
+  | P.Key_rewriting -> "key-rewriting"
+  | P.Asp -> "asp"
+
+let semantics_label : P.semantics -> string = function P.S -> "s" | P.C -> "c"
+
+let engine_method : P.method_ -> Cqa.Engine.answer_method = function
+  | P.Auto -> `Auto
+  | P.Enum -> `Repair_enumeration
+  | P.Rewriting -> `Residue_rewriting
+  | P.Key_rewriting -> `Key_rewriting
+  | P.Asp -> `Asp
+
+let with_session t sid f =
+  match Session.find t.sessions sid with
+  | None -> P.err (Printf.sprintf "unknown session %S (LOAD it first)" sid)
+  | Some session -> f session
+
+(* Memoize [compute] under [key]: on a hit the stored response is
+   replayed; on a miss the key is recorded against the session so UPDATE
+   can drop it eagerly. *)
+let cached t session key compute =
+  match Lru.find t.cache key with
+  | Some (head, body) ->
+      Metrics.cache_hit t.metrics;
+      P.ok ~body head
+  | None -> (
+      Metrics.cache_miss t.metrics;
+      match compute () with
+      | { P.status = `Ok; head; body } ->
+          Lru.add t.cache key (head, body);
+          Session.remember_key session key;
+          P.ok ~body head
+      | r -> r)
+
+let pp_row row =
+  (* A Boolean query's positive answer is the empty tuple. *)
+  if row = [] then "true"
+  else String.concat ", " (List.map Value.to_string row)
+
+let exec_query (session : Session.t) name method_ semantics =
+  match Cqa.Parse.find_ucq session.doc name with
+  | exception Not_found ->
+      P.err (Printf.sprintf "no query named %S in session %S" name session.id)
+  | u -> (
+      match (u.Logic.Ucq.disjuncts, semantics) with
+      | [ q ], P.S ->
+          let rows =
+            Cqa.Engine.consistent_answers ~method_:(engine_method method_)
+              session.engine q
+          in
+          P.ok ~body:(List.map pp_row rows)
+            (Printf.sprintf "answers=%d" (List.length rows))
+      | [ q ], P.C ->
+          let rows = Cqa.Engine.consistent_answers_c session.engine q in
+          P.ok ~body:(List.map pp_row rows)
+            (Printf.sprintf "answers=%d" (List.length rows))
+      | _, P.C -> P.err "C-repair semantics supports single queries only"
+      | _, P.S ->
+          let m = match method_ with P.Asp -> `Asp | _ -> `Repair_enumeration in
+          let rows =
+            Cqa.Engine.consistent_answers_ucq ~method_:m session.engine u
+          in
+          P.ok ~body:(List.map pp_row rows)
+            (Printf.sprintf "answers=%d" (List.length rows)))
+
+let exec_check (session : Session.t) =
+  let witnesses =
+    Constraints.Violation.all session.doc.instance session.doc.schema
+      session.doc.ics
+  in
+  if witnesses = [] then P.ok "consistent"
+  else P.ok (Printf.sprintf "inconsistent violations=%d" (List.length witnesses))
+
+let exec_repairs (session : Session.t) semantics =
+  let count =
+    match semantics with
+    | P.S ->
+        Repairs.Count.s_repairs session.doc.instance session.doc.schema
+          session.doc.ics
+    | P.C ->
+        Repairs.Count.c_repairs session.doc.instance session.doc.schema
+          session.doc.ics
+  in
+  P.ok (Printf.sprintf "count=%d" count)
+
+let exec_measure (session : Session.t) =
+  let measures =
+    Measures.Degree.all session.doc.instance session.doc.schema
+      session.doc.ics
+  in
+  P.ok
+    ~body:(List.map (fun (name, x) -> Printf.sprintf "%s %.4f" name x) measures)
+    (Printf.sprintf "measures=%d" (List.length measures))
+
+let exec t payload = function
+  | P.Load sid -> (
+      let text = String.concat "\n" (Option.value ~default:[] payload) in
+      match Cqa.Parse.document_of_string text with
+      | exception Cqa.Parse.Error (line, msg) ->
+          P.err (Printf.sprintf "payload line %d: %s" line msg)
+      | exception Invalid_argument msg -> P.err ("payload: " ^ msg)
+      | doc ->
+          let _session = Session.load t.sessions ~id:sid doc in
+          P.ok
+            (Printf.sprintf "loaded session=%s facts=%d ics=%d queries=%d" sid
+               (Relational.Instance.size doc.instance)
+               (List.length doc.ics)
+               (List.length doc.queries)))
+  | P.Query { sid; name; method_; semantics } ->
+      with_session t sid (fun session ->
+          let key =
+            String.concat "|"
+              [
+                session.digest; "query"; name; method_label method_;
+                semantics_label semantics;
+              ]
+          in
+          cached t session key (fun () -> exec_query session name method_ semantics))
+  | P.Check sid -> with_session t sid exec_check
+  | P.Repairs { sid; semantics } ->
+      with_session t sid (fun session ->
+          let key =
+            String.concat "|"
+              [ session.digest; "repairs"; semantics_label semantics ]
+          in
+          cached t session key (fun () -> exec_repairs session semantics))
+  | P.Measure sid ->
+      with_session t sid (fun session ->
+          let key = String.concat "|" [ session.digest; "measure" ] in
+          cached t session key (fun () -> exec_measure session))
+  | P.Update { sid; op; rel; values } ->
+      with_session t sid (fun session ->
+          match Session.apply_update session ~op ~rel values with
+          | Error msg -> P.err msg
+          | Ok () ->
+              (* The digest changed, so stale entries can no longer be
+                 hit; dropping them eagerly also frees cache room. *)
+              List.iter (Lru.remove t.cache) (Session.take_keys session);
+              P.ok
+                (Printf.sprintf "size=%d"
+                   (Relational.Instance.size session.doc.instance)))
+  | P.Stats ->
+      let body =
+        Printf.sprintf "sessions %d" (Session.count t.sessions)
+        :: Printf.sprintf "cache_entries %d" (Lru.length t.cache)
+        :: Printf.sprintf "cache_evictions %d" (Lru.evictions t.cache)
+        :: Metrics.render t.metrics
+      in
+      P.ok ~body (Printf.sprintf "stats=%d" (List.length body))
+  | P.Close sid ->
+      if Session.close t.sessions sid then P.ok (Printf.sprintf "closed %s" sid)
+      else P.err (Printf.sprintf "unknown session %S" sid)
+  | P.Quit -> P.ok "bye"
+
+let dispatch t ?payload command =
+  let t0 = Unix.gettimeofday () in
+  let response =
+    try exec t payload command
+    with e -> P.err (Printf.sprintf "internal: %s" (Printexc.to_string e))
+  in
+  Metrics.observe t.metrics
+    ~command:(P.command_label command)
+    ~latency:(Unix.gettimeofday () -. t0);
+  if response.P.status = `Err then Metrics.error t.metrics;
+  response
+
+let parse_failure t msg =
+  Metrics.parse_error t.metrics;
+  Metrics.error t.metrics;
+  P.err msg
+
+let handle_line t ?payload line =
+  match P.parse line with
+  | Ok command -> dispatch t ?payload command
+  | Error msg -> parse_failure t msg

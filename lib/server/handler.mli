@@ -1,0 +1,35 @@
+(** Request execution over a session store, with memoization and metrics.
+
+    Certain answers (QUERY), repair counts (REPAIRS) and inconsistency
+    measures (MEASURE) are memoized in a shared capacity-bounded
+    {!Lru} cache keyed by instance digest × semantics/method × query, so
+    equal data loaded under different session ids shares entries.  An
+    UPDATE rewrites the session's digest {e and} eagerly drops the
+    entries inserted on the session's behalf.  CHECK is answered
+    directly — it is the cheap baseline the cache is measured against.
+
+    Execution failures (unknown session, unknown query, inapplicable
+    method, malformed payloads) are returned as [ERR] responses; they
+    never raise, so a misbehaving request cannot kill the session or the
+    connection that sent it. *)
+
+type t
+
+val create : ?cache_capacity:int -> unit -> t
+(** [cache_capacity] defaults to 512 entries. *)
+
+val metrics : t -> Metrics.t
+val sessions : t -> Session.store
+val cache_length : t -> int
+
+val dispatch : t -> ?payload:string list -> Protocol.command -> Protocol.response
+(** Execute one parsed command, recording request count and latency.
+    [payload] is the document text for LOAD (ignored otherwise). *)
+
+val parse_failure : t -> string -> Protocol.response
+(** The [ERR] response for an unparseable request line, recorded in the
+    metrics. *)
+
+val handle_line : t -> ?payload:string list -> string -> Protocol.response
+(** [parse] + [dispatch]/[parse_failure] — the one-call entry point used
+    by tests and by the event loop for non-LOAD commands. *)

@@ -1,0 +1,188 @@
+module P = Protocol
+
+(* Per-connection state.  [payload] is set while a LOAD's document lines
+   are being collected (session id, lines in reverse). *)
+type conn = {
+  fd : Unix.file_descr;
+  inbuf : Buffer.t;
+  mutable out : string;
+  mutable payload : (string * string list) option;
+  mutable closing : bool; (* QUIT seen: close once output drains *)
+}
+
+type t = {
+  listen_fd : Unix.file_descr;
+  handler : Handler.t;
+  mutable conns : conn list;
+  mutable stopped : bool;
+}
+
+let create ?cache_capacity listen_fd =
+  Unix.set_nonblock listen_fd;
+  {
+    listen_fd;
+    handler = Handler.create ?cache_capacity ();
+    conns = [];
+    stopped = false;
+  }
+
+let handler t = t.handler
+let connections t = List.length t.conns
+
+let close_conn t conn =
+  (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+  t.conns <- List.filter (fun c -> c != conn) t.conns
+
+let enqueue t conn response =
+  let text = P.render response in
+  Metrics.add_bytes_out (Handler.metrics t.handler) (String.length text);
+  conn.out <- conn.out ^ text
+
+(* One complete request line (without its newline). *)
+let process_line t conn line =
+  match conn.payload with
+  | Some (sid, acc) ->
+      if String.trim line = P.terminator then begin
+        conn.payload <- None;
+        enqueue t conn
+          (Handler.dispatch t.handler ~payload:(List.rev acc) (P.Load sid))
+      end
+      else conn.payload <- Some (sid, line :: acc)
+  | None -> (
+      if String.trim line = "" then () (* blank lines between requests ok *)
+      else
+        match P.parse line with
+        | Ok (P.Load sid) -> conn.payload <- Some (sid, [])
+        | Ok P.Quit ->
+            enqueue t conn (Handler.dispatch t.handler P.Quit);
+            conn.closing <- true
+        | Ok command -> enqueue t conn (Handler.dispatch t.handler command)
+        | Error msg -> enqueue t conn (Handler.parse_failure t.handler msg))
+
+(* Split off every complete line accumulated in [inbuf]. *)
+let drain_lines conn =
+  let s = Buffer.contents conn.inbuf in
+  let rec go start acc =
+    match String.index_from_opt s start '\n' with
+    | None ->
+        Buffer.clear conn.inbuf;
+        Buffer.add_substring conn.inbuf s start (String.length s - start);
+        List.rev acc
+    | Some i ->
+        let line = String.sub s start (i - start) in
+        let line =
+          (* Tolerate CRLF clients (telnet, netcat -C). *)
+          if line <> "" && line.[String.length line - 1] = '\r' then
+            String.sub line 0 (String.length line - 1)
+          else line
+        in
+        go (i + 1) (line :: acc)
+  in
+  go 0 []
+
+let read_conn t conn =
+  let bytes = Bytes.create 4096 in
+  let rec read_all () =
+    match Unix.read conn.fd bytes 0 (Bytes.length bytes) with
+    | 0 -> close_conn t conn
+    | n ->
+        Metrics.add_bytes_in (Handler.metrics t.handler) n;
+        Buffer.add_subbytes conn.inbuf bytes 0 n;
+        read_all ()
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+    | exception Unix.Unix_error _ -> close_conn t conn
+  in
+  read_all ();
+  (* Only process lines if the connection survived the read. *)
+  if List.memq conn t.conns then
+    List.iter (process_line t conn) (drain_lines conn)
+
+let write_conn t conn =
+  (match
+     Unix.write_substring conn.fd conn.out 0 (String.length conn.out)
+   with
+  | n -> conn.out <- String.sub conn.out n (String.length conn.out - n)
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+  | exception Unix.Unix_error _ -> close_conn t conn);
+  if List.memq conn t.conns && conn.closing && conn.out = "" then
+    close_conn t conn
+
+let accept_all t =
+  let rec go n =
+    match Unix.accept t.listen_fd with
+    | fd, _ ->
+        Unix.set_nonblock fd;
+        t.conns <-
+          {
+            fd;
+            inbuf = Buffer.create 256;
+            out = "";
+            payload = None;
+            closing = false;
+          }
+          :: t.conns;
+        go (n + 1)
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> n
+  in
+  go 0
+
+let step ?(timeout = 0.0) t =
+  let reads = t.listen_fd :: List.map (fun c -> c.fd) t.conns in
+  let writes =
+    List.filter_map (fun c -> if c.out <> "" then Some c.fd else None) t.conns
+  in
+  match Unix.select reads writes [] timeout with
+  | exception Unix.Unix_error (EINTR, _, _) -> 0
+  | readable, writable, _ ->
+      let serviced = ref 0 in
+      if List.memq t.listen_fd readable then
+        serviced := !serviced + accept_all t;
+      List.iter
+        (fun conn ->
+          if List.mem conn.fd readable then begin
+            incr serviced;
+            read_conn t conn
+          end)
+        t.conns;
+      List.iter
+        (fun conn ->
+          if List.mem conn.fd writable && List.memq conn t.conns then begin
+            incr serviced;
+            write_conn t conn
+          end)
+        t.conns;
+      !serviced
+
+let stop t = t.stopped <- true
+
+let run ?max_requests t =
+  let budget_left () =
+    match max_requests with
+    | None -> true
+    | Some n -> Metrics.requests (Handler.metrics t.handler) < n
+  in
+  while (not t.stopped) && budget_left () do
+    ignore (step ~timeout:0.5 t)
+  done;
+  List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) t.conns;
+  t.conns <- [];
+  try Unix.close t.listen_fd with Unix.Unix_error _ -> ()
+
+let listen_unix path =
+  if Sys.file_exists path then Unix.unlink path;
+  let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+  Unix.bind fd (ADDR_UNIX path);
+  Unix.listen fd 64;
+  fd
+
+let listen_tcp ?(host = "127.0.0.1") ~port () =
+  let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+  Unix.setsockopt fd SO_REUSEADDR true;
+  Unix.bind fd (ADDR_INET (Unix.inet_addr_of_string host, port));
+  Unix.listen fd 64;
+  let actual =
+    match Unix.getsockname fd with
+    | ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  (fd, actual)

@@ -1,0 +1,97 @@
+(* Hash table over an intrusive doubly-linked recency list: the classic
+   O(1) LRU.  [first] is the most-recently-used end, [last] the eviction
+   end. *)
+
+type ('k, 'v) node = {
+  key : 'k;
+  mutable value : 'v;
+  mutable prev : ('k, 'v) node option; (* towards [first] *)
+  mutable next : ('k, 'v) node option; (* towards [last] *)
+}
+
+type ('k, 'v) t = {
+  cap : int;
+  table : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable first : ('k, 'v) node option;
+  mutable last : ('k, 'v) node option;
+  mutable evicted : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Lru.create: capacity must be positive";
+  {
+    cap = capacity;
+    table = Hashtbl.create (min capacity 64);
+    first = None;
+    last = None;
+    evicted = 0;
+  }
+
+let capacity t = t.cap
+let length t = Hashtbl.length t.table
+let evictions t = t.evicted
+
+(* Detach [n] from the recency list (it stays in the table). *)
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.first <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.last <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.first;
+  (match t.first with Some f -> f.prev <- Some n | None -> t.last <- Some n);
+  t.first <- Some n
+
+let promote t n =
+  if t.first != Some n then begin
+    unlink t n;
+    push_front t n
+  end
+
+let find t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> None
+  | Some n ->
+      promote t n;
+      Some n.value
+
+let mem t k = Hashtbl.mem t.table k
+
+let drop_last t =
+  match t.last with
+  | None -> ()
+  | Some n ->
+      unlink t n;
+      Hashtbl.remove t.table n.key;
+      t.evicted <- t.evicted + 1
+
+let add t k v =
+  match Hashtbl.find_opt t.table k with
+  | Some n ->
+      n.value <- v;
+      promote t n
+  | None ->
+      if Hashtbl.length t.table >= t.cap then drop_last t;
+      let n = { key = k; value = v; prev = None; next = None } in
+      Hashtbl.replace t.table k n;
+      push_front t n
+
+let remove t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> ()
+  | Some n ->
+      unlink t n;
+      Hashtbl.remove t.table k
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.first <- None;
+  t.last <- None
+
+let keys t =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some n -> go (n.key :: acc) n.next
+  in
+  go [] t.first

@@ -1,0 +1,39 @@
+(** Request metrics for the serving layer: request and error counters,
+    cache hits/misses, per-command latency histograms, and bytes moved on
+    the wire.  Rendered as one [name value] line per metric by [render]
+    (the STATS command and the server's [--metrics-dump] flag). *)
+
+type t
+
+val create : unit -> t
+
+val observe : t -> command:string -> latency:float -> unit
+(** Count one completed request of kind [command] (e.g. ["QUERY"]) that
+    took [latency] seconds; feeds the per-command histogram. *)
+
+val parse_error : t -> unit
+(** Count a request line that failed to parse. *)
+
+val error : t -> unit
+(** Count a request answered with [ERR]. *)
+
+val cache_hit : t -> unit
+val cache_miss : t -> unit
+val add_bytes_in : t -> int -> unit
+val add_bytes_out : t -> int -> unit
+
+val requests : t -> int
+val errors : t -> int
+val hits : t -> int
+val misses : t -> int
+val bytes_in : t -> int
+val bytes_out : t -> int
+
+val hit_rate : t -> float
+(** Hits over hits+misses; 0 before any cacheable request. *)
+
+val render : t -> string list
+(** One [name value] line per counter, then one
+    [latency_<command> count=<n> mean_us=<m> hist=<b0,b1,...>] line per
+    command seen; histogram buckets are decades from 1 µs to 10 s plus
+    an overflow bucket. *)

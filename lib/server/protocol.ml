@@ -1,0 +1,171 @@
+module Value = Relational.Value
+
+type semantics = S | C
+type method_ = Auto | Enum | Rewriting | Key_rewriting | Asp
+
+type command =
+  | Load of string
+  | Query of {
+      sid : string;
+      name : string;
+      method_ : method_;
+      semantics : semantics;
+    }
+  | Check of string
+  | Repairs of { sid : string; semantics : semantics }
+  | Measure of string
+  | Update of {
+      sid : string;
+      op : [ `Add | `Del ];
+      rel : string;
+      values : Value.t list;
+    }
+  | Stats
+  | Close of string
+  | Quit
+
+let terminator = "."
+
+let ( let* ) = Result.bind
+
+let split_words s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
+
+let semantics_of = function
+  | "s" -> Ok S
+  | "c" -> Ok C
+  | s -> Error (Printf.sprintf "unknown semantics %S (expected s or c)" s)
+
+let method_of = function
+  | "auto" -> Ok Auto
+  | "enum" -> Ok Enum
+  | "rewriting" -> Ok Rewriting
+  | "key-rewriting" -> Ok Key_rewriting
+  | "asp" -> Ok Asp
+  | s -> Error (Printf.sprintf "unknown method %S" s)
+
+(* QUERY options: [method=M] and [semantics=S] tokens in any order. *)
+let rec query_options method_ semantics = function
+  | [] -> Ok (method_, semantics)
+  | tok :: rest -> (
+      match String.index_opt tok '=' with
+      | Some i -> (
+          let k = String.sub tok 0 i
+          and v = String.sub tok (i + 1) (String.length tok - i - 1) in
+          match String.lowercase_ascii k with
+          | "method" ->
+              let* m = method_of (String.lowercase_ascii v) in
+              query_options m semantics rest
+          | "semantics" ->
+              let* s = semantics_of (String.lowercase_ascii v) in
+              query_options method_ s rest
+          | _ -> Error (Printf.sprintf "unknown QUERY option %S" k))
+      | None -> Error (Printf.sprintf "unknown QUERY option %S" tok))
+
+let is_all_digits s =
+  s <> "" && String.for_all (fun c -> c >= '0' && c <= '9') s
+
+(* Value tokens follow the Cqa.Parse conventions (plus negative ints and
+   decimal reals, which rows written back by a client may contain). *)
+let value_of_token tok =
+  let n = String.length tok in
+  if n >= 2 && tok.[0] = '"' && tok.[n - 1] = '"' then
+    Value.str (String.sub tok 1 (n - 2))
+  else if String.equal tok "null" then Value.Null
+  else if String.equal tok "true" then Value.bool true
+  else if String.equal tok "false" then Value.bool false
+  else if is_all_digits tok then Value.int (int_of_string tok)
+  else if n > 1 && tok.[0] = '-' && is_all_digits (String.sub tok 1 (n - 1))
+  then Value.int (int_of_string tok)
+  else if String.contains tok '.' then
+    match float_of_string_opt tok with
+    | Some f -> Value.real f
+    | None -> Value.str tok
+  else Value.str tok
+
+(* "Rel(v1, v2, ...)" — the row syntax of Cqa.Parse without the leading
+   `row` keyword. *)
+let fact_of_text text =
+  let text = String.trim text in
+  match String.index_opt text '(' with
+  | None -> Error "expected Rel(v1, ..., vk)"
+  | Some i ->
+      if String.length text = 0 || text.[String.length text - 1] <> ')' then
+        Error "expected Rel(v1, ..., vk)"
+      else
+        let rel = String.trim (String.sub text 0 i) in
+        let inside = String.sub text (i + 1) (String.length text - i - 2) in
+        if rel = "" then Error "missing relation name"
+        else
+          let values =
+            if String.trim inside = "" then []
+            else
+              String.split_on_char ',' inside
+              |> List.map (fun tok -> value_of_token (String.trim tok))
+          in
+          Ok (rel, values)
+
+let parse line =
+  let line = String.trim line in
+  match split_words line with
+  | [] -> Error "empty request"
+  | verb :: args -> (
+      match (String.uppercase_ascii verb, args) with
+      | "LOAD", [ sid ] -> Ok (Load sid)
+      | "LOAD", _ -> Error "usage: LOAD <sid>"
+      | "QUERY", sid :: name :: opts ->
+          let* method_, semantics = query_options Auto S opts in
+          Ok (Query { sid; name; method_; semantics })
+      | "QUERY", _ -> Error "usage: QUERY <sid> <name> [method=M] [semantics=S]"
+      | "CHECK", [ sid ] -> Ok (Check sid)
+      | "CHECK", _ -> Error "usage: CHECK <sid>"
+      | "REPAIRS", [ sid ] -> Ok (Repairs { sid; semantics = S })
+      | "REPAIRS", [ sid; sem ] ->
+          let* semantics = semantics_of (String.lowercase_ascii sem) in
+          Ok (Repairs { sid; semantics })
+      | "REPAIRS", _ -> Error "usage: REPAIRS <sid> [s|c]"
+      | "MEASURE", [ sid ] -> Ok (Measure sid)
+      | "MEASURE", _ -> Error "usage: MEASURE <sid>"
+      | "UPDATE", sid :: op :: rest ->
+          let* op =
+            match String.lowercase_ascii op with
+            | "add" -> Ok `Add
+            | "del" -> Ok `Del
+            | s -> Error (Printf.sprintf "unknown UPDATE op %S (add or del)" s)
+          in
+          let* rel, values = fact_of_text (String.concat " " rest) in
+          Ok (Update { sid; op; rel; values })
+      | "UPDATE", _ -> Error "usage: UPDATE <sid> add|del Rel(v1, ..., vk)"
+      | "STATS", [] -> Ok Stats
+      | "STATS", _ -> Error "usage: STATS"
+      | "CLOSE", [ sid ] -> Ok (Close sid)
+      | "CLOSE", _ -> Error "usage: CLOSE <sid>"
+      | "QUIT", [] -> Ok Quit
+      | "QUIT", _ -> Error "usage: QUIT"
+      | v, _ -> Error (Printf.sprintf "unknown command %S" v))
+
+let command_label = function
+  | Load _ -> "LOAD"
+  | Query _ -> "QUERY"
+  | Check _ -> "CHECK"
+  | Repairs _ -> "REPAIRS"
+  | Measure _ -> "MEASURE"
+  | Update _ -> "UPDATE"
+  | Stats -> "STATS"
+  | Close _ -> "CLOSE"
+  | Quit -> "QUIT"
+
+type response = { status : [ `Ok | `Err ]; head : string; body : string list }
+
+let ok ?(body = []) head = { status = `Ok; head; body }
+let err msg = { status = `Err; head = msg; body = [] }
+
+let render { status; head; body } =
+  let status_line =
+    match status with
+    | `Ok -> if head = "" then "OK" else "OK " ^ head
+    | `Err -> "ERR " ^ head
+  in
+  String.concat "\n" ((status_line :: body) @ [ terminator; "" ])

@@ -1,0 +1,67 @@
+(** The cqa-serve wire protocol: line-oriented requests and responses.
+
+    Requests are single lines (LOAD is followed by a document payload
+    terminated by a lone ["."] line):
+
+    {v
+    LOAD <sid>                   % then Cqa.Parse document lines, then "."
+    QUERY <sid> <name> [method=auto|enum|rewriting|key-rewriting|asp]
+                       [semantics=s|c]
+    CHECK <sid>
+    REPAIRS <sid> [s|c]
+    MEASURE <sid>
+    UPDATE <sid> add|del <Rel>(<v1>, ..., <vk>)
+    STATS
+    CLOSE <sid>
+    QUIT
+    v}
+
+    Every response is a status line — [OK <head>] or [ERR <message>] —
+    followed by zero or more data lines and a terminating lone ["."]
+    line, so clients always read up to the first ["."]. *)
+
+type semantics = S | C
+
+type method_ = Auto | Enum | Rewriting | Key_rewriting | Asp
+
+type command =
+  | Load of string  (** session id; the document payload follows *)
+  | Query of {
+      sid : string;
+      name : string;
+      method_ : method_;
+      semantics : semantics;
+    }
+  | Check of string
+  | Repairs of { sid : string; semantics : semantics }
+  | Measure of string
+  | Update of {
+      sid : string;
+      op : [ `Add | `Del ];
+      rel : string;
+      values : Relational.Value.t list;
+    }
+  | Stats
+  | Close of string
+  | Quit
+
+val parse : string -> (command, string) result
+(** Parse one request line.  Keywords are case-insensitive; value tokens
+    in UPDATE follow the conventions of {!Cqa.Parse} (all-digit tokens are
+    integers, [null] is the SQL null, double-quoted strings keep their
+    spelling, everything else is a string constant). *)
+
+val command_label : command -> string
+(** The metrics label, e.g. ["QUERY"]. *)
+
+val terminator : string
+(** The lone ["."] line ending payloads and responses. *)
+
+type response = { status : [ `Ok | `Err ]; head : string; body : string list }
+
+val ok : ?body:string list -> string -> response
+val err : string -> response
+
+val render : response -> string
+(** The full wire text of a response, ["\n"]-terminated lines including
+    the final terminator. *)

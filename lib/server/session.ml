@@ -1,0 +1,75 @@
+module Instance = Relational.Instance
+module Fact = Relational.Fact
+
+type t = {
+  id : string;
+  mutable doc : Cqa.Parse.document;
+  mutable engine : Cqa.Engine.t;
+  mutable digest : string;
+  cache_keys : (string, unit) Hashtbl.t;
+}
+
+type store = (string, t) Hashtbl.t
+
+let create_store () : store = Hashtbl.create 16
+let count = Hashtbl.length
+
+let digest_of (doc : Cqa.Parse.document) =
+  let facts =
+    Instance.fact_list doc.instance
+    |> List.map Fact.to_string
+    |> List.sort String.compare
+  in
+  let ics =
+    List.map (fun ic -> Format.asprintf "%a" Constraints.Ic.pp ic) doc.ics
+  in
+  Digest.to_hex (Digest.string (String.concat "\x00" (ics @ ("" :: facts))))
+
+let engine_of (doc : Cqa.Parse.document) =
+  Cqa.Engine.create ~schema:doc.schema ~ics:doc.ics doc.instance
+
+let load store ~id doc =
+  let t =
+    {
+      id;
+      doc;
+      engine = engine_of doc;
+      digest = digest_of doc;
+      cache_keys = Hashtbl.create 16;
+    }
+  in
+  Hashtbl.replace store id t;
+  t
+
+let find store id = Hashtbl.find_opt store id
+
+let close store id =
+  if Hashtbl.mem store id then begin
+    Hashtbl.remove store id;
+    true
+  end
+  else false
+
+let ids store =
+  Hashtbl.fold (fun id _ acc -> id :: acc) store [] |> List.sort String.compare
+
+let remember_key t key = Hashtbl.replace t.cache_keys key ()
+
+let take_keys t =
+  let keys = Hashtbl.fold (fun k () acc -> k :: acc) t.cache_keys [] in
+  Hashtbl.reset t.cache_keys;
+  keys
+
+let apply_update t ~op ~rel values =
+  let fact = Fact.make rel values in
+  match
+    match op with
+    | `Add -> Instance.add t.doc.instance fact
+    | `Del -> Instance.delete_fact t.doc.instance fact
+  with
+  | exception Invalid_argument msg -> Error msg
+  | instance ->
+      t.doc <- { t.doc with instance };
+      t.engine <- engine_of t.doc;
+      t.digest <- digest_of t.doc;
+      Ok ()

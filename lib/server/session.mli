@@ -1,0 +1,51 @@
+(** Sessions: named, resident {!Cqa.Engine} instances.
+
+    A session binds a client-chosen id to a loaded document and the
+    engine built over it.  Sessions outlive connections — that is the
+    point of the serving layer: the parse and engine construction cost is
+    paid once per LOAD and amortized over many requests.  Each session
+    carries a digest of its instance and constraints (the memoization key
+    prefix, see {!Handler}) and remembers which cache keys were inserted
+    on its behalf so an UPDATE can invalidate exactly them. *)
+
+type t = {
+  id : string;
+  mutable doc : Cqa.Parse.document;
+  mutable engine : Cqa.Engine.t;
+  mutable digest : string;
+  cache_keys : (string, unit) Hashtbl.t;
+}
+
+type store
+
+val create_store : unit -> store
+val count : store -> int
+
+val load : store -> id:string -> Cqa.Parse.document -> t
+(** Create or replace the session named [id]. *)
+
+val find : store -> string -> t option
+
+val close : store -> string -> bool
+(** [false] if no such session. *)
+
+val ids : store -> string list
+(** Sorted, for STATS output. *)
+
+val digest_of : Cqa.Parse.document -> string
+(** Hex digest over the instance's fact set and the constraint list —
+    two sessions holding equal data share cache entries. *)
+
+val remember_key : t -> string -> unit
+(** Record that a cache entry with this key was inserted for this
+    session. *)
+
+val take_keys : t -> string list
+(** The recorded cache keys; clears the record. *)
+
+val apply_update :
+  t -> op:[ `Add | `Del ] -> rel:string -> Relational.Value.t list ->
+  (unit, string) result
+(** Insert or delete one fact, rebuild the engine and refresh the
+    digest.  Errors (unknown relation, arity mismatch) leave the session
+    unchanged. *)

@@ -27,5 +27,6 @@ let () =
       ("wave5", Test_wave5.suite);
       ("exrules", Test_exrules.suite);
       ("facade", Test_facade.suite);
+      ("server", Test_server.suite);
       ("properties", Test_properties.suite);
     ]

@@ -1,0 +1,320 @@
+(* The serving layer: LRU eviction and capacity bounds, metrics, protocol
+   parsing (errors answered with ERR, never an exception), cache
+   invalidation on UPDATE, and an end-to-end socket round-trip against
+   the select loop. *)
+
+module P = Server.Protocol
+
+let doc_lines =
+  [
+    "relation T(k, v)";
+    "row T(1, 1)";
+    "row T(1, 2)";
+    "row T(2, 5)";
+    "key T(k)";
+    "query q(X) :- T(X, Y)";
+  ]
+
+(* ---- Lru ------------------------------------------------------------- *)
+
+let test_lru_eviction () =
+  let c = Server.Lru.create ~capacity:3 in
+  Server.Lru.add c "a" 1;
+  Server.Lru.add c "b" 2;
+  Server.Lru.add c "c" 3;
+  (* Touch "a": now "b" is least recently used. *)
+  Alcotest.(check (option int)) "find a" (Some 1) (Server.Lru.find c "a");
+  Server.Lru.add c "d" 4;
+  Alcotest.(check int) "capacity bound" 3 (Server.Lru.length c);
+  Alcotest.(check bool) "b evicted" false (Server.Lru.mem c "b");
+  Alcotest.(check (list string)) "recency order" [ "d"; "a"; "c" ]
+    (Server.Lru.keys c);
+  Alcotest.(check int) "one eviction" 1 (Server.Lru.evictions c)
+
+let test_lru_overwrite () =
+  let c = Server.Lru.create ~capacity:2 in
+  Server.Lru.add c "a" 1;
+  Server.Lru.add c "b" 2;
+  Server.Lru.add c "a" 10;
+  Alcotest.(check int) "no growth on overwrite" 2 (Server.Lru.length c);
+  Alcotest.(check (option int)) "new value" (Some 10) (Server.Lru.find c "a");
+  (* Overwriting promoted "a", so "b" goes first. *)
+  Server.Lru.add c "c" 3;
+  Alcotest.(check bool) "b evicted" false (Server.Lru.mem c "b");
+  Alcotest.(check bool) "a kept" true (Server.Lru.mem c "a")
+
+let test_lru_remove_clear () =
+  let c = Server.Lru.create ~capacity:4 in
+  List.iter (fun k -> Server.Lru.add c k k) [ 1; 2; 3 ];
+  Server.Lru.remove c 2;
+  Server.Lru.remove c 99 (* absent: no-op *);
+  Alcotest.(check (list int)) "after remove" [ 3; 1 ] (Server.Lru.keys c);
+  Server.Lru.clear c;
+  Alcotest.(check int) "after clear" 0 (Server.Lru.length c);
+  Server.Lru.add c 7 7;
+  Alcotest.(check (list int)) "usable after clear" [ 7 ] (Server.Lru.keys c);
+  Alcotest.check_raises "capacity 0 rejected"
+    (Invalid_argument "Lru.create: capacity must be positive") (fun () ->
+      ignore (Server.Lru.create ~capacity:0))
+
+let test_lru_capacity_one () =
+  let c = Server.Lru.create ~capacity:1 in
+  Server.Lru.add c "a" 1;
+  Server.Lru.add c "b" 2;
+  Alcotest.(check (list string)) "only newest" [ "b" ] (Server.Lru.keys c);
+  Alcotest.(check (option int)) "a gone" None (Server.Lru.find c "a")
+
+(* ---- Metrics --------------------------------------------------------- *)
+
+let test_metrics () =
+  let m = Server.Metrics.create () in
+  Server.Metrics.observe m ~command:"QUERY" ~latency:0.0005;
+  Server.Metrics.observe m ~command:"QUERY" ~latency:0.05;
+  Server.Metrics.observe m ~command:"CHECK" ~latency:1e-7;
+  Server.Metrics.cache_hit m;
+  Server.Metrics.cache_miss m;
+  Server.Metrics.cache_miss m;
+  Server.Metrics.add_bytes_in m 10;
+  Server.Metrics.add_bytes_out m 20;
+  Alcotest.(check int) "requests" 3 (Server.Metrics.requests m);
+  Alcotest.(check int) "hits" 1 (Server.Metrics.hits m);
+  Alcotest.(check (float 1e-9)) "hit rate" (1.0 /. 3.0)
+    (Server.Metrics.hit_rate m);
+  let rendered = Server.Metrics.render m in
+  Alcotest.(check bool) "hits line" true (List.mem "cache_hits 1" rendered);
+  Alcotest.(check bool) "bytes line" true (List.mem "bytes_in 10" rendered);
+  let query_line =
+    List.find
+      (fun l -> String.length l > 13 && String.sub l 0 13 = "latency_query")
+      rendered
+  in
+  Alcotest.(check bool) "histogram rendered" true
+    (String.length query_line > 0)
+
+(* ---- Protocol -------------------------------------------------------- *)
+
+let test_protocol_parse () =
+  (match P.parse "QUERY s1 q method=asp semantics=c" with
+  | Ok (P.Query { sid; name; method_ = P.Asp; semantics = P.C }) ->
+      Alcotest.(check string) "sid" "s1" sid;
+      Alcotest.(check string) "name" "q" name
+  | _ -> Alcotest.fail "QUERY with options should parse");
+  (match P.parse "update s2 add T(3, \"a b\")" with
+  | Ok (P.Update { op = `Add; rel; values; _ }) ->
+      Alcotest.(check string) "rel" "T" rel;
+      Alcotest.(check int) "arity" 2 (List.length values);
+      Alcotest.(check bool) "quoted string value" true
+        (List.nth values 1 = Relational.Value.Str "a b")
+  | _ -> Alcotest.fail "lowercase UPDATE should parse");
+  (match P.parse "REPAIRS s1 c" with
+  | Ok (P.Repairs { semantics = P.C; _ }) -> ()
+  | _ -> Alcotest.fail "REPAIRS c should parse");
+  let bad l =
+    match P.parse l with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail (Printf.sprintf "%S should not parse" l)
+  in
+  List.iter bad
+    [
+      "FROBNICATE x"; ""; "QUERY"; "QUERY s1 q method=warp";
+      "UPDATE s1 add no-parens"; "REPAIRS s1 q"; "LOAD a b"; "STATS extra";
+    ]
+
+(* ---- Handler: memoization and invalidation --------------------------- *)
+
+let load_session h sid =
+  match Server.Handler.dispatch h ~payload:doc_lines (P.Load sid) with
+  | { P.status = `Ok; _ } -> ()
+  | { P.head; _ } -> Alcotest.fail ("LOAD failed: " ^ head)
+
+let dispatch_line h line =
+  Server.Handler.handle_line h line
+
+let test_handler_cache_and_invalidation () =
+  let h = Server.Handler.create ~cache_capacity:16 () in
+  load_session h "s1";
+  let m = Server.Handler.metrics h in
+  let r1 = dispatch_line h "QUERY s1 q" in
+  Alcotest.(check bool) "first QUERY ok" true (r1.P.status = `Ok);
+  (* Key 1 conflicts (two claimants), key 2 is clean: answers are 1, 2. *)
+  Alcotest.(check (list string)) "answers" [ "1"; "2" ]
+    (List.sort compare r1.P.body);
+  Alcotest.(check int) "one miss" 1 (Server.Metrics.misses m);
+  let r2 = dispatch_line h "QUERY s1 q" in
+  Alcotest.(check int) "served from cache" 1 (Server.Metrics.hits m);
+  Alcotest.(check (list string)) "same body from cache" r1.P.body r2.P.body;
+  (* UPDATE invalidates: the digest changes and the entry is dropped. *)
+  Alcotest.(check int) "entry cached" 1 (Server.Handler.cache_length h);
+  let u = dispatch_line h "UPDATE s1 add T(9, 9)" in
+  Alcotest.(check bool) "update ok" true (u.P.status = `Ok);
+  Alcotest.(check int) "cache dropped" 0 (Server.Handler.cache_length h);
+  let r3 = dispatch_line h "QUERY s1 q" in
+  Alcotest.(check int) "recomputed, not hit" 1 (Server.Metrics.hits m);
+  Alcotest.(check int) "second miss" 2 (Server.Metrics.misses m);
+  Alcotest.(check (list string)) "new fact visible" [ "1"; "2"; "9" ]
+    (List.sort compare r3.P.body);
+  (* Deleting the clean tuple changes answers again. *)
+  ignore (dispatch_line h "UPDATE s1 del T(2, 5)");
+  let r4 = dispatch_line h "QUERY s1 q" in
+  Alcotest.(check (list string)) "delete visible" [ "1"; "9" ]
+    (List.sort compare r4.P.body)
+
+let test_handler_shared_cache_across_sessions () =
+  (* Equal data under different session ids shares cache entries: the
+     key is the instance digest, not the session id. *)
+  let h = Server.Handler.create () in
+  load_session h "a";
+  load_session h "b";
+  ignore (dispatch_line h "QUERY a q");
+  ignore (dispatch_line h "QUERY b q");
+  Alcotest.(check int) "second session hits" 1
+    (Server.Metrics.hits (Server.Handler.metrics h))
+
+let test_handler_repairs_measure_check () =
+  let h = Server.Handler.create () in
+  load_session h "s1";
+  (match dispatch_line h "REPAIRS s1 s" with
+  | { P.status = `Ok; head = "count=2"; _ } -> ()
+  | { P.head; _ } -> Alcotest.fail ("unexpected REPAIRS: " ^ head));
+  (match dispatch_line h "CHECK s1" with
+  | { P.status = `Ok; head = "inconsistent violations=1"; _ } -> ()
+  | { P.head; _ } -> Alcotest.fail ("unexpected CHECK: " ^ head));
+  let m = dispatch_line h "MEASURE s1" in
+  Alcotest.(check bool) "measures returned" true (List.length m.P.body >= 3);
+  ignore (dispatch_line h "MEASURE s1");
+  ignore (dispatch_line h "REPAIRS s1 s");
+  Alcotest.(check int) "repairs+measure cached" 2
+    (Server.Metrics.hits (Server.Handler.metrics h))
+
+let test_handler_errors_keep_session () =
+  let h = Server.Handler.create () in
+  load_session h "s1";
+  (* Parse error, unknown session, unknown query, bad update: all ERR,
+     none fatal. *)
+  List.iter
+    (fun line ->
+      match dispatch_line h line with
+      | { P.status = `Err; _ } -> ()
+      | _ -> Alcotest.fail (Printf.sprintf "%S should answer ERR" line))
+    [
+      "FROBNICATE";
+      "QUERY ghost q";
+      "QUERY s1 nosuchquery";
+      "UPDATE s1 add Ghost(1)";
+      "UPDATE s1 add T(1)";
+      "CLOSE ghost";
+    ];
+  (match dispatch_line h "QUERY s1 q" with
+  | { P.status = `Ok; _ } -> ()
+  | _ -> Alcotest.fail "session must survive bad requests");
+  Alcotest.(check int) "errors counted" 6
+    (Server.Metrics.errors (Server.Handler.metrics h))
+
+(* ---- end-to-end over a Unix socket ----------------------------------- *)
+
+let connect_client path =
+  let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+  Unix.connect fd (ADDR_UNIX path);
+  Unix.set_nonblock fd;
+  fd
+
+(* Drive the loop and the client in one thread of control: step the
+   server until a full response (ending with ".") has arrived. *)
+let roundtrip loop fd text =
+  let pos = ref 0 in
+  while !pos < String.length text do
+    match Unix.write_substring fd text !pos (String.length text - !pos) with
+    | n -> pos := !pos + n
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+        ignore (Server.Loop.step ~timeout:0.01 loop)
+  done;
+  let buf = Buffer.create 256 in
+  let bytes = Bytes.create 4096 in
+  let complete () =
+    let lines = String.split_on_char '\n' (Buffer.contents buf) in
+    List.mem "." lines
+  in
+  let tries = ref 0 in
+  while not (complete ()) do
+    incr tries;
+    if !tries > 2000 then Alcotest.fail "no response from server loop";
+    ignore (Server.Loop.step ~timeout:0.01 loop);
+    match Unix.read fd bytes 0 (Bytes.length bytes) with
+    | 0 -> Alcotest.fail "server closed the connection"
+    | n -> Buffer.add_subbytes buf bytes 0 n
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+  done;
+  let rec up_to_dot = function
+    | "." :: _ | [] -> []
+    | l :: rest -> l :: up_to_dot rest
+  in
+  up_to_dot (String.split_on_char '\n' (Buffer.contents buf))
+
+let test_e2e_socket () =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "cqa-test-%d.sock" (Unix.getpid ()))
+  in
+  let loop = Server.Loop.create (Server.Loop.listen_unix path) in
+  let fd = connect_client path in
+  ignore (Server.Loop.step ~timeout:0.01 loop);
+  Alcotest.(check int) "connection accepted" 1 (Server.Loop.connections loop);
+  let load =
+    roundtrip loop fd
+      ("LOAD s1\n" ^ String.concat "\n" doc_lines ^ "\n.\n")
+  in
+  Alcotest.(check (list string)) "LOAD response"
+    [ "OK loaded session=s1 facts=3 ics=1 queries=1" ]
+    load;
+  let q1 = roundtrip loop fd "QUERY s1 q\n" in
+  Alcotest.(check (list string)) "QUERY response"
+    [ "OK answers=2"; "1"; "2" ] q1;
+  let q2 = roundtrip loop fd "QUERY s1 q\n" in
+  Alcotest.(check (list string)) "identical QUERY replayed" q1 q2;
+  (* The STATS hit counter proves the replay came from the cache. *)
+  let stats = roundtrip loop fd "STATS\n" in
+  Alcotest.(check bool) "warm QUERY hit the cache" true
+    (List.mem "cache_hits 1" stats);
+  (* A garbage line answers ERR without killing the connection. *)
+  (match roundtrip loop fd "FROBNICATE the database\n" with
+  | e :: _ -> Alcotest.(check string) "ERR status" "ERR" (String.sub e 0 3)
+  | [] -> Alcotest.fail "no ERR response");
+  let q3 = roundtrip loop fd "QUERY s1 q\n" in
+  Alcotest.(check (list string)) "connection survives ERR" q1 q3;
+  (match roundtrip loop fd "CLOSE s1\n" with
+  | [ "OK closed s1" ] -> ()
+  | other -> Alcotest.fail ("CLOSE: " ^ String.concat "|" other));
+  (match roundtrip loop fd "QUERY s1 q\n" with
+  | e :: _ when String.length e >= 3 && String.sub e 0 3 = "ERR" -> ()
+  | _ -> Alcotest.fail "closed session must be gone");
+  ignore (roundtrip loop fd "QUIT\n");
+  (* The server closes its side once QUIT's response is flushed. *)
+  let rec drain tries =
+    if tries > 2000 then Alcotest.fail "connection not closed after QUIT";
+    ignore (Server.Loop.step ~timeout:0.01 loop);
+    if Server.Loop.connections loop > 0 then drain (tries + 1)
+  in
+  drain 0;
+  Unix.close fd;
+  Unix.unlink path
+
+let suite =
+  [
+    Alcotest.test_case "lru eviction order and capacity" `Quick
+      test_lru_eviction;
+    Alcotest.test_case "lru overwrite promotes" `Quick test_lru_overwrite;
+    Alcotest.test_case "lru remove and clear" `Quick test_lru_remove_clear;
+    Alcotest.test_case "lru capacity one" `Quick test_lru_capacity_one;
+    Alcotest.test_case "metrics counters and render" `Quick test_metrics;
+    Alcotest.test_case "protocol parse ok and errors" `Quick
+      test_protocol_parse;
+    Alcotest.test_case "cache hit then UPDATE invalidates" `Quick
+      test_handler_cache_and_invalidation;
+    Alcotest.test_case "equal instances share cache entries" `Quick
+      test_handler_shared_cache_across_sessions;
+    Alcotest.test_case "repairs, measure, check" `Quick
+      test_handler_repairs_measure_check;
+    Alcotest.test_case "ERR responses keep the session alive" `Quick
+      test_handler_errors_keep_session;
+    Alcotest.test_case "end-to-end socket round-trip" `Quick test_e2e_socket;
+  ]
