@@ -7,12 +7,21 @@ open Cmdliner
 
 let run unix_path port cache_capacity max_requests metrics_dump =
   let fd, where =
-    match port with
-    | Some p ->
-        let fd, actual = Server.Loop.listen_tcp ~port:p () in
-        (fd, Printf.sprintf "tcp://127.0.0.1:%d" actual)
-    | None ->
-        (Server.Loop.listen_unix unix_path, "unix://" ^ unix_path)
+    match
+      match port with
+      | Some p ->
+          let fd, actual = Server.Loop.listen_tcp ~port:p () in
+          (fd, Printf.sprintf "tcp://127.0.0.1:%d" actual)
+      | None -> (Server.Loop.listen_unix unix_path, "unix://" ^ unix_path)
+    with
+    | listening -> listening
+    | exception Failure msg ->
+        prerr_endline ("cqa_server: " ^ msg);
+        exit 1
+    | exception Unix.Unix_error (e, _, arg) ->
+        Printf.eprintf "cqa_server: cannot listen on %s: %s\n" arg
+          (Unix.error_message e);
+        exit 1
   in
   let t = Server.Loop.create ~cache_capacity fd in
   let stop_and_note _ =

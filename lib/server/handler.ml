@@ -79,13 +79,25 @@ let exec_query (session : Session.t) name method_ semantics =
           P.ok ~body:(List.map pp_row rows)
             (Printf.sprintf "answers=%d" (List.length rows))
       | _, P.C -> P.err "C-repair semantics supports single queries only"
-      | _, P.S ->
-          let m = match method_ with P.Asp -> `Asp | _ -> `Repair_enumeration in
-          let rows =
-            Cqa.Engine.consistent_answers_ucq ~method_:m session.engine u
-          in
-          P.ok ~body:(List.map pp_row rows)
-            (Printf.sprintf "answers=%d" (List.length rows)))
+      | _, P.S -> (
+          match method_ with
+          | P.Rewriting | P.Key_rewriting ->
+              (* Refuse rather than silently running a different (and
+                 differently priced) algorithm than the one requested. *)
+              P.err
+                (Printf.sprintf
+                   "method=%s supports single conjunctive queries only; %S \
+                    is a union (use auto, enum or asp)"
+                   (method_label method_) name)
+          | P.Auto | P.Enum | P.Asp ->
+              let m =
+                match method_ with P.Asp -> `Asp | _ -> `Repair_enumeration
+              in
+              let rows =
+                Cqa.Engine.consistent_answers_ucq ~method_:m session.engine u
+              in
+              P.ok ~body:(List.map pp_row rows)
+                (Printf.sprintf "answers=%d" (List.length rows))))
 
 let exec_check (session : Session.t) =
   let witnesses =
@@ -124,6 +136,11 @@ let exec t payload = function
           P.err (Printf.sprintf "payload line %d: %s" line msg)
       | exception Invalid_argument msg -> P.err ("payload: " ^ msg)
       | doc ->
+          (* On re-LOAD the replaced session's entries would linger in
+             the cache untracked by any session; drop them now. *)
+          (match Session.find t.sessions sid with
+          | Some old -> List.iter (Lru.remove t.cache) (Session.take_keys old)
+          | None -> ());
           let _session = Session.load t.sessions ~id:sid doc in
           P.ok
             (Printf.sprintf "loaded session=%s facts=%d ics=%d queries=%d" sid

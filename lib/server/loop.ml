@@ -169,7 +169,14 @@ let run ?max_requests t =
   try Unix.close t.listen_fd with Unix.Unix_error _ -> ()
 
 let listen_unix path =
-  if Sys.file_exists path then Unix.unlink path;
+  (* Reclaim only a leftover socket; anything else at that path is not
+     ours to delete. *)
+  (match Unix.stat path with
+  | { Unix.st_kind = S_SOCK; _ } -> Unix.unlink path
+  | _ ->
+      failwith
+        (Printf.sprintf "listen_unix: %s exists and is not a socket" path)
+  | exception Unix.Unix_error (ENOENT, _, _) -> ());
   let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
   Unix.bind fd (ADDR_UNIX path);
   Unix.listen fd 64;

@@ -44,10 +44,13 @@ let push_front t n =
   t.first <- Some n
 
 let promote t n =
-  if t.first != Some n then begin
-    unlink t n;
-    push_front t n
-  end
+  (* Compare the nodes physically: [t.first != Some n] would test against
+     a freshly boxed option and always be true. *)
+  match t.first with
+  | Some f when f == n -> ()
+  | _ ->
+      unlink t n;
+      push_front t n
 
 let find t k =
   match Hashtbl.find_opt t.table k with

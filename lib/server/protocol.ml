@@ -76,9 +76,15 @@ let value_of_token tok =
   else if String.equal tok "null" then Value.Null
   else if String.equal tok "true" then Value.bool true
   else if String.equal tok "false" then Value.bool false
-  else if is_all_digits tok then Value.int (int_of_string tok)
-  else if n > 1 && tok.[0] = '-' && is_all_digits (String.sub tok 1 (n - 1))
-  then Value.int (int_of_string tok)
+  else if
+    is_all_digits tok
+    || (n > 1 && tok.[0] = '-' && is_all_digits (String.sub tok 1 (n - 1)))
+  then (
+    (* A digit run longer than max_int still has to produce a value, not
+       an exception. *)
+    match int_of_string_opt tok with
+    | Some i -> Value.int i
+    | None -> Value.str tok)
   else if String.contains tok '.' then
     match float_of_string_opt tok with
     | Some f -> Value.real f
@@ -107,7 +113,7 @@ let fact_of_text text =
           in
           Ok (rel, values)
 
-let parse line =
+let parse_exn line =
   let line = String.trim line in
   match split_words line with
   | [] -> Error "empty request"
@@ -145,6 +151,13 @@ let parse line =
       | "QUIT", [] -> Ok Quit
       | "QUIT", _ -> Error "usage: QUIT"
       | v, _ -> Error (Printf.sprintf "unknown command %S" v))
+
+(* A malformed request must never raise out of the parser: the loop
+   answers every request on the same connection, so an escaping
+   exception would take down the whole server. *)
+let parse line =
+  try parse_exn line
+  with e -> Error (Printf.sprintf "malformed request: %s" (Printexc.to_string e))
 
 let command_label = function
   | Load _ -> "LOAD"

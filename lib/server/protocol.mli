@@ -49,7 +49,8 @@ val parse : string -> (command, string) result
 (** Parse one request line.  Keywords are case-insensitive; value tokens
     in UPDATE follow the conventions of {!Cqa.Parse} (all-digit tokens are
     integers, [null] is the SQL null, double-quoted strings keep their
-    spelling, everything else is a string constant). *)
+    spelling, everything else is a string constant).  Never raises: any
+    malformed request is reported as [Error]. *)
 
 val command_label : command -> string
 (** The metrics label, e.g. ["QUERY"]. *)

@@ -14,6 +14,9 @@ type store = (string, t) Hashtbl.t
 let create_store () : store = Hashtbl.create 16
 let count = Hashtbl.length
 
+(* The digest keys the shared answer cache, so it must cover everything
+   an answer depends on: facts, ICs, and the query definitions (a
+   re-LOAD may redefine a query name over the same instance). *)
 let digest_of (doc : Cqa.Parse.document) =
   let facts =
     Instance.fact_list doc.instance
@@ -23,7 +26,14 @@ let digest_of (doc : Cqa.Parse.document) =
   let ics =
     List.map (fun ic -> Format.asprintf "%a" Constraints.Ic.pp ic) doc.ics
   in
-  Digest.to_hex (Digest.string (String.concat "\x00" (ics @ ("" :: facts))))
+  let queries =
+    List.map
+      (fun (name, q) -> Format.asprintf "%s := %a" name Logic.Cq.pp q)
+      doc.queries
+  in
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00" (ics @ ("" :: facts) @ ("" :: queries))))
 
 let engine_of (doc : Cqa.Parse.document) =
   Cqa.Engine.create ~schema:doc.schema ~ics:doc.ics doc.instance

@@ -29,7 +29,11 @@ let test_lru_eviction () =
   Alcotest.(check bool) "b evicted" false (Server.Lru.mem c "b");
   Alcotest.(check (list string)) "recency order" [ "d"; "a"; "c" ]
     (Server.Lru.keys c);
-  Alcotest.(check int) "one eviction" 1 (Server.Lru.evictions c)
+  Alcotest.(check int) "one eviction" 1 (Server.Lru.evictions c);
+  (* Finding the front element takes promote's fast path; order holds. *)
+  Alcotest.(check (option int)) "find front" (Some 4) (Server.Lru.find c "d");
+  Alcotest.(check (list string)) "front find keeps order" [ "d"; "a"; "c" ]
+    (Server.Lru.keys c)
 
 let test_lru_overwrite () =
   let c = Server.Lru.create ~capacity:2 in
@@ -109,6 +113,19 @@ let test_protocol_parse () =
   (match P.parse "REPAIRS s1 c" with
   | Ok (P.Repairs { semantics = P.C; _ }) -> ()
   | _ -> Alcotest.fail "REPAIRS c should parse");
+  (* A digit run wider than max_int must parse (as a string constant),
+     not raise out of the server loop. *)
+  (match P.parse "UPDATE s1 add T(99999999999999999999, -99999999999999999999)"
+   with
+  | Ok (P.Update { values; _ }) ->
+      Alcotest.(check bool) "overlong int literal kept as string" true
+        (values
+        = [
+            Relational.Value.Str "99999999999999999999";
+            Relational.Value.Str "-99999999999999999999";
+          ])
+  | Ok _ -> Alcotest.fail "overlong literal parsed as wrong command"
+  | Error msg -> Alcotest.fail ("overlong literal should parse: " ^ msg));
   let bad l =
     match P.parse l with
     | Error _ -> ()
@@ -158,6 +175,50 @@ let test_handler_cache_and_invalidation () =
   let r4 = dispatch_line h "QUERY s1 q" in
   Alcotest.(check (list string)) "delete visible" [ "1"; "9" ]
     (List.sort compare r4.P.body)
+
+let test_handler_reload_redefines_query () =
+  (* Same instance and ICs, but q now projects the value column: the
+     digest must change so the old answers cannot be replayed. *)
+  let h = Server.Handler.create () in
+  load_session h "s1";
+  let r1 = dispatch_line h "QUERY s1 q" in
+  Alcotest.(check (list string)) "key column first" [ "1"; "2" ]
+    (List.sort compare r1.P.body);
+  let redefined =
+    List.map
+      (fun l -> if l = "query q(X) :- T(X, Y)" then "query q(Y) :- T(X, Y)" else l)
+      doc_lines
+  in
+  (match Server.Handler.dispatch h ~payload:redefined (P.Load "s1") with
+  | { P.status = `Ok; _ } -> ()
+  | { P.head; _ } -> Alcotest.fail ("re-LOAD failed: " ^ head));
+  let r2 = dispatch_line h "QUERY s1 q" in
+  Alcotest.(check int) "no stale cache hit" 0
+    (Server.Metrics.hits (Server.Handler.metrics h));
+  (* T(2, 5) is clean, so 5 is certain; the conflicting key 1's values
+     1 and 2 are not. *)
+  Alcotest.(check (list string)) "redefined query answers" [ "5" ]
+    (List.sort compare r2.P.body)
+
+let test_handler_ucq_method_mismatch () =
+  let h = Server.Handler.create () in
+  let payload =
+    doc_lines @ [ "query u(X) :- T(X, Y)"; "query u(Y) :- T(X, Y)" ]
+  in
+  (match Server.Handler.dispatch h ~payload (P.Load "s1") with
+  | { P.status = `Ok; _ } -> ()
+  | { P.head; _ } -> Alcotest.fail ("LOAD failed: " ^ head));
+  (* An explicitly requested FO-rewriting method is refused for a union
+     rather than silently downgraded to repair enumeration. *)
+  List.iter
+    (fun line ->
+      match dispatch_line h line with
+      | { P.status = `Err; _ } -> ()
+      | _ -> Alcotest.fail (Printf.sprintf "%S should answer ERR" line))
+    [ "QUERY s1 u method=rewriting"; "QUERY s1 u method=key-rewriting" ];
+  match dispatch_line h "QUERY s1 u" with
+  | { P.status = `Ok; _ } -> ()
+  | { P.head; _ } -> Alcotest.fail ("auto UCQ should answer OK: " ^ head)
 
 let test_handler_shared_cache_across_sessions () =
   (* Equal data under different session ids shares cache entries: the
@@ -250,6 +311,16 @@ let roundtrip loop fd text =
   in
   up_to_dot (String.split_on_char '\n' (Buffer.contents buf))
 
+let test_listen_unix_refuses_non_socket () =
+  let path = Filename.temp_file "cqa-test" ".notasock" in
+  (match Server.Loop.listen_unix path with
+  | exception Failure _ -> ()
+  | fd ->
+      Unix.close fd;
+      Alcotest.fail "listen_unix must refuse a regular file");
+  Alcotest.(check bool) "regular file untouched" true (Sys.file_exists path);
+  Sys.remove path
+
 let test_e2e_socket () =
   let path =
     Filename.concat (Filename.get_temp_dir_name ())
@@ -310,6 +381,12 @@ let suite =
       test_protocol_parse;
     Alcotest.test_case "cache hit then UPDATE invalidates" `Quick
       test_handler_cache_and_invalidation;
+    Alcotest.test_case "re-LOAD with redefined query misses cache" `Quick
+      test_handler_reload_redefines_query;
+    Alcotest.test_case "UCQ with rewriting method answers ERR" `Quick
+      test_handler_ucq_method_mismatch;
+    Alcotest.test_case "listen_unix refuses non-socket paths" `Quick
+      test_listen_unix_refuses_non_socket;
     Alcotest.test_case "equal instances share cache entries" `Quick
       test_handler_shared_cache_across_sessions;
     Alcotest.test_case "repairs, measure, check" `Quick
