@@ -1,0 +1,39 @@
+(* Machine-readable benchmark output.  Benchmarks record flat rows of
+   pre-rendered JSON values; [write] dumps them (plus an optional
+   counters object, typically the obs registry) as one JSON document —
+   CI parses and archives these as BENCH_*.json. *)
+
+let rows : (string * (string * string) list) list ref = ref []
+
+let str = Obs.Export.json_string
+let int = string_of_int
+let num f = Printf.sprintf "%.6g" f
+
+let record ~bench fields = rows := (bench, fields) :: !rows
+
+let render_row (bench, fields) =
+  let fs =
+    Printf.sprintf "\"bench\":%s" (str bench)
+    :: List.map (fun (k, v) -> Printf.sprintf "%s:%s" (str k) v) fields
+  in
+  "{" ^ String.concat "," fs ^ "}"
+
+let write ?(counters = []) path =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"rows\":[";
+  List.iteri
+    (fun i row ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b ("\n  " ^ render_row row))
+    (List.rev !rows);
+  Buffer.add_string b "\n],\"counters\":{";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "\n  %s:%d" (str name) v))
+    counters;
+  Buffer.add_string b "\n}}\n";
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (Buffer.contents b));
+  Printf.printf "wrote %s (%d rows, %d counters)\n%!" path
+    (List.length !rows) (List.length counters)

@@ -1,0 +1,18 @@
+(** Recorder for machine-readable benchmark results (BENCH_*.json).
+
+    Field values are pre-rendered JSON fragments — build them with
+    {!int}, {!num} and {!str}. *)
+
+val str : string -> string
+(** A JSON string literal. *)
+
+val int : int -> string
+val num : float -> string
+
+val record : bench:string -> (string * string) list -> unit
+(** Append one result row tagged with the benchmark id. *)
+
+val write : ?counters:(string * int) list -> string -> unit
+(** Write every recorded row plus the named counters (typically
+    {!Obs.Registry.counters_list}) as one JSON document:
+    [{"rows":[{"bench":..., ...}, ...],"counters":{...}}]. *)

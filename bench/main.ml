@@ -21,6 +21,12 @@ let () =
   end;
   if run_b then begin
     print_endline "=== Scaling benchmarks ===";
-    Scaling.run ~quick b_ids
+    Scaling.run ~quick b_ids;
+    (* Machine-readable results, with the solver-effort counters the run
+       accumulated in the obs registry (sat.decisions, repairs.candidates,
+       asp.candidates, ...). *)
+    Bench_json.write
+      ~counters:(Obs.Registry.counters_list (Obs.Registry.current ()))
+      "BENCH_scaling.json"
   end;
   if not !ok then exit 1

@@ -33,7 +33,14 @@ let b1 ~quick () =
             Rewriting.Key_rewrite.consistent_answers q ~keys db)
       in
       Printf.printf "  %6d %12d %14s %14s\n" pairs (List.length repairs)
-        (Bech_harness.pp_ns enum_ns) (Bech_harness.pp_ns rw_ns))
+        (Bech_harness.pp_ns enum_ns) (Bech_harness.pp_ns rw_ns);
+      Bench_json.record ~bench:"b1"
+        [
+          ("pairs", Bench_json.int pairs);
+          ("s_repairs", Bench_json.int (List.length repairs));
+          ("enum_ns", Bench_json.num enum_ns);
+          ("rewrite_ns", Bench_json.num rw_ns);
+        ])
     sizes;
   print_newline ()
 
@@ -66,7 +73,14 @@ let b2 ~quick () =
       in
       let results = Bech_harness.group (Printf.sprintf "b2/n=%d" n) cases in
       List.iter
-        (fun (name, ns) -> Printf.printf "  n=%-5d %-14s %s\n" n name (Bech_harness.pp_ns ns))
+        (fun (name, ns) ->
+          Printf.printf "  n=%-5d %-14s %s\n" n name (Bech_harness.pp_ns ns);
+          Bench_json.record ~bench:"b2"
+            [
+              ("n", Bench_json.int n);
+              ("method", Bench_json.str name);
+              ("ns", Bench_json.num ns);
+            ])
         results)
     sizes;
   print_newline ()
@@ -97,7 +111,14 @@ let b3 ~quick () =
         (fun (name, ns) ->
           Printf.printf "  n=%-5d edges=%-4d %-14s %s\n" n
             (List.length g.Constraints.Conflict_graph.edges)
-            name (Bech_harness.pp_ns ns))
+            name (Bech_harness.pp_ns ns);
+          Bench_json.record ~bench:"b3"
+            [
+              ("n", Bench_json.int n);
+              ("edges", Bench_json.int (List.length g.Constraints.Conflict_graph.edges));
+              ("case", Bench_json.str name);
+              ("ns", Bench_json.num ns);
+            ])
         results)
     sizes;
   print_newline ()
@@ -133,7 +154,14 @@ let b4 ~quick () =
   Printf.printf "  mean asp:  %s\n"
     (Bech_harness.pp_ns (!asp_total /. float_of_int trials));
   Printf.printf "  mean enum: %s\n\n"
-    (Bech_harness.pp_ns (!enum_total /. float_of_int trials))
+    (Bech_harness.pp_ns (!enum_total /. float_of_int trials));
+  Bench_json.record ~bench:"b4"
+    [
+      ("agree", Bench_json.int !agree);
+      ("trials", Bench_json.int trials);
+      ("mean_asp_ns", Bench_json.num (!asp_total /. float_of_int trials));
+      ("mean_enum_ns", Bench_json.num (!enum_total /. float_of_int trials));
+    ]
 
 (* B5: Section 7 — responsibility via C-repairs vs the ASP route. *)
 let b5 ~quick () =
@@ -167,7 +195,14 @@ let b5 ~quick () =
   Printf.printf "  mean direct: %s\n"
     (Bech_harness.pp_ns (!direct_total /. float_of_int trials));
   Printf.printf "  mean asp:    %s\n\n"
-    (Bech_harness.pp_ns (!asp_total /. float_of_int trials))
+    (Bech_harness.pp_ns (!asp_total /. float_of_int trials));
+  Bench_json.record ~bench:"b5"
+    [
+      ("agree", Bench_json.int !agree);
+      ("trials", Bench_json.int trials);
+      ("mean_direct_ns", Bench_json.num (!direct_total /. float_of_int trials));
+      ("mean_asp_ns", Bench_json.num (!asp_total /. float_of_int trials));
+    ]
 
 (* B6: Section 8 / [16,17] — inconsistency degree tracks the planted
    violation rate. *)
@@ -185,7 +220,15 @@ let b6 ~quick () =
       Printf.printf "  %6.2f %10.2f %12.3f %12.3f\n" rate
         (measure Measures.Degree.drastic)
         (measure Measures.Degree.conflicting_tuple_ratio)
-        (measure Measures.Degree.repair_based))
+        (measure Measures.Degree.repair_based);
+      Bench_json.record ~bench:"b6"
+        [
+          ("rate", Bench_json.num rate);
+          ("drastic", Bench_json.num (measure Measures.Degree.drastic));
+          ( "conflicting_ratio",
+            Bench_json.num (measure Measures.Degree.conflicting_tuple_ratio) );
+          ("repair_based", Bench_json.num (measure Measures.Degree.repair_based));
+        ])
     [ 0.0; 0.1; 0.2; 0.3; 0.4; 0.5 ];
   print_newline ()
 
@@ -226,7 +269,15 @@ let b7 ~quick () =
       let _, plain_ns = Bech_harness.once (fun () -> Datalog.Eval.run tc edb) in
       let _, magic_ns = Bech_harness.once (fun () -> Datalog.Magic.answers tc edb ~query) in
       Printf.printf "  %6d %12d %12d %14s %14s\n" chains plain_facts
-        magic_facts (Bech_harness.pp_ns plain_ns) (Bech_harness.pp_ns magic_ns))
+        magic_facts (Bech_harness.pp_ns plain_ns) (Bech_harness.pp_ns magic_ns);
+      Bench_json.record ~bench:"b7"
+        [
+          ("chains", Bench_json.int chains);
+          ("plain_facts", Bench_json.int plain_facts);
+          ("magic_facts", Bench_json.int magic_facts);
+          ("plain_ns", Bench_json.num plain_ns);
+          ("magic_ns", Bench_json.num magic_ns);
+        ])
     sizes;
   print_newline ()
 
@@ -261,7 +312,13 @@ let b8 ~quick () =
                  (Instance.create schema) facts))
       in
       Printf.printf "  n=%-5d incremental %14s   rebuild-per-update %14s\n" n
-        (Bech_harness.pp_ns inc_ns) (Bech_harness.pp_ns rebuild_ns))
+        (Bech_harness.pp_ns inc_ns) (Bech_harness.pp_ns rebuild_ns);
+      Bench_json.record ~bench:"b8"
+        [
+          ("n", Bench_json.int n);
+          ("incremental_ns", Bench_json.num inc_ns);
+          ("rebuild_ns", Bench_json.num rebuild_ns);
+        ])
     sizes;
   print_newline ()
 
@@ -284,7 +341,14 @@ let b9 ~quick () =
         Bech_harness.once (fun () -> Repairs.S_repair.enumerate db schema [ key ])
       in
       Printf.printf "  %6d %12d %14s %14s\n" pairs count (Bech_harness.pp_ns cf_ns)
-        (Bech_harness.pp_ns enum_ns))
+        (Bech_harness.pp_ns enum_ns);
+      Bench_json.record ~bench:"b9"
+        [
+          ("pairs", Bench_json.int pairs);
+          ("repairs", Bench_json.int count);
+          ("closed_form_ns", Bench_json.num cf_ns);
+          ("enum_ns", Bench_json.num enum_ns);
+        ])
     sizes;
   print_newline ()
 
@@ -319,7 +383,15 @@ let b10 ~quick () =
   Printf.printf "  bounds sound:    %d/%d\n" !sound trials;
   Printf.printf "  interval closed: %d/%d\n" !closed trials;
   Printf.printf "  mean bounds time: %s\n" (Bech_harness.pp_ns (!approx_total /. float_of_int trials));
-  Printf.printf "  mean exact time:  %s\n\n" (Bech_harness.pp_ns (!exact_total /. float_of_int trials))
+  Printf.printf "  mean exact time:  %s\n\n" (Bech_harness.pp_ns (!exact_total /. float_of_int trials));
+  Bench_json.record ~bench:"b10"
+    [
+      ("sound", Bench_json.int !sound);
+      ("closed", Bench_json.int !closed);
+      ("trials", Bench_json.int trials);
+      ("mean_bounds_ns", Bench_json.num (!approx_total /. float_of_int trials));
+      ("mean_exact_ns", Bench_json.num (!exact_total /. float_of_int trials));
+    ]
 
 (* B11: inconsistency-tolerant ontology semantics — IAR is the tractable
    approximation of AR (Sec 8, [79, 29, 100]). *)
@@ -354,11 +426,19 @@ let b11 ~quick () =
           [ Logic.Atom.make "Student" [ Logic.Term.var "x" ] ]
       in
       let time sem = snd (Bech_harness.once (fun () -> answers kb sem q)) in
+      let iar_ns = time IAR and ar_ns = time AR and brave_ns = time Brave in
       Printf.printf "  conflicts=%-3d IAR %12s   AR %12s   brave %12s\n"
         conflicts
-        (Bech_harness.pp_ns (time IAR))
-        (Bech_harness.pp_ns (time AR))
-        (Bech_harness.pp_ns (time Brave)))
+        (Bech_harness.pp_ns iar_ns)
+        (Bech_harness.pp_ns ar_ns)
+        (Bech_harness.pp_ns brave_ns);
+      Bench_json.record ~bench:"b11"
+        [
+          ("conflicts", Bench_json.int conflicts);
+          ("iar_ns", Bench_json.num iar_ns);
+          ("ar_ns", Bench_json.num ar_ns);
+          ("brave_ns", Bench_json.num brave_ns);
+        ])
     sizes;
   print_newline ()
 
@@ -424,7 +504,14 @@ let b12 ~quick () =
       in
       Printf.printf
         "  n=%-5d chase %12s   exchange-repairs (%d found) %12s\n" n
-        (Bech_harness.pp_ns chase_ns) (List.length repairs) (Bech_harness.pp_ns repair_ns))
+        (Bech_harness.pp_ns chase_ns) (List.length repairs) (Bech_harness.pp_ns repair_ns);
+      Bench_json.record ~bench:"b12"
+        [
+          ("n", Bench_json.int n);
+          ("chase_ns", Bench_json.num chase_ns);
+          ("exchange_repairs", Bench_json.int (List.length repairs));
+          ("repair_ns", Bench_json.num repair_ns);
+        ])
     sizes;
   print_newline ()
 
@@ -467,7 +554,15 @@ let b13 ~quick () =
       [ 0; months / 4; months / 2 ]
   in
   List.iter
-    (fun (name, ns) -> Printf.printf "  months=%-3d %s  always-range %s\n" months name (Bech_harness.pp_ns ns))
+    (fun (name, ns) ->
+      Printf.printf "  months=%-3d %s  always-range %s\n" months name
+        (Bech_harness.pp_ns ns);
+      Bench_json.record ~bench:"b13"
+        [
+          ("months", Bench_json.int months);
+          ("case", Bench_json.str name);
+          ("ns", Bench_json.num ns);
+        ])
     (Bech_harness.group "b13" cases);
   print_newline ()
 
@@ -502,7 +597,14 @@ let b14 ~quick () =
       in
       Printf.printf "  n=%-6d changes=%-5d cost=%-10.1f %s\n" n
         (List.length r.Numeric.Numeric_repair.changes)
-        r.Numeric.Numeric_repair.l1_cost (Bech_harness.pp_ns ns))
+        r.Numeric.Numeric_repair.l1_cost (Bech_harness.pp_ns ns);
+      Bench_json.record ~bench:"b14"
+        [
+          ("n", Bench_json.int n);
+          ("changes", Bench_json.int (List.length r.Numeric.Numeric_repair.changes));
+          ("l1_cost", Bench_json.num r.Numeric.Numeric_repair.l1_cost);
+          ("ns", Bench_json.num ns);
+        ])
     sizes;
   print_newline ()
 

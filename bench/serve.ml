@@ -175,6 +175,29 @@ let () =
       if String.length l >= 8 && String.sub l 0 8 = "latency_" then
         print_endline l)
     stats;
+  (* Machine-readable results: request mix outcome plus every counter of
+     the server's obs registry (request scalars and solver effort). *)
+  let jnum s =
+    (* STATS values are numeric; keep the JSON valid if one is missing. *)
+    match float_of_string_opt s with Some _ -> s | None -> Bench_json.str s
+  in
+  Bench_json.record ~bench:"serve"
+    [
+      ("requests", Bench_json.int requests);
+      ("elapsed_s", Bench_json.num elapsed);
+      ("throughput_rps", Bench_json.num (float_of_int requests /. elapsed));
+      ("cache_hits", jnum (metric "cache_hits"));
+      ("cache_misses", jnum (metric "cache_misses"));
+      ("cache_hit_rate", jnum (metric "cache_hit_rate"));
+      ("bytes_in", jnum (metric "bytes_in"));
+      ("bytes_out", jnum (metric "bytes_out"));
+    ];
+  Bench_json.write
+    ~counters:
+      (Obs.Registry.counters_list
+         (Server.Metrics.registry
+            (Server.Handler.metrics (Server.Loop.handler loop))))
+    "BENCH_serve.json";
   ignore (request loop c "QUIT");
   Unix.close c.fd;
   Unix.unlink sock;

@@ -38,11 +38,35 @@ open Cmdliner
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Input document.")
 
+(* --trace FILE: run the action with tracing into a private sink and
+   write the collected spans as a Chrome trace_event file. *)
+let with_trace trace f =
+  match trace with
+  | None -> f ()
+  | Some path ->
+      let result, spans = Obs.Trace.collect f in
+      Out_channel.with_open_text path (fun oc ->
+          output_string oc (Obs.Export.chrome spans);
+          output_char oc '\n');
+      Printf.eprintf "trace: %d span(s) written to %s\n%!"
+        (List.length spans) path;
+      result
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace_event file of the run to $(docv) (open in \
+           chrome://tracing or Perfetto).")
+
 let check_cmd =
-  let run file =
+  let run file trace =
     let doc = load file in
     let witnesses =
-      Constraints.Violation.all doc.instance doc.schema doc.ics
+      with_trace trace (fun () ->
+          Constraints.Violation.all doc.instance doc.schema doc.ics)
     in
     if witnesses = [] then print_endline "consistent"
     else begin
@@ -55,7 +79,7 @@ let check_cmd =
     end
   in
   Cmd.v (Cmd.info "check" ~doc:"Check the instance against its constraints.")
-    Term.(const run $ file_arg)
+    Term.(const run $ file_arg $ trace_arg)
 
 let semantics_arg =
   Arg.(
@@ -64,12 +88,13 @@ let semantics_arg =
     & info [ "semantics" ] ~docv:"S" ~doc:"Repair semantics: s (set-minimal) or c (cardinality).")
 
 let repairs_cmd =
-  let run file semantics =
+  let run file semantics trace =
     let doc = load file in
     let repairs =
-      match semantics with
-      | `S -> Repairs.S_repair.enumerate doc.instance doc.schema doc.ics
-      | `C -> Repairs.C_repair.enumerate doc.instance doc.schema doc.ics
+      with_trace trace (fun () ->
+          match semantics with
+          | `S -> Repairs.S_repair.enumerate doc.instance doc.schema doc.ics
+          | `C -> Repairs.C_repair.enumerate doc.instance doc.schema doc.ics)
     in
     Printf.printf "%d repair(s)\n" (List.length repairs);
     List.iteri
@@ -78,7 +103,7 @@ let repairs_cmd =
       repairs
   in
   Cmd.v (Cmd.info "repairs" ~doc:"Enumerate the repairs of the instance.")
-    Term.(const run $ file_arg $ semantics_arg)
+    Term.(const run $ file_arg $ semantics_arg $ trace_arg)
 
 let method_arg =
   Arg.(
@@ -100,7 +125,7 @@ let query_arg =
   Arg.(required & opt (some string) None & info [ "query"; "q" ] ~docv:"NAME" ~doc:"Query name.")
 
 let answers_cmd =
-  let run file qname method_ =
+  let run file qname method_ trace =
     let doc = load file in
     let u =
       match Cqa.Parse.find_ucq doc qname with
@@ -111,19 +136,25 @@ let answers_cmd =
             qname qname;
           exit 2
     in
-    match u.Logic.Ucq.disjuncts with
-    | [ q ] -> pp_rows (Cqa.Engine.consistent_answers ~method_ (engine doc) q)
-    | _ ->
-        (* A union of queries: enumeration or ASP. *)
-        let m = match method_ with `Asp -> `Asp | _ -> `Repair_enumeration in
-        pp_rows (Cqa.Engine.consistent_answers_ucq ~method_:m (engine doc) u)
+    let rows =
+      with_trace trace (fun () ->
+          match u.Logic.Ucq.disjuncts with
+          | [ q ] -> Cqa.Engine.consistent_answers ~method_ (engine doc) q
+          | _ ->
+              (* A union of queries: enumeration or ASP. *)
+              let m =
+                match method_ with `Asp -> `Asp | _ -> `Repair_enumeration
+              in
+              Cqa.Engine.consistent_answers_ucq ~method_:m (engine doc) u)
+    in
+    pp_rows rows
   in
   Cmd.v
     (Cmd.info "answers"
        ~doc:
          "Consistent answers to a named query (several query lines with one \
           name form a union).")
-    Term.(const run $ file_arg $ query_arg $ method_arg)
+    Term.(const run $ file_arg $ query_arg $ method_arg $ trace_arg)
 
 let degree_cmd =
   let run file =
@@ -157,16 +188,19 @@ let causes_cmd =
     Term.(const run $ file_arg $ query_arg)
 
 let count_cmd =
-  let run file =
+  let run file trace =
     let doc = load file in
-    Printf.printf "S-repairs: %d\n"
-      (Repairs.Count.s_repairs doc.instance doc.schema doc.ics);
-    Printf.printf "C-repairs: %d\n"
-      (Repairs.Count.c_repairs doc.instance doc.schema doc.ics)
+    let s, c =
+      with_trace trace (fun () ->
+          ( Repairs.Count.s_repairs doc.instance doc.schema doc.ics,
+            Repairs.Count.c_repairs doc.instance doc.schema doc.ics ))
+    in
+    Printf.printf "S-repairs: %d\n" s;
+    Printf.printf "C-repairs: %d\n" c
   in
   Cmd.v
     (Cmd.info "count" ~doc:"Count the repairs without materializing them all.")
-    Term.(const run $ file_arg)
+    Term.(const run $ file_arg $ trace_arg)
 
 let attr_repairs_cmd =
   let run file =

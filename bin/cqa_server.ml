@@ -5,7 +5,7 @@
 
 open Cmdliner
 
-let run unix_path port cache_capacity max_requests metrics_dump =
+let run unix_path port cache_capacity max_requests metrics_dump trace_dir =
   let fd, where =
     match
       match port with
@@ -23,7 +23,35 @@ let run unix_path port cache_capacity max_requests metrics_dump =
           (Unix.error_message e);
         exit 1
   in
-  let t = Server.Loop.create ~cache_capacity fd in
+  (* --trace-dir: turn tracing on for the whole process, stream every
+     request's spans to DIR/spans.jsonl as they are drained, and keep a
+     bounded copy to write DIR/trace.json (Chrome trace_event, loadable
+     in Perfetto) at shutdown. *)
+  let kept = ref [] and nkept = ref 0 in
+  let keep_limit = 100_000 in
+  let on_trace =
+    match trace_dir with
+    | None -> None
+    | Some dir ->
+        (try Unix.mkdir dir 0o755
+         with Unix.Unix_error ((EEXIST | EISDIR), _, _) -> ());
+        Obs.Trace.set_enabled true;
+        let path = Filename.concat dir "spans.jsonl" in
+        Some
+          (fun spans ->
+            let oc =
+              open_out_gen [ Open_append; Open_creat ] 0o644 path
+            in
+            List.iter
+              (fun line -> output_string oc (line ^ "\n"))
+              (Obs.Export.jsonl spans);
+            close_out oc;
+            if !nkept < keep_limit then begin
+              kept := List.rev_append spans !kept;
+              nkept := !nkept + List.length spans
+            end)
+  in
+  let t = Server.Loop.create ~cache_capacity ?on_trace fd in
   let stop_and_note _ =
     prerr_endline "shutting down";
     Server.Loop.stop t
@@ -34,6 +62,15 @@ let run unix_path port cache_capacity max_requests metrics_dump =
   Printf.printf "cqa-serve listening on %s (cache capacity %d)\n%!" where
     cache_capacity;
   Server.Loop.run ?max_requests t;
+  (match trace_dir with
+  | Some dir when !kept <> [] ->
+      let path = Filename.concat dir "trace.json" in
+      let oc = open_out path in
+      output_string oc (Obs.Export.chrome (List.rev !kept));
+      output_char oc '\n';
+      close_out oc;
+      Printf.eprintf "wrote %d spans to %s\n%!" !nkept path
+  | _ -> ());
   if metrics_dump then
     List.iter print_endline
       (Server.Metrics.render (Server.Handler.metrics (Server.Loop.handler t)))
@@ -72,6 +109,16 @@ let metrics_dump_arg =
     & info [ "metrics-dump" ]
         ~doc:"Print the metrics registry to stdout on shutdown.")
 
+let trace_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-dir" ] ~docv:"DIR"
+        ~doc:
+          "Enable tracing and write spans to $(docv)/spans.jsonl as they \
+           complete, plus a Chrome trace_event file $(docv)/trace.json \
+           (open in Perfetto) on shutdown.")
+
 let main =
   Cmd.v
     (Cmd.info "cqa_server" ~version:"1.0.0"
@@ -80,6 +127,6 @@ let main =
           request metrics.")
     Term.(
       const run $ unix_arg $ port_arg $ cache_arg $ max_requests_arg
-      $ metrics_dump_arg)
+      $ metrics_dump_arg $ trace_dir_arg)
 
 let () = exit (Cmd.eval main)

@@ -5,6 +5,9 @@ module Term = Logic.Term
 module Cmp = Logic.Cmp
 
 type rule = { head : int list; pos : int list; neg : int list }
+
+let c_rules = Obs.Counter.make "asp.rules_grounded"
+let c_atoms = Obs.Counter.make "asp.atoms"
 type weak = { pos : int list; neg : int list; weight : int }
 
 type t = {
@@ -112,6 +115,7 @@ let derivable_base (program : Syntax.t) edb =
   base
 
 let ground (program : Syntax.t) edb =
+  let sp = Obs.Trace.start "asp.ground" in
   let base = derivable_base program edb in
   let table = Hashtbl.create 256 in
   let atoms = ref [] and natoms = ref 0 in
@@ -166,6 +170,14 @@ let ground (program : Syntax.t) edb =
     program.weaks;
   let atom_array = Array.make (!natoms + 1) (Fact.make "" []) in
   List.iter (fun f -> atom_array.(Hashtbl.find table f) <- f) !atoms;
+  let nrules = List.length !rules in
+  Obs.Counter.add c_rules nrules;
+  Obs.Counter.add c_atoms !natoms;
+  if Obs.Trace.is_enabled () then begin
+    Obs.Trace.attr_int "atoms" !natoms;
+    Obs.Trace.attr_int "rules" nrules
+  end;
+  Obs.Trace.finish sp;
   {
     atoms = atom_array;
     index = table;

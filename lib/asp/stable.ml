@@ -4,6 +4,12 @@ module Dpll = Sat.Dpll
 
 type model = Fact.Set.t
 
+(* Candidates are classical models enumerated by SAT; each undergoes a
+   reduct-minimality check, and the survivors are the stable models. *)
+let c_candidates = Obs.Counter.make "asp.candidates"
+let c_reduct_checks = Obs.Counter.make "asp.reduct_checks"
+let c_stable = Obs.Counter.make "asp.stable_models"
+
 (* Classical clauses of the ground rules: body → head becomes
    ¬pos ∨ neg ∨ head.  In addition, support clauses prune unsupported
    candidates: in every stable model, a true atom must appear in the head
@@ -67,12 +73,24 @@ let model_facts (g : Ground.t) m =
   !acc
 
 let models_ground g =
+  let sp = Obs.Trace.start "asp.stable" in
   let cnf = clauses_of g in
   let candidates = Dpll.enumerate cnf in
-  List.filter_map
-    (fun m ->
-      if is_minimal_model_of_reduct g m then Some (model_facts g m) else None)
-    candidates
+  Obs.Counter.add c_candidates (List.length candidates);
+  let stable =
+    List.filter_map
+      (fun m ->
+        Obs.Counter.incr c_reduct_checks;
+        if is_minimal_model_of_reduct g m then Some (model_facts g m) else None)
+      candidates
+  in
+  Obs.Counter.add c_stable (List.length stable);
+  if Obs.Trace.is_enabled () then begin
+    Obs.Trace.attr_int "candidates" (List.length candidates);
+    Obs.Trace.attr_int "stable" (List.length stable)
+  end;
+  Obs.Trace.finish sp;
+  stable
 
 let models program edb = models_ground (Ground.ground program edb)
 

@@ -11,6 +11,15 @@ type t = {
 type answer_method =
   [ `Repair_enumeration | `Residue_rewriting | `Key_rewriting | `Asp | `Auto ]
 
+let c_queries = Obs.Counter.make "engine.queries"
+
+let method_label = function
+  | `Repair_enumeration -> "repair_enumeration"
+  | `Residue_rewriting -> "residue_rewriting"
+  | `Key_rewriting -> "key_rewriting"
+  | `Asp -> "asp"
+  | `Auto -> "auto"
+
 let create ~schema ~ics instance = { instance; schema; ics }
 
 let is_consistent t = Ic.all_hold t.instance t.schema t.ics
@@ -52,28 +61,50 @@ let by_key_rewriting t q =
   | Some keys -> Rewriting.Key_rewrite.consistent_answers q ~keys t.instance
 
 let consistent_answers ?(method_ = `Auto) t q =
-  match method_ with
-  | `Repair_enumeration -> by_repair_enumeration t q
-  | `Residue_rewriting ->
-      Rewriting.Residue_rewrite.consistent_answers q t.schema t.ics t.instance
-  | `Asp -> Repair_programs.Asp_cqa.consistent_answers q t.schema t.ics t.instance
-  | `Key_rewriting -> (
-      match by_key_rewriting t q with
-      | Some rows -> rows
-      | None ->
-          invalid_arg
-            "Engine.consistent_answers: key rewriting not applicable (non-key \
-             constraints or query outside the C-forest class)")
-  | `Auto -> (
-      match by_key_rewriting t q with
-      | Some rows -> rows
-      | None -> by_repair_enumeration t q)
+  let sp = Obs.Trace.start "engine.certain_answers" in
+  Obs.Counter.incr c_queries;
+  if Obs.Trace.is_enabled () then
+    Obs.Trace.attr "method" (method_label method_);
+  match
+    match method_ with
+    | `Repair_enumeration -> by_repair_enumeration t q
+    | `Residue_rewriting ->
+        Rewriting.Residue_rewrite.consistent_answers q t.schema t.ics t.instance
+    | `Asp -> Repair_programs.Asp_cqa.consistent_answers q t.schema t.ics t.instance
+    | `Key_rewriting -> (
+        match by_key_rewriting t q with
+        | Some rows -> rows
+        | None ->
+            invalid_arg
+              "Engine.consistent_answers: key rewriting not applicable \
+               (non-key constraints or query outside the C-forest class)")
+    | `Auto -> (
+        match by_key_rewriting t q with
+        | Some rows ->
+            if Obs.Trace.is_enabled () then
+              Obs.Trace.attr "route" "key_rewriting";
+            rows
+        | None ->
+            if Obs.Trace.is_enabled () then
+              Obs.Trace.attr "route" "repair_enumeration";
+            by_repair_enumeration t q)
+  with
+  | rows ->
+      if Obs.Trace.is_enabled () then
+        Obs.Trace.attr_int "answers" (List.length rows);
+      Obs.Trace.finish sp;
+      rows
+  | exception e ->
+      Obs.Trace.finish sp;
+      raise e
 
 let consistent_answers_c t q =
-  Repair_programs.Asp_cqa.consistent_answers ~semantics:`C q t.schema t.ics
-    t.instance
+  Obs.Trace.with_span "engine.certain_answers_c" (fun () ->
+      Repair_programs.Asp_cqa.consistent_answers ~semantics:`C q t.schema t.ics
+        t.instance)
 
 let consistent_answers_ucq ?(method_ = `Repair_enumeration) t u =
+  Obs.Trace.with_span "engine.certain_answers_ucq" @@ fun () ->
   match method_ with
   | `Asp -> Repair_programs.Asp_cqa.consistent_answers_ucq u t.schema t.ics t.instance
   | `Repair_enumeration -> (

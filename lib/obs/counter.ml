@@ -1,0 +1,30 @@
+(* A named counter handle: the cell of the current registry, cached and
+   re-resolved only when the registry is swapped.  After the first use
+   an [incr] is two loads, one comparison and one in-place increment —
+   no allocation — which is what lets the solver stack keep its probes
+   on even when tracing is off. *)
+
+type t = {
+  name : string;
+  mutable cell : int ref;
+  mutable epoch : int;
+}
+
+let make name = { name; cell = ref 0; epoch = min_int }
+
+let cell c =
+  let e = Registry.swap_epoch () in
+  if c.epoch <> e then begin
+    c.cell <- Registry.counter_cell (Registry.current ()) c.name;
+    c.epoch <- e
+  end;
+  c.cell
+
+let name c = c.name
+let incr c = Stdlib.incr (cell c)
+
+let add c n =
+  let r = cell c in
+  r := !r + n
+
+let value c = !(cell c)

@@ -1,0 +1,20 @@
+(** A handle on a named counter of the {e current} {!Registry}.
+
+    Make the handle once at module initialization; [incr]/[add] then
+    cost two loads, a comparison and an in-place increment — the cell is
+    re-resolved only after {!Registry.set_current} swaps the registry.
+    No allocation on the steady-state path, so probes stay on even when
+    tracing is disabled. *)
+
+type t
+
+val make : string -> t
+(** A handle for the counter named [s]; the cell binds lazily on first
+    use. *)
+
+val name : t -> string
+val incr : t -> unit
+val add : t -> int -> unit
+
+val value : t -> int
+(** The counter's value in the current registry. *)

@@ -1,0 +1,143 @@
+(* Exporters for collected spans: a human-readable tree, JSON-lines, and
+   the Chrome trace_event format (load chrome://tracing or
+   https://ui.perfetto.dev and drop the file in).  All JSON is written
+   by hand — lib/obs stays dependency-free. *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_string s = "\"" ^ json_escape s ^ "\""
+
+let pp_duration s =
+  if s < 1e-3 then Printf.sprintf "%.1fus" (s *. 1e6)
+  else if s < 1.0 then Printf.sprintf "%.2fms" (s *. 1e3)
+  else Printf.sprintf "%.3fs" s
+
+(* Children grouped by parent id, in start order.  Spans whose parent
+   was dropped (sink limit, partial drain) are treated as roots. *)
+let tree_of spans =
+  let ids = Hashtbl.create 64 in
+  List.iter (fun (sp : Trace.span) -> Hashtbl.replace ids sp.id ()) spans;
+  let children = Hashtbl.create 64 in
+  let roots =
+    List.filter
+      (fun (sp : Trace.span) ->
+        if sp.parent <> 0 && Hashtbl.mem ids sp.parent then begin
+          Hashtbl.replace children sp.parent
+            (sp
+            :: Option.value ~default:[] (Hashtbl.find_opt children sp.parent));
+          false
+        end
+        else true)
+      spans
+  in
+  let children_of id =
+    List.rev (Option.value ~default:[] (Hashtbl.find_opt children id))
+  in
+  (roots, children_of)
+
+let attrs_suffix (sp : Trace.span) =
+  List.rev_map (fun (k, v) -> Printf.sprintf " %s=%s" k v) sp.attrs
+  |> List.rev |> String.concat ""
+
+let tree spans =
+  let roots, children_of = tree_of spans in
+  let lines = ref [] in
+  let rec render depth (sp : Trace.span) =
+    lines :=
+      Printf.sprintf "%s%s %s%s"
+        (String.make (2 * depth) ' ')
+        sp.name
+        (pp_duration (Trace.duration sp))
+        (attrs_suffix sp)
+      :: !lines;
+    List.iter (render (depth + 1)) (children_of sp.id)
+  in
+  List.iter (render 0) roots;
+  List.rev !lines
+
+let base_time spans =
+  List.fold_left
+    (fun acc (sp : Trace.span) -> Float.min acc sp.t0)
+    infinity spans
+
+let jsonl spans =
+  let base = base_time spans in
+  List.map
+    (fun (sp : Trace.span) ->
+      let attrs =
+        List.rev_map
+          (fun (k, v) -> Printf.sprintf "%s:%s" (json_string k) (json_string v))
+          sp.attrs
+        |> List.rev |> String.concat ","
+      in
+      Printf.sprintf
+        "{\"id\":%d,\"parent\":%d,\"name\":%s,\"ts_us\":%.1f,\"dur_us\":%.1f,\"attrs\":{%s}}"
+        sp.id sp.parent (json_string sp.name)
+        ((sp.t0 -. base) *. 1e6)
+        (Trace.duration sp *. 1e6)
+        attrs)
+    spans
+
+(* Chrome trace_event JSON with duration (B/E) events.  Events are
+   emitted by walking the span tree — B(parent), children, E(parent) —
+   so begins and ends always balance and nest, which is what the viewer
+   (and the qcheck property in the test suite) requires. *)
+let chrome spans =
+  let base = base_time spans in
+  let roots, children_of = tree_of spans in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  let first = ref true in
+  let event fields =
+    if not !first then Buffer.add_char b ',';
+    first := false;
+    Buffer.add_char b '{';
+    Buffer.add_string b (String.concat "," fields);
+    Buffer.add_char b '}'
+  in
+  let rec emit (sp : Trace.span) =
+    let args =
+      List.rev_map
+        (fun (k, v) -> Printf.sprintf "%s:%s" (json_string k) (json_string v))
+        sp.attrs
+      |> List.rev |> String.concat ","
+    in
+    event
+      [
+        Printf.sprintf "\"name\":%s" (json_string sp.name);
+        "\"cat\":\"cqa\"";
+        "\"ph\":\"B\"";
+        Printf.sprintf "\"ts\":%.1f" ((sp.t0 -. base) *. 1e6);
+        "\"pid\":1";
+        "\"tid\":1";
+        Printf.sprintf "\"args\":{%s}" args;
+      ];
+    List.iter emit (children_of sp.id);
+    event
+      [
+        Printf.sprintf "\"name\":%s" (json_string sp.name);
+        "\"cat\":\"cqa\"";
+        "\"ph\":\"E\"";
+        Printf.sprintf "\"ts\":%.1f"
+          ((Float.max sp.t0 sp.t1 -. base) *. 1e6);
+        "\"pid\":1";
+        "\"tid\":1";
+      ]
+  in
+  List.iter emit roots;
+  Buffer.add_string b "]}";
+  Buffer.contents b

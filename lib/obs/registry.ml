@@ -1,0 +1,170 @@
+(* The telemetry half of lib/obs: named counters, gauges and latency
+   histograms behind a registry.  One registry is "current" at any time;
+   swapping it (a new server handler, a test) bumps a global epoch so
+   that Counter handles re-resolve their cells lazily instead of writing
+   into a registry that is no longer observed. *)
+
+type histogram = {
+  bounds : float array; (* upper bounds, seconds, strictly increasing *)
+  buckets : int array; (* length bounds + 1: the last is overflow *)
+  mutable hcount : int;
+  mutable hsum : float;
+}
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, float ref) Hashtbl.t;
+  histograms : (string, histogram) Hashtbl.t;
+}
+
+let create () =
+  {
+    counters = Hashtbl.create 32;
+    gauges = Hashtbl.create 8;
+    histograms = Hashtbl.create 8;
+  }
+
+let global = ref (create ())
+let epoch = ref 0
+let current () = !global
+
+let set_current r =
+  global := r;
+  incr epoch
+
+let swap_epoch () = !epoch
+
+let counter_cell t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some c -> c
+  | None ->
+      let c = ref 0 in
+      Hashtbl.replace t.counters name c;
+      c
+
+let counter_value t name =
+  match Hashtbl.find_opt t.counters name with Some c -> !c | None -> 0
+
+let by_name compare_v (a, av) (b, bv) =
+  match String.compare a b with 0 -> compare_v av bv | c -> c
+
+let counters_list t =
+  Hashtbl.fold (fun name c acc -> (name, !c) :: acc) t.counters []
+  |> List.sort (by_name Int.compare)
+
+let counter_snapshot = counters_list
+
+let counter_delta ~since t =
+  counters_list t
+  |> List.filter_map (fun (name, v) ->
+         let old =
+           match List.assoc_opt name since with Some o -> o | None -> 0
+         in
+         if v - old <> 0 then Some (name, v - old) else None)
+
+let set_gauge t name v =
+  match Hashtbl.find_opt t.gauges name with
+  | Some g -> g := v
+  | None -> Hashtbl.replace t.gauges name (ref v)
+
+let gauge_value t name =
+  Option.map ( ! ) (Hashtbl.find_opt t.gauges name)
+
+let gauges_list t =
+  Hashtbl.fold (fun name g acc -> (name, !g) :: acc) t.gauges []
+  |> List.sort (by_name Float.compare)
+
+(* Decade buckets, 1 µs to 10 s — the shape the serving layer has used
+   since PR 1. *)
+let decade_bounds = [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 1e-1; 1.0; 10.0 |]
+
+let histogram ?(bounds = decade_bounds) t name =
+  match Hashtbl.find_opt t.histograms name with
+  | Some h -> h
+  | None ->
+      let h =
+        {
+          bounds;
+          buckets = Array.make (Array.length bounds + 1) 0;
+          hcount = 0;
+          hsum = 0.0;
+        }
+      in
+      Hashtbl.replace t.histograms name h;
+      h
+
+let observe h x =
+  let n = Array.length h.bounds in
+  let rec bucket i = if i >= n || x < h.bounds.(i) then i else bucket (i + 1) in
+  let b = bucket 0 in
+  h.buckets.(b) <- h.buckets.(b) + 1;
+  h.hcount <- h.hcount + 1;
+  h.hsum <- h.hsum +. x
+
+let hist_count h = h.hcount
+let hist_mean h = if h.hcount = 0 then 0.0 else h.hsum /. float_of_int h.hcount
+
+let label_of_seconds s =
+  if s < 1e-3 then Printf.sprintf "%.0fus" (s *. 1e6)
+  else if s < 1.0 then Printf.sprintf "%.0fms" (s *. 1e3)
+  else Printf.sprintf "%.0fs" s
+
+let bucket_label h i =
+  if i < Array.length h.bounds then "lt_" ^ label_of_seconds h.bounds.(i)
+  else "ge_" ^ label_of_seconds h.bounds.(Array.length h.bounds - 1)
+
+let hist_buckets h =
+  Array.to_list (Array.mapi (fun i c -> (bucket_label h i, c)) h.buckets)
+
+(* Quantile estimate: find the bucket where the cumulative count crosses
+   q * total and interpolate linearly inside it.  The overflow bucket has
+   no upper bound, so it reports its lower bound. *)
+let quantile h q =
+  if h.hcount = 0 then 0.0
+  else begin
+    let target = q *. float_of_int h.hcount in
+    let nb = Array.length h.buckets in
+    let result = ref h.bounds.(Array.length h.bounds - 1) in
+    (try
+       let acc = ref 0 in
+       for i = 0 to nb - 1 do
+         let c = h.buckets.(i) in
+         if c > 0 && float_of_int (!acc + c) >= target then begin
+           let lo = if i = 0 then 0.0 else h.bounds.(i - 1) in
+           if i >= Array.length h.bounds then result := lo
+           else begin
+             let hi = h.bounds.(i) in
+             let frac = (target -. float_of_int !acc) /. float_of_int c in
+             result := lo +. (frac *. (hi -. lo))
+           end;
+           raise Exit
+         end;
+         acc := !acc + c
+       done
+     with Exit -> ());
+    !result
+  end
+
+let histograms_list t =
+  Hashtbl.fold (fun name h acc -> (name, h) :: acc) t.histograms []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let render_histogram name h =
+  let cells =
+    hist_buckets h
+    |> List.map (fun (label, c) -> Printf.sprintf "%s:%d" label c)
+    |> String.concat ","
+  in
+  Printf.sprintf
+    "%s count=%d mean_us=%.1f p50_us=%.1f p95_us=%.1f p99_us=%.1f hist=%s" name
+    (hist_count h)
+    (hist_mean h *. 1e6)
+    (quantile h 0.50 *. 1e6)
+    (quantile h 0.95 *. 1e6)
+    (quantile h 0.99 *. 1e6)
+    cells
+
+let render t =
+  List.map (fun (n, v) -> Printf.sprintf "%s %d" n v) (counters_list t)
+  @ List.map (fun (n, v) -> Printf.sprintf "%s %g" n v) (gauges_list t)
+  @ List.map (fun (n, h) -> render_histogram n h) (histograms_list t)

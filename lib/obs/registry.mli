@@ -1,0 +1,78 @@
+(** Named counters, gauges and latency histograms — the telemetry half
+    of [lib/obs].
+
+    A registry is a plain value; the solver stack writes through the
+    {e current} registry, which a service owner (the server handler, a
+    test) can swap with {!set_current}.  Swapping bumps an epoch so that
+    the cached cells inside {!Counter} handles re-resolve on their next
+    use — probes never write into a registry nobody is watching. *)
+
+type t
+
+val create : unit -> t
+
+val current : unit -> t
+(** The registry solver probes write into right now. *)
+
+val set_current : t -> unit
+(** Install [t] as the current registry and bump the swap epoch. *)
+
+val swap_epoch : unit -> int
+(** Monotone epoch, bumped by every {!set_current}; {!Counter} handles
+    compare it to decide whether their cached cell is still valid. *)
+
+(** {1 Counters} *)
+
+val counter_cell : t -> string -> int ref
+(** The cell for a named counter, created at zero on first use.  Prefer
+    {!Counter.make}/{!Counter.incr} on hot paths. *)
+
+val counter_value : t -> string -> int
+(** Zero when the counter was never touched. *)
+
+val counters_list : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+val counter_snapshot : t -> (string * int) list
+(** Same as {!counters_list}; pair it with {!counter_delta} to meter one
+    request. *)
+
+val counter_delta : since:(string * int) list -> t -> (string * int) list
+(** Counters whose value changed since the snapshot, with the change. *)
+
+(** {1 Gauges} *)
+
+val set_gauge : t -> string -> float -> unit
+val gauge_value : t -> string -> float option
+val gauges_list : t -> (string * float) list
+
+(** {1 Histograms} *)
+
+type histogram
+
+val histogram : ?bounds:float array -> t -> string -> histogram
+(** The named histogram, created on first use.  [bounds] are strictly
+    increasing upper bounds in seconds (default: decades from 1 µs to
+    10 s); one overflow bucket is appended. *)
+
+val observe : histogram -> float -> unit
+val hist_count : histogram -> int
+val hist_mean : histogram -> float
+
+val hist_buckets : histogram -> (string * int) list
+(** Labelled bucket counts, e.g. [("lt_1us", 0); ...; ("ge_10s", 0)]. *)
+
+val quantile : histogram -> float -> float
+(** Estimated q-quantile in seconds: linear interpolation inside the
+    covering bucket; the unbounded overflow bucket reports its lower
+    bound.  0 on an empty histogram. *)
+
+val histograms_list : t -> (string * histogram) list
+
+val render_histogram : string -> histogram -> string
+(** One line:
+    [name count=N mean_us=M p50_us=A p95_us=B p99_us=C hist=lt_1us:0,...]. *)
+
+val render : t -> string list
+(** One [name value] line per counter and gauge (sorted), then one
+    {!render_histogram} line per histogram. *)

@@ -5,6 +5,8 @@ module Conflict_graph = Constraints.Conflict_graph
 
 let denial_only = List.for_all Ic.is_denial_class
 
+let c_requests = Obs.Counter.make "repairs.c_requests"
+
 let hypergraph_minimum inst schema ics =
   let g = Conflict_graph.build inst schema ics in
   Sat.Hitting_set.minimum (Conflict_graph.edges_as_int_lists g)
@@ -43,12 +45,24 @@ let one ?actions ?fuel inst schema ics =
         best
 
 let enumerate ?actions ?fuel inst schema ics =
-  match minimum_cost ?actions ?fuel inst schema ics with
-  | None -> []
-  | Some k ->
-      List.filter
-        (fun r -> Repair.cost r = k)
-        (S_repair.enumerate ?actions ?fuel inst schema ics)
+  let sp = Obs.Trace.start "repairs.c_enumerate" in
+  Obs.Counter.incr c_requests;
+  match
+    match minimum_cost ?actions ?fuel inst schema ics with
+    | None -> []
+    | Some k ->
+        List.filter
+          (fun r -> Repair.cost r = k)
+          (S_repair.enumerate ?actions ?fuel inst schema ics)
+  with
+  | repairs ->
+      if Obs.Trace.is_enabled () then
+        Obs.Trace.attr_int "repairs" (List.length repairs);
+      Obs.Trace.finish sp;
+      repairs
+  | exception e ->
+      Obs.Trace.finish sp;
+      raise e
 
 let count ?actions ?fuel inst schema ics =
   List.length (enumerate ?actions ?fuel inst schema ics)

@@ -9,6 +9,16 @@ module Conflict_graph = Constraints.Conflict_graph
 
 exception Out_of_fuel
 
+(* Search effort counters: candidates is branch nodes visited (one per
+   database extended during branching search, or per hitting set in the
+   hypergraph engine), conflicts is violations materialised, pruned is
+   dead-end branches (a violation with no admissible fix). *)
+let c_enumerations = Obs.Counter.make "repairs.enumerations"
+let c_candidates = Obs.Counter.make "repairs.candidates"
+let c_conflicts = Obs.Counter.make "repairs.conflicts"
+let c_pruned = Obs.Counter.make "repairs.pruned"
+let c_found = Obs.Counter.make "repairs.found"
+
 let denial_only ics = List.for_all Ic.is_denial_class ics
 
 (* Denial-class engine: minimal deletion sets = minimal hitting sets of the
@@ -16,7 +26,9 @@ let denial_only ics = List.for_all Ic.is_denial_class ics
 let via_hypergraph inst schema ics =
   let g = Conflict_graph.build inst schema ics in
   let edges = Conflict_graph.edges_as_int_lists g in
+  Obs.Counter.add c_conflicts (List.length edges);
   let hitting_sets = Sat.Hitting_set.minimal edges in
+  Obs.Counter.add c_candidates (List.length hitting_sets);
   List.map
     (fun hs ->
       let doomed = List.fold_left (fun s i -> Tid.Set.add (Tid.of_int i) s) Tid.Set.empty hs in
@@ -85,6 +97,7 @@ let branching_search ~actions ~fuel inst schema ics =
   let rec go db =
     decr budget;
     if !budget < 0 then raise Out_of_fuel;
+    Obs.Counter.incr c_candidates;
     match first_violation ~actions ~original_facts db schema ics with
     | None ->
         let key = Fact.Set.elements (Instance.facts db) in
@@ -92,19 +105,36 @@ let branching_search ~actions ~fuel inst schema ics =
           Hashtbl.add seen key ();
           results := db :: !results
         end
-    | Some [] -> (* dead end: violation with no admissible fix *) ()
-    | Some fixes -> List.iter (fun fix -> go (apply_fix db fix)) fixes
+    | Some [] ->
+        (* dead end: violation with no admissible fix *)
+        Obs.Counter.incr c_pruned
+    | Some fixes ->
+        Obs.Counter.incr c_conflicts;
+        List.iter (fun fix -> go (apply_fix db fix)) fixes
   in
   go inst;
   List.map (fun db -> Repair.make ~original:inst db) !results
   |> Repair.minimal_under_inclusion
 
 let enumerate ?(actions = `Delete_insert) ?(fuel = 100_000) inst schema ics =
-  let repairs =
+  let sp = Obs.Trace.start "repairs.enumerate" in
+  Obs.Counter.incr c_enumerations;
+  let strategy = if denial_only ics then "hypergraph" else "branching" in
+  match
     if denial_only ics then via_hypergraph inst schema ics
     else branching_search ~actions ~fuel inst schema ics
-  in
-  List.sort Repair.compare_by_delta repairs
+  with
+  | repairs ->
+      Obs.Counter.add c_found (List.length repairs);
+      if Obs.Trace.is_enabled () then begin
+        Obs.Trace.attr "strategy" strategy;
+        Obs.Trace.attr_int "repairs" (List.length repairs)
+      end;
+      Obs.Trace.finish sp;
+      List.sort Repair.compare_by_delta repairs
+  | exception e ->
+      Obs.Trace.finish sp;
+      raise e
 
 (* Greedy maximal independent set for denial-class constraints: start from
    the conflict-free tuples and add back conflicting ones while the result

@@ -34,6 +34,9 @@ let occurrences atoms =
 
 exception Unsupported
 
+let c_applicable = Obs.Counter.make "rewrite.key_applicable"
+let c_unsupported = Obs.Counter.make "rewrite.key_unsupported"
+
 let check_class (q : Cq.t) infos occ =
   (* Self-join-free. *)
   let rels = List.map (fun i -> i.atom.Atom.rel) infos in
@@ -215,9 +218,21 @@ let rewrite (q : Cq.t) ~keys =
   let evars = Cq.existential_vars q in
   Some (Formula.exists evars (Formula.conj (body @ comps)))
 
-let rewrite q ~keys = try rewrite q ~keys with Unsupported -> None
+let rewrite q ~keys =
+  let sp = Obs.Trace.start "rewrite.key" in
+  let result = try rewrite q ~keys with Unsupported -> None in
+  (match result with
+  | Some _ -> Obs.Counter.incr c_applicable
+  | None -> Obs.Counter.incr c_unsupported);
+  if Obs.Trace.is_enabled () then
+    Obs.Trace.attr "applicable" (if result = None then "no" else "yes");
+  Obs.Trace.finish sp;
+  result
 
 let consistent_answers q ~keys inst =
   match rewrite q ~keys with
   | None -> None
-  | Some f -> Some (Formula.answers inst ~free:(Cq.head_vars q) f)
+  | Some f ->
+      Some
+        (Obs.Trace.with_span "rewrite.eval" (fun () ->
+             Formula.answers inst ~free:(Cq.head_vars q) f))

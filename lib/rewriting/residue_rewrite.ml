@@ -32,13 +32,19 @@ and expand_positive ~depth ~level clauses f =
   in
   go true f
 
+let c_rewrites = Obs.Counter.make "rewrite.residue_rewrites"
+
 let rewrite ?(max_depth = 4) (q : Cq.t) clauses =
+  let sp = Obs.Trace.start "rewrite.residue" in
+  Obs.Counter.incr c_rewrites;
   let body =
     Formula.conj
       (List.map (fun a -> expand_atom ~depth:max_depth ~level:0 a clauses) q.body
       @ List.map (fun c -> Formula.Cmp c) q.comps)
   in
-  Formula.exists (Cq.existential_vars q) body
+  let f = Formula.exists (Cq.existential_vars q) body in
+  Obs.Trace.finish sp;
+  f
 
 let rewrite_ics ?max_depth q schema ics =
   let clauses = List.concat_map (Constraints.Ic.to_clauses schema) ics in
@@ -47,4 +53,4 @@ let rewrite_ics ?max_depth q schema ics =
 let consistent_answers ?max_depth q schema ics inst =
   let f = rewrite_ics ?max_depth q schema ics in
   let free = Cq.head_vars q in
-  Formula.answers inst ~free f
+  Obs.Trace.with_span "rewrite.eval" (fun () -> Formula.answers inst ~free f)

@@ -1,5 +1,12 @@
 type model = bool array
 
+(* Solver counters (repo-wide obs registry): decisions are branch
+   attempts, propagations are unit-forced assignments, conflicts are
+   falsified clauses met during propagation. *)
+let c_decisions = Obs.Counter.make "sat.decisions"
+let c_propagations = Obs.Counter.make "sat.propagations"
+let c_conflicts = Obs.Counter.make "sat.conflicts"
+
 type state = {
   clauses : int array array;
   nclauses : int;
@@ -80,9 +87,17 @@ let propagate st from =
             | _ -> ())
           c;
         if not !sat then
-          if !unassigned = 0 then ok := false
+          if !unassigned = 0 then begin
+            Obs.Counter.incr c_conflicts;
+            ok := false
+          end
           else if !unassigned = 1 then
-            if not (assign_lit st !unit_lit) then ok := false
+            if assign_lit st !unit_lit then
+              Obs.Counter.incr c_propagations
+            else begin
+              Obs.Counter.incr c_conflicts;
+              ok := false
+            end
       end
     in
     List.iter check st.occ.(lit_index falsified)
@@ -152,6 +167,7 @@ let rec search st ~bound ~on_model =
         on_model st m
     | Some v ->
         let try_sign sign =
+          Obs.Counter.incr c_decisions;
           let mark = st.trail_len in
           let l = if sign then v else -v in
           if assign_lit st l && propagate st mark then
@@ -171,20 +187,27 @@ let init cnf ~assumptions ~soft =
     else None
 
 let solve ?(assumptions = []) cnf =
-  match init cnf ~assumptions ~soft:[] with
-  | None -> None
-  | Some st ->
-      let result = ref None in
-      (try
-         search st ~bound:(ref infinity) ~on_model:(fun _ m ->
-             result := Some m;
-             raise Stop)
-       with Stop -> ());
-      !result
+  let sp = Obs.Trace.start "sat.solve" in
+  let result =
+    match init cnf ~assumptions ~soft:[] with
+    | None -> None
+    | Some st ->
+        let result = ref None in
+        (try
+           search st ~bound:(ref infinity) ~on_model:(fun _ m ->
+               result := Some m;
+               raise Stop)
+         with Stop -> ());
+        !result
+  in
+  if Obs.Trace.is_enabled () then
+    Obs.Trace.attr "sat" (if result = None then "unsat" else "sat");
+  Obs.Trace.finish sp;
+  result
 
 let satisfiable ?assumptions cnf = solve ?assumptions cnf <> None
 
-let enumerate ?(assumptions = []) ?limit ?project cnf =
+let enumerate_inner ~assumptions ?limit ?project cnf =
   match init cnf ~assumptions ~soft:[] with
   | None -> []
   | Some st ->
@@ -209,24 +232,41 @@ let enumerate ?(assumptions = []) ?limit ?project cnf =
        with Stop -> ());
       List.rev !models
 
+let enumerate ?(assumptions = []) ?limit ?project cnf =
+  let sp = Obs.Trace.start "sat.enumerate" in
+  match enumerate_inner ~assumptions ?limit ?project cnf with
+  | models ->
+      if Obs.Trace.is_enabled () then
+        Obs.Trace.attr_int "models" (List.length models);
+      Obs.Trace.finish sp;
+      models
+  | exception e ->
+      Obs.Trace.finish sp;
+      raise e
+
 let count ?assumptions ?project cnf =
   List.length (enumerate ?assumptions ?project cnf)
 
 let minimize_weighted ?(assumptions = []) ~soft cnf =
-  match init cnf ~assumptions ~soft with
-  | None -> None
-  | Some st ->
-      let best = ref None in
-      let bound = ref infinity in
-      (try
-         search st ~bound ~on_model:(fun st m ->
-             if st.cost < !bound then begin
-               bound := st.cost;
-               best := Some (st.cost, m);
-               if st.cost <= 0.0 then raise Stop
-             end)
-       with Stop -> ());
-      !best
+  let sp = Obs.Trace.start "sat.minimize" in
+  let best =
+    match init cnf ~assumptions ~soft with
+    | None -> None
+    | Some st ->
+        let best = ref None in
+        let bound = ref infinity in
+        (try
+           search st ~bound ~on_model:(fun st m ->
+               if st.cost < !bound then begin
+                 bound := st.cost;
+                 best := Some (st.cost, m);
+                 if st.cost <= 0.0 then raise Stop
+               end)
+         with Stop -> ());
+        !best
+  in
+  Obs.Trace.finish sp;
+  best
 
 let minimize ?assumptions ~soft cnf =
   match

@@ -1,5 +1,9 @@
 module Iset = Set.Make (Int)
 
+(* Branch nodes explored by the minimal-hitting-set search — one per
+   partial set extended; the repair enumerator's work unit. *)
+let c_nodes = Obs.Counter.make "sat.hs_nodes"
+
 let is_hitting edges set =
   let s = Iset.of_list set in
   List.for_all (fun e -> List.exists (fun v -> Iset.mem v s) e) edges
@@ -13,9 +17,11 @@ let is_minimal_hitting edges set =
 let minimal edges =
   if List.exists (( = ) []) edges then []
   else begin
+    let sp = Obs.Trace.start "sat.hitting_sets" in
     let candidates = ref [] in
     let seen = Hashtbl.create 64 in
     let rec go partial =
+      Obs.Counter.incr c_nodes;
       match List.find_opt (fun e -> not (List.exists (fun v -> Iset.mem v partial) e)) edges with
       | None ->
           let key = Iset.elements partial in
@@ -29,18 +35,24 @@ let minimal edges =
     (* The greedy completion can produce non-minimal hitting sets; keep the
        set-inclusion-minimal ones. *)
     let cands = !candidates in
-    List.filter
-      (fun c ->
-        let cs = Iset.of_list c in
-        not
-          (List.exists
-             (fun c' ->
-               c' != c
-               &&
-               let cs' = Iset.of_list c' in
-               Iset.subset cs' cs && not (Iset.equal cs' cs))
-             cands))
-      cands
+    let result =
+      List.filter
+        (fun c ->
+          let cs = Iset.of_list c in
+          not
+            (List.exists
+               (fun c' ->
+                 c' != c
+                 &&
+                 let cs' = Iset.of_list c' in
+                 Iset.subset cs' cs && not (Iset.equal cs' cs))
+               cands))
+        cands
+    in
+    if Obs.Trace.is_enabled () then
+      Obs.Trace.attr_int "hitting_sets" (List.length result);
+    Obs.Trace.finish sp;
+    result
   end
 
 let vertices edges =

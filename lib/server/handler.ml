@@ -5,13 +5,22 @@ type t = {
   sessions : Session.store;
   cache : (string, string * string list) Lru.t; (* key -> head, body *)
   metrics : Metrics.t;
+  max_body_lines : int;
+  on_trace : (Obs.Trace.span list -> unit) option;
 }
 
-let create ?(cache_capacity = 512) () =
+let create ?(cache_capacity = 512) ?(max_body_lines = 10_000) ?on_trace () =
+  let metrics = Metrics.create () in
+  (* Route the solver counters (sat.decisions, repairs.candidates, and
+     friends) into this handler's registry so STATS renders request and
+     solver telemetry through one path. *)
+  Obs.Registry.set_current (Metrics.registry metrics);
   {
     sessions = Session.create_store ();
     cache = Lru.create ~capacity:cache_capacity;
-    metrics = Metrics.create ();
+    metrics;
+    max_body_lines;
+    on_trace;
   }
 
 let metrics t = t.metrics
@@ -99,6 +108,42 @@ let exec_query (session : Session.t) name method_ semantics =
               P.ok ~body:(List.map pp_row rows)
                 (Printf.sprintf "answers=%d" (List.length rows))))
 
+let query_cache_key (session : Session.t) name method_ semantics =
+  String.concat "|"
+    [
+      session.digest; "query"; name; method_label method_;
+      semantics_label semantics;
+    ]
+
+(* EXPLAIN runs the query fresh under a private trace sink and reports
+   what it cost: whether an equivalent QUERY would be answered from the
+   memo cache, the span tree, and the solver-counter deltas.  It never
+   reads or fills the cache itself, so the measurement is repeatable. *)
+let exec_explain t (session : Session.t) name method_ semantics =
+  let key = query_cache_key session name method_ semantics in
+  let cache_state = if Lru.mem t.cache key then "hit" else "miss" in
+  let registry = Metrics.registry t.metrics in
+  let before = Obs.Registry.counter_snapshot registry in
+  let t0 = Unix.gettimeofday () in
+  let response, spans =
+    Obs.Trace.collect (fun () -> exec_query session name method_ semantics)
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  match response with
+  | { P.status = `Err; _ } -> response
+  | { P.status = `Ok; head; _ } ->
+      let deltas = Obs.Registry.counter_delta ~since:before registry in
+      let body =
+        Printf.sprintf "cache %s key=%s" cache_state key
+        :: "-- spans"
+        :: Obs.Export.tree spans
+        @ "-- counters"
+          :: List.map (fun (n, v) -> Printf.sprintf "%s %d" n v) deltas
+      in
+      P.ok ~body
+        (Printf.sprintf "explain %s wall_us=%.1f spans=%d" head (wall *. 1e6)
+           (List.length spans))
+
 let exec_check (session : Session.t) =
   let witnesses =
     Constraints.Violation.all session.doc.instance session.doc.schema
@@ -149,14 +194,14 @@ let exec t payload = function
                (List.length doc.queries)))
   | P.Query { sid; name; method_; semantics } ->
       with_session t sid (fun session ->
-          let key =
-            String.concat "|"
-              [
-                session.digest; "query"; name; method_label method_;
-                semantics_label semantics;
-              ]
-          in
+          let key = query_cache_key session name method_ semantics in
           cached t session key (fun () -> exec_query session name method_ semantics))
+  | P.Trace flag ->
+      Obs.Trace.set_enabled flag;
+      P.ok (if flag then "trace=on" else "trace=off")
+  | P.Explain { sid; name; method_; semantics } ->
+      with_session t sid (fun session ->
+          exec_explain t session name method_ semantics)
   | P.Check sid -> with_session t sid exec_check
   | P.Repairs { sid; semantics } ->
       with_session t sid (fun session ->
@@ -203,7 +248,13 @@ let dispatch t ?payload command =
     ~command:(P.command_label command)
     ~latency:(Unix.gettimeofday () -. t0);
   if response.P.status = `Err then Metrics.error t.metrics;
-  response
+  (* When server-wide tracing is on, hand the spans this request left in
+     the global sink to the owner (cqa_server streams them to disk). *)
+  (match t.on_trace with
+  | Some f when Obs.Trace.is_enabled () -> (
+      match Obs.Trace.drain () with [] -> () | spans -> f spans)
+  | _ -> ());
+  P.clamp ~max_lines:t.max_body_lines response
 
 let parse_failure t msg =
   Metrics.parse_error t.metrics;

@@ -15,8 +15,20 @@
 
 type t
 
-val create : ?cache_capacity:int -> unit -> t
-(** [cache_capacity] defaults to 512 entries. *)
+val create :
+  ?cache_capacity:int ->
+  ?max_body_lines:int ->
+  ?on_trace:(Obs.Trace.span list -> unit) ->
+  unit ->
+  t
+(** [cache_capacity] defaults to 512 entries.  [max_body_lines] bounds
+    every response body (see {!Protocol.clamp}; default 10,000 lines).
+    [on_trace] receives the spans each request leaves in the global sink
+    while TRACE is on (the server streams them to [--trace-dir]).
+
+    Creation installs the handler's metrics registry as the
+    process-current {!Obs.Registry}, so solver counters land in the same
+    STATS dump as request metrics. *)
 
 val metrics : t -> Metrics.t
 val sessions : t -> Session.store
@@ -24,7 +36,9 @@ val cache_length : t -> int
 
 val dispatch : t -> ?payload:string list -> Protocol.command -> Protocol.response
 (** Execute one parsed command, recording request count and latency.
-    [payload] is the document text for LOAD (ignored otherwise). *)
+    [payload] is the document text for LOAD (ignored otherwise).  The
+    response is passed through {!Protocol.clamp} before being returned,
+    so it always respects line-protocol framing. *)
 
 val parse_failure : t -> string -> Protocol.response
 (** The [ERR] response for an unparseable request line, recorded in the

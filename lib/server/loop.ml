@@ -17,11 +17,11 @@ type t = {
   mutable stopped : bool;
 }
 
-let create ?cache_capacity listen_fd =
+let create ?cache_capacity ?max_body_lines ?on_trace listen_fd =
   Unix.set_nonblock listen_fd;
   {
     listen_fd;
-    handler = Handler.create ?cache_capacity ();
+    handler = Handler.create ?cache_capacity ?max_body_lines ?on_trace ();
     conns = [];
     stopped = false;
   }

@@ -10,9 +10,15 @@
 
 type t
 
-val create : ?cache_capacity:int -> Unix.file_descr -> t
+val create :
+  ?cache_capacity:int ->
+  ?max_body_lines:int ->
+  ?on_trace:(Obs.Trace.span list -> unit) ->
+  Unix.file_descr ->
+  t
 (** Wrap a listening socket (see {!listen_unix}/{!listen_tcp}).  The
-    descriptor is set non-blocking. *)
+    descriptor is set non-blocking.  The optional arguments are passed
+    to {!Handler.create}. *)
 
 val handler : t -> Handler.t
 

@@ -1,110 +1,82 @@
-(* Decade buckets: latency < 1us, < 10us, ..., < 10s, and overflow. *)
-let bucket_bounds =
-  [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 1e-1; 1.0; 10.0 |]
-
-let nbuckets = Array.length bucket_bounds + 1
-
-type series = {
-  mutable count : int;
-  mutable total : float; (* seconds *)
-  buckets : int array;
-}
+(* Request metrics, rebased on Obs.Registry so that server-side request
+   telemetry and the solver counters threaded through lib/obs render
+   through one dump path (STATS, --metrics-dump).  The frequently-bumped
+   scalars keep direct cell references; per-command latencies are
+   registry histograms named latency_<command>. *)
 
 type t = {
-  mutable requests : int;
-  mutable parse_errors : int;
-  mutable errors : int;
-  mutable hits : int;
-  mutable misses : int;
-  mutable bytes_in : int;
-  mutable bytes_out : int;
-  per_command : (string, series) Hashtbl.t;
+  registry : Obs.Registry.t;
+  requests : int ref;
+  parse_errors : int ref;
+  errors : int ref;
+  hits : int ref;
+  misses : int ref;
+  bytes_in : int ref;
+  bytes_out : int ref;
 }
 
-let create () =
+let create ?registry () =
+  let registry =
+    match registry with Some r -> r | None -> Obs.Registry.create ()
+  in
+  let cell = Obs.Registry.counter_cell registry in
   {
-    requests = 0;
-    parse_errors = 0;
-    errors = 0;
-    hits = 0;
-    misses = 0;
-    bytes_in = 0;
-    bytes_out = 0;
-    per_command = Hashtbl.create 8;
+    registry;
+    requests = cell "requests_total";
+    parse_errors = cell "parse_errors_total";
+    errors = cell "errors_total";
+    hits = cell "cache_hits";
+    misses = cell "cache_misses";
+    bytes_in = cell "bytes_in";
+    bytes_out = cell "bytes_out";
   }
 
-let series_of t command =
-  match Hashtbl.find_opt t.per_command command with
-  | Some s -> s
-  | None ->
-      let s = { count = 0; total = 0.0; buckets = Array.make nbuckets 0 } in
-      Hashtbl.replace t.per_command command s;
-      s
-
-let bucket_of latency =
-  let rec go i =
-    if i >= Array.length bucket_bounds then i
-    else if latency < bucket_bounds.(i) then i
-    else go (i + 1)
-  in
-  go 0
+let registry t = t.registry
 
 let observe t ~command ~latency =
-  t.requests <- t.requests + 1;
-  let s = series_of t command in
-  s.count <- s.count + 1;
-  s.total <- s.total +. latency;
-  let b = bucket_of latency in
-  s.buckets.(b) <- s.buckets.(b) + 1
+  incr t.requests;
+  let h =
+    Obs.Registry.histogram t.registry
+      ("latency_" ^ String.lowercase_ascii command)
+  in
+  Obs.Registry.observe h latency
 
 let parse_error t =
-  t.requests <- t.requests + 1;
-  t.parse_errors <- t.parse_errors + 1
+  incr t.requests;
+  incr t.parse_errors
 
-let error t = t.errors <- t.errors + 1
-let cache_hit t = t.hits <- t.hits + 1
-let cache_miss t = t.misses <- t.misses + 1
-let add_bytes_in t n = t.bytes_in <- t.bytes_in + n
-let add_bytes_out t n = t.bytes_out <- t.bytes_out + n
-let requests t = t.requests
-let errors t = t.errors
-let hits t = t.hits
-let misses t = t.misses
-let bytes_in t = t.bytes_in
-let bytes_out t = t.bytes_out
+let error t = incr t.errors
+let cache_hit t = incr t.hits
+let cache_miss t = incr t.misses
+let add_bytes_in t n = t.bytes_in := !(t.bytes_in) + n
+let add_bytes_out t n = t.bytes_out := !(t.bytes_out) + n
+let requests t = !(t.requests)
+let errors t = !(t.errors)
+let hits t = !(t.hits)
+let misses t = !(t.misses)
+let bytes_in t = !(t.bytes_in)
+let bytes_out t = !(t.bytes_out)
 
 let hit_rate t =
-  let total = t.hits + t.misses in
-  if total = 0 then 0.0 else float_of_int t.hits /. float_of_int total
+  let total = !(t.hits) + !(t.misses) in
+  if total = 0 then 0.0 else float_of_int !(t.hits) /. float_of_int total
 
 let render t =
   let counters =
-    [
-      Printf.sprintf "requests_total %d" t.requests;
-      Printf.sprintf "parse_errors_total %d" t.parse_errors;
-      Printf.sprintf "errors_total %d" t.errors;
-      Printf.sprintf "cache_hits %d" t.hits;
-      Printf.sprintf "cache_misses %d" t.misses;
-      Printf.sprintf "cache_hit_rate %.4f" (hit_rate t);
-      Printf.sprintf "bytes_in %d" t.bytes_in;
-      Printf.sprintf "bytes_out %d" t.bytes_out;
-    ]
+    List.map
+      (fun (name, v) -> Printf.sprintf "%s %d" name v)
+      (Obs.Registry.counters_list t.registry)
+  in
+  let gauges =
+    List.map
+      (fun (name, v) -> Printf.sprintf "%s %g" name v)
+      (Obs.Registry.gauges_list t.registry)
   in
   let latencies =
-    Hashtbl.fold
-      (fun command s acc ->
-        let mean_us =
-          if s.count = 0 then 0.0 else s.total /. float_of_int s.count *. 1e6
-        in
-        let hist =
-          String.concat ","
-            (Array.to_list (Array.map string_of_int s.buckets))
-        in
-        Printf.sprintf "latency_%s count=%d mean_us=%.1f hist=%s"
-          (String.lowercase_ascii command)
-          s.count mean_us hist
-        :: acc)
-      t.per_command []
-    |> List.sort compare
+    List.map
+      (fun (name, h) -> Obs.Registry.render_histogram name h)
+      (Obs.Registry.histograms_list t.registry)
   in
-  counters @ latencies
+  counters
+  @ [ Printf.sprintf "cache_hit_rate %.4f" (hit_rate t) ]
+  @ gauges @ latencies

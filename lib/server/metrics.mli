@@ -1,15 +1,26 @@
 (** Request metrics for the serving layer: request and error counters,
     cache hits/misses, per-command latency histograms, and bytes moved on
-    the wire.  Rendered as one [name value] line per metric by [render]
-    (the STATS command and the server's [--metrics-dump] flag). *)
+    the wire.
+
+    Built on {!Obs.Registry}: the handler installs its metrics registry
+    as the process-current one, so the solver counters threaded through
+    [lib/obs] (sat.decisions, repairs.candidates, ...) land in the same
+    registry and render through the same [render] (the STATS command and
+    the server's [--metrics-dump] flag). *)
 
 type t
 
-val create : unit -> t
+val create : ?registry:Obs.Registry.t -> unit -> t
+(** A metrics value over [registry] (a fresh private registry by
+    default, which keeps tests isolated). *)
+
+val registry : t -> Obs.Registry.t
+(** The underlying registry — install with {!Obs.Registry.set_current}
+    to route solver counters here. *)
 
 val observe : t -> command:string -> latency:float -> unit
 (** Count one completed request of kind [command] (e.g. ["QUERY"]) that
-    took [latency] seconds; feeds the per-command histogram. *)
+    took [latency] seconds; feeds the [latency_<command>] histogram. *)
 
 val parse_error : t -> unit
 (** Count a request line that failed to parse. *)
@@ -33,7 +44,10 @@ val hit_rate : t -> float
 (** Hits over hits+misses; 0 before any cacheable request. *)
 
 val render : t -> string list
-(** One [name value] line per counter, then one
-    [latency_<command> count=<n> mean_us=<m> hist=<b0,b1,...>] line per
-    command seen; histogram buckets are decades from 1 µs to 10 s plus
-    an overflow bucket. *)
+(** One [name value] line per counter and gauge in the registry (request
+    scalars and any solver counters routed here), a [cache_hit_rate]
+    line, then one
+    [latency_<command> count=<n> mean_us=<m> p50_us=<a> p95_us=<b>
+    p99_us=<c> hist=lt_1us:<k>,...] line per command seen; histogram
+    buckets are decades from 1 µs to 10 s plus an overflow bucket, each
+    labelled with its bound. *)

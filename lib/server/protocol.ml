@@ -21,6 +21,13 @@ type command =
       values : Value.t list;
     }
   | Stats
+  | Trace of bool
+  | Explain of {
+      sid : string;
+      name : string;
+      method_ : method_;
+      semantics : semantics;
+    }
   | Close of string
   | Quit
 
@@ -146,6 +153,17 @@ let parse_exn line =
       | "UPDATE", _ -> Error "usage: UPDATE <sid> add|del Rel(v1, ..., vk)"
       | "STATS", [] -> Ok Stats
       | "STATS", _ -> Error "usage: STATS"
+      | "TRACE", [ flag ] -> (
+          match String.lowercase_ascii flag with
+          | "on" -> Ok (Trace true)
+          | "off" -> Ok (Trace false)
+          | s -> Error (Printf.sprintf "unknown TRACE mode %S (on or off)" s))
+      | "TRACE", _ -> Error "usage: TRACE on|off"
+      | "EXPLAIN", sid :: name :: opts ->
+          let* method_, semantics = query_options Auto S opts in
+          Ok (Explain { sid; name; method_; semantics })
+      | "EXPLAIN", _ ->
+          Error "usage: EXPLAIN <sid> <name> [method=M] [semantics=S]"
       | "CLOSE", [ sid ] -> Ok (Close sid)
       | "CLOSE", _ -> Error "usage: CLOSE <sid>"
       | "QUIT", [] -> Ok Quit
@@ -167,6 +185,8 @@ let command_label = function
   | Measure _ -> "MEASURE"
   | Update _ -> "UPDATE"
   | Stats -> "STATS"
+  | Trace _ -> "TRACE"
+  | Explain _ -> "EXPLAIN"
   | Close _ -> "CLOSE"
   | Quit -> "QUIT"
 
@@ -174,6 +194,25 @@ type response = { status : [ `Ok | `Err ]; head : string; body : string list }
 
 let ok ?(body = []) head = { status = `Ok; head; body }
 let err msg = { status = `Err; head = msg; body = [] }
+
+(* Keep a response inside line-protocol framing: a body line equal to the
+   terminator would end the response early (readers stop at the first
+   lone "."), so it is indented; and bodies longer than [max_lines] are
+   cut with an explicit marker so clients can tell truncation from a
+   short answer. *)
+let clamp ?(max_lines = 10_000) r =
+  let safe line = if String.equal line terminator then " ." else line in
+  let n = List.length r.body in
+  let body =
+    if n <= max_lines then List.map safe r.body
+    else
+      let rec take k = function
+        | x :: rest when k > 0 -> safe x :: take (k - 1) rest
+        | _ -> [ Printf.sprintf "...truncated (%d of %d lines)" max_lines n ]
+      in
+      take max_lines r.body
+  in
+  { r with body }
 
 let render { status; head; body } =
   let status_line =

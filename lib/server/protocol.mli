@@ -12,6 +12,9 @@
     MEASURE <sid>
     UPDATE <sid> add|del <Rel>(<v1>, ..., <vk>)
     STATS
+    TRACE on|off
+    EXPLAIN <sid> <name> [method=auto|enum|rewriting|key-rewriting|asp]
+                         [semantics=s|c]
     CLOSE <sid>
     QUIT
     v}
@@ -42,6 +45,13 @@ type command =
       values : Relational.Value.t list;
     }
   | Stats
+  | Trace of bool  (** TRACE on|off: toggle span collection server-wide *)
+  | Explain of {
+      sid : string;
+      name : string;
+      method_ : method_;
+      semantics : semantics;
+    }  (** EXPLAIN: run the query traced and report spans + counters *)
   | Close of string
   | Quit
 
@@ -62,6 +72,12 @@ type response = { status : [ `Ok | `Err ]; head : string; body : string list }
 
 val ok : ?body:string list -> string -> response
 val err : string -> response
+
+val clamp : ?max_lines:int -> response -> response
+(** Framing safety: body lines equal to {!terminator} are indented so
+    they cannot end the response early, and bodies longer than
+    [max_lines] (default 10,000) are truncated with a final
+    ["...truncated (K of N lines)"] marker line. *)
 
 val render : response -> string
 (** The full wire text of a response, ["\n"]-terminated lines including

@@ -27,6 +27,7 @@ let () =
       ("wave5", Test_wave5.suite);
       ("exrules", Test_exrules.suite);
       ("facade", Test_facade.suite);
+      ("obs", Test_obs.suite);
       ("server", Test_server.suite);
       ("properties", Test_properties.suite);
     ]

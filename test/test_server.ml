@@ -113,6 +113,20 @@ let test_protocol_parse () =
   (match P.parse "REPAIRS s1 c" with
   | Ok (P.Repairs { semantics = P.C; _ }) -> ()
   | _ -> Alcotest.fail "REPAIRS c should parse");
+  (match P.parse "TRACE on" with
+  | Ok (P.Trace true) -> ()
+  | _ -> Alcotest.fail "TRACE on should parse");
+  (match P.parse "trace OFF" with
+  | Ok (P.Trace false) -> ()
+  | _ -> Alcotest.fail "lowercase TRACE off should parse");
+  (match P.parse "EXPLAIN s1 q method=enum semantics=s" with
+  | Ok (P.Explain { sid = "s1"; name = "q"; method_ = P.Enum; semantics = P.S })
+    ->
+      ()
+  | _ -> Alcotest.fail "EXPLAIN with options should parse");
+  (match P.parse "EXPLAIN s1 q" with
+  | Ok (P.Explain { method_ = P.Auto; semantics = P.S; _ }) -> ()
+  | _ -> Alcotest.fail "EXPLAIN defaults should parse");
   (* A digit run wider than max_int must parse (as a string constant),
      not raise out of the server loop. *)
   (match P.parse "UPDATE s1 add T(99999999999999999999, -99999999999999999999)"
@@ -135,6 +149,8 @@ let test_protocol_parse () =
     [
       "FROBNICATE x"; ""; "QUERY"; "QUERY s1 q method=warp";
       "UPDATE s1 add no-parens"; "REPAIRS s1 q"; "LOAD a b"; "STATS extra";
+      "TRACE"; "TRACE maybe"; "TRACE on off"; "EXPLAIN s1";
+      "EXPLAIN s1 q method=warp";
     ]
 
 (* ---- Handler: memoization and invalidation --------------------------- *)
@@ -271,6 +287,111 @@ let test_handler_errors_keep_session () =
   Alcotest.(check int) "errors counted" 6
     (Server.Metrics.errors (Server.Handler.metrics h))
 
+(* ---- observability: TRACE, EXPLAIN, clamped framing ------------------- *)
+
+let body_has_prefix body prefix =
+  let n = String.length prefix in
+  List.exists (fun l -> String.length l >= n && String.sub l 0 n = prefix) body
+
+let test_trace_toggle () =
+  let h = Server.Handler.create () in
+  let on = dispatch_line h "TRACE on" in
+  Alcotest.(check string) "trace on" "trace=on" on.P.head;
+  Alcotest.(check bool) "tracing enabled" true (Obs.Trace.is_enabled ());
+  let off = dispatch_line h "TRACE off" in
+  Alcotest.(check string) "trace off" "trace=off" off.P.head;
+  Alcotest.(check bool) "tracing disabled" false (Obs.Trace.is_enabled ())
+
+let test_explain_cost_shift () =
+  (* The acceptance demo: the same query EXPLAINed under repair
+     enumeration (the coNP-shaped path) and under FO key-rewriting shows
+     the cost moving between solver-counter families. *)
+  let h = Server.Handler.create () in
+  load_session h "s1";
+  let enum = dispatch_line h "EXPLAIN s1 q method=enum" in
+  Alcotest.(check bool) "enum EXPLAIN ok" true (enum.P.status = `Ok);
+  Alcotest.(check bool) "enum head" true
+    (String.length enum.P.head >= 17
+    && String.sub enum.P.head 0 17 = "explain answers=2");
+  Alcotest.(check bool) "enum enumerates repairs" true
+    (body_has_prefix enum.P.body "repairs.enumerations ");
+  Alcotest.(check bool) "enum weighs repair candidates" true
+    (body_has_prefix enum.P.body "repairs.candidates ");
+  Alcotest.(check bool) "enum never touches the rewriter" false
+    (body_has_prefix enum.P.body "rewrite.");
+  let rewr = dispatch_line h "EXPLAIN s1 q method=key-rewriting" in
+  Alcotest.(check bool) "rewriting EXPLAIN ok" true (rewr.P.status = `Ok);
+  Alcotest.(check bool) "rewriting applies the key rewrite" true
+    (body_has_prefix rewr.P.body "rewrite.key_applicable ");
+  Alcotest.(check bool) "rewriting enumerates no repairs" false
+    (body_has_prefix rewr.P.body "repairs.");
+  (* Both explanations carry the span tree rooted at the engine. *)
+  List.iter
+    (fun (r : P.response) ->
+      Alcotest.(check bool) "span section" true (List.mem "-- spans" r.P.body);
+      Alcotest.(check bool) "engine span" true
+        (body_has_prefix r.P.body "engine.certain_answers"))
+    [ enum; rewr ];
+  (* Same answers either way: EXPLAIN changes the lens, not the result. *)
+  Alcotest.(check bool) "rewriting finds the same answers" true
+    (String.length rewr.P.head >= 17
+    && String.sub rewr.P.head 0 17 = "explain answers=2")
+
+let test_explain_cache_provenance () =
+  (* EXPLAIN reports whether an equivalent QUERY would hit the memo
+     cache, without reading, filling, or promoting it. *)
+  let h = Server.Handler.create () in
+  load_session h "s1";
+  let m = Server.Handler.metrics h in
+  let cold = dispatch_line h "EXPLAIN s1 q" in
+  Alcotest.(check bool) "cold explain says miss" true
+    (body_has_prefix cold.P.body "cache miss");
+  Alcotest.(check int) "explain does not fill the cache" 0
+    (Server.Handler.cache_length h);
+  ignore (dispatch_line h "QUERY s1 q");
+  let warm = dispatch_line h "EXPLAIN s1 q" in
+  Alcotest.(check bool) "warm explain says hit" true
+    (body_has_prefix warm.P.body "cache hit");
+  Alcotest.(check int) "explain counts no cache hit" 0 (Server.Metrics.hits m)
+
+let test_response_truncation () =
+  (* Framing safety: a body longer than max_body_lines is cut with an
+     explicit marker instead of flooding (or breaking) the line
+     protocol. *)
+  let h = Server.Handler.create ~max_body_lines:3 () in
+  load_session h "s1";
+  let r = dispatch_line h "EXPLAIN s1 q method=enum" in
+  Alcotest.(check bool) "still OK" true (r.P.status = `Ok);
+  Alcotest.(check int) "three lines plus the marker" 4 (List.length r.P.body);
+  let last = List.nth r.P.body 3 in
+  Alcotest.(check bool)
+    (Printf.sprintf "marker present (%s)" last)
+    true
+    (String.length last >= 17 && String.sub last 0 17 = "...truncated (3 o");
+  (* Short bodies pass through untouched. *)
+  let q = dispatch_line h "QUERY s1 q" in
+  Alcotest.(check (list string)) "short body untouched" [ "1"; "2" ]
+    (List.sort compare q.P.body)
+
+let test_stats_includes_solver_counters () =
+  (* One STATS path: the solver counters accumulated during query
+     execution render next to the request metrics. *)
+  let h = Server.Handler.create () in
+  load_session h "s1";
+  ignore (dispatch_line h "QUERY s1 q method=enum");
+  let stats = dispatch_line h "STATS" in
+  Alcotest.(check bool) "STATS ok" true (stats.P.status = `Ok);
+  List.iter
+    (fun prefix ->
+      Alcotest.(check bool)
+        (Printf.sprintf "STATS has %s" prefix)
+        true
+        (body_has_prefix stats.P.body prefix))
+    [
+      "engine.queries "; "repairs.enumerations "; "requests_total ";
+      "cache_hit_rate "; "latency_query ";
+    ]
+
 (* ---- end-to-end over a Unix socket ----------------------------------- *)
 
 let connect_client path =
@@ -393,5 +514,14 @@ let suite =
       test_handler_repairs_measure_check;
     Alcotest.test_case "ERR responses keep the session alive" `Quick
       test_handler_errors_keep_session;
+    Alcotest.test_case "TRACE toggles the global sink" `Quick test_trace_toggle;
+    Alcotest.test_case "EXPLAIN shows the enum/rewriting cost shift" `Quick
+      test_explain_cost_shift;
+    Alcotest.test_case "EXPLAIN reports cache provenance read-only" `Quick
+      test_explain_cache_provenance;
+    Alcotest.test_case "long bodies truncate with a marker" `Quick
+      test_response_truncation;
+    Alcotest.test_case "STATS renders solver counters" `Quick
+      test_stats_includes_solver_counters;
     Alcotest.test_case "end-to-end socket round-trip" `Quick test_e2e_socket;
   ]
