@@ -17,8 +17,8 @@ let b1 ~quick () =
     "#S-repairs doubles per conflict pair; enumeration time follows, \
      FO-rewriting evaluation does not";
   let sizes = if quick then [ 2; 4; 6; 8 ] else [ 2; 4; 6; 8; 10; 12 ] in
-  Printf.printf "  %6s %12s %14s %14s\n" "pairs" "#S-repairs" "enum-time"
-    "rewrite-time";
+  Printf.printf "  %6s %12s %14s %14s %14s %s\n" "pairs" "#S-repairs"
+    "enum-time" "enum-j4" "rewrite-time" "par=seq";
   List.iter
     (fun pairs ->
       let db, key = Gen.key_conflict_chain ~seed:11 ~pairs () in
@@ -26,19 +26,34 @@ let b1 ~quick () =
       let repairs, enum_ns =
         Bech_harness.once (fun () -> Repairs.S_repair.enumerate db schema [ key ])
       in
+      (* Same enumeration with four domains: must be byte-identical. *)
+      let repairs4, enum4_ns =
+        Bech_harness.once (fun () ->
+            Par.set_default_jobs 4;
+            Fun.protect
+              ~finally:(fun () -> Par.set_default_jobs 1)
+              (fun () -> Repairs.S_repair.enumerate db schema [ key ]))
+      in
+      let par_equal =
+        List.length repairs = List.length repairs4
+        && List.for_all2 Repairs.Repair.equal repairs repairs4
+      in
       let q = Gen.employees_query () in
       let keys = [ ("T", [ 0 ]) ] in
       let _, rw_ns =
         Bech_harness.once (fun () ->
             Rewriting.Key_rewrite.consistent_answers q ~keys db)
       in
-      Printf.printf "  %6d %12d %14s %14s\n" pairs (List.length repairs)
-        (Bech_harness.pp_ns enum_ns) (Bech_harness.pp_ns rw_ns);
+      Printf.printf "  %6d %12d %14s %14s %14s %b\n" pairs
+        (List.length repairs) (Bech_harness.pp_ns enum_ns)
+        (Bech_harness.pp_ns enum4_ns) (Bech_harness.pp_ns rw_ns) par_equal;
       Bench_json.record ~bench:"b1"
         [
           ("pairs", Bench_json.int pairs);
           ("s_repairs", Bench_json.int (List.length repairs));
           ("enum_ns", Bench_json.num enum_ns);
+          ("enum_jobs4_ns", Bench_json.num enum4_ns);
+          ("par_equal", Bench_json.str (string_of_bool par_equal));
           ("rewrite_ns", Bench_json.num rw_ns);
         ])
     sizes;
@@ -81,7 +96,19 @@ let b2 ~quick () =
               ("method", Bench_json.str name);
               ("ns", Bench_json.num ns);
             ])
-        results)
+        results;
+      (* No silent caps: the ASP case is cut off above n=40 (its repair
+         space makes grounding explode), and the cutoff must be visible in
+         the results, not inferred from a missing row. *)
+      if n > 40 then begin
+        Printf.printf "  n=%-5d %-14s skipped (timeout)\n" n "asp";
+        Bench_json.record ~bench:"b2"
+          [
+            ("n", Bench_json.int n);
+            ("method", Bench_json.str "asp");
+            ("skipped", Bench_json.str "timeout");
+          ]
+      end)
     sizes;
   print_newline ()
 
@@ -608,11 +635,65 @@ let b14 ~quick () =
     sizes;
   print_newline ()
 
+(* B15: the cqa-fast tentpole — indexed vs naive join evaluation.  (This is
+   the "b10" scaling bench of ISSUE 3; b10 was already taken by the
+   approximation bench.)  A two-atom key join evaluated through Cq.answers:
+   the naive path scans the joined relation once per candidate binding
+   (O(n²)), the indexed path probes a hash index per binding (O(n)). *)
+let b15 ~quick () =
+  header "B15" "indexed vs naive join (cqa-fast)"
+    "hash-indexed candidate lookup turns the quadratic nested-loop join \
+     into a near-linear one";
+  let sizes = if quick then [ 100; 1000 ] else [ 100; 1000; 10000 ] in
+  let schema = Relational.Schema.of_list [ ("R", [ "a"; "b" ]); ("S", [ "b"; "c" ]) ] in
+  let open Logic in
+  let q =
+    Cq.make
+      [ Term.var "x"; Term.var "z" ]
+      [
+        Atom.make "R" [ Term.var "x"; Term.var "y" ];
+        Atom.make "S" [ Term.var "y"; Term.var "z" ];
+      ]
+  in
+  Printf.printf "  %8s %12s %14s %14s %8s\n" "n" "#answers" "naive" "indexed"
+    "speedup";
+  List.iter
+    (fun n ->
+      let db =
+        Instance.of_rows schema
+          [
+            ("R", List.init n (fun i -> [ Value.int i; Value.int (i / 2) ]));
+            ("S", List.init n (fun i -> [ Value.int i; Value.int (i mod 97) ]));
+          ]
+      in
+      (* Naive first so its scans cannot be served by indexes built during
+         the indexed run (and its join.nested increments stay honest). *)
+      Instance.set_indexing false;
+      let naive, naive_ns = Bech_harness.once (fun () -> Cq.answers q db) in
+      Instance.set_indexing true;
+      let indexed, indexed_ns = Bech_harness.once (fun () -> Cq.answers q db) in
+      assert (naive = indexed);
+      let speedup = naive_ns /. indexed_ns in
+      Printf.printf "  %8d %12d %14s %14s %7.1fx\n" n (List.length indexed)
+        (Bech_harness.pp_ns naive_ns)
+        (Bech_harness.pp_ns indexed_ns)
+        speedup;
+      Bench_json.record ~bench:"b15"
+        [
+          ("n", Bench_json.int n);
+          ("answers", Bench_json.int (List.length indexed));
+          ("naive_ns", Bench_json.num naive_ns);
+          ("indexed_ns", Bench_json.num indexed_ns);
+          ("speedup", Bench_json.num speedup);
+        ])
+    sizes;
+  print_newline ()
+
 let all =
   [
     ("b1", b1); ("b2", b2); ("b3", b3); ("b4", b4); ("b5", b5); ("b6", b6);
     ("b7", b7); ("b8", b8); ("b9", b9); ("b10", b10); ("b11", b11);
-    ("b12", b12); ("b13", b13); ("b14", b14);
+    ("b12", b12); ("b13", b13); ("b14", b14); ("b15", b15);
   ]
 
 let run ~quick ids =

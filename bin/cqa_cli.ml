@@ -61,12 +61,26 @@ let trace_arg =
           "Write a Chrome trace_event file of the run to $(docv) (open in \
            chrome://tracing or Perfetto).")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Parallelism for repair enumeration and ASP candidate checking (1 \
+           = sequential; tracing forces sequential execution).")
+
+let with_jobs jobs f =
+  Par.set_default_jobs jobs;
+  f ()
+
 let check_cmd =
-  let run file trace =
+  let run file trace jobs =
     let doc = load file in
     let witnesses =
-      with_trace trace (fun () ->
-          Constraints.Violation.all doc.instance doc.schema doc.ics)
+      with_jobs jobs (fun () ->
+          with_trace trace (fun () ->
+              Constraints.Violation.all doc.instance doc.schema doc.ics))
     in
     if witnesses = [] then print_endline "consistent"
     else begin
@@ -79,7 +93,7 @@ let check_cmd =
     end
   in
   Cmd.v (Cmd.info "check" ~doc:"Check the instance against its constraints.")
-    Term.(const run $ file_arg $ trace_arg)
+    Term.(const run $ file_arg $ trace_arg $ jobs_arg)
 
 let semantics_arg =
   Arg.(
@@ -88,13 +102,14 @@ let semantics_arg =
     & info [ "semantics" ] ~docv:"S" ~doc:"Repair semantics: s (set-minimal) or c (cardinality).")
 
 let repairs_cmd =
-  let run file semantics trace =
+  let run file semantics trace jobs =
     let doc = load file in
     let repairs =
-      with_trace trace (fun () ->
-          match semantics with
-          | `S -> Repairs.S_repair.enumerate doc.instance doc.schema doc.ics
-          | `C -> Repairs.C_repair.enumerate doc.instance doc.schema doc.ics)
+      with_jobs jobs (fun () ->
+          with_trace trace (fun () ->
+              match semantics with
+              | `S -> Repairs.S_repair.enumerate doc.instance doc.schema doc.ics
+              | `C -> Repairs.C_repair.enumerate doc.instance doc.schema doc.ics))
     in
     Printf.printf "%d repair(s)\n" (List.length repairs);
     List.iteri
@@ -103,7 +118,7 @@ let repairs_cmd =
       repairs
   in
   Cmd.v (Cmd.info "repairs" ~doc:"Enumerate the repairs of the instance.")
-    Term.(const run $ file_arg $ semantics_arg $ trace_arg)
+    Term.(const run $ file_arg $ semantics_arg $ trace_arg $ jobs_arg)
 
 let method_arg =
   Arg.(
@@ -125,7 +140,7 @@ let query_arg =
   Arg.(required & opt (some string) None & info [ "query"; "q" ] ~docv:"NAME" ~doc:"Query name.")
 
 let answers_cmd =
-  let run file qname method_ trace =
+  let run file qname method_ trace jobs =
     let doc = load file in
     let u =
       match Cqa.Parse.find_ucq doc qname with
@@ -137,6 +152,7 @@ let answers_cmd =
           exit 2
     in
     let rows =
+      with_jobs jobs @@ fun () ->
       with_trace trace (fun () ->
           match u.Logic.Ucq.disjuncts with
           | [ q ] -> Cqa.Engine.consistent_answers ~method_ (engine doc) q
@@ -154,7 +170,7 @@ let answers_cmd =
        ~doc:
          "Consistent answers to a named query (several query lines with one \
           name form a union).")
-    Term.(const run $ file_arg $ query_arg $ method_arg $ trace_arg)
+    Term.(const run $ file_arg $ query_arg $ method_arg $ trace_arg $ jobs_arg)
 
 let degree_cmd =
   let run file =
@@ -188,19 +204,20 @@ let causes_cmd =
     Term.(const run $ file_arg $ query_arg)
 
 let count_cmd =
-  let run file trace =
+  let run file trace jobs =
     let doc = load file in
     let s, c =
-      with_trace trace (fun () ->
-          ( Repairs.Count.s_repairs doc.instance doc.schema doc.ics,
-            Repairs.Count.c_repairs doc.instance doc.schema doc.ics ))
+      with_jobs jobs (fun () ->
+          with_trace trace (fun () ->
+              ( Repairs.Count.s_repairs doc.instance doc.schema doc.ics,
+                Repairs.Count.c_repairs doc.instance doc.schema doc.ics )))
     in
     Printf.printf "S-repairs: %d\n" s;
     Printf.printf "C-repairs: %d\n" c
   in
   Cmd.v
     (Cmd.info "count" ~doc:"Count the repairs without materializing them all.")
-    Term.(const run $ file_arg $ trace_arg)
+    Term.(const run $ file_arg $ trace_arg $ jobs_arg)
 
 let attr_repairs_cmd =
   let run file =

@@ -5,7 +5,9 @@
 
 open Cmdliner
 
-let run unix_path port cache_capacity max_requests metrics_dump trace_dir =
+let run unix_path port cache_capacity max_requests metrics_dump trace_dir jobs
+    =
+  Par.set_default_jobs jobs;
   let fd, where =
     match
       match port with
@@ -119,6 +121,16 @@ let trace_dir_arg =
            complete, plus a Chrome trace_event file $(docv)/trace.json \
            (open in Perfetto) on shutdown.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Parallelism for repair enumeration and ASP candidate checking \
+           while serving (1 = sequential; --trace-dir forces sequential \
+           execution).")
+
 let main =
   Cmd.v
     (Cmd.info "cqa_server" ~version:"1.0.0"
@@ -127,6 +139,6 @@ let main =
           request metrics.")
     Term.(
       const run $ unix_arg $ port_arg $ cache_arg $ max_requests_arg
-      $ metrics_dump_arg $ trace_dir_arg)
+      $ metrics_dump_arg $ trace_dir_arg $ jobs_arg)
 
 let () = exit (Cmd.eval main)

@@ -77,8 +77,11 @@ let models_ground g =
   let cnf = clauses_of g in
   let candidates = Dpll.enumerate cnf in
   Obs.Counter.add c_candidates (List.length candidates);
+  (* Each reduct minimality check is independent (the ground program is
+     read-only and the DPLL call inside is per-candidate state), so the
+     candidates are checked with the parallel map; order is preserved. *)
   let stable =
-    List.filter_map
+    Par.filter_map
       (fun m ->
         Obs.Counter.incr c_reduct_checks;
         if is_minimal_model_of_reduct g m then Some (model_facts g m) else None)

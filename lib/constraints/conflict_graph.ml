@@ -22,6 +22,59 @@ let build inst schema ics =
   in
   { vertices = Instance.tids inst; edges = Tidset_set.elements edges }
 
+(* ------------------------------------------------------------------ *)
+(* Cached builds.
+
+   Repair enumeration, C-repair search and repair checking all need the
+   conflict graph of the *same* instance; a small bounded memo keyed by
+   (instance digest, constraint fingerprint) lets them share one build.
+   The digest is a hash, so a hit is only trusted after verifying the
+   cached instance: first by physical equality (the overwhelmingly common
+   case — the same [Instance.t] value flowing through one pipeline), then
+   by [Instance.equal].  Protected by a mutex: Par workers may check
+   repairs concurrently. *)
+
+let c_cache_hits = Obs.Counter.make "conflict_graph.cache_hits"
+let c_cache_misses = Obs.Counter.make "conflict_graph.cache_misses"
+
+let cache_capacity = 8
+let cache : (int * string * Instance.t * t) list ref = ref []
+let cache_lock = Mutex.create ()
+
+let ics_fingerprint ics =
+  String.concat ";" (List.map (fun ic -> Format.asprintf "%a" Ic.pp ic) ics)
+
+let build_cached inst schema ics =
+  let key = Instance.digest inst in
+  let fp = ics_fingerprint ics in
+  let hit =
+    Mutex.lock cache_lock;
+    let found =
+      List.find_opt
+        (fun (k, f, cached_inst, _) ->
+          k = key && String.equal f fp
+          && (cached_inst == inst || Instance.equal_with_tids cached_inst inst))
+        !cache
+    in
+    Mutex.unlock cache_lock;
+    found
+  in
+  match hit with
+  | Some (_, _, _, g) ->
+      Obs.Counter.incr c_cache_hits;
+      g
+  | None ->
+      Obs.Counter.incr c_cache_misses;
+      let g = build inst schema ics in
+      Mutex.lock cache_lock;
+      cache :=
+        (key, fp, inst, g)
+        :: (if List.length !cache >= cache_capacity then
+              List.filteri (fun i _ -> i < cache_capacity - 1) !cache
+            else !cache);
+      Mutex.unlock cache_lock;
+      g
+
 let edges_as_int_lists t =
   List.map
     (fun e -> List.map Tid.to_int (Tid.Set.elements e))

@@ -17,6 +17,13 @@ val build :
     dependency — INDs are not denials and their repairs are not captured by
     a conflict hypergraph. *)
 
+val build_cached :
+  Relational.Instance.t -> Relational.Schema.t -> Ic.t list -> t
+(** [build] through a small bounded memo keyed by the instance digest and a
+    constraint fingerprint, verified against the cached instance before
+    reuse (digests are hashes, not proofs).  Domain-safe; the
+    [conflict_graph.cache_hits]/[cache_misses] counters record behaviour. *)
+
 val edges_as_int_lists : t -> int list list
 (** For the hitting-set solvers: each edge as a list of tid integers. *)
 

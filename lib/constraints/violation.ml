@@ -32,7 +32,14 @@ let of_denial inst (d : Ic.denial) =
               | Some env' -> search env' ((tid, a) :: matched) rest pending acc
               | None -> acc)
             acc
-            (Instance.tuples inst ~rel:a.Logic.Atom.rel)
+            (* Bucketed candidate lookup.  For an FD/key denial the second
+               atom's candidates are exactly the first tuple's key bucket:
+               the pending equality comparisons [xa_i = ya_i] force the
+               already-matched tuple's key values onto the second atom's
+               positions, so [bound_pattern] turns the pairwise scan into a
+               hash-bucket probe (one per matched tuple). *)
+            (Instance.matching_tuples inst ~rel:a.Logic.Atom.rel
+               ~bound:(Cq.bound_pattern env a pending))
   in
   let raw = search Binding.empty [] d.atoms d.comps [] in
   (* Distinct tid sets only: symmetric constraint bodies (e.g. an FD's two
@@ -56,20 +63,19 @@ let of_denial inst (d : Ic.denial) =
 let of_ind inst (i : Ic.ind) =
   let sub_rel, sub_ps = i.Ic.sub and sup_rel, sup_ps = i.Ic.sup in
   let project ps (row : Value.t array) = List.map (fun p -> row.(p)) ps in
-  let sup_keys =
-    List.fold_left
-      (fun acc row -> project sup_ps row :: acc)
-      []
-      (Instance.rows inst ~rel:sup_rel)
+  (* Membership in the sup-side projection is an index probe per sub tuple
+     instead of a scan of sup per sub tuple.  NULL keys are vacuously
+     satisfied, matching [Value.equal]'s Null = Null on the old scan path
+     never firing because NULL sub keys were skipped first. *)
+  let sup_has k =
+    Instance.matching_tuples inst ~rel:sup_rel
+      ~bound:(List.map2 (fun p v -> (p, v)) sup_ps k)
+    <> []
   in
   List.filter_map
     (fun (tid, row) ->
       let k = project sub_ps row in
-      if
-        List.exists Value.is_null k
-        || List.exists (fun k' -> List.for_all2 Value.equal k k') sup_keys
-      then None
-      else Some tid)
+      if List.exists Value.is_null k || sup_has k then None else Some tid)
     (Instance.tuples inst ~rel:sub_rel)
 
 let of_ic inst schema ic =

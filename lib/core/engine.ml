@@ -40,14 +40,19 @@ let repair_check t candidate =
 let by_repair_enumeration t q =
   match s_repairs t with
   | [] -> []
-  | first :: rest ->
-      let answers (r : Repairs.Repair.t) =
-        Rows.of_list (Logic.Cq.answers q r.repaired)
+  | repairs -> (
+      (* Query every repair independently (parallel when --jobs allows),
+         then intersect. *)
+      let answer_sets =
+        Par.map
+          (fun (r : Repairs.Repair.t) ->
+            Rows.of_list (Logic.Cq.answers q r.repaired))
+          repairs
       in
-      Rows.elements
-        (List.fold_left
-           (fun acc r -> Rows.inter acc (answers r))
-           (answers first) rest)
+      match answer_sets with
+      | [] -> []
+      | first :: rest ->
+          Rows.elements (List.fold_left Rows.inter first rest))
 
 let keys_of_ics ics =
   let keys =

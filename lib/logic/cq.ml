@@ -43,6 +43,40 @@ let match_row env (a : Atom.t) row =
 let cmp_ready env (c : Cmp.t) =
   List.for_all (Binding.mem env) (Cmp.vars c)
 
+(* Positions of [a] whose value is already forced: constant arguments,
+   variables bound in [env], and unbound variables equated by a pending
+   equality comparison to a term that evaluates under [env].  The FD/key
+   denials of [Constraints.Ic] join their two atoms through such
+   comparisons (disjoint variable sets per atom), so deriving bound
+   positions from the pending comparisons is what turns violation search
+   into bucketed index probes.  Pruning by these positions is exact: a
+   candidate row excluded here would be rejected by [match_row] or by the
+   comparison check immediately after it. *)
+let bound_pattern env (a : Atom.t) pending =
+  let eq_value x =
+    List.find_map
+      (fun (c : Cmp.t) ->
+        if c.op <> Cmp.Eq then None
+        else
+          match c.left, c.right with
+          | Term.Var y, t when String.equal y x -> Binding.term_value env t
+          | t, Term.Var y when String.equal y x -> Binding.term_value env t
+          | _, _ -> None)
+      pending
+  in
+  List.mapi (fun i t -> (i, t)) a.args
+  |> List.filter_map (fun (i, t) ->
+         match t with
+         | Term.Const c -> Some (i, c)
+         | Term.Var x -> (
+             match Binding.find env x with
+             | Some v -> Some (i, v)
+             | None -> Option.map (fun v -> (i, v)) (eq_value x)))
+
+let candidates inst env (a : Atom.t) pending =
+  Instance.matching_tuples inst ~rel:a.Atom.rel
+    ~bound:(bound_pattern env a pending)
+
 (* Backtracking join: at each step pick the atom with the fewest unbound
    variables (a cheap greedy join order), and check comparisons as soon as
    their variables are bound. *)
@@ -84,7 +118,7 @@ let bindings q inst =
                 | None -> acc
                 | Some pending -> search env' rest pending acc))
           acc
-          (Instance.tuples inst ~rel:a.Atom.rel)
+          (candidates inst env a comps)
   in
   match eval_comps Binding.empty q.comps with
   | None -> []

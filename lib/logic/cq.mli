@@ -31,3 +31,11 @@ val holds : t -> Relational.Instance.t -> bool
 
 val substitute : Subst.t -> t -> t
 val pp : Format.formatter -> t -> unit
+
+val bound_pattern :
+  Binding.t -> Atom.t -> Cmp.t list -> (int * Relational.Value.t) list
+(** Positions of the atom whose value is forced by the environment (constant
+    arguments, bound variables) or by a pending equality comparison whose
+    other side evaluates under the environment.  Feeding this to
+    {!Relational.Instance.matching_tuples} prunes candidate rows exactly —
+    excluded rows would fail [match_row] or the comparison check anyway. *)

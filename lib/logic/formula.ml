@@ -107,18 +107,60 @@ let match_row_tvl env (a : Atom.t) row =
     in
     go 0 Tvl.True a.args
 
+(* All argument positions of [a] with their forced values, or [None] if
+   some variable is unbound (the caller falls back to the scan, which
+   reproduces the historical unbound-variable error behaviour). *)
+let atom_bound env (a : Atom.t) =
+  let rec go i acc = function
+    | [] -> Some (List.rev acc)
+    | Term.Const c :: rest -> go (i + 1) ((i, c) :: acc) rest
+    | Term.Var x :: rest -> (
+        match Binding.find env x with
+        | Some v -> go (i + 1) ((i, v) :: acc) rest
+        | None -> None)
+  in
+  go 0 [] a.args
+
 let rec eval inst env f : Tvl.t =
   match f with
   | True -> Tvl.True
   | False -> Tvl.False
   | Atom a ->
-      List.fold_left
-        (fun acc (_tid, row) ->
-          match acc with
-          | Tvl.True -> Tvl.True
-          | _ -> Tvl.(acc ||| match_row_tvl env a row))
-        Tvl.False
-        (Instance.tuples inst ~rel:a.Atom.rel)
+      let scan () =
+        List.fold_left
+          (fun acc (_tid, row) ->
+            match acc with
+            | Tvl.True -> Tvl.True
+            | _ -> Tvl.(acc ||| match_row_tvl env a row))
+          Tvl.False
+          (Instance.tuples inst ~rel:a.Atom.rel)
+      in
+      let schema = Instance.schema inst in
+      let indexable =
+        Relational.Schema.mem schema a.Atom.rel
+        && Relational.Schema.arity schema a.Atom.rel = List.length a.Atom.args
+      in
+      (match (if indexable then atom_bound env a else None) with
+      | None -> scan ()
+      | Some bound -> (
+          if List.exists (fun (_, v) -> Value.is_null v) bound then
+            (* A NULL-valued binding compares Unknown against every row:
+               only the scan computes the right Unknown/False mix. *)
+            scan ()
+          else
+            match Instance.probe inst ~rel:a.Atom.rel ~bound with
+            | `All _ -> scan ()
+            | `Hash (definite, null_candidates) ->
+                (* Every position is bound, so a definite index match makes
+                   the atom True outright; otherwise only rows with a NULL
+                   in some compared position can still lift False to
+                   Unknown. *)
+                if definite <> [] then Tvl.True
+                else
+                  List.fold_left
+                    (fun acc (_tid, row) ->
+                      Tvl.(acc ||| match_row_tvl env a row))
+                    Tvl.False null_candidates))
   | Cmp c -> Binding.eval_cmp env c
   | Not f -> Tvl.not_ (eval inst env f)
   | And (a, b) -> Tvl.(eval inst env a &&& eval inst env b)
@@ -157,12 +199,21 @@ and sat inst env vs conjs k =
       in
       match split [] conjs with
       | Some (Atom a, rest) ->
+          (* Candidate rows come from an index probe over the positions the
+             environment and the pending equality conjuncts force; rows the
+             probe drops would fail [match_row] or the final conjunct
+             evaluation.  [rest] keeps every comparison, so the pruning
+             comparisons are still re-checked before [k] fires. *)
+          let pending =
+            List.filter_map (function Cmp c -> Some c | _ -> None) rest
+          in
           List.iter
             (fun (_tid, row) ->
               match Cq.match_row env a row with
               | Some env' -> sat inst env' vs rest k
               | None -> ())
-            (Instance.tuples inst ~rel:a.Atom.rel)
+            (Instance.matching_tuples inst ~rel:a.Atom.rel
+               ~bound:(Cq.bound_pattern env a pending))
       | Some _ -> assert false
       | None ->
           let v = List.hd unbound in

@@ -34,13 +34,23 @@ let set_current r =
 
 let swap_epoch () = !epoch
 
+(* Cell resolution may now race across domains (Par workers bind counter
+   handles lazily), so table mutation is serialized.  The cells themselves
+   stay plain int refs: increments are racy-but-benign telemetry. *)
+let table_lock = Mutex.create ()
+
+let with_lock f =
+  Mutex.lock table_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock table_lock) f
+
 let counter_cell t name =
-  match Hashtbl.find_opt t.counters name with
-  | Some c -> c
-  | None ->
-      let c = ref 0 in
-      Hashtbl.replace t.counters name c;
-      c
+  with_lock (fun () ->
+      match Hashtbl.find_opt t.counters name with
+      | Some c -> c
+      | None ->
+          let c = ref 0 in
+          Hashtbl.replace t.counters name c;
+          c)
 
 let counter_value t name =
   match Hashtbl.find_opt t.counters name with Some c -> !c | None -> 0
@@ -63,9 +73,10 @@ let counter_delta ~since t =
          if v - old <> 0 then Some (name, v - old) else None)
 
 let set_gauge t name v =
-  match Hashtbl.find_opt t.gauges name with
-  | Some g -> g := v
-  | None -> Hashtbl.replace t.gauges name (ref v)
+  with_lock (fun () ->
+      match Hashtbl.find_opt t.gauges name with
+      | Some g -> g := v
+      | None -> Hashtbl.replace t.gauges name (ref v))
 
 let gauge_value t name =
   Option.map ( ! ) (Hashtbl.find_opt t.gauges name)
@@ -79,19 +90,20 @@ let gauges_list t =
 let decade_bounds = [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 1e-1; 1.0; 10.0 |]
 
 let histogram ?(bounds = decade_bounds) t name =
-  match Hashtbl.find_opt t.histograms name with
-  | Some h -> h
-  | None ->
-      let h =
-        {
-          bounds;
-          buckets = Array.make (Array.length bounds + 1) 0;
-          hcount = 0;
-          hsum = 0.0;
-        }
-      in
-      Hashtbl.replace t.histograms name h;
-      h
+  with_lock (fun () ->
+      match Hashtbl.find_opt t.histograms name with
+      | Some h -> h
+      | None ->
+          let h =
+            {
+              bounds;
+              buckets = Array.make (Array.length bounds + 1) 0;
+              hcount = 0;
+              hsum = 0.0;
+            }
+          in
+          Hashtbl.replace t.histograms name h;
+          h)
 
 let observe h x =
   let n = Array.length h.bounds in

@@ -65,6 +65,12 @@ val of_rows : Schema.t -> (string * Value.t list list) list -> t
 val equal : t -> t -> bool
 (** Equality of fact sets (schemas assumed compatible). *)
 
+val equal_with_tids : t -> t -> bool
+(** Equality of (tid, fact) maps: same facts under the same tids.  Strictly
+    finer than {!equal} — instances with equal fact sets built in different
+    insertion orders differ here.  This is the right verification for
+    caches of tid-level structures (conflict graphs). *)
+
 val subset : t -> t -> bool
 val symmetric_difference : t -> t -> Fact.Set.t
 
@@ -73,3 +79,54 @@ val active_domain : t -> Value.t list
 
 val fold_facts : (Tid.t -> Fact.t -> 'a -> 'a) -> t -> 'a -> 'a
 val pp : Format.formatter -> t -> unit
+
+(** {1 Secondary indexes}
+
+    Instances carry lazily built, memoized hash indexes: for a relation and
+    a set of attribute positions, an index groups the relation's tids by the
+    value tuple at those positions.  Indexes survive the persistent-update
+    API — [insert]/[delete]/[update_cell] incrementally patch every index
+    already built for the touched relation — so a long-lived instance keeps
+    its indexes across repair-search churn.  All lookups are exactly
+    equivalent to naive scans and preserve tid order. *)
+
+val set_indexing : bool -> unit
+(** Globally enable/disable index-backed lookups (default: enabled).  When
+    disabled every probe falls back to a full scan, which is what the
+    [join.nested] counter measures against [join.hash]. *)
+
+val indexing_enabled : unit -> bool
+
+val matching_tuples :
+  t -> rel:string -> bound:(int * Value.t) list -> (Tid.t * Value.t array) list
+(** The tuples of [rel] whose row SQL-equals [v] at 0-based position [p] for
+    every [(p, v)] in [bound], in tid order.  [bound = []] is [tuples].
+    NULL never SQL-equals anything, so a NULL bound value yields [].  Served
+    from a (possibly freshly built) composite index when indexing is on;
+    out-of-range positions fall back to a scan so arity-tolerant callers
+    keep their semantics. *)
+
+val probe :
+  t ->
+  rel:string ->
+  bound:(int * Value.t) list ->
+  [ `All of (Tid.t * Value.t array) list
+  | `Hash of (Tid.t * Value.t array) list * (Tid.t * Value.t array) list ]
+(** Three-valued-logic-aware lookup.  [`All tuples] means the caller must
+    scan (no usable index, or a bound value is indexable but out of range).
+    [`Hash (definite, null_candidates)] splits the relation into tuples that
+    definitely match [bound] and tuples with a NULL at an indexed position —
+    those can still evaluate to [Unknown] and must be re-checked by callers
+    that distinguish Unknown from False. *)
+
+val key_buckets :
+  t -> rel:string -> positions:int list -> (Value.t list * Tid.t list) list
+(** Group [rel]'s tids by their values at [positions] (0-based; NULL-free
+    groups only).  One bucket per distinct key value, tids ascending — the
+    bucketed key-violation detector walks buckets with ≥ 2 tids. *)
+
+val digest : t -> int
+(** Content digest (xor of per-(tid, fact) hashes mixed with the
+    cardinality), maintained incrementally across updates.  Digest equality
+    is a cache key, not a proof: verify with {!equal_with_tids} (or
+    {!equal}, for fact-set-level consumers) before trusting it. *)

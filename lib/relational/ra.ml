@@ -1,5 +1,8 @@
 type rel = { cols : string array; rows : Value.t array list }
 
+let c_join_hash = Obs.Counter.make "join.hash"
+let c_join_nested = Obs.Counter.make "join.nested"
+
 let of_instance inst name =
   let r = Schema.relation (Instance.schema inst) name in
   { cols = Array.copy r.Schema.attributes; rows = Instance.rows inst ~rel:name }
@@ -13,6 +16,16 @@ let col r name =
   in
   go 0
 
+(* Resolve all column positions of an operator in one pass: name → index,
+   built once, O(1) lookups afterwards.  Raises [Not_found] like [col]. *)
+let position_table r =
+  let tbl = Hashtbl.create (Array.length r.cols) in
+  Array.iteri
+    (fun i c -> if not (Hashtbl.mem tbl c) then Hashtbl.add tbl c i)
+    r.cols;
+  fun name ->
+    match Hashtbl.find_opt tbl name with Some i -> i | None -> raise Not_found
+
 let select cond r =
   { r with rows = List.filter (fun row -> Tvl.to_bool (cond r row)) r.rows }
 
@@ -21,7 +34,8 @@ let select_eq name v r =
   select (fun _ row -> Value.sql_eq row.(i) v) r
 
 let project names r =
-  let idxs = List.map (col r) names in
+  let pos = position_table r in
+  let idxs = List.map pos names in
   let cols = Array.of_list names in
   let rows = List.map (fun row -> Array.of_list (List.map (fun i -> row.(i)) idxs)) r.rows in
   { cols; rows }
@@ -56,41 +70,165 @@ let product a b =
   in
   { cols; rows }
 
-let natural_join a b =
-  let shared =
-    Array.to_list a.cols
-    |> List.filter (fun c -> Array.exists (String.equal c) b.cols)
-  in
-  let a_idx = List.map (fun c -> col a c) shared in
-  let b_idx = List.map (fun c -> col b c) shared in
+(* ------------------------------------------------------------------ *)
+(* Hash joins.
+
+   NULL never joins (SQL semantics: [Value.sql_eq] with a NULL operand is
+   Unknown, and selection keeps only definite matches), so rows with a
+   NULL key simply never enter a hash table or probe one.  On non-null
+   values [Value.equal] coincides with [sql_eq], which makes a plain
+   hash table an exact implementation of the nested-loop match test. *)
+
+module Key_tbl = Hashtbl.Make (struct
+  type t = Value.t list
+
+  let equal = List.equal Value.equal
+  let hash k = Hashtbl.hash (List.map Value.hash k)
+end)
+
+let key_of idxs row =
+  let vals = List.map (fun i -> row.(i)) idxs in
+  if List.exists Value.is_null vals then None else Some vals
+
+let shared_cols a b =
+  Array.to_list a.cols
+  |> List.filter (fun c -> Array.exists (String.equal c) b.cols)
+
+(* The planner: both sides always produce the rows in nested-loop order
+   ([a]-major, [b] order within each [a] row); the hash table is built on
+   whichever side is smaller.
+
+   - build on [b]: table maps key → [b] rows (in order); probing with each
+     [a] row emits its matches directly.
+   - build on [a]: table maps key → [a] row slots; one pass over [b]
+     appends each [b] row to every matching slot, and a final [a]-order
+     sweep emits the collected matches.  *)
+let hash_matches ~a_idx ~b_idx ~emit a b =
+  let na = List.length a.rows and nb = List.length b.rows in
+  if nb <= na then begin
+    let tbl = Key_tbl.create (max 16 nb) in
+    List.iteri
+      (fun j rb ->
+        match key_of b_idx rb with
+        | None -> ()
+        | Some k -> Key_tbl.add tbl k (j, rb))
+      b.rows;
+    (* Hashtbl.find_all returns bindings most-recent-first: reverse to get
+       b's original order. *)
+    List.concat_map
+      (fun ra ->
+        match key_of a_idx ra with
+        | None -> []
+        | Some k ->
+            Key_tbl.find_all tbl k
+            |> List.sort (fun (j, _) (j', _) -> Int.compare j j')
+            |> List.map (fun (_, rb) -> emit ra rb))
+      a.rows
+  end
+  else begin
+    let slots = Array.make na [] in
+    let tbl = Key_tbl.create (max 16 na) in
+    List.iteri
+      (fun i ra ->
+        match key_of a_idx ra with
+        | None -> ()
+        | Some k -> Key_tbl.add tbl k i)
+      a.rows;
+    List.iter
+      (fun rb ->
+        match key_of b_idx rb with
+        | None -> ()
+        | Some k ->
+            Key_tbl.find_all tbl k
+            |> List.iter (fun i -> slots.(i) <- rb :: slots.(i)))
+      b.rows;
+    let out = ref [] in
+    let arr_a = Array.of_list a.rows in
+    for i = na - 1 downto 0 do
+      (* [slots.(i)] holds this row's matches in reverse [b] order; consing
+         while iterating reverses once more, restoring [b] order. *)
+      List.iter (fun rb -> out := emit arr_a.(i) rb :: !out) slots.(i)
+    done;
+    !out
+  end
+
+let join_plan a b =
+  let shared = shared_cols a b in
+  let pos_a = position_table a and pos_b = position_table b in
+  let a_idx = List.map pos_a shared in
+  let b_idx = List.map pos_b shared in
   let b_keep =
     Array.to_list b.cols
     |> List.filter (fun c -> not (List.mem c shared))
-    |> List.map (fun c -> col b c)
+    |> List.map pos_b
   in
+  (shared, a_idx, b_idx, b_keep)
+
+let natural_join a b =
+  let shared, a_idx, b_idx, b_keep = join_plan a b in
   let cols =
     Array.append a.cols
       (Array.of_list (List.map (fun i -> b.cols.(i)) b_keep))
   in
-  let matches ra rb =
-    List.for_all2
-      (fun ia ib -> Tvl.to_bool (Value.sql_eq ra.(ia) rb.(ib)))
-      a_idx b_idx
+  let emit ra rb =
+    Array.append ra (Array.of_list (List.map (fun i -> rb.(i)) b_keep))
   in
   let rows =
-    List.concat_map
-      (fun ra ->
-        List.filter_map
-          (fun rb ->
-            if matches ra rb then
-              Some
-                (Array.append ra
-                   (Array.of_list (List.map (fun i -> rb.(i)) b_keep)))
-            else None)
-          b.rows)
-      a.rows
+    if shared = [] || not (Instance.indexing_enabled ()) then begin
+      Obs.Counter.incr c_join_nested;
+      let matches ra rb =
+        List.for_all2
+          (fun ia ib -> Tvl.to_bool (Value.sql_eq ra.(ia) rb.(ib)))
+          a_idx b_idx
+      in
+      List.concat_map
+        (fun ra ->
+          List.filter_map
+            (fun rb -> if matches ra rb then Some (emit ra rb) else None)
+            b.rows)
+        a.rows
+    end
+    else begin
+      Obs.Counter.incr c_join_hash;
+      hash_matches ~a_idx ~b_idx ~emit a b
+    end
   in
   { cols; rows }
+
+let semijoin a b =
+  let shared, a_idx, b_idx, _ = join_plan a b in
+  let rows =
+    if shared = [] then (if b.rows = [] then [] else a.rows)
+    else if not (Instance.indexing_enabled ()) then begin
+      Obs.Counter.incr c_join_nested;
+      List.filter
+        (fun ra ->
+          List.exists
+            (fun rb ->
+              List.for_all2
+                (fun ia ib -> Tvl.to_bool (Value.sql_eq ra.(ia) rb.(ib)))
+                a_idx b_idx)
+            b.rows)
+        a.rows
+    end
+    else begin
+      Obs.Counter.incr c_join_hash;
+      let tbl = Key_tbl.create (max 16 (List.length b.rows)) in
+      List.iter
+        (fun rb ->
+          match key_of b_idx rb with
+          | None -> ()
+          | Some k -> Key_tbl.replace tbl k ())
+        b.rows;
+      List.filter
+        (fun ra ->
+          match key_of a_idx ra with
+          | None -> false
+          | Some k -> Key_tbl.mem tbl k)
+        a.rows
+    end
+  in
+  { a with rows }
 
 module Row_set = Set.Make (struct
   type t = Value.t array

@@ -23,7 +23,15 @@ val product : rel -> rel -> rel
 (** Raises [Invalid_argument] on overlapping column names; rename first. *)
 
 val natural_join : rel -> rel -> rel
-(** Join on all shared column names; NULL never joins. *)
+(** Join on all shared column names; NULL never joins.  Evaluated as a hash
+    join (build side picked by cardinality, output in nested-loop order)
+    when {!Instance.indexing_enabled} and at least one column is shared;
+    falls back to a nested loop otherwise.  The [join.hash]/[join.nested]
+    counters record which path ran. *)
+
+val semijoin : rel -> rel -> rel
+(** [semijoin a b] keeps the rows of [a] that join with at least one row of
+    [b] on the shared columns ([a]'s columns are kept unchanged). *)
 
 val union : rel -> rel -> rel
 val difference : rel -> rel -> rel

@@ -8,7 +8,7 @@ let denial_only = List.for_all Ic.is_denial_class
 let c_requests = Obs.Counter.make "repairs.c_requests"
 
 let hypergraph_minimum inst schema ics =
-  let g = Conflict_graph.build inst schema ics in
+  let g = Conflict_graph.build_cached inst schema ics in
   Sat.Hitting_set.minimum (Conflict_graph.edges_as_int_lists g)
 
 let repair_of_deletion inst hs =

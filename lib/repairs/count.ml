@@ -34,7 +34,7 @@ let closed_form_keys inst schema ics =
          1 keys)
 
 let via_hypergraph inst schema ics =
-  let g = Conflict_graph.build inst schema ics in
+  let g = Conflict_graph.build_cached inst schema ics in
   List.length (Sat.Hitting_set.minimal (Conflict_graph.edges_as_int_lists g))
 
 let s_repairs inst schema ics =
@@ -52,7 +52,7 @@ let c_repairs inst schema ics =
       n
   | None ->
       if List.for_all Ic.is_denial_class ics then
-        let g = Conflict_graph.build inst schema ics in
+        let g = Conflict_graph.build_cached inst schema ics in
         List.length
           (Sat.Hitting_set.minimum_all (Conflict_graph.edges_as_int_lists g))
       else C_repair.count inst schema ics

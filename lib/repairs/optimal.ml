@@ -53,7 +53,7 @@ let optimal_repair ~weight inst schema ics =
     ics;
   if keys_only ics then optimal_for_keys ~weight inst ics
   else
-    let g = Conflict_graph.build inst schema ics in
+    let g = Conflict_graph.build_cached inst schema ics in
     let edges = Conflict_graph.edges_as_int_lists g in
     match
       Sat.Hitting_set.minimum_weighted

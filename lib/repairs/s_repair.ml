@@ -22,14 +22,28 @@ let c_found = Obs.Counter.make "repairs.found"
 let denial_only ics = List.for_all Ic.is_denial_class ics
 
 (* Denial-class engine: minimal deletion sets = minimal hitting sets of the
-   conflict hypergraph. *)
+   conflict hypergraph.  The hypergraph decomposes into connected
+   components whose minimal hitting sets compose by cross-product union
+   (components share no vertex, and minimality is preserved componentwise);
+   components are solved with [Par.map], as is the materialisation of the
+   repairs themselves. *)
 let via_hypergraph inst schema ics =
-  let g = Conflict_graph.build inst schema ics in
+  let g = Conflict_graph.build_cached inst schema ics in
   let edges = Conflict_graph.edges_as_int_lists g in
   Obs.Counter.add c_conflicts (List.length edges);
-  let hitting_sets = Sat.Hitting_set.minimal edges in
+  let hitting_sets =
+    if List.exists (( = ) []) edges then []
+    else
+      let per_component =
+        Par.map Sat.Hitting_set.minimal (Sat.Hitting_set.components edges)
+      in
+      List.fold_left
+        (fun acc hss ->
+          List.concat_map (fun a -> List.map (fun h -> a @ h) hss) acc)
+        [ [] ] per_component
+  in
   Obs.Counter.add c_candidates (List.length hitting_sets);
-  List.map
+  Par.map
     (fun hs ->
       let doomed = List.fold_left (fun s i -> Tid.Set.add (Tid.of_int i) s) Tid.Set.empty hs in
       let keep = Tid.Set.diff (Instance.tids inst) doomed in
@@ -140,7 +154,7 @@ let enumerate ?(actions = `Delete_insert) ?(fuel = 100_000) inst schema ics =
    the conflict-free tuples and add back conflicting ones while the result
    stays consistent. *)
 let one_greedy inst schema ics =
-  let g = Conflict_graph.build inst schema ics in
+  let g = Conflict_graph.build_cached inst schema ics in
   let conflicting = Conflict_graph.conflicting_tids g in
   let consistent db = Violation.is_consistent db schema ics in
   let base =

@@ -18,6 +18,15 @@ let minimal edges =
   if List.exists (( = ) []) edges then []
   else begin
     let sp = Obs.Trace.start "sat.hitting_sets" in
+    (* Seed the branching with the tightest conflicts first: branching on
+       small edges (an FD bucket pair has just two vertices) keeps the
+       search tree narrow.  The result is a set of sets, so reordering the
+       edges never changes the output, only the node count. *)
+    let edges =
+      List.stable_sort
+        (fun a b -> Int.compare (List.length a) (List.length b))
+        edges
+    in
     let candidates = ref [] in
     let seen = Hashtbl.create 64 in
     let rec go partial =
@@ -57,6 +66,46 @@ let minimal edges =
 
 let vertices edges =
   List.fold_left (fun acc e -> List.fold_left (fun acc v -> Iset.add v acc) acc e) Iset.empty edges
+
+(* Connected components of the hypergraph, as groups of edges.  Union-find
+   over vertices; components are ordered by the first edge that touches
+   them and keep their edges in input order, so the decomposition is
+   deterministic.  Edges of distinct components share no vertex, hence the
+   minimal hitting sets of the whole hypergraph are exactly the unions of
+   one minimal hitting set per component — the parallel repair enumerator
+   rests on that. *)
+let components edges =
+  let parent = Hashtbl.create 64 in
+  let rec find v =
+    match Hashtbl.find_opt parent v with
+    | None | Some None -> v
+    | Some (Some p) ->
+        let r = find p in
+        Hashtbl.replace parent v (Some r);
+        r
+  in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then Hashtbl.replace parent ra (Some rb)
+  in
+  List.iter
+    (fun e ->
+      List.iter (fun v -> if not (Hashtbl.mem parent v) then Hashtbl.add parent v None) e;
+      match e with [] -> () | v :: rest -> List.iter (union v) rest)
+    edges;
+  let groups = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iteri
+    (fun i e ->
+      (* Empty edges are their own (unhittable) components. *)
+      let key = match e with [] -> `Empty i | v :: _ -> `Root (find v) in
+      (match Hashtbl.find_opt groups key with
+      | None ->
+          order := key :: !order;
+          Hashtbl.add groups key [ e ]
+      | Some es -> Hashtbl.replace groups key (e :: es)))
+    edges;
+  List.rev_map (fun key -> List.rev (Hashtbl.find groups key)) !order
 
 let minimum edges =
   if edges = [] then Some []

@@ -17,6 +17,14 @@ val minimal : int list list -> int list list
 (** All set-inclusion-minimal hitting sets (each sorted ascending).  The
     empty hypergraph has the single minimal hitting set [[]]. *)
 
+val components : int list list -> int list list list
+(** Partition the edges into the connected components of the hypergraph
+    (deterministic: components ordered by first touching edge, edges in
+    input order; an empty edge is its own component).  Minimal hitting sets
+    of the whole hypergraph = unions of one minimal hitting set per
+    component, which is what makes per-component parallel enumeration
+    sound. *)
+
 val minimum : int list list -> int list option
 (** One minimum-cardinality hitting set, computed by branch-and-bound on
     the SAT encoding (one variable per vertex, one clause per edge). *)

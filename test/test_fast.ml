@@ -1,0 +1,299 @@
+(* cqa-fast equivalence suites: every indexed/bucketed/parallel fast path
+   must be observationally identical to the naive one it replaces.
+   [Instance.set_indexing false] routes lookups through full scans, so the
+   same workload evaluated under both settings compares the two engines. *)
+
+module Schema = Relational.Schema
+module Instance = Relational.Instance
+module Value = Relational.Value
+module Fact = Relational.Fact
+module Tid = Relational.Tid
+module Tvl = Relational.Tvl
+module Ra = Relational.Ra
+open Logic
+
+let check = Alcotest.check
+
+let with_indexing on f =
+  let prev = Instance.indexing_enabled () in
+  Instance.set_indexing on;
+  Fun.protect ~finally:(fun () -> Instance.set_indexing prev) f
+
+(* Values in 0..3 force join collisions; 4 encodes NULL so three-valued
+   semantics get exercised on every path. *)
+let value_of n = if n >= 4 then Value.Null else Value.int n
+
+let schema = Schema.of_list [ ("R", [ "a"; "b" ]); ("S", [ "b"; "c" ]) ]
+
+let instance_of (rs, ss) =
+  Instance.of_rows schema
+    [
+      ("R", List.map (fun (a, b) -> [ value_of a; value_of b ]) rs);
+      ("S", List.map (fun (b, c) -> [ value_of b; value_of c ]) ss);
+    ]
+
+let arb_db =
+  QCheck.make
+    QCheck.Gen.(
+      pair
+        (list_size (int_range 0 8) (pair (int_range 0 4) (int_range 0 4)))
+        (list_size (int_range 0 8) (pair (int_range 0 4) (int_range 0 4))))
+    ~print:(fun (rs, ss) ->
+      let row (a, b) = Printf.sprintf "%d,%d" a b in
+      Printf.sprintf "R=%s S=%s"
+        (String.concat ";" (List.map row rs))
+        (String.concat ";" (List.map row ss)))
+
+(* --- indexed vs naive join evaluation ------------------------------- *)
+
+let queries =
+  let x = Term.var "x" and y = Term.var "y" and z = Term.var "z" in
+  [
+    Cq.make ~name:"join" [ x; z ]
+      [ Atom.make "R" [ x; y ]; Atom.make "S" [ y; z ] ];
+    Cq.make ~name:"const" [ y ] [ Atom.make "R" [ Term.const (Value.int 1); y ] ];
+    Cq.make ~name:"selfjoin" [ x ] [ Atom.make "R" [ x; x ] ];
+    Cq.make ~name:"triangle" [ x ]
+      [
+        Atom.make "R" [ x; y ]; Atom.make "S" [ y; z ]; Atom.make "R" [ z; x ];
+      ];
+  ]
+
+let prop_indexed_join_eq =
+  QCheck.Test.make ~count:300 ~name:"indexed Cq.answers = naive Cq.answers"
+    arb_db (fun db_spec ->
+      let db = instance_of db_spec in
+      List.for_all
+        (fun q ->
+          let naive = with_indexing false (fun () -> Cq.answers q db) in
+          let indexed = with_indexing true (fun () -> Cq.answers q db) in
+          naive = indexed)
+        queries)
+
+let prop_indexed_formula_eq =
+  QCheck.Test.make ~count:300 ~name:"indexed Formula.holds = naive" arb_db
+    (fun db_spec ->
+      let db = instance_of db_spec in
+      List.for_all
+        (fun q ->
+          let b = Cq.make ~name:"b" [] q.Cq.body in
+          let f = Formula.of_cq b in
+          with_indexing false (fun () -> Formula.holds db f)
+          = with_indexing true (fun () -> Formula.holds db f))
+        queries)
+
+let prop_hash_join_eq =
+  QCheck.Test.make ~count:300 ~name:"Ra hash join = nested-loop join" arb_db
+    (fun db_spec ->
+      let rel cols rows =
+        {
+          Ra.cols = Array.of_list cols;
+          rows = List.map (fun (a, b) -> [| value_of a; value_of b |]) rows;
+        }
+      in
+      let a = rel [ "a"; "b" ] (fst db_spec)
+      and b = rel [ "b"; "c" ] (snd db_spec) in
+      let nested = with_indexing false (fun () -> Ra.natural_join a b) in
+      let hash = with_indexing true (fun () -> Ra.natural_join a b) in
+      nested.Ra.cols = hash.Ra.cols && nested.Ra.rows = hash.Ra.rows)
+
+(* --- bucketed vs pairwise violation detection ----------------------- *)
+
+let vschema = Schema.of_list [ ("T", [ "k"; "v"; "w" ]) ]
+
+let arb_vdb =
+  QCheck.make
+    QCheck.Gen.(
+      list_size (int_range 0 10)
+        (triple (int_range 0 3) (int_range 0 4) (int_range 0 2)))
+    ~print:(fun rows ->
+      String.concat ";"
+        (List.map (fun (k, v, w) -> Printf.sprintf "%d,%d,%d" k v w) rows))
+
+let prop_bucketed_violations_eq =
+  QCheck.Test.make ~count:300 ~name:"bucketed violations = pairwise" arb_vdb
+    (fun rows ->
+      let db =
+        Instance.of_rows vschema
+          [
+            ( "T",
+              List.map
+                (fun (k, v, w) -> [ value_of k; value_of v; Value.int w ])
+                rows );
+          ]
+      in
+      let ics =
+        [ Constraints.Ic.key ~rel:"T" [ 0 ];
+          Constraints.Ic.fd ~rel:"T" ~lhs:[ 1 ] ~rhs:[ 2 ] ]
+      in
+      let witnesses on =
+        with_indexing on (fun () -> Constraints.Violation.all db vschema ics)
+        |> List.map (fun (w : Constraints.Violation.witness) ->
+               (w.ic_name, Tid.Set.elements w.tids))
+      in
+      witnesses false = witnesses true)
+
+(* --- index integrity across the persistent-update API --------------- *)
+
+type op = Ins of int * int * int | Del of int | Upd of int * int * int
+
+let arb_ops =
+  QCheck.make
+    QCheck.Gen.(
+      pair
+        (list_size (int_range 0 6)
+           (triple (int_range 0 3) (int_range 0 4) (int_range 0 2)))
+        (list_size (int_range 0 12)
+           (oneof
+              [
+                map
+                  (fun (k, v, w) -> Ins (k, v, w))
+                  (triple (int_range 0 3) (int_range 0 4) (int_range 0 2));
+                map (fun i -> Del i) (int_range 0 20);
+                map
+                  (fun (i, p, v) -> Upd (i, p, v))
+                  (triple (int_range 0 20) (int_range 0 2) (int_range 0 4));
+              ])))
+    ~print:(fun (rows, ops) ->
+      let pp_op = function
+        | Ins (k, v, w) -> Printf.sprintf "I(%d,%d,%d)" k v w
+        | Del i -> Printf.sprintf "D%d" i
+        | Upd (i, p, v) -> Printf.sprintf "U(%d,%d,%d)" i p v
+      in
+      Printf.sprintf "rows=%s ops=%s"
+        (String.concat ";"
+           (List.map (fun (k, v, w) -> Printf.sprintf "%d,%d,%d" k v w) rows))
+        (String.concat ";" (List.map pp_op ops)))
+
+let apply db = function
+  | Ins (k, v, w) ->
+      Instance.add db (Fact.make "T" [ value_of k; value_of v; Value.int w ])
+  | Del i -> (
+      match Tid.Set.elements (Instance.tids db) with
+      | [] -> db
+      | ts -> Instance.delete db (List.nth ts (i mod List.length ts)))
+  | Upd (i, p, v) -> (
+      match Tid.Set.elements (Instance.tids db) with
+      | [] -> db
+      | ts ->
+          Instance.update_cell db
+            (Tid.Cell.make (List.nth ts (i mod List.length ts)) (p + 1))
+            (value_of v))
+
+let naive_matching db ~rel ~bound =
+  List.filter
+    (fun (_, row) ->
+      List.for_all
+        (fun (p, v) ->
+          p < Array.length row && Tvl.to_bool (Value.sql_eq row.(p) v))
+        bound)
+    (Instance.tuples db ~rel)
+
+let prop_index_integrity =
+  QCheck.Test.make ~count:300
+    ~name:"indexes stay exact across insert/delete/update_cell" arb_ops
+    (fun (rows, ops) ->
+      with_indexing true (fun () ->
+          let db0 =
+            Instance.of_rows vschema
+              [
+                ( "T",
+                  List.map
+                    (fun (k, v, w) -> [ value_of k; value_of v; Value.int w ])
+                    rows );
+              ]
+          in
+          (* Build indexes *before* the updates so what's under test is the
+             incremental patching, not a fresh build. *)
+          ignore (Instance.matching_tuples db0 ~rel:"T" ~bound:[ (0, Value.int 0) ]);
+          ignore
+            (Instance.matching_tuples db0 ~rel:"T"
+               ~bound:[ (1, Value.int 0); (2, Value.int 0) ]);
+          let db = List.fold_left apply db0 ops in
+          let bounds =
+            [ [] ]
+            @ List.concat_map
+                (fun v ->
+                  [
+                    [ (0, Value.int v) ];
+                    [ (1, Value.int v) ];
+                    [ (1, Value.int v); (2, Value.int v) ];
+                  ])
+                [ 0; 1; 2; 3 ]
+          in
+          List.for_all
+            (fun bound ->
+              Instance.matching_tuples db ~rel:"T" ~bound
+              = naive_matching db ~rel:"T" ~bound)
+            bounds))
+
+(* --- Par.map = List.map --------------------------------------------- *)
+
+let prop_par_map_eq =
+  QCheck.Test.make ~count:100 ~name:"Par.map = List.map"
+    QCheck.(list_of_size (QCheck.Gen.int_range 0 50) small_int)
+    (fun xs ->
+      let f x = (x * x) - (3 * x) in
+      Par.map ~jobs:4 f xs = List.map f xs
+      && Par.filter_map ~jobs:4
+           (fun x -> if x mod 2 = 0 then Some (f x) else None)
+           xs
+         = List.filter_map (fun x -> if x mod 2 = 0 then Some (f x) else None) xs)
+
+let test_par_exception () =
+  match Par.map ~jobs:4 (fun x -> if x = 7 then failwith "boom" else x)
+          (List.init 40 Fun.id)
+  with
+  | _ -> Alcotest.fail "expected Failure"
+  | exception Failure m -> check Alcotest.string "message" "boom" m
+
+(* --- per-component hitting-set enumeration -------------------------- *)
+
+let test_components_partition () =
+  let edges = [ [ 1; 2 ]; [ 3; 4 ]; [ 2; 5 ]; [] ] in
+  check
+    Alcotest.(list (list (list int)))
+    "components" [ [ [ 1; 2 ]; [ 2; 5 ] ]; [ [ 3; 4 ] ]; [ [] ] ]
+    (Sat.Hitting_set.components edges)
+
+let arb_edges =
+  QCheck.make
+    QCheck.Gen.(
+      list_size (int_range 0 6) (list_size (int_range 1 3) (int_range 0 9)))
+    ~print:(fun edges ->
+      String.concat ";"
+        (List.map
+           (fun e -> "{" ^ String.concat "," (List.map string_of_int e) ^ "}")
+           edges))
+
+let prop_components_compose =
+  QCheck.Test.make ~count:200
+    ~name:"minimal hitting sets = cross product over components" arb_edges
+    (fun edges ->
+      let direct = Sat.Hitting_set.minimal edges in
+      let composed =
+        List.fold_left
+          (fun acc hss ->
+            List.concat_map
+              (fun a -> List.map (fun h -> List.sort_uniq compare (a @ h)) hss)
+              acc)
+          [ [] ]
+          (List.map Sat.Hitting_set.minimal (Sat.Hitting_set.components edges))
+      in
+      let norm hss = List.sort_uniq compare (List.map (List.sort compare) hss) in
+      norm direct = norm composed)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_indexed_join_eq;
+    QCheck_alcotest.to_alcotest prop_indexed_formula_eq;
+    QCheck_alcotest.to_alcotest prop_hash_join_eq;
+    QCheck_alcotest.to_alcotest prop_bucketed_violations_eq;
+    QCheck_alcotest.to_alcotest prop_index_integrity;
+    QCheck_alcotest.to_alcotest prop_par_map_eq;
+    Alcotest.test_case "Par.map re-raises chunk exceptions" `Quick
+      test_par_exception;
+    Alcotest.test_case "Hitting_set.components partitions edges" `Quick
+      test_components_partition;
+    QCheck_alcotest.to_alcotest prop_components_compose;
+  ]

@@ -30,4 +30,5 @@ let () =
       ("obs", Test_obs.suite);
       ("server", Test_server.suite);
       ("properties", Test_properties.suite);
+      ("fast", Test_fast.suite);
     ]
