@@ -1,0 +1,103 @@
+(* The perf-regression gate: compare a fresh BENCH_*.json run against
+   its committed baseline and exit non-zero on regression.
+
+     dune exec bench/baseline.exe -- bench/baselines/BENCH_serve.json BENCH_serve.json
+     dune exec bench/baseline.exe -- --timing-tolerance 2.0 BASE FRESH
+
+   Timings gate at --timing-tolerance (and only above the --min-ns
+   noise floor); deterministic counters gate at --tolerance.  CI runs
+   this with a wide timing tolerance (shared runners jitter) and the
+   default 25% counter tolerance, which is the part that actually
+   catches algorithmic regressions. *)
+
+open Gate
+
+let usage () =
+  prerr_endline
+    "usage: baseline.exe [--tolerance T] [--timing-tolerance T] [--min-ns \
+     NS] [--report PATH] BASELINE FRESH";
+  exit 2
+
+let () =
+  let opts = ref Compare.default_opts in
+  let report = ref None in
+  let positional = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--tolerance" :: v :: rest ->
+        opts := { !opts with Compare.tolerance = float_of_string v };
+        parse rest
+    | "--timing-tolerance" :: v :: rest ->
+        opts := { !opts with Compare.timing_tolerance = float_of_string v };
+        parse rest
+    | "--min-ns" :: v :: rest ->
+        opts := { !opts with Compare.min_ns = float_of_string v };
+        parse rest
+    | "--report" :: path :: rest ->
+        report := Some path;
+        parse rest
+    | arg :: _ when String.length arg > 2 && String.sub arg 0 2 = "--" ->
+        usage ()
+    | arg :: rest ->
+        positional := arg :: !positional;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let base_path, fresh_path =
+    match List.rev !positional with
+    | [ b; f ] -> (b, f)
+    | _ -> usage ()
+  in
+  let load path =
+    match Tiny_json.of_file path with
+    | doc -> doc
+    | exception Sys_error msg ->
+        Printf.eprintf "baseline: cannot read %s: %s\n" path msg;
+        exit 2
+    | exception Tiny_json.Parse_error (pos, msg) ->
+        Printf.eprintf "baseline: %s: parse error at byte %d: %s\n" path pos
+          msg;
+        exit 2
+  in
+  let findings =
+    Compare.compare_docs !opts (load base_path) (load fresh_path)
+  in
+  let regs = Compare.regressions findings in
+  let doc =
+    Compare.report_json !opts ~base_path ~fresh_path findings
+  in
+  Option.iter
+    (fun path ->
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc doc);
+      Printf.printf "report written to %s\n" path)
+    !report;
+  let describe f =
+    let num = function
+      | Some v -> Printf.sprintf "%.4g" v
+      | None -> "-"
+    in
+    Printf.printf "  %-10s %-40s %-10s base=%s fresh=%s\n"
+      (Compare.status_name f.Compare.status)
+      (f.Compare.row ^ "." ^ f.Compare.field)
+      (Compare.kind_name f.Compare.kind)
+      (num f.Compare.base) (num f.Compare.fresh)
+  in
+  let interesting =
+    List.filter
+      (fun f ->
+        f.Compare.status <> Compare.Pass && f.Compare.status <> Compare.Skipped)
+      findings
+  in
+  Printf.printf "baseline: %d comparisons, %d regressions (%s vs %s)\n"
+    (List.length findings) (List.length regs) fresh_path base_path;
+  if interesting <> [] then begin
+    print_endline "findings:";
+    List.iter describe interesting
+  end;
+  if regs <> [] then begin
+    Printf.printf "FAIL: %d regression(s) beyond tolerance\n"
+      (List.length regs);
+    exit 1
+  end
+  else print_endline "PASS"

@@ -100,19 +100,34 @@ let doc_text db =
   Buffer.contents b
 
 let () =
-  let requests =
+  let requests, metrics_port =
     match Sys.argv with
-    | [| _ |] -> 1200
-    | [| _; n |] -> int_of_string n
+    | [| _ |] -> (1200, None)
+    | [| _; n |] -> (int_of_string n, None)
+    | [| _; n; p |] -> (int_of_string n, Some (int_of_string p))
     | _ ->
-        prerr_endline "usage: serve.exe [REQUESTS]";
+        prerr_endline "usage: serve.exe [REQUESTS [METRICS_PORT]]";
         exit 2
   in
   let sock =
     Filename.concat (Filename.get_temp_dir_name ())
       (Printf.sprintf "cqa-serve-bench-%d.sock" (Unix.getpid ()))
   in
-  let loop = Server.Loop.create ~cache_capacity:256 (Server.Loop.listen_unix sock) in
+  (* With a metrics port the replay doubles as a live scrape target:
+     curl 127.0.0.1:PORT/metrics while the benchmark steps the loop. *)
+  let metrics_fd =
+    Option.map
+      (fun p ->
+        let fd, actual = Server.Loop.listen_tcp ~port:p () in
+        Printf.printf "metrics at http://127.0.0.1:%d/metrics\n%!" actual;
+        fd)
+      metrics_port
+  in
+  let loop =
+    Server.Loop.create ~cache_capacity:256 ?metrics_fd
+      (Server.Loop.listen_unix sock)
+  in
+  Server.Handler.sample_gauges (Server.Loop.handler loop);
   let c = connect sock in
   ignore (Server.Loop.step ~timeout:0.01 loop) (* accept *);
 

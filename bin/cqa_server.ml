@@ -6,7 +6,7 @@
 open Cmdliner
 
 let run unix_path port cache_capacity max_requests metrics_dump trace_dir jobs
-    =
+    metrics_port slow_ms events_path =
   Par.set_default_jobs jobs;
   let fd, where =
     match
@@ -24,6 +24,32 @@ let run unix_path port cache_capacity max_requests metrics_dump trace_dir jobs
         Printf.eprintf "cqa_server: cannot listen on %s: %s\n" arg
           (Unix.error_message e);
         exit 1
+  in
+  let metrics_fd, metrics_where =
+    match metrics_port with
+    | None -> (None, None)
+    | Some p -> (
+        match Server.Loop.listen_tcp ~port:p () with
+        | mfd, actual ->
+            (Some mfd, Some (Printf.sprintf "http://127.0.0.1:%d/metrics" actual))
+        | exception Unix.Unix_error (e, _, arg) ->
+            Printf.eprintf "cqa_server: cannot listen on %s: %s\n" arg
+              (Unix.error_message e);
+            exit 1)
+  in
+  (* The event log: --events PATH, or stderr when --slow-ms is set
+     without a destination (a slow-query log you ask for should go
+     somewhere visible, not nowhere). *)
+  let events =
+    match (events_path, slow_ms) with
+    | Some path, _ -> (
+        match Obs.Events.open_file path with
+        | sink -> Some sink
+        | exception Sys_error msg ->
+            Printf.eprintf "cqa_server: cannot open event log: %s\n" msg;
+            exit 1)
+    | None, Some _ -> Some (Obs.Events.stderr_sink ())
+    | None, None -> None
   in
   (* --trace-dir: turn tracing on for the whole process, stream every
      request's spans to DIR/spans.jsonl as they are drained, and keep a
@@ -53,8 +79,51 @@ let run unix_path port cache_capacity max_requests metrics_dump trace_dir jobs
               nkept := !nkept + List.length spans
             end)
   in
-  let t = Server.Loop.create ~cache_capacity ?on_trace fd in
+  let t =
+    Server.Loop.create ~cache_capacity ?on_trace ?events ?slow_ms ?metrics_fd
+      fd
+  in
+  (* Everything that must survive a shutdown — the Chrome trace, the
+     metrics dump, the event log's final lines — goes through one
+     idempotent flush, called both on the normal exit path and from
+     at_exit so a signal arriving mid-write still leaves the files
+     whole. *)
+  let flushed = ref false in
+  let flush_all () =
+    if not !flushed then begin
+      flushed := true;
+      (match trace_dir with
+      | Some dir when !kept <> [] ->
+          let path = Filename.concat dir "trace.json" in
+          let oc = open_out path in
+          output_string oc (Obs.Export.chrome (List.rev !kept));
+          output_char oc '\n';
+          close_out oc;
+          Printf.eprintf "wrote %d spans to %s\n%!" !nkept path
+      | _ -> ());
+      if metrics_dump then begin
+        Server.Handler.sample_gauges (Server.Loop.handler t);
+        List.iter print_endline
+          (Server.Metrics.render
+             (Server.Handler.metrics (Server.Loop.handler t)))
+      end;
+      Option.iter
+        (fun sink ->
+          Obs.Events.emit sink "shutdown";
+          Obs.Events.close sink)
+        events
+    end
+  in
+  at_exit flush_all;
+  let stopping = ref false in
   let stop_and_note _ =
+    if !stopping then begin
+      (* Second signal: the loop is wedged or the user is impatient —
+         flush what we can and leave now. *)
+      flush_all ();
+      exit 130
+    end;
+    stopping := true;
     prerr_endline "shutting down";
     Server.Loop.stop t
   in
@@ -63,19 +132,10 @@ let run unix_path port cache_capacity max_requests metrics_dump trace_dir jobs
    with Invalid_argument _ -> ());
   Printf.printf "cqa-serve listening on %s (cache capacity %d)\n%!" where
     cache_capacity;
+  Option.iter (Printf.printf "metrics exposed at %s\n%!") metrics_where;
+  Option.iter (fun sink -> Obs.Events.emit sink "startup") events;
   Server.Loop.run ?max_requests t;
-  (match trace_dir with
-  | Some dir when !kept <> [] ->
-      let path = Filename.concat dir "trace.json" in
-      let oc = open_out path in
-      output_string oc (Obs.Export.chrome (List.rev !kept));
-      output_char oc '\n';
-      close_out oc;
-      Printf.eprintf "wrote %d spans to %s\n%!" !nkept path
-  | _ -> ());
-  if metrics_dump then
-    List.iter print_endline
-      (Server.Metrics.render (Server.Handler.metrics (Server.Loop.handler t)))
+  flush_all ()
 
 let unix_arg =
   Arg.(
@@ -131,6 +191,35 @@ let jobs_arg =
            while serving (1 = sequential; --trace-dir forces sequential \
            execution).")
 
+let metrics_port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "metrics-port" ] ~docv:"PORT"
+        ~doc:
+          "Serve Prometheus text exposition over HTTP on \
+           127.0.0.1:$(docv)/metrics (0 picks a free port).")
+
+let slow_ms_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "slow-ms" ] ~docv:"MS"
+        ~doc:
+          "Slow-query log: any request over $(docv) milliseconds emits a \
+           slow_query event carrying its span tree and counter deltas (to \
+           --events, or stderr if unset).  Forces sequential execution, \
+           like --trace-dir.")
+
+let events_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "events" ] ~docv:"PATH"
+        ~doc:
+          "Append structured JSONL events (one request record per request, \
+           plus slow_query/startup/shutdown) to $(docv).")
+
 let main =
   Cmd.v
     (Cmd.info "cqa_server" ~version:"1.0.0"
@@ -139,6 +228,7 @@ let main =
           request metrics.")
     Term.(
       const run $ unix_arg $ port_arg $ cache_arg $ max_requests_arg
-      $ metrics_dump_arg $ trace_dir_arg $ jobs_arg)
+      $ metrics_dump_arg $ trace_dir_arg $ jobs_arg $ metrics_port_arg
+      $ slow_ms_arg $ events_arg)
 
 let () = exit (Cmd.eval main)

@@ -114,6 +114,9 @@ let observe h x =
   h.hsum <- h.hsum +. x
 
 let hist_count h = h.hcount
+let hist_sum h = h.hsum
+let hist_bounds h = Array.copy h.bounds
+let hist_raw_buckets h = Array.copy h.buckets
 let hist_mean h = if h.hcount = 0 then 0.0 else h.hsum /. float_of_int h.hcount
 
 let label_of_seconds s =
@@ -176,7 +179,12 @@ let render_histogram name h =
     (quantile h 0.99 *. 1e6)
     cells
 
+(* One line per entry, merged across counters, gauges and histograms and
+   sorted by name, so dumps (STATS, --metrics-dump) diff stably no
+   matter in which order the entries were created. *)
 let render t =
-  List.map (fun (n, v) -> Printf.sprintf "%s %d" n v) (counters_list t)
-  @ List.map (fun (n, v) -> Printf.sprintf "%s %g" n v) (gauges_list t)
-  @ List.map (fun (n, h) -> render_histogram n h) (histograms_list t)
+  List.map (fun (n, v) -> (n, Printf.sprintf "%s %d" n v)) (counters_list t)
+  @ List.map (fun (n, v) -> (n, Printf.sprintf "%s %g" n v)) (gauges_list t)
+  @ List.map (fun (n, h) -> (n, render_histogram n h)) (histograms_list t)
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.map snd

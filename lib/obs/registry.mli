@@ -59,6 +59,17 @@ val observe : histogram -> float -> unit
 val hist_count : histogram -> int
 val hist_mean : histogram -> float
 
+val hist_sum : histogram -> float
+(** Sum of every observed value, in seconds. *)
+
+val hist_bounds : histogram -> float array
+(** A copy of the upper bounds (seconds, strictly increasing); the
+    implicit overflow bucket is not included. *)
+
+val hist_raw_buckets : histogram -> int array
+(** A copy of the per-bucket (non-cumulative) counts; one longer than
+    {!hist_bounds}, the last entry being the overflow bucket. *)
+
 val hist_buckets : histogram -> (string * int) list
 (** Labelled bucket counts, e.g. [("lt_1us", 0); ...; ("ge_10s", 0)]. *)
 
@@ -74,5 +85,6 @@ val render_histogram : string -> histogram -> string
     [name count=N mean_us=M p50_us=A p95_us=B p99_us=C hist=lt_1us:0,...]. *)
 
 val render : t -> string list
-(** One [name value] line per counter and gauge (sorted), then one
-    {!render_histogram} line per histogram. *)
+(** One [name value] line per counter and gauge and one
+    {!render_histogram} line per histogram, merged and sorted by name —
+    the order is deterministic, so dumps diff stably. *)

@@ -1,0 +1,11 @@
+let sample_gc registry =
+  let s = Gc.quick_stat () in
+  let g name v = Registry.set_gauge registry ("gc." ^ name) v in
+  g "minor_words" s.Gc.minor_words;
+  g "promoted_words" s.Gc.promoted_words;
+  g "major_words" s.Gc.major_words;
+  g "minor_collections" (float_of_int s.Gc.minor_collections);
+  g "major_collections" (float_of_int s.Gc.major_collections);
+  g "compactions" (float_of_int s.Gc.compactions);
+  g "heap_words" (float_of_int s.Gc.heap_words);
+  g "top_heap_words" (float_of_int s.Gc.top_heap_words)

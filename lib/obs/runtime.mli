@@ -1,0 +1,14 @@
+(** OCaml runtime gauges: a [Gc.quick_stat] snapshot written into a
+    {!Registry} as [gc.*] gauges.
+
+    Sampled on the serving layer's gauge ticker (and before every STATS
+    / METRICS render), so a scrape sees heap pressure next to the
+    request metrics.  [quick_stat] does not force a collection and is
+    cheap enough to call per scrape. *)
+
+val sample_gc : Registry.t -> unit
+(** Set the gauges [gc.minor_words], [gc.promoted_words],
+    [gc.major_words] (words allocated, cumulative),
+    [gc.minor_collections], [gc.major_collections], [gc.compactions]
+    (cumulative counts), and [gc.heap_words], [gc.top_heap_words]
+    (current/peak major heap size in words). *)

@@ -7,9 +7,14 @@ type t = {
   metrics : Metrics.t;
   max_body_lines : int;
   on_trace : (Obs.Trace.span list -> unit) option;
+  events : Obs.Events.sink option;
+  slow_s : float option; (* slow-query threshold, seconds *)
+  clock : unit -> float;
+  next_rid : int ref; (* request ids, threaded through events and spans *)
 }
 
-let create ?(cache_capacity = 512) ?(max_body_lines = 10_000) ?on_trace () =
+let create ?(cache_capacity = 512) ?(max_body_lines = 10_000) ?on_trace ?events
+    ?slow_ms ?(clock = Unix.gettimeofday) () =
   let metrics = Metrics.create () in
   (* Route the solver counters (sat.decisions, repairs.candidates, and
      friends) into this handler's registry so STATS renders request and
@@ -21,11 +26,35 @@ let create ?(cache_capacity = 512) ?(max_body_lines = 10_000) ?on_trace () =
     metrics;
     max_body_lines;
     on_trace;
+    events;
+    slow_s = Option.map (fun ms -> ms /. 1e3) slow_ms;
+    clock;
+    next_rid = ref 0;
   }
 
 let metrics t = t.metrics
 let sessions t = t.sessions
 let cache_length t = Lru.length t.cache
+
+(* Refresh the runtime gauges: GC pressure, domain-pool occupancy, and
+   the serving layer's own residency numbers.  Called by the loop's
+   gauge ticker and before every STATS/METRICS render, so a scrape never
+   sees stale values. *)
+let sample_gauges t =
+  let registry = Metrics.registry t.metrics in
+  Obs.Runtime.sample_gc registry;
+  Par.sample_gauges registry;
+  let g name v = Obs.Registry.set_gauge registry name (float_of_int v) in
+  g "sessions.count" (Session.count t.sessions);
+  g "sessions.resident_facts" (Session.resident_facts t.sessions);
+  g "sessions.tracked_keys" (Session.tracked_keys t.sessions);
+  g "cache.entries" (Lru.length t.cache);
+  g "cache.capacity" (Lru.capacity t.cache);
+  g "cache.evictions" (Lru.evictions t.cache)
+
+let metrics_text t =
+  sample_gauges t;
+  Obs.Prometheus.render (Metrics.registry t.metrics)
 
 let method_label : P.method_ -> string = function
   | P.Auto -> "auto"
@@ -226,6 +255,7 @@ let exec t payload = function
                 (Printf.sprintf "size=%d"
                    (Relational.Instance.size session.doc.instance)))
   | P.Stats ->
+      sample_gauges t;
       let body =
         Printf.sprintf "sessions %d" (Session.count t.sessions)
         :: Printf.sprintf "cache_entries %d" (Lru.length t.cache)
@@ -233,26 +263,133 @@ let exec t payload = function
         :: Metrics.render t.metrics
       in
       P.ok ~body (Printf.sprintf "stats=%d" (List.length body))
+  | P.Metrics ->
+      let body =
+        String.split_on_char '\n' (metrics_text t)
+        |> List.filter (fun l -> l <> "")
+      in
+      P.ok ~body (Printf.sprintf "metrics lines=%d" (List.length body))
   | P.Close sid ->
       if Session.close t.sessions sid then P.ok (Printf.sprintf "closed %s" sid)
       else P.err (Printf.sprintf "unknown session %S" sid)
   | P.Quit -> P.ok "bye"
 
+(* Commands whose execution is worth a span tree: the ones that touch a
+   session's engine.  The control commands stay unwrapped — notably
+   TRACE, whose toggle [Obs.Trace.collect] would silently undo when it
+   restores the enabled flag. *)
+let traceable = function
+  | P.Load _ | P.Query _ | P.Check _ | P.Repairs _ | P.Measure _
+  | P.Update _ | P.Explain _ ->
+      true
+  | P.Stats | P.Metrics | P.Trace _ | P.Close _ | P.Quit -> false
+
+let sid_of = function
+  | P.Load sid
+  | P.Check sid
+  | P.Measure sid
+  | P.Close sid
+  | P.Query { sid; _ }
+  | P.Repairs { sid; _ }
+  | P.Update { sid; _ }
+  | P.Explain { sid; _ } ->
+      Some sid
+  | P.Stats | P.Metrics | P.Trace _ | P.Quit -> None
+
+let emit_request_event t ~rid ~command ~response ~latency =
+  match t.events with
+  | None -> ()
+  | Some sink ->
+      let open Obs.Events in
+      let fields =
+        [
+          ("command", Str (P.command_label command));
+          ( "status",
+            Str (match response.P.status with `Ok -> "ok" | `Err -> "err") );
+          ("head", Str response.P.head);
+          ("wall_us", Float (latency *. 1e6));
+        ]
+        @ match sid_of command with Some sid -> [ ("sid", Str sid) ] | None -> []
+      in
+      emit sink ~req:rid ~fields "request"
+
+(* The slow-query record: everything EXPLAIN would have shown, captured
+   after the fact — the span tree the request actually executed and the
+   solver-counter deltas it caused. *)
+let emit_slow_event t ~rid ~command ~latency ~spans ~deltas =
+  match t.events with
+  | None -> ()
+  | Some sink ->
+      let open Obs.Events in
+      let json_list xs =
+        "[" ^ String.concat "," (List.map Obs.Export.json_string xs) ^ "]"
+      in
+      let counters =
+        "{"
+        ^ String.concat ","
+            (List.map
+               (fun (n, v) ->
+                 Printf.sprintf "%s:%d" (Obs.Export.json_string n) v)
+               deltas)
+        ^ "}"
+      in
+      let fields =
+        [
+          ("command", Str (P.command_label command));
+          ("wall_us", Float (latency *. 1e6));
+          ("spans", Raw (json_list (Obs.Export.tree spans)));
+          ("counters", Raw counters);
+        ]
+        @ match sid_of command with Some sid -> [ ("sid", Str sid) ] | None -> []
+      in
+      emit sink ~req:rid ~fields "slow_query"
+
 let dispatch t ?payload command =
-  let t0 = Unix.gettimeofday () in
-  let response =
+  incr t.next_rid;
+  let rid = !(t.next_rid) in
+  let registry = Metrics.registry t.metrics in
+  let collecting = t.slow_s <> None && traceable command in
+  let before =
+    if collecting then Obs.Registry.counter_snapshot registry else []
+  in
+  let t0 = t.clock () in
+  let run () =
     try exec t payload command
     with e -> P.err (Printf.sprintf "internal: %s" (Printexc.to_string e))
   in
-  Metrics.observe t.metrics
-    ~command:(P.command_label command)
-    ~latency:(Unix.gettimeofday () -. t0);
+  let response, collected =
+    if collecting then
+      let r, spans =
+        Obs.Trace.collect (fun () ->
+            Obs.Trace.with_span
+              ~attrs:
+                [
+                  ("req", string_of_int rid);
+                  ("command", P.command_label command);
+                ]
+              "request" run)
+      in
+      (r, Some spans)
+    else (run (), None)
+  in
+  let latency = t.clock () -. t0 in
+  Metrics.observe t.metrics ~command:(P.command_label command) ~latency;
   if response.P.status = `Err then Metrics.error t.metrics;
-  (* When server-wide tracing is on, hand the spans this request left in
-     the global sink to the owner (cqa_server streams them to disk). *)
+  emit_request_event t ~rid ~command ~response ~latency;
+  (match (t.slow_s, collected) with
+  | Some thr, Some spans when latency > thr ->
+      let deltas = Obs.Registry.counter_delta ~since:before registry in
+      emit_slow_event t ~rid ~command ~latency ~spans ~deltas
+  | _ -> ());
+  (* When server-wide tracing is on, hand the spans this request left to
+     the owner (cqa_server streams them to disk).  With the slow-query
+     log armed they were captured privately; otherwise they sit in the
+     global sink. *)
   (match t.on_trace with
   | Some f when Obs.Trace.is_enabled () -> (
-      match Obs.Trace.drain () with [] -> () | spans -> f spans)
+      match collected with
+      | Some spans -> if spans <> [] then f spans
+      | None -> ( match Obs.Trace.drain () with [] -> () | spans -> f spans))
   | _ -> ());
   P.clamp ~max_lines:t.max_body_lines response
 

@@ -19,12 +19,24 @@ val create :
   ?cache_capacity:int ->
   ?max_body_lines:int ->
   ?on_trace:(Obs.Trace.span list -> unit) ->
+  ?events:Obs.Events.sink ->
+  ?slow_ms:float ->
+  ?clock:(unit -> float) ->
   unit ->
   t
 (** [cache_capacity] defaults to 512 entries.  [max_body_lines] bounds
     every response body (see {!Protocol.clamp}; default 10,000 lines).
     [on_trace] receives the spans each request leaves in the global sink
     while TRACE is on (the server streams them to [--trace-dir]).
+
+    [events] is the structured JSONL event log: every request emits a
+    ["request"] record carrying its id, command, status and latency.
+    [slow_ms] arms the slow-query log — session-touching commands run
+    under a private span collection (which, like [--trace-dir], forces
+    sequential execution), and any request over the threshold emits a
+    ["slow_query"] record with the span tree and counter deltas.
+    [clock] (default [Unix.gettimeofday]) is what latencies are measured
+    with; tests stub it.
 
     Creation installs the handler's metrics registry as the
     process-current {!Obs.Registry}, so solver counters land in the same
@@ -33,6 +45,19 @@ val create :
 val metrics : t -> Metrics.t
 val sessions : t -> Session.store
 val cache_length : t -> int
+
+val sample_gauges : t -> unit
+(** Refresh the runtime gauges in the metrics registry: [gc.*]
+    ({!Obs.Runtime.sample_gc}), [par.*] ({!Par.sample_gauges}),
+    [sessions.count]/[sessions.resident_facts]/[sessions.tracked_keys],
+    and [cache.entries]/[cache.capacity]/[cache.evictions].  The loop
+    calls this on its gauge ticker; STATS and METRICS call it before
+    rendering. *)
+
+val metrics_text : t -> string
+(** {!sample_gauges}, then the whole registry as Prometheus text
+    exposition ({!Obs.Prometheus.render}) — the document served on
+    [--metrics-port] and by the METRICS command. *)
 
 val dispatch : t -> ?payload:string list -> Protocol.command -> Protocol.response
 (** Execute one parsed command, recording request count and latency.

@@ -10,19 +10,36 @@ type conn = {
   mutable closing : bool; (* QUIT seen: close once output drains *)
 }
 
+(* A metrics-port connection: a minimal HTTP/1.0 exchange — read one
+   request head, write one response, close. *)
+type http_conn = {
+  hfd : Unix.file_descr;
+  hinbuf : Buffer.t;
+  mutable hout : string;
+  mutable responded : bool;
+}
+
 type t = {
   listen_fd : Unix.file_descr;
+  metrics_fd : Unix.file_descr option;
   handler : Handler.t;
   mutable conns : conn list;
+  mutable hconns : http_conn list;
   mutable stopped : bool;
 }
 
-let create ?cache_capacity ?max_body_lines ?on_trace listen_fd =
+let create ?cache_capacity ?max_body_lines ?on_trace ?events ?slow_ms ?clock
+    ?metrics_fd listen_fd =
   Unix.set_nonblock listen_fd;
+  Option.iter Unix.set_nonblock metrics_fd;
   {
     listen_fd;
-    handler = Handler.create ?cache_capacity ?max_body_lines ?on_trace ();
+    metrics_fd;
+    handler =
+      Handler.create ?cache_capacity ?max_body_lines ?on_trace ?events
+        ?slow_ms ?clock ();
     conns = [];
+    hconns = [];
     stopped = false;
   }
 
@@ -126,10 +143,86 @@ let accept_all t =
   in
   go 0
 
+(* ---- the metrics HTTP listener --------------------------------------- *)
+
+let http_response ~status ~content_type body =
+  Printf.sprintf
+    "HTTP/1.0 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
+     close\r\n\r\n%s"
+    status content_type (String.length body) body
+
+let close_hconn t hc =
+  (try Unix.close hc.hfd with Unix.Unix_error _ -> ());
+  t.hconns <- List.filter (fun c -> c != hc) t.hconns
+
+let accept_http t fd =
+  let rec go n =
+    match Unix.accept fd with
+    | hfd, _ ->
+        Unix.set_nonblock hfd;
+        t.hconns <-
+          { hfd; hinbuf = Buffer.create 256; hout = ""; responded = false }
+          :: t.hconns;
+        go (n + 1)
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> n
+  in
+  go 0
+
+(* Answer as soon as the request line is complete; the rest of the head
+   is irrelevant to a metrics endpoint. *)
+let http_respond t hc =
+  match String.index_opt (Buffer.contents hc.hinbuf) '\n' with
+  | None -> ()
+  | Some i ->
+      let line = String.trim (String.sub (Buffer.contents hc.hinbuf) 0 i) in
+      hc.responded <- true;
+      hc.hout <-
+        (match String.split_on_char ' ' line with
+        | [ ("GET" | "HEAD"); path; _ ] -> (
+            match String.split_on_char '?' path with
+            | ("/metrics" | "/") :: _ ->
+                http_response ~status:"200 OK"
+                  ~content_type:"text/plain; version=0.0.4; charset=utf-8"
+                  (Handler.metrics_text t.handler)
+            | "/healthz" :: _ ->
+                http_response ~status:"200 OK" ~content_type:"text/plain"
+                  "ok\n"
+            | _ ->
+                http_response ~status:"404 Not Found"
+                  ~content_type:"text/plain" "not found\n")
+        | _ ->
+            http_response ~status:"400 Bad Request" ~content_type:"text/plain"
+              "bad request\n")
+
+let read_hconn t hc =
+  let bytes = Bytes.create 1024 in
+  (match Unix.read hc.hfd bytes 0 (Bytes.length bytes) with
+  | 0 -> close_hconn t hc
+  | n -> Buffer.add_subbytes hc.hinbuf bytes 0 n
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+  | exception Unix.Unix_error _ -> close_hconn t hc);
+  if List.memq hc t.hconns && not hc.responded then http_respond t hc
+
+let write_hconn t hc =
+  (match Unix.write_substring hc.hfd hc.hout 0 (String.length hc.hout) with
+  | n -> hc.hout <- String.sub hc.hout n (String.length hc.hout - n)
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+  | exception Unix.Unix_error _ -> close_hconn t hc);
+  if List.memq hc t.hconns && hc.responded && hc.hout = "" then
+    close_hconn t hc
+
 let step ?(timeout = 0.0) t =
-  let reads = t.listen_fd :: List.map (fun c -> c.fd) t.conns in
+  let reads =
+    t.listen_fd
+    :: (Option.to_list t.metrics_fd
+       @ List.map (fun c -> c.fd) t.conns
+       @ List.map (fun c -> c.hfd) t.hconns)
+  in
   let writes =
     List.filter_map (fun c -> if c.out <> "" then Some c.fd else None) t.conns
+    @ List.filter_map
+        (fun c -> if c.hout <> "" then Some c.hfd else None)
+        t.hconns
   in
   match Unix.select reads writes [] timeout with
   | exception Unix.Unix_error (EINTR, _, _) -> 0
@@ -137,6 +230,10 @@ let step ?(timeout = 0.0) t =
       let serviced = ref 0 in
       if List.memq t.listen_fd readable then
         serviced := !serviced + accept_all t;
+      (match t.metrics_fd with
+      | Some fd when List.memq fd readable ->
+          serviced := !serviced + accept_http t fd
+      | _ -> ());
       List.iter
         (fun conn ->
           if List.mem conn.fd readable then begin
@@ -145,27 +242,55 @@ let step ?(timeout = 0.0) t =
           end)
         t.conns;
       List.iter
+        (fun hc ->
+          if List.mem hc.hfd readable then begin
+            incr serviced;
+            read_hconn t hc
+          end)
+        t.hconns;
+      List.iter
         (fun conn ->
           if List.mem conn.fd writable && List.memq conn t.conns then begin
             incr serviced;
             write_conn t conn
           end)
         t.conns;
+      List.iter
+        (fun hc ->
+          if List.mem hc.hfd writable && List.memq hc t.hconns then begin
+            incr serviced;
+            write_hconn t hc
+          end)
+        t.hconns;
       !serviced
 
 let stop t = t.stopped <- true
 
-let run ?max_requests t =
+let run ?max_requests ?(gauge_interval = 5.0) t =
   let budget_left () =
     match max_requests with
     | None -> true
     | Some n -> Metrics.requests (Handler.metrics t.handler) < n
   in
+  Handler.sample_gauges t.handler;
+  let next_sample = ref (Unix.gettimeofday () +. gauge_interval) in
   while (not t.stopped) && budget_left () do
-    ignore (step ~timeout:0.5 t)
+    ignore (step ~timeout:0.5 t);
+    let now = Unix.gettimeofday () in
+    if now >= !next_sample then begin
+      Handler.sample_gauges t.handler;
+      next_sample := now +. gauge_interval
+    end
   done;
   List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) t.conns;
   t.conns <- [];
+  List.iter
+    (fun c -> try Unix.close c.hfd with Unix.Unix_error _ -> ())
+    t.hconns;
+  t.hconns <- [];
+  (match t.metrics_fd with
+  | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+  | None -> ());
   try Unix.close t.listen_fd with Unix.Unix_error _ -> ()
 
 let listen_unix path =

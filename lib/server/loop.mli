@@ -14,11 +14,18 @@ val create :
   ?cache_capacity:int ->
   ?max_body_lines:int ->
   ?on_trace:(Obs.Trace.span list -> unit) ->
+  ?events:Obs.Events.sink ->
+  ?slow_ms:float ->
+  ?clock:(unit -> float) ->
+  ?metrics_fd:Unix.file_descr ->
   Unix.file_descr ->
   t
 (** Wrap a listening socket (see {!listen_unix}/{!listen_tcp}).  The
-    descriptor is set non-blocking.  The optional arguments are passed
-    to {!Handler.create}. *)
+    descriptor is set non-blocking.  [metrics_fd] is a second listening
+    socket served as a minimal HTTP endpoint: [GET /metrics] returns
+    {!Handler.metrics_text} (Prometheus text exposition, one response
+    per connection, then close), [GET /healthz] returns [ok].  The
+    remaining optional arguments are passed to {!Handler.create}. *)
 
 val handler : t -> Handler.t
 
@@ -31,9 +38,12 @@ val step : ?timeout:float -> t -> int
     flush pending output.  Returns the number of descriptors serviced;
     0 means the server is idle. *)
 
-val run : ?max_requests:int -> t -> unit
+val run : ?max_requests:int -> ?gauge_interval:float -> t -> unit
 (** [step] until {!stop} is called (e.g. from a signal handler) or the
-    handler has seen [max_requests] requests. *)
+    handler has seen [max_requests] requests.  Every [gauge_interval]
+    seconds (default 5, sampled once up front) the runtime gauges are
+    refreshed via {!Handler.sample_gauges}, so a scrape between requests
+    still sees fresh GC, pool and session numbers. *)
 
 val stop : t -> unit
 (** Make [run] return after the current iteration; open connections are

@@ -61,22 +61,16 @@ let hit_rate t =
   let total = !(t.hits) + !(t.misses) in
   if total = 0 then 0.0 else float_of_int !(t.hits) /. float_of_int total
 
+(* One merged, name-sorted stream (the registry render is already
+   sorted; the derived hit-rate line slots in at its name), so STATS
+   and --metrics-dump output diff stably between runs. *)
 let render t =
-  let counters =
-    List.map
-      (fun (name, v) -> Printf.sprintf "%s %d" name v)
-      (Obs.Registry.counters_list t.registry)
+  let derived = ("cache_hit_rate", Printf.sprintf "cache_hit_rate %.4f" (hit_rate t)) in
+  let entry line =
+    match String.index_opt line ' ' with
+    | Some i -> (String.sub line 0 i, line)
+    | None -> (line, line)
   in
-  let gauges =
-    List.map
-      (fun (name, v) -> Printf.sprintf "%s %g" name v)
-      (Obs.Registry.gauges_list t.registry)
-  in
-  let latencies =
-    List.map
-      (fun (name, h) -> Obs.Registry.render_histogram name h)
-      (Obs.Registry.histograms_list t.registry)
-  in
-  counters
-  @ [ Printf.sprintf "cache_hit_rate %.4f" (hit_rate t) ]
-  @ gauges @ latencies
+  derived :: List.map entry (Obs.Registry.render t.registry)
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.map snd

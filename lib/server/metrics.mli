@@ -46,8 +46,9 @@ val hit_rate : t -> float
 val render : t -> string list
 (** One [name value] line per counter and gauge in the registry (request
     scalars and any solver counters routed here), a [cache_hit_rate]
-    line, then one
+    line, and one
     [latency_<command> count=<n> mean_us=<m> p50_us=<a> p95_us=<b>
     p99_us=<c> hist=lt_1us:<k>,...] line per command seen; histogram
     buckets are decades from 1 µs to 10 s plus an overflow bucket, each
-    labelled with its bound. *)
+    labelled with its bound.  Lines are merged and sorted by metric
+    name, so the output order is deterministic. *)

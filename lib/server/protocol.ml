@@ -21,6 +21,7 @@ type command =
       values : Value.t list;
     }
   | Stats
+  | Metrics
   | Trace of bool
   | Explain of {
       sid : string;
@@ -153,6 +154,8 @@ let parse_exn line =
       | "UPDATE", _ -> Error "usage: UPDATE <sid> add|del Rel(v1, ..., vk)"
       | "STATS", [] -> Ok Stats
       | "STATS", _ -> Error "usage: STATS"
+      | "METRICS", [] -> Ok Metrics
+      | "METRICS", _ -> Error "usage: METRICS"
       | "TRACE", [ flag ] -> (
           match String.lowercase_ascii flag with
           | "on" -> Ok (Trace true)
@@ -185,6 +188,7 @@ let command_label = function
   | Measure _ -> "MEASURE"
   | Update _ -> "UPDATE"
   | Stats -> "STATS"
+  | Metrics -> "METRICS"
   | Trace _ -> "TRACE"
   | Explain _ -> "EXPLAIN"
   | Close _ -> "CLOSE"

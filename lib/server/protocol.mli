@@ -12,6 +12,7 @@
     MEASURE <sid>
     UPDATE <sid> add|del <Rel>(<v1>, ..., <vk>)
     STATS
+    METRICS
     TRACE on|off
     EXPLAIN <sid> <name> [method=auto|enum|rewriting|key-rewriting|asp]
                          [semantics=s|c]
@@ -45,6 +46,9 @@ type command =
       values : Relational.Value.t list;
     }
   | Stats
+  | Metrics
+      (** METRICS: the registry in Prometheus text exposition, same
+          document the [--metrics-port] HTTP listener serves *)
   | Trace of bool  (** TRACE on|off: toggle span collection server-wide *)
   | Explain of {
       sid : string;

@@ -63,6 +63,12 @@ let close store id =
 let ids store =
   Hashtbl.fold (fun id _ acc -> id :: acc) store [] |> List.sort String.compare
 
+let resident_facts store =
+  Hashtbl.fold (fun _ t acc -> acc + Instance.size t.doc.instance) store 0
+
+let tracked_keys store =
+  Hashtbl.fold (fun _ t acc -> acc + Hashtbl.length t.cache_keys) store 0
+
 let remember_key t key = Hashtbl.replace t.cache_keys key ()
 
 let take_keys t =

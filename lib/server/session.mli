@@ -32,6 +32,14 @@ val close : store -> string -> bool
 val ids : store -> string list
 (** Sorted, for STATS output. *)
 
+val resident_facts : store -> int
+(** Total facts held by resident instances across all sessions — the
+    [sessions.resident_facts] gauge. *)
+
+val tracked_keys : store -> int
+(** Cache keys currently recorded against any session (each is an entry
+    an UPDATE would invalidate) — the [sessions.tracked_keys] gauge. *)
+
 val digest_of : Cqa.Parse.document -> string
 (** Hex digest over the instance's fact set and the constraint list —
     two sessions holding equal data share cache entries. *)

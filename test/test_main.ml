@@ -31,4 +31,5 @@ let () =
       ("server", Test_server.suite);
       ("properties", Test_properties.suite);
       ("fast", Test_fast.suite);
+      ("pulse", Test_pulse.suite);
     ]
