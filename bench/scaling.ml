@@ -689,11 +689,78 @@ let b15 ~quick () =
     sizes;
   print_newline ()
 
+(* B16: the cqa-analyze tentpole — tractability-driven method dispatch.
+   The key-conflict-chain workload's certain-pairs query is proved
+   FO-rewritable by the static classifier, so [`Auto] answers it through
+   the Fuxman–Miller rewriting while forced enumeration walks all 2^pairs
+   repairs.  Counter deltas keep the comparison honest: the auto phase
+   must never touch the enumeration machinery (repairs.candidates and
+   sat.hs_nodes stay at zero), and must actually take the rewriting
+   (rewrite.key_applicable increments). *)
+let b16 ~quick () =
+  header "B16" "auto dispatch vs forced enumeration (cqa-analyze)"
+    "the static classifier proves the query FO-rewritable and dispatches \
+     past the exponential repair enumeration";
+  let sizes = if quick then [ 16; 20 ] else [ 16; 20; 24; 28 ] in
+  let open Logic in
+  let q =
+    Cq.make ~name:"pairs"
+      [ Term.var "k"; Term.var "v" ]
+      [ Atom.make "T" [ Term.var "k"; Term.var "v" ] ]
+  in
+  Printf.printf "  %6s %10s %10s %14s %14s %8s\n" "n" "verdict" "#answers"
+    "enum" "auto" "speedup";
+  List.iter
+    (fun n ->
+      (* Half the keys get two claimants: 2^(n/2) S-repairs, while the
+         other half survive as certain answers — so [enum = auto] below
+         compares non-empty answer sets. *)
+      let db, key =
+        Gen.key_conflict_instance ~seed:11 ~n ~conflict_fraction:0.5 ()
+      in
+      let schema = Instance.schema db in
+      let engine = Cqa.Engine.create ~schema ~ics:[ key ] db in
+      let plan = Cqa.Engine.plan engine q in
+      let enum, enum_ns =
+        Bech_harness.once (fun () ->
+            Cqa.Engine.consistent_answers ~method_:`Repair_enumeration engine q)
+      in
+      let before = Obs.Registry.counter_snapshot (Obs.Registry.current ()) in
+      let auto, auto_ns =
+        Bech_harness.once (fun () -> Cqa.Engine.consistent_answers engine q)
+      in
+      let delta = Obs.Registry.counter_delta ~since:before (Obs.Registry.current ()) in
+      let d name = Option.value ~default:0 (List.assoc_opt name delta) in
+      assert (enum = auto);
+      assert (d "repairs.candidates" = 0);
+      assert (d "sat.hs_nodes" = 0);
+      assert (d "rewrite.key_applicable" > 0);
+      let speedup = enum_ns /. auto_ns in
+      Printf.printf "  %6d %10s %10d %14s %14s %7.1fx\n" n
+        (Analysis.Classify.verdict_label plan.classification.verdict)
+        (List.length auto)
+        (Bech_harness.pp_ns enum_ns)
+        (Bech_harness.pp_ns auto_ns)
+        speedup;
+      Bench_json.record ~bench:"b16"
+        [
+          ("n", Bench_json.int n);
+          ("verdict", Bench_json.str
+             (Analysis.Classify.verdict_label plan.classification.verdict));
+          ("route", Bench_json.str (Cqa.Engine.route_label plan.route));
+          ("answers", Bench_json.int (List.length auto));
+          ("enum_ns", Bench_json.num enum_ns);
+          ("auto_ns", Bench_json.num auto_ns);
+          ("speedup", Bench_json.num speedup);
+        ])
+    sizes;
+  print_newline ()
+
 let all =
   [
     ("b1", b1); ("b2", b2); ("b3", b3); ("b4", b4); ("b5", b5); ("b6", b6);
     ("b7", b7); ("b8", b8); ("b9", b9); ("b10", b10); ("b11", b11);
-    ("b12", b12); ("b13", b13); ("b14", b14); ("b15", b15);
+    ("b12", b12); ("b13", b13); ("b14", b14); ("b15", b15); ("b16", b16);
   ]
 
 let run ~quick ids =

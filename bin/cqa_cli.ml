@@ -338,6 +338,42 @@ let export_cmd =
     (Cmd.info "export" ~doc:"Export one relation as CSV on stdout.")
     Term.(const run $ file_arg $ rel_arg)
 
+let analyze_cmd =
+  let opt_query_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "query"; "q" ] ~docv:"NAME"
+          ~doc:"Restrict the report to this query's classification.")
+  in
+  let run file qname =
+    let doc = load file in
+    match qname with
+    | Some name -> (
+        match Cqa.Analyze.query_lines doc name with
+        | lines -> List.iter print_endline lines
+        | exception Not_found ->
+            Printf.eprintf
+              "no query named %s in the input (declare `query %s(...) :- ...`)\n"
+              name name;
+            exit 2)
+    | None ->
+        let report = Cqa.Analyze.document doc in
+        List.iter print_endline (Cqa.Analyze.lines report);
+        (* Error-severity findings fail the run: `cqa analyze` doubles as
+           the CI lint gate over examples/. *)
+        if Cqa.Analyze.has_errors report then exit 1
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Static analysis without touching data: constraint-set \
+          conformance and structure (key/FD interaction, IND cycles, weak \
+          acyclicity), lints of the compiled repair program, and the \
+          Fuxman-Miller complexity classifier with the method=auto route \
+          for every query.  Exits 1 on error-severity findings.")
+    Term.(const run $ file_arg $ opt_query_arg)
+
 let program_cmd =
   let run file =
     let doc = load file in
@@ -474,9 +510,9 @@ let main =
     (Cmd.info "cqa" ~version:"1.0.0"
        ~doc:"Database repairs and consistent query answering.")
     [
-      check_cmd; repairs_cmd; answers_cmd; degree_cmd; causes_cmd; count_cmd;
-      attr_repairs_cmd; aggregate_cmd; clean_cmd; sample_cmd; approx_cmd;
-      export_cmd; program_cmd; client_cmd;
+      check_cmd; repairs_cmd; answers_cmd; analyze_cmd; degree_cmd; causes_cmd;
+      count_cmd; attr_repairs_cmd; aggregate_cmd; clean_cmd; sample_cmd;
+      approx_cmd; export_cmd; program_cmd; client_cmd;
     ]
 
 let () = exit (Cmd.eval main)

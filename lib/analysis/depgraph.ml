@@ -1,0 +1,125 @@
+module Atom = Logic.Atom
+
+type sign = Pos | Neg
+
+type t = {
+  predicates : string list; (* sorted *)
+  edges : (string * string * sign) list; (* sorted *)
+}
+
+let build pairs =
+  (* [pairs] : (head, pos body preds, neg body preds) per rule. *)
+  let preds = ref [] and edges = ref [] in
+  List.iter
+    (fun (heads, pos, neg) ->
+      preds := heads @ pos @ neg @ !preds;
+      List.iter
+        (fun h ->
+          List.iter (fun b -> edges := (b, h, Pos) :: !edges) pos;
+          List.iter (fun b -> edges := (b, h, Neg) :: !edges) neg)
+        heads)
+    pairs;
+  {
+    predicates = List.sort_uniq String.compare !preds;
+    edges = List.sort_uniq Stdlib.compare !edges;
+  }
+
+let of_datalog (p : Datalog.Program.t) =
+  build
+    (List.map
+       (fun (r : Datalog.Rule.t) ->
+         ( [ r.head.Atom.rel ],
+           List.map (fun (a : Atom.t) -> a.rel) r.body_pos,
+           List.map (fun (a : Atom.t) -> a.rel) r.body_neg ))
+       p.rules)
+
+let of_asp (p : Asp.Syntax.t) =
+  build
+    (List.map
+       (fun (r : Asp.Syntax.rule) ->
+         ( List.map (fun (a : Atom.t) -> a.rel) r.head,
+           List.map (fun (a : Atom.t) -> a.rel) r.pos,
+           List.map (fun (a : Atom.t) -> a.rel) r.neg ))
+       p.rules)
+
+let predicates t = t.predicates
+
+let defined t =
+  List.map (fun (_, h, _) -> h) t.edges |> List.sort_uniq String.compare
+
+let edges t = t.edges
+
+let successors t p =
+  List.filter_map (fun (b, h, _) -> if String.equal b p then Some h else None) t.edges
+  |> List.sort_uniq String.compare
+
+(* Tarjan's SCC algorithm; components are emitted in reverse topological
+   order, and consing them onto [out] reverses that again — so [out]
+   already lists dependencies first. *)
+let sccs t =
+  let index = Hashtbl.create 16 and low = Hashtbl.create 16 in
+  let on_stack = Hashtbl.create 16 in
+  let stack = ref [] and next = ref 0 and out = ref [] in
+  let rec strong v =
+    Hashtbl.replace index v !next;
+    Hashtbl.replace low v !next;
+    incr next;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v ();
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          strong w;
+          Hashtbl.replace low v (min (Hashtbl.find low v) (Hashtbl.find low w))
+        end
+        else if Hashtbl.mem on_stack w then
+          Hashtbl.replace low v (min (Hashtbl.find low v) (Hashtbl.find index w)))
+      (successors t v);
+    if Hashtbl.find low v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | w :: rest ->
+            stack := rest;
+            Hashtbl.remove on_stack w;
+            if String.equal w v then w :: acc else pop (w :: acc)
+        | [] -> acc
+      in
+      out := List.sort String.compare (pop []) :: !out
+    end
+  in
+  List.iter (fun v -> if not (Hashtbl.mem index v) then strong v) t.predicates;
+  !out
+
+let recursive_predicates t =
+  let self_loop p = List.exists (fun (b, h, _) -> b = p && h = p) t.edges in
+  List.concat_map
+    (fun comp ->
+      match comp with
+      | [ p ] -> if self_loop p then [ p ] else []
+      | comp -> comp)
+    (sccs t)
+  |> List.sort_uniq String.compare
+
+let negative_cycle_witness t =
+  let comp_of = Hashtbl.create 16 in
+  List.iteri
+    (fun i comp -> List.iter (fun p -> Hashtbl.replace comp_of p i) comp)
+    (sccs t);
+  List.find_map
+    (fun (b, h, sign) ->
+      match sign with
+      | Pos -> None
+      | Neg ->
+          if Hashtbl.find_opt comp_of b = Hashtbl.find_opt comp_of h then
+            Some (b, h)
+          else None)
+    t.edges
+
+let to_lines t =
+  List.map
+    (fun (b, h, sign) ->
+      match sign with
+      | Pos -> Printf.sprintf "%s <- %s" h b
+      | Neg -> Printf.sprintf "%s <- not %s" h b)
+    t.edges
+  |> List.sort String.compare

@@ -1,0 +1,38 @@
+(** Predicate dependency graphs of Datalog and ASP programs.
+
+    Nodes are predicate names; an edge [(body, head, sign)] records that
+    [head] is defined by a rule whose body mentions [body] positively or
+    under negation.  Every accessor returns sorted data, so renderings of
+    the graph are deterministic. *)
+
+type sign = Pos | Neg
+
+type t
+
+val of_datalog : Datalog.Program.t -> t
+val of_asp : Asp.Syntax.t -> t
+(** Disjunctive heads contribute one edge per head atom. *)
+
+val predicates : t -> string list
+(** All predicates mentioned anywhere, sorted. *)
+
+val defined : t -> string list
+(** Predicates appearing in some head, sorted. *)
+
+val edges : t -> (string * string * sign) list
+(** [(body, head, sign)], sorted; at most one edge per triple, and a
+    [Neg] edge is kept alongside a [Pos] edge over the same pair. *)
+
+val sccs : t -> string list list
+(** Strongly connected components, each sorted, listed in topological
+    order of the condensation (dependencies first). *)
+
+val recursive_predicates : t -> string list
+(** Predicates on a cycle (an SCC of size > 1, or a self-loop), sorted. *)
+
+val negative_cycle_witness : t -> (string * string) option
+(** A [Neg] edge [(body, head)] with both endpoints in one SCC — the
+    reason a program is not stratifiable — or [None]. *)
+
+val to_lines : t -> string list
+(** One line per edge, ["P <- Q"] / ["P <- not Q"], sorted. *)

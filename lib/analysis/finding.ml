@@ -1,0 +1,42 @@
+type severity = Error | Warning | Info
+
+type t = {
+  severity : severity;
+  code : string;
+  subject : string;
+  message : string;
+}
+
+let make severity ~code ~subject message = { severity; code; subject; message }
+
+let severity_label = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let compare a b =
+  match String.compare a.subject b.subject with
+  | 0 -> (
+      match String.compare a.code b.code with
+      | 0 -> (
+          match Stdlib.compare (severity_rank a.severity) (severity_rank b.severity) with
+          | 0 -> String.compare a.message b.message
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+let sort findings = List.sort_uniq compare findings
+
+let errors fs = List.length (List.filter (fun f -> f.severity = Error) fs)
+let warnings fs = List.length (List.filter (fun f -> f.severity = Warning) fs)
+let has_errors fs = List.exists (fun f -> f.severity = Error) fs
+
+let to_line f =
+  Printf.sprintf "%-7s %s %s: %s" (severity_label f.severity) f.code f.subject
+    f.message
+
+let to_lines fs = List.map to_line (sort fs)
+
+let pp ppf f = Format.pp_print_string ppf (to_line f)

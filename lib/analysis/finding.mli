@@ -1,0 +1,37 @@
+(** Findings — the common currency of the static analyses.
+
+    A finding names one defect (or notable property) of a rule, program,
+    constraint set or query, at one of three severities.  Reports are
+    {e deterministic}: {!sort} orders findings by subject, then code,
+    then message, so two runs over the same input render byte-identical
+    output regardless of hash-table iteration order. *)
+
+type severity = Error | Warning | Info
+
+type t = {
+  severity : severity;
+  code : string;  (** Stable machine-readable id, e.g. ["safety/unbound-head-var"]. *)
+  subject : string;  (** What the finding is about: a rule id, predicate, constraint name. *)
+  message : string;
+}
+
+val make : severity -> code:string -> subject:string -> string -> t
+val severity_label : severity -> string
+
+val compare : t -> t -> int
+(** Orders by subject, code, severity, message — the report order. *)
+
+val sort : t list -> t list
+(** Sorted with duplicates removed; every report goes through this. *)
+
+val errors : t list -> int
+val warnings : t list -> int
+val has_errors : t list -> bool
+
+val to_line : t -> string
+(** ["error safety/unbound-head-var rule#2: head variable X ..."]. *)
+
+val to_lines : t list -> string list
+(** {!sort}ed, one {!to_line} each. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,278 @@
+module Schema = Relational.Schema
+module Ic = Constraints.Ic
+module Atom = Logic.Atom
+module Cmp = Logic.Cmp
+
+let err ~code ~subject msg = Finding.make Finding.Error ~code ~subject msg
+let warn ~code ~subject msg = Finding.make Finding.Warning ~code ~subject msg
+let info ~code ~subject msg = Finding.make Finding.Info ~code ~subject msg
+
+(* --- conformance ----------------------------------------------------- *)
+
+let check_relation schema ~subject rel =
+  if Schema.mem schema rel then []
+  else
+    [
+      err ~code:"schema/unknown-relation" ~subject
+        (Printf.sprintf "relation %s is not declared in the schema" rel);
+    ]
+
+let check_positions schema ~subject ~what rel ps =
+  if not (Schema.mem schema rel) then []
+  else
+    let arity = Schema.arity schema rel in
+    List.filter_map
+      (fun p ->
+        if p < 0 || p >= arity then
+          Some
+            (err ~code:"schema/position-out-of-range" ~subject
+               (Printf.sprintf "%s position %d is outside %s's arity %d" what p
+                  rel arity))
+        else None)
+      ps
+    @
+    if List.length (List.sort_uniq Int.compare ps) <> List.length ps then
+      [
+        warn ~code:"schema/duplicate-position" ~subject
+          (Printf.sprintf "%s position list repeats an attribute" what);
+      ]
+    else []
+
+let check_denial schema ~subject (d : Ic.denial) =
+  let arity_findings =
+    List.concat_map
+      (fun (a : Atom.t) ->
+        check_relation schema ~subject a.rel
+        @
+        if Schema.mem schema a.rel && Atom.arity a <> Schema.arity schema a.rel
+        then
+          [
+            err ~code:"schema/arity-mismatch" ~subject
+              (Printf.sprintf "atom %s has %d arguments, %s is declared with %d"
+                 a.rel (Atom.arity a) a.rel (Schema.arity schema a.rel));
+          ]
+        else [])
+      d.atoms
+  in
+  let bound = List.concat_map Atom.vars d.atoms in
+  let comp_findings =
+    List.concat_map
+      (fun c ->
+        List.filter_map
+          (fun v ->
+            if List.exists (String.equal v) bound then None
+            else
+              Some
+                (err ~code:"safety/ground-unsafe-comparison" ~subject
+                   (Printf.sprintf
+                      "comparison variable %s occurs in no atom of the denial" v)))
+          (Cmp.vars c))
+      d.comps
+  in
+  arity_findings @ comp_findings
+
+let conformance schema ic =
+  let subject = Ic.name ic in
+  match ic with
+  | Ic.Key (rel, ps) ->
+      check_relation schema ~subject rel
+      @ check_positions schema ~subject ~what:"key" rel ps
+      @
+      if ps = [] then
+        [ warn ~code:"schema/empty-key" ~subject "key with no attributes" ]
+      else []
+  | Ic.Fd f ->
+      check_relation schema ~subject f.rel
+      @ check_positions schema ~subject ~what:"lhs" f.rel f.lhs
+      @ check_positions schema ~subject ~what:"rhs" f.rel f.rhs
+      @
+      let overlap = List.filter (fun p -> List.mem p f.lhs) f.rhs in
+      if overlap <> [] then
+        [
+          info ~code:"fd/trivial-rhs" ~subject
+            (Printf.sprintf "rhs position %d already determined (it is in the lhs)"
+               (List.hd overlap));
+        ]
+      else []
+  | Ic.Cfd c ->
+      check_relation schema ~subject c.rel
+      @ check_positions schema ~subject ~what:"lhs" c.rel c.lhs
+      @ check_positions schema ~subject ~what:"rhs" c.rel c.rhs
+      @ check_positions schema ~subject ~what:"pattern" c.rel (List.map fst c.pat)
+  | Ic.Ind i ->
+      let sub_rel, sub_ps = i.sub and sup_rel, sup_ps = i.sup in
+      check_relation schema ~subject sub_rel
+      @ check_relation schema ~subject sup_rel
+      @ check_positions schema ~subject ~what:"sub" sub_rel sub_ps
+      @ check_positions schema ~subject ~what:"sup" sup_rel sup_ps
+      @
+      if List.length sub_ps <> List.length sup_ps then
+        [
+          err ~code:"schema/ind-width-mismatch" ~subject
+            (Printf.sprintf "%d exported positions vs %d imported"
+               (List.length sub_ps) (List.length sup_ps));
+        ]
+      else []
+  | Ic.Denial d -> check_denial schema ~subject d
+
+(* --- key/FD interaction ---------------------------------------------- *)
+
+let subset xs ys = List.for_all (fun x -> List.mem x ys) xs
+
+let keys_of ics =
+  List.filter_map (function Ic.Key (r, ps) -> Some (r, ps) | _ -> None) ics
+
+let interaction ics =
+  let keys = keys_of ics in
+  let multiple =
+    List.filter_map
+      (fun (r, _) ->
+        if List.length (List.filter (fun (r', _) -> String.equal r r') keys) > 1
+        then Some r
+        else None)
+      keys
+    |> List.sort_uniq String.compare
+  in
+  let multiple_findings =
+    List.map
+      (fun r ->
+        warn ~code:"key/multiple-keys" ~subject:(Printf.sprintf "key:%s" r)
+          (Printf.sprintf
+             "%s carries several key constraints: repairs interact and the \
+              rewriting dichotomy no longer applies"
+             r))
+      multiple
+  in
+  let implied_fds =
+    List.filter_map
+      (function
+        | Ic.Fd f when
+            List.exists
+              (fun (r, ps) -> String.equal r f.rel && subset ps f.lhs)
+              keys ->
+            Some
+              (info ~code:"fd/implied-by-key" ~subject:(Ic.name (Ic.Fd f))
+                 (Printf.sprintf
+                    "lhs contains a declared key of %s: the FD is implied" f.rel))
+        | _ -> None)
+      ics
+  in
+  let duplicates =
+    let names = List.map Ic.name ics in
+    List.filter
+      (fun n -> List.length (List.filter (String.equal n) names) > 1)
+      (List.sort_uniq String.compare names)
+    |> List.map (fun n ->
+           warn ~code:"ic/duplicate" ~subject:n "constraint declared twice")
+  in
+  multiple_findings @ implied_fds @ duplicates
+
+(* --- inclusion-dependency structure ---------------------------------- *)
+
+let inds_of ics = List.filter_map (function Ic.Ind i -> Some i | _ -> None) ics
+
+(* Relation-level cycle among the INDs, by DFS from every relation. *)
+let ind_cycle inds =
+  let succ r =
+    List.filter_map
+      (fun (i : Ic.ind) -> if String.equal (fst i.sub) r then Some (fst i.sup) else None)
+      inds
+    |> List.sort_uniq String.compare
+  in
+  let nodes =
+    List.concat_map (fun (i : Ic.ind) -> [ fst i.sub; fst i.sup ]) inds
+    |> List.sort_uniq String.compare
+  in
+  let rec dfs path r =
+    if List.exists (String.equal r) path then
+      (* Cut the path at the first occurrence of [r]: that suffix is the cycle. *)
+      let rec suffix = function
+        | [] -> []
+        | x :: rest -> if String.equal x r then x :: rest else suffix rest
+      in
+      Some (List.rev (r :: suffix path))
+    else List.find_map (dfs (r :: path)) (succ r)
+  in
+  List.find_map (dfs []) nodes
+
+(* Weak acyclicity of the IND position graph (the chase-termination
+   criterion): regular edges copy a value between positions, special
+   edges go from an exported position to the existential positions of
+   the target.  A cycle through a special edge generates fresh values
+   forever. *)
+let weakly_acyclic schema inds =
+  let regular = ref [] and special = ref [] in
+  let add store e = if not (List.mem e !store) then store := e :: !store in
+  List.iter
+    (fun (i : Ic.ind) ->
+      let sub_rel, sub_ps = i.sub and sup_rel, sup_ps = i.sup in
+      let sup_arity =
+        if Schema.mem schema sup_rel then Schema.arity schema sup_rel
+        else List.fold_left max 0 (List.map succ sup_ps)
+      in
+      let existential =
+        List.filter (fun p -> not (List.mem p sup_ps)) (List.init sup_arity Fun.id)
+      in
+      List.iteri
+        (fun k p ->
+          (match List.nth_opt sup_ps k with
+          | Some q -> add regular ((sub_rel, p), (sup_rel, q))
+          | None -> ());
+          List.iter
+            (fun q -> add special ((sub_rel, p), (sup_rel, q)))
+            existential)
+        sub_ps)
+    inds;
+  let edges = !regular @ !special in
+  let reachable from target =
+    let visited = Hashtbl.create 16 in
+    let rec go n =
+      if n = target then true
+      else if Hashtbl.mem visited n then false
+      else begin
+        Hashtbl.replace visited n ();
+        List.exists (fun (u, v) -> u = n && go v) edges
+      end
+    in
+    go from
+  in
+  List.find_map
+    (fun (u, v) -> if reachable v u then Some v else None)
+    !special
+
+let structure schema ics =
+  match inds_of ics with
+  | [] -> []
+  | inds ->
+      let cycle_findings =
+        match ind_cycle inds with
+        | None -> []
+        | Some cycle ->
+            [
+              warn ~code:"ind/cycle"
+                ~subject:(String.concat "⊆" cycle)
+                "cyclic inclusion dependencies: repair enumeration is only \
+                 complete for acyclic IND sets";
+            ]
+      in
+      let chase_findings =
+        match weakly_acyclic schema inds with
+        | None ->
+            [
+              info ~code:"chase/weakly-acyclic" ~subject:"ind-set"
+                "the IND set is weakly acyclic: the chase terminates on every \
+                 instance";
+            ]
+        | Some (rel, pos) ->
+            [
+              warn ~code:"chase/non-terminating" ~subject:"ind-set"
+                (Printf.sprintf
+                   "not weakly acyclic: position %s.%d lies on a cycle through \
+                    an existential edge, the chase may not terminate"
+                   rel pos);
+            ]
+      in
+      cycle_findings @ chase_findings
+
+let analyze schema ics =
+  Finding.sort (List.concat_map (conformance schema) ics @ interaction ics @ structure schema ics)

@@ -1,0 +1,26 @@
+(** Static analysis of a constraint set against its schema.
+
+    Three layers of checks, all without touching data:
+    - {b conformance}: every constraint must name declared relations, use
+      in-range 0-based attribute positions, and (for denials) keep its
+      comparisons bound by atom variables;
+    - {b key/FD interaction}: several keys on one relation (repair
+      semantics become join-dependent), FDs already implied by a declared
+      key, exact duplicate constraints;
+    - {b inclusion-dependency structure}: relation-level IND cycles (the
+      repair enumerator is complete for acyclic IND sets only) and weak
+      acyclicity of the IND position graph — the chase-termination
+      criterion the exchange/ontology layers rely on; a weakly acyclic
+      IND set is reported as a positive [Info] finding. *)
+
+val analyze : Relational.Schema.t -> Constraints.Ic.t list -> Finding.t list
+(** Sorted (deterministic) findings; empty means the set is clean. *)
+
+val weakly_acyclic :
+  Relational.Schema.t -> Constraints.Ic.ind list -> (string * int) option
+(** [None] when the dependency position graph of the INDs has no cycle
+    through a special edge (the chase terminates); otherwise [Some (rel, pos)]
+    — a position on such a cycle. *)
+
+val ind_cycle : Constraints.Ic.ind list -> string list option
+(** A relation-level cycle [R1 ⊆ R2 ⊆ ... ⊆ R1] among the INDs, or [None]. *)

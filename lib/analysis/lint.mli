@@ -1,0 +1,33 @@
+(** Rule- and program-level lints for Datalog and ASP programs.
+
+    The checks re-derive safety from the rule structure instead of
+    trusting the smart constructors, so the analyzer also diagnoses rules
+    built directly as records (or arriving from a future parser).
+
+    Severity policy: conditions that make evaluation wrong or impossible
+    are [Error] (unsafe variables, ground-unsafe comparisons, negation
+    through recursion in Datalog); conditions that only cost expressive
+    power or performance are [Warning]; notable structural properties are
+    [Info].  An unstratified {e ASP} program is only [Info] — repair
+    programs are unstratified by design and evaluated under stable-model
+    semantics. *)
+
+val datalog_rule : ?subject:string -> Datalog.Rule.t -> Finding.t list
+(** Safety of one rule: every head variable, negated-atom variable and
+    comparison variable must be bound by a positive body atom. *)
+
+val datalog_program : ?edb:string list -> Datalog.Program.t -> Finding.t list
+(** Per-rule safety plus program structure: stratification of negation
+    (with the offending cycle edge as witness), predicates defined but
+    never used, and — when [edb] lists the extensional predicates —
+    body predicates that are neither defined nor extensional. *)
+
+val asp_rule : ?subject:string -> Asp.Syntax.rule -> Finding.t list
+
+val asp_program : Asp.Syntax.t -> Finding.t list
+(** Per-rule safety plus: head-cycle-free vs genuinely disjunctive
+    classification of disjunctive programs, and an [Info] note when
+    negation is unstratified. *)
+
+val rule_subject : int -> string
+(** The canonical subject for the [i]-th rule (0-based): ["rule#1"]... *)

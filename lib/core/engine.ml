@@ -65,6 +65,43 @@ let by_key_rewriting t q =
   | None -> None
   | Some keys -> Rewriting.Key_rewrite.consistent_answers q ~keys t.instance
 
+(* --- static planning (method=auto) ----------------------------------- *)
+
+type route = [ `Direct | `Key_rewriting | `Repair_enumeration ]
+
+type plan = { route : route; classification : Analysis.Classify.t }
+
+let route_label = function
+  | `Direct -> "direct"
+  | `Key_rewriting -> "key_rewriting"
+  | `Repair_enumeration -> "repair_enumeration"
+
+let plan t q =
+  let classification = Analysis.Classify.classify t.ics q in
+  let route =
+    match (classification.Analysis.Classify.verdict, classification.witness) with
+    | Analysis.Classify.Fo_rewritable, Analysis.Classify.No_constraints ->
+        (* No relevant constraint can delete a tuple the query reads:
+           the plain answers are already the certain answers. *)
+        `Direct
+    | Analysis.Classify.Fo_rewritable, _ -> `Key_rewriting
+    | _ -> `Repair_enumeration
+  in
+  { route; classification }
+
+let run_plan t q p =
+  match p.route with
+  | `Direct -> Logic.Cq.answers q t.instance
+  | `Repair_enumeration -> by_repair_enumeration t q
+  | `Key_rewriting -> (
+      let keys = Analysis.Classify.rewrite_keys t.ics q in
+      match Rewriting.Key_rewrite.consistent_answers q ~keys t.instance with
+      | Some rows -> rows
+      | None ->
+          (* The classifier verified the rewriting symbolically, so this
+             is unreachable; enumeration keeps even a divergence sound. *)
+          by_repair_enumeration t q)
+
 let consistent_answers ?(method_ = `Auto) t q =
   let sp = Obs.Trace.start "engine.certain_answers" in
   Obs.Counter.incr c_queries;
@@ -80,19 +117,22 @@ let consistent_answers ?(method_ = `Auto) t q =
         match by_key_rewriting t q with
         | Some rows -> rows
         | None ->
+            let c = Analysis.Classify.classify t.ics q in
             invalid_arg
-              "Engine.consistent_answers: key rewriting not applicable \
-               (non-key constraints or query outside the C-forest class)")
-    | `Auto -> (
-        match by_key_rewriting t q with
-        | Some rows ->
-            if Obs.Trace.is_enabled () then
-              Obs.Trace.attr "route" "key_rewriting";
-            rows
-        | None ->
-            if Obs.Trace.is_enabled () then
-              Obs.Trace.attr "route" "repair_enumeration";
-            by_repair_enumeration t q)
+              (Printf.sprintf
+                 "Engine.consistent_answers: key rewriting not applicable: %s"
+                 (Analysis.Classify.describe c)))
+    | `Auto ->
+        let p = plan t q in
+        if Obs.Trace.is_enabled () then begin
+          Obs.Trace.attr "route" (route_label p.route);
+          Obs.Trace.attr "verdict"
+            (Analysis.Classify.verdict_label
+               p.classification.Analysis.Classify.verdict);
+          Obs.Trace.attr "witness"
+            (Analysis.Classify.witness_code p.classification.witness)
+        end;
+        run_plan t q p
   with
   | rows ->
       if Obs.Trace.is_enabled () then

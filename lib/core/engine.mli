@@ -30,15 +30,30 @@ val create :
 
 val is_consistent : t -> bool
 
+type route = [ `Direct | `Key_rewriting | `Repair_enumeration ]
+(** What [`Auto] will actually execute: plain evaluation (no relevant
+    constraints), the Fuxman–Miller rewriting, or repair enumeration. *)
+
+type plan = { route : route; classification : Analysis.Classify.t }
+
+val plan : t -> Logic.Cq.t -> plan
+(** The static decision [`Auto] dispatches on, without running anything:
+    the complexity classifier's verdict with its witness, and the method
+    chosen from it.  Pure — safe to call from EXPLAIN/ANALYZE. *)
+
+val route_label : route -> string
+
 val consistent_answers :
   ?method_:answer_method ->
   t ->
   Logic.Cq.t ->
   Relational.Value.t list list
-(** Consistent answers under S-repairs.  [`Auto] (default) uses the
-    Fuxman–Miller rewriting when all constraints are primary keys and the
-    query falls in its class, and repair enumeration otherwise.
-    [`Key_rewriting] raises [Invalid_argument] when not applicable;
+(** Consistent answers under S-repairs.  [`Auto] (default) consults
+    {!plan}: the Fuxman–Miller rewriting when the classifier proves the
+    (constraints, query) pair FO-rewritable, plain evaluation when no
+    constraint touches the query's relations, and repair enumeration
+    otherwise.  [`Key_rewriting] raises [Invalid_argument] when not
+    applicable, with the classifier's witness in the message;
     [`Residue_rewriting] answers whatever its (incomplete) rewriting
     produces — see {!Rewriting.Residue_rewrite}. *)
 

@@ -121,12 +121,13 @@ let exec_query (session : Session.t) name method_ semantics =
           match method_ with
           | P.Rewriting | P.Key_rewriting ->
               (* Refuse rather than silently running a different (and
-                 differently priced) algorithm than the one requested. *)
+                 differently priced) algorithm than the one requested —
+                 and let the analyzer name the condition that fails. *)
               P.err
-                (Printf.sprintf
-                   "method=%s supports single conjunctive queries only; %S \
-                    is a union (use auto, enum or asp)"
-                   (method_label method_) name)
+                (Printf.sprintf "method=%s not applicable to %S: %s"
+                   (method_label method_) name
+                   (Analysis.Classify.ucq_rewriting_diagnostic
+                      session.doc.ics u))
           | P.Auto | P.Enum | P.Asp ->
               let m =
                 match method_ with P.Asp -> `Asp | _ -> `Repair_enumeration
@@ -162,10 +163,17 @@ let exec_explain t (session : Session.t) name method_ semantics =
   | { P.status = `Err; _ } -> response
   | { P.status = `Ok; head; _ } ->
       let deltas = Obs.Registry.counter_delta ~since:before registry in
+      (* The static side of the story: the classifier's verdict, witness
+         and auto-route for the query, so every explained answer carries
+         its justification next to the measured cost. *)
+      let analysis =
+        match Cqa.Analyze.query_lines session.doc name with
+        | lines -> "-- analysis" :: lines
+        | exception Not_found -> []
+      in
       let body =
-        Printf.sprintf "cache %s key=%s" cache_state key
-        :: "-- spans"
-        :: Obs.Export.tree spans
+        (Printf.sprintf "cache %s key=%s" cache_state key :: analysis)
+        @ ("-- spans" :: Obs.Export.tree spans)
         @ "-- counters"
           :: List.map (fun (n, v) -> Printf.sprintf "%s %d" n v) deltas
       in
@@ -192,6 +200,25 @@ let exec_repairs (session : Session.t) semantics =
           session.doc.ics
   in
   P.ok (Printf.sprintf "count=%d" count)
+
+let exec_analyze (session : Session.t) name =
+  match name with
+  | Some name -> (
+      match Cqa.Analyze.query_lines session.doc name with
+      | lines ->
+          P.ok ~body:lines
+            (Printf.sprintf "analyze query=%s lines=%d" name (List.length lines))
+      | exception Not_found ->
+          P.err
+            (Printf.sprintf "no query named %S in session %S" name session.id))
+  | None ->
+      let report = Cqa.Analyze.document session.doc in
+      let body = Cqa.Analyze.lines report in
+      P.ok ~body
+        (Printf.sprintf "analyze queries=%d errors=%s lines=%d"
+           (List.length report.Cqa.Analyze.queries)
+           (if Cqa.Analyze.has_errors report then "yes" else "no")
+           (List.length body))
 
 let exec_measure (session : Session.t) =
   let measures =
@@ -243,6 +270,15 @@ let exec t payload = function
       with_session t sid (fun session ->
           let key = String.concat "|" [ session.digest; "measure" ] in
           cached t session key (fun () -> exec_measure session))
+  | P.Analyze { sid; name } ->
+      with_session t sid (fun session ->
+          (* Analysis is pure in the document, so it memoizes under the
+             digest like any query. *)
+          let key =
+            String.concat "|"
+              [ session.digest; "analyze"; Option.value ~default:"*" name ]
+          in
+          cached t session key (fun () -> exec_analyze session name))
   | P.Update { sid; op; rel; values } ->
       with_session t sid (fun session ->
           match Session.apply_update session ~op ~rel values with
@@ -280,7 +316,7 @@ let exec t payload = function
    restores the enabled flag. *)
 let traceable = function
   | P.Load _ | P.Query _ | P.Check _ | P.Repairs _ | P.Measure _
-  | P.Update _ | P.Explain _ ->
+  | P.Update _ | P.Explain _ | P.Analyze _ ->
       true
   | P.Stats | P.Metrics | P.Trace _ | P.Close _ | P.Quit -> false
 
@@ -292,7 +328,8 @@ let sid_of = function
   | P.Query { sid; _ }
   | P.Repairs { sid; _ }
   | P.Update { sid; _ }
-  | P.Explain { sid; _ } ->
+  | P.Explain { sid; _ }
+  | P.Analyze { sid; _ } ->
       Some sid
   | P.Stats | P.Metrics | P.Trace _ | P.Quit -> None
 

@@ -29,6 +29,7 @@ type command =
       method_ : method_;
       semantics : semantics;
     }
+  | Analyze of { sid : string; name : string option }
   | Close of string
   | Quit
 
@@ -167,6 +168,9 @@ let parse_exn line =
           Ok (Explain { sid; name; method_; semantics })
       | "EXPLAIN", _ ->
           Error "usage: EXPLAIN <sid> <name> [method=M] [semantics=S]"
+      | "ANALYZE", [ sid ] -> Ok (Analyze { sid; name = None })
+      | "ANALYZE", [ sid; name ] -> Ok (Analyze { sid; name = Some name })
+      | "ANALYZE", _ -> Error "usage: ANALYZE <sid> [<query-name>]"
       | "CLOSE", [ sid ] -> Ok (Close sid)
       | "CLOSE", _ -> Error "usage: CLOSE <sid>"
       | "QUIT", [] -> Ok Quit
@@ -191,6 +195,7 @@ let command_label = function
   | Metrics -> "METRICS"
   | Trace _ -> "TRACE"
   | Explain _ -> "EXPLAIN"
+  | Analyze _ -> "ANALYZE"
   | Close _ -> "CLOSE"
   | Quit -> "QUIT"
 

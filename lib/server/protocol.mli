@@ -16,6 +16,7 @@
     TRACE on|off
     EXPLAIN <sid> <name> [method=auto|enum|rewriting|key-rewriting|asp]
                          [semantics=s|c]
+    ANALYZE <sid> [<query-name>]
     CLOSE <sid>
     QUIT
     v}
@@ -56,6 +57,9 @@ type command =
       method_ : method_;
       semantics : semantics;
     }  (** EXPLAIN: run the query traced and report spans + counters *)
+  | Analyze of { sid : string; name : string option }
+      (** ANALYZE: static analysis of the session's constraints, repair
+          program and queries — or of one named query *)
   | Close of string
   | Quit
 

@@ -31,5 +31,6 @@ let () =
       ("server", Test_server.suite);
       ("properties", Test_properties.suite);
       ("fast", Test_fast.suite);
+      ("analysis", Test_analysis.suite);
       ("pulse", Test_pulse.suite);
     ]
