@@ -23,7 +23,7 @@ let () =
     print_endline "=== Scaling benchmarks ===";
     Scaling.run ~quick b_ids;
     (* Machine-readable results, with the solver-effort counters the run
-       accumulated in the obs registry (sat.decisions, repairs.candidates,
+       accumulated in the obs registry (sat.dpll.decisions, repairs.candidates,
        asp.candidates, ...). *)
     Bench_json.write
       ~counters:(Obs.Registry.counters_list (Obs.Registry.current ()))

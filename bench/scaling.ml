@@ -695,7 +695,7 @@ let b15 ~quick () =
    the Fuxman–Miller rewriting while forced enumeration walks all 2^pairs
    repairs.  Counter deltas keep the comparison honest: the auto phase
    must never touch the enumeration machinery (repairs.candidates and
-   sat.hs_nodes stay at zero), and must actually take the rewriting
+   sat.hitting_set.nodes stay at zero), and must actually take the rewriting
    (rewrite.key_applicable increments). *)
 let b16 ~quick () =
   header "B16" "auto dispatch vs forced enumeration (cqa-analyze)"
@@ -733,7 +733,7 @@ let b16 ~quick () =
       let d name = Option.value ~default:0 (List.assoc_opt name delta) in
       assert (enum = auto);
       assert (d "repairs.candidates" = 0);
-      assert (d "sat.hs_nodes" = 0);
+      assert (d "sat.hitting_set.nodes" = 0);
       assert (d "rewrite.key_applicable" > 0);
       let speedup = enum_ns /. auto_ns in
       Printf.printf "  %6d %10s %10d %14s %14s %7.1fx\n" n
@@ -756,11 +756,103 @@ let b16 ~quick () =
     sizes;
   print_newline ()
 
+(* B17: the cqa-sat tentpole — CAvSAT-style SAT compilation racing repair
+   enumeration and ASP on the coNP-hard join q(x) :- R(x,y), S(z,y)
+   (keys R[a], S[c]).  The generator plants gadgets whose certainty is
+   known by construction, so correctness is asserted even at sizes where
+   the 2^(#key groups) repair space makes enumeration infeasible (the
+   cutoffs mirror b2's ASP cutoff and must stay visible in the output).
+   Counter deltas prove the SAT phase never touches the enumeration
+   machinery: repairs.enumerations, repairs.candidates and
+   sat.hitting_set.nodes stay at zero while cavsat.sat_calls counts the
+   incremental refutations. *)
+let b17 ~quick () =
+  header "B17" "SAT compilation vs enumeration vs ASP (cqa-sat)"
+    "the CAvSAT encoding answers the coNP-hard join at sizes where \
+     materializing the exponential repair space is infeasible";
+  let sizes = if quick then [ 24; 80 ] else [ 24; 48; 80; 120 ] in
+  let enum_cutoff = 48 and asp_cutoff = 24 in
+  let q = Gen.hard_join_query () in
+  Printf.printf "  %6s %10s %8s %14s %14s %14s\n" "n" "#certain" "#sat"
+    "sat" "enum" "asp";
+  List.iter
+    (fun n ->
+      let db, ics, expected =
+        Gen.hard_join_instance ~n ~conflict_fraction:0.5 ()
+      in
+      let engine = Cqa.Engine.create ~schema:Gen.hard_join_schema ~ics db in
+      let plan = Cqa.Engine.plan engine q in
+      assert (Cqa.Engine.route_label plan.route = "sat_compilation");
+      let before = Obs.Registry.counter_snapshot (Obs.Registry.current ()) in
+      let sat, sat_ns =
+        Bech_harness.once (fun () ->
+            Cqa.Engine.consistent_answers ~method_:`Sat engine q)
+      in
+      let delta =
+        Obs.Registry.counter_delta ~since:before (Obs.Registry.current ())
+      in
+      let d name = Option.value ~default:0 (List.assoc_opt name delta) in
+      assert (List.sort compare sat = expected);
+      assert (d "repairs.enumerations" = 0);
+      assert (d "repairs.candidates" = 0);
+      assert (d "sat.hitting_set.nodes" = 0);
+      assert (d "cavsat.sat_calls" > 0);
+      let enum_ns =
+        if n > enum_cutoff then None
+        else begin
+          let enum, ns =
+            Bech_harness.once (fun () ->
+                Cqa.Engine.consistent_answers ~method_:`Repair_enumeration
+                  engine q)
+          in
+          assert (List.sort compare enum = expected);
+          Some ns
+        end
+      in
+      let asp_ns =
+        if n > asp_cutoff then None
+        else begin
+          let asp, ns =
+            Bech_harness.once (fun () ->
+                Cqa.Engine.consistent_answers ~method_:`Asp engine q)
+          in
+          assert (List.sort compare asp = expected);
+          Some ns
+        end
+      in
+      let cell = function
+        | Some ns -> Bech_harness.pp_ns ns
+        | None -> "skipped"
+      in
+      Printf.printf "  %6d %10d %8d %14s %14s %14s\n" n (List.length sat)
+        (d "cavsat.sat_calls")
+        (Bech_harness.pp_ns sat_ns) (cell enum_ns) (cell asp_ns);
+      Bench_json.record ~bench:"b17"
+        ([
+           ("n", Bench_json.int n);
+           ("route", Bench_json.str (Cqa.Engine.route_label plan.route));
+           ("certain", Bench_json.int (List.length sat));
+           ("sat_calls", Bench_json.int (d "cavsat.sat_calls"));
+           ("repairs_enumerated_during_sat",
+            Bench_json.int (d "repairs.enumerations"));
+           ("sat_ns", Bench_json.num sat_ns);
+         ]
+        @ (match enum_ns with
+          | Some ns -> [ ("enum_ns", Bench_json.num ns) ]
+          | None -> [ ("enum_skipped", Bench_json.str "timeout") ])
+        @
+        match asp_ns with
+        | Some ns -> [ ("asp_ns", Bench_json.num ns) ]
+        | None -> [ ("asp_skipped", Bench_json.str "timeout") ]))
+    sizes;
+  print_newline ()
+
 let all =
   [
     ("b1", b1); ("b2", b2); ("b3", b3); ("b4", b4); ("b5", b5); ("b6", b6);
     ("b7", b7); ("b8", b8); ("b9", b9); ("b10", b10); ("b11", b11);
     ("b12", b12); ("b13", b13); ("b14", b14); ("b15", b15); ("b16", b16);
+    ("b17", b17);
   ]
 
 let run ~quick ids =

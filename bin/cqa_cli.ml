@@ -131,10 +131,13 @@ let method_arg =
              ("rewriting", `Residue_rewriting);
              ("key-rewriting", `Key_rewriting);
              ("asp", `Asp);
+             ("sat", `Sat);
            ])
         `Auto
     & info [ "method" ] ~docv:"M"
-        ~doc:"CQA method: auto, enum, rewriting, key-rewriting or asp.")
+        ~doc:
+          "CQA method: auto, enum, rewriting, key-rewriting, asp or sat \
+           (CAvSAT-style SAT compilation; denial-class constraints).")
 
 let query_arg =
   Arg.(required & opt (some string) None & info [ "query"; "q" ] ~docv:"NAME" ~doc:"Query name.")

@@ -1,0 +1,94 @@
+module Tid = Relational.Tid
+module Instance = Relational.Instance
+module Ic = Constraints.Ic
+module Dpll = Sat.Dpll.Incremental
+
+let c_queries = Obs.Counter.make "cavsat.queries"
+let c_candidates = Obs.Counter.make "cavsat.candidates"
+let c_certain = Obs.Counter.make "cavsat.certain"
+let c_clean_witness = Obs.Counter.make "cavsat.clean_witness"
+let c_sat_calls = Obs.Counter.make "cavsat.sat_calls"
+let c_witness_clauses = Obs.Counter.make "cavsat.witness_clauses"
+
+(* Is [row] a certain answer?  Holding the theory lock: allocate a
+   selector s, assert per witness "s → some conflicting member of the
+   witness is deleted", and solve under assumption s.  A model is an
+   S-repair killing every witness, so SAT refutes certainty; UNSAT
+   proves every repair keeps a witness, i.e. the answer is certain (and
+   the solver retains the learned ¬s, retiring the selector).  On SAT
+   the selector is retired explicitly with a unit clause so later
+   candidates never revisit its clauses. *)
+let candidate_certain (theory : Theory.t) witnesses =
+  let conflicting w = Tid.Set.inter w theory.Theory.conflicting in
+  if List.exists (fun w -> Tid.Set.is_empty (conflicting w)) witnesses then begin
+    (* A witness no constraint touches survives in every repair. *)
+    Obs.Counter.incr c_clean_witness;
+    true
+  end
+  else begin
+    let solver = theory.Theory.solver in
+    let s = Dpll.fresh_var solver in
+    List.iter
+      (fun w ->
+        Obs.Counter.incr c_witness_clauses;
+        Dpll.add_clause solver
+          (-s
+          :: List.map
+               (fun tid -> -(Option.get (Theory.var_for theory tid)))
+               (Tid.Set.elements (conflicting w))))
+      witnesses;
+    Obs.Counter.incr c_sat_calls;
+    match Dpll.solve ~assumptions:[ s ] solver with
+    | Some _ ->
+        Dpll.add_clause solver [ -s ];
+        false
+    | None -> true
+  end
+
+let consistent_answers inst schema ics q =
+  List.iter
+    (fun ic ->
+      if not (Ic.is_denial_class ic) then
+        invalid_arg
+          (Printf.sprintf
+             "Cavsat.Certain.consistent_answers: %s is not a denial-class \
+              constraint (SAT compilation repairs by deletion only)"
+             (Ic.name ic)))
+    ics;
+  let sp = Obs.Trace.start "cavsat.certain_answers" in
+  Obs.Counter.incr c_queries;
+  match
+    let theory = Theory.cached inst schema ics in
+    if theory.Theory.no_repairs then []
+    else begin
+      let candidates = Witness.answers_with_witnesses q inst in
+      Obs.Counter.add c_candidates (List.length candidates);
+      Mutex.lock theory.Theory.lock;
+      let certain =
+        match
+          List.filter (fun (_, ws) -> candidate_certain theory ws) candidates
+        with
+        | rows -> rows
+        | exception e ->
+            Mutex.unlock theory.Theory.lock;
+            raise e
+      in
+      Mutex.unlock theory.Theory.lock;
+      Obs.Counter.add c_certain (List.length certain);
+      if Obs.Trace.is_enabled () then begin
+        Obs.Trace.attr_int "vars" (Sat.Dpll.Incremental.nvars theory.Theory.solver);
+        Obs.Trace.attr_int "clauses"
+          (Sat.Dpll.Incremental.nclauses theory.Theory.solver);
+        Obs.Trace.attr_int "conflict_edges" theory.Theory.base.Theory.conflict_edges;
+        Obs.Trace.attr_int "candidates" (List.length candidates);
+        Obs.Trace.attr_int "certain" (List.length certain)
+      end;
+      List.map fst certain
+    end
+  with
+  | rows ->
+      Obs.Trace.finish sp;
+      rows
+  | exception e ->
+      Obs.Trace.finish sp;
+      raise e

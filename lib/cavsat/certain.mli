@@ -1,0 +1,28 @@
+(** SAT-compiled consistent query answering for the coNP-hard tier
+    (CAvSAT-style; Dixit–Kolaitis).
+
+    Certainty of each candidate answer is decided without materializing
+    a single repair: the candidate's witnesses are compiled to clauses
+    over the shared repair {!Theory}, and one incremental SAT call under
+    a per-candidate selector assumption asks for an S-repair killing
+    every witness.  UNSAT ⇔ the answer is certain.
+
+    Counters: [cavsat.queries], [cavsat.candidates], [cavsat.certain],
+    [cavsat.clean_witness] (candidates settled without a SAT call),
+    [cavsat.sat_calls], [cavsat.witness_clauses], plus the theory-layer
+    [cavsat.theory_builds] / [cavsat.theory_cache_hits] /
+    [cavsat.vars] / [cavsat.clauses].  The [cavsat.certain_answers]
+    span carries vars/clauses/conflict_edges/candidates/certain
+    attributes for EXPLAIN. *)
+
+val consistent_answers :
+  Relational.Instance.t ->
+  Relational.Schema.t ->
+  Constraints.Ic.t list ->
+  Logic.Cq.t ->
+  Relational.Value.t list list
+(** Consistent answers under S-repair semantics; agrees with
+    [Engine.consistent_answers ~method_:`Repair_enumeration] on every
+    denial-class input.  Raises [Invalid_argument] when some constraint
+    is not denial-class (inclusion dependencies repair by insertion;
+    the conflict-graph theory does not capture them). *)

@@ -1,0 +1,16 @@
+(** Candidate answers with witnesses.
+
+    The candidate answers of a conjunctive query on an inconsistent
+    instance are its plain answers; each comes with the distinct tid
+    sets of the body matches ("witnesses") producing it.  A candidate
+    holds in a repair iff some witness tid set is contained in it, which
+    is exactly what the SAT encoding needs to assert "no surviving
+    witness". *)
+
+val answers_with_witnesses :
+  Logic.Cq.t ->
+  Relational.Instance.t ->
+  (Relational.Value.t list * Relational.Tid.Set.t list) list
+(** Distinct answer rows in sorted order (matching [Cq.answers]), each
+    with at least one witness.  A Boolean query yields the empty row
+    when its body is satisfiable. *)

@@ -9,7 +9,12 @@ type t = {
 }
 
 type answer_method =
-  [ `Repair_enumeration | `Residue_rewriting | `Key_rewriting | `Asp | `Auto ]
+  [ `Repair_enumeration
+  | `Residue_rewriting
+  | `Key_rewriting
+  | `Asp
+  | `Sat
+  | `Auto ]
 
 let c_queries = Obs.Counter.make "engine.queries"
 
@@ -18,6 +23,7 @@ let method_label = function
   | `Residue_rewriting -> "residue_rewriting"
   | `Key_rewriting -> "key_rewriting"
   | `Asp -> "asp"
+  | `Sat -> "sat"
   | `Auto -> "auto"
 
 let create ~schema ~ics instance = { instance; schema; ics }
@@ -67,14 +73,19 @@ let by_key_rewriting t q =
 
 (* --- static planning (method=auto) ----------------------------------- *)
 
-type route = [ `Direct | `Key_rewriting | `Repair_enumeration ]
+type route = [ `Direct | `Key_rewriting | `Sat_compilation | `Repair_enumeration ]
 
 type plan = { route : route; classification : Analysis.Classify.t }
 
 let route_label = function
   | `Direct -> "direct"
   | `Key_rewriting -> "key_rewriting"
+  | `Sat_compilation -> "sat_compilation"
   | `Repair_enumeration -> "repair_enumeration"
+
+let denial_class t = List.for_all Ic.is_denial_class t.ics
+
+let by_sat t q = Cavsat.Certain.consistent_answers t.instance t.schema t.ics q
 
 let plan t q =
   let classification = Analysis.Classify.classify t.ics q in
@@ -85,6 +96,14 @@ let plan t q =
            the plain answers are already the certain answers. *)
         `Direct
     | Analysis.Classify.Fo_rewritable, _ -> `Key_rewriting
+    | Analysis.Classify.Conp_complete_candidate, _ when denial_class t ->
+        (* The dichotomy's hard side: no FO rewriting exists, but the
+           repairs are the maximal independent sets of the conflict
+           graph, so certainty compiles to (incremental) SAT instead of
+           materializing exponentially many repairs.  The denial-class
+           guard keeps non-relevant INDs (repaired by insertion) off
+           this route. *)
+        `Sat_compilation
     | _ -> `Repair_enumeration
   in
   { route; classification }
@@ -93,6 +112,7 @@ let run_plan t q p =
   match p.route with
   | `Direct -> Logic.Cq.answers q t.instance
   | `Repair_enumeration -> by_repair_enumeration t q
+  | `Sat_compilation -> by_sat t q
   | `Key_rewriting -> (
       let keys = Analysis.Classify.rewrite_keys t.ics q in
       match Rewriting.Key_rewrite.consistent_answers q ~keys t.instance with
@@ -102,17 +122,33 @@ let run_plan t q p =
              is unreachable; enumeration keeps even a divergence sound. *)
           by_repair_enumeration t q)
 
+(* The branch a non-auto method executes — EXPLAIN and the trace
+   attrs report it uniformly whether or not planning was involved. *)
+let method_route : answer_method -> string = function
+  | `Repair_enumeration -> "repair_enumeration"
+  | `Residue_rewriting -> "residue_rewriting"
+  | `Key_rewriting -> "key_rewriting"
+  | `Asp -> "asp"
+  | `Sat -> route_label `Sat_compilation
+  | `Auto -> "auto"
+
 let consistent_answers ?(method_ = `Auto) t q =
   let sp = Obs.Trace.start "engine.certain_answers" in
   Obs.Counter.incr c_queries;
-  if Obs.Trace.is_enabled () then
+  if Obs.Trace.is_enabled () then begin
     Obs.Trace.attr "method" (method_label method_);
+    if method_ <> `Auto then Obs.Trace.attr "route" (method_route method_)
+  end;
   match
     match method_ with
     | `Repair_enumeration -> by_repair_enumeration t q
     | `Residue_rewriting ->
         Rewriting.Residue_rewrite.consistent_answers q t.schema t.ics t.instance
     | `Asp -> Repair_programs.Asp_cqa.consistent_answers q t.schema t.ics t.instance
+    | `Sat ->
+        (* Exact on every denial-class input, whatever the verdict;
+           Cavsat rejects INDs with the precise message. *)
+        by_sat t q
     | `Key_rewriting -> (
         match by_key_rewriting t q with
         | Some rows -> rows

@@ -20,7 +20,12 @@ type t = private {
 }
 
 type answer_method =
-  [ `Repair_enumeration | `Residue_rewriting | `Key_rewriting | `Asp | `Auto ]
+  [ `Repair_enumeration
+  | `Residue_rewriting
+  | `Key_rewriting
+  | `Asp
+  | `Sat
+  | `Auto ]
 
 val create :
   schema:Relational.Schema.t ->
@@ -30,9 +35,11 @@ val create :
 
 val is_consistent : t -> bool
 
-type route = [ `Direct | `Key_rewriting | `Repair_enumeration ]
+type route = [ `Direct | `Key_rewriting | `Sat_compilation | `Repair_enumeration ]
 (** What [`Auto] will actually execute: plain evaluation (no relevant
-    constraints), the Fuxman–Miller rewriting, or repair enumeration. *)
+    constraints), the Fuxman–Miller rewriting, CAvSAT-style SAT
+    compilation (the classifier's [Conp_complete_candidate] tier under
+    denial-class constraints), or repair enumeration. *)
 
 type plan = { route : route; classification : Analysis.Classify.t }
 
@@ -51,11 +58,15 @@ val consistent_answers :
 (** Consistent answers under S-repairs.  [`Auto] (default) consults
     {!plan}: the Fuxman–Miller rewriting when the classifier proves the
     (constraints, query) pair FO-rewritable, plain evaluation when no
-    constraint touches the query's relations, and repair enumeration
-    otherwise.  [`Key_rewriting] raises [Invalid_argument] when not
-    applicable, with the classifier's witness in the message;
-    [`Residue_rewriting] answers whatever its (incomplete) rewriting
-    produces — see {!Rewriting.Residue_rewrite}. *)
+    constraint touches the query's relations, SAT compilation on the
+    classifier's coNP-hard tier (denial-class constraints only), and
+    repair enumeration otherwise.  [`Sat] forces the SAT backend
+    ({!Cavsat.Certain}) — exact on any denial-class input, raising
+    [Invalid_argument] on inclusion dependencies.  [`Key_rewriting]
+    raises [Invalid_argument] when not applicable, with the
+    classifier's witness in the message; [`Residue_rewriting] answers
+    whatever its (incomplete) rewriting produces — see
+    {!Rewriting.Residue_rewrite}. *)
 
 val consistent_answers_c : t -> Logic.Cq.t -> Relational.Value.t list list
 (** Consistent answers under C-repairs (ASP with weak constraints). *)

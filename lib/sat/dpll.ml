@@ -2,10 +2,13 @@ type model = bool array
 
 (* Solver counters (repo-wide obs registry): decisions are branch
    attempts, propagations are unit-forced assignments, conflicts are
-   falsified clauses met during propagation. *)
-let c_decisions = Obs.Counter.make "sat.decisions"
-let c_propagations = Obs.Counter.make "sat.propagations"
-let c_conflicts = Obs.Counter.make "sat.conflicts"
+   falsified clauses met during propagation.  All solver-layer counters
+   share the sat.dpll.* prefix so STATS renders them as one group. *)
+let c_decisions = Obs.Counter.make "sat.dpll.decisions"
+let c_propagations = Obs.Counter.make "sat.dpll.propagations"
+let c_conflicts = Obs.Counter.make "sat.dpll.conflicts"
+let c_learned = Obs.Counter.make "sat.dpll.learned"
+let c_inc_solves = Obs.Counter.make "sat.dpll.incremental_solves"
 
 type state = {
   clauses : int array array;
@@ -282,3 +285,161 @@ let model_true_vars m =
     if m.(v) then acc := v :: !acc
   done;
   !acc
+
+(* ------------------------------------------------------------------ *)
+(* Incremental solving.
+
+   A persistent solver that accepts clauses and variables between calls
+   and solves under per-call assumption literals.  The clause store and
+   occurrence lists grow in place (capacity doubling), so the formula
+   built by earlier calls is never re-indexed; each [solve] only pays
+   for what was added since the last one.  When a call is unsatisfiable
+   under non-empty assumptions the clause over their negations is
+   implied by the formula, so it is retained — callers that probe one
+   selector literal per candidate (lib/cavsat) get their refuted
+   selectors retired automatically. *)
+
+module Incremental = struct
+  type solver = {
+    mutable clauses : int array array; (* capacity-doubled; [0, n) used *)
+    mutable n : int;
+    mutable occ : int list array; (* literal index -> clause indices *)
+    mutable nvars : int;
+    mutable assign : int array;
+    mutable trail : int array;
+    mutable synced_vars : int; (* assign/trail are sized for this many *)
+    mutable zero_weight : float array;
+    mutable learned : int;
+    mutable root_unsat : bool; (* an empty clause was added *)
+  }
+
+  type t = solver
+
+  let create () =
+    {
+      clauses = Array.make 16 [||];
+      n = 0;
+      occ = Array.make 64 [];
+      nvars = 0;
+      assign = [||];
+      trail = [||];
+      synced_vars = -1;
+      zero_weight = [||];
+      learned = 0;
+      root_unsat = false;
+    }
+
+  let nvars t = t.nvars
+  let nclauses t = t.n
+  let learned_clauses t = t.learned
+
+  let fresh_var t =
+    t.nvars <- t.nvars + 1;
+    t.nvars
+
+  let reserve t v = if v > t.nvars then t.nvars <- v
+
+  let ensure_occ t idx =
+    if idx >= Array.length t.occ then begin
+      let cap = ref (max 64 (Array.length t.occ)) in
+      while idx >= !cap do
+        cap := !cap * 2
+      done;
+      let occ = Array.make !cap [] in
+      Array.blit t.occ 0 occ 0 (Array.length t.occ);
+      t.occ <- occ
+    end
+
+  let add_clause t lits =
+    match lits with
+    | [] -> t.root_unsat <- true
+    | _ ->
+        let arr = Array.of_list lits in
+        Array.iter
+          (fun l ->
+            if l = 0 then invalid_arg "Dpll.Incremental.add_clause: literal 0";
+            reserve t (abs l))
+          arr;
+        if t.n >= Array.length t.clauses then begin
+          let clauses = Array.make (2 * Array.length t.clauses) [||] in
+          Array.blit t.clauses 0 clauses 0 t.n;
+          t.clauses <- clauses
+        end;
+        let ci = t.n in
+        t.clauses.(ci) <- arr;
+        t.n <- t.n + 1;
+        Array.iter
+          (fun l ->
+            let idx = lit_index l in
+            ensure_occ t idx;
+            t.occ.(idx) <- ci :: t.occ.(idx))
+          arr
+
+  (* Size the assignment structures for the current variable count.  The
+     trail is always empty between solves, so growing them is a plain
+     reallocation, not a migration. *)
+  let sync t =
+    if t.synced_vars <> t.nvars then begin
+      t.assign <- Array.make (t.nvars + 1) 0;
+      t.trail <- Array.make (max 1 t.nvars) 0;
+      t.zero_weight <- Array.make (t.nvars + 1) 0.0;
+      ensure_occ t ((2 * t.nvars) + 1);
+      t.synced_vars <- t.nvars
+    end
+
+  (* A [state] view over the shared arrays: [search]/[propagate] run
+     unchanged on it, and [undo_to 0] afterwards restores the blank
+     assignment for the next call. *)
+  let view t =
+    {
+      clauses = t.clauses;
+      nclauses = t.n;
+      occ = t.occ;
+      assign = t.assign;
+      trail = t.trail;
+      trail_len = 0;
+      weight = t.zero_weight;
+      cost = 0.0;
+    }
+
+  let solve ?(assumptions = []) t =
+    let sp = Obs.Trace.start "sat.dpll.solve" in
+    Obs.Counter.incr c_inc_solves;
+    let result =
+      if t.root_unsat then None
+      else begin
+        List.iter (fun l -> reserve t (abs l)) assumptions;
+        sync t;
+        let st = view t in
+        let outcome =
+          if not (List.for_all (fun l -> assume st l) assumptions) then None
+          else begin
+            let found = ref None in
+            (try
+               search st ~bound:(ref infinity) ~on_model:(fun _ m ->
+                   found := Some m;
+                   raise Stop)
+             with Stop -> ());
+            !found
+          end
+        in
+        undo_to st 0;
+        (match outcome with
+        | None when assumptions <> [] ->
+            (* UNSAT under assumptions: the formula implies the clause of
+               their negations.  Keep it, so the refutation is never
+               re-derived. *)
+            add_clause t (List.map (fun l -> -l) assumptions);
+            t.learned <- t.learned + 1;
+            Obs.Counter.incr c_learned
+        | _ -> ());
+        outcome
+      end
+    in
+    if Obs.Trace.is_enabled () then
+      Obs.Trace.attr "sat" (if result = None then "unsat" else "sat");
+    Obs.Trace.finish sp;
+    result
+
+  let satisfiable ?assumptions t = solve ?assumptions t <> None
+end

@@ -38,3 +38,42 @@ val minimize :
     reaches the incumbent are pruned. *)
 
 val model_true_vars : model -> int list
+
+(** Incremental solving: a persistent solver that accepts clauses and
+    fresh variables between calls and solves under per-call assumption
+    literals.  The clause store and occurrence lists grow in place, so
+    clauses added once (e.g. the conflict-graph theory a lib/cavsat
+    certainty check shares across all answer candidates) are indexed
+    once.  A call that is unsatisfiable under non-empty assumptions
+    retains the implied clause over the negated assumptions
+    (learned-clause retention); counters live under [sat.dpll.*]. *)
+module Incremental : sig
+  type t
+
+  val create : unit -> t
+
+  val fresh_var : t -> int
+  (** Allocate the next variable number. *)
+
+  val reserve : t -> int -> unit
+  (** Ensure the variable range covers the given number. *)
+
+  val add_clause : t -> int list -> unit
+  (** Add a clause (non-zero literals).  The empty clause marks the
+      solver permanently unsatisfiable. *)
+
+  val solve : ?assumptions:int list -> t -> model option
+  (** One satisfying assignment of all clauses added so far under the
+      assumption literals, or [None].  On [None] with non-empty
+      assumptions the clause of their negations is added to the solver
+      (it is implied), so a refuted single-literal assumption behaves
+      like a retired selector. *)
+
+  val satisfiable : ?assumptions:int list -> t -> bool
+
+  val nvars : t -> int
+  val nclauses : t -> int
+
+  val learned_clauses : t -> int
+  (** Number of assumption-refutation clauses retained so far. *)
+end

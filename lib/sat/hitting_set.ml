@@ -2,7 +2,7 @@ module Iset = Set.Make (Int)
 
 (* Branch nodes explored by the minimal-hitting-set search — one per
    partial set extended; the repair enumerator's work unit. *)
-let c_nodes = Obs.Counter.make "sat.hs_nodes"
+let c_nodes = Obs.Counter.make "sat.hitting_set.nodes"
 
 let is_hitting edges set =
   let s = Iset.of_list set in

@@ -16,9 +16,9 @@ type t = {
 let create ?(cache_capacity = 512) ?(max_body_lines = 10_000) ?on_trace ?events
     ?slow_ms ?(clock = Unix.gettimeofday) () =
   let metrics = Metrics.create () in
-  (* Route the solver counters (sat.decisions, repairs.candidates, and
-     friends) into this handler's registry so STATS renders request and
-     solver telemetry through one path. *)
+  (* Route the solver counters (sat.dpll.decisions, cavsat.sat_calls,
+     repairs.candidates, and friends) into this handler's registry so
+     STATS renders request and solver telemetry through one path. *)
   Obs.Registry.set_current (Metrics.registry metrics);
   {
     sessions = Session.create_store ();
@@ -62,6 +62,7 @@ let method_label : P.method_ -> string = function
   | P.Rewriting -> "rewriting"
   | P.Key_rewriting -> "key-rewriting"
   | P.Asp -> "asp"
+  | P.Sat -> "sat"
 
 let semantics_label : P.semantics -> string = function P.S -> "s" | P.C -> "c"
 
@@ -71,6 +72,7 @@ let engine_method : P.method_ -> Cqa.Engine.answer_method = function
   | P.Rewriting -> `Residue_rewriting
   | P.Key_rewriting -> `Key_rewriting
   | P.Asp -> `Asp
+  | P.Sat -> `Sat
 
 let with_session t sid f =
   match Session.find t.sessions sid with
@@ -119,6 +121,13 @@ let exec_query (session : Session.t) name method_ semantics =
       | _, P.C -> P.err "C-repair semantics supports single queries only"
       | _, P.S -> (
           match method_ with
+          | P.Sat ->
+              P.err
+                (Printf.sprintf
+                   "method=sat not applicable to %S: the SAT backend compiles \
+                    single conjunctive queries (union has %d disjuncts)"
+                   name
+                   (List.length u.Logic.Ucq.disjuncts))
           | P.Rewriting | P.Key_rewriting ->
               (* Refuse rather than silently running a different (and
                  differently priced) algorithm than the one requested —
@@ -144,6 +153,56 @@ let query_cache_key (session : Session.t) name method_ semantics =
       session.digest; "query"; name; method_label method_;
       semantics_label semantics;
     ]
+
+(* The plan section of EXPLAIN: the Engine.plan branch the request
+   executes (direct / key_rewriting / sat_compilation /
+   repair_enumeration, or the forced method's branch) and the
+   classifier's verdict.  Emitted on every successful EXPLAIN whatever
+   the method, semantics, or cache state. *)
+let plan_lines (session : Session.t) name method_ semantics =
+  match Cqa.Parse.find_ucq session.doc name with
+  | exception Not_found -> []
+  | u -> (
+      match u.Logic.Ucq.disjuncts with
+      | [ q ] ->
+          let p = Cqa.Engine.plan session.engine q in
+          let branch =
+            match (semantics, method_) with
+            | P.C, _ -> "asp_c"
+            | P.S, P.Auto -> Cqa.Engine.route_label p.Cqa.Engine.route
+            | P.S, P.Enum -> "repair_enumeration"
+            | P.S, P.Rewriting -> "residue_rewriting"
+            | P.S, P.Key_rewriting -> "key_rewriting"
+            | P.S, P.Asp -> "asp"
+            | P.S, P.Sat -> "sat_compilation"
+          in
+          [
+            "-- plan";
+            Printf.sprintf "branch %s" branch;
+            Printf.sprintf "verdict %s witness %s"
+              (Analysis.Classify.verdict_label
+                 p.Cqa.Engine.classification.Analysis.Classify.verdict)
+              (Analysis.Classify.witness_code
+                 p.Cqa.Engine.classification.Analysis.Classify.witness);
+            Printf.sprintf "auto_route %s"
+              (Cqa.Engine.route_label p.Cqa.Engine.route);
+          ]
+      | disjuncts ->
+          let c = Analysis.Classify.classify_ucq session.doc.ics u in
+          let branch =
+            match (semantics, method_) with
+            | P.C, _ -> "asp_c"
+            | P.S, P.Asp -> "asp"
+            | P.S, _ -> "repair_enumeration"
+          in
+          [
+            "-- plan";
+            Printf.sprintf "branch %s (union query, %d disjuncts)" branch
+              (List.length disjuncts);
+            Printf.sprintf "verdict %s witness %s"
+              (Analysis.Classify.verdict_label c.Analysis.Classify.verdict)
+              (Analysis.Classify.witness_code c.Analysis.Classify.witness);
+          ])
 
 (* EXPLAIN runs the query fresh under a private trace sink and reports
    what it cost: whether an equivalent QUERY would be answered from the
@@ -172,7 +231,8 @@ let exec_explain t (session : Session.t) name method_ semantics =
         | exception Not_found -> []
       in
       let body =
-        (Printf.sprintf "cache %s key=%s" cache_state key :: analysis)
+        Printf.sprintf "cache %s key=%s" cache_state key
+        :: (plan_lines session name method_ semantics @ analysis)
         @ ("-- spans" :: Obs.Export.tree spans)
         @ "-- counters"
           :: List.map (fun (n, v) -> Printf.sprintf "%s %d" n v) deltas

@@ -4,7 +4,8 @@
 
     Built on {!Obs.Registry}: the handler installs its metrics registry
     as the process-current one, so the solver counters threaded through
-    [lib/obs] (sat.decisions, repairs.candidates, ...) land in the same
+    [lib/obs] (sat.dpll.decisions, cavsat.sat_calls, repairs.candidates,
+    ...) land in the same
     registry and render through the same [render] (the STATS command and
     the server's [--metrics-dump] flag). *)
 

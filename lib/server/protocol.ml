@@ -1,7 +1,7 @@
 module Value = Relational.Value
 
 type semantics = S | C
-type method_ = Auto | Enum | Rewriting | Key_rewriting | Asp
+type method_ = Auto | Enum | Rewriting | Key_rewriting | Asp | Sat
 
 type command =
   | Load of string
@@ -53,6 +53,7 @@ let method_of = function
   | "rewriting" -> Ok Rewriting
   | "key-rewriting" -> Ok Key_rewriting
   | "asp" -> Ok Asp
+  | "sat" -> Ok Sat
   | s -> Error (Printf.sprintf "unknown method %S" s)
 
 (* QUERY options: [method=M] and [semantics=S] tokens in any order. *)

@@ -5,7 +5,7 @@
 
     {v
     LOAD <sid>                   % then Cqa.Parse document lines, then "."
-    QUERY <sid> <name> [method=auto|enum|rewriting|key-rewriting|asp]
+    QUERY <sid> <name> [method=auto|enum|rewriting|key-rewriting|asp|sat]
                        [semantics=s|c]
     CHECK <sid>
     REPAIRS <sid> [s|c]
@@ -14,7 +14,7 @@
     STATS
     METRICS
     TRACE on|off
-    EXPLAIN <sid> <name> [method=auto|enum|rewriting|key-rewriting|asp]
+    EXPLAIN <sid> <name> [method=auto|enum|rewriting|key-rewriting|asp|sat]
                          [semantics=s|c]
     ANALYZE <sid> [<query-name>]
     CLOSE <sid>
@@ -27,7 +27,7 @@
 
 type semantics = S | C
 
-type method_ = Auto | Enum | Rewriting | Key_rewriting | Asp
+type method_ = Auto | Enum | Rewriting | Key_rewriting | Asp | Sat
 
 type command =
   | Load of string  (** session id; the document payload follows *)

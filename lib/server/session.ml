@@ -15,9 +15,13 @@ let create_store () : store = Hashtbl.create 16
 let count = Hashtbl.length
 
 (* The digest keys the shared answer cache, so it must cover everything
-   an answer depends on: facts, ICs, and the query definitions (a
-   re-LOAD may redefine a query name over the same instance). *)
+   an answer depends on: the schema, facts, ICs, and the query
+   definitions (a re-LOAD may redefine a query name — or a relation's
+   attributes — over the same facts; ANALYZE output in particular
+   depends on the schema alone, so omitting it would let a re-LOAD
+   serve a stale memoized analysis). *)
 let digest_of (doc : Cqa.Parse.document) =
+  let schema = Format.asprintf "%a" Relational.Schema.pp doc.schema in
   let facts =
     Instance.fact_list doc.instance
     |> List.map Fact.to_string
@@ -33,7 +37,8 @@ let digest_of (doc : Cqa.Parse.document) =
   in
   Digest.to_hex
     (Digest.string
-       (String.concat "\x00" (ics @ ("" :: facts) @ ("" :: queries))))
+       (String.concat "\x00"
+          ((schema :: ics) @ ("" :: facts) @ ("" :: queries))))
 
 let engine_of (doc : Cqa.Parse.document) =
   Cqa.Engine.create ~schema:doc.schema ~ics:doc.ics doc.instance

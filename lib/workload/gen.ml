@@ -87,6 +87,95 @@ let ind_instance ?(seed = 42) ~n ~dangling_fraction () =
       [ ("Supply", !supply); ("Articles", !articles) ],
     supply_ind )
 
+(* ------------------------------------------------------------------ *)
+(* The coNP-hard join pattern: q(x) :- R(x,y), S(z,y) under keys R[0],
+   S[0].  The existential join variable y links two non-key positions,
+   which is exactly the shape the classifier flags Conp_complete_candidate
+   and routes to the SAT backend.  The generator plants gadgets whose
+   certainty status is known by construction, so benches can assert
+   correctness at sizes where repair enumeration cannot finish. *)
+
+let hard_join_schema =
+  Schema.of_list [ ("R", [ "a"; "b" ]); ("S", [ "c"; "d" ]) ]
+
+let hard_join_keys = [ Ic.key ~rel:"R" [ 0 ]; Ic.key ~rel:"S" [ 0 ] ]
+
+let hard_join_query () =
+  Cq.make ~name:"hard" [ Term.var "x" ]
+    [
+      Atom.make "R" [ Term.var "x"; Term.var "y" ];
+      Atom.make "S" [ Term.var "z"; Term.var "y" ];
+    ]
+
+let hard_join_instance ~n ~conflict_fraction () =
+  let r_rows = ref [] and s_rows = ref [] in
+  let certain = ref [] in
+  let total = ref 0 and conflicting = ref 0 in
+  (* Disjoint value pools keep gadgets independent: every key and every
+     join value is used by exactly one gadget, so no accidental witness
+     crosses gadget boundaries. *)
+  let next_r = ref 0 and next_s = ref 500_000 and next_j = ref 1_000_000 in
+  let r_key () = let k = !next_r in incr next_r; Value.int k in
+  let s_key () = let k = !next_s in incr next_s; Value.int k in
+  let join () = let j = !next_j in incr next_j; Value.int j in
+  let add_r row = r_rows := row :: !r_rows; incr total in
+  let add_s row = s_rows := row :: !s_rows; incr total in
+  let gadget = ref 0 in
+  while !total < n do
+    let under =
+      float_of_int !conflicting
+      < conflict_fraction *. float_of_int (max 1 !total)
+    in
+    if not under then begin
+      (* Clean pair R(k,j), S(s,j): certain via the clean-witness path. *)
+      let k = r_key () and s = s_key () and j = join () in
+      add_r [ k; j ];
+      add_s [ s; j ];
+      certain := [ k ] :: !certain
+    end
+    else begin
+      (match !gadget mod 4 with
+      | 0 ->
+          (* Uncertain R-block: key group {R(k,j1), R(k,j2)}, witness
+             only for the j1 claimant — repairs keeping j2 lose x=k. *)
+          let k = r_key () and j1 = join () and j2 = join () in
+          add_r [ k; j1 ];
+          add_r [ k; j2 ];
+          add_s [ s_key (); j1 ]
+      | 1 ->
+          (* Certain R-block: both claimants have a surviving witness,
+             so x=k holds in every repair — but only a SAT refutation
+             (no clean witness exists) can prove it. *)
+          let k = r_key () and j1 = join () and j2 = join () in
+          add_r [ k; j1 ];
+          add_r [ k; j2 ];
+          add_s [ s_key (); j1 ];
+          add_s [ s_key (); j2 ];
+          certain := [ k ] :: !certain
+      | 2 ->
+          (* Uncertain S-block: the only witness's S tuple is contested
+             by a claimant whose join value matches nothing. *)
+          let k = r_key () and s = s_key () and j = join () in
+          add_r [ k; j ];
+          add_s [ s; j ];
+          add_s [ s; join () ]
+      | _ ->
+          (* Certain S-block: contested S tuple shadowed by a clean
+             backup with the same join value. *)
+          let k = r_key () and s = s_key () and j = join () in
+          add_r [ k; j ];
+          add_s [ s; j ];
+          add_s [ s; join () ];
+          add_s [ s_key (); j ];
+          certain := [ k ] :: !certain);
+      conflicting := !conflicting + 2;
+      incr gadget
+    end
+  done;
+  ( Instance.of_rows hard_join_schema [ ("R", !r_rows); ("S", !s_rows) ],
+    hard_join_keys,
+    List.sort compare !certain )
+
 let employees_query () =
   Cq.make ~name:"proj" [ Term.var "x" ]
     [ Atom.make "T" [ Term.var "x"; Term.var "v" ] ]

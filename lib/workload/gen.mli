@@ -39,6 +39,32 @@ val ind_instance :
 (** Supply/Articles with an inclusion dependency; a fraction of Supply
     tuples reference missing articles. *)
 
+val hard_join_schema : Relational.Schema.t
+(** R(a,b), S(c,d) — the schema of the coNP-hard join workload. *)
+
+val hard_join_keys : Constraints.Ic.t list
+(** Primary keys R[a], S[c]. *)
+
+val hard_join_query : unit -> Logic.Cq.t
+(** q(x) :- R(x,y), S(z,y): the existential join variable [y] connects
+    two non-key positions, so consistent answering is coNP-complete and
+    the engine's auto route is [sat_compilation]. *)
+
+val hard_join_instance :
+  n:int ->
+  conflict_fraction:float ->
+  unit ->
+  Relational.Instance.t * Constraints.Ic.t list * Relational.Value.t list list
+(** Deterministic instance of ~[n] tuples over [hard_join_schema] built
+    from self-contained gadgets (uncertain/certain key blocks on either
+    relation plus clean pairs) until the fraction of conflicting tuples
+    reaches [conflict_fraction].  Returns the instance, the key
+    constraints, and the exact sorted list of certain answers to
+    [hard_join_query] — known by construction, so benches can assert
+    correctness at sizes where repair enumeration is infeasible.  The
+    number of S-repairs is 2^(#key groups), i.e. exponential in
+    [n * conflict_fraction]. *)
+
 val employees_query : unit -> Logic.Cq.t
 (** The projection query Q(x): ∃v T(x, v) over the key-conflict schema. *)
 

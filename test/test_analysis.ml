@@ -317,11 +317,12 @@ let test_engine_rewriting_refusal_is_diagnostic () =
         (contains ~sub:"coNP_complete_candidate" msg);
       check Alcotest.bool "message names the join edge" true
         (contains ~sub:"nonkey" msg));
-  (* Auto still answers it, by sound fallback. *)
+  (* Auto still answers it — the coNP-hard tier now routes to SAT
+     compilation instead of enumerating repairs. *)
   let plan = Cqa.Engine.plan engine hard in
-  check Alcotest.string "fallback route" "repair_enumeration"
+  check Alcotest.string "hard-tier route" "sat_compilation"
     (Cqa.Engine.route_label plan.Cqa.Engine.route);
-  check Alcotest.int "fallback answers" 1
+  check Alcotest.int "hard-tier answers" 1
     (List.length (Cqa.Engine.consistent_answers engine hard))
 
 (* ---- Report determinism ------------------------------------------------ *)

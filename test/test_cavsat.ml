@@ -1,0 +1,320 @@
+(* The cqa-sat vertical: the incremental DPLL interface, the CAvSAT
+   repair theory and certainty pipeline, engine dispatch to the
+   sat_compilation route, and the SAT ≡ enumeration equivalence on
+   random inconsistent instances. *)
+
+module Schema = Relational.Schema
+module Instance = Relational.Instance
+module Value = Relational.Value
+module Ic = Constraints.Ic
+module Inc = Sat.Dpll.Incremental
+open Logic
+
+let check = Alcotest.check
+let x = Term.var "x"
+let y = Term.var "y"
+let z = Term.var "z"
+
+let rows = Alcotest.(list (list string))
+let strings_of = List.map (List.map Value.to_string)
+
+(* ---- Dpll.Incremental ------------------------------------------------ *)
+
+let test_incremental_basic () =
+  let s = Inc.create () in
+  Inc.add_clause s [ 1; 2 ];
+  Inc.add_clause s [ -1; 2 ];
+  check Alcotest.bool "sat" true (Inc.satisfiable s);
+  (* Growing the formula between calls is visible to the next call. *)
+  Inc.add_clause s [ -2 ];
+  check Alcotest.bool "now unsat" false (Inc.satisfiable s);
+  (* Root-level unsatisfiability is permanent. *)
+  check Alcotest.bool "still unsat" false (Inc.satisfiable s)
+
+let test_incremental_assumptions () =
+  let s = Inc.create () in
+  let a = Inc.fresh_var s and b = Inc.fresh_var s in
+  Inc.add_clause s [ -a; b ];
+  Inc.add_clause s [ -b ];
+  check Alcotest.bool "free: sat" true (Inc.satisfiable s);
+  check Alcotest.int "no learned clauses yet" 0 (Inc.learned_clauses s);
+  (* Assuming a forces b, contradicting ¬b: unsat under the assumption,
+     and the refutation ¬a is retained. *)
+  check Alcotest.bool "under a: unsat" false (Inc.satisfiable ~assumptions:[ a ] s);
+  check Alcotest.int "refutation retained" 1 (Inc.learned_clauses s);
+  (match Inc.solve s with
+  | None -> Alcotest.fail "formula itself is satisfiable"
+  | Some m -> check Alcotest.bool "learned unit forces a false" false m.(a));
+  (* The solver stays reusable after an unsat call. *)
+  check Alcotest.bool "still sat free" true (Inc.satisfiable s)
+
+let test_incremental_empty_clause () =
+  let s = Inc.create () in
+  Inc.add_clause s [ 1 ];
+  Inc.add_clause s [];
+  check Alcotest.bool "empty clause: unsat" false (Inc.satisfiable s)
+
+let test_incremental_many_selectors () =
+  (* The cavsat usage pattern: a fixed theory, then one selector per
+     probe, each retired after its call. *)
+  let s = Inc.create () in
+  let v1 = Inc.fresh_var s and v2 = Inc.fresh_var s in
+  Inc.add_clause s [ v1; v2 ];
+  Inc.add_clause s [ -v1; -v2 ];
+  for _ = 1 to 20 do
+    let sel = Inc.fresh_var s in
+    Inc.add_clause s [ -sel; v1 ];
+    Inc.add_clause s [ -sel; v2 ];
+    (match Inc.solve ~assumptions:[ sel ] s with
+    | Some _ -> Alcotest.fail "selector forces v1∧v2 against ¬(v1∧v2)"
+    | None -> ());
+    check Alcotest.bool "theory survives probe" true (Inc.satisfiable s)
+  done;
+  check Alcotest.int "twenty refutations retained" 20 (Inc.learned_clauses s)
+
+(* ---- Theory ---------------------------------------------------------- *)
+
+let rs_schema = Schema.of_list [ ("R", [ "a"; "b" ]); ("S", [ "c"; "d" ]) ]
+let rs_keys = [ Ic.key ~rel:"R" [ 0 ]; Ic.key ~rel:"S" [ 0 ] ]
+
+let test_theory_key_block () =
+  let db =
+    Instance.of_rows rs_schema
+      [
+        ("R", [ [ Value.int 1; Value.int 10 ]; [ Value.int 1; Value.int 11 ] ]);
+        ("S", [ [ Value.int 7; Value.int 10 ] ]);
+      ]
+  in
+  let t = Cavsat.Theory.build db rs_schema rs_keys in
+  check Alcotest.bool "repairs exist" false t.Cavsat.Theory.no_repairs;
+  (* One key group of two: x1, x2; ¬x1∨¬x2 and x1∨x2. *)
+  check Alcotest.int "two vars" 2 t.Cavsat.Theory.base.Cavsat.Theory.vars;
+  check Alcotest.int "two clauses" 2 t.Cavsat.Theory.base.Cavsat.Theory.clauses;
+  check Alcotest.int "one conflict edge" 1
+    t.Cavsat.Theory.base.Cavsat.Theory.conflict_edges;
+  (* Exactly the two singleton repairs: models = maximal independent sets. *)
+  match Inc.solve t.Cavsat.Theory.solver with
+  | None -> Alcotest.fail "theory of a repairable instance is satisfiable"
+  | Some m -> check Alcotest.bool "exactly one kept" true (m.(1) <> m.(2))
+
+let test_theory_cache () =
+  let db =
+    Instance.of_rows rs_schema
+      [ ("R", [ [ Value.int 1; Value.int 10 ]; [ Value.int 1; Value.int 11 ] ]) ]
+  in
+  let t1 = Cavsat.Theory.cached db rs_schema rs_keys in
+  let t2 = Cavsat.Theory.cached db rs_schema rs_keys in
+  check Alcotest.bool "same theory instance" true (t1 == t2)
+
+(* ---- Certain --------------------------------------------------------- *)
+
+(* q(x) :- R(x,y), S(z,y): the Fuxman–Miller coNP-hard pattern. *)
+let hard = Cq.make ~name:"hard" [ x ] [ Atom.make "R" [ x; y ]; Atom.make "S" [ z; y ] ]
+
+let certain_sat db q = Cavsat.Certain.consistent_answers db rs_schema rs_keys q
+
+let certain_enum db q =
+  let eng = Cqa.Engine.create ~schema:rs_schema ~ics:rs_keys db in
+  Cqa.Engine.consistent_answers ~method_:`Repair_enumeration eng q
+
+let test_certain_planted () =
+  let db =
+    Instance.of_rows rs_schema
+      [
+        ( "R",
+          [
+            (* uncertain: only one claimant's value has S support *)
+            [ Value.int 1; Value.int 10 ];
+            [ Value.int 1; Value.int 11 ];
+            (* certain despite conflict: both claimants supported *)
+            [ Value.int 2; Value.int 20 ];
+            [ Value.int 2; Value.int 21 ];
+            (* clean and supported *)
+            [ Value.int 3; Value.int 30 ];
+          ] );
+        ( "S",
+          [
+            [ Value.int 70; Value.int 10 ];
+            [ Value.int 71; Value.int 20 ];
+            [ Value.int 72; Value.int 21 ];
+            [ Value.int 73; Value.int 30 ];
+          ] );
+      ]
+  in
+  let sat = certain_sat db hard in
+  check rows "planted certain answers" [ [ "2" ]; [ "3" ] ] (strings_of sat);
+  check rows "agrees with enumeration" (strings_of (certain_enum db hard))
+    (strings_of sat)
+
+let test_certain_needs_maximality () =
+  (* Both claimants of the key group produce the SAME answer.  A
+     non-maximal consistent subset (drop both) kills every witness, but
+     every S-repair keeps one — so the answer is certain, and an
+     encoding without maximality clauses would wrongly refute it. *)
+  let db =
+    Instance.of_rows rs_schema
+      [
+        ("R", [ [ Value.int 1; Value.int 10 ]; [ Value.int 1; Value.int 11 ] ]);
+        ("S", [ [ Value.int 7; Value.int 10 ]; [ Value.int 8; Value.int 11 ] ]);
+      ]
+  in
+  check rows "certain through either claimant" [ [ "1" ] ]
+    (strings_of (certain_sat db hard));
+  check rows "agrees with enumeration" (strings_of (certain_enum db hard))
+    [ [ "1" ] ]
+
+let test_certain_boolean () =
+  let bool_q = Cq.make ~name:"b" [] [ Atom.make "R" [ x; y ]; Atom.make "S" [ z; y ] ] in
+  let db =
+    Instance.of_rows rs_schema
+      [
+        ("R", [ [ Value.int 1; Value.int 10 ]; [ Value.int 1; Value.int 11 ] ]);
+        ("S", [ [ Value.int 7; Value.int 10 ] ]);
+      ]
+  in
+  (* The only witness dies in the repair keeping R(1,11): not certain. *)
+  check rows "boolean not certain" [] (strings_of (certain_sat db bool_q));
+  check rows "enumeration agrees" (strings_of (certain_enum db bool_q)) [];
+  let db2 =
+    Instance.add db (Relational.Fact.make "S" [ Value.int 8; Value.int 11 ])
+  in
+  check rows "boolean certain" [ [] ] (strings_of (certain_sat db2 bool_q));
+  check rows "enumeration agrees too" (strings_of (certain_enum db2 bool_q))
+    [ [] ]
+
+let test_certain_rejects_inds () =
+  let schema =
+    Schema.of_list [ ("Supply", [ "c"; "r"; "i" ]); ("Articles", [ "i" ]) ]
+  in
+  let db = Instance.create schema in
+  let ind = Ic.ind ~sub:("Supply", [ 2 ]) ~sup:("Articles", [ 0 ]) in
+  let q = Cq.make ~name:"q" [ x ] [ Atom.make "Articles" [ x ] ] in
+  match Cavsat.Certain.consistent_answers db schema [ ind ] q with
+  | _ -> Alcotest.fail "SAT backend accepted an inclusion dependency"
+  | exception Invalid_argument msg ->
+      check Alcotest.bool "message names the constraint class" true
+        (String.length msg > 0
+        && Str.string_match (Str.regexp ".*denial-class.*") msg 0)
+
+(* ---- Engine dispatch ------------------------------------------------- *)
+
+let test_engine_auto_routes_to_sat () =
+  let db =
+    Instance.of_rows rs_schema
+      [
+        ("R", [ [ Value.int 1; Value.int 10 ]; [ Value.int 1; Value.int 11 ] ]);
+        ("S", [ [ Value.int 7; Value.int 10 ]; [ Value.int 8; Value.int 11 ] ]);
+      ]
+  in
+  let eng = Cqa.Engine.create ~schema:rs_schema ~ics:rs_keys db in
+  let plan = Cqa.Engine.plan eng hard in
+  check Alcotest.string "route" "sat_compilation"
+    (Cqa.Engine.route_label plan.Cqa.Engine.route);
+  (* The auto dispatch must not touch the repair enumerator. *)
+  let reg = Obs.Registry.current () in
+  let before = Obs.Registry.counter_snapshot reg in
+  let auto = Cqa.Engine.consistent_answers eng hard in
+  let delta = Obs.Registry.counter_delta ~since:before reg in
+  let d name = Option.value ~default:0 (List.assoc_opt name delta) in
+  check rows "auto answers" [ [ "1" ] ] (strings_of auto);
+  check Alcotest.int "zero repair enumerations" 0 (d "repairs.enumerations");
+  check Alcotest.int "zero repair candidates" 0 (d "repairs.candidates");
+  check Alcotest.int "zero hitting-set nodes" 0 (d "sat.hitting_set.nodes");
+  check Alcotest.bool "sat calls happened" true (d "cavsat.sat_calls" > 0);
+  (* Forced method=sat gives the same rows. *)
+  check rows "method=sat agrees" (strings_of auto)
+    (strings_of (Cqa.Engine.consistent_answers ~method_:`Sat eng hard))
+
+let test_engine_sat_on_rewritable_query () =
+  (* method=sat is exact outside the hard tier too. *)
+  let db =
+    Instance.of_rows rs_schema
+      [ ("R", [ [ Value.int 1; Value.int 10 ]; [ Value.int 1; Value.int 11 ] ]) ]
+  in
+  let proj = Cq.make ~name:"proj" [ x ] [ Atom.make "R" [ x; y ] ] in
+  let eng = Cqa.Engine.create ~schema:rs_schema ~ics:rs_keys db in
+  check rows "proj certain" [ [ "1" ] ]
+    (strings_of (Cqa.Engine.consistent_answers ~method_:`Sat eng proj))
+
+(* ---- qcheck equivalence (SAT ≡ enumeration) -------------------------- *)
+
+let instance_of (rs, ss) =
+  Instance.of_rows rs_schema
+    [
+      ("R", List.map (fun (a, b) -> [ Value.int a; Value.int b ]) rs);
+      ("S", List.map (fun (a, b) -> [ Value.int a; Value.int b ]) ss);
+    ]
+
+let arb_db =
+  QCheck.make
+    QCheck.Gen.(
+      pair
+        (list_size (int_range 0 6) (pair (int_range 0 2) (int_range 0 3)))
+        (list_size (int_range 0 6) (pair (int_range 0 2) (int_range 0 3))))
+    ~print:(fun (rs, ss) ->
+      let side l =
+        String.concat ";"
+          (List.map (fun (a, b) -> Printf.sprintf "%d,%d" a b) l)
+      in
+      Printf.sprintf "R=%s S=%s" (side rs) (side ss))
+
+(* Every query shape the property runs: a projection, the coNP-hard
+   nonkey-nonkey join, its Boolean form, a full-tuple query, and a
+   comparison query. *)
+let shapes =
+  [
+    Cq.make ~name:"proj" [ x ] [ Atom.make "R" [ x; y ] ];
+    hard;
+    Cq.make ~name:"bool" [] [ Atom.make "R" [ x; y ]; Atom.make "S" [ z; y ] ];
+    Cq.make ~name:"full" [ x; y ] [ Atom.make "R" [ x; y ] ];
+    Cq.make ~name:"cmp" ~comps:[ Cmp.make Cmp.Lt x y ] [ x ]
+      [ Atom.make "R" [ x; y ] ];
+  ]
+
+let equivalent ics db_spec =
+  let db = instance_of db_spec in
+  let schema = Instance.schema db in
+  let eng = Cqa.Engine.create ~schema ~ics db in
+  List.for_all
+    (fun q ->
+      Cavsat.Certain.consistent_answers db schema ics q
+      = Cqa.Engine.consistent_answers ~method_:`Repair_enumeration eng q)
+    shapes
+
+let prop_sat_equals_enum_keys =
+  QCheck.Test.make ~count:150 ~name:"SAT ≡ enumeration under keys" arb_db
+    (equivalent rs_keys)
+
+let prop_sat_equals_enum_denial =
+  (* A cross-relation denial on top of the keys: hyperedges that are not
+     key groups, so maximality needs real aux reasoning. *)
+  let deny =
+    Ic.denial ~name:"no_rs_pair" [ Atom.make "R" [ x; y ]; Atom.make "S" [ x; y ] ]
+  in
+  QCheck.Test.make ~count:150 ~name:"SAT ≡ enumeration under keys + denial"
+    arb_db
+    (equivalent (deny :: rs_keys))
+
+let suite =
+  [
+    Alcotest.test_case "incremental: grow and solve" `Quick test_incremental_basic;
+    Alcotest.test_case "incremental: assumptions learn refutations" `Quick
+      test_incremental_assumptions;
+    Alcotest.test_case "incremental: empty clause" `Quick
+      test_incremental_empty_clause;
+    Alcotest.test_case "incremental: selector per probe" `Quick
+      test_incremental_many_selectors;
+    Alcotest.test_case "theory: key block encoding" `Quick test_theory_key_block;
+    Alcotest.test_case "theory: cached per digest" `Quick test_theory_cache;
+    Alcotest.test_case "certain: planted instance" `Quick test_certain_planted;
+    Alcotest.test_case "certain: maximality clauses matter" `Quick
+      test_certain_needs_maximality;
+    Alcotest.test_case "certain: boolean query" `Quick test_certain_boolean;
+    Alcotest.test_case "certain: INDs refused" `Quick test_certain_rejects_inds;
+    Alcotest.test_case "engine: auto routes coNP tier to SAT" `Quick
+      test_engine_auto_routes_to_sat;
+    Alcotest.test_case "engine: method=sat on rewritable query" `Quick
+      test_engine_sat_on_rewritable_query;
+    QCheck_alcotest.to_alcotest prop_sat_equals_enum_keys;
+    QCheck_alcotest.to_alcotest prop_sat_equals_enum_denial;
+  ]

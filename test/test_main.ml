@@ -4,6 +4,7 @@ let () =
       ("relational", Test_relational.suite);
       ("logic", Test_logic.suite);
       ("sat", Test_sat.suite);
+      ("cavsat", Test_cavsat.suite);
       ("constraints", Test_constraints.suite);
       ("repairs", Test_repairs.suite);
       ("rewriting", Test_rewriting.suite);

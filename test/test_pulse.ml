@@ -362,13 +362,13 @@ let test_stats_sorted () =
 let base_doc =
   {|{"rows":[
     {"bench":"serve","requests":1000,"elapsed_s":0.05,"throughput_rps":20000,"cache_hits":700}
-  ],"counters":{"sat.decisions":870,"join.hash":16098}}|}
+  ],"counters":{"sat.dpll.decisions":870,"join.hash":16098}}|}
 
 let doc_with ~elapsed ~rps ~decisions =
   Printf.sprintf
     {|{"rows":[
       {"bench":"serve","requests":1000,"elapsed_s":%g,"throughput_rps":%g,"cache_hits":700}
-    ],"counters":{"sat.decisions":%d,"join.hash":16098}}|}
+    ],"counters":{"sat.dpll.decisions":%d,"join.hash":16098}}|}
     elapsed rps decisions
 
 let run_gate fresh =
@@ -390,7 +390,7 @@ let test_gate_fails_on_2x_latency () =
 let test_gate_fails_on_counter_blowup () =
   let regs = run_gate (doc_with ~elapsed:0.05 ~rps:20000. ~decisions:2000) in
   Alcotest.(check bool) "counter increase beyond 25% regresses" true
-    (List.exists (fun f -> f.Gate.Compare.field = "sat.decisions") regs)
+    (List.exists (fun f -> f.Gate.Compare.field = "sat.dpll.decisions") regs)
 
 let test_gate_tolerates_noise () =
   (* +10% latency, -10% throughput, +10% counters: all inside 25% *)
@@ -398,7 +398,7 @@ let test_gate_tolerates_noise () =
   Alcotest.(check int) "noise passes" 0 (List.length regs)
 
 let test_gate_missing_row_regresses () =
-  let fresh = {|{"rows":[],"counters":{"sat.decisions":870,"join.hash":16098}}|} in
+  let fresh = {|{"rows":[],"counters":{"sat.dpll.decisions":870,"join.hash":16098}}|} in
   let regs = run_gate fresh in
   Alcotest.(check bool) "dropped row is a regression" true
     (List.exists

@@ -490,6 +490,106 @@ let test_e2e_socket () =
   Unix.close fd;
   Unix.unlink path
 
+(* ---- ANALYZE memoization across UPDATE / re-LOAD -------------------- *)
+
+let test_analyze_invalidation () =
+  let h = Server.Handler.create () in
+  load_session h "s1";
+  let m = Server.Handler.metrics h in
+  let a1 = dispatch_line h "ANALYZE s1" in
+  Alcotest.(check bool) "first ANALYZE ok" true (a1.P.status = `Ok);
+  Alcotest.(check int) "analyze cached" 1 (Server.Handler.cache_length h);
+  ignore (dispatch_line h "ANALYZE s1");
+  Alcotest.(check int) "second ANALYZE is a hit" 1 (Server.Metrics.hits m);
+  (* UPDATE must drop the memoized analysis: a changed instance cannot
+     serve the stale entry. *)
+  let u = dispatch_line h "UPDATE s1 add T(3, 7)" in
+  Alcotest.(check bool) "update ok" true (u.P.status = `Ok);
+  Alcotest.(check int) "analysis entry dropped" 0
+    (Server.Handler.cache_length h);
+  ignore (dispatch_line h "ANALYZE s1");
+  Alcotest.(check int) "post-UPDATE ANALYZE recomputes" 1
+    (Server.Metrics.hits m);
+  Alcotest.(check int) "post-UPDATE ANALYZE is a miss" 2
+    (Server.Metrics.misses m)
+
+let test_analyze_reload_schema_change () =
+  (* Same facts, ICs and queries — only the schema differs (an extra
+     attribute name on a declared relation never mentioned by a row).
+     The digest must still change, or a re-LOAD could replay the old
+     session's memoized analysis. *)
+  let doc_of lines =
+    Cqa.Parse.document_of_string (String.concat "\n" lines)
+  in
+  let base = [ "relation T(k, v)"; "row T(1, 2)"; "key T(k)"; "query q(X) :- T(X, Y)" ] in
+  let with_extra =
+    [ "relation T(k, v)"; "relation Extra(e)"; "row T(1, 2)"; "key T(k)";
+      "query q(X) :- T(X, Y)" ]
+  in
+  Alcotest.(check bool) "schema feeds the session digest" false
+    (String.equal
+       (Server.Session.digest_of (doc_of base))
+       (Server.Session.digest_of (doc_of with_extra)));
+  (* End to end: re-LOAD with the changed schema recomputes ANALYZE. *)
+  let h = Server.Handler.create () in
+  let m = Server.Handler.metrics h in
+  (match Server.Handler.dispatch h ~payload:base (P.Load "s1") with
+  | { P.status = `Ok; _ } -> ()
+  | { P.head; _ } -> Alcotest.fail ("LOAD failed: " ^ head));
+  ignore (dispatch_line h "ANALYZE s1");
+  (match Server.Handler.dispatch h ~payload:with_extra (P.Load "s1") with
+  | { P.status = `Ok; _ } -> ()
+  | { P.head; _ } -> Alcotest.fail ("re-LOAD failed: " ^ head));
+  ignore (dispatch_line h "ANALYZE s1");
+  Alcotest.(check int) "no stale hit across re-LOAD" 0 (Server.Metrics.hits m);
+  Alcotest.(check int) "both ANALYZEs computed" 2 (Server.Metrics.misses m)
+
+(* ---- EXPLAIN plan section ------------------------------------------- *)
+
+let hard_doc_lines =
+  [
+    "relation R(a, b)";
+    "relation S(c, d)";
+    "row R(1, 10)";
+    "row R(1, 11)";
+    "row S(7, 10)";
+    "row S(8, 11)";
+    "key R(a)";
+    "key S(c)";
+    "query hard(X) :- R(X, Y), S(Z, Y)";
+  ]
+
+let test_explain_always_shows_plan () =
+  let h = Server.Handler.create () in
+  (match Server.Handler.dispatch h ~payload:hard_doc_lines (P.Load "s1") with
+  | { P.status = `Ok; _ } -> ()
+  | { P.head; _ } -> Alcotest.fail ("LOAD failed: " ^ head));
+  let has body sub =
+    List.exists
+      (fun line ->
+        Str.string_match (Str.regexp (".*" ^ Str.quote sub ^ ".*")) line 0)
+      body
+  in
+  (* method=auto on the coNP-hard pattern: the plan names the SAT branch
+     and the classifier's verdict. *)
+  let e = dispatch_line h "EXPLAIN s1 hard" in
+  Alcotest.(check bool) "explain ok" true (e.P.status = `Ok);
+  Alcotest.(check bool) "plan section" true (has e.P.body "-- plan");
+  Alcotest.(check bool) "branch line" true
+    (has e.P.body "branch sat_compilation");
+  Alcotest.(check bool) "verdict line" true
+    (has e.P.body "verdict coNP_complete_candidate");
+  (* A forced method reports its own branch, same verdict. *)
+  let e2 = dispatch_line h "EXPLAIN s1 hard method=enum" in
+  Alcotest.(check bool) "forced branch" true
+    (has e2.P.body "branch repair_enumeration");
+  Alcotest.(check bool) "forced still shows verdict" true
+    (has e2.P.body "verdict coNP_complete_candidate");
+  (* Explicit method=sat round-trips through QUERY too. *)
+  let q = dispatch_line h "QUERY s1 hard method=sat" in
+  Alcotest.(check bool) "method=sat ok" true (q.P.status = `Ok);
+  Alcotest.(check (list string)) "certain answer" [ "1" ] q.P.body
+
 let suite =
   [
     Alcotest.test_case "lru eviction order and capacity" `Quick
@@ -524,4 +624,10 @@ let suite =
     Alcotest.test_case "STATS renders solver counters" `Quick
       test_stats_includes_solver_counters;
     Alcotest.test_case "end-to-end socket round-trip" `Quick test_e2e_socket;
+    Alcotest.test_case "ANALYZE memo invalidates on UPDATE" `Quick
+      test_analyze_invalidation;
+    Alcotest.test_case "ANALYZE memo invalidates on schema re-LOAD" `Quick
+      test_analyze_reload_schema_change;
+    Alcotest.test_case "EXPLAIN always includes plan branch and verdict" `Quick
+      test_explain_always_shows_plan;
   ]
