@@ -99,32 +99,17 @@ let doc_text db =
   Buffer.add_string b "query full(X, Y) :- T(X, Y)\n";
   Buffer.contents b
 
-let () =
-  let requests, metrics_port =
-    match Sys.argv with
-    | [| _ |] -> (1200, None)
-    | [| _; n |] -> (int_of_string n, None)
-    | [| _; n; p |] -> (int_of_string n, Some (int_of_string p))
-    | _ ->
-        prerr_endline "usage: serve.exe [REQUESTS [METRICS_PORT]]";
-        exit 2
-  in
+(* One full replay: fresh socket, loop, sessions and request mix (the
+   RNG is re-seeded per pass, so every pass sees the same stream).
+   Returns the loop (for registry/workload readback), the wall time of
+   the request phase, the STATS body, and the still-open client. *)
+let run_pass ~tag ~requests ?metrics_fd ?stats ?sampler () =
   let sock =
     Filename.concat (Filename.get_temp_dir_name ())
-      (Printf.sprintf "cqa-serve-bench-%d.sock" (Unix.getpid ()))
-  in
-  (* With a metrics port the replay doubles as a live scrape target:
-     curl 127.0.0.1:PORT/metrics while the benchmark steps the loop. *)
-  let metrics_fd =
-    Option.map
-      (fun p ->
-        let fd, actual = Server.Loop.listen_tcp ~port:p () in
-        Printf.printf "metrics at http://127.0.0.1:%d/metrics\n%!" actual;
-        fd)
-      metrics_port
+      (Printf.sprintf "cqa-serve-bench-%d-%s.sock" (Unix.getpid ()) tag)
   in
   let loop =
-    Server.Loop.create ~cache_capacity:256 ?metrics_fd
+    Server.Loop.create ~cache_capacity:256 ?metrics_fd ?stats ?sampler
       (Server.Loop.listen_unix sock)
   in
   Server.Handler.sample_gauges (Server.Loop.handler loop);
@@ -164,8 +149,46 @@ let () =
     ignore (request loop c line)
   done;
   let elapsed = Unix.gettimeofday () -. t0 in
+  let stats_body = request loop c "STATS" in
+  (loop, c, elapsed, stats_body, sock)
 
-  let stats = request loop c "STATS" in
+let finish_pass (loop, c, _, _, sock) =
+  ignore (request loop c "QUIT");
+  Unix.close c.fd;
+  Unix.unlink sock
+
+let () =
+  let requests, metrics_port =
+    match Sys.argv with
+    | [| _ |] -> (1200, None)
+    | [| _; n |] -> (int_of_string n, None)
+    | [| _; n; p |] -> (int_of_string n, Some (int_of_string p))
+    | _ ->
+        prerr_endline "usage: serve.exe [REQUESTS [METRICS_PORT]]";
+        exit 2
+  in
+  (* With a metrics port the replay doubles as a live scrape target:
+     curl 127.0.0.1:PORT/metrics while the benchmark steps the loop. *)
+  let metrics_fd =
+    Option.map
+      (fun p ->
+        let fd, actual = Server.Loop.listen_tcp ~port:p () in
+        Printf.printf "metrics at http://127.0.0.1:%d/metrics\n%!" actual;
+        fd)
+      metrics_port
+  in
+
+  (* Warm the code paths and level the heap before timing: without
+     this the second measured pass starts on the first one's grown
+     heap, which is pure noise in the recorded ratio. *)
+  finish_pass (run_pass ~tag:"warmup" ~requests:(min 300 requests) ());
+  Gc.compact ();
+
+  (* Pass 1 — workload introspection off: the baseline the committed
+     BENCH_serve.json row and counters come from. *)
+  let ((loop, _, elapsed, stats, _) as pass1) =
+    run_pass ~tag:"plain" ~requests ?metrics_fd ()
+  in
   let metric name =
     List.find_map
       (fun l ->
@@ -175,8 +198,7 @@ let () =
       stats
     |> Option.value ~default:"?"
   in
-  Printf.printf "requests        %d (+%d LOAD/STATS)\n" requests
-    (List.length sessions + 1);
+  Printf.printf "requests        %d (+5 LOAD/STATS)\n" requests;
   Printf.printf "elapsed         %.3f s\n" elapsed;
   Printf.printf "throughput      %.0f req/s\n" (float_of_int requests /. elapsed);
   Printf.printf "cache hits      %s\n" (metric "cache_hits");
@@ -207,16 +229,119 @@ let () =
       ("bytes_in", jnum (metric "bytes_in"));
       ("bytes_out", jnum (metric "bytes_out"));
     ];
+
+  (* Pass 2 — the same replay with workload stats + tail sampling armed,
+     to price the introspection layer and exercise WORKLOAD end to end.
+     Its throughput is recorded as its own row (and as a ratio against
+     pass 1), never as the baseline. *)
+  let wstats = Obs.Stats.create ~capacity:256 () in
+  let wsampler =
+    Obs.Sampler.create ~capacity:64 ~threshold_s:0.050 ~sample_every:101 ()
+  in
+  Gc.compact ();
+  let ((loop2, c2, elapsed2, _, _) as pass2) =
+    run_pass ~tag:"workload" ~requests ~stats:wstats ~sampler:wsampler ()
+  in
+  (* The recorded ratio compares back-to-back pairs, not global minima:
+     single ~0.1 s passes jitter by 10%+ on a shared box, and slow
+     drift (heap warmth, neighbours) moves both members of an adjacent
+     pair together, so per-pair ratios are far more stable than any
+     min-of-N across the whole run.  Eight throwaway pairs run in
+     alternating order (armed/plain, plain/armed, ...) to cancel
+     position bias, and the median of their per-pair ratios is what
+     lands in BENCH_serve.json; pass 1 and pass 2 stay out of the
+     ratio — pass 1 sits right after warmup and both carry readback
+     duties, which biases them.  The repeat armed passes use throwaway
+     stores — the dump reflects exactly one replay.  CQA_SERVE_AA=1
+     turns the armed passes plain, an A/A self-check of the harness:
+     the printed ratio should then hover around 1.0. *)
+  let aa_check = Sys.getenv_opt "CQA_SERVE_AA" <> None in
+  let armed_pass tag =
+    Gc.compact ();
+    let ((_, _, e, _, _) as p) =
+      (if aa_check then run_pass ~tag ~requests ()
+       else
+         run_pass ~tag ~requests
+           ~stats:(Obs.Stats.create ~capacity:256 ())
+           ~sampler:
+             (Obs.Sampler.create ~capacity:64 ~threshold_s:0.050
+                ~sample_every:101 ())
+           ())
+    in
+    finish_pass p;
+    e
+  in
+  let plain_pass tag =
+    Gc.compact ();
+    let ((_, _, e, _, _) as p) = run_pass ~tag ~requests () in
+    finish_pass p;
+    e
+  in
+  let ratios = ref [] in
+  let best2 = ref elapsed2 in
+  for i = 1 to 8 do
+    let tag suffix = Printf.sprintf "%s-%d" suffix i in
+    let p, a =
+      if i mod 2 = 1 then begin
+        let a = armed_pass (tag "workload") in
+        (plain_pass (tag "plain"), a)
+      end
+      else begin
+        let p = plain_pass (tag "plain") in
+        (p, armed_pass (tag "workload"))
+      end
+    in
+    best2 := Float.min !best2 a;
+    ratios := (p /. a) :: !ratios
+  done;
+  let elapsed2 = !best2 in
+  let ratio =
+    (* Median of the eight pair ratios (mean of the middle two). *)
+    let l = List.sort Float.compare !ratios in
+    let n = List.length l in
+    (List.nth l ((n - 1) / 2) +. List.nth l (n / 2)) /. 2.0
+  in
+  Printf.printf "workload pass   %.3f s (%.0f req/s, ratio %.3f)\n" elapsed2
+    (float_of_int requests /. elapsed2)
+    ratio;
+  let top = request loop2 c2 "WORKLOAD TOP 5" in
+  List.iter print_endline top;
+  List.iter print_endline (request loop2 c2 "WORKLOAD BY branch");
+  (* The workload dump, same shape as `cqa_server --workload-dump`, for
+     `cqa report` and the CI JSON check. *)
+  let oc = open_out "BENCH_workload.json" in
+  Printf.fprintf oc "{\"workload\":%s,\"sampler\":%s}\n"
+    (Obs.Stats.to_json wstats)
+    (Obs.Sampler.summary_json wsampler);
+  close_out oc;
+  Printf.printf "workload stats  %d fingerprints, %d recorded, %.1f%% attributed\n"
+    (Obs.Stats.length wstats) (Obs.Stats.recorded wstats)
+    (if Obs.Stats.total_wall_s wstats > 0.0 then
+       100.0 *. Obs.Stats.attributed_s wstats /. Obs.Stats.total_wall_s wstats
+     else 100.0);
+  Bench_json.record ~bench:"serve_workload"
+    [
+      ("requests", Bench_json.int requests);
+      ("elapsed_s", Bench_json.num elapsed2);
+      ("throughput_rps", Bench_json.num (float_of_int requests /. elapsed2));
+      ("workload_ratio", Bench_json.num ratio);
+      ("fingerprints", Bench_json.int (Obs.Stats.length wstats));
+      ("tail_kept", Bench_json.int (Obs.Sampler.kept wsampler));
+    ];
+
   Bench_json.write
     ~counters:
       (Obs.Registry.counters_list
          (Server.Metrics.registry
             (Server.Handler.metrics (Server.Loop.handler loop))))
     "BENCH_serve.json";
-  ignore (request loop c "QUIT");
-  Unix.close c.fd;
-  Unix.unlink sock;
+  finish_pass pass2;
+  finish_pass pass1;
   if float_of_string (metric "cache_hit_rate") <= 0.0 then begin
     prerr_endline "FAIL: expected a non-zero cache hit rate";
+    exit 1
+  end;
+  if Obs.Stats.length wstats = 0 then begin
+    prerr_endline "FAIL: workload pass recorded no fingerprints";
     exit 1
   end

@@ -393,6 +393,198 @@ let program_cmd =
        ~doc:"Print the compiled ASP repair program and its grounding size.")
     Term.(const run $ file_arg)
 
+(* --- report: render a workload dump as markdown --------------------- *)
+
+let report_cmd =
+  let module J = Gate.Tiny_json in
+  let stats_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"STATS.json"
+          ~doc:
+            "Workload dump written by `cqa_server --workload-dump` (or any \
+             JSON with the same {workload, sampler} shape).")
+  in
+  let events_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "events" ] ~docv:"EVENTS.jsonl"
+          ~doc:
+            "The matching --events log; tail_trace/slow_query/anchor \
+             records are summarized next to the statements store.")
+  in
+  let top_arg =
+    Arg.(
+      value
+      & opt int 10
+      & info [ "top" ] ~docv:"N" ~doc:"Fingerprints to list (by total wall).")
+  in
+  let num ?(default = 0.0) j key =
+    Option.value ~default (Option.bind (J.member key j) J.to_num)
+  in
+  let int_of j key = int_of_float (num j key) in
+  let str ?(default = "?") j key =
+    Option.value ~default (Option.bind (J.member key j) J.to_str)
+  in
+  let list_of j key =
+    Option.value ~default:[] (Option.bind (J.member key j) J.to_list)
+  in
+  let ms v = Printf.sprintf "%.2f" (v *. 1e3) in
+  let pct v = Printf.sprintf "%.1f%%" (v *. 100.0) in
+  (* A fingerprint inside a markdown table: escape the cell separator. *)
+  let cell s =
+    String.concat "\\|" (String.split_on_char '|' s)
+  in
+  let phases_text j =
+    match J.member "phases" j with
+    | Some (J.Obj kvs) when kvs <> [] ->
+        String.concat ", "
+          (List.map
+             (fun (k, v) ->
+               Printf.sprintf "%s %sms" k
+                 (ms (Option.value ~default:0.0 (J.to_num v))))
+             kvs)
+    | _ -> "-"
+  in
+  let run stats_path events_path top =
+    let root =
+      match J.of_file stats_path with
+      | v -> v
+      | exception J.Parse_error (pos, msg) ->
+          Printf.eprintf "cqa report: %s: byte %d: %s\n" stats_path pos msg;
+          exit 2
+      | exception Sys_error msg ->
+          Printf.eprintf "cqa report: %s\n" msg;
+          exit 2
+    in
+    let w =
+      match J.member "workload" root with
+      | Some w -> w
+      | None -> root (* accept a bare Obs.Stats.to_json document too *)
+    in
+    let p = print_endline in
+    p "# CQA workload report";
+    p "";
+    p (Printf.sprintf "Source: `%s`" stats_path);
+    p "";
+    p "## Totals";
+    p "";
+    let total = num w "total_wall_s" in
+    let attributed = num w "attributed_wall_s" in
+    p (Printf.sprintf "- requests recorded: %d" (int_of w "recorded"));
+    p
+      (Printf.sprintf "- total request wall: %s ms (%s attributed to %d live \
+                       fingerprint entries; %d evicted)"
+         (ms total)
+         (if total > 0.0 then pct (attributed /. total) else "100.0%")
+         (List.length (list_of w "entries"))
+         (int_of w "evicted"));
+    p "";
+    p (Printf.sprintf "## Top %d fingerprints (by total wall)" top);
+    p "";
+    p "| # | wall ms | calls | mean ms | p95 ms | cache h/m | rows | branch | fingerprint |";
+    p "|---|---------|-------|---------|--------|-----------|------|--------|-------------|";
+    let entries = list_of w "entries" in
+    List.iteri
+      (fun i e ->
+        if i < top then begin
+          p
+            (Printf.sprintf "| %d | %s | %d | %s | %s | %d/%d | %d | %s | `%s` |"
+               (i + 1)
+               (ms (num e "wall_s"))
+               (int_of e "calls")
+               (ms (num e "mean_s"))
+               (ms (num e "p95_s"))
+               (int_of e "cache_hits") (int_of e "cache_misses")
+               (int_of e "rows") (str e "branch")
+               (cell (str e "fingerprint")));
+          if phases_text e <> "-" then
+            p (Printf.sprintf "|   |  phases: %s | | | | | | | |" (phases_text e))
+        end)
+      entries;
+    p "";
+    p "## Plan-branch cost centers";
+    p "";
+    p "| branch | calls | wall ms | share | p95 ms | errors | phases |";
+    p "|--------|-------|---------|-------|--------|--------|--------|";
+    List.iter
+      (fun b ->
+        p
+          (Printf.sprintf "| %s | %d | %s | %s | %s | %d | %s |" (str b "branch")
+             (int_of b "calls")
+             (ms (num b "wall_s"))
+             (pct (num b "share"))
+             (ms (num b "p95_s"))
+             (int_of b "errors") (phases_text b)))
+      (list_of w "branches");
+    p "";
+    (match J.member "sampler" root with
+    | Some (J.Obj _ as s) ->
+        p "## Tail-sampled traces";
+        p "";
+        p
+          (Printf.sprintf
+             "- ring: %d offered, %d retained, %d overwritten (capacity %d)"
+             (int_of s "seen") (int_of s "kept") (int_of s "overwritten")
+             (int_of s "capacity"));
+        List.iter
+          (fun r ->
+            p
+              (Printf.sprintf "- req %d `%s` %s ms — %s (%d spans)"
+                 (int_of r "req") (str r "command")
+                 (ms (num r "wall_s"))
+                 (str r "reason") (int_of r "spans")))
+          (list_of s "retained");
+        p ""
+    | _ -> ());
+    (match events_path with
+    | None -> ()
+    | Some path ->
+        let counts = Hashtbl.create 8 in
+        let anchors = ref [] in
+        In_channel.with_open_text path (fun ic ->
+            try
+              while true do
+                match In_channel.input_line ic with
+                | None -> raise Exit
+                | Some line when String.trim line = "" -> ()
+                | Some line -> (
+                    match J.parse line with
+                    | j ->
+                        let ev = str ~default:"?" j "ev" in
+                        Hashtbl.replace counts ev
+                          (1
+                          + Option.value ~default:0
+                              (Hashtbl.find_opt counts ev));
+                        if ev = "anchor" then anchors := j :: !anchors
+                    | exception _ -> ())
+              done
+            with Exit -> ());
+        p (Printf.sprintf "## Event log (`%s`)" path);
+        p "";
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts []
+        |> List.sort compare
+        |> List.iter (fun (k, v) -> p (Printf.sprintf "- %s: %d" k v));
+        List.iter
+          (fun a ->
+            p
+              (Printf.sprintf "- anchor `%s`: wall_ms=%d at ts_us=%d"
+                 (str ~default:"-" a "label")
+                 (int_of a "wall_ms") (int_of a "ts_us")))
+          (List.rev !anchors);
+        p "")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Render a markdown workload report from a `cqa_server \
+          --workload-dump` JSON file (fingerprint statements, plan-branch \
+          cost centers, tail-sampled traces) and optionally the matching \
+          --events JSONL log.")
+    Term.(const run $ stats_arg $ events_arg $ top_arg)
+
 (* --- client: speak the cqa-serve protocol to a running server ------- *)
 
 let client_cmd =
@@ -515,7 +707,7 @@ let main =
     [
       check_cmd; repairs_cmd; answers_cmd; analyze_cmd; degree_cmd; causes_cmd;
       count_cmd; attr_repairs_cmd; aggregate_cmd; clean_cmd; sample_cmd;
-      approx_cmd; export_cmd; program_cmd; client_cmd;
+      approx_cmd; export_cmd; program_cmd; client_cmd; report_cmd;
     ]
 
 let () = exit (Cmd.eval main)

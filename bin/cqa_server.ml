@@ -5,8 +5,11 @@
 
 open Cmdliner
 
+let version = "1.0.0"
+
 let run unix_path port cache_capacity max_requests metrics_dump trace_dir jobs
-    metrics_port slow_ms events_path =
+    metrics_port slow_ms events_path workload_capacity workload_dump
+    tail_sample_ms tail_sample_every tail_buffer =
   Par.set_default_jobs jobs;
   let fd, where =
     match
@@ -79,9 +82,24 @@ let run unix_path port cache_capacity max_requests metrics_dump trace_dir jobs
               nkept := !nkept + List.length spans
             end)
   in
+  (* Workload introspection: --workload 0 turns the statements store
+     off; anything else bounds it.  The tail sampler arms when either
+     retention rule is requested. *)
+  let stats =
+    if workload_capacity = 0 then None
+    else Some (Obs.Stats.create ~capacity:workload_capacity ())
+  in
+  let sampler =
+    if tail_sample_ms = None && tail_sample_every = 0 then None
+    else
+      Some
+        (Obs.Sampler.create ~capacity:tail_buffer
+           ?threshold_s:(Option.map (fun ms -> ms /. 1e3) tail_sample_ms)
+           ~sample_every:tail_sample_every ())
+  in
   let t =
-    Server.Loop.create ~cache_capacity ?on_trace ?events ?slow_ms ?metrics_fd
-      fd
+    Server.Loop.create ~cache_capacity ?on_trace ?events ?slow_ms ?stats
+      ?sampler ~version ?metrics_fd fd
   in
   (* Everything that must survive a shutdown — the Chrome trace, the
      metrics dump, the event log's final lines — goes through one
@@ -107,8 +125,59 @@ let run unix_path port cache_capacity max_requests metrics_dump trace_dir jobs
           (Server.Metrics.render
              (Server.Handler.metrics (Server.Loop.handler t)))
       end;
+      (* The workload dump: one JSON object combining the statements
+         store and the tail-sampling summary — the input of
+         `cqa report`. *)
+      (match (workload_dump, stats) with
+      | Some path, Some stats -> (
+          let sampler_json =
+            match sampler with
+            | Some s -> Obs.Sampler.summary_json s
+            | None -> "null"
+          in
+          let doc =
+            Printf.sprintf "{\"workload\":%s,\"sampler\":%s}"
+              (Obs.Stats.to_json stats) sampler_json
+          in
+          try
+            let oc = open_out path in
+            output_string oc doc;
+            output_char oc '\n';
+            close_out oc;
+            Printf.eprintf "wrote workload stats to %s\n%!" path
+          with Sys_error msg ->
+            Printf.eprintf "cqa_server: cannot write workload dump: %s\n%!" msg)
+      | _ -> ());
       Option.iter
         (fun sink ->
+          (* A wall-clock anchor next to the final lines, so this log
+             can be correlated with other processes' logs. *)
+          Obs.Events.anchor ~label:"shutdown" sink;
+          (* Retained tail traces ride the event log: one tail_trace
+             record per kept request, joinable on req. *)
+          (match sampler with
+          | None -> ()
+          | Some s ->
+              List.iter
+                (fun (r : Obs.Sampler.record) ->
+                  let spans_json =
+                    "["
+                    ^ String.concat ","
+                        (List.map Obs.Export.json_string
+                           (Obs.Export.tree r.spans))
+                    ^ "]"
+                  in
+                  Obs.Events.emit sink ~req:r.rid
+                    ~fields:
+                      [
+                        ("command", Obs.Events.Str r.command);
+                        ("wall_us", Obs.Events.Float (r.wall_s *. 1e6));
+                        ( "reason",
+                          Obs.Events.Str (Obs.Sampler.reason_label r.reason) );
+                        ("spans", Obs.Events.Raw spans_json);
+                      ]
+                    "tail_trace")
+                (Obs.Sampler.retained s));
           Obs.Events.emit sink "shutdown";
           Obs.Events.close sink)
         events
@@ -133,7 +202,11 @@ let run unix_path port cache_capacity max_requests metrics_dump trace_dir jobs
   Printf.printf "cqa-serve listening on %s (cache capacity %d)\n%!" where
     cache_capacity;
   Option.iter (Printf.printf "metrics exposed at %s\n%!") metrics_where;
-  Option.iter (fun sink -> Obs.Events.emit sink "startup") events;
+  Option.iter
+    (fun sink ->
+      Obs.Events.emit sink "startup";
+      Obs.Events.anchor ~label:"startup" sink)
+    events;
   Server.Loop.run ?max_requests t;
   flush_all ()
 
@@ -220,15 +293,67 @@ let events_arg =
           "Append structured JSONL events (one request record per request, \
            plus slow_query/startup/shutdown) to $(docv).")
 
+let workload_arg =
+  Arg.(
+    value
+    & opt int 256
+    & info [ "workload" ] ~docv:"N"
+        ~doc:
+          "Workload introspection: aggregate per-query-fingerprint call \
+           counts, latency histograms, cache traffic, plan-branch cost \
+           centers and solver-counter deltas in a statements store bounded \
+           to $(docv) entries (deterministic eviction).  Read back with \
+           the WORKLOAD command; 0 disables.  Forces sequential \
+           execution, like --slow-ms.")
+
+let workload_dump_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "workload-dump" ] ~docv:"PATH"
+        ~doc:
+          "Write the workload statements store and tail-sampling summary \
+           as one JSON object to $(docv) on shutdown (the input of `cqa \
+           report`).")
+
+let tail_sample_ms_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "tail-sample-ms" ] ~docv:"MS"
+        ~doc:
+          "Tail-sampled tracing: retain the full span tree of any request \
+           over $(docv) milliseconds (errors are always retained) in a \
+           bounded ring, flushed as tail_trace events on shutdown.")
+
+let tail_sample_every_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "tail-sample-every" ] ~docv:"K"
+        ~doc:
+          "Also retain every $(docv)-th request's span tree as a baseline \
+           of normal traffic (0 disables).")
+
+let tail_buffer_arg =
+  Arg.(
+    value
+    & opt int 64
+    & info [ "tail-buffer" ] ~docv:"N"
+        ~doc:
+          "Capacity of the tail-sampling ring buffer; a new retention \
+           overwrites the oldest.")
+
 let main =
   Cmd.v
-    (Cmd.info "cqa_server" ~version:"1.0.0"
+    (Cmd.info "cqa_server" ~version
        ~doc:
          "Persistent CQA service: sessions, memoized certain answers, \
           request metrics.")
     Term.(
       const run $ unix_arg $ port_arg $ cache_arg $ max_requests_arg
       $ metrics_dump_arg $ trace_dir_arg $ jobs_arg $ metrics_port_arg
-      $ slow_ms_arg $ events_arg)
+      $ slow_ms_arg $ events_arg $ workload_arg $ workload_dump_arg
+      $ tail_sample_ms_arg $ tail_sample_every_arg $ tail_buffer_arg)
 
 let () = exit (Cmd.eval main)

@@ -14,12 +14,14 @@ let build inst schema ics =
              "Conflict_graph.build: %s is not a denial-class constraint"
              (Ic.name ic)))
     ics;
+  Obs.Trace.with_span "conflict_graph.build" @@ fun () ->
   let witnesses = Violation.all inst schema ics in
   let edges =
     List.fold_left
       (fun acc (w : Violation.witness) -> Tidset_set.add w.tids acc)
       Tidset_set.empty witnesses
   in
+  Obs.Trace.attr_int "edges" (Tidset_set.cardinal edges);
   { vertices = Instance.tids inst; edges = Tidset_set.elements edges }
 
 (* ------------------------------------------------------------------ *)

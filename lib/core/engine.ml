@@ -88,7 +88,10 @@ let denial_class t = List.for_all Ic.is_denial_class t.ics
 let by_sat t q = Cavsat.Certain.consistent_answers t.instance t.schema t.ics q
 
 let plan t q =
-  let classification = Analysis.Classify.classify t.ics q in
+  let classification =
+    Obs.Trace.with_span "engine.classify" (fun () ->
+        Analysis.Classify.classify t.ics q)
+  in
   let route =
     match (classification.Analysis.Classify.verdict, classification.witness) with
     | Analysis.Classify.Fo_rewritable, Analysis.Classify.No_constraints ->

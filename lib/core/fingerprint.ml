@@ -1,0 +1,49 @@
+(* Canonical query shapes: variables renamed v0,v1,... in first
+   occurrence order, constants abstracted to "?", names dropped. *)
+
+type ctx = { tbl : (string, string) Hashtbl.t; mutable next : int }
+
+let term ctx = function
+  | Logic.Term.Const _ -> "?"
+  | Logic.Term.Var v -> (
+      match Hashtbl.find_opt ctx.tbl v with
+      | Some c -> c
+      | None ->
+          let c = Printf.sprintf "v%d" ctx.next in
+          ctx.next <- ctx.next + 1;
+          Hashtbl.add ctx.tbl v c;
+          c)
+
+let op_label = function
+  | Logic.Cmp.Eq -> "="
+  | Logic.Cmp.Neq -> "!="
+  | Logic.Cmp.Lt -> "<"
+  | Logic.Cmp.Le -> "<="
+  | Logic.Cmp.Gt -> ">"
+  | Logic.Cmp.Ge -> ">="
+
+let cq (q : Logic.Cq.t) =
+  let ctx = { tbl = Hashtbl.create 8; next = 0 } in
+  let terms ts = String.concat "," (List.map (term ctx) ts) in
+  (* Sequenced lets: first-occurrence order is head, then body atoms in
+     order, then comparisons. *)
+  let head = terms q.head in
+  let atoms =
+    List.map
+      (fun (a : Logic.Atom.t) -> Printf.sprintf "%s(%s)" a.rel (terms a.args))
+      q.body
+  in
+  let comps =
+    List.map
+      (fun (c : Logic.Cmp.t) ->
+        let l = term ctx c.left in
+        let r = term ctx c.right in
+        Printf.sprintf "%s%s%s" l (op_label c.op) r)
+      q.comps
+  in
+  Printf.sprintf "(%s):-%s" head (String.concat "," (atoms @ comps))
+
+let ucq (u : Logic.Ucq.t) =
+  match u.disjuncts with
+  | [ q ] -> cq q
+  | qs -> String.concat " | " (List.sort String.compare (List.map cq qs))

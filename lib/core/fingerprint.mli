@@ -1,0 +1,26 @@
+(** Query fingerprints — a normalized, stable identity for a query's
+    {e shape}, in the spirit of [pg_stat_statements] queryids.
+
+    Two queries get the same fingerprint exactly when they differ only
+    by variable names and by the values of constants:
+
+    - variables are renamed canonically ([v0], [v1], ...) in first
+      occurrence order across head, body atoms (in order), then
+      comparisons;
+    - every constant is abstracted to [?];
+    - the query's own name is dropped (the shape, not the label, is the
+      identity);
+    - a union's disjunct fingerprints are sorted before joining, so
+      disjunct order does not matter.
+
+    Relation names, atom order, argument positions and comparison
+    operators are preserved — those are the shape.  The serving layer
+    keys its workload store on [semantics ^ ":" ^ fingerprint]. *)
+
+val cq : Logic.Cq.t -> string
+(** E.g. [q(X) :- Emp(X, 5000), X <> smith] fingerprints as
+    ["(v0):-Emp(v0,?),v0!=?"]. *)
+
+val ucq : Logic.Ucq.t -> string
+(** Disjunct fingerprints sorted and joined with [" | "]; a singleton
+    union equals {!cq} of its disjunct. *)

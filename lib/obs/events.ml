@@ -7,6 +7,7 @@ type sink = {
   write : string -> unit;
   on_close : unit -> unit;
   clock : unit -> float;
+  wall : unit -> float;
   t0 : float;
   mutable last : float; (* clamp: timestamps never decrease *)
   mutable next_id : int;
@@ -14,9 +15,20 @@ type sink = {
   mutable closed : bool;
 }
 
-let make ?(clock = Unix.gettimeofday) ?(close = fun () -> ()) write =
+let make ?(clock = Unix.gettimeofday) ?wall ?(close = fun () -> ()) write =
   let t0 = clock () in
-  { write; on_close = close; clock; t0; last = t0; next_id = 0; emitted = 0; closed = false }
+  let wall = match wall with Some w -> w | None -> clock in
+  {
+    write;
+    on_close = close;
+    clock;
+    wall;
+    t0;
+    last = t0;
+    next_id = 0;
+    emitted = 0;
+    closed = false;
+  }
 
 let open_file ?clock path =
   let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
@@ -68,6 +80,16 @@ let emit sink ?req ?(fields = []) ev =
     (try sink.write line with _ -> ());
     sink.emitted <- sink.emitted + 1
   end
+
+let anchor ?label sink =
+  (* Integer milliseconds: the Float renderer's %.6g would truncate an
+     epoch timestamp to ~1000 s resolution. *)
+  let wall_ms = int_of_float (Float.round (sink.wall () *. 1e3)) in
+  let fields =
+    ("wall_ms", Int wall_ms)
+    :: (match label with Some l -> [ ("label", Str l) ] | None -> [])
+  in
+  emit sink ~fields "anchor"
 
 let next_request_id sink =
   sink.next_id <- sink.next_id + 1;

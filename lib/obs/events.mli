@@ -24,10 +24,15 @@ type sink
 type value = Str of string | Int of int | Float of float | Bool of bool | Raw of string
 
 val make :
-  ?clock:(unit -> float) -> ?close:(unit -> unit) -> (string -> unit) -> sink
+  ?clock:(unit -> float) ->
+  ?wall:(unit -> float) ->
+  ?close:(unit -> unit) ->
+  (string -> unit) ->
+  sink
 (** A sink over a line writer (the line does not include the newline).
-    [clock] (default [Unix.gettimeofday]) is stubbed by tests; [close]
-    runs once when {!close} is called. *)
+    [clock] (default [Unix.gettimeofday]) is stubbed by tests; [wall]
+    (default [clock]) is the wall clock {!anchor} reads; [close] runs
+    once when {!close} is called. *)
 
 val open_file : ?clock:(unit -> float) -> string -> sink
 (** A sink appending to [path], creating it if needed; every line is
@@ -43,6 +48,14 @@ val emit : sink -> ?req:int -> ?fields:(string * value) list -> string -> unit
 (** [emit sink ev] writes one event object with type [ev], the
     monotonic [ts_us], the request id [req] when given, and [fields] in
     order.  Never raises: a failing writer drops the line. *)
+
+val anchor : ?label:string -> sink -> unit
+(** Write one ["anchor"] event carrying the {e wall-clock} time as an
+    integer [wall_ms] (epoch milliseconds, from the sink's [wall]
+    clock).  [ts_us] stays monotonic like every other event; the anchor
+    is the bridge that lets logs from different processes — whose
+    monotonic origins differ — be correlated on a shared wall clock.
+    Emit one at startup and at every flush/rotation point. *)
 
 val next_request_id : sink -> int
 (** A fresh id, starting at 1 and increasing. *)

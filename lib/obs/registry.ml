@@ -15,6 +15,11 @@ type t = {
   counters : (string, int ref) Hashtbl.t;
   gauges : (string, float ref) Hashtbl.t;
   histograms : (string, histogram) Hashtbl.t;
+  (* Name-sorted counter cells, rebuilt lazily when a counter is
+     created: per-request snapshots (the workload store, the slow-query
+     log) deref this array instead of folding and sorting the table. *)
+  mutable cells : (string * int ref) array;
+  mutable cells_stale : bool;
 }
 
 let create () =
@@ -22,6 +27,8 @@ let create () =
     counters = Hashtbl.create 32;
     gauges = Hashtbl.create 8;
     histograms = Hashtbl.create 8;
+    cells = [||];
+    cells_stale = false;
   }
 
 let global = ref (create ())
@@ -50,7 +57,18 @@ let counter_cell t name =
       | None ->
           let c = ref 0 in
           Hashtbl.replace t.counters name c;
+          t.cells_stale <- true;
           c)
+
+let sorted_cells t =
+  if t.cells_stale then
+    with_lock (fun () ->
+        let l = Hashtbl.fold (fun n c acc -> (n, c) :: acc) t.counters [] in
+        t.cells <-
+          Array.of_list
+            (List.sort (fun (a, _) (b, _) -> String.compare a b) l);
+        t.cells_stale <- false);
+  t.cells
 
 let counter_value t name =
   match Hashtbl.find_opt t.counters name with Some c -> !c | None -> 0
@@ -59,18 +77,66 @@ let by_name compare_v (a, av) (b, bv) =
   match String.compare a b with 0 -> compare_v av bv | c -> c
 
 let counters_list t =
-  Hashtbl.fold (fun name c acc -> (name, !c) :: acc) t.counters []
-  |> List.sort (by_name Int.compare)
+  Array.fold_right (fun (n, c) acc -> (n, !c) :: acc) (sorted_cells t) []
 
 let counter_snapshot = counters_list
 
 let counter_delta ~since t =
-  counters_list t
-  |> List.filter_map (fun (name, v) ->
-         let old =
-           match List.assoc_opt name since with Some o -> o | None -> 0
-         in
-         if v - old <> 0 then Some (name, v - old) else None)
+  (* Both sides are name-sorted ([counters_list] output), so the delta
+     is a linear merge-join. *)
+  let rec merge acc fresh since =
+    match (fresh, since) with
+    | [], _ -> List.rev acc
+    | (n, v) :: fr, [] ->
+        merge (if v <> 0 then (n, v) :: acc else acc) fr []
+    | (n, v) :: fr, ((n', o) :: sr as s) -> (
+        match String.compare n n' with
+        | 0 -> merge (if v - o <> 0 then (n, v - o) :: acc else acc) fr sr
+        | c when c < 0 -> merge (if v <> 0 then (n, v) :: acc else acc) fr s
+        | _ -> merge acc fresh sr)
+  in
+  merge [] (counters_list t) since
+
+(* The per-request metering path: a baseline is one int array over the
+   cached cell array — no per-counter tuples — and the delta allocates
+   only for counters that actually moved.  [counter_delta_since] falls
+   back to the name-keyed merge when a counter was created mid-request
+   (the cell array changed underneath the baseline). *)
+
+type counter_baseline = {
+  b_cells : (string * int ref) array;
+  b_values : int array;
+}
+
+let counter_baseline ?reuse t =
+  let cells = sorted_cells t in
+  match reuse with
+  | Some b when b.b_cells == cells ->
+      (* Steady state: same cell array as last time, so refresh the
+         values in place — no allocation on the per-request path. *)
+      for i = 0 to Array.length cells - 1 do
+        b.b_values.(i) <- !(snd cells.(i))
+      done;
+      b
+  | _ -> { b_cells = cells; b_values = Array.map (fun (_, c) -> !c) cells }
+
+let counter_delta_since b t =
+  let cells = sorted_cells t in
+  if cells == b.b_cells then begin
+    let acc = ref [] in
+    for i = Array.length cells - 1 downto 0 do
+      let n, c = cells.(i) in
+      let d = !c - b.b_values.(i) in
+      if d <> 0 then acc := (n, d) :: !acc
+    done;
+    !acc
+  end
+  else
+    counter_delta
+      ~since:
+        (Array.to_list
+           (Array.mapi (fun i (n, _) -> (n, b.b_values.(i))) b.b_cells))
+      t
 
 let set_gauge t name v =
   with_lock (fun () ->

@@ -40,6 +40,22 @@ val counter_snapshot : t -> (string * int) list
 val counter_delta : since:(string * int) list -> t -> (string * int) list
 (** Counters whose value changed since the snapshot, with the change. *)
 
+type counter_baseline
+
+val counter_baseline : ?reuse:counter_baseline -> t -> counter_baseline
+(** A cheap point-in-time capture of every counter (one int array over
+    the registry's cached cell table — no per-counter allocation).  The
+    per-request metering path: take one before dispatch, read the
+    changes after with {!counter_delta_since}.  Passing the previous
+    capture as [reuse] refreshes it in place (zero allocation) when the
+    cell table has not changed; the returned value must then replace the
+    caller's reference, as it may or may not be [reuse] itself. *)
+
+val counter_delta_since : counter_baseline -> t -> (string * int) list
+(** Counters whose value moved since the baseline, sorted by name;
+    allocates only for the movers.  Counters created after the baseline
+    are reported in full. *)
+
 (** {1 Gauges} *)
 
 val set_gauge : t -> string -> float -> unit

@@ -1,0 +1,67 @@
+(** Tail-sampled tracing — a bounded ring buffer of full span trees.
+
+    Always-on tracing to disk is a firehose; what an operator actually
+    wants kept are the {e interesting} requests.  The serving layer
+    offers every finished request's span tree to a sampler, which
+    retains it only when the request
+
+    - failed (retained with reason {!Error}), or
+    - ran over the latency threshold (reason {!Slow}), or
+    - fell on the deterministic 1-in-[sample_every] grid (reason
+      {!Sampled}) — a background rate that keeps a baseline of normal
+      traffic for comparison.
+
+    Reasons take that precedence order (an over-threshold error is an
+    [Error]).  The buffer holds at most [capacity] traces; a new
+    retention overwrites the oldest.  The sampler never reads a clock —
+    wall time is passed in — so tests drive it with stubbed values. *)
+
+type reason = Error | Slow | Sampled
+
+val reason_label : reason -> string
+(** ["error"], ["slow"], ["sampled"]. *)
+
+type record = {
+  rid : int;  (** request id, joinable with the event log *)
+  command : string;
+  wall_s : float;
+  reason : reason;
+  spans : Trace.span list;  (** the request's full span tree, start order *)
+}
+
+type t
+
+val create : ?capacity:int -> ?threshold_s:float -> ?sample_every:int -> unit -> t
+(** [capacity] bounds the ring (default 64, minimum 1).  Omitting
+    [threshold_s] disables the slow rule; [sample_every <= 0] (the
+    default [0]) disables reservoir sampling, leaving error-only
+    retention. *)
+
+val offer :
+  t -> rid:int -> command:string -> wall_s:float -> ok:bool ->
+  Trace.span list -> reason option
+(** Consider one finished request; returns the retention reason, or
+    [None] when the trace was discarded. *)
+
+val retained : t -> record list
+(** The ring's contents, oldest first. *)
+
+val seen : t -> int
+(** Requests offered since creation (or {!clear}). *)
+
+val kept : t -> int
+(** Requests retained, including any since overwritten. *)
+
+val overwritten : t -> int
+(** Retained traces later displaced by the ring bound. *)
+
+val capacity : t -> int
+
+val clear : t -> unit
+(** Empty the ring and restart the counters. *)
+
+val summary_json : t -> string
+(** [{"capacity":..,"seen":..,"kept":..,"overwritten":..,
+    "retained":[{"req":..,"command":..,"wall_s":..,"reason":..,
+    "spans":<n>},...]}] — trace bodies are flushed as events, not
+    inlined here. *)

@@ -1,0 +1,527 @@
+(* Bounded statements store for workload introspection: per
+   (fingerprint, plan-branch) aggregates with deterministic eviction,
+   plus eviction-proof per-branch and per-phase cost centers. *)
+
+(* Latency decades, 1 µs .. 10 s; the final array slot is the overflow
+   bucket.  Matches the Registry histogram default so operators read the
+   same shape everywhere. *)
+let bounds = [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 1e-1; 1.0; 10.0 |]
+
+let n_buckets = Array.length bounds + 1
+
+let bucket_of v =
+  let rec go i = if i >= Array.length bounds || v <= bounds.(i) then i else go (i + 1) in
+  go 0
+
+(* A small standalone histogram (count, sum, decade buckets).  Entries
+   embed one rather than using Registry histograms because store entries
+   are evictable and the registry has no removal. *)
+type hist = { mutable h_count : int; mutable h_sum : float; h_buckets : int array }
+
+let hist_make () = { h_count = 0; h_sum = 0.0; h_buckets = Array.make n_buckets 0 }
+
+let hist_observe h v =
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. v;
+  let b = bucket_of v in
+  h.h_buckets.(b) <- h.h_buckets.(b) + 1
+
+let hist_quantile h q =
+  if h.h_count = 0 then 0.0
+  else begin
+    let target = q *. float_of_int h.h_count in
+    let rec go i acc =
+      if i >= n_buckets then bounds.(Array.length bounds - 1)
+      else begin
+        let acc' = acc + h.h_buckets.(i) in
+        if float_of_int acc' >= target && h.h_buckets.(i) > 0 then
+          if i >= Array.length bounds then bounds.(Array.length bounds - 1)
+          else begin
+            let lo = if i = 0 then 0.0 else bounds.(i - 1) in
+            let hi = bounds.(i) in
+            lo
+            +. (hi -. lo)
+               *. ((target -. float_of_int acc) /. float_of_int h.h_buckets.(i))
+          end
+        else go (i + 1) acc'
+      end
+    in
+    go 0 0
+  end
+
+type cache_outcome = Hit | Miss | Uncached
+
+type entry = {
+  fingerprint : string;
+  branch : string;
+  mutable calls : int;
+  mutable errors : int;
+  mutable wall_s : float;
+  mutable max_s : float;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable rows : int;
+  mutable phase_s : (string * float) list;
+  mutable counters : (string * int) list;
+  buckets : int array;
+}
+
+(* Eviction-proof per-branch cost center. *)
+type center = {
+  mutable c_calls : int;
+  mutable c_errors : int;
+  c_hist : hist;
+  mutable c_phase_s : (string * float) list;
+}
+
+type t = {
+  capacity : int;
+  table : (string * string, entry) Hashtbl.t;
+  branches : (string, center) Hashtbl.t;
+  phase_hist : (string, hist) Hashtbl.t;
+  mutable recorded : int;
+  mutable evicted : int;
+  mutable total_wall_s : float;
+  mutable evicted_wall_s : float;
+}
+
+let create ?(capacity = 256) () =
+  {
+    capacity = max 1 capacity;
+    table = Hashtbl.create 64;
+    branches = Hashtbl.create 8;
+    phase_hist = Hashtbl.create 8;
+    recorded = 0;
+    evicted = 0;
+    total_wall_s = 0.0;
+    evicted_wall_s = 0.0;
+  }
+
+(* Merge-add into an assoc list kept sorted by key. *)
+let rec merge_assoc add base extra =
+  match (base, extra) with
+  | [], e -> e
+  | b, [] -> b
+  | (kb, vb) :: tb, (ke, ve) :: te ->
+      let c = String.compare kb ke in
+      if c = 0 then (kb, add vb ve) :: merge_assoc add tb te
+      else if c < 0 then (kb, vb) :: merge_assoc add tb ((ke, ve) :: te)
+      else (ke, ve) :: merge_assoc add ((kb, vb) :: tb) te
+
+let sort_assoc kvs = List.sort (fun (a, _) (b, _) -> String.compare a b) kvs
+
+let merge_float base extra = merge_assoc ( +. ) base (sort_assoc extra)
+let merge_int base extra = merge_assoc ( + ) base (sort_assoc extra)
+
+(* Phase attribution ------------------------------------------------- *)
+
+let has_prefix p s = String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+let phase_of_span name =
+  if name = "engine.classify" then Some "classify"
+  else if has_prefix "rewrite." name then Some "rewrite"
+  else if has_prefix "conflict_graph" name then Some "conflict_graph"
+  else if has_prefix "sat." name || has_prefix "cavsat." name then Some "sat"
+  else if has_prefix "repairs." name then Some "enumeration"
+  else if has_prefix "asp." name then Some "asp"
+  else None
+
+let phases_of_spans spans =
+  match spans with
+  | [] -> []
+  | [ s ] ->
+      (* The common cache-hit request leaves exactly the wrapping span;
+         skip the hashtable machinery on that path. *)
+      let d = Trace.duration s in
+      if d > 0.0 then
+        [ ((match phase_of_span s.name with Some p -> p | None -> "other"), d) ]
+      else []
+  | _ when List.compare_length_with spans 12 <= 0 ->
+      (* Real requests leave a wrapper plus a handful of probe spans;
+         at that size flat array scans beat building two hashtables.
+         Same contract as below: spans come in start (id) order, so a
+         parent precedes its children. *)
+      let a = Array.of_list spans in
+      let n = Array.length a in
+      let dur = Array.map Trace.duration a in
+      let child_sum = Array.make n 0.0 in
+      let phase = Array.make n "other" in
+      for i = 0 to n - 1 do
+        let s = a.(i) in
+        let pi = ref (-1) in
+        for j = 0 to i - 1 do
+          if a.(j).Trace.id = s.Trace.parent then pi := j
+        done;
+        if !pi >= 0 then child_sum.(!pi) <- child_sum.(!pi) +. dur.(i);
+        phase.(i) <-
+          (match phase_of_span s.Trace.name with
+          | Some p -> p
+          | None -> if !pi >= 0 then phase.(!pi) else "other")
+      done;
+      let totals = ref [] in
+      for i = 0 to n - 1 do
+        let self = dur.(i) -. child_sum.(i) in
+        if self > 0.0 then
+          totals :=
+            (match List.assoc_opt phase.(i) !totals with
+            | Some r ->
+                r := !r +. self;
+                !totals
+            | None -> (phase.(i), ref self) :: !totals)
+      done;
+      sort_assoc (List.map (fun (k, r) -> (k, !r)) !totals)
+  | _ ->
+      (* Children sum per parent id, for self time. *)
+      let child_sum = Hashtbl.create 16 in
+      List.iter
+        (fun (s : Trace.span) ->
+          let d = Trace.duration s in
+          let prev = Option.value ~default:0.0 (Hashtbl.find_opt child_sum s.parent) in
+          Hashtbl.replace child_sum s.parent (prev +. d))
+        spans;
+      (* Effective phase per span id: own phase, else nearest ancestor's
+         (spans arrive in start order, so parents precede children). *)
+      let eff = Hashtbl.create 16 in
+      let totals = Hashtbl.create 8 in
+      List.iter
+        (fun (s : Trace.span) ->
+          let phase =
+            match phase_of_span s.name with
+            | Some p -> p
+            | None ->
+                Option.value ~default:"other" (Hashtbl.find_opt eff s.parent)
+          in
+          Hashtbl.replace eff s.id phase;
+          let self =
+            Trace.duration s
+            -. Option.value ~default:0.0 (Hashtbl.find_opt child_sum s.id)
+          in
+          let self = if self > 0.0 then self else 0.0 in
+          let prev = Option.value ~default:0.0 (Hashtbl.find_opt totals phase) in
+          Hashtbl.replace totals phase (prev +. self))
+        spans;
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) totals []
+      |> List.filter (fun (_, v) -> v > 0.0)
+      |> sort_assoc
+
+(* Recording --------------------------------------------------------- *)
+
+let center_of t branch =
+  match Hashtbl.find_opt t.branches branch with
+  | Some c -> c
+  | None ->
+      let c = { c_calls = 0; c_errors = 0; c_hist = hist_make (); c_phase_s = [] } in
+      Hashtbl.replace t.branches branch c;
+      c
+
+let phase_hist_of t phase =
+  match Hashtbl.find_opt t.phase_hist phase with
+  | Some h -> h
+  | None ->
+      let h = hist_make () in
+      Hashtbl.replace t.phase_hist phase h;
+      h
+
+let evict_min t =
+  (* Deterministic: least total wall goes; ties by fingerprint, then
+     branch, both ascending. *)
+  let victim =
+    Hashtbl.fold
+      (fun _ e acc ->
+        match acc with
+        | None -> Some e
+        | Some best ->
+            let c = compare e.wall_s best.wall_s in
+            let worse =
+              c < 0
+              || c = 0
+                 && (String.compare e.fingerprint best.fingerprint < 0
+                    || String.compare e.fingerprint best.fingerprint = 0
+                       && String.compare e.branch best.branch < 0)
+            in
+            if worse then Some e else acc)
+      t.table None
+  in
+  match victim with
+  | None -> ()
+  | Some e ->
+      Hashtbl.remove t.table (e.fingerprint, e.branch);
+      t.evicted <- t.evicted + 1;
+      t.evicted_wall_s <- t.evicted_wall_s +. e.wall_s
+
+let entry_of t ~fingerprint ~branch =
+  let key = (fingerprint, branch) in
+  match Hashtbl.find_opt t.table key with
+  | Some e -> e
+  | None ->
+      if Hashtbl.length t.table >= t.capacity then evict_min t;
+      let e =
+        {
+          fingerprint;
+          branch;
+          calls = 0;
+          errors = 0;
+          wall_s = 0.0;
+          max_s = 0.0;
+          cache_hits = 0;
+          cache_misses = 0;
+          rows = 0;
+          phase_s = [];
+          counters = [];
+          buckets = Array.make n_buckets 0;
+        }
+      in
+      Hashtbl.replace t.table key e;
+      e
+
+let record t ~fingerprint ~branch ~wall_s ?(rows = 0) ?(cache = Uncached)
+    ?(error = false) ?(phases = []) ?(counters = []) () =
+  t.recorded <- t.recorded + 1;
+  t.total_wall_s <- t.total_wall_s +. wall_s;
+  let e = entry_of t ~fingerprint ~branch in
+  e.calls <- e.calls + 1;
+  if error then e.errors <- e.errors + 1;
+  e.wall_s <- e.wall_s +. wall_s;
+  if wall_s > e.max_s then e.max_s <- wall_s;
+  (match cache with
+  | Hit -> e.cache_hits <- e.cache_hits + 1
+  | Miss -> e.cache_misses <- e.cache_misses + 1
+  | Uncached -> ());
+  e.rows <- e.rows + rows;
+  let b = bucket_of wall_s in
+  e.buckets.(b) <- e.buckets.(b) + 1;
+  if phases <> [] then e.phase_s <- merge_float e.phase_s phases;
+  if counters <> [] then e.counters <- merge_int e.counters counters;
+  let c = center_of t branch in
+  c.c_calls <- c.c_calls + 1;
+  if error then c.c_errors <- c.c_errors + 1;
+  hist_observe c.c_hist wall_s;
+  if phases <> [] then begin
+    c.c_phase_s <- merge_float c.c_phase_s phases;
+    List.iter (fun (p, s) -> hist_observe (phase_hist_of t p) s) phases
+  end
+
+(* Inspection -------------------------------------------------------- *)
+
+let length t = Hashtbl.length t.table
+let recorded t = t.recorded
+let evicted t = t.evicted
+let total_wall_s t = t.total_wall_s
+
+let attributed_s t = t.total_wall_s -. t.evicted_wall_s
+
+let entries t =
+  Hashtbl.fold (fun _ e acc -> e :: acc) t.table []
+  |> List.sort (fun a b ->
+         let c = compare b.wall_s a.wall_s in
+         if c <> 0 then c
+         else
+           let c = String.compare a.fingerprint b.fingerprint in
+           if c <> 0 then c else String.compare a.branch b.branch)
+
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: tl -> x :: take (n - 1) tl
+
+let top t n = take n (entries t)
+
+let quantile e q =
+  let h = { h_count = e.calls; h_sum = e.wall_s; h_buckets = e.buckets } in
+  hist_quantile h q
+
+let reset t =
+  Hashtbl.reset t.table;
+  Hashtbl.reset t.branches;
+  Hashtbl.reset t.phase_hist;
+  t.recorded <- 0;
+  t.evicted <- 0;
+  t.total_wall_s <- 0.0;
+  t.evicted_wall_s <- 0.0
+
+(* Rendering --------------------------------------------------------- *)
+
+let ms v = Printf.sprintf "%.3f" (v *. 1e3)
+
+let phase_split kvs =
+  String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%s=%sms" k (ms v)) kvs)
+
+let counter_split kvs =
+  String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) kvs)
+
+let render_top t n =
+  let es = top t n in
+  if es = [] then [ "workload empty" ]
+  else
+    List.concat
+      (List.mapi
+         (fun i e ->
+           let mean = if e.calls = 0 then 0.0 else e.wall_s /. float_of_int e.calls in
+           let first =
+             Printf.sprintf "%d. wall_ms %s calls %d branch %s fp %s" (i + 1)
+               (ms e.wall_s) e.calls e.branch e.fingerprint
+           in
+           let second =
+             Printf.sprintf
+               "   mean_ms %s p50_ms %s p95_ms %s max_ms %s errors %d hits %d misses %d rows %d"
+               (ms mean)
+               (ms (quantile e 0.50))
+               (ms (quantile e 0.95))
+               (ms e.max_s) e.errors e.cache_hits e.cache_misses e.rows
+           in
+           let rest =
+             (if e.phase_s = [] then []
+              else [ "   phases " ^ phase_split e.phase_s ])
+             @
+             if e.counters = [] then []
+             else [ "   counters " ^ counter_split e.counters ]
+           in
+           first :: second :: rest)
+         es)
+
+let centers t =
+  Hashtbl.fold (fun b c acc -> (b, c) :: acc) t.branches []
+  |> List.sort (fun (_, a) (_, b) ->
+         compare b.c_hist.h_sum a.c_hist.h_sum)
+  |> fun l ->
+  List.stable_sort
+    (fun (na, a) (nb, b) ->
+      let c = compare b.c_hist.h_sum a.c_hist.h_sum in
+      if c <> 0 then c else String.compare na nb)
+    l
+
+let render_by_branch t =
+  let cs = centers t in
+  if cs = [] then [ "workload empty" ]
+  else
+    let total = t.total_wall_s in
+    List.concat
+      (List.map
+         (fun (name, c) ->
+           let mean =
+             if c.c_calls = 0 then 0.0 else c.c_hist.h_sum /. float_of_int c.c_calls
+           in
+           let share = if total > 0.0 then c.c_hist.h_sum /. total else 0.0 in
+           let first =
+             Printf.sprintf
+               "branch %s calls %d wall_ms %s share %.3f mean_ms %s p95_ms %s errors %d"
+               name c.c_calls (ms c.c_hist.h_sum) share (ms mean)
+               (ms (hist_quantile c.c_hist 0.95))
+               c.c_errors
+           in
+           if c.c_phase_s = [] then [ first ]
+           else [ first; "   phases " ^ phase_split c.c_phase_s ])
+         cs)
+
+let summary_lines t =
+  [
+    Printf.sprintf "workload.attributed_s %.6f" (attributed_s t);
+    Printf.sprintf "workload.evicted %d" t.evicted;
+    Printf.sprintf "workload.fingerprints %d" (Hashtbl.length t.table);
+    Printf.sprintf "workload.recorded %d" t.recorded;
+    Printf.sprintf "workload.total_s %.6f" t.total_wall_s;
+  ]
+
+let hist_lines ~family ~label_key name h =
+  let lines = ref [] in
+  let acc = ref 0 in
+  Array.iteri
+    (fun i n ->
+      acc := !acc + n;
+      let le =
+        if i < Array.length bounds then Prometheus.number bounds.(i) else "+Inf"
+      in
+      lines :=
+        Prometheus.sample
+          ~labels:[ (label_key, name); ("le", le) ]
+          (family ^ "_bucket") (string_of_int !acc)
+        :: !lines)
+    h.h_buckets;
+  let tail =
+    [
+      Prometheus.sample ~labels:[ (label_key, name) ] (family ^ "_sum")
+        (Prometheus.number h.h_sum);
+      Prometheus.sample ~labels:[ (label_key, name) ] (family ^ "_count")
+        (string_of_int h.h_count);
+    ]
+  in
+  List.rev !lines @ tail
+
+let prometheus_lines t =
+  (* Prometheus.sample does not add the namespace prefix, so spell the
+     cqa_ out here to match the HELP/TYPE headers. *)
+  let branch_families =
+    centers t
+    |> List.concat_map (fun (name, c) ->
+           hist_lines ~family:"cqa_workload_branch_seconds" ~label_key:"branch"
+             name c.c_hist)
+  in
+  let phases =
+    Hashtbl.fold (fun p h acc -> (p, h) :: acc) t.phase_hist []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let phase_families =
+    List.concat_map
+      (fun (p, h) ->
+        hist_lines ~family:"cqa_workload_phase_seconds" ~label_key:"phase" p h)
+      phases
+  in
+  (if branch_families = [] then []
+   else
+     ("# HELP cqa_workload_branch_seconds Request latency per plan branch."
+     :: "# TYPE cqa_workload_branch_seconds histogram" :: branch_families))
+  @
+  if phase_families = [] then []
+  else
+    "# HELP cqa_workload_phase_seconds Per-request phase time by cost center."
+    :: "# TYPE cqa_workload_phase_seconds histogram" :: phase_families
+
+(* JSON -------------------------------------------------------------- *)
+
+let json_num v = Printf.sprintf "%.9g" v
+
+let json_entry e =
+  let mean = if e.calls = 0 then 0.0 else e.wall_s /. float_of_int e.calls in
+  let phases =
+    String.concat ","
+      (List.map
+         (fun (k, v) -> Printf.sprintf "%s:%s" (Export.json_string k) (json_num v))
+         e.phase_s)
+  in
+  let counters =
+    String.concat ","
+      (List.map
+         (fun (k, v) -> Printf.sprintf "%s:%d" (Export.json_string k) v)
+         e.counters)
+  in
+  Printf.sprintf
+    "{\"fingerprint\":%s,\"branch\":%s,\"calls\":%d,\"errors\":%d,\"wall_s\":%s,\"mean_s\":%s,\"p50_s\":%s,\"p95_s\":%s,\"max_s\":%s,\"cache_hits\":%d,\"cache_misses\":%d,\"rows\":%d,\"phases\":{%s},\"counters\":{%s}}"
+    (Export.json_string e.fingerprint)
+    (Export.json_string e.branch)
+    e.calls e.errors (json_num e.wall_s) (json_num mean)
+    (json_num (quantile e 0.50))
+    (json_num (quantile e 0.95))
+    (json_num e.max_s) e.cache_hits e.cache_misses e.rows phases counters
+
+let json_center total (name, c) =
+  let share = if total > 0.0 then c.c_hist.h_sum /. total else 0.0 in
+  let phases =
+    String.concat ","
+      (List.map
+         (fun (k, v) -> Printf.sprintf "%s:%s" (Export.json_string k) (json_num v))
+         c.c_phase_s)
+  in
+  Printf.sprintf
+    "{\"branch\":%s,\"calls\":%d,\"errors\":%d,\"wall_s\":%s,\"share\":%s,\"p95_s\":%s,\"phases\":{%s}}"
+    (Export.json_string name) c.c_calls c.c_errors (json_num c.c_hist.h_sum)
+    (json_num share)
+    (json_num (hist_quantile c.c_hist 0.95))
+    phases
+
+let to_json t =
+  Printf.sprintf
+    "{\"capacity\":%d,\"recorded\":%d,\"evicted\":%d,\"total_wall_s\":%s,\"attributed_wall_s\":%s,\"entries\":[%s],\"branches\":[%s]}"
+    t.capacity t.recorded t.evicted (json_num t.total_wall_s)
+    (json_num (attributed_s t))
+    (String.concat "," (List.map json_entry (entries t)))
+    (String.concat "," (List.map (json_center t.total_wall_s) (centers t)))

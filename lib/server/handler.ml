@@ -11,10 +11,30 @@ type t = {
   slow_s : float option; (* slow-query threshold, seconds *)
   clock : unit -> float;
   next_rid : int ref; (* request ids, threaded through events and spans *)
+  stats : Obs.Stats.t option; (* fingerprint workload store *)
+  sampler : Obs.Sampler.t option; (* tail-sampled trace ring *)
+  fp_memo :
+    ( string,
+      (string * Logic.Cq.t) list
+      * Constraints.Ic.t list
+      * (string * string) )
+    Hashtbl.t;
+      (* sid|query|method|semantics -> (queries, ics, (fingerprint,
+         branch)), the lists validating the entry by physical identity;
+         bounded by periodic reset *)
+  mutable last_cache : Obs.Stats.cache_outcome;
+      (* what the memo cache did for the request being dispatched *)
+  mutable baseline_scratch : Obs.Registry.counter_baseline option;
+      (* previous request's counter capture, recycled in place *)
+  version : string;
+  started : float;
+      (* wall-clock at creation, for the uptime gauge; deliberately not
+         the stubbable latency clock, whose scripts count dispatches *)
 }
 
 let create ?(cache_capacity = 512) ?(max_body_lines = 10_000) ?on_trace ?events
-    ?slow_ms ?(clock = Unix.gettimeofday) () =
+    ?slow_ms ?stats ?sampler ?(version = "dev") ?(clock = Unix.gettimeofday) ()
+    =
   let metrics = Metrics.create () in
   (* Route the solver counters (sat.dpll.decisions, cavsat.sat_calls,
      repairs.candidates, and friends) into this handler's registry so
@@ -30,11 +50,20 @@ let create ?(cache_capacity = 512) ?(max_body_lines = 10_000) ?on_trace ?events
     slow_s = Option.map (fun ms -> ms /. 1e3) slow_ms;
     clock;
     next_rid = ref 0;
+    stats;
+    sampler;
+    fp_memo = Hashtbl.create 64;
+    last_cache = Obs.Stats.Uncached;
+    baseline_scratch = None;
+    version;
+    started = Unix.gettimeofday ();
   }
 
 let metrics t = t.metrics
 let sessions t = t.sessions
 let cache_length t = Lru.length t.cache
+let stats t = t.stats
+let sampler t = t.sampler
 
 (* Refresh the runtime gauges: GC pressure, domain-pool occupancy, and
    the serving layer's own residency numbers.  Called by the loop's
@@ -50,11 +79,31 @@ let sample_gauges t =
   g "sessions.tracked_keys" (Session.tracked_keys t.sessions);
   g "cache.entries" (Lru.length t.cache);
   g "cache.capacity" (Lru.capacity t.cache);
-  g "cache.evictions" (Lru.evictions t.cache)
+  g "cache.evictions" (Lru.evictions t.cache);
+  (* Mangles to cqa_server_uptime_seconds on /metrics: lets dashboards
+     detect restarts without scraping process metrics. *)
+  Obs.Registry.set_gauge registry "server.uptime_seconds"
+    (Unix.gettimeofday () -. t.started)
 
 let metrics_text t =
   sample_gauges t;
-  Obs.Prometheus.render (Metrics.registry t.metrics)
+  let base = Obs.Prometheus.render (Metrics.registry t.metrics) in
+  (* A constant-1 info gauge whose labels carry the identities a mixed
+     fleet is debugged by. *)
+  let build =
+    [
+      "# HELP cqa_build_info Build information; the value is always 1.";
+      "# TYPE cqa_build_info gauge";
+      Obs.Prometheus.sample
+        ~labels:
+          [ ("version", t.version); ("ocaml_version", Sys.ocaml_version) ]
+        "cqa_build_info" "1";
+    ]
+  in
+  let workload =
+    match t.stats with Some s -> Obs.Stats.prometheus_lines s | None -> []
+  in
+  base ^ String.concat "" (List.map (fun l -> l ^ "\n") (build @ workload))
 
 let method_label : P.method_ -> string = function
   | P.Auto -> "auto"
@@ -86,9 +135,11 @@ let cached t session key compute =
   match Lru.find t.cache key with
   | Some (head, body) ->
       Metrics.cache_hit t.metrics;
+      t.last_cache <- Obs.Stats.Hit;
       P.ok ~body head
   | None -> (
       Metrics.cache_miss t.metrics;
+      t.last_cache <- Obs.Stats.Miss;
       match compute () with
       | { P.status = `Ok; head; body } ->
           Lru.add t.cache key (head, body);
@@ -153,6 +204,79 @@ let query_cache_key (session : Session.t) name method_ semantics =
       session.digest; "query"; name; method_label method_;
       semantics_label semantics;
     ]
+
+(* The plan branch a QUERY/EXPLAIN executes: the auto route for
+   method=auto, the forced method's branch otherwise.  Shared by the
+   EXPLAIN plan section and by workload attribution. *)
+let branch_of (session : Session.t) (u : Logic.Ucq.t) method_ semantics =
+  match u.Logic.Ucq.disjuncts with
+  | [ q ] -> (
+      match (semantics, method_) with
+      | P.C, _ -> "asp_c"
+      | P.S, P.Auto ->
+          Cqa.Engine.route_label
+            (Cqa.Engine.plan session.engine q).Cqa.Engine.route
+      | P.S, P.Enum -> "repair_enumeration"
+      | P.S, P.Rewriting -> "residue_rewriting"
+      | P.S, P.Key_rewriting -> "key_rewriting"
+      | P.S, P.Asp -> "asp"
+      | P.S, P.Sat -> "sat_compilation")
+  | _ -> (
+      match (semantics, method_) with
+      | P.C, _ -> "asp_c"
+      | P.S, P.Asp -> "asp"
+      | P.S, _ -> "repair_enumeration")
+
+(* Workload identity of a QUERY/EXPLAIN: semantics-qualified fingerprint
+   (Cqa.Fingerprint — canonical variable renaming, constants abstracted)
+   and plan branch.  Memoized because the branch requires a classifier
+   pass — but NOT under the data digest: the fingerprint depends only on
+   the query definition and the branch only on the query and the ICs, so
+   a row UPDATE must not invalidate the memo (re-planning after every
+   update would price attribution at a classifier pass per query).  The
+   doc's [queries]/[ics] lists keep their physical identity across row
+   updates and are rebuilt by LOAD, which is exactly the invalidation
+   the memo needs.  Reset rather than evicted when it grows (it is tiny
+   relative to its keys). *)
+let fp_branch t (session : Session.t) name method_ semantics =
+  let key =
+    String.concat "|"
+      [ session.id; name; method_label method_; semantics_label semantics ]
+  in
+  let queries = session.doc.queries and ics = session.doc.ics in
+  match Hashtbl.find_opt t.fp_memo key with
+  | Some (q0, i0, fb) when q0 == queries && i0 == ics -> fb
+  | _ ->
+      let fb =
+        match Cqa.Parse.find_ucq session.doc name with
+        | exception Not_found ->
+            (semantics_label semantics ^ ":unknown:" ^ name, "service")
+        | u ->
+            ( semantics_label semantics ^ ":" ^ Cqa.Fingerprint.ucq u,
+              branch_of session u method_ semantics )
+      in
+      if Hashtbl.length t.fp_memo > 4096 then Hashtbl.reset t.fp_memo;
+      Hashtbl.replace t.fp_memo key (queries, ics, fb);
+      fb
+
+(* Every command gets a workload identity so the store attributes ~all
+   request wall time: queries by shape x plan branch, everything else
+   under its command label on the "service" branch. *)
+let workload_identity t command =
+  match command with
+  | P.Query { sid; name; method_; semantics }
+  | P.Explain { sid; name; method_; semantics } -> (
+      match Session.find t.sessions sid with
+      | None -> (String.lowercase_ascii (P.command_label command), "service")
+      | Some session ->
+          let fp, branch = fp_branch t session name method_ semantics in
+          let fp =
+            match command with P.Explain _ -> "explain:" ^ fp | _ -> fp
+          in
+          (fp, branch))
+  | P.Repairs { semantics; _ } ->
+      ("repairs:" ^ semantics_label semantics, "service")
+  | c -> (String.lowercase_ascii (P.command_label c), "service")
 
 (* The plan section of EXPLAIN: the Engine.plan branch the request
    executes (direct / key_rewriting / sat_compilation /
@@ -352,13 +476,68 @@ let exec t payload = function
                    (Relational.Instance.size session.doc.instance)))
   | P.Stats ->
       sample_gauges t;
+      let workload =
+        match t.stats with
+        | None -> []
+        | Some stats ->
+            ("-- workload" :: Obs.Stats.summary_lines stats)
+            @ (match t.sampler with
+              | None -> []
+              | Some s ->
+                  [
+                    Printf.sprintf "workload.tail_kept %d" (Obs.Sampler.kept s);
+                    Printf.sprintf "workload.tail_overwritten %d"
+                      (Obs.Sampler.overwritten s);
+                    Printf.sprintf "workload.tail_seen %d" (Obs.Sampler.seen s);
+                  ])
+      in
       let body =
         Printf.sprintf "sessions %d" (Session.count t.sessions)
         :: Printf.sprintf "cache_entries %d" (Lru.length t.cache)
         :: Printf.sprintf "cache_evictions %d" (Lru.evictions t.cache)
         :: Metrics.render t.metrics
+        @ workload
       in
       P.ok ~body (Printf.sprintf "stats=%d" (List.length body))
+  | P.Workload mode -> (
+      match t.stats with
+      | None ->
+          P.err "workload stats disabled (start the server with --workload)"
+      | Some stats -> (
+          match mode with
+          | `Summary ->
+              let body =
+                Obs.Stats.summary_lines stats
+                @
+                match t.sampler with
+                | None -> []
+                | Some s ->
+                    [
+                      Printf.sprintf "workload.tail_kept %d"
+                        (Obs.Sampler.kept s);
+                      Printf.sprintf "workload.tail_seen %d"
+                        (Obs.Sampler.seen s);
+                    ]
+              in
+              P.ok ~body
+                (Printf.sprintf "workload recorded=%d fingerprints=%d"
+                   (Obs.Stats.recorded stats)
+                   (Obs.Stats.length stats))
+          | `Top n ->
+              P.ok
+                ~body:(Obs.Stats.render_top stats n)
+                (Printf.sprintf "workload top=%d of %d" n
+                   (Obs.Stats.length stats))
+          | `By_branch ->
+              P.ok
+                ~body:(Obs.Stats.render_by_branch stats)
+                "workload by branch"
+          | `Reset ->
+              Obs.Stats.reset stats;
+              (match t.sampler with
+              | Some s -> Obs.Sampler.clear s
+              | None -> ());
+              P.ok "workload reset"))
   | P.Metrics ->
       let body =
         String.split_on_char '\n' (metrics_text t)
@@ -378,7 +557,8 @@ let traceable = function
   | P.Load _ | P.Query _ | P.Check _ | P.Repairs _ | P.Measure _
   | P.Update _ | P.Explain _ | P.Analyze _ ->
       true
-  | P.Stats | P.Metrics | P.Trace _ | P.Close _ | P.Quit -> false
+  | P.Stats | P.Metrics | P.Trace _ | P.Workload _ | P.Close _ | P.Quit ->
+      false
 
 let sid_of = function
   | P.Load sid
@@ -391,7 +571,7 @@ let sid_of = function
   | P.Explain { sid; _ }
   | P.Analyze { sid; _ } ->
       Some sid
-  | P.Stats | P.Metrics | P.Trace _ | P.Quit -> None
+  | P.Stats | P.Metrics | P.Trace _ | P.Workload _ | P.Quit -> None
 
 let emit_request_event t ~rid ~command ~response ~latency =
   match t.events with
@@ -445,10 +625,24 @@ let dispatch t ?payload command =
   incr t.next_rid;
   let rid = !(t.next_rid) in
   let registry = Metrics.registry t.metrics in
-  let collecting = t.slow_s <> None && traceable command in
-  let before =
-    if collecting then Obs.Registry.counter_snapshot registry else []
+  (* The slow-query log, the workload store (phase attribution, counter
+     deltas) and the tail sampler all want the request's span tree, so
+     any of them arms the private collection. *)
+  let collecting =
+    (t.slow_s <> None || t.stats <> None || t.sampler <> None)
+    && traceable command
   in
+  let before =
+    if collecting then begin
+      let b =
+        Obs.Registry.counter_baseline ?reuse:t.baseline_scratch registry
+      in
+      t.baseline_scratch <- Some b;
+      Some b
+    end
+    else None
+  in
+  t.last_cache <- Obs.Stats.Uncached;
   let t0 = t.clock () in
   let run () =
     try exec t payload command
@@ -473,11 +667,45 @@ let dispatch t ?payload command =
   Metrics.observe t.metrics ~command:(P.command_label command) ~latency;
   if response.P.status = `Err then Metrics.error t.metrics;
   emit_request_event t ~rid ~command ~response ~latency;
+  let deltas =
+    lazy
+      (match before with
+      | Some b -> Obs.Registry.counter_delta_since b registry
+      | None -> [])
+  in
   (match (t.slow_s, collected) with
   | Some thr, Some spans when latency > thr ->
-      let deltas = Obs.Registry.counter_delta ~since:before registry in
-      emit_slow_event t ~rid ~command ~latency ~spans ~deltas
+      emit_slow_event t ~rid ~command ~latency ~spans
+        ~deltas:(Lazy.force deltas)
   | _ -> ());
+  (* Fold the request into the workload store — every command, so the
+     store attributes (approximately) all request wall time. *)
+  (match t.stats with
+  | None -> ()
+  | Some stats ->
+      let fingerprint, branch = workload_identity t command in
+      let phases =
+        match collected with
+        | Some spans -> Obs.Stats.phases_of_spans spans
+        | None -> []
+      in
+      let counters = if collecting then Lazy.force deltas else [] in
+      Obs.Stats.record stats ~fingerprint ~branch ~wall_s:latency
+        ~rows:(List.length response.P.body)
+        ~cache:t.last_cache
+        ~error:(response.P.status = `Err)
+        ~phases ~counters ());
+  (* Offer the span tree to the tail sampler; discarded unless the
+     request erred, ran over the threshold, or fell on the sampling
+     grid. *)
+  (match t.sampler with
+  | None -> ()
+  | Some sampler ->
+      ignore
+        (Obs.Sampler.offer sampler ~rid ~command:(P.command_label command)
+           ~wall_s:latency
+           ~ok:(response.P.status = `Ok)
+           (Option.value ~default:[] collected)));
   (* When server-wide tracing is on, hand the spans this request left to
      the owner (cqa_server streams them to disk).  With the slow-query
      log armed they were captured privately; otherwise they sit in the

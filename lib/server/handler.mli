@@ -21,6 +21,9 @@ val create :
   ?on_trace:(Obs.Trace.span list -> unit) ->
   ?events:Obs.Events.sink ->
   ?slow_ms:float ->
+  ?stats:Obs.Stats.t ->
+  ?sampler:Obs.Sampler.t ->
+  ?version:string ->
   ?clock:(unit -> float) ->
   unit ->
   t
@@ -38,6 +41,19 @@ val create :
     [clock] (default [Unix.gettimeofday]) is what latencies are measured
     with; tests stub it.
 
+    [stats] arms workload introspection: every finished request is
+    folded into the {!Obs.Stats} store under its query fingerprint
+    ([Cqa.Fingerprint], qualified by semantics) and plan branch — other
+    commands under their command label on the ["service"] branch — with
+    cache outcome, rows, per-phase time from the span tree, and solver
+    counter deltas.  Read back with the WORKLOAD command, the
+    [-- workload] STATS section, and the [cqa_workload_*] metrics
+    families.  [sampler] arms tail-sampled tracing: each request's span
+    tree is offered to the {!Obs.Sampler} ring and retained only for
+    error, over-threshold, or reservoir-sampled requests.  Either one
+    (like [slow_ms]) runs session-touching commands under the private
+    span collection.  [version] labels the [cqa_build_info] gauge.
+
     Creation installs the handler's metrics registry as the
     process-current {!Obs.Registry}, so solver counters land in the same
     STATS dump as request metrics. *)
@@ -45,6 +61,13 @@ val create :
 val metrics : t -> Metrics.t
 val sessions : t -> Session.store
 val cache_length : t -> int
+
+val stats : t -> Obs.Stats.t option
+(** The workload store, when armed — the server dumps it on shutdown. *)
+
+val sampler : t -> Obs.Sampler.t option
+(** The tail-sampling ring, when armed — flushed alongside the event
+    log on shutdown. *)
 
 val sample_gauges : t -> unit
 (** Refresh the runtime gauges in the metrics registry: [gc.*]
@@ -57,7 +80,11 @@ val sample_gauges : t -> unit
 val metrics_text : t -> string
 (** {!sample_gauges}, then the whole registry as Prometheus text
     exposition ({!Obs.Prometheus.render}) — the document served on
-    [--metrics-port] and by the METRICS command. *)
+    [--metrics-port] and by the METRICS command — followed by the
+    [cqa_build_info] gauge (version/ocaml_version labels) and, when
+    workload stats are armed, the labeled [cqa_workload_*] histogram
+    families.  Uptime is in the registry itself as
+    [cqa_server_uptime_seconds] (refreshed by {!sample_gauges}). *)
 
 val dispatch : t -> ?payload:string list -> Protocol.command -> Protocol.response
 (** Execute one parsed command, recording request count and latency.

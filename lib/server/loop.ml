@@ -28,8 +28,8 @@ type t = {
   mutable stopped : bool;
 }
 
-let create ?cache_capacity ?max_body_lines ?on_trace ?events ?slow_ms ?clock
-    ?metrics_fd listen_fd =
+let create ?cache_capacity ?max_body_lines ?on_trace ?events ?slow_ms ?stats
+    ?sampler ?version ?clock ?metrics_fd listen_fd =
   Unix.set_nonblock listen_fd;
   Option.iter Unix.set_nonblock metrics_fd;
   {
@@ -37,7 +37,7 @@ let create ?cache_capacity ?max_body_lines ?on_trace ?events ?slow_ms ?clock
     metrics_fd;
     handler =
       Handler.create ?cache_capacity ?max_body_lines ?on_trace ?events
-        ?slow_ms ?clock ();
+        ?slow_ms ?stats ?sampler ?version ?clock ();
     conns = [];
     hconns = [];
     stopped = false;

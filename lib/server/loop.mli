@@ -16,6 +16,9 @@ val create :
   ?on_trace:(Obs.Trace.span list -> unit) ->
   ?events:Obs.Events.sink ->
   ?slow_ms:float ->
+  ?stats:Obs.Stats.t ->
+  ?sampler:Obs.Sampler.t ->
+  ?version:string ->
   ?clock:(unit -> float) ->
   ?metrics_fd:Unix.file_descr ->
   Unix.file_descr ->

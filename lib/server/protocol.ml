@@ -30,6 +30,7 @@ type command =
       semantics : semantics;
     }
   | Analyze of { sid : string; name : string option }
+  | Workload of [ `Summary | `Top of int | `By_branch | `Reset ]
   | Close of string
   | Quit
 
@@ -169,6 +170,22 @@ let parse_exn line =
           Ok (Explain { sid; name; method_; semantics })
       | "EXPLAIN", _ ->
           Error "usage: EXPLAIN <sid> <name> [method=M] [semantics=S]"
+      | "WORKLOAD", [] -> Ok (Workload `Summary)
+      | "WORKLOAD", [ sub ] -> (
+          match String.uppercase_ascii sub with
+          | "TOP" -> Ok (Workload (`Top 10))
+          | "RESET" -> Ok (Workload `Reset)
+          | s -> Error (Printf.sprintf "unknown WORKLOAD mode %S" s))
+      | "WORKLOAD", [ sub; arg ] -> (
+          match (String.uppercase_ascii sub, arg) with
+          | "TOP", n -> (
+              match int_of_string_opt n with
+              | Some n when n > 0 -> Ok (Workload (`Top n))
+              | _ -> Error "usage: WORKLOAD TOP <n>")
+          | "BY", b when String.lowercase_ascii b = "branch" ->
+              Ok (Workload `By_branch)
+          | _ -> Error "usage: WORKLOAD [TOP <n> | BY branch | RESET]")
+      | "WORKLOAD", _ -> Error "usage: WORKLOAD [TOP <n> | BY branch | RESET]"
       | "ANALYZE", [ sid ] -> Ok (Analyze { sid; name = None })
       | "ANALYZE", [ sid; name ] -> Ok (Analyze { sid; name = Some name })
       | "ANALYZE", _ -> Error "usage: ANALYZE <sid> [<query-name>]"
@@ -197,6 +214,7 @@ let command_label = function
   | Trace _ -> "TRACE"
   | Explain _ -> "EXPLAIN"
   | Analyze _ -> "ANALYZE"
+  | Workload _ -> "WORKLOAD"
   | Close _ -> "CLOSE"
   | Quit -> "QUIT"
 
@@ -209,18 +227,29 @@ let err msg = { status = `Err; head = msg; body = [] }
    terminator would end the response early (readers stop at the first
    lone "."), so it is indented; and bodies longer than [max_lines] are
    cut with an explicit marker so clients can tell truncation from a
-   short answer. *)
+   short answer.  Clamping is line-aware: a body element containing
+   embedded newlines is split into its physical lines first, so the
+   budget counts what actually goes on the wire, an embedded lone "."
+   cannot tear the framing, and truncation always falls on a line
+   boundary — machine consumers never see a torn line. *)
 let clamp ?(max_lines = 10_000) r =
   let safe line = if String.equal line terminator then " ." else line in
-  let n = List.length r.body in
   let body =
-    if n <= max_lines then List.map safe r.body
+    (* Split elements carrying embedded newlines into physical lines;
+       the common newline-free element passes through unallocated. *)
+    if List.exists (fun l -> String.contains l '\n') r.body then
+      List.concat_map (String.split_on_char '\n') r.body
+    else r.body
+  in
+  let n = List.length body in
+  let body =
+    if n <= max_lines then List.map safe body
     else
       let rec take k = function
         | x :: rest when k > 0 -> safe x :: take (k - 1) rest
         | _ -> [ Printf.sprintf "...truncated (%d of %d lines)" max_lines n ]
       in
-      take max_lines r.body
+      take max_lines body
   in
   { r with body }
 

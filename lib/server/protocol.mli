@@ -17,6 +17,7 @@
     EXPLAIN <sid> <name> [method=auto|enum|rewriting|key-rewriting|asp|sat]
                          [semantics=s|c]
     ANALYZE <sid> [<query-name>]
+    WORKLOAD [TOP <n> | BY branch | RESET]
     CLOSE <sid>
     QUIT
     v}
@@ -60,6 +61,10 @@ type command =
   | Analyze of { sid : string; name : string option }
       (** ANALYZE: static analysis of the session's constraints, repair
           program and queries — or of one named query *)
+  | Workload of [ `Summary | `Top of int | `By_branch | `Reset ]
+      (** WORKLOAD: the fingerprint statements store — summary counters,
+          top-[n] fingerprints by total wall time, per-plan-branch cost
+          centers, or reset *)
   | Close of string
   | Quit
 
@@ -82,10 +87,14 @@ val ok : ?body:string list -> string -> response
 val err : string -> response
 
 val clamp : ?max_lines:int -> response -> response
-(** Framing safety: body lines equal to {!terminator} are indented so
-    they cannot end the response early, and bodies longer than
-    [max_lines] (default 10,000) are truncated with a final
-    ["...truncated (K of N lines)"] marker line. *)
+(** Framing safety.  Body elements are first split into physical lines
+    (an element carrying embedded newlines counts as — and is clamped
+    as — the lines it puts on the wire); lines equal to {!terminator}
+    are indented so they cannot end the response early; and bodies
+    longer than [max_lines] physical lines (default 10,000) are
+    truncated on a line boundary with a final
+    ["...truncated (K of N lines)"] marker line, so machine consumers
+    never see a torn line. *)
 
 val render : response -> string
 (** The full wire text of a response, ["\n"]-terminated lines including

@@ -34,4 +34,5 @@ let () =
       ("fast", Test_fast.suite);
       ("analysis", Test_analysis.suite);
       ("pulse", Test_pulse.suite);
+      ("workload", Test_workload.suite);
     ]
