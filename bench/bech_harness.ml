@@ -35,3 +35,15 @@ let once f =
   let result = f () in
   let t1 = Unix.gettimeofday () in
   (result, (t1 -. t0) *. 1e9)
+
+(* Best-of-[k] wall clock: repeat [f] and keep the fastest run.  Damps
+   scheduler and GC noise for comparisons where a single shot would be
+   too jittery but Bechamel's sampling would blow the time budget. *)
+let best_of k f =
+  let result = ref None and best = ref infinity in
+  for _ = 1 to k do
+    let r, ns = once f in
+    result := Some r;
+    if ns < !best then best := ns
+  done;
+  (Option.get !result, !best)

@@ -75,7 +75,7 @@ let to_ns field v = if has_suffix "_s" field then v *. 1e9 else v
    result would masquerade as a missing row. *)
 let param_fields =
   [ "n"; "pairs"; "requests"; "months"; "chains"; "conflicts"; "rate";
-    "case"; "method"; "trials" ]
+    "case"; "method"; "trials"; "query" ]
 
 let row_key row =
   let part name =

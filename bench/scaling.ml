@@ -24,11 +24,14 @@ let b1 ~quick () =
       let db, key = Gen.key_conflict_chain ~seed:11 ~pairs () in
       let schema = Instance.schema db in
       let repairs, enum_ns =
-        Bech_harness.once (fun () -> Repairs.S_repair.enumerate db schema [ key ])
+        Bech_harness.best_of 3 (fun () ->
+            Repairs.S_repair.enumerate db schema [ key ])
       in
-      (* Same enumeration with four domains: must be byte-identical. *)
+      (* Same enumeration with four domains: must be byte-identical.
+         Best-of-3 because domain spawn-time jitter at tiny sizes would
+         otherwise dominate the measurement (and flap the bench gate). *)
       let repairs4, enum4_ns =
-        Bech_harness.once (fun () ->
+        Bech_harness.best_of 3 (fun () ->
             Par.set_default_jobs 4;
             Fun.protect
               ~finally:(fun () -> Par.set_default_jobs 1)
@@ -361,11 +364,15 @@ let b9 ~quick () =
     (fun pairs ->
       let db, key = Gen.key_conflict_chain ~seed:29 ~pairs () in
       let schema = Instance.schema db in
+      (* Best-of-3: the small sizes finish in well under a millisecond,
+         where single-shot timings flap the bench gate. *)
       let count, cf_ns =
-        Bech_harness.once (fun () -> Repairs.Count.s_repairs db schema [ key ])
+        Bech_harness.best_of 3 (fun () ->
+            Repairs.Count.s_repairs db schema [ key ])
       in
       let _, enum_ns =
-        Bech_harness.once (fun () -> Repairs.S_repair.enumerate db schema [ key ])
+        Bech_harness.best_of 3 (fun () ->
+            Repairs.S_repair.enumerate db schema [ key ])
       in
       Printf.printf "  %6d %12d %14s %14s\n" pairs count (Bech_harness.pp_ns cf_ns)
         (Bech_harness.pp_ns enum_ns);
@@ -847,12 +854,168 @@ let b17 ~quick () =
     sizes;
   print_newline ()
 
+(* B18: the cqa-columnar tentpole — compiled columnar kernels vs the row
+   interpreter on the FO-rewriting pipeline.  Both phases evaluate the
+   same Fuxman–Miller rewritings ([Formula.answers] picks the engine via
+   [Columnar.set_enabled]); answers are asserted identical, and counter
+   deltas prove which engine ran: the columnar phase must show
+   scan.columnar and join.fused activity with scan.row at zero (the
+   string-labelled column also feeds dict.entries — labels are salted
+   per size so the delta is visible), while the row phase must show
+   scan.row.  At n = 10^4 the compiled kernels must clear 5x. *)
+let b18 ~quick () =
+  header "B18" "columnar kernels vs row interpreter (cqa-columnar)"
+    "fused columnar scans/joins answer the FO-rewriting pipeline with the \
+     same tuples as the row interpreter at a fraction of the time";
+  let sizes = if quick then [ 100; 1000 ] else [ 100; 1000; 10000 ] in
+  let open Logic in
+  let schema =
+    Relational.Schema.of_list
+      [ ("T", [ "k"; "v"; "lbl"; "p"; "q"; "r" ]); ("S", [ "v"; "w" ]) ]
+  in
+  let keys = [ ("T", [ 0 ]); ("S", [ 0 ]) ] in
+  let instance n =
+    (* ~20% of T keys and ~14% of S keys get a second claimant, so the
+       rewriting's guards have real refutation work to do.  T is wide
+       (arity 6) — realistic for the census/claims tables CQA papers
+       benchmark on — which is where per-tuple Binding costs bite the
+       row interpreter.  String columns are salted with [n] so every
+       size interns fresh dictionary entries. *)
+    let m = max 10 (n / 10) in
+    let lbl i = Value.str (Printf.sprintf "u%d-%d" n (i mod 97)) in
+    let rv i = Value.str (Printf.sprintf "r%d-%d" n (i mod 53)) in
+    let trow i j =
+      [ Value.int i; Value.int (j mod m); lbl j; Value.int (j mod 31);
+        Value.int (j mod 13); rv j ]
+    in
+    let t_rows =
+      List.concat_map
+        (fun i ->
+          if i mod 5 = 0 then [ trow i i; trow i (i + 1) ] else [ trow i i ])
+        (List.init n Fun.id)
+    in
+    let s_rows =
+      List.concat_map
+        (fun j ->
+          let base = [ Value.int j; Value.int (j mod 50) ] in
+          if j mod 7 = 0 then
+            [ base; [ Value.int j; Value.int ((j + 1) mod 50) ] ]
+          else [ base ])
+        (List.init m Fun.id)
+    in
+    Instance.of_rows schema [ ("T", t_rows); ("S", s_rows) ]
+  in
+  let x = Term.var "x" and y = Term.var "y" and l = Term.var "l"
+  and p = Term.var "p" and qv = Term.var "qv" and r = Term.var "r"
+  and w = Term.var "w" in
+  let t_atom = Atom.make "T" [ x; y; l; p; qv; r ] in
+  let queries =
+    [
+      ("proj", Cq.make ~name:"proj" [ x ] [ t_atom ]);
+      ("full", Cq.make ~name:"full" [ x; y; l; p; qv; r ] [ t_atom ]);
+      ( "chain",
+        Cq.make ~name:"chain" [ x ] [ t_atom; Atom.make "S" [ y; w ] ] );
+    ]
+  in
+  let with_columnar on f =
+    let prev = Relational.Columnar.enabled () in
+    Relational.Columnar.set_enabled on;
+    Fun.protect ~finally:(fun () -> Relational.Columnar.set_enabled prev) f
+  in
+  Printf.printf "  %6s %6s %10s %14s %14s %8s %8s %6s\n" "n" "query"
+    "#answers" "row" "columnar" "speedup" "fused" "dict+";
+  (* Timing comparison, not memory bench: give the major GC slack so
+     slice work triggered by whatever earlier benches left live is not
+     billed to either phase (restored below). *)
+  let gc = Gc.get () in
+  Gc.set { gc with Gc.space_overhead = 500 };
+  Fun.protect ~finally:(fun () -> Gc.set gc) @@ fun () ->
+  List.iter
+    (fun n ->
+      let db = instance n in
+      let speedups = ref [] in
+      (* Earlier benches leave a large, fragmented major heap whose GC
+         slices would be billed to whichever phase allocates more;
+         compact so both phases start from the same heap. *)
+      Gc.compact ();
+      List.iter
+        (fun (qname, q) ->
+          let run () =
+            Option.get (Rewriting.Key_rewrite.consistent_answers q ~keys db)
+          in
+          let before = Obs.Registry.counter_snapshot (Obs.Registry.current ()) in
+          let col_answers, col_ns =
+            Bech_harness.best_of 3 (fun () -> with_columnar true run)
+          in
+          let delta =
+            Obs.Registry.counter_delta ~since:before (Obs.Registry.current ())
+          in
+          let d name = Option.value ~default:0 (List.assoc_opt name delta) in
+          assert (d "scan.columnar" > 0);
+          (* [proj]'s guard has no conditions to refute, so its plan is a
+             bare scan; the other rewritings must run fused join kernels. *)
+          assert (qname = "proj" || d "join.fused" > 0);
+          assert (d "scan.row" = 0);
+          let row_ns =
+            let before = Obs.Registry.counter_snapshot (Obs.Registry.current ()) in
+            let row_answers, ns =
+              Bech_harness.best_of 3 (fun () -> with_columnar false run)
+            in
+            let delta =
+              Obs.Registry.counter_delta ~since:before (Obs.Registry.current ())
+            in
+            assert (Option.value ~default:0 (List.assoc_opt "scan.row" delta) > 0);
+            assert (row_answers = col_answers);
+            ns
+          in
+          let speedup = row_ns /. col_ns in
+          speedups := speedup :: !speedups;
+          (* Every query must show a solid per-query win at 10^4; the 5x
+             acceptance bar is enforced on the pipeline geomean below. *)
+          assert (n < 10000 || speedup >= 3.);
+          Printf.printf "  %6d %6s %10d %14s %14s %7.1fx %8d %6d\n" n qname
+            (List.length col_answers)
+            (Bech_harness.pp_ns row_ns)
+            (Bech_harness.pp_ns col_ns) speedup (d "join.fused")
+            (d "dict.entries");
+          Bench_json.record ~bench:"b18"
+            ([
+               ("n", Bench_json.int n);
+               ("query", Bench_json.str qname);
+               ("answers", Bench_json.int (List.length col_answers));
+               ("columnar_ns", Bench_json.num col_ns);
+               ("scan_columnar", Bench_json.int (d "scan.columnar"));
+               ("join_fused", Bench_json.int (d "join.fused"));
+               ("dict_entries", Bench_json.int (d "dict.entries"));
+               ("scan_row_during_columnar", Bench_json.int (d "scan.row"));
+               ("row_ns", Bench_json.num row_ns);
+               ("speedup", Bench_json.num speedup);
+             ]))
+        queries;
+      let geo =
+        exp
+          (List.fold_left (fun a s -> a +. log s) 0. !speedups
+          /. float_of_int (List.length !speedups))
+      in
+      Printf.printf "  %6d %6s %49s %7.1fx\n" n "geo" "" geo;
+      Bench_json.record ~bench:"b18"
+        [
+          ("n", Bench_json.int n);
+          ("query", Bench_json.str "geomean");
+          ("speedup", Bench_json.num geo);
+        ];
+      (* The acceptance bar: at 10^4 tuples the compiled kernels must beat
+         the row interpreter by 5x across the FO-rewriting pipeline. *)
+      assert (n < 10000 || geo >= 5.))
+    sizes;
+  print_newline ()
+
 let all =
   [
     ("b1", b1); ("b2", b2); ("b3", b3); ("b4", b4); ("b5", b5); ("b6", b6);
     ("b7", b7); ("b8", b8); ("b9", b9); ("b10", b10); ("b11", b11);
     ("b12", b12); ("b13", b13); ("b14", b14); ("b15", b15); ("b16", b16);
-    ("b17", b17);
+    ("b17", b17); ("b18", b18);
   ]
 
 let run ~quick ids =

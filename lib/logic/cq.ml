@@ -1,7 +1,11 @@
 module Instance = Relational.Instance
 module Tvl = Relational.Tvl
+module Plan = Relational.Plan
+module Columnar = Relational.Columnar
 
 type t = { name : string; head : Term.t list; body : Atom.t list; comps : Cmp.t list }
+
+let c_scan_row = Obs.Counter.make "scan.row"
 
 let make ?(name = "Q") ?(comps = []) head body = { name; head; body; comps }
 let arity q = List.length q.head
@@ -81,6 +85,7 @@ let candidates inst env (a : Atom.t) pending =
    variables (a cheap greedy join order), and check comparisons as soon as
    their variables are bound. *)
 let bindings q inst =
+  Obs.Counter.incr c_scan_row;
   let eval_comps env pending =
     let ready, rest = List.partition (cmp_ready env) pending in
     if List.for_all (fun c -> Tvl.to_bool (Binding.eval_cmp env c)) ready then
@@ -130,24 +135,186 @@ module Row_set = Set.Make (struct
   let compare = List.compare Relational.Value.compare
 end)
 
+(* --- compiled columnar evaluation ----------------------------------- *)
+
+(* Union-find canonicalization of Var = Var equality comparisons whose
+   variables both occur in the body: merged variables share one plan
+   column, turning the equality into a (NULL-rejecting) natural-join
+   constraint — the same test the row path applies when it matches a
+   bound variable.  An equality between already-merged variables (e.g.
+   x = x) stays behind as a residual self-comparison, which rejects
+   NULL exactly like [Binding.eval_cmp] would. *)
+let rep_table body_vars comps =
+  let parent : (string, string) Hashtbl.t = Hashtbl.create 8 in
+  let rec find x =
+    match Hashtbl.find_opt parent x with
+    | Some p when not (String.equal p x) ->
+        let r = find p in
+        Hashtbl.replace parent x r;
+        r
+    | _ -> x
+  in
+  let residual =
+    List.filter
+      (fun (c : Cmp.t) ->
+        match c.op, c.left, c.right with
+        | Cmp.Eq, Term.Var x, Term.Var y
+          when List.mem x body_vars && List.mem y body_vars ->
+            let rx = find x and ry = find y in
+            if String.equal rx ry then true
+            else begin
+              Hashtbl.replace parent rx ry;
+              false
+            end
+        | _ -> true)
+      comps
+  in
+  (find, residual)
+
+let plan_op : Cmp.op -> Plan.op = function
+  | Cmp.Eq -> Plan.Eq
+  | Cmp.Neq -> Plan.Neq
+  | Cmp.Lt -> Plan.Lt
+  | Cmp.Le -> Plan.Le
+  | Cmp.Gt -> Plan.Gt
+  | Cmp.Ge -> Plan.Ge
+
+(* Greedy connected join order: always joins against an input sharing a
+   column when one exists, deferring cartesian products to the end. *)
+let order_scans = function
+  | [] -> invalid_arg "Cq.order_scans: no scans"
+  | first :: rest ->
+      let rec go plan vars pending =
+        match pending with
+        | [] -> plan
+        | _ ->
+            let shares (_, vs) = List.exists (fun v -> List.mem v vars) vs in
+            let next, others =
+              match List.partition shares pending with
+              | n :: ns, os -> (n, ns @ os)
+              | [], o :: os -> (o, os)
+              | [], [] -> assert false
+            in
+            go (Plan.Join (plan, fst next)) (snd next @ vars) others
+      in
+      go (fst first) (snd first) rest
+
+let compile_body inst ~tids atoms comps =
+  if atoms = [] then None
+  else
+    let schema = Instance.schema inst in
+    if
+      List.exists
+        (fun (a : Atom.t) -> not (Relational.Schema.mem schema a.Atom.rel))
+        atoms
+    then None (* the row path raises on undeclared relations; keep it *)
+    else
+      let body_vars =
+        Term.vars (List.concat_map (fun (a : Atom.t) -> a.args) atoms)
+      in
+      let find, residual = rep_table body_vars comps in
+      (* Comparisons whose variables all occur in the body become filter
+         predicates.  The rest never become ready in the row path's
+         pending partition and are silently dropped there — mirror that. *)
+      let preds =
+        List.filter_map
+          (fun (c : Cmp.t) ->
+            if List.for_all (fun v -> List.mem v body_vars) (Cmp.vars c) then
+              let conv = function
+                | Term.Const v -> Plan.Const v
+                | Term.Var x -> Plan.Col (find x)
+              in
+              Some
+                { Plan.op = plan_op c.op; left = conv c.left; right = conv c.right }
+            else None)
+          residual
+      in
+      let scans =
+        List.mapi
+          (fun i (a : Atom.t) ->
+            let args =
+              List.map
+                (function
+                  | Term.Const v -> Plan.Aconst v
+                  | Term.Var x -> Plan.Avar (find x))
+                a.args
+            in
+            let tid = if tids then Some (Printf.sprintf "#tid%d" i) else None in
+            let scan = Plan.Scan { rel = a.rel; args; tid } in
+            (scan, Plan.cols scan))
+          atoms
+      in
+      let joined = order_scans scans in
+      let plan = if preds = [] then joined else Plan.Filter (Plan.All preds, joined) in
+      Some (plan, find)
+
+(* The compiled path of [answers]: [None] on the shapes the interpreter
+   must keep (empty body, unsafe head, undeclared relation). *)
+let columnar_answers q inst =
+  let head_ok =
+    let bv = body_vars q in
+    List.for_all (fun v -> List.mem v bv) (head_vars q)
+  in
+  if not head_ok then None
+  else
+    match compile_body inst ~tids:false q.body q.comps with
+    | None -> None
+    | Some (plan, find) ->
+        let out_vars =
+          List.fold_left
+            (fun acc t ->
+              match t with
+              | Term.Const _ -> acc
+              | Term.Var x ->
+                  let r = find x in
+                  if List.mem r acc then acc else r :: acc)
+            [] q.head
+          |> List.rev
+        in
+        let table =
+          Plan.run inst (Plan.Distinct (Plan.Project (out_vars, plan)))
+        in
+        let pos =
+          List.map
+            (fun t ->
+              match t with
+              | Term.Const v -> `Const v
+              | Term.Var x -> `Col (Columnar.col_index table (find x)))
+            q.head
+        in
+        let rows =
+          List.fold_left
+            (fun acc row ->
+              Row_set.add
+                (List.map
+                   (function `Const v -> v | `Col i -> row.(i))
+                   pos)
+                acc)
+            Row_set.empty (Columnar.rows table)
+        in
+        Some (Row_set.elements rows)
+
 let answers q inst =
-  let term_value env = function
-    | Term.Const c -> c
-    | Term.Var x -> (
-        match Binding.find env x with
-        | Some v -> v
-        | None ->
-            invalid_arg
-              (Printf.sprintf "Cq.answers: unsafe head variable %s in %s" x
-                 q.name))
-  in
-  let rows =
-    List.fold_left
-      (fun acc env ->
-        Row_set.add (List.map (term_value env) q.head) acc)
-      Row_set.empty (bindings q inst)
-  in
-  Row_set.elements rows
+  match if Columnar.enabled () then columnar_answers q inst else None with
+  | Some rows -> rows
+  | None ->
+      let term_value env = function
+        | Term.Const c -> c
+        | Term.Var x -> (
+            match Binding.find env x with
+            | Some v -> v
+            | None ->
+                invalid_arg
+                  (Printf.sprintf "Cq.answers: unsafe head variable %s in %s" x
+                     q.name))
+      in
+      let rows =
+        List.fold_left
+          (fun acc env ->
+            Row_set.add (List.map (term_value env) q.head) acc)
+          Row_set.empty (bindings q inst)
+      in
+      Row_set.elements rows
 
 let holds q inst = bindings q inst <> []
 

@@ -24,7 +24,12 @@ val bindings : t -> Relational.Instance.t -> Binding.t list
 (** All bindings of the body variables that satisfy body and comparisons. *)
 
 val answers : t -> Relational.Instance.t -> Relational.Value.t list list
-(** Distinct answer tuples, sorted. *)
+(** Distinct answer tuples, sorted.  When {!Relational.Columnar.enabled}
+    (the default) and the query's shape allows it (non-empty body, safe
+    head, declared relations), evaluation compiles to a fused columnar
+    {!Relational.Plan} instead of the backtracking row interpreter —
+    same answers, same order.  The [scan.row] counter records row-path
+    entries; [scan.columnar]/[join.fused] record the compiled path. *)
 
 val holds : t -> Relational.Instance.t -> bool
 (** Satisfaction of the query's body — the Boolean-query reading. *)
@@ -39,3 +44,24 @@ val bound_pattern :
     other side evaluates under the environment.  Feeding this to
     {!Relational.Instance.matching_tuples} prunes candidate rows exactly —
     excluded rows would fail [match_row] or the comparison check anyway. *)
+
+(** {1 Columnar compilation} *)
+
+val plan_op : Cmp.op -> Relational.Plan.op
+
+val compile_body :
+  Relational.Instance.t ->
+  tids:bool ->
+  Atom.t list ->
+  Cmp.t list ->
+  (Relational.Plan.t * (string -> string)) option
+(** Compile a conjunctive body (atoms + comparisons) to a joined and
+    filtered {!Relational.Plan}: variable-to-variable equality
+    comparisons are canonicalized into shared columns (the returned
+    function maps each body variable to its representative column),
+    remaining in-body comparisons become filter predicates, and
+    comparisons mentioning a variable outside the body are dropped —
+    exactly the row path's never-ready pending comparisons.  With
+    [~tids:true] each atom's scan also emits its tuple identifier as
+    column [#tid<i>] (atom index [i]).  [None] when the body is empty
+    or references an undeclared relation. *)

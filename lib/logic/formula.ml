@@ -1,6 +1,10 @@
 module Instance = Relational.Instance
 module Tvl = Relational.Tvl
 module Value = Relational.Value
+module Plan = Relational.Plan
+module Columnar = Relational.Columnar
+
+let c_scan_row = Obs.Counter.make "scan.row"
 
 type t =
   | True
@@ -229,19 +233,255 @@ module Row_set = Set.Make (struct
   let compare = List.compare Value.compare
 end)
 
-let answers inst ~free f =
-  let acc = ref Row_set.empty in
-  sat inst Binding.empty free (flatten_conj (nnf f)) (fun env ->
-      let row =
-        List.map
-          (fun v ->
-            match Binding.find env v with
-            | Some value -> value
-            | None -> assert false)
-          free
+(* --- compiled columnar evaluation ----------------------------------- *)
+
+(* Compilation of the guarded ∃∀-shape the FO rewritings produce
+   (see [Rewriting.Key_rewrite]).  The unit is a *conjunction*: after
+   [flatten_conj], the items the interpreter evaluates are positive
+   atoms (generators), comparisons (definite filters) and guards
+   [∀ū (A' → cond1 ∧ ... ∧ condk)] evaluated per generated binding.
+   That conjunction compiles to
+
+     conj = (⋈ atoms) σ comparisons
+            ∖ π( ⋃ per-guard refutation branches )
+
+   where each guard's refutation test ranges over [conj ⋈ A'] (the
+   key-mates of each surviving binding): a negated comparison becomes a
+   disjunctive filter branch, and a child [∃ v̄ conj'] becomes an
+   antijoin against the recursively compiled child conjunction —
+   quantifiers are two-valued exactly as in [eval]/[sat], and a
+   NULL-keyed mate join refutes nothing (NULL never joins), matching
+   the interpreter's definite-match generators.
+
+   Conditions of any other shape — in particular a bare atom, which
+   [eval] judges in three-valued logic where [False] (no row matches
+   even through NULL) differs from not-definitely-true — fall back to
+   the interpreter, as does any conjunct outside the shape above and
+   any quantified variable no atom generates (the interpreter
+   enumerates the active domain for those). *)
+
+exception Unsupported_plan
+
+let rec strip_exists = function
+  | Exists (vs, f) ->
+      let vs', g = strip_exists f in
+      (vs @ vs', g)
+  | f -> ([], f)
+
+let plan_of_formula inst f =
+  let schema = Instance.schema inst in
+  let scan_plan (a : Atom.t) =
+    if not (Relational.Schema.mem schema a.Atom.rel) then
+      (* The interpreter raises on undeclared relations; let it. *)
+      raise Unsupported_plan;
+    let args =
+      List.map
+        (function
+          | Term.Const v -> Plan.Aconst v
+          | Term.Var x -> Plan.Avar x)
+        a.args
+    in
+    Plan.Scan { rel = a.Atom.rel; args; tid = None }
+  in
+  let pred_of cols (c : Cmp.t) =
+    let conv = function
+      | Term.Const v -> Plan.Const v
+      | Term.Var x ->
+          if List.mem x cols then Plan.Col x else raise Unsupported_plan
+    in
+    { Plan.op = Cq.plan_op c.op; left = conv c.left; right = conv c.right }
+  in
+  let require vs cols =
+    if not (List.for_all (fun v -> List.mem v cols) vs) then
+      raise Unsupported_plan
+  in
+  (* Row-identity column for guard subtraction; the leading '#' keeps it
+     out of the variable namespace (like [Instance.tid_column]). *)
+  let ord_col = "#ord" in
+  (* Rows binding the conjunction's variables so that every item is
+     definitely true. *)
+  let rec compile_conj items =
+    if List.mem False items then `Empty
+    else begin
+      let atoms, guards, cmps =
+        List.fold_left
+          (fun (ats, gs, cs) item ->
+            match item with
+            | Atom a -> (a :: ats, gs, cs)
+            | Forall (us, Implies (Atom mate, conds)) ->
+                (* A mate variable outside the mate atom would send the
+                   refutation search to the active domain. *)
+                require us (Atom.vars mate);
+                (ats, (mate, conds) :: gs, cs)
+            | Cmp c -> (ats, gs, c :: cs)
+            | _ -> raise Unsupported_plan)
+          ([], [], []) items
       in
-      acc := Row_set.add row !acc);
-  Row_set.elements !acc
+      let atoms = List.rev atoms
+      and guards = List.rev guards
+      and cmps = List.rev cmps in
+      match atoms with
+      | [] -> raise Unsupported_plan (* atomless bodies: active domain *)
+      | first :: rest ->
+          let scan_cols a =
+            let p = scan_plan a in
+            (p, Plan.cols p)
+          in
+          let joined, all_cols =
+            List.fold_left
+              (fun (plan, vars) (p, vs) ->
+                ( Plan.Join (plan, p),
+                  vars @ List.filter (fun v -> not (List.mem v vars)) vs ))
+              (scan_cols first)
+              (List.map scan_cols rest)
+          in
+          let preds = List.map (pred_of all_cols) cmps in
+          let filtered =
+            if preds = [] then joined else Plan.Filter (Plan.All preds, joined)
+          in
+          (* When guards are present the conjunction table feeds the
+             refutation subtraction AND every guard's mate join:
+             materialize it once, with a synthetic ordinal column, so
+             (a) the plan tree — which has no sharing — does not
+             re-execute it per use and (b) refuted rows are subtracted
+             by row identity with a raw-int antijoin instead of a
+             value-keyed diff.  A guard refutes a binding by its
+             values alone, and value-equal rows pick up the same mate
+             matches, so identity subtraction removes exactly the
+             value-refuted rows. *)
+          let filtered =
+            if guards = [] then filtered
+            else begin
+              let tbl = Plan.run inst filtered in
+              let n = Columnar.length tbl in
+              let ord = Relational.Column.of_ints (Array.init n Fun.id) in
+              Plan.Table
+                (Columnar.make
+                   (Array.append (Columnar.cols tbl) [| ord_col |])
+                   (Array.append (Columnar.columns tbl) [| ord |])
+                   n)
+            end
+          in
+          let bads =
+            List.concat_map
+              (fun (mate, conds) ->
+                let jm = Plan.Join (filtered, scan_plan mate) in
+                let jm_cols = Plan.cols jm in
+                let neg_preds = ref [] and makers = ref [] in
+                List.iter
+                  (fun cond ->
+                    match cond with
+                    | Cmp c ->
+                        neg_preds := pred_of jm_cols (Cmp.negate c) :: !neg_preds
+                    | False -> makers := `Jm :: !makers
+                    | Exists (vs, g) -> (
+                        match compile_conj (flatten_conj g) with
+                        | `Empty -> makers := `Jm :: !makers
+                        | `Plan (child, child_cols) ->
+                            require vs child_cols;
+                            makers := `Anti child :: !makers)
+                    | _ -> raise Unsupported_plan)
+                  (flatten_conj conds);
+                let neg_preds = List.rev !neg_preds and makers = List.rev !makers in
+                (* Same sharing argument for the mate join when several
+                   refutation branches range over it. *)
+                let uses =
+                  (if neg_preds = [] then 0 else 1) + List.length makers
+                in
+                let jm = if uses > 1 then Plan.Table (Plan.run inst jm) else jm in
+                (match neg_preds with
+                | [] -> []
+                | ps -> [ Plan.Filter (Plan.Any ps, jm) ])
+                @ List.map
+                    (function
+                      | `Jm -> jm
+                      | `Anti child -> Plan.Antijoin (jm, child))
+                    makers)
+              guards
+          in
+          let plan =
+            if guards = [] then filtered
+            else
+              Plan.Project
+                ( all_cols,
+                  List.fold_left
+                    (fun acc b ->
+                      Plan.Antijoin (acc, Plan.Project ([ ord_col ], b)))
+                    filtered bads )
+          in
+          `Plan (plan, all_cols)
+    end
+  in
+  let evars, body = strip_exists f in
+  match compile_conj (flatten_conj body) with
+  | `Empty -> `Empty
+  | `Plan (plan, all_cols) ->
+      require evars all_cols;
+      `Plan (plan, all_cols)
+
+let plan_answers inst ~free f =
+  match try Some (plan_of_formula inst f) with Unsupported_plan -> None with
+  | None -> None
+  | Some `Empty -> Some []
+  | Some (`Plan (plan, all_cols)) ->
+      if not (List.for_all (fun v -> List.mem v all_cols) free) then
+        (* A free variable no atom generates: the interpreter enumerates
+           the active domain for it — out of scope for the plan. *)
+        None
+      else
+        (* Under an existential prefix the interpreter has no top-level
+           atom generators: free variables range over the active domain
+           (never NULL) and atoms check them by definite equality.  An
+           unwrapped conjunction instead binds free variables straight
+           from the scans, NULLs included.  A self-equality predicate —
+           definitely true exactly on non-NULL values — reproduces the
+           wrapped case on the scan-driven plan. *)
+        let plan =
+          match f with
+          | Exists _ when free <> [] ->
+              Plan.Filter
+                ( Plan.All
+                    (List.map
+                       (fun v -> { Plan.op = Plan.Eq; left = Col v; right = Col v })
+                       free),
+                  plan )
+          | _ -> plan
+        in
+        let table =
+          Plan.run inst (Plan.Distinct (Plan.Project (free, plan)))
+        in
+        (* [Distinct] already returns unique rows sorted by
+           [Value.compare] — the [Row_set.elements] order for
+           equal-length rows — so no set rebuild is needed. *)
+        let getters =
+          Array.map Relational.Column.getter (Columnar.columns table)
+        in
+        let k = Array.length getters in
+        let row i =
+          let rec go j acc =
+            if j < 0 then acc else go (j - 1) (getters.(j) i :: acc)
+          in
+          go (k - 1) []
+        in
+        Some (List.init (Columnar.length table) row)
+
+let answers inst ~free f =
+  match if Columnar.enabled () then plan_answers inst ~free f else None with
+  | Some rows -> rows
+  | None ->
+      Obs.Counter.incr c_scan_row;
+      let acc = ref Row_set.empty in
+      sat inst Binding.empty free (flatten_conj (nnf f)) (fun env ->
+          let row =
+            List.map
+              (fun v ->
+                match Binding.find env v with
+                | Some value -> value
+                | None -> assert false)
+              free
+          in
+          acc := Row_set.add row !acc);
+      Row_set.elements !acc
 
 let rec pp ppf = function
   | True -> Format.pp_print_string ppf "⊤"

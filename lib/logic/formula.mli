@@ -64,6 +64,17 @@ val answers :
 (** All bindings of [free] (as tuples in the order given) that make the
     formula definitely true.  Complete for formulas where every free and
     existential variable is range-restricted by a positive atom conjunct,
-    and falls back to active-domain enumeration otherwise. *)
+    and falls back to active-domain enumeration otherwise.
+
+    When {!Relational.Columnar.enabled} (the default) and the formula has
+    the guarded ∃∀-shape the FO rewritings produce — a conjunction of
+    atoms, guarded atoms [A ∧ ∀ū (A' → conds)] and comparisons under an
+    existential prefix — evaluation compiles to a fused columnar
+    {!Relational.Plan}: guards subtract the rows refuted by each
+    refutation branch (negated-comparison filters and antijoins against
+    child guards) via row-identity antijoins on a synthetic ordinal
+    column.  Same answers, same order; other shapes (and free
+    variables needing active-domain enumeration) keep the generator-driven
+    interpreter, counted by [scan.row]. *)
 
 val pp : Format.formatter -> t -> unit

@@ -4,6 +4,16 @@ let default = ref 1
 let set_default_jobs n = default := max 1 n
 let default_jobs () = !default
 
+(* Lists shorter than this run sequentially even when jobs > 1.  Handing
+   two or three tasks to the pool costs a lock hand-off, a broadcast and
+   a condition-variable wake per task — measured at ~4x the total work
+   for two-element workloads in the b1 repair-enumeration bench — while
+   the parallel upside at that size is at most the (tiny) chunk overlap.
+   The default of 4 is where b1 crosses over to a net win. *)
+let cutoff = ref 4
+let set_parallel_cutoff n = cutoff := max 2 n
+let parallel_cutoff () = !cutoff
+
 type 'b slot =
   | Empty
   | Done of 'b list
@@ -112,6 +122,7 @@ let map ?jobs f xs =
   | [] -> []
   | [ x ] -> [ f x ]
   | _ when jobs <= 1 || Obs.Trace.is_enabled () -> List.map f xs
+  | _ when List.length xs < !cutoff -> List.map f xs
   | _ ->
       let chunks = Array.of_list (chunk (min jobs (List.length xs)) xs) in
       let n = Array.length chunks in

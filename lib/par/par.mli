@@ -8,8 +8,9 @@
     process-wide default set by {!set_default_jobs} (the [--jobs] flag of
     the executables).
 
-    Work runs sequentially when jobs ≤ 1, when the list has fewer than two
-    elements, or when tracing is enabled ([Obs.Trace]'s span sink is a
+    Work runs sequentially when jobs ≤ 1, when the list is shorter than
+    {!parallel_cutoff} (per-task pool hand-off overhead dwarfs tiny
+    workloads), or when tracing is enabled ([Obs.Trace]'s span sink is a
     single mutable tree that is not domain-safe; counters are).  Callers
     must only pass an [f] that is safe to run concurrently with itself —
     everything in the repair/ASP hot paths is, because instances are
@@ -19,6 +20,15 @@ val set_default_jobs : int -> unit
 (** Set the process-wide default parallelism (clamped to ≥ 1; default 1). *)
 
 val default_jobs : unit -> int
+
+val set_parallel_cutoff : int -> unit
+(** Minimum list length for {!map} to engage the domain pool (clamped to
+    ≥ 2; default 4).  Shorter lists run as plain [List.map] — queueing a
+    handful of tasks costs more in lock hand-offs and wake-ups than the
+    work itself, a measured ~4x slowdown on two-element repair-enumeration
+    workloads. *)
+
+val parallel_cutoff : unit -> int
 
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** Order-preserving parallel map.  Increments the [par.tasks] counter once

@@ -1,0 +1,175 @@
+(* One typed column: a dense array of unboxed cells plus a NULL bitmap.
+
+   The representation is picked per column when the column is built:
+   homogeneous primitive columns keep their native arrays (no [Value.t]
+   boxing on the scan loop), everything else — strings, mixed types —
+   is dictionary-coded through the global {!Dict}.  NULL is carried
+   out-of-band in the bitmap; the cell under a null slot is a dummy (0
+   for primitives, the code of [Value.Null] for coded columns), so
+   kernels must consult the bitmap before trusting a cell. *)
+
+type data =
+  | Ints of int array
+  | Reals of float array
+  | Bools of bool array
+  | Codes of int array (* global Dict codes; null slots hold Null's code *)
+
+type t = { data : data; nulls : Bytes.t }
+
+(* --- NULL bitmap ---------------------------------------------------- *)
+
+let bitmap n = Bytes.make ((n + 7) lsr 3) '\000'
+
+let bit_set b i =
+  let j = i lsr 3 in
+  Bytes.unsafe_set b j
+    (Char.unsafe_chr (Char.code (Bytes.unsafe_get b j) lor (1 lsl (i land 7))))
+
+let bit_get b i =
+  Char.code (Bytes.unsafe_get b (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let is_null c i = bit_get c.nulls i
+
+let has_nulls c =
+  let n = Bytes.length c.nulls in
+  let rec go i = i < n && (Bytes.unsafe_get c.nulls i <> '\000' || go (i + 1)) in
+  go 0
+
+let length c =
+  match c.data with
+  | Ints a -> Array.length a
+  | Reals a -> Array.length a
+  | Bools a -> Array.length a
+  | Codes a -> Array.length a
+
+(* --- construction --------------------------------------------------- *)
+
+let of_ints a = { data = Ints (Array.copy a); nulls = bitmap (Array.length a) }
+
+let of_values (vals : Value.t array) =
+  let n = Array.length vals in
+  let nulls = bitmap n in
+  Array.iteri (fun i v -> if Value.is_null v then bit_set nulls i) vals;
+  let all p =
+    Array.for_all (fun v -> Value.is_null v || p v) vals
+  in
+  let data =
+    if all (function Value.Int _ -> true | _ -> false) then
+      Ints (Array.map (function Value.Int x -> x | _ -> 0) vals)
+    else if all (function Value.Real _ -> true | _ -> false) then
+      Reals (Array.map (function Value.Real x -> x | _ -> 0.) vals)
+    else if all (function Value.Bool _ -> true | _ -> false) then
+      Bools (Array.map (function Value.Bool x -> x | _ -> false) vals)
+    else Codes (Array.map Dict.intern vals)
+  in
+  { data; nulls }
+
+(* --- decoding ------------------------------------------------------- *)
+
+(* A decode closure resolving the variant dispatch once per column, not
+   once per cell. *)
+let getter c =
+  let nulls = c.nulls in
+  match c.data with
+  | Ints a ->
+      fun i -> if bit_get nulls i then Value.Null else Value.Int a.(i)
+  | Reals a ->
+      fun i -> if bit_get nulls i then Value.Null else Value.Real a.(i)
+  | Bools a ->
+      fun i -> if bit_get nulls i then Value.Null else Value.Bool a.(i)
+  | Codes a -> fun i -> Dict.value a.(i)
+
+let get c i = getter c i
+
+(* --- kernel helpers ------------------------------------------------- *)
+
+let gather c (idx : int array) =
+  let n = Array.length idx in
+  let nulls = bitmap n in
+  if has_nulls c then
+    Array.iteri (fun k i -> if bit_get c.nulls i then bit_set nulls k) idx;
+  let data =
+    match c.data with
+    | Ints a -> Ints (Array.map (fun i -> Array.unsafe_get a i) idx)
+    | Reals a -> Reals (Array.map (fun i -> Array.unsafe_get a i) idx)
+    | Bools a -> Bools (Array.map (fun i -> Array.unsafe_get a i) idx)
+    | Codes a -> Codes (Array.map (fun i -> Array.unsafe_get a i) idx)
+  in
+  { data; nulls }
+
+let concat a b =
+  let na = length a and nb = length b in
+  match a.data, b.data with
+  | Ints x, Ints y | Codes x, Codes y ->
+      let data =
+        match a.data with
+        | Ints _ -> Ints (Array.append x y)
+        | _ -> Codes (Array.append x y)
+      in
+      let nulls = bitmap (na + nb) in
+      for i = 0 to na - 1 do
+        if bit_get a.nulls i then bit_set nulls i
+      done;
+      for i = 0 to nb - 1 do
+        if bit_get b.nulls i then bit_set nulls (na + i)
+      done;
+      { data; nulls }
+  | Reals x, Reals y ->
+      let nulls = bitmap (na + nb) in
+      for i = 0 to na - 1 do
+        if bit_get a.nulls i then bit_set nulls i
+      done;
+      for i = 0 to nb - 1 do
+        if bit_get b.nulls i then bit_set nulls (na + i)
+      done;
+      { data = Reals (Array.append x y); nulls }
+  | Bools x, Bools y ->
+      let nulls = bitmap (na + nb) in
+      for i = 0 to na - 1 do
+        if bit_get a.nulls i then bit_set nulls i
+      done;
+      for i = 0 to nb - 1 do
+        if bit_get b.nulls i then bit_set nulls (na + i)
+      done;
+      { data = Bools (Array.append x y); nulls }
+  | _ ->
+      let ga = getter a and gb = getter b in
+      of_values
+        (Array.init (na + nb) (fun i ->
+             if i < na then ga i else gb (i - na)))
+
+(* Codes such that within this column, code equality coincides with
+   [Value.equal] — including Null = Null (null slots share Null's
+   dictionary code).  Primitive columns without nulls compare raw;
+   anything else goes through the dictionary, whose codes are injective
+   over values. *)
+let eq_codes c =
+  match c.data with
+  | Codes a -> a
+  | Ints a when not (has_nulls c) -> a
+  | Bools a when not (has_nulls c) ->
+      Array.map (fun b -> if b then 1 else 0) a
+  | _ ->
+      let g = getter c in
+      Array.init (length c) (fun i -> Dict.intern (g i))
+
+(* Same contract across two columns: codes comparable between [a] and
+   [b].  Raw primitive arrays are only safe when both sides share the
+   representation (and carry no nulls); otherwise both sides are
+   re-expressed as global dictionary codes. *)
+let pair_eq_codes a b =
+  match a.data, b.data with
+  | Codes x, Codes y -> (x, y)
+  | Ints x, Ints y when (not (has_nulls a)) && not (has_nulls b) -> (x, y)
+  | Bools x, Bools y when (not (has_nulls a)) && not (has_nulls b) ->
+      let enc = Array.map (fun v -> if v then 1 else 0) in
+      (enc x, enc y)
+  | _ ->
+      let enc c =
+        match c.data with
+        | Codes a -> a
+        | _ ->
+            let g = getter c in
+            Array.init (length c) (fun i -> Dict.intern (g i))
+      in
+      (enc a, enc b)

@@ -1,0 +1,64 @@
+(* Process-wide dictionary coding of values.
+
+   Columnar tables store their non-primitive columns as dense [int]
+   codes into this dictionary.  Interning is idempotent — values equal
+   under [Value.equal] share a code, and codes are never reused — so
+   code equality decides value equality in one machine-word compare,
+   which is what the fused join/distinct kernels run on their inner
+   loops.  A single global table (rather than one per column) makes
+   codes comparable across columns and across tables, so a hash join
+   between any two dictionary-coded columns needs no re-encoding.
+
+   [intern] takes a mutex: columnar views are built inside [Par.map]
+   worker domains during parallel repair checking.  [value] is
+   lock-free — decoding reads an immutable snapshot array published
+   with [Atomic.set], and a reader can only hold a code that some
+   intern already published. *)
+
+let c_entries = Obs.Counter.make "dict.entries"
+
+module Vtbl = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+let lock = Mutex.create ()
+let codes : int Vtbl.t = Vtbl.create 1024
+let decode : Value.t array Atomic.t = Atomic.make [||]
+let used = ref 0
+
+let intern v =
+  Mutex.lock lock;
+  let code =
+    match Vtbl.find_opt codes v with
+    | Some c -> c
+    | None ->
+        let c = !used in
+        used := c + 1;
+        Vtbl.replace codes v c;
+        let arr = Atomic.get decode in
+        let arr =
+          if c < Array.length arr then arr
+          else begin
+            let grown = Array.make (max 64 (2 * (c + 1))) Value.Null in
+            Array.blit arr 0 grown 0 (Array.length arr);
+            grown
+          end
+        in
+        arr.(c) <- v;
+        Atomic.set decode arr;
+        Obs.Counter.incr c_entries;
+        c
+  in
+  Mutex.unlock lock;
+  code
+
+let value c = (Atomic.get decode).(c)
+
+let size () =
+  Mutex.lock lock;
+  let n = !used in
+  Mutex.unlock lock;
+  n

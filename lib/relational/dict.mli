@@ -1,0 +1,25 @@
+(** Process-wide dictionary coding of {!Value.t}s.
+
+    Columnar storage ({!Column}, {!Columnar}) keeps string-valued and
+    mixed-type columns as dense [int] codes into this dictionary: two
+    values receive the same code iff they are equal under
+    {!Value.equal}, and codes are never reused, so code equality
+    decides value equality in O(1) on the fused kernels' inner loops.
+    The dictionary is global — one code space for the whole process —
+    which makes codes from different columns and different tables
+    directly comparable.
+
+    Every fresh entry bumps the [dict.entries] counter.  [intern]
+    serializes on a mutex (columnar builds run inside [Par.map]
+    domains); [value] reads an atomically published immutable snapshot
+    and never blocks. *)
+
+val intern : Value.t -> int
+(** The code of [v], allocating a fresh one on first sight.
+    [Value.Null] interns like any other value. *)
+
+val value : int -> Value.t
+(** The value behind a code previously returned by {!intern}. *)
+
+val size : unit -> int
+(** Number of distinct values interned so far. *)

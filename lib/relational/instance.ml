@@ -36,6 +36,7 @@ type rel_index = { groups : Tid.Set.t Vlmap.t; inulls : Tid.Set.t }
 type cache = {
   mutable idx : rel_index Ixkey.t;
   mutable raw_digest : int option; (* xor of per-fact hashes *)
+  mutable columnar : Columnar.t Smap.t; (* per-relation columnar views *)
 }
 
 type t = {
@@ -56,7 +57,7 @@ let indexing = ref true
 let set_indexing b = indexing := b
 let indexing_enabled () = !indexing
 
-let fresh_cache () = { idx = Ixkey.empty; raw_digest = None }
+let fresh_cache () = { idx = Ixkey.empty; raw_digest = None; columnar = Smap.empty }
 
 (* Digest contribution of one (tid, fact) pair.  The tid matters: two
    instances with equal fact sets but different insertion orders address
@@ -107,6 +108,9 @@ let cache_with patch cache tid (f : Fact.t) =
           if String.equal rel f.rel then patch positions tid f ri else ri)
         cache.idx;
     raw_digest = Option.map (fun d -> d lxor fact_digest tid f) cache.raw_digest;
+    (* The touched relation's columnar view is stale; the others carry
+       over (they are immutable snapshots, safe to share). *)
+    columnar = Smap.remove f.rel cache.columnar;
   }
 
 let cache_after_insert cache tid f = cache_with index_add cache tid f
@@ -223,6 +227,45 @@ let tuples t ~rel =
       |> List.rev
 
 let rows t ~rel = List.map snd (tuples t ~rel)
+
+(* ------------------------------------------------------------------ *)
+(* Columnar views.
+
+   Like the secondary indexes, a relation's columnar snapshot is built
+   lazily, memoized in the per-version cache, and invalidated (per
+   relation) by the persistent update operations via [cache_with].
+   The memo follows the same benign-race discipline: the whole map is
+   replaced behind one mutable field, so concurrent readers see either
+   the old or the new map and a lost racing build merely repeats work.
+
+   Every view carries the synthetic leading column [tid_column] holding
+   the tuple identifiers; plans that do not need tids simply never ask
+   for that column. *)
+
+let tid_column = "#tid"
+
+let columnar t ~rel =
+  match Smap.find_opt rel t.cache.columnar with
+  | Some c -> c
+  | None ->
+      let tups = Array.of_list (tuples t ~rel) in
+      let attrs = (Schema.relation t.schema rel).Schema.attributes in
+      let n = Array.length tups in
+      let tid_col =
+        Column.of_ints (Array.map (fun (tid, _) -> Tid.to_int tid) tups)
+      in
+      let data_cols =
+        Array.init (Array.length attrs) (fun j ->
+            Column.of_values (Array.init n (fun i -> (snd tups.(i)).(j))))
+      in
+      let c =
+        Columnar.make
+          (Array.append [| tid_column |] (Array.copy attrs))
+          (Array.append [| tid_col |] data_cols)
+          n
+      in
+      t.cache.columnar <- Smap.add rel c t.cache.columnar;
+      c
 
 (* Find (or build and memoize) the index of [rel] over [positions], which
    must be sorted, duplicate-free and within the relation's arity. *)

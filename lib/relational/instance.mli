@@ -49,6 +49,19 @@ val tuples : t -> rel:string -> (Tid.t * Value.t array) list
     relation. *)
 
 val rows : t -> rel:string -> Value.t array list
+
+val tid_column : string
+(** Name of the synthetic leading column of {!columnar} views holding
+    the tuple identifiers (as [Int]s): ["#tid"]. *)
+
+val columnar : t -> rel:string -> Columnar.t
+(** The relation's columnar snapshot: {!tid_column} followed by the
+    schema attributes, rows in tid order (same contents and order as
+    {!tuples}).  Built lazily, memoized per instance version, and
+    invalidated per relation by [insert]/[delete]/[update_cell] — like
+    the secondary indexes.  Raises [Invalid_argument] on an undeclared
+    relation. *)
+
 val facts : t -> Fact.Set.t
 val fact_list : t -> Fact.t list
 val tids : t -> Tid.Set.t

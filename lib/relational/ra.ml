@@ -7,40 +7,50 @@ let of_instance inst name =
   let r = Schema.relation (Instance.schema inst) name in
   { cols = Array.copy r.Schema.attributes; rows = Instance.rows inst ~rel:name }
 
-let col r name =
+let col_named ~op r name =
   let n = Array.length r.cols in
   let rec go i =
-    if i >= n then raise Not_found
+    if i >= n then Columnar.unknown_column ~op name r.cols
     else if String.equal r.cols.(i) name then i
     else go (i + 1)
   in
   go 0
 
+let col r name = col_named ~op:"Ra.col" r name
+
 (* Resolve all column positions of an operator in one pass: name → index,
-   built once, O(1) lookups afterwards.  Raises [Not_found] like [col]. *)
-let position_table r =
+   built once, O(1) lookups afterwards.  A miss raises the same
+   descriptive [Invalid_argument] as [col], attributed to [op]. *)
+let position_table ~op r =
   let tbl = Hashtbl.create (Array.length r.cols) in
   Array.iteri
     (fun i c -> if not (Hashtbl.mem tbl c) then Hashtbl.add tbl c i)
     r.cols;
   fun name ->
-    match Hashtbl.find_opt tbl name with Some i -> i | None -> raise Not_found
+    match Hashtbl.find_opt tbl name with
+    | Some i -> i
+    | None -> Columnar.unknown_column ~op name r.cols
 
 let select cond r =
   { r with rows = List.filter (fun row -> Tvl.to_bool (cond r row)) r.rows }
 
 let select_eq name v r =
-  let i = col r name in
+  let i = col_named ~op:"Ra.select_eq" r name in
   select (fun _ row -> Value.sql_eq row.(i) v) r
 
 let project names r =
-  let pos = position_table r in
+  let pos = position_table ~op:"Ra.project" r in
   let idxs = List.map pos names in
   let cols = Array.of_list names in
   let rows = List.map (fun row -> Array.of_list (List.map (fun i -> row.(i)) idxs)) r.rows in
   { cols; rows }
 
 let rename pairs r =
+  List.iter
+    (fun (c, _) ->
+      if not (Array.exists (String.equal c) r.cols) then
+        Columnar.unknown_column ~op:"Ra.rename" c r.cols)
+    pairs;
   let cols =
     Array.map
       (fun c -> match List.assoc_opt c pairs with Some c' -> c' | None -> c)
@@ -154,7 +164,8 @@ let hash_matches ~a_idx ~b_idx ~emit a b =
 
 let join_plan a b =
   let shared = shared_cols a b in
-  let pos_a = position_table a and pos_b = position_table b in
+  let pos_a = position_table ~op:"Ra.join" a
+  and pos_b = position_table ~op:"Ra.join" b in
   let a_idx = List.map pos_a shared in
   let b_idx = List.map pos_b shared in
   let b_keep =
@@ -261,6 +272,14 @@ let difference a b =
 
 let cardinality r = List.length (distinct r).rows
 let rows_as_lists r = List.map Array.to_list (distinct r).rows
+
+(* The compatibility boundary with the columnar engine: row-oriented
+   consumers keep their [rel] interface, columnar results cross over
+   losslessly (same columns, same row order). *)
+let of_columnar c =
+  { cols = Array.copy (Columnar.cols c); rows = Columnar.rows c }
+
+let to_columnar r = Columnar.of_rows (Array.copy r.cols) r.rows
 
 let pp ppf r =
   Format.fprintf ppf "@[<v>%a@,%a@]"

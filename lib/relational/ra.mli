@@ -12,8 +12,15 @@ type rel = { cols : string array; rows : Value.t array list }
 val of_instance : Instance.t -> string -> rel
 (** The named base relation, with the attribute names of the schema. *)
 
+val of_columnar : Columnar.t -> rel
+val to_columnar : rel -> Columnar.t
+(** Lossless boundary with the columnar engine: same columns, same row
+    order. *)
+
 val col : rel -> string -> int
-(** Index of a column.  Raises [Not_found]. *)
+(** Index of a column.  Raises [Invalid_argument] naming the missing
+    column and the available ones (as do [select_eq], [project] and
+    [rename] on unknown columns). *)
 
 val select : (rel -> Value.t array -> Tvl.t) -> rel -> rel
 val select_eq : string -> Value.t -> rel -> rel

@@ -1,0 +1,363 @@
+(* cqa-columnar equivalence suites: every compiled columnar kernel must be
+   observationally identical to the row evaluator it replaces.
+   [Columnar.set_enabled false] routes Cq/Formula/Violation through the
+   row interpreters, so the same workload evaluated under both settings
+   compares the two engines — including NULL/3VL edges, which the
+   generators force on every path. *)
+
+module Schema = Relational.Schema
+module Instance = Relational.Instance
+module Value = Relational.Value
+module Fact = Relational.Fact
+module Tid = Relational.Tid
+module Columnar = Relational.Columnar
+module Plan = Relational.Plan
+module Dict = Relational.Dict
+module Ra = Relational.Ra
+open Logic
+
+let check = Alcotest.check
+
+let with_columnar on f =
+  let prev = Columnar.enabled () in
+  Columnar.set_enabled on;
+  Fun.protect ~finally:(fun () -> Columnar.set_enabled prev) f
+
+(* Values in 0..3 force join collisions; 4 encodes NULL so three-valued
+   semantics get exercised on every kernel. *)
+let value_of n = if n >= 4 then Value.Null else Value.int n
+
+let schema = Schema.of_list [ ("R", [ "a"; "b" ]); ("S", [ "b"; "c" ]) ]
+
+let instance_of (rs, ss) =
+  Instance.of_rows schema
+    [
+      ("R", List.map (fun (a, b) -> [ value_of a; value_of b ]) rs);
+      ("S", List.map (fun (b, c) -> [ value_of b; value_of c ]) ss);
+    ]
+
+let arb_db =
+  QCheck.make
+    QCheck.Gen.(
+      pair
+        (list_size (int_range 0 8) (pair (int_range 0 4) (int_range 0 4)))
+        (list_size (int_range 0 8) (pair (int_range 0 4) (int_range 0 4))))
+    ~print:(fun (rs, ss) ->
+      let row (a, b) = Printf.sprintf "%d,%d" a b in
+      Printf.sprintf "R=%s S=%s"
+        (String.concat ";" (List.map row rs))
+        (String.concat ";" (List.map row ss)))
+
+(* --- Plan kernels = Ra operators ------------------------------------ *)
+
+let ra_rel cols rows =
+  {
+    Ra.cols = Array.of_list cols;
+    rows = List.map (fun (a, b) -> [| value_of a; value_of b |]) rows;
+  }
+
+let same_rel r1 r2 = r1.Ra.cols = r2.Ra.cols && r1.Ra.rows = r2.Ra.rows
+
+let prop_plan_ops_eq =
+  QCheck.Test.make ~count:300 ~name:"Plan kernels = Ra operators" arb_db
+    (fun (rs, ss) ->
+      let inst = Instance.create schema in
+      let a = ra_rel [ "a"; "b" ] rs
+      and b = ra_rel [ "b"; "c" ] ss
+      and a2 = ra_rel [ "a"; "b" ] ss in
+      let ta = Plan.Table (Ra.to_columnar a)
+      and tb = Plan.Table (Ra.to_columnar b)
+      and ta2 = Plan.Table (Ra.to_columnar a2) in
+      let run p = Ra.of_columnar (Plan.run inst p) in
+      let eq1 = { Plan.op = Plan.Eq; left = Col "a"; right = Const (Value.int 1) } in
+      let lt = { Plan.op = Plan.Lt; left = Col "a"; right = Col "b" } in
+      let anti_expect =
+        let joined = Ra.semijoin a b in
+        { a with Ra.rows = List.filter (fun r -> not (List.mem r joined.Ra.rows)) a.Ra.rows }
+      in
+      same_rel (run (Plan.Filter (All [ eq1 ], ta))) (Ra.select_eq "a" (Value.int 1) a)
+      && same_rel
+           (run (Plan.Filter (All [ lt ], ta)))
+           (Ra.select (fun _ row -> Plan.eval_op Plan.Lt row.(0) row.(1)) a)
+      && same_rel (run (Plan.Join (ta, tb))) (Ra.natural_join a b)
+      && same_rel (run (Plan.Semijoin (ta, tb))) (Ra.semijoin a b)
+      && same_rel (run (Plan.Antijoin (ta, tb))) anti_expect
+      && same_rel (run (Plan.Union (ta, ta2))) (Ra.union a a2)
+      && same_rel (run (Plan.Diff (ta, ta2))) (Ra.difference a a2)
+      && same_rel (run (Plan.Distinct ta)) (Ra.distinct a)
+      && same_rel (run (Plan.Project ([ "b" ], ta))) (Ra.project [ "b" ] a))
+
+(* --- Cq.answers: compiled = interpreted ------------------------------ *)
+
+let queries =
+  let x = Term.var "x" and y = Term.var "y" and z = Term.var "z" in
+  [
+    Cq.make ~name:"join" [ x; z ]
+      [ Atom.make "R" [ x; y ]; Atom.make "S" [ y; z ] ];
+    Cq.make ~name:"const" [ y ] [ Atom.make "R" [ Term.const (Value.int 1); y ] ];
+    Cq.make ~name:"selfjoin" [ x ] [ Atom.make "R" [ x; x ] ];
+    Cq.make ~name:"triangle" [ x ]
+      [ Atom.make "R" [ x; y ]; Atom.make "S" [ y; z ]; Atom.make "R" [ z; x ] ];
+    Cq.make ~name:"lt" ~comps:[ Cmp.make Cmp.Lt x y ] [ x; y ]
+      [ Atom.make "R" [ x; y ] ];
+    Cq.make ~name:"vareq" ~comps:[ Cmp.eq y z ] [ x; z ]
+      [ Atom.make "R" [ x; y ]; Atom.make "S" [ z; Term.var "w" ] ];
+    Cq.make ~name:"selfeq" ~comps:[ Cmp.eq x x ] [ x ] [ Atom.make "R" [ x; y ] ];
+    Cq.make ~name:"neq" ~comps:[ Cmp.neq x (Term.const (Value.int 2)) ] [ x ]
+      [ Atom.make "R" [ x; y ] ];
+    Cq.make ~name:"bool" [] [ Atom.make "R" [ x; y ]; Atom.make "S" [ y; z ] ];
+    Cq.make ~name:"product" [ x; z ]
+      [ Atom.make "R" [ x; x ]; Atom.make "S" [ z; z ] ];
+  ]
+
+let prop_cq_columnar_eq =
+  QCheck.Test.make ~count:300 ~name:"columnar Cq.answers = row Cq.answers"
+    arb_db (fun db_spec ->
+      let db = instance_of db_spec in
+      List.for_all
+        (fun q ->
+          with_columnar false (fun () -> Cq.answers q db)
+          = with_columnar true (fun () -> Cq.answers q db))
+        queries)
+
+(* --- Formula.answers: compiled guarded plans = interpreter ----------- *)
+
+let keys = [ ("R", [ 0 ]); ("S", [ 0 ]) ]
+
+let rewritable_queries =
+  let x = Term.var "x" and y = Term.var "y" and z = Term.var "z" in
+  [
+    (* Q2-style projection: the guard quantifies the non-key position. *)
+    Cq.make ~name:"proj" [ x ] [ Atom.make "R" [ x; y ] ];
+    (* C-forest join: child guard nests under the parent's mate. *)
+    Cq.make ~name:"chain" [ x; z ]
+      [ Atom.make "R" [ x; y ]; Atom.make "S" [ y; z ] ];
+    (* Constant in a non-key position becomes a comparison condition. *)
+    Cq.make ~name:"constnk" [ x ] [ Atom.make "R" [ x; Term.const (Value.int 2) ] ];
+    (* Full-tuple query: no mates to refute, plain conjunction plan. *)
+    Cq.make ~name:"full" [ x; y ] [ Atom.make "R" [ x; y ] ];
+  ]
+
+let prop_rewrite_columnar_eq =
+  QCheck.Test.make ~count:300
+    ~name:"columnar consistent_answers (FO rewriting) = row" arb_db
+    (fun db_spec ->
+      let db = instance_of db_spec in
+      List.for_all
+        (fun q ->
+          with_columnar false (fun () ->
+              Rewriting.Key_rewrite.consistent_answers q ~keys db)
+          = with_columnar true (fun () ->
+                Rewriting.Key_rewrite.consistent_answers q ~keys db))
+        rewritable_queries)
+
+let prop_formula_columnar_eq =
+  QCheck.Test.make ~count:300 ~name:"columnar Formula.answers = row" arb_db
+    (fun db_spec ->
+      let db = instance_of db_spec in
+      List.for_all
+        (fun q ->
+          let f = Formula.of_cq q in
+          let free = Cq.head_vars q in
+          with_columnar false (fun () -> Formula.answers db ~free f)
+          = with_columnar true (fun () -> Formula.answers db ~free f))
+        queries)
+
+(* --- Violation search: compiled = interpreted ------------------------ *)
+
+let vschema = Schema.of_list [ ("T", [ "k"; "v"; "w" ]) ]
+
+let arb_vdb =
+  QCheck.make
+    QCheck.Gen.(
+      list_size (int_range 0 10)
+        (triple (int_range 0 3) (int_range 0 4) (int_range 0 2)))
+    ~print:(fun rows ->
+      String.concat ";"
+        (List.map (fun (k, v, w) -> Printf.sprintf "%d,%d,%d" k v w) rows))
+
+(* Witness equality including bindings: [Binding.to_list] canonicalizes,
+   so differing internal construction orders cannot hide behind (=). *)
+let witness_repr (w : Constraints.Violation.witness) =
+  ( w.ic_name,
+    Tid.Set.elements w.tids,
+    Binding.to_list w.binding,
+    List.map (fun (tid, a) -> (tid, Format.asprintf "%a" Atom.pp a)) w.matched )
+
+let prop_violation_columnar_eq =
+  QCheck.Test.make ~count:300 ~name:"columnar violations = row violations"
+    arb_vdb (fun rows ->
+      let db =
+        Instance.of_rows vschema
+          [
+            ( "T",
+              List.map
+                (fun (k, v, w) -> [ value_of k; value_of v; Value.int w ])
+                rows );
+          ]
+      in
+      let ics =
+        [
+          Constraints.Ic.key ~rel:"T" [ 0 ];
+          Constraints.Ic.fd ~rel:"T" ~lhs:[ 1 ] ~rhs:[ 2 ];
+        ]
+      in
+      let witnesses on =
+        with_columnar on (fun () ->
+            List.map witness_repr (Constraints.Violation.all db vschema ics))
+      in
+      witnesses false = witnesses true)
+
+(* --- counters prove which engine ran --------------------------------- *)
+
+let counter_value = Obs.Registry.counter_value
+
+let test_engine_counters () =
+  let db = instance_of ([ (1, 2); (3, 4) ], [ (2, 5) ]) in
+  let q = List.hd queries in
+  let deltas on =
+    let reg = Obs.Registry.create () in
+    let prev = Obs.Registry.current () in
+    Obs.Registry.set_current reg;
+    Fun.protect ~finally:(fun () -> Obs.Registry.set_current prev) @@ fun () ->
+    ignore (with_columnar on (fun () -> Cq.answers q db));
+    ( counter_value reg "scan.columnar",
+      counter_value reg "join.fused",
+      counter_value reg "scan.row" )
+  in
+  let sc, jf, sr = deltas true in
+  check Alcotest.bool "columnar: scan.columnar > 0" true (sc > 0);
+  check Alcotest.bool "columnar: join.fused > 0" true (jf > 0);
+  check Alcotest.int "columnar: scan.row = 0" 0 sr;
+  let sc', _, sr' = deltas false in
+  check Alcotest.int "row: scan.columnar = 0" 0 sc';
+  check Alcotest.bool "row: scan.row > 0" true (sr' > 0);
+  check Alcotest.bool "dictionary populated" true (Dict.size () > 0)
+
+(* --- dictionary and columnar-view integrity under updates ------------ *)
+
+type op = Ins of int * int * int | Del of int | Upd of int * int * int
+
+let arb_ops =
+  QCheck.make
+    QCheck.Gen.(
+      pair
+        (list_size (int_range 0 6)
+           (triple (int_range 0 3) (int_range 0 4) (int_range 0 2)))
+        (list_size (int_range 0 12)
+           (oneof
+              [
+                map
+                  (fun (k, v, w) -> Ins (k, v, w))
+                  (triple (int_range 0 3) (int_range 0 4) (int_range 0 2));
+                map (fun i -> Del i) (int_range 0 20);
+                map
+                  (fun (i, p, v) -> Upd (i, p, v))
+                  (triple (int_range 0 20) (int_range 0 2) (int_range 0 4));
+              ])))
+    ~print:(fun (rows, ops) ->
+      let pp_op = function
+        | Ins (k, v, w) -> Printf.sprintf "I(%d,%d,%d)" k v w
+        | Del i -> Printf.sprintf "D%d" i
+        | Upd (i, p, v) -> Printf.sprintf "U(%d,%d,%d)" i p v
+      in
+      Printf.sprintf "rows=%s ops=%s"
+        (String.concat ";"
+           (List.map (fun (k, v, w) -> Printf.sprintf "%d,%d,%d" k v w) rows))
+        (String.concat ";" (List.map pp_op ops)))
+
+let apply db = function
+  | Ins (k, v, w) ->
+      Instance.add db (Fact.make "T" [ value_of k; value_of v; Value.int w ])
+  | Del i -> (
+      match Tid.Set.elements (Instance.tids db) with
+      | [] -> db
+      | ts -> Instance.delete db (List.nth ts (i mod List.length ts)))
+  | Upd (i, p, v) -> (
+      match Tid.Set.elements (Instance.tids db) with
+      | [] -> db
+      | ts ->
+          Instance.update_cell db
+            (Tid.Cell.make (List.nth ts (i mod List.length ts)) (p + 1))
+            (value_of v))
+
+(* The memoized columnar view must decode back to exactly the row store
+   after every persistent update (the per-relation cache invalidation in
+   [Instance.cache_with] is what's under test), and dictionary codes must
+   round-trip. *)
+let prop_columnar_view_integrity =
+  QCheck.Test.make ~count:300
+    ~name:"columnar views stay exact across insert/delete/update_cell"
+    arb_ops (fun (rows, ops) ->
+      let db0 =
+        Instance.of_rows vschema
+          [
+            ( "T",
+              List.map
+                (fun (k, v, w) -> [ value_of k; value_of v; Value.int w ])
+                rows );
+          ]
+      in
+      (* Build the view *before* the updates so what's under test is the
+         invalidation, not a fresh build. *)
+      ignore (Instance.columnar db0 ~rel:"T");
+      let view_ok db =
+        let view = Instance.columnar db ~rel:"T" in
+        let expected =
+          List.map
+            (fun (tid, row) ->
+              Array.append [| Value.int (Tid.to_int tid) |] row)
+            (Instance.tuples db ~rel:"T")
+        in
+        Columnar.cols view = [| Instance.tid_column; "k"; "v"; "w" |]
+        && Columnar.rows view = expected
+      in
+      let dict_ok db =
+        List.for_all
+          (fun (_, row) ->
+            Array.for_all
+              (fun v ->
+                let c = Dict.intern v in
+                c = Dict.intern v && Value.equal (Dict.value c) v)
+              row)
+          (Instance.tuples db ~rel:"T")
+      in
+      let db = List.fold_left (fun db op -> apply db op) db0 ops in
+      List.for_all view_ok [ db0; db ] && dict_ok db)
+
+(* --- descriptive unknown-column errors ------------------------------- *)
+
+let test_ra_unknown_column () =
+  let r = ra_rel [ "a"; "b" ] [ (1, 2) ] in
+  let expect_msg op f =
+    match f () with
+    | exception Invalid_argument m ->
+        let has s =
+          let re = Str.regexp_string s in
+          try
+            ignore (Str.search_forward re m 0);
+            true
+          with Not_found -> false
+        in
+        check Alcotest.bool (op ^ " names the operation") true (has op);
+        check Alcotest.bool (op ^ " names the missing column") true (has "\"z\"");
+        check Alcotest.bool (op ^ " lists available columns") true (has "a, b")
+    | _ -> Alcotest.fail (op ^ ": expected Invalid_argument")
+  in
+  expect_msg "Ra.col" (fun () -> Ra.col r "z");
+  expect_msg "Ra.project" (fun () -> Ra.project [ "a"; "z" ] r);
+  expect_msg "Ra.rename" (fun () -> Ra.rename [ ("z", "q") ] r)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_plan_ops_eq;
+    QCheck_alcotest.to_alcotest prop_cq_columnar_eq;
+    QCheck_alcotest.to_alcotest prop_rewrite_columnar_eq;
+    QCheck_alcotest.to_alcotest prop_formula_columnar_eq;
+    QCheck_alcotest.to_alcotest prop_violation_columnar_eq;
+    Alcotest.test_case "counters prove the engine that ran" `Quick
+      test_engine_counters;
+    QCheck_alcotest.to_alcotest prop_columnar_view_integrity;
+    Alcotest.test_case "Ra unknown-column diagnostics" `Quick
+      test_ra_unknown_column;
+  ]

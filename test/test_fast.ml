@@ -240,6 +240,27 @@ let prop_par_map_eq =
            xs
          = List.filter_map (fun x -> if x mod 2 = 0 then Some (f x) else None) xs)
 
+(* Small workloads must bypass the domain pool entirely: handing 2-3
+   tasks to the workers costs more in lock hand-offs and wake-ups than
+   the work itself (the b1 pairs=2 regression).  [par.tasks] counts
+   chunks given to the pool, so it must not move below the cutoff. *)
+let test_par_cutoff () =
+  let c = Obs.Counter.make "par.tasks" in
+  let saved = Par.parallel_cutoff () in
+  Par.set_parallel_cutoff 4;
+  Fun.protect ~finally:(fun () -> Par.set_parallel_cutoff saved) @@ fun () ->
+  let f x = (2 * x) + 1 in
+  let small = [ 3; 4; 5 ] in
+  let before = Obs.Counter.value c in
+  check Alcotest.(list int) "below cutoff: same results" (List.map f small)
+    (Par.map ~jobs:4 f small);
+  check Alcotest.int "below cutoff: pool untouched" before (Obs.Counter.value c);
+  let big = List.init 4 Fun.id in
+  check Alcotest.(list int) "at cutoff: same results" (List.map f big)
+    (Par.map ~jobs:4 f big);
+  check Alcotest.bool "at cutoff: pool engaged" true
+    (Obs.Counter.value c > before)
+
 let test_par_exception () =
   match Par.map ~jobs:4 (fun x -> if x = 7 then failwith "boom" else x)
           (List.init 40 Fun.id)
@@ -291,6 +312,7 @@ let suite =
     QCheck_alcotest.to_alcotest prop_bucketed_violations_eq;
     QCheck_alcotest.to_alcotest prop_index_integrity;
     QCheck_alcotest.to_alcotest prop_par_map_eq;
+    Alcotest.test_case "Par.map small-workload cutoff" `Quick test_par_cutoff;
     Alcotest.test_case "Par.map re-raises chunk exceptions" `Quick
       test_par_exception;
     Alcotest.test_case "Hitting_set.components partitions edges" `Quick
