@@ -100,19 +100,95 @@ let b2 ~quick () =
               ("ns", Bench_json.num ns);
             ])
         results;
-      (* No silent caps: the ASP case is cut off above n=40 (its repair
-         space makes grounding explode), and the cutoff must be visible in
-         the results, not inferred from a missing row. *)
+      (* No silent caps: above n=40 the ASP repair space makes grounding
+         explode, so instead of a skipped row the case runs under a real
+         deadline and is cancelled cooperatively — the recorded row
+         carries the final progress snapshot (phase reached, candidates
+         processed), not a bare "timeout" string. *)
       if n > 40 then begin
-        Printf.printf "  n=%-5d %-14s skipped (timeout)\n" n "asp";
-        Bench_json.record ~bench:"b2"
-          [
-            ("n", Bench_json.int n);
-            ("method", Bench_json.str "asp");
-            ("skipped", Bench_json.str "timeout");
-          ]
+        let budget_s = 0.25 in
+        let ctx =
+          Obs.Progress.create ~deadline_s:budget_s ~label:"b2/asp" ~id:n ()
+        in
+        match Obs.Progress.run ctx (fun () -> Bech_harness.once asp) with
+        | (), ns ->
+            Printf.printf "  n=%-5d %-14s %s\n" n "asp" (Bech_harness.pp_ns ns);
+            Bench_json.record ~bench:"b2"
+              [
+                ("n", Bench_json.int n);
+                ("method", Bench_json.str "asp");
+                ("ns", Bench_json.num ns);
+              ]
+        | exception Obs.Progress.Deadline_exceeded ->
+            Printf.printf
+              "  n=%-5d %-14s timed out (budget %.0f ms, phase %s, %d \
+               candidates)\n"
+              n "asp" (budget_s *. 1e3)
+              (Obs.Progress.phase_of ctx)
+              (Obs.Progress.work ctx);
+            Bench_json.record ~bench:"b2"
+              [
+                ("n", Bench_json.int n);
+                ("method", Bench_json.str "asp");
+                ("timed_out", Bench_json.str "true");
+                ("budget_ms", Bench_json.num (budget_s *. 1e3));
+                ("phase", Bench_json.str (Obs.Progress.phase_of ctx));
+                ("candidates", Bench_json.int (Obs.Progress.work ctx));
+              ]
       end)
     sizes;
+  (* Forced-timeout enumeration with the worker pool armed.  The instance
+     is shaped so the deadline must blow inside Par.map chunks: only 10
+     conflict pairs (the sequential hitting-set cross product — 2^10
+     combinations — finishes in well under the budget) but 4000 rows, so
+     materializing and querying the 1024 repairs dominates and cannot
+     finish within 25 ms.  The cancellation then surfaces as
+     par.cancelled — CI asserts both fields of this row. *)
+  let db, key =
+    Gen.key_conflict_instance ~seed:11 ~n:4000 ~conflict_fraction:0.005 ()
+  in
+  let schema = Instance.schema db in
+  let eng = Cqa.Engine.create ~schema ~ics:[ key ] db in
+  let budget_s = 0.025 in
+  let before = Obs.Registry.counter_snapshot (Obs.Registry.current ()) in
+  let ctx =
+    Obs.Progress.create ~deadline_s:budget_s ~label:"b2/enum-deadline" ~id:0 ()
+  in
+  Par.set_default_jobs 4;
+  let timed_out =
+    Fun.protect
+      ~finally:(fun () -> Par.set_default_jobs 1)
+      (fun () ->
+        match
+          Obs.Progress.run ctx (fun () ->
+              Cqa.Engine.consistent_answers ~method_:`Repair_enumeration eng q)
+        with
+        | _ -> false
+        | exception Obs.Progress.Deadline_exceeded -> true)
+  in
+  let delta =
+    Obs.Registry.counter_delta ~since:before (Obs.Registry.current ())
+  in
+  let par_cancelled =
+    Option.value ~default:0 (List.assoc_opt "par.cancelled" delta)
+  in
+  Printf.printf
+    "  enum-deadline pairs=10 jobs=4 timed_out=%b phase=%s candidates=%d \
+     par_cancelled=%d\n"
+    timed_out
+    (Obs.Progress.phase_of ctx)
+    (Obs.Progress.work ctx) par_cancelled;
+  Bench_json.record ~bench:"b2"
+    [
+      ("method", Bench_json.str "enum-deadline");
+      ("pairs", Bench_json.int 10);
+      ("jobs", Bench_json.int 4);
+      ("budget_ms", Bench_json.num (budget_s *. 1e3));
+      ("timed_out", Bench_json.str (string_of_bool timed_out));
+      ("phase", Bench_json.str (Obs.Progress.phase_of ctx));
+      ("candidates", Bench_json.int (Obs.Progress.work ctx));
+      ("par_cancelled", Bench_json.int par_cancelled);
+    ];
   print_newline ()
 
 (* B3: Section 4.1 — C-repair problems are harder than S-repair ones. *)

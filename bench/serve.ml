@@ -103,13 +103,14 @@ let doc_text db =
    RNG is re-seeded per pass, so every pass sees the same stream).
    Returns the loop (for registry/workload readback), the wall time of
    the request phase, the STATS body, and the still-open client. *)
-let run_pass ~tag ~requests ?metrics_fd ?stats ?sampler () =
+let run_pass ~tag ~requests ?metrics_fd ?stats ?sampler ?(progress = true) () =
   let sock =
     Filename.concat (Filename.get_temp_dir_name ())
       (Printf.sprintf "cqa-serve-bench-%d-%s.sock" (Unix.getpid ()) tag)
   in
   let loop =
     Server.Loop.create ~cache_capacity:256 ?metrics_fd ?stats ?sampler
+      ~progress
       (Server.Loop.listen_unix sock)
   in
   Server.Handler.sample_gauges (Server.Loop.handler loop);
@@ -329,6 +330,48 @@ let () =
       ("tail_kept", Bench_json.int (Obs.Sampler.kept wsampler));
     ];
 
+  (* The progress-armed vs plain dual pass: same pairing methodology as
+     the workload ratio above, but the armed side is exactly the
+     production default (an Obs.Progress context per session-touching
+     request — heartbeats, INFLIGHT registration, flight recorder) and
+     the plain side turns it off.  The overhead budget is a hard gate:
+     the in-flight machinery must stay under 5% or the bench fails. *)
+  let progress_ratios = ref [] in
+  let timed_pass ~progress tag =
+    Gc.compact ();
+    let ((_, _, e, _, _) as p) =
+      run_pass ~tag ~requests ~progress:(progress && not aa_check) ()
+    in
+    finish_pass p;
+    e
+  in
+  for i = 1 to 8 do
+    let tag suffix = Printf.sprintf "progress-%s-%d" suffix i in
+    let p, a =
+      if i mod 2 = 1 then begin
+        let a = timed_pass ~progress:true (tag "armed") in
+        (timed_pass ~progress:false (tag "plain"), a)
+      end
+      else begin
+        let p = timed_pass ~progress:false (tag "plain") in
+        (p, timed_pass ~progress:true (tag "armed"))
+      end
+    in
+    progress_ratios := (a /. p) :: !progress_ratios
+  done;
+  let progress_ratio =
+    let l = List.sort Float.compare !progress_ratios in
+    let n = List.length l in
+    (List.nth l ((n - 1) / 2) +. List.nth l (n / 2)) /. 2.0
+  in
+  Printf.printf "progress ratio  %.3f (armed/plain, median of 8 pairs)\n"
+    progress_ratio;
+  Bench_json.record ~bench:"serve_progress"
+    [
+      ("requests", Bench_json.int requests);
+      ("progress_ratio", Bench_json.num progress_ratio);
+    ];
+
   Bench_json.write
     ~counters:
       (Obs.Registry.counters_list
@@ -337,6 +380,13 @@ let () =
     "BENCH_serve.json";
   finish_pass pass2;
   finish_pass pass1;
+  if progress_ratio > 1.05 then begin
+    Printf.eprintf
+      "FAIL: progress-armed serving is %.1f%% over the plain pass (budget \
+       5%%)\n"
+      ((progress_ratio -. 1.0) *. 100.0);
+    exit 1
+  end;
   if float_of_string (metric "cache_hit_rate") <= 0.0 then begin
     prerr_endline "FAIL: expected a non-zero cache hit rate";
     exit 1

@@ -9,7 +9,7 @@ let version = "1.0.0"
 
 let run unix_path port cache_capacity max_requests metrics_dump trace_dir jobs
     metrics_port slow_ms events_path workload_capacity workload_dump
-    tail_sample_ms tail_sample_every tail_buffer =
+    tail_sample_ms tail_sample_every tail_buffer default_timeout_ms =
   Par.set_default_jobs jobs;
   let fd, where =
     match
@@ -99,7 +99,7 @@ let run unix_path port cache_capacity max_requests metrics_dump trace_dir jobs
   in
   let t =
     Server.Loop.create ~cache_capacity ?on_trace ?events ?slow_ms ?stats
-      ?sampler ~version ?metrics_fd fd
+      ?sampler ?default_timeout_ms ~version ?metrics_fd fd
   in
   (* Everything that must survive a shutdown — the Chrome trace, the
      metrics dump, the event log's final lines — goes through one
@@ -110,6 +110,22 @@ let run unix_path port cache_capacity max_requests metrics_dump trace_dir jobs
   let flush_all () =
     if not !flushed then begin
       flushed := true;
+      (* The in-flight table first: when a signal interrupts a wedged
+         request, the flight recorder is the record of what it was doing.
+         The table is read lock-free, so this is safe from a signal
+         handler even if the interrupted code was mid-registration. *)
+      (match Obs.Progress.inflight () with
+      | [] -> ()
+      | ctxs ->
+          Printf.eprintf "in-flight at shutdown (%d):\n" (List.length ctxs);
+          List.iter
+            (fun c ->
+              Printf.eprintf "  %s\n" (Obs.Progress.describe c);
+              List.iter
+                (fun l -> Printf.eprintf "    %s\n" l)
+                (Obs.Progress.history_lines c))
+            ctxs;
+          flush stderr);
       (match trace_dir with
       | Some dir when !kept <> [] ->
           let path = Filename.concat dir "trace.json" in
@@ -344,6 +360,18 @@ let tail_buffer_arg =
           "Capacity of the tail-sampling ring buffer; a new retention \
            overwrites the oldest.")
 
+let default_timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "default-timeout-ms" ] ~docv:"MS"
+        ~doc:
+          "Deadline applied to every session-touching request that does \
+           not carry its own timeout= option: past the budget the request \
+           is cancelled cooperatively at the next solver heartbeat and \
+           answered with a structured ERR deadline carrying its last \
+           progress snapshot.")
+
 let main =
   Cmd.v
     (Cmd.info "cqa_server" ~version
@@ -354,6 +382,7 @@ let main =
       const run $ unix_arg $ port_arg $ cache_arg $ max_requests_arg
       $ metrics_dump_arg $ trace_dir_arg $ jobs_arg $ metrics_port_arg
       $ slow_ms_arg $ events_arg $ workload_arg $ workload_dump_arg
-      $ tail_sample_ms_arg $ tail_sample_every_arg $ tail_buffer_arg)
+      $ tail_sample_ms_arg $ tail_sample_every_arg $ tail_buffer_arg
+      $ default_timeout_arg)
 
 let () = exit (Cmd.eval main)

@@ -88,6 +88,7 @@ let substitutions base atoms comps k =
     | (a : Atom.t) :: rest ->
         List.iter
           (fun row ->
+            Obs.Progress.tick ();
             match match_row env a row with
             | None -> ()
             | Some env' ->
@@ -116,6 +117,7 @@ let derivable_base (program : Syntax.t) edb =
 
 let ground (program : Syntax.t) edb =
   let sp = Obs.Trace.start "asp.ground" in
+  Obs.Progress.phase "asp.ground";
   let base = derivable_base program edb in
   let table = Hashtbl.create 256 in
   let atoms = ref [] and natoms = ref 0 in

@@ -74,6 +74,7 @@ let model_facts (g : Ground.t) m =
 
 let models_ground g =
   let sp = Obs.Trace.start "asp.stable" in
+  Obs.Progress.phase "asp.stable";
   let cnf = clauses_of g in
   let candidates = Dpll.enumerate cnf in
   Obs.Counter.add c_candidates (List.length candidates);
@@ -84,6 +85,7 @@ let models_ground g =
     Par.filter_map
       (fun m ->
         Obs.Counter.incr c_reduct_checks;
+        Obs.Progress.tick ();
         if is_minimal_model_of_reduct g m then Some (model_facts g m) else None)
       candidates
   in

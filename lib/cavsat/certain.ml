@@ -57,6 +57,7 @@ let consistent_answers inst schema ics q =
     ics;
   let sp = Obs.Trace.start "cavsat.certain_answers" in
   Obs.Counter.incr c_queries;
+  Obs.Progress.phase "cavsat";
   match
     let theory = Theory.cached inst schema ics in
     if theory.Theory.no_repairs then []
@@ -66,7 +67,11 @@ let consistent_answers inst schema ics q =
       Mutex.lock theory.Theory.lock;
       let certain =
         match
-          List.filter (fun (_, ws) -> candidate_certain theory ws) candidates
+          List.filter
+            (fun (_, ws) ->
+              Obs.Progress.tick ();
+              candidate_certain theory ws)
+            candidates
         with
         | rows -> rows
         | exception e ->

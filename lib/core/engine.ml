@@ -52,6 +52,7 @@ let by_repair_enumeration t q =
       let answer_sets =
         Par.map
           (fun (r : Repairs.Repair.t) ->
+            Obs.Progress.tick ();
             Rows.of_list (Logic.Cq.answers q r.repaired))
           repairs
       in
@@ -138,6 +139,8 @@ let method_route : answer_method -> string = function
 let consistent_answers ?(method_ = `Auto) t q =
   let sp = Obs.Trace.start "engine.certain_answers" in
   Obs.Counter.incr c_queries;
+  Obs.Progress.phase "engine.plan";
+  if method_ <> `Auto then Obs.Progress.set_branch (method_route method_);
   if Obs.Trace.is_enabled () then begin
     Obs.Trace.attr "method" (method_label method_);
     Obs.Trace.attr "columnar"
@@ -165,6 +168,7 @@ let consistent_answers ?(method_ = `Auto) t q =
                  (Analysis.Classify.describe c)))
     | `Auto ->
         let p = plan t q in
+        Obs.Progress.set_branch (route_label p.route);
         if Obs.Trace.is_enabled () then begin
           Obs.Trace.attr "route" (route_label p.route);
           Obs.Trace.attr "verdict"

@@ -236,14 +236,20 @@ let render_histogram name h =
     |> List.map (fun (label, c) -> Printf.sprintf "%s:%d" label c)
     |> String.concat ","
   in
-  Printf.sprintf
-    "%s count=%d mean_us=%.1f p50_us=%.1f p95_us=%.1f p99_us=%.1f hist=%s" name
-    (hist_count h)
-    (hist_mean h *. 1e6)
-    (quantile h 0.50 *. 1e6)
-    (quantile h 0.95 *. 1e6)
-    (quantile h 0.99 *. 1e6)
-    cells
+  (* A histogram with zero observations has no mean or quantiles; print
+     "-" rather than a fabricated 0.0. *)
+  if hist_count h = 0 then
+    Printf.sprintf "%s count=0 mean_us=- p50_us=- p95_us=- p99_us=- hist=%s"
+      name cells
+  else
+    Printf.sprintf
+      "%s count=%d mean_us=%.1f p50_us=%.1f p95_us=%.1f p99_us=%.1f hist=%s"
+      name (hist_count h)
+      (hist_mean h *. 1e6)
+      (quantile h 0.50 *. 1e6)
+      (quantile h 0.95 *. 1e6)
+      (quantile h 0.99 *. 1e6)
+      cells
 
 (* One line per entry, merged across counters, gauges and histograms and
    sorted by name, so dumps (STATS, --metrics-dump) diff stably no

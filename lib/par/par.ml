@@ -1,5 +1,10 @@
 let c_par_tasks = Obs.Counter.make "par.tasks"
 
+(* Chunks abandoned because the ambient [Obs.Progress] deadline blew
+   while they ran: worker domains observe the same context as the
+   caller, so one blown deadline cancels the whole map. *)
+let c_par_cancelled = Obs.Counter.make "par.cancelled"
+
 let default = ref 1
 let set_default_jobs n = default := max 1 n
 let default_jobs () = !default
@@ -159,6 +164,12 @@ let map ?jobs f xs =
         | None -> Condition.wait cond lock
       done;
       Mutex.unlock lock;
+      Array.iter
+        (function
+          | Failed (e, _) when Obs.Progress.is_cancel e ->
+              Obs.Counter.incr c_par_cancelled
+          | _ -> ())
+        slots;
       let results =
         Array.to_list slots
         |> List.map (function

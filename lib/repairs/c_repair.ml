@@ -47,6 +47,7 @@ let one ?actions ?fuel inst schema ics =
 let enumerate ?actions ?fuel inst schema ics =
   let sp = Obs.Trace.start "repairs.c_enumerate" in
   Obs.Counter.incr c_requests;
+  Obs.Progress.phase "repairs.c_enumerate";
   match
     match minimum_cost ?actions ?fuel inst schema ics with
     | None -> []

@@ -39,12 +39,17 @@ let via_hypergraph inst schema ics =
       in
       List.fold_left
         (fun acc hss ->
-          List.concat_map (fun a -> List.map (fun h -> a @ h) hss) acc)
+          List.concat_map
+            (fun a ->
+              Obs.Progress.tick ();
+              List.map (fun h -> a @ h) hss)
+            acc)
         [ [] ] per_component
   in
   Obs.Counter.add c_candidates (List.length hitting_sets);
   Par.map
     (fun hs ->
+      Obs.Progress.tick ();
       let doomed = List.fold_left (fun s i -> Tid.Set.add (Tid.of_int i) s) Tid.Set.empty hs in
       let keep = Tid.Set.diff (Instance.tids inst) doomed in
       Repair.make ~original:inst (Instance.restrict inst keep))
@@ -112,6 +117,7 @@ let branching_search ~actions ~fuel inst schema ics =
     decr budget;
     if !budget < 0 then raise Out_of_fuel;
     Obs.Counter.incr c_candidates;
+    Obs.Progress.tick ();
     match first_violation ~actions ~original_facts db schema ics with
     | None ->
         let key = Fact.Set.elements (Instance.facts db) in
@@ -133,6 +139,7 @@ let branching_search ~actions ~fuel inst schema ics =
 let enumerate ?(actions = `Delete_insert) ?(fuel = 100_000) inst schema ics =
   let sp = Obs.Trace.start "repairs.enumerate" in
   Obs.Counter.incr c_enumerations;
+  Obs.Progress.phase "repairs.enumerate";
   let strategy = if denial_only ics then "hypergraph" else "branching" in
   match
     if denial_only ics then via_hypergraph inst schema ics

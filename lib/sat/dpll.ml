@@ -171,6 +171,7 @@ let rec search st ~bound ~on_model =
     | Some v ->
         let try_sign sign =
           Obs.Counter.incr c_decisions;
+          Obs.Progress.tick ();
           let mark = st.trail_len in
           let l = if sign then v else -v in
           if assign_lit st l && propagate st mark then
@@ -191,6 +192,7 @@ let init cnf ~assumptions ~soft =
 
 let solve ?(assumptions = []) cnf =
   let sp = Obs.Trace.start "sat.solve" in
+  Obs.Progress.phase "sat.solve";
   let result =
     match init cnf ~assumptions ~soft:[] with
     | None -> None
@@ -237,6 +239,7 @@ let enumerate_inner ~assumptions ?limit ?project cnf =
 
 let enumerate ?(assumptions = []) ?limit ?project cnf =
   let sp = Obs.Trace.start "sat.enumerate" in
+  Obs.Progress.phase "sat.enumerate";
   match enumerate_inner ~assumptions ?limit ?project cnf with
   | models ->
       if Obs.Trace.is_enabled () then
@@ -252,6 +255,7 @@ let count ?assumptions ?project cnf =
 
 let minimize_weighted ?(assumptions = []) ~soft cnf =
   let sp = Obs.Trace.start "sat.minimize" in
+  Obs.Progress.phase "sat.minimize";
   let best =
     match init cnf ~assumptions ~soft with
     | None -> None
@@ -263,6 +267,7 @@ let minimize_weighted ?(assumptions = []) ~soft cnf =
                if st.cost < !bound then begin
                  bound := st.cost;
                  best := Some (st.cost, m);
+                 Obs.Progress.bound (int_of_float (Float.round st.cost));
                  if st.cost <= 0.0 then raise Stop
                end)
          with Stop -> ());
@@ -405,6 +410,7 @@ module Incremental = struct
   let solve ?(assumptions = []) t =
     let sp = Obs.Trace.start "sat.dpll.solve" in
     Obs.Counter.incr c_inc_solves;
+    Obs.Progress.tick ();
     let result =
       if t.root_unsat then None
       else begin

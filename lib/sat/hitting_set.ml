@@ -31,6 +31,7 @@ let minimal edges =
     let seen = Hashtbl.create 64 in
     let rec go partial =
       Obs.Counter.incr c_nodes;
+      Obs.Progress.tick ();
       match List.find_opt (fun e -> not (List.exists (fun v -> Iset.mem v partial) e)) edges with
       | None ->
           let key = Iset.elements partial in

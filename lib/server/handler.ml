@@ -26,6 +26,14 @@ type t = {
       (* what the memo cache did for the request being dispatched *)
   mutable baseline_scratch : Obs.Registry.counter_baseline option;
       (* previous request's counter capture, recycled in place *)
+  default_timeout_s : float option;
+      (* deadline applied to session-touching requests that carry no
+         timeout= of their own *)
+  progress : bool;
+      (* arm an Obs.Progress context per session-touching request —
+         heartbeats, INFLIGHT, deadlines.  Off by default at this layer
+         (handler unit tests script the clock and count its pops); the
+         loop and the server arm it. *)
   version : string;
   started : float;
       (* wall-clock at creation, for the uptime gauge; deliberately not
@@ -33,13 +41,19 @@ type t = {
 }
 
 let create ?(cache_capacity = 512) ?(max_body_lines = 10_000) ?on_trace ?events
-    ?slow_ms ?stats ?sampler ?(version = "dev") ?(clock = Unix.gettimeofday) ()
-    =
+    ?slow_ms ?stats ?sampler ?default_timeout_ms ?(progress = false)
+    ?(version = "dev") ?(clock = Unix.gettimeofday) () =
   let metrics = Metrics.create () in
   (* Route the solver counters (sat.dpll.decisions, cavsat.sat_calls,
      repairs.candidates, and friends) into this handler's registry so
      STATS renders request and solver telemetry through one path. *)
   Obs.Registry.set_current (Metrics.registry metrics);
+  (* Pre-create the framing-truncation counter so STATS shows
+     protocol.clamped_total 0 before the first clamp. *)
+  ignore
+    (Obs.Registry.counter_cell (Metrics.registry metrics)
+       "protocol.clamped_total"
+      : int ref);
   {
     sessions = Session.create_store ();
     cache = Lru.create ~capacity:cache_capacity;
@@ -55,6 +69,8 @@ let create ?(cache_capacity = 512) ?(max_body_lines = 10_000) ?on_trace ?events
     fp_memo = Hashtbl.create 64;
     last_cache = Obs.Stats.Uncached;
     baseline_scratch = None;
+    default_timeout_s = Option.map (fun ms -> ms /. 1e3) default_timeout_ms;
+    progress;
     version;
     started = Unix.gettimeofday ();
   }
@@ -80,6 +96,16 @@ let sample_gauges t =
   g "cache.entries" (Lru.length t.cache);
   g "cache.capacity" (Lru.capacity t.cache);
   g "cache.evictions" (Lru.evictions t.cache);
+  (* The in-flight table: mangles to cqa_inflight_requests /
+     cqa_inflight_oldest_seconds on /metrics.  Real wall time, not the
+     stubbable latency clock — same policy as the uptime gauge. *)
+  let ctxs = Obs.Progress.inflight () in
+  g "inflight.requests" (List.length ctxs);
+  Obs.Registry.set_gauge registry "inflight.oldest_seconds"
+    (match ctxs with
+    | [] -> 0.0
+    | oldest :: _ ->
+        Float.max 0.0 (Unix.gettimeofday () -. Obs.Progress.started oldest));
   (* Mangles to cqa_server_uptime_seconds on /metrics: lets dashboards
      detect restarts without scraping process metrics. *)
   Obs.Registry.set_gauge registry "server.uptime_seconds"
@@ -264,8 +290,8 @@ let fp_branch t (session : Session.t) name method_ semantics =
    under its command label on the "service" branch. *)
 let workload_identity t command =
   match command with
-  | P.Query { sid; name; method_; semantics }
-  | P.Explain { sid; name; method_; semantics } -> (
+  | P.Query { sid; name; method_; semantics; _ }
+  | P.Explain { sid; name; method_; semantics; _ } -> (
       match Session.find t.sessions sid with
       | None -> (String.lowercase_ascii (P.command_label command), "service")
       | Some session ->
@@ -354,12 +380,21 @@ let exec_explain t (session : Session.t) name method_ semantics =
         | lines -> "-- analysis" :: lines
         | exception Not_found -> []
       in
+      (* When the dispatcher armed a progress context, its flight
+         recorder holds the request's heartbeat trail — phase
+         transitions and work counts with relative timestamps. *)
+      let progress =
+        match Obs.Progress.active () with
+        | None -> []
+        | Some c -> "-- progress" :: Obs.Progress.history_lines c
+      in
       let body =
         Printf.sprintf "cache %s key=%s" cache_state key
         :: (plan_lines session name method_ semantics @ analysis)
         @ ("-- spans" :: Obs.Export.tree spans)
-        @ "-- counters"
-          :: List.map (fun (n, v) -> Printf.sprintf "%s %d" n v) deltas
+        @ ("-- counters"
+          :: List.map (fun (n, v) -> Printf.sprintf "%s %d" n v) deltas)
+        @ progress
       in
       P.ok ~body
         (Printf.sprintf "explain %s wall_us=%.1f spans=%d" head (wall *. 1e6)
@@ -432,14 +467,14 @@ let exec t payload = function
                (Relational.Instance.size doc.instance)
                (List.length doc.ics)
                (List.length doc.queries)))
-  | P.Query { sid; name; method_; semantics } ->
+  | P.Query { sid; name; method_; semantics; _ } ->
       with_session t sid (fun session ->
           let key = query_cache_key session name method_ semantics in
           cached t session key (fun () -> exec_query session name method_ semantics))
   | P.Trace flag ->
       Obs.Trace.set_enabled flag;
       P.ok (if flag then "trace=on" else "trace=off")
-  | P.Explain { sid; name; method_; semantics } ->
+  | P.Explain { sid; name; method_; semantics; _ } ->
       with_session t sid (fun session ->
           exec_explain t session name method_ semantics)
   | P.Check sid -> with_session t sid exec_check
@@ -544,6 +579,18 @@ let exec t payload = function
         |> List.filter (fun l -> l <> "")
       in
       P.ok ~body (Printf.sprintf "metrics lines=%d" (List.length body))
+  | P.Inflight ->
+      (* One line per live context.  The single-threaded loop answers
+         INFLIGHT between requests, so over a socket this mostly shows
+         work running on Par worker domains and nested dispatches; the
+         same table feeds the inflight.* gauges and the signal-time
+         flight-recorder dump, where it captures whatever the signal
+         interrupted. *)
+      let now = t.clock () in
+      let ctxs = Obs.Progress.inflight () in
+      P.ok
+        ~body:(List.map (Obs.Progress.describe ~now) ctxs)
+        (Printf.sprintf "inflight=%d" (List.length ctxs))
   | P.Close sid ->
       if Session.close t.sessions sid then P.ok (Printf.sprintf "closed %s" sid)
       else P.err (Printf.sprintf "unknown session %S" sid)
@@ -557,7 +604,8 @@ let traceable = function
   | P.Load _ | P.Query _ | P.Check _ | P.Repairs _ | P.Measure _
   | P.Update _ | P.Explain _ | P.Analyze _ ->
       true
-  | P.Stats | P.Metrics | P.Trace _ | P.Workload _ | P.Close _ | P.Quit ->
+  | P.Stats | P.Metrics | P.Trace _ | P.Workload _ | P.Inflight | P.Close _
+  | P.Quit ->
       false
 
 let sid_of = function
@@ -571,7 +619,8 @@ let sid_of = function
   | P.Explain { sid; _ }
   | P.Analyze { sid; _ } ->
       Some sid
-  | P.Stats | P.Metrics | P.Trace _ | P.Workload _ | P.Quit -> None
+  | P.Stats | P.Metrics | P.Trace _ | P.Workload _ | P.Inflight | P.Quit ->
+      None
 
 let emit_request_event t ~rid ~command ~response ~latency =
   match t.events with
@@ -593,7 +642,7 @@ let emit_request_event t ~rid ~command ~response ~latency =
 (* The slow-query record: everything EXPLAIN would have shown, captured
    after the fact — the span tree the request actually executed and the
    solver-counter deltas it caused. *)
-let emit_slow_event t ~rid ~command ~latency ~spans ~deltas =
+let emit_slow_event t ~rid ~command ~latency ~spans ~deltas ~progress =
   match t.events with
   | None -> ()
   | Some sink ->
@@ -617,6 +666,9 @@ let emit_slow_event t ~rid ~command ~latency ~spans ~deltas =
           ("spans", Raw (json_list (Obs.Export.tree spans)));
           ("counters", Raw counters);
         ]
+        @ (match progress with
+          | [] -> []
+          | lines -> [ ("progress", Raw (json_list lines)) ])
         @ match sid_of command with Some sid -> [ ("sid", Str sid) ] | None -> []
       in
       emit sink ~req:rid ~fields "slow_query"
@@ -644,9 +696,50 @@ let dispatch t ?payload command =
   in
   t.last_cache <- Obs.Stats.Uncached;
   let t0 = t.clock () in
+  (* Per-request deadline: an explicit timeout= wins; the server default
+     covers every other session-touching command (REPAIRS and MEASURE
+     blow up on the same instances QUERY does). *)
+  let deadline_s =
+    let explicit =
+      match command with
+      | P.Query { timeout_ms; _ } | P.Explain { timeout_ms; _ } -> timeout_ms
+      | _ -> None
+    in
+    match explicit with
+    | Some ms -> Some (ms /. 1e3)
+    | None -> t.default_timeout_s
+  in
+  let ctx =
+    if t.progress && traceable command then
+      Some
+        (Obs.Progress.create ?deadline_s ~clock:t.clock ~now:t0
+           ?session:(sid_of command)
+           ~label:(P.command_label command) ~id:rid ())
+    else None
+  in
   let run () =
-    try exec t payload command
-    with e -> P.err (Printf.sprintf "internal: %s" (Printexc.to_string e))
+    match ctx with
+    | None -> (
+        try exec t payload command
+        with e -> P.err (Printf.sprintf "internal: %s" (Printexc.to_string e)))
+    | Some c -> (
+        try Obs.Progress.run c (fun () -> exec t payload command) with
+        | Obs.Progress.Deadline_exceeded ->
+            (* Structured deadline answer carrying the final snapshot,
+               so the client sees where the budget went. *)
+            let s = Obs.Progress.snapshot c in
+            P.err
+              (Printf.sprintf
+                 "deadline budget_ms=%.0f elapsed_ms=%.0f branch=%s phase=%s \
+                  work=%d bound=%s"
+                 (match Obs.Progress.budget_s c with
+                 | Some b -> b *. 1e3
+                 | None -> 0.0)
+                 (Obs.Progress.elapsed ~now:(t.clock ()) c *. 1e3)
+                 (Obs.Progress.branch c) s.Obs.Progress.s_phase
+                 s.Obs.Progress.s_work
+                 (Obs.Progress.pp_bound s.Obs.Progress.s_bound))
+        | e -> P.err (Printf.sprintf "internal: %s" (Printexc.to_string e)))
   in
   let response, collected =
     if collecting then
@@ -677,6 +770,10 @@ let dispatch t ?payload command =
   | Some thr, Some spans when latency > thr ->
       emit_slow_event t ~rid ~command ~latency ~spans
         ~deltas:(Lazy.force deltas)
+        ~progress:
+          (match ctx with
+          | Some c -> Obs.Progress.history_lines c
+          | None -> [])
   | _ -> ());
   (* Fold the request into the workload store — every command, so the
      store attributes (approximately) all request wall time. *)

@@ -23,6 +23,8 @@ val create :
   ?slow_ms:float ->
   ?stats:Obs.Stats.t ->
   ?sampler:Obs.Sampler.t ->
+  ?default_timeout_ms:float ->
+  ?progress:bool ->
   ?version:string ->
   ?clock:(unit -> float) ->
   unit ->
@@ -53,6 +55,15 @@ val create :
     error, over-threshold, or reservoir-sampled requests.  Either one
     (like [slow_ms]) runs session-touching commands under the private
     span collection.  [version] labels the [cqa_build_info] gauge.
+
+    [progress] (default [false]) arms an {!Obs.Progress} context around
+    every session-touching request: solver heartbeats feed the INFLIGHT
+    command, the [inflight.*] gauges, a per-request flight recorder
+    (dumped by EXPLAIN and the slow-query log), and cooperative
+    deadlines — a request whose [timeout=ms] option (or, failing that,
+    [default_timeout_ms]) expires is cancelled at the next probe and
+    answered with a structured [ERR deadline ...] carrying the final
+    snapshot.  The loop and [cqa_server] arm it by default.
 
     Creation installs the handler's metrics registry as the
     process-current {!Obs.Registry}, so solver counters land in the same

@@ -29,7 +29,8 @@ type t = {
 }
 
 let create ?cache_capacity ?max_body_lines ?on_trace ?events ?slow_ms ?stats
-    ?sampler ?version ?clock ?metrics_fd listen_fd =
+    ?sampler ?default_timeout_ms ?(progress = true) ?version ?clock ?metrics_fd
+    listen_fd =
   Unix.set_nonblock listen_fd;
   Option.iter Unix.set_nonblock metrics_fd;
   {
@@ -37,7 +38,8 @@ let create ?cache_capacity ?max_body_lines ?on_trace ?events ?slow_ms ?stats
     metrics_fd;
     handler =
       Handler.create ?cache_capacity ?max_body_lines ?on_trace ?events
-        ?slow_ms ?stats ?sampler ?version ?clock ();
+        ?slow_ms ?stats ?sampler ?default_timeout_ms ~progress ?version ?clock
+        ();
     conns = [];
     hconns = [];
     stopped = false;

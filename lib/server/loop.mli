@@ -18,6 +18,8 @@ val create :
   ?slow_ms:float ->
   ?stats:Obs.Stats.t ->
   ?sampler:Obs.Sampler.t ->
+  ?default_timeout_ms:float ->
+  ?progress:bool ->
   ?version:string ->
   ?clock:(unit -> float) ->
   ?metrics_fd:Unix.file_descr ->
@@ -28,7 +30,9 @@ val create :
     socket served as a minimal HTTP endpoint: [GET /metrics] returns
     {!Handler.metrics_text} (Prometheus text exposition, one response
     per connection, then close), [GET /healthz] returns [ok].  The
-    remaining optional arguments are passed to {!Handler.create}. *)
+    remaining optional arguments are passed to {!Handler.create};
+    [progress] defaults to [true] here (the production loop arms the
+    in-flight machinery) where {!Handler.create} defaults it off. *)
 
 val handler : t -> Handler.t
 

@@ -10,6 +10,7 @@ type command =
       name : string;
       method_ : method_;
       semantics : semantics;
+      timeout_ms : float option;
     }
   | Check of string
   | Repairs of { sid : string; semantics : semantics }
@@ -28,9 +29,11 @@ type command =
       name : string;
       method_ : method_;
       semantics : semantics;
+      timeout_ms : float option;
     }
   | Analyze of { sid : string; name : string option }
   | Workload of [ `Summary | `Top of int | `By_branch | `Reset ]
+  | Inflight
   | Close of string
   | Quit
 
@@ -57,9 +60,10 @@ let method_of = function
   | "sat" -> Ok Sat
   | s -> Error (Printf.sprintf "unknown method %S" s)
 
-(* QUERY options: [method=M] and [semantics=S] tokens in any order. *)
-let rec query_options method_ semantics = function
-  | [] -> Ok (method_, semantics)
+(* QUERY options: [method=M], [semantics=S] and [timeout=ms] tokens in
+   any order. *)
+let rec query_options method_ semantics timeout = function
+  | [] -> Ok (method_, semantics, timeout)
   | tok :: rest -> (
       match String.index_opt tok '=' with
       | Some i -> (
@@ -68,10 +72,20 @@ let rec query_options method_ semantics = function
           match String.lowercase_ascii k with
           | "method" ->
               let* m = method_of (String.lowercase_ascii v) in
-              query_options m semantics rest
+              query_options m semantics timeout rest
           | "semantics" ->
               let* s = semantics_of (String.lowercase_ascii v) in
-              query_options method_ s rest
+              query_options method_ s timeout rest
+          | "timeout" -> (
+              match float_of_string_opt v with
+              | Some ms when ms > 0.0 ->
+                  query_options method_ semantics (Some ms) rest
+              | _ ->
+                  Error
+                    (Printf.sprintf
+                       "bad timeout %S (expected a positive number of \
+                        milliseconds)"
+                       v))
           | _ -> Error (Printf.sprintf "unknown QUERY option %S" k))
       | None -> Error (Printf.sprintf "unknown QUERY option %S" tok))
 
@@ -133,9 +147,11 @@ let parse_exn line =
       | "LOAD", [ sid ] -> Ok (Load sid)
       | "LOAD", _ -> Error "usage: LOAD <sid>"
       | "QUERY", sid :: name :: opts ->
-          let* method_, semantics = query_options Auto S opts in
-          Ok (Query { sid; name; method_; semantics })
-      | "QUERY", _ -> Error "usage: QUERY <sid> <name> [method=M] [semantics=S]"
+          let* method_, semantics, timeout_ms = query_options Auto S None opts in
+          Ok (Query { sid; name; method_; semantics; timeout_ms })
+      | "QUERY", _ ->
+          Error
+            "usage: QUERY <sid> <name> [method=M] [semantics=S] [timeout=ms]"
       | "CHECK", [ sid ] -> Ok (Check sid)
       | "CHECK", _ -> Error "usage: CHECK <sid>"
       | "REPAIRS", [ sid ] -> Ok (Repairs { sid; semantics = S })
@@ -166,10 +182,11 @@ let parse_exn line =
           | s -> Error (Printf.sprintf "unknown TRACE mode %S (on or off)" s))
       | "TRACE", _ -> Error "usage: TRACE on|off"
       | "EXPLAIN", sid :: name :: opts ->
-          let* method_, semantics = query_options Auto S opts in
-          Ok (Explain { sid; name; method_; semantics })
+          let* method_, semantics, timeout_ms = query_options Auto S None opts in
+          Ok (Explain { sid; name; method_; semantics; timeout_ms })
       | "EXPLAIN", _ ->
-          Error "usage: EXPLAIN <sid> <name> [method=M] [semantics=S]"
+          Error
+            "usage: EXPLAIN <sid> <name> [method=M] [semantics=S] [timeout=ms]"
       | "WORKLOAD", [] -> Ok (Workload `Summary)
       | "WORKLOAD", [ sub ] -> (
           match String.uppercase_ascii sub with
@@ -186,6 +203,8 @@ let parse_exn line =
               Ok (Workload `By_branch)
           | _ -> Error "usage: WORKLOAD [TOP <n> | BY branch | RESET]")
       | "WORKLOAD", _ -> Error "usage: WORKLOAD [TOP <n> | BY branch | RESET]"
+      | "INFLIGHT", [] -> Ok Inflight
+      | "INFLIGHT", _ -> Error "usage: INFLIGHT"
       | "ANALYZE", [ sid ] -> Ok (Analyze { sid; name = None })
       | "ANALYZE", [ sid; name ] -> Ok (Analyze { sid; name = Some name })
       | "ANALYZE", _ -> Error "usage: ANALYZE <sid> [<query-name>]"
@@ -215,6 +234,7 @@ let command_label = function
   | Explain _ -> "EXPLAIN"
   | Analyze _ -> "ANALYZE"
   | Workload _ -> "WORKLOAD"
+  | Inflight -> "INFLIGHT"
   | Close _ -> "CLOSE"
   | Quit -> "QUIT"
 
@@ -222,6 +242,10 @@ type response = { status : [ `Ok | `Err ]; head : string; body : string list }
 
 let ok ?(body = []) head = { status = `Ok; head; body }
 let err msg = { status = `Err; head = msg; body = [] }
+
+(* Responses cut down by [clamp] — truncation is otherwise invisible in
+   metrics (the client sees the marker line, STATS sees this). *)
+let c_clamped = Obs.Counter.make "protocol.clamped_total"
 
 (* Keep a response inside line-protocol framing: a body line equal to the
    terminator would end the response early (readers stop at the first
@@ -244,12 +268,14 @@ let clamp ?(max_lines = 10_000) r =
   let n = List.length body in
   let body =
     if n <= max_lines then List.map safe body
-    else
+    else begin
+      Obs.Counter.incr c_clamped;
       let rec take k = function
         | x :: rest when k > 0 -> safe x :: take (k - 1) rest
         | _ -> [ Printf.sprintf "...truncated (%d of %d lines)" max_lines n ]
       in
       take max_lines body
+    end
   in
   { r with body }
 

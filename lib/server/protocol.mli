@@ -6,7 +6,7 @@
     {v
     LOAD <sid>                   % then Cqa.Parse document lines, then "."
     QUERY <sid> <name> [method=auto|enum|rewriting|key-rewriting|asp|sat]
-                       [semantics=s|c]
+                       [semantics=s|c] [timeout=ms]
     CHECK <sid>
     REPAIRS <sid> [s|c]
     MEASURE <sid>
@@ -15,12 +15,19 @@
     METRICS
     TRACE on|off
     EXPLAIN <sid> <name> [method=auto|enum|rewriting|key-rewriting|asp|sat]
-                         [semantics=s|c]
+                         [semantics=s|c] [timeout=ms]
     ANALYZE <sid> [<query-name>]
     WORKLOAD [TOP <n> | BY branch | RESET]
+    INFLIGHT
     CLOSE <sid>
     QUIT
     v}
+
+    [timeout=ms] sets a per-request deadline: a request whose budget
+    blows is cancelled cooperatively and answered with a structured
+    [ERR deadline ...] carrying the last progress snapshot.  INFLIGHT
+    lists the requests currently executing (id, session, plan branch,
+    phase, heartbeat age).
 
     Every response is a status line — [OK <head>] or [ERR <message>] —
     followed by zero or more data lines and a terminating lone ["."]
@@ -37,6 +44,7 @@ type command =
       name : string;
       method_ : method_;
       semantics : semantics;
+      timeout_ms : float option;  (** per-request deadline budget *)
     }
   | Check of string
   | Repairs of { sid : string; semantics : semantics }
@@ -57,6 +65,7 @@ type command =
       name : string;
       method_ : method_;
       semantics : semantics;
+      timeout_ms : float option;
     }  (** EXPLAIN: run the query traced and report spans + counters *)
   | Analyze of { sid : string; name : string option }
       (** ANALYZE: static analysis of the session's constraints, repair
@@ -65,6 +74,10 @@ type command =
       (** WORKLOAD: the fingerprint statements store — summary counters,
           top-[n] fingerprints by total wall time, per-plan-branch cost
           centers, or reset *)
+  | Inflight
+      (** INFLIGHT: one line per request currently executing — request
+          id, command, session, plan branch, phase, work done, heartbeat
+          age and time to deadline *)
   | Close of string
   | Quit
 

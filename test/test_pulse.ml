@@ -311,7 +311,8 @@ let test_metrics_command () =
   load t;
   ignore (Server.Handler.dispatch t (P.Query { sid = "s1"; name = "q";
                                               method_ = P.Auto;
-                                              semantics = P.S }));
+                                              semantics = P.S;
+                                              timeout_ms = None }));
   match Server.Handler.dispatch t P.Metrics with
   | { P.status = `Ok; body; _ } ->
       let text = String.concat "\n" body in
@@ -343,7 +344,8 @@ let test_stats_sorted () =
   load t;
   ignore (Server.Handler.dispatch t (P.Query { sid = "s1"; name = "q";
                                               method_ = P.Auto;
-                                              semantics = P.S }));
+                                              semantics = P.S;
+                                              timeout_ms = None }));
   let rendered = Server.Metrics.render (Server.Handler.metrics t) in
   let names =
     List.filter_map

@@ -99,7 +99,7 @@ let test_metrics () =
 
 let test_protocol_parse () =
   (match P.parse "QUERY s1 q method=asp semantics=c" with
-  | Ok (P.Query { sid; name; method_ = P.Asp; semantics = P.C }) ->
+  | Ok (P.Query { sid; name; method_ = P.Asp; semantics = P.C; _ }) ->
       Alcotest.(check string) "sid" "s1" sid;
       Alcotest.(check string) "name" "q" name
   | _ -> Alcotest.fail "QUERY with options should parse");
@@ -120,7 +120,7 @@ let test_protocol_parse () =
   | Ok (P.Trace false) -> ()
   | _ -> Alcotest.fail "lowercase TRACE off should parse");
   (match P.parse "EXPLAIN s1 q method=enum semantics=s" with
-  | Ok (P.Explain { sid = "s1"; name = "q"; method_ = P.Enum; semantics = P.S })
+  | Ok (P.Explain { sid = "s1"; name = "q"; method_ = P.Enum; semantics = P.S; _ })
     ->
       ()
   | _ -> Alcotest.fail "EXPLAIN with options should parse");

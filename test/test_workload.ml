@@ -376,7 +376,8 @@ let load t =
 
 let query t =
   Server.Handler.dispatch t
-    (P.Query { sid = "s1"; name = "q"; method_ = P.Auto; semantics = P.S })
+    (P.Query { sid = "s1"; name = "q"; method_ = P.Auto; semantics = P.S;
+               timeout_ms = None })
 
 let test_workload_disabled_is_err () =
   let t = Server.Handler.create () in
