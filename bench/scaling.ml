@@ -864,7 +864,11 @@ let b17 ~quick () =
         Gen.hard_join_instance ~n ~conflict_fraction:0.5 ()
       in
       let engine = Cqa.Engine.create ~schema:Gen.hard_join_schema ~ics db in
-      let plan = Cqa.Engine.plan engine q in
+      (* The trichotomy routes the free-variable join to the Datalog
+         tier (B19 measures that branch); the Boolean variant is the
+         strong attack 2-cycle that stays on the coNP-hard SAT route. *)
+      let bool_hard = Logic.Cq.make ~name:"bhard" [] q.Logic.Cq.body in
+      let plan = Cqa.Engine.plan engine bool_hard in
       assert (Cqa.Engine.route_label plan.route = "sat_compilation");
       let before = Obs.Registry.counter_snapshot (Obs.Registry.current ()) in
       let sat, sat_ns =
@@ -1086,12 +1090,156 @@ let b18 ~quick () =
     sizes;
   print_newline ()
 
+(* B19: the trichotomy's L tier — the attack-graph Datalog rewriting vs
+   repair enumeration vs forced SAT on the canonical acyclic-but-not-
+   C-forest query q(x) :- R(x,y), S(y,x).  Every 4th R key carries a
+   second claimant whose partner does not point back, so the repair
+   space is 2^(n/4): enumeration is measured while feasible and runs
+   under a cooperative deadline at n = 80 (where 2^20 repairs make it
+   blow), while the seminaive evaluation of the emitted program stays
+   polynomial.  Counter deltas prove the datalog phase never touches
+   the repair enumerator — CI asserts the recorded fields. *)
+let b19 ~quick () =
+  header "B19" "L-tier CQA: datalog rewriting vs enumeration vs SAT"
+    "the stratified Datalog rewriting answers the acyclic attack-graph \
+     tier in PTIME; repair enumeration pays 2^conflicts and times out at \
+     n=80; forced SAT stays exact but solves per instance";
+  let open Logic in
+  let schema =
+    Relational.Schema.of_list [ ("R", [ "a"; "b" ]); ("S", [ "b"; "a" ]) ]
+  in
+  let ics =
+    [ Constraints.Ic.key ~rel:"R" [ 0 ]; Constraints.Ic.key ~rel:"S" [ 0 ] ]
+  in
+  let x = Term.var "x" and y = Term.var "y" in
+  let q =
+    Cq.make ~name:"pair" [ x ]
+      [ Atom.make "R" [ x; y ]; Atom.make "S" [ y; x ] ]
+  in
+  let instance n =
+    (* Key i points at partner n+i and S points back; conflicted keys
+       (every 4th) get a second claimant whose partner assists the next
+       key instead, so exactly the unconflicted keys are certain. *)
+    let r_rows =
+      List.concat_map
+        (fun i ->
+          let base = [ Value.int i; Value.int (n + i) ] in
+          if i mod 4 = 0 then
+            [ base; [ Value.int i; Value.int (n + ((i + 1) mod n)) ] ]
+          else [ base ])
+        (List.init n Fun.id)
+    in
+    let s_rows = List.init n (fun i -> [ Value.int (n + i); Value.int i ]) in
+    Instance.of_rows schema [ ("R", r_rows); ("S", s_rows) ]
+  in
+  let expected n =
+    List.filter_map
+      (fun i -> if i mod 4 = 0 then None else Some [ Value.int i ])
+      (List.init n Fun.id)
+  in
+  let sizes = if quick then [ 20; 80 ] else [ 20; 40; 80 ] in
+  let enum_cutoff = 40 in
+  Printf.printf "  %6s %10s %8s %14s %14s %14s\n" "n" "#certain" "rounds"
+    "datalog" "enum" "sat";
+  List.iter
+    (fun n ->
+      let db = instance n in
+      let engine = Cqa.Engine.create ~schema ~ics db in
+      let plan = Cqa.Engine.plan engine q in
+      assert (Cqa.Engine.route_label plan.route = "datalog_rewriting");
+      let before = Obs.Registry.counter_snapshot (Obs.Registry.current ()) in
+      let datalog, datalog_ns =
+        Bech_harness.best_of 3 (fun () ->
+            Cqa.Engine.consistent_answers ~method_:`Datalog engine q)
+      in
+      let delta =
+        Obs.Registry.counter_delta ~since:before (Obs.Registry.current ())
+      in
+      let d name = Option.value ~default:0 (List.assoc_opt name delta) in
+      assert (List.sort compare datalog = expected n);
+      assert (d "repairs.enumerations" = 0);
+      assert (d "repairs.candidates" = 0);
+      assert (d "datalog.seminaive.rounds" > 0);
+      let sat, sat_ns =
+        Bech_harness.once (fun () ->
+            Cqa.Engine.consistent_answers ~method_:`Sat engine q)
+      in
+      assert (List.sort compare sat = expected n);
+      let enum_cell =
+        if n <= enum_cutoff then begin
+          let enum, ns =
+            Bech_harness.once (fun () ->
+                Cqa.Engine.consistent_answers ~method_:`Repair_enumeration
+                  engine q)
+          in
+          assert (List.sort compare enum = expected n);
+          Bench_json.record ~bench:"b19"
+            [
+              ("n", Bench_json.int n);
+              ("method", Bench_json.str "repair-enum");
+              ("wall_ns", Bench_json.num ns);
+            ];
+          Bech_harness.pp_ns ns
+        end
+        else begin
+          (* 2^(n/4) repairs: run under a real deadline and record the
+             cancellation with its progress snapshot, not a skip. *)
+          let budget_s = 0.25 in
+          let ctx =
+            Obs.Progress.create ~deadline_s:budget_s ~label:"b19/enum" ~id:n ()
+          in
+          let timed_out =
+            match
+              Obs.Progress.run ctx (fun () ->
+                  Cqa.Engine.consistent_answers ~method_:`Repair_enumeration
+                    engine q)
+            with
+            | _ -> false
+            | exception Obs.Progress.Deadline_exceeded -> true
+          in
+          Bench_json.record ~bench:"b19"
+            [
+              ("n", Bench_json.int n);
+              ("method", Bench_json.str "repair-enum");
+              ("timed_out", Bench_json.str (string_of_bool timed_out));
+              ("budget_ms", Bench_json.num (budget_s *. 1e3));
+              ("phase", Bench_json.str (Obs.Progress.phase_of ctx));
+            ];
+          if timed_out then
+            Printf.sprintf "timeout@%.0fms" (budget_s *. 1e3)
+          else "under-budget"
+        end
+      in
+      Printf.printf "  %6d %10d %8d %14s %14s %14s\n" n (List.length datalog)
+        (d "datalog.seminaive.rounds")
+        (Bech_harness.pp_ns datalog_ns) enum_cell (Bech_harness.pp_ns sat_ns);
+      Bench_json.record ~bench:"b19"
+        [
+          ("n", Bench_json.int n);
+          ("method", Bench_json.str "datalog");
+          ("route", Bench_json.str (Cqa.Engine.route_label plan.route));
+          ("certain", Bench_json.int (List.length datalog));
+          ("wall_ns", Bench_json.num datalog_ns);
+          ("seminaive_rounds", Bench_json.int (d "datalog.seminaive.rounds"));
+          ("seminaive_facts", Bench_json.int (d "datalog.seminaive.facts"));
+          ( "repairs_enumerated_during_datalog",
+            Bench_json.int (d "repairs.enumerations") );
+        ];
+      Bench_json.record ~bench:"b19"
+        [
+          ("n", Bench_json.int n);
+          ("method", Bench_json.str "sat");
+          ("wall_ns", Bench_json.num sat_ns);
+        ])
+    sizes;
+  print_newline ()
+
 let all =
   [
     ("b1", b1); ("b2", b2); ("b3", b3); ("b4", b4); ("b5", b5); ("b6", b6);
     ("b7", b7); ("b8", b8); ("b9", b9); ("b10", b10); ("b11", b11);
     ("b12", b12); ("b13", b13); ("b14", b14); ("b15", b15); ("b16", b16);
-    ("b17", b17); ("b18", b18);
+    ("b17", b17); ("b18", b18); ("b19", b19);
   ]
 
 let run ~quick ids =

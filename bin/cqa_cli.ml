@@ -130,14 +130,17 @@ let method_arg =
              ("enum", `Repair_enumeration);
              ("rewriting", `Residue_rewriting);
              ("key-rewriting", `Key_rewriting);
+             ("datalog", `Datalog);
              ("asp", `Asp);
              ("sat", `Sat);
            ])
         `Auto
     & info [ "method" ] ~docv:"M"
         ~doc:
-          "CQA method: auto, enum, rewriting, key-rewriting, asp or sat \
-           (CAvSAT-style SAT compilation; denial-class constraints).")
+          "CQA method: auto, enum, rewriting, key-rewriting, datalog \
+           (attack-graph Datalog rewriting; acyclic attack graphs under \
+           primary keys), asp or sat (CAvSAT-style SAT compilation; \
+           denial-class constraints).")
 
 let query_arg =
   Arg.(required & opt (some string) None & info [ "query"; "q" ] ~docv:"NAME" ~doc:"Query name.")

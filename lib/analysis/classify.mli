@@ -1,44 +1,53 @@
 (** The per-(constraints, query) complexity classifier — the static
     tractability test behind [method=auto].
 
-    For self-join-free conjunctive queries under key constraints, the
-    Fuxman–Miller dichotomy (PAPER.md Section 3.1) separates queries whose
-    certain answers are first-order rewritable (the C-forest class, built
-    over the query's join graph) from queries for which consistent query
-    answering is coNP-complete.  The classifier builds that join graph
-    without touching any data and returns a verdict plus a
-    machine-readable witness: the offending join edge, the non-key
-    constraint, the self-joined relation, ...
+    For self-join-free conjunctive queries under primary keys, the
+    Koutris–Wijsen trichotomy (PAPER.md Section 3; built on the
+    Fuxman–Miller dichotomy of Section 3.1) separates three tiers by the
+    shape of the query's {!Attack_graph}: an acyclic attack graph means
+    the certain answers are first-order rewritable; a cyclic graph whose
+    every 2-cycle carries a weak attack leaves certainty in PTIME
+    (L-complete, Datalog-rewritable); a 2-cycle of strong attacks makes
+    it coNP-complete.  The classifier is symbolic — no data touched — and
+    returns a verdict plus a machine-readable witness: the attacking
+    cycle, the elimination order, the saturation steps applied, the
+    non-key constraint, the self-joined relation, ...
 
-    Soundness contract: when the verdict is {!Fo_rewritable}, evaluating
-    the Fuxman–Miller rewriting with {!rewrite_keys} is guaranteed to
-    apply and to produce exactly the consistent answers — the verdict is
-    double-checked against {!Rewriting.Key_rewrite} symbolically (on the
-    query only) before being emitted.  The other verdicts are upper
-    bounds: [Conp_complete_candidate] marks the dichotomy's hard side,
-    [Unknown] everything the analysis does not cover. *)
+    Soundness contract: when the verdict is {!Fo_rewritable}, the
+    Fuxman–Miller rewriting with {!rewrite_keys} is guaranteed to apply
+    and produce exactly the consistent answers (verified symbolically
+    against {!Rewriting.Key_rewrite} before being emitted).  When it is
+    {!L_datalog_rewritable}, {!Rewriting.Datalog_rewrite} driven by
+    {!Attack_graph.rewriting_input} is guaranteed to apply — the attack
+    graph is acyclic but outside the implemented FO fragment, so the
+    engine evaluates the stratified Datalog program instead (PTIME).
+    {!Conp_hard} is a sound {e lower} bound: the witness names a 2-cycle
+    of strong attacks, the configuration of the trichotomy's hardness
+    reduction.  [Unknown] covers everything the analysis does not decide,
+    including weak attack cycles (PTIME in principle, but the recursive
+    rewriting for that tier is not implemented). *)
 
-type verdict = Fo_rewritable | Conp_complete_candidate | Unknown
+type verdict = Fo_rewritable | L_datalog_rewritable | Conp_hard | Unknown
 
 type witness =
   | No_constraints  (** No constraint touches the query's relations. *)
   | C_forest  (** In the rewritable class; the rewriting was verified. *)
+  | Attack_acyclic of { order : string list; saturated : string list }
+      (** Acyclic attack graph outside the C-forest fragment: the
+          unattacked-atom elimination order (relation names) and the
+          saturation steps applied (empty when the query is saturated). *)
+  | Strong_attack_cycle of string list
+      (** A 2-cycle of strong attacks — the coNP-hardness witness. *)
+  | Weak_attack_cycle of string list
+      (** An attack cycle whose 2-cycles all carry weak attacks: PTIME
+          per the trichotomy, outside the implemented rewritings. *)
   | Unsafe_query of string  (** Head or comparison variable unbound in the body. *)
   | Non_key_constraint of string  (** A relevant constraint outside the key class. *)
   | Multiple_keys of string  (** Relation with two key constraints. *)
-  | Self_join of string  (** Relation occurring in two atoms. *)
-  | Nonkey_nonkey_join of { var : string; rels : string * string }
-      (** Existential variable joining non-key positions of two atoms —
-          the dichotomy's coNP-hard pattern. *)
-  | Head_nonkey_join of { var : string; rels : string * string }
-      (** Free variable joined across non-key positions: rewritable in
-          principle, outside the implemented rewriting. *)
-  | Join_cycle of string list
-      (** Cycle in the key-join graph over existential variables. *)
-  | Free_variable_join_cycle of string list
-      (** A join cycle that only closes through free-variable edges:
-          outside the implemented rewriting, but not a hardness witness
-          (free variables carry no join edge in the dichotomy). *)
+  | Self_join of string
+      (** Relation occurring in two atoms: the trichotomy assumes
+          self-join-freeness, classification falls back to [Unknown] (and
+          {!Lint.query_findings} surfaces the degradation). *)
   | Union_query of int  (** UCQ with that many disjuncts. *)
   | Rewrite_failed
       (** Structural checks passed but the rewriter declined — downgraded
@@ -50,16 +59,17 @@ val classify : Constraints.Ic.t list -> Logic.Cq.t -> t
 val classify_ucq : Constraints.Ic.t list -> Logic.Ucq.t -> t
 
 val rewrite_keys : Constraints.Ic.t list -> Logic.Cq.t -> (string * int list) list
-(** The key map to drive {!Rewriting.Key_rewrite} with: declared keys for
-    the query's relations, and a synthesized all-attribute key for query
+(** The key map to drive the rewritings with: declared keys for the
+    query's relations, and a synthesized all-attribute key for query
     relations no relevant constraint touches (such relations are never
     repaired, so the full tuple acts as its own key). *)
 
 val verdict_label : verdict -> string
-(** ["FO_rewritable"], ["coNP_complete_candidate"], ["unknown"]. *)
+(** ["FO_rewritable"], ["L_datalog_rewritable"], ["coNP_hard"],
+    ["unknown"]. *)
 
 val witness_code : witness -> string
-(** Stable machine-readable code, e.g. ["join/nonkey-nonkey"]. *)
+(** Stable machine-readable code, e.g. ["attack-graph/strong-cycle"]. *)
 
 val describe : t -> string
 (** One line: verdict, witness code and the witness itself. *)
@@ -69,6 +79,6 @@ val to_lines : t -> string list
 
 val ucq_rewriting_diagnostic : Constraints.Ic.t list -> Logic.Ucq.t -> string
 (** Why [method=rewriting] does not apply to this union query — names the
-    failing condition of the first offending disjunct (e.g. its non-
-    C-forest join edge), or the absence of a union rewriting when every
-    disjunct is individually rewritable. *)
+    failing condition of the first offending disjunct (e.g. its attack
+    cycle), or the absence of a union rewriting when every disjunct is
+    individually rewritable. *)

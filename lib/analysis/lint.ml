@@ -96,6 +96,27 @@ let datalog_program ?edb (p : Datalog.Program.t) =
     (per_rule datalog_rule p.rules
     @ strat @ unused_findings graph @ undefined_findings ?edb graph)
 
+(* Query-level lints.  A self-join silently demotes the attack-graph
+   trichotomy to the structural dichotomy checks (verdict [Unknown], the
+   engine enumerates); surface that degradation as a warning so analyze
+   reports it without failing the CI lint gate. *)
+let query_findings ?subject (q : Logic.Cq.t) =
+  let subject = Option.value subject ~default:q.Logic.Cq.name in
+  let rels = List.map (fun (a : Atom.t) -> a.rel) q.Logic.Cq.body in
+  List.sort_uniq String.compare rels
+  |> List.filter_map (fun r ->
+         let count = List.length (List.filter (String.equal r) rels) in
+         if count < 2 then None
+         else
+           Some
+             (Finding.make Finding.Warning ~code:"query/self-join" ~subject
+                (Printf.sprintf
+                   "relation %s occurs in %d atoms: the attack-graph \
+                    trichotomy assumes self-join-freeness, so \
+                    classification falls back to the dichotomy checks and \
+                    the query is answered by enumeration"
+                   r count)))
+
 let asp_program (p : Asp.Syntax.t) =
   let graph = Depgraph.of_asp p in
   let disjunctive =

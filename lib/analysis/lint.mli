@@ -29,5 +29,11 @@ val asp_program : Asp.Syntax.t -> Finding.t list
     classification of disjunctive programs, and an [Info] note when
     negation is unstratified. *)
 
+val query_findings : ?subject:string -> Logic.Cq.t -> Finding.t list
+(** Query-level lints: a [Warning] per self-joined relation — the
+    attack-graph trichotomy assumes self-join-freeness, so such queries
+    silently degrade to the enumeration tier.  [subject] defaults to the
+    query's name. *)
+
 val rule_subject : int -> string
 (** The canonical subject for the [i]-th rule (0-based): ["rule#1"]... *)

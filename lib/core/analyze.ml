@@ -29,13 +29,16 @@ let report_of_query (doc : Parse.document) name =
     | _ -> None
   in
   let findings =
-    match classification.Classify.witness with
+    (match classification.Classify.witness with
     | Classify.Unsafe_query v ->
         [
           Finding.make Finding.Error ~code:"query/unsafe" ~subject:name
             (Printf.sprintf "variable %s is not bound by any body atom" v);
         ]
-    | _ -> []
+    | _ -> [])
+    @ List.concat_map
+        (Analysis.Lint.query_findings ~subject:name)
+        u.Logic.Ucq.disjuncts
   in
   { name; classification; route; findings }
 

@@ -12,6 +12,7 @@ type answer_method =
   [ `Repair_enumeration
   | `Residue_rewriting
   | `Key_rewriting
+  | `Datalog
   | `Asp
   | `Sat
   | `Auto ]
@@ -22,6 +23,7 @@ let method_label = function
   | `Repair_enumeration -> "repair_enumeration"
   | `Residue_rewriting -> "residue_rewriting"
   | `Key_rewriting -> "key_rewriting"
+  | `Datalog -> "datalog"
   | `Asp -> "asp"
   | `Sat -> "sat"
   | `Auto -> "auto"
@@ -72,15 +74,43 @@ let by_key_rewriting t q =
   | None -> None
   | Some keys -> Rewriting.Key_rewrite.consistent_answers q ~keys t.instance
 
+(* Sound whenever the classifier places the query in the acyclic
+   attack-graph class (FO or L tier): the verdict already checked that
+   every relevant constraint is a single primary key, so the rewriting's
+   key map covers everything repairs can delete.  [None] otherwise, or
+   when the rewriting itself declines (e.g. NULLs in the instance). *)
+let by_datalog_rewriting t q =
+  match Analysis.Classify.classify t.ics q with
+  | {
+      Analysis.Classify.verdict =
+        Analysis.Classify.Fo_rewritable | Analysis.Classify.L_datalog_rewritable;
+      _;
+    } -> (
+      let keys = Analysis.Classify.rewrite_keys t.ics q in
+      match Analysis.Attack_graph.rewriting_input q ~keys with
+      | None -> None
+      | Some ri ->
+          Rewriting.Datalog_rewrite.consistent_answers
+            ~prefix:ri.Analysis.Attack_graph.prefix ri.Analysis.Attack_graph.query
+            ~keys:ri.Analysis.Attack_graph.keys
+            ~order:ri.Analysis.Attack_graph.order t.instance)
+  | _ -> None
+
 (* --- static planning (method=auto) ----------------------------------- *)
 
-type route = [ `Direct | `Key_rewriting | `Sat_compilation | `Repair_enumeration ]
+type route =
+  [ `Direct
+  | `Key_rewriting
+  | `Datalog_rewriting
+  | `Sat_compilation
+  | `Repair_enumeration ]
 
 type plan = { route : route; classification : Analysis.Classify.t }
 
 let route_label = function
   | `Direct -> "direct"
   | `Key_rewriting -> "key_rewriting"
+  | `Datalog_rewriting -> "datalog_rewriting"
   | `Sat_compilation -> "sat_compilation"
   | `Repair_enumeration -> "repair_enumeration"
 
@@ -100,7 +130,12 @@ let plan t q =
            the plain answers are already the certain answers. *)
         `Direct
     | Analysis.Classify.Fo_rewritable, _ -> `Key_rewriting
-    | Analysis.Classify.Conp_complete_candidate, _ when denial_class t ->
+    | Analysis.Classify.L_datalog_rewritable, _ ->
+        (* Acyclic attack graph outside the FO fragment: PTIME seminaive
+           evaluation of the emitted Datalog program — no repairs are
+           ever materialized on this branch. *)
+        `Datalog_rewriting
+    | Analysis.Classify.Conp_hard, _ when denial_class t ->
         (* The dichotomy's hard side: no FO rewriting exists, but the
            repairs are the maximal independent sets of the conflict
            graph, so certainty compiles to (incremental) SAT instead of
@@ -125,6 +160,13 @@ let run_plan t q p =
           (* The classifier verified the rewriting symbolically, so this
              is unreachable; enumeration keeps even a divergence sound. *)
           by_repair_enumeration t q)
+  | `Datalog_rewriting -> (
+      match by_datalog_rewriting t q with
+      | Some rows -> rows
+      | None ->
+          (* Declined at runtime (NULLs in the instance, or a divergence
+             from the symbolic check); enumeration stays sound. *)
+          by_repair_enumeration t q)
 
 (* The branch a non-auto method executes — EXPLAIN and the trace
    attrs report it uniformly whether or not planning was involved. *)
@@ -132,6 +174,7 @@ let method_route : answer_method -> string = function
   | `Repair_enumeration -> "repair_enumeration"
   | `Residue_rewriting -> "residue_rewriting"
   | `Key_rewriting -> "key_rewriting"
+  | `Datalog -> route_label `Datalog_rewriting
   | `Asp -> "asp"
   | `Sat -> route_label `Sat_compilation
   | `Auto -> "auto"
@@ -165,6 +208,16 @@ let consistent_answers ?(method_ = `Auto) t q =
             invalid_arg
               (Printf.sprintf
                  "Engine.consistent_answers: key rewriting not applicable: %s"
+                 (Analysis.Classify.describe c)))
+    | `Datalog -> (
+        match by_datalog_rewriting t q with
+        | Some rows -> rows
+        | None ->
+            let c = Analysis.Classify.classify t.ics q in
+            invalid_arg
+              (Printf.sprintf
+                 "Engine.consistent_answers: datalog rewriting not \
+                  applicable: %s"
                  (Analysis.Classify.describe c)))
     | `Auto ->
         let p = plan t q in

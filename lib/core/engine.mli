@@ -23,6 +23,7 @@ type answer_method =
   [ `Repair_enumeration
   | `Residue_rewriting
   | `Key_rewriting
+  | `Datalog
   | `Asp
   | `Sat
   | `Auto ]
@@ -35,11 +36,18 @@ val create :
 
 val is_consistent : t -> bool
 
-type route = [ `Direct | `Key_rewriting | `Sat_compilation | `Repair_enumeration ]
+type route =
+  [ `Direct
+  | `Key_rewriting
+  | `Datalog_rewriting
+  | `Sat_compilation
+  | `Repair_enumeration ]
 (** What [`Auto] will actually execute: plain evaluation (no relevant
-    constraints), the Fuxman–Miller rewriting, CAvSAT-style SAT
-    compilation (the classifier's [Conp_complete_candidate] tier under
-    denial-class constraints), or repair enumeration. *)
+    constraints), the Fuxman–Miller rewriting, the attack-graph Datalog
+    rewriting (the classifier's [L_datalog_rewritable] tier, run on the
+    seminaive evaluator), CAvSAT-style SAT compilation (the classifier's
+    [Conp_hard] tier under denial-class constraints), or repair
+    enumeration. *)
 
 type plan = { route : route; classification : Analysis.Classify.t }
 
@@ -57,13 +65,14 @@ val consistent_answers :
   Relational.Value.t list list
 (** Consistent answers under S-repairs.  [`Auto] (default) consults
     {!plan}: the Fuxman–Miller rewriting when the classifier proves the
-    (constraints, query) pair FO-rewritable, plain evaluation when no
-    constraint touches the query's relations, SAT compilation on the
-    classifier's coNP-hard tier (denial-class constraints only), and
-    repair enumeration otherwise.  [`Sat] forces the SAT backend
+    (constraints, query) pair FO-rewritable, the Datalog rewriting on the
+    [L_datalog_rewritable] tier, plain evaluation when no constraint
+    touches the query's relations, SAT compilation on the classifier's
+    coNP-hard tier (denial-class constraints only), and repair
+    enumeration otherwise.  [`Sat] forces the SAT backend
     ({!Cavsat.Certain}) — exact on any denial-class input, raising
-    [Invalid_argument] on inclusion dependencies.  [`Key_rewriting]
-    raises [Invalid_argument] when not applicable, with the
+    [Invalid_argument] on inclusion dependencies.  [`Key_rewriting] and
+    [`Datalog] raise [Invalid_argument] when not applicable, with the
     classifier's witness in the message; [`Residue_rewriting] answers
     whatever its (incomplete) rewriting produces — see
     {!Rewriting.Residue_rewrite}. *)

@@ -6,6 +6,11 @@ module Cmp = Logic.Cmp
 
 exception Unstratifiable
 
+(* Seminaive-loop visibility: one [rounds] tick per delta iteration (the
+   first naive pass included), and [facts] counts newly derived facts. *)
+let c_rounds = Obs.Counter.make "datalog.seminaive.rounds"
+let c_facts = Obs.Counter.make "datalog.seminaive.facts"
+
 (* Datalog treats every value — including NULL — as a plain constant:
    matching and comparisons are structural, unlike SQL-side query
    evaluation.  (Repair programs that need SQL null behaviour encode it with
@@ -126,8 +131,14 @@ let run program edb =
           let first = ref true in
           let continue = ref true in
           while !continue do
+            Obs.Counter.incr c_rounds;
             let next = store_create () in
-            let emit f = if store_add st f then ignore (store_add next f) in
+            let emit f =
+              if store_add st f then begin
+                Obs.Counter.incr c_facts;
+                ignore (store_add next f)
+              end
+            in
             List.iter
               (fun (r : Rule.t) ->
                 if not (Rule.is_fact r) then

@@ -5,6 +5,11 @@ module Value = Relational.Value
 
 exception Unsupported of string
 
+(* Rules emitted by the magic-set transformation (seed included) —
+   together with the seminaive counters this makes the Datalog tier's
+   work visible in STATS/WORKLOAD. *)
+let c_magic_rules = Obs.Counter.make "datalog.magic.rules"
+
 module Sset = Set.Make (String)
 
 let idb_predicates (program : Program.t) = Sset.of_list (Program.idb program)
@@ -107,6 +112,7 @@ let optimize program ~query =
       (Atom.make (magic_name query.Atom.rel q_ad) (bound_args q_ad query))
       []
   in
+  Obs.Counter.add c_magic_rules (1 + List.length !rules);
   ( Program.make (seed :: List.rev !rules),
     Atom.make (adorned_name query.Atom.rel q_ad) query.Atom.args )
 

@@ -136,6 +136,7 @@ let method_label : P.method_ -> string = function
   | P.Enum -> "enum"
   | P.Rewriting -> "rewriting"
   | P.Key_rewriting -> "key-rewriting"
+  | P.Datalog -> "datalog"
   | P.Asp -> "asp"
   | P.Sat -> "sat"
 
@@ -146,6 +147,7 @@ let engine_method : P.method_ -> Cqa.Engine.answer_method = function
   | P.Enum -> `Repair_enumeration
   | P.Rewriting -> `Residue_rewriting
   | P.Key_rewriting -> `Key_rewriting
+  | P.Datalog -> `Datalog
   | P.Asp -> `Asp
   | P.Sat -> `Sat
 
@@ -205,7 +207,7 @@ let exec_query (session : Session.t) name method_ semantics =
                     single conjunctive queries (union has %d disjuncts)"
                    name
                    (List.length u.Logic.Ucq.disjuncts))
-          | P.Rewriting | P.Key_rewriting ->
+          | P.Rewriting | P.Key_rewriting | P.Datalog ->
               (* Refuse rather than silently running a different (and
                  differently priced) algorithm than the one requested —
                  and let the analyzer name the condition that fails. *)
@@ -245,6 +247,7 @@ let branch_of (session : Session.t) (u : Logic.Ucq.t) method_ semantics =
       | P.S, P.Enum -> "repair_enumeration"
       | P.S, P.Rewriting -> "residue_rewriting"
       | P.S, P.Key_rewriting -> "key_rewriting"
+      | P.S, P.Datalog -> "datalog_rewriting"
       | P.S, P.Asp -> "asp"
       | P.S, P.Sat -> "sat_compilation")
   | _ -> (
@@ -323,6 +326,7 @@ let plan_lines (session : Session.t) name method_ semantics =
             | P.S, P.Enum -> "repair_enumeration"
             | P.S, P.Rewriting -> "residue_rewriting"
             | P.S, P.Key_rewriting -> "key_rewriting"
+            | P.S, P.Datalog -> "datalog_rewriting"
             | P.S, P.Asp -> "asp"
             | P.S, P.Sat -> "sat_compilation"
           in

@@ -206,24 +206,48 @@ let test_classifier_verdicts () =
     (Classify.verdict_label c.verdict);
   check Alcotest.string "names witness" "join-graph/c-forest"
     (Classify.witness_code c.witness);
-  (* The dichotomy's hard side: existential nonkey-nonkey join. *)
+  (* The trichotomy's hard tier: the Boolean nonkey-nonkey join is the
+     Koutris–Wijsen strong 2-cycle (Fuxman–Miller's coNP-hard example). *)
   let rs_keys = [ Ic.key ~rel:"R" [ 0 ]; Ic.key ~rel:"S" [ 0 ] ] in
+  let bhard =
+    Cq.make ~name:"bhard" [] [ Atom.make "R" [ x; y ]; Atom.make "S" [ z; y ] ]
+  in
+  let c = classify rs_keys bhard in
+  check Alcotest.string "boolean hard verdict" "coNP_hard"
+    (Classify.verdict_label c.verdict);
+  check Alcotest.string "boolean hard witness" "attack-graph/strong-cycle"
+    (Classify.witness_code c.witness);
+  (* The same body with x free is NOT hard: the free variable acts as a
+     constant, S's closure absorbs the join variable, and the attack
+     graph is acyclic.  Outside the C-forest fragment, so the Datalog
+     tier answers it. *)
   let hard =
     Cq.make ~name:"hard" [ x ] [ Atom.make "R" [ x; y ]; Atom.make "S" [ z; y ] ]
   in
   let c = classify rs_keys hard in
-  check Alcotest.string "hard verdict" "coNP_complete_candidate"
+  check Alcotest.string "hard verdict" "L_datalog_rewritable"
     (Classify.verdict_label c.verdict);
-  check Alcotest.string "hard witness" "join-graph/nonkey-nonkey-edge"
+  check Alcotest.string "hard witness" "attack-graph/acyclic"
     (Classify.witness_code c.witness);
-  (* A join cycle that only closes through the free variable x is not a
-     hardness witness — but it is outside the implemented rewriting. *)
+  (* A join cycle that only closes through the free variable x is
+     likewise acyclic: R attacks S but not vice versa. *)
   let cyc =
     Cq.make ~name:"cyc" [ x ] [ Atom.make "R" [ x; y ]; Atom.make "S" [ y; x ] ]
   in
   let c = classify rs_keys cyc in
-  check Alcotest.string "cyc verdict" "unknown" (Classify.verdict_label c.verdict);
-  check Alcotest.string "cyc witness" "join-graph/free-variable-cycle"
+  check Alcotest.string "cyc verdict" "L_datalog_rewritable"
+    (Classify.verdict_label c.verdict);
+  check Alcotest.string "cyc witness" "attack-graph/acyclic"
+    (Classify.witness_code c.witness);
+  (* The Boolean cycle carries weak attacks both ways: PTIME per the
+     trichotomy, but the recursive rewriting is out of scope. *)
+  let bcyc =
+    Cq.make ~name:"bcyc" [] [ Atom.make "R" [ x; y ]; Atom.make "S" [ y; x ] ]
+  in
+  let c = classify rs_keys bcyc in
+  check Alcotest.string "weak cycle verdict" "unknown"
+    (Classify.verdict_label c.verdict);
+  check Alcotest.string "weak cycle witness" "attack-graph/weak-cycle"
     (Classify.witness_code c.witness);
   (* Non-key constraints put the pair outside the dichotomy. *)
   let over_r = Cq.make ~name:"q" [ x ] [ Atom.make "R" [ x; y ] ] in
@@ -264,8 +288,8 @@ let test_ucq_diagnostic_names_condition () =
   let d = Classify.ucq_rewriting_diagnostic rs_keys (Ucq.make ~name:"u" [ good; hard ]) in
   check Alcotest.bool "diagnostic names the failing disjunct" true
     (contains ~sub:"disjunct 2" d);
-  check Alcotest.bool "diagnostic names the join edge" true
-    (contains ~sub:"nonkey" d);
+  check Alcotest.bool "diagnostic names the attack graph" true
+    (contains ~sub:"attack graph" d);
   (* All-rewritable union: the diagnostic says what is missing instead. *)
   let good2 = Cq.make ~name:"g2" [ x ] [ Atom.make "S" [ x; y ] ] in
   let d = Classify.ucq_rewriting_diagnostic rs_keys (Ucq.make ~name:"u" [ good; good2 ]) in
@@ -311,19 +335,33 @@ let test_engine_rewriting_refusal_is_diagnostic () =
   (match
      Cqa.Engine.consistent_answers ~method_:`Key_rewriting engine hard
    with
-  | _ -> Alcotest.fail "key rewriting accepted a coNP-hard pattern"
+  | _ -> Alcotest.fail "key rewriting accepted a non-C-forest query"
   | exception Invalid_argument msg ->
       check Alcotest.bool "message names the verdict" true
-        (contains ~sub:"coNP_complete_candidate" msg);
-      check Alcotest.bool "message names the join edge" true
-        (contains ~sub:"nonkey" msg));
-  (* Auto still answers it — the coNP-hard tier now routes to SAT
-     compilation instead of enumerating repairs. *)
+        (contains ~sub:"L_datalog_rewritable" msg);
+      check Alcotest.bool "message names the attack graph" true
+        (contains ~sub:"acyclic" msg));
+  (* Auto still answers it — the acyclic attack graph outside the
+     C-forest fragment routes to the Datalog rewriting. *)
   let plan = Cqa.Engine.plan engine hard in
-  check Alcotest.string "hard-tier route" "sat_compilation"
+  check Alcotest.string "L-tier route" "datalog_rewriting"
     (Cqa.Engine.route_label plan.Cqa.Engine.route);
-  check Alcotest.int "hard-tier answers" 1
-    (List.length (Cqa.Engine.consistent_answers engine hard))
+  check Alcotest.int "L-tier answers" 1
+    (List.length (Cqa.Engine.consistent_answers engine hard));
+  (* Forced method=datalog works on this tier... *)
+  check Alcotest.int "forced datalog answers" 1
+    (List.length
+       (Cqa.Engine.consistent_answers ~method_:`Datalog engine hard));
+  (* ...and refuses the genuinely hard (Boolean) variant with the
+     coNP-hardness witness in the message. *)
+  let bhard =
+    Cq.make ~name:"bhard" [] [ Atom.make "R" [ x; y ]; Atom.make "S" [ z; y ] ]
+  in
+  match Cqa.Engine.consistent_answers ~method_:`Datalog engine bhard with
+  | _ -> Alcotest.fail "datalog rewriting accepted a coNP-hard pattern"
+  | exception Invalid_argument msg ->
+      check Alcotest.bool "refusal names the hard verdict" true
+        (contains ~sub:"coNP_hard" msg)
 
 (* ---- Report determinism ------------------------------------------------ *)
 

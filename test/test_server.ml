@@ -570,25 +570,28 @@ let test_explain_always_shows_plan () =
         Str.string_match (Str.regexp (".*" ^ Str.quote sub ^ ".*")) line 0)
       body
   in
-  (* method=auto on the coNP-hard pattern: the plan names the SAT branch
-     and the classifier's verdict. *)
+  (* method=auto on the acyclic-but-not-C-forest pattern: the plan names
+     the Datalog branch and the classifier's verdict. *)
   let e = dispatch_line h "EXPLAIN s1 hard" in
   Alcotest.(check bool) "explain ok" true (e.P.status = `Ok);
   Alcotest.(check bool) "plan section" true (has e.P.body "-- plan");
   Alcotest.(check bool) "branch line" true
-    (has e.P.body "branch sat_compilation");
+    (has e.P.body "branch datalog_rewriting");
   Alcotest.(check bool) "verdict line" true
-    (has e.P.body "verdict coNP_complete_candidate");
+    (has e.P.body "verdict L_datalog_rewritable");
   (* A forced method reports its own branch, same verdict. *)
   let e2 = dispatch_line h "EXPLAIN s1 hard method=enum" in
   Alcotest.(check bool) "forced branch" true
     (has e2.P.body "branch repair_enumeration");
   Alcotest.(check bool) "forced still shows verdict" true
-    (has e2.P.body "verdict coNP_complete_candidate");
-  (* Explicit method=sat round-trips through QUERY too. *)
+    (has e2.P.body "verdict L_datalog_rewritable");
+  (* Explicit method=sat and method=datalog round-trip through QUERY. *)
   let q = dispatch_line h "QUERY s1 hard method=sat" in
   Alcotest.(check bool) "method=sat ok" true (q.P.status = `Ok);
-  Alcotest.(check (list string)) "certain answer" [ "1" ] q.P.body
+  Alcotest.(check (list string)) "certain answer" [ "1" ] q.P.body;
+  let q2 = dispatch_line h "QUERY s1 hard method=datalog" in
+  Alcotest.(check bool) "method=datalog ok" true (q2.P.status = `Ok);
+  Alcotest.(check (list string)) "datalog certain answer" [ "1" ] q2.P.body
 
 let suite =
   [

@@ -1,0 +1,358 @@
+(* The attack-graph trichotomy end to end: attack edges with their
+   strong/weak classification, elimination orders, saturation as an
+   equivalence-preserving preprocessing step, the Datalog rewriting's
+   agreement with repair enumeration (unit + qcheck), and the seminaive
+   evaluator's counters on the datalog branch. *)
+
+module Attack_graph = Analysis.Attack_graph
+module Classify = Analysis.Classify
+module Lint = Analysis.Lint
+module Finding = Analysis.Finding
+module Schema = Relational.Schema
+module Instance = Relational.Instance
+module Value = Relational.Value
+module Fact = Relational.Fact
+module Ic = Constraints.Ic
+open Logic
+
+let check = Alcotest.check
+let x = Term.var "x"
+let y = Term.var "y"
+let z = Term.var "z"
+let rs_schema = Schema.of_list [ ("R", [ "a"; "b" ]); ("S", [ "c"; "d" ]) ]
+let rs_ics = [ Ic.key ~rel:"R" [ 0 ]; Ic.key ~rel:"S" [ 0 ] ]
+let rs_keys = [ ("R", [ 0 ]); ("S", [ 0 ]) ]
+
+let edges (g : Attack_graph.t) =
+  List.map
+    (fun (a : Attack_graph.attack) -> (a.source, a.target, a.strong))
+    g.attacks
+
+let edge = Alcotest.(list (triple int int bool))
+
+(* ---- Attack edges, strength, cycles ---------------------------------- *)
+
+let test_attack_edges () =
+  (* Boolean nonkey-nonkey join — the Fuxman–Miller hard example — is a
+     2-cycle of strong attacks. *)
+  let bhard =
+    Cq.make ~name:"bhard" [] [ Atom.make "R" [ x; y ]; Atom.make "S" [ z; y ] ]
+  in
+  let g = Attack_graph.analyze bhard ~keys:rs_keys in
+  check edge "bhard attacks" [ (0, 1, true); (1, 0, true) ] (edges g);
+  (match g.cycle with
+  | Some (Attack_graph.Strong_pair _) -> ()
+  | _ -> Alcotest.fail "expected a strong 2-cycle");
+  check Alcotest.bool "cyclic graph has no order" true (g.order = None);
+  (* Free x acts as a constant: S's closure absorbs the join variable, so
+     only R attacks S and the graph is acyclic. *)
+  let hard =
+    Cq.make ~name:"hard" [ x ]
+      [ Atom.make "R" [ x; y ]; Atom.make "S" [ z; y ] ]
+  in
+  let g = Attack_graph.analyze hard ~keys:rs_keys in
+  check edge "hard attacks" [ (0, 1, true) ] (edges g);
+  check Alcotest.(option (list int)) "hard order" (Some [ 0; 1 ]) g.order;
+  (* The Boolean join cycle carries weak attacks both ways: each key is
+     implied by the other under the full dependency set. *)
+  let bcyc =
+    Cq.make ~name:"bcyc" [] [ Atom.make "R" [ x; y ]; Atom.make "S" [ y; x ] ]
+  in
+  let g = Attack_graph.analyze bcyc ~keys:rs_keys in
+  check edge "bcyc attacks" [ (0, 1, false); (1, 0, false) ] (edges g);
+  match g.cycle with
+  | Some (Attack_graph.Weak [ 0; 1 ]) -> ()
+  | _ -> Alcotest.fail "expected a weak 2-cycle"
+
+(* ---- The canonical L-tier example ------------------------------------ *)
+
+(* pair(M) :- Advises(M, S), Assists(S, M), both keyed on their first
+   column: the attack graph is acyclic (Advises attacks Assists, not
+   vice versa) but the join into Assists' key is outside the C-forest
+   fragment, so the engine must route to the Datalog rewriting. *)
+let mentor_schema =
+  Schema.of_list
+    [ ("Advises", [ "mentor"; "student" ]); ("Assists", [ "student"; "mentor" ]) ]
+
+let mentor_ics = [ Ic.key ~rel:"Advises" [ 0 ]; Ic.key ~rel:"Assists" [ 0 ] ]
+let m = Term.var "m"
+let s = Term.var "s"
+
+let pair_q =
+  Cq.make ~name:"pair" [ m ]
+    [ Atom.make "Advises" [ m; s ]; Atom.make "Assists" [ s; m ] ]
+
+let mentor_db =
+  Instance.of_rows mentor_schema
+    [
+      ( "Advises",
+        [
+          [ Value.str "ann"; Value.str "bob" ];
+          [ Value.str "cara"; Value.str "dan" ];
+          [ Value.str "cara"; Value.str "ed" ];
+        ] );
+      ( "Assists",
+        [
+          [ Value.str "bob"; Value.str "ann" ];
+          [ Value.str "dan"; Value.str "cara" ];
+        ] );
+    ]
+
+let test_l_tier_routing_and_answers () =
+  let eng = Cqa.Engine.create ~schema:mentor_schema ~ics:mentor_ics mentor_db in
+  let plan = Cqa.Engine.plan eng pair_q in
+  check Alcotest.string "plan routes to the datalog rewriting"
+    "datalog_rewriting"
+    (Cqa.Engine.route_label plan.Cqa.Engine.route);
+  check Alcotest.string "verdict" "L_datalog_rewritable"
+    (Classify.verdict_label
+       plan.Cqa.Engine.classification.Classify.verdict);
+  (* ann's block is consistent and assisted back; cara's conflicting
+     advisees are not both assisting, so only ann is certain. *)
+  let rows m = Cqa.Engine.consistent_answers ~method_:m eng pair_q in
+  let expect = [ [ Value.str "ann" ] ] in
+  check Alcotest.bool "auto answers" true
+    (Cqa.Engine.consistent_answers eng pair_q = expect);
+  check Alcotest.bool "datalog answers" true (rows `Datalog = expect);
+  check Alcotest.bool "enumeration agrees" true
+    (rows `Repair_enumeration = expect)
+
+let test_datalog_counters_fire () =
+  let eng = Cqa.Engine.create ~schema:mentor_schema ~ics:mentor_ics mentor_db in
+  let reg = Obs.Registry.current () in
+  let before = Obs.Registry.counter_snapshot reg in
+  ignore (Cqa.Engine.consistent_answers ~method_:`Datalog eng pair_q);
+  let delta = Obs.Registry.counter_delta ~since:before reg in
+  let d name = Option.value ~default:0 (List.assoc_opt name delta) in
+  check Alcotest.bool "seminaive rounds counted" true
+    (d "datalog.seminaive.rounds" > 0);
+  check Alcotest.bool "seminaive facts counted" true
+    (d "datalog.seminaive.facts" > 0);
+  check Alcotest.bool "rewriting counted applicable" true
+    (d "rewrite.datalog_applicable" > 0);
+  check Alcotest.int "no repairs enumerated" 0 (d "repairs.enumerations")
+
+let test_null_instance_falls_back () =
+  (* Datalog matches NULLs structurally while Cq.answers uses the SQL
+     three-valued logic, so the rewriting declines instances with NULL
+     and auto falls back to (sound) enumeration. *)
+  let db =
+    Instance.of_rows mentor_schema
+      [
+        ("Advises", [ [ Value.str "ann"; Value.Null ] ]);
+        ("Assists", [ [ Value.str "bob"; Value.str "ann" ] ]);
+      ]
+  in
+  let eng = Cqa.Engine.create ~schema:mentor_schema ~ics:mentor_ics db in
+  check Alcotest.(list (list string)) "auto stays sound on NULLs" []
+    (List.map (List.map (Format.asprintf "%a" Value.pp))
+       (Cqa.Engine.consistent_answers eng pair_q))
+
+(* ---- Saturation ------------------------------------------------------- *)
+
+(* The Koutris–Wijsen triangle: q() :- R(x,y), S(y,z), T(x,z), all keyed
+   on their first column.  T's non-key z is internally determined
+   (x -> y by R, y -> z by S), so saturation fires for (T, z). *)
+let tri_schema =
+  Schema.of_list [ ("R", [ "a"; "b" ]); ("S", [ "b"; "c" ]); ("T", [ "a"; "c" ]) ]
+
+let tri_ics =
+  [ Ic.key ~rel:"R" [ 0 ]; Ic.key ~rel:"S" [ 0 ]; Ic.key ~rel:"T" [ 0 ] ]
+
+let tri_keys = [ ("R", [ 0 ]); ("S", [ 0 ]); ("T", [ 0 ]) ]
+
+let triangle =
+  Cq.make ~name:"tri" []
+    [ Atom.make "R" [ x; y ]; Atom.make "S" [ y; z ]; Atom.make "T" [ x; z ] ]
+
+let test_saturation_fires_on_triangle () =
+  match Attack_graph.saturate triangle ~keys:tri_keys with
+  | None -> Alcotest.fail "saturation should fire on the triangle query"
+  | Some sat ->
+      check Alcotest.int "one internal dependency" 1
+        (List.length sat.Attack_graph.derived);
+      let fd = List.hd sat.Attack_graph.derived in
+      check Alcotest.string "on atom T" "T" fd.Attack_graph.rel;
+      check Alcotest.string "for variable z" "z" fd.Attack_graph.var;
+      check Alcotest.int "one helper atom appended" 4
+        (List.length sat.Attack_graph.squery.Cq.body);
+      check Alcotest.int "one defining rule" 1
+        (List.length sat.Attack_graph.rules);
+      (* The helper carries a whole-tuple key. *)
+      let helper =
+        (List.nth sat.Attack_graph.squery.Cq.body 3 : Atom.t).rel
+      in
+      check Alcotest.(option (list int)) "whole-tuple key" (Some [ 0; 1 ])
+        (List.assoc_opt helper sat.Attack_graph.skeys);
+      check Alcotest.bool "description names the path" true
+        (String.length (Attack_graph.describe_fd fd) > 0)
+
+(* Materialize the helper predicates over the raw database and hand back
+   the extended (schema, ics, instance) triple for enumeration. *)
+let extend_with_helpers schema ics db (sat : Attack_graph.saturation) =
+  let heads =
+    List.sort_uniq String.compare
+      (List.map (fun (r : Datalog.Rule.t) -> r.head.Atom.rel) sat.rules)
+  in
+  let derived = Datalog.Eval.run_instance (Datalog.Program.make sat.rules) db in
+  let helper_facts =
+    List.filter
+      (fun (f : Fact.t) -> List.mem f.rel heads)
+      (Fact.Set.elements derived)
+  in
+  let arity r =
+    match List.assoc_opt r sat.skeys with
+    | Some ps -> List.length ps
+    | None -> invalid_arg "helper without a whole-tuple key"
+  in
+  let schema' =
+    List.fold_left
+      (fun sc r ->
+        Schema.add_relation sc ~name:r
+          ~attributes:(List.init (arity r) (Printf.sprintf "a%d")))
+      schema heads
+  in
+  let ics' =
+    ics @ List.map (fun r -> Ic.key ~rel:r (List.init (arity r) Fun.id)) heads
+  in
+  let db' =
+    Instance.add_all (Instance.of_facts schema' (Instance.fact_list db)) helper_facts
+  in
+  (schema', ics', db')
+
+let certain_enum schema ics db q =
+  let eng = Cqa.Engine.create ~schema ~ics db in
+  List.sort compare
+    (Cqa.Engine.consistent_answers ~method_:`Repair_enumeration eng q)
+
+let saturation_equivalent db =
+  match Attack_graph.saturate triangle ~keys:tri_keys with
+  | None -> false
+  | Some sat ->
+      let schema', ics', db' = extend_with_helpers tri_schema tri_ics db sat in
+      certain_enum tri_schema tri_ics db triangle
+      = certain_enum schema' ics' db' sat.Attack_graph.squery
+
+let test_saturation_preserves_certainty () =
+  let db =
+    Instance.of_rows tri_schema
+      [
+        ("R", [ [ Value.int 1; Value.int 2 ]; [ Value.int 1; Value.int 3 ] ]);
+        ("S", [ [ Value.int 2; Value.int 5 ]; [ Value.int 3; Value.int 5 ] ]);
+        ("T", [ [ Value.int 1; Value.int 5 ]; [ Value.int 1; Value.int 6 ] ]);
+      ]
+  in
+  check Alcotest.bool "CERTAINTY(q) = CERTAINTY(saturate q)" true
+    (saturation_equivalent db)
+
+(* ---- Self-join lint --------------------------------------------------- *)
+
+let test_self_join_lint () =
+  let sj =
+    Cq.make ~name:"sj" [ x ] [ Atom.make "R" [ x; y ]; Atom.make "R" [ y; z ] ]
+  in
+  let fs = Lint.query_findings sj in
+  check Alcotest.int "one finding" 1 (List.length fs);
+  let f = List.hd fs in
+  check Alcotest.string "code" "query/self-join" f.Finding.code;
+  check Alcotest.string "severity is a warning, not an error" "warning"
+    (Finding.severity_label f.Finding.severity);
+  check Alcotest.string "subject is the query" "sj" f.Finding.subject;
+  check Alcotest.bool "message explains the fallback" true
+    (let msg = f.Finding.message in
+     let has sub = Str.string_match (Str.regexp (".*" ^ sub ^ ".*")) msg 0 in
+     has "trichotomy" && has "enumeration");
+  let sjf =
+    Cq.make ~name:"ok" [ x ] [ Atom.make "R" [ x; y ]; Atom.make "S" [ y; z ] ]
+  in
+  check Alcotest.int "self-join-free query is clean" 0
+    (List.length (Lint.query_findings sjf))
+
+(* ---- qcheck: the rewriting is exact on its tier ----------------------- *)
+
+let arb_rs =
+  QCheck.make
+    QCheck.Gen.(
+      pair
+        (list_size (int_range 0 6) (pair (int_range 0 2) (int_range 0 3)))
+        (list_size (int_range 0 6) (pair (int_range 0 3) (int_range 0 2))))
+    ~print:(fun (rs, ss) ->
+      let row (a, b) = Printf.sprintf "(%d,%d)" a b in
+      Printf.sprintf "R=%s S=%s"
+        (String.concat "" (List.map row rs))
+        (String.concat "" (List.map row ss)))
+
+let l_queries =
+  [
+    (* nonkey-nonkey join with a free variable *)
+    Cq.make ~name:"hard" [ x ] [ Atom.make "R" [ x; y ]; Atom.make "S" [ z; y ] ];
+    (* join cycle closed through the free variable *)
+    Cq.make ~name:"cyc" [ x ] [ Atom.make "R" [ x; y ]; Atom.make "S" [ y; x ] ];
+  ]
+
+let prop_datalog_is_exact_on_l_tier =
+  QCheck.Test.make ~count:150
+    ~name:"L_datalog_rewritable => datalog = enumeration" arb_rs
+    (fun (rs, ss) ->
+      let db =
+        Instance.of_rows rs_schema
+          [
+            ("R", List.map (fun (a, b) -> [ Value.int a; Value.int b ]) rs);
+            ("S", List.map (fun (a, b) -> [ Value.int a; Value.int b ]) ss);
+          ]
+      in
+      let eng = Cqa.Engine.create ~schema:rs_schema ~ics:rs_ics db in
+      List.for_all
+        (fun q ->
+          match (Classify.classify rs_ics q).Classify.verdict with
+          | Classify.L_datalog_rewritable ->
+              List.sort compare
+                (Cqa.Engine.consistent_answers ~method_:`Datalog eng q)
+              = List.sort compare
+                  (Cqa.Engine.consistent_answers ~method_:`Repair_enumeration
+                     eng q)
+          | _ -> true)
+        l_queries)
+
+let arb_tri =
+  QCheck.make
+    QCheck.Gen.(
+      triple
+        (list_size (int_range 0 4) (pair (int_range 0 2) (int_range 0 2)))
+        (list_size (int_range 0 4) (pair (int_range 0 2) (int_range 0 2)))
+        (list_size (int_range 0 4) (pair (int_range 0 2) (int_range 0 2))))
+    ~print:(fun (rs, ss, ts) ->
+      let side l =
+        String.concat ";" (List.map (fun (a, b) -> Printf.sprintf "%d,%d" a b) l)
+      in
+      Printf.sprintf "R=%s S=%s T=%s" (side rs) (side ss) (side ts))
+
+let prop_saturation_preserves_certainty =
+  QCheck.Test.make ~count:100
+    ~name:"saturation fires => CERTAINTY(q) = CERTAINTY(saturate q)" arb_tri
+    (fun (rs, ss, ts) ->
+      let rows l = List.map (fun (a, b) -> [ Value.int a; Value.int b ]) l in
+      let db =
+        Instance.of_rows tri_schema
+          [ ("R", rows rs); ("S", rows ss); ("T", rows ts) ]
+      in
+      saturation_equivalent db)
+
+let suite =
+  [
+    Alcotest.test_case "attack edges, strength and cycles" `Quick
+      test_attack_edges;
+    Alcotest.test_case "L tier routes to datalog and answers" `Quick
+      test_l_tier_routing_and_answers;
+    Alcotest.test_case "datalog counters fire" `Quick
+      test_datalog_counters_fire;
+    Alcotest.test_case "NULL instances fall back soundly" `Quick
+      test_null_instance_falls_back;
+    Alcotest.test_case "saturation fires on the triangle" `Quick
+      test_saturation_fires_on_triangle;
+    Alcotest.test_case "saturation preserves certainty" `Quick
+      test_saturation_preserves_certainty;
+    Alcotest.test_case "self-join lint" `Quick test_self_join_lint;
+    QCheck_alcotest.to_alcotest prop_datalog_is_exact_on_l_tier;
+    QCheck_alcotest.to_alcotest prop_saturation_preserves_certainty;
+  ]
