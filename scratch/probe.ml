@@ -1,0 +1,82 @@
+module Cq = Logic.Cq
+module Atom = Logic.Atom
+module Term = Logic.Term
+module Cmp = Logic.Cmp
+module Value = Relational.Value
+module Instance = Relational.Instance
+module Schema = Relational.Schema
+module Ic = Constraints.Ic
+
+let x = Term.var "x"
+let y = Term.var "y"
+let _z = Term.var "z"
+let _w = Term.var "w"
+
+let schema =
+  Schema.of_list
+    [ ("R", [ "a"; "b" ]); ("S", [ "b"; "c" ]); ("T", [ "c"; "d" ]) ]
+
+let ics = [ Ic.key ~rel:"R" [ 0 ]; Ic.key ~rel:"S" [ 0 ]; Ic.key ~rel:"T" [ 0 ] ]
+
+let queries =
+  [
+    (* chain with free var at the end key join *)
+    Cq.make ~name:"q1" [ x ] [ Atom.make "R" [ x; y ]; Atom.make "S" [ y; x ] ];
+    (* 3-chain, free head *)
+    Cq.make ~name:"q2" [ x ]
+      [ Atom.make "R" [ x; y ]; Atom.make "S" [ y; _z ]; Atom.make "T" [ _z; x ] ];
+    (* constant in nonkey position *)
+    Cq.make ~name:"q3" [ x ]
+      [ Atom.make "R" [ x; Term.Const (Value.int 1) ]; Atom.make "S" [ x; y ] ];
+    (* repeated variable inside an atom *)
+    Cq.make ~name:"q4" [ x ] [ Atom.make "R" [ x; x ]; Atom.make "S" [ x; y ] ];
+    (* comparison over two levels *)
+    Cq.make ~name:"q5" [ x ]
+      ~comps:[ Cmp.make Cmp.Lt (Term.var "y") (Term.var "zc") ]
+      [ Atom.make "R" [ x; y ]; Atom.make "S" [ x; Term.var "zc" ] ];
+    (* boolean query *)
+    Cq.make ~name:"q6" [] [ Atom.make "R" [ x; y ]; Atom.make "S" [ y; x ] ];
+  ]
+
+let seed = ref 42
+let rand m = seed := (!seed * 1103515245 + 12345) land 0x3FFFFFFF; !seed mod m
+
+let random_rows nrow dom =
+  List.init nrow (fun _ -> [ Value.int (rand dom); Value.int (rand dom) ])
+
+let () =
+  let mismatches = ref 0 in
+  for trial = 1 to 400 do
+    let db =
+      Instance.of_rows schema
+        [
+          ("R", random_rows (rand 6) 3);
+          ("S", random_rows (rand 6) 3);
+          ("T", random_rows (rand 6) 3);
+        ]
+    in
+    let eng = Cqa.Engine.create ~schema ~ics db in
+    List.iter
+      (fun q ->
+        let c = Analysis.Classify.classify ics q in
+        match c.Analysis.Classify.verdict with
+        | Analysis.Classify.L_datalog_rewritable | Analysis.Classify.Fo_rewritable -> (
+            match
+              (try Some (Cqa.Engine.consistent_answers ~method_:`Datalog eng q)
+               with Invalid_argument _ -> None)
+            with
+            | None -> ()
+            | Some dl ->
+                let en =
+                  Cqa.Engine.consistent_answers ~method_:`Repair_enumeration eng q
+                in
+                if List.sort compare dl <> List.sort compare en then begin
+                  incr mismatches;
+                  Printf.printf "MISMATCH trial=%d query=%s verdict=%s\n" trial
+                    q.Cq.name
+                    (Analysis.Classify.verdict_label c.Analysis.Classify.verdict)
+                end)
+        | _ -> ())
+      queries
+  done;
+  Printf.printf "done, mismatches=%d\n" !mismatches
